@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks: throughput of every attack/defense pipeline.
+//!
+//! These time the *code paths* the figures exercise; the figure values
+//! themselves come from the `src/bin/` experiment binaries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use iot_privacy::defense::{BatteryLeveler, Chpr, Defense};
+use iot_privacy::homesim::{Home, HomeConfig};
+use iot_privacy::loads::Catalogue;
+use iot_privacy::nilm::{train_device_hmm, Disaggregator, Fhmm, PowerPlay};
+use iot_privacy::niom::{HmmDetector, OccupancyDetector, ThresholdDetector};
+use iot_privacy::privatemeter::{MeterProver, PedersenParams, UtilityVerifier};
+use iot_privacy::solar::{GeoPoint, SolarSite, SunSpot, WeatherGrid, Weatherman};
+use iot_privacy::timeseries::rng::seeded_rng;
+use iot_privacy::timeseries::Resolution;
+
+fn bench_homesim(c: &mut Criterion) {
+    c.bench_function("homesim/simulate_7_days", |b| {
+        b.iter(|| Home::simulate(&HomeConfig::new(1).days(7)))
+    });
+}
+
+fn bench_niom(c: &mut Criterion) {
+    let home = Home::simulate(&HomeConfig::new(2).days(7));
+    c.bench_function("niom/threshold_7_days", |b| {
+        let d = ThresholdDetector::default();
+        b.iter(|| d.detect(&home.meter))
+    });
+    c.bench_function("niom/hmm_7_days", |b| {
+        let d = HmmDetector::default();
+        b.iter(|| d.detect(&home.meter))
+    });
+}
+
+fn bench_nilm(c: &mut Criterion) {
+    let tracked = Catalogue::figure2();
+    let home = Home::simulate(&HomeConfig::new(3).days(3).catalogue(tracked.clone()));
+    c.bench_function("nilm/powerplay_3_days", |b| {
+        let pp = PowerPlay::from_catalogue(&tracked);
+        b.iter(|| pp.disaggregate(&home.meter))
+    });
+    let models: Vec<_> = home
+        .devices
+        .iter()
+        .map(|d| train_device_hmm(&d.name, &d.trace, 2))
+        .collect();
+    c.bench_function("nilm/fhmm_exact_1_day", |b| {
+        let fhmm = Fhmm::new(models.clone());
+        let day = home.meter.day_slice(1);
+        b.iter(|| fhmm.disaggregate(&day))
+    });
+}
+
+fn bench_defense(c: &mut Criterion) {
+    let home = Home::simulate(&HomeConfig::new(4).days(7));
+    c.bench_function("defense/chpr_7_days", |b| {
+        let chpr = Chpr::default();
+        b.iter_batched(
+            || seeded_rng(1),
+            |mut rng| chpr.apply(&home.meter, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("defense/battery_7_days", |b| {
+        let battery = BatteryLeveler::default();
+        b.iter_batched(
+            || seeded_rng(2),
+            |mut rng| battery.apply(&home.meter, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_solar(c: &mut Criterion) {
+    let p = GeoPoint::new(42.0, -72.0);
+    let mut grid = WeatherGrid::new_region(p, 300.0, 6, 7);
+    grid.extend_to(30, 7);
+    let fine = SolarSite::new(p, 5.0).generate(
+        30,
+        Resolution::ONE_MINUTE,
+        &grid,
+        &mut seeded_rng(7),
+    );
+    let coarse = fine.downsample(Resolution::ONE_HOUR).expect("divisible");
+    c.bench_function("solar/sunspot_30_days_1min", |b| {
+        let s = SunSpot::default();
+        b.iter(|| s.localize(&fine))
+    });
+    c.bench_function("solar/weatherman_30_days_1h", |b| {
+        let w = Weatherman::default();
+        b.iter(|| w.localize(&coarse, &grid))
+    });
+}
+
+fn bench_privatemeter(c: &mut Criterion) {
+    let home = Home::simulate(&HomeConfig::new(5).days(30));
+    let monthly = home.meter.downsample(Resolution::FIFTEEN_MINUTES).expect("divisible");
+    let params = PedersenParams::demo();
+    c.bench_function("privatemeter/commit_month_15min", |b| {
+        b.iter_batched(
+            || seeded_rng(3),
+            |mut rng| MeterProver::from_trace(params, &monthly, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+    let prover = MeterProver::from_trace(params, &monthly, &mut seeded_rng(3));
+    let receipt = prover.bill_total();
+    c.bench_function("privatemeter/verify_month_bill", |b| {
+        let v = UtilityVerifier::new(params);
+        b.iter(|| v.verify_total(prover.commitments(), &receipt))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_homesim, bench_niom, bench_nilm, bench_defense, bench_solar, bench_privatemeter
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Shared helpers for the experiment harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's experiment index). Binaries print aligned text tables
+//! to stdout and, when `--json <path>` is given, also write
+//! machine-readable results.
+
+use std::io::Write;
+
+/// Prints a text table: a header row then aligned data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Writes `value` as pretty JSON to the path following a `--json` flag in
+/// `args`, if present.
+pub fn maybe_write_json(value: &serde_json::Value) {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if let Some(path) = args.get(pos + 1) {
+            let mut f = std::fs::File::create(path).expect("create json output");
+            write!(f, "{}", serde_json::to_string_pretty(value).expect("serialize"))
+                .expect("write json output");
+            println!("(wrote {path})");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn print_table_smoke() {
+        super::print_table(
+            "t",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Battery-based load flattening (NILL-style; McLaughlin et al., CCS'11).
+
+use crate::traits::{Defended, Defense, DefenseCost};
+use serde::{Deserialize, Serialize};
+use timeseries::rng::SeededRng;
+use timeseries::PowerTrace;
+
+/// A battery that levels the meter toward a slowly-adapting target, erasing
+/// the step edges NILM identifies appliances by.
+///
+/// The controller tracks an exponentially-weighted mean of recent demand as
+/// its target level; the battery charges when the home draws less and
+/// discharges when it draws more, within its power and state-of-charge
+/// limits. Unlike CHPr this costs real money: the battery itself, plus
+/// round-trip losses (which appear as extra energy).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatteryLeveler {
+    /// Usable capacity, kWh.
+    pub capacity_kwh: f64,
+    /// Maximum charge/discharge power, watts.
+    pub max_power_watts: f64,
+    /// One-way efficiency (round trip = square of this).
+    pub one_way_efficiency: f64,
+    /// EWMA smoothing factor per sample for the target level, in `(0, 1)`.
+    pub target_alpha: f64,
+}
+
+impl Default for BatteryLeveler {
+    fn default() -> Self {
+        BatteryLeveler {
+            capacity_kwh: 12.0,
+            max_power_watts: 5_000.0,
+            one_way_efficiency: 0.95,
+            target_alpha: 0.01,
+        }
+    }
+}
+
+impl Defense for BatteryLeveler {
+    fn apply(&self, meter: &PowerTrace, _rng: &mut SeededRng) -> Defended {
+        let res_h = meter.resolution().as_hours();
+        let mut soc_kwh = self.capacity_kwh / 2.0;
+        let mut target = meter.mean_watts();
+        let mut out = Vec::with_capacity(meter.len());
+        let mut losses_kwh = 0.0;
+        for &w in meter.samples() {
+            // Desired battery power: positive = charging (adds to meter).
+            let desired = (target - w).clamp(-self.max_power_watts, self.max_power_watts);
+            let actual = if desired > 0.0 {
+                // Charging: limited by remaining capacity.
+                let room_kwh = self.capacity_kwh - soc_kwh;
+                let max_w = room_kwh / res_h / self.one_way_efficiency * 1_000.0;
+                let p = desired.min(max_w.max(0.0));
+                let stored = p * res_h / 1_000.0 * self.one_way_efficiency;
+                soc_kwh += stored;
+                losses_kwh += p * res_h / 1_000.0 - stored;
+                p
+            } else {
+                // Discharging: limited by stored energy.
+                let max_w = soc_kwh * self.one_way_efficiency / res_h * 1_000.0;
+                let p = desired.max(-max_w.max(0.0));
+                let drawn = -p * res_h / 1_000.0 / self.one_way_efficiency;
+                soc_kwh -= drawn;
+                losses_kwh += drawn + p * res_h / 1_000.0;
+                p
+            };
+            out.push((w + actual).max(0.0));
+            target = (1.0 - self.target_alpha) * target + self.target_alpha * w;
+        }
+        let trace = PowerTrace::new(meter.start(), meter.resolution(), out)
+            .expect("levelled power is finite");
+        Defended {
+            trace,
+            cost: DefenseCost {
+                extra_energy_kwh: losses_kwh,
+                billing_error_frac: 0.0,
+                unserved_hot_water_liters: 0.0,
+            },
+        }
+    }
+
+    fn name(&self) -> &str {
+        "battery-leveler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::rng::seeded_rng;
+    use timeseries::{detect_edges, Resolution, Timestamp};
+
+    fn bursty_meter() -> PowerTrace {
+        PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 1_440, |i| {
+            300.0 + if i % 40 < 5 { 1_500.0 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn flattening_removes_edges() {
+        let meter = bursty_meter();
+        let out = BatteryLeveler::default().apply(&meter, &mut seeded_rng(1));
+        let before = detect_edges(&meter, 200.0).len();
+        let after = detect_edges(&out.trace, 200.0).len();
+        assert!(before > 50);
+        assert!(after < before / 5, "edges {before} → {after}");
+    }
+
+    #[test]
+    fn variance_shrinks() {
+        let meter = bursty_meter();
+        let out = BatteryLeveler::default().apply(&meter, &mut seeded_rng(2));
+        let var = |t: &PowerTrace| {
+            let m = t.mean_watts();
+            t.samples().iter().map(|w| (w - m).powi(2)).sum::<f64>() / t.len() as f64
+        };
+        assert!(var(&out.trace) < var(&meter) / 4.0);
+    }
+
+    #[test]
+    fn energy_roughly_conserved_plus_losses() {
+        let meter = bursty_meter();
+        let out = BatteryLeveler::default().apply(&meter, &mut seeded_rng(3));
+        let diff = out.trace.energy_kwh() - meter.energy_kwh();
+        // The battery may end at a different SoC than it started, so allow
+        // half the capacity either way, but nothing crazy.
+        assert!(diff.abs() < 7.0, "energy drift {diff}");
+        assert!(out.cost.extra_energy_kwh >= 0.0);
+        assert!(out.cost.extra_energy_kwh < 3.0, "losses {}", out.cost.extra_energy_kwh);
+    }
+
+    #[test]
+    fn small_battery_masks_less() {
+        let meter = bursty_meter();
+        let big = BatteryLeveler::default();
+        let small = BatteryLeveler {
+            capacity_kwh: 0.2,
+            max_power_watts: 300.0,
+            ..BatteryLeveler::default()
+        };
+        let e_big = detect_edges(&big.apply(&meter, &mut seeded_rng(4)).trace, 200.0).len();
+        let e_small = detect_edges(&small.apply(&meter, &mut seeded_rng(4)).trace, 200.0).len();
+        assert!(e_small > e_big, "small {e_small} vs big {e_big}");
+    }
+
+    #[test]
+    fn meter_never_negative() {
+        let meter = bursty_meter();
+        let out = BatteryLeveler::default().apply(&meter, &mut seeded_rng(5));
+        assert!(out.trace.samples().iter().all(|&w| w >= 0.0));
+    }
+}

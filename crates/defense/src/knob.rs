@@ -1,0 +1,133 @@
+//! The user-controllable privacy knob (Section III-E).
+//!
+//! The paper's "holy grail": one dial trading privacy against cost. The
+//! knob sweeps a defense's effort parameter and, for each setting, measures
+//! both sides of the tradeoff — how well the NIOM attack still works (MCC)
+//! and what the masking costs — producing the curve a user interface would
+//! expose.
+
+use crate::chpr::Chpr;
+use crate::traits::Defense;
+use niom::OccupancyDetector;
+use serde::{Deserialize, Serialize};
+use timeseries::rng::SeededRng;
+use timeseries::{LabelSeries, PowerTrace, TraceError};
+
+/// One point on the privacy/utility curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KnobPoint {
+    /// Knob setting in `[0, 1]` (0 = no masking, 1 = full effort).
+    pub effort: f64,
+    /// Occupancy-attack MCC after the defense (lower = more private;
+    /// 0 ≈ random prediction).
+    pub attack_mcc: f64,
+    /// Occupancy-attack accuracy after the defense.
+    pub attack_accuracy: f64,
+    /// Extra energy the defense consumed, kWh.
+    pub extra_energy_kwh: f64,
+}
+
+/// Sweeps CHPr masking effort to trace the privacy/utility curve.
+#[derive(Debug, Clone)]
+pub struct PrivacyKnob {
+    /// The CHPr template whose effort is swept.
+    pub chpr: Chpr,
+    /// Effort settings to evaluate.
+    pub settings: Vec<f64>,
+}
+
+impl Default for PrivacyKnob {
+    fn default() -> Self {
+        PrivacyKnob { chpr: Chpr::default(), settings: vec![0.0, 0.25, 0.5, 0.75, 1.0] }
+    }
+}
+
+impl PrivacyKnob {
+    /// Evaluates the curve: for each effort setting, defend `meter` and
+    /// re-run `attack` against ground-truth `occupancy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if `occupancy` does not match `meter`.
+    pub fn sweep(
+        &self,
+        meter: &PowerTrace,
+        occupancy: &LabelSeries,
+        attack: &dyn OccupancyDetector,
+        rng: &mut SeededRng,
+    ) -> Result<Vec<KnobPoint>, TraceError> {
+        let mut out = Vec::with_capacity(self.settings.len());
+        for &effort in &self.settings {
+            let defended = self.chpr.with_effort(effort).apply(meter, rng);
+            let inferred = attack.detect(&defended.trace);
+            let c = occupancy.confusion(&inferred)?;
+            out.push(KnobPoint {
+                effort,
+                attack_mcc: c.mcc(),
+                attack_accuracy: c.accuracy(),
+                extra_energy_kwh: defended.cost.extra_energy_kwh,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use niom::ThresholdDetector;
+    use timeseries::rng::seeded_rng;
+    use timeseries::{Resolution, Timestamp};
+
+    fn home_with_truth() -> (PowerTrace, LabelSeries) {
+        let meter = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 3 * 1440, |i| {
+            let minute = i % 1440;
+            if (1_020..1_320).contains(&minute) {
+                160.0 + if i % 11 < 3 { 1_500.0 } else { 150.0 }
+            } else {
+                160.0 + 15.0 * ((i as f64) * 0.4).sin()
+            }
+        });
+        let occupancy = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 3 * 1440, |i| {
+            let minute = i % 1440;
+            (1_020..1_320).contains(&minute) || !(420..1_020).contains(&minute)
+        });
+        (meter, occupancy)
+    }
+
+    #[test]
+    fn more_effort_less_mcc() {
+        let (meter, occ) = home_with_truth();
+        let knob = PrivacyKnob {
+            settings: vec![0.0, 1.0],
+            ..PrivacyKnob::default()
+        };
+        let points = knob
+            .sweep(&meter, &occ, &ThresholdDetector::default(), &mut seeded_rng(1))
+            .unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(
+            points[1].attack_mcc < points[0].attack_mcc,
+            "full effort {:.3} should beat none {:.3}",
+            points[1].attack_mcc,
+            points[0].attack_mcc
+        );
+    }
+
+    #[test]
+    fn curve_is_serializable() {
+        let p = KnobPoint { effort: 0.5, attack_mcc: 0.1, attack_accuracy: 0.6, extra_energy_kwh: 2.0 };
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(json.contains("attack_mcc"));
+    }
+
+    #[test]
+    fn misaligned_truth_rejected() {
+        let (meter, _) = home_with_truth();
+        let wrong = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 10, |_| true);
+        let knob = PrivacyKnob::default();
+        assert!(knob
+            .sweep(&meter, &wrong, &ThresholdDetector::default(), &mut seeded_rng(2))
+            .is_err());
+    }
+}

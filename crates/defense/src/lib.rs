@@ -1,0 +1,39 @@
+//! Obfuscation defenses against energy-data privacy attacks.
+//!
+//! Section III-B of the paper surveys defenses that *actively modify* a
+//! home's energy usage so that analytics (NIOM occupancy detection, NILM
+//! appliance disaggregation) learn nothing, at varying cost:
+//!
+//! * [`Chpr`] — **Combined Heat and Privacy** (Chen et al., PerCom'14): an
+//!   electric water heater's thermal mass banks the home's hot-water
+//!   heating into strategically timed bursts that mask quiet (unoccupied)
+//!   periods. "Free", since the water had to be heated anyway. Reproduces
+//!   Figure 6 (attack MCC 0.44 → 0.045).
+//! * [`BatteryLeveler`] — NILL-style battery load flattening (McLaughlin
+//!   et al., CCS'11): a battery absorbs load transitions, erasing the edges
+//!   NILM keys on, at the capital cost of the battery.
+//! * [`NoiseInjector`] / [`Smoother`] — naive baselines that perturb the
+//!   *reported* data only (a cheating meter), included for the ablation
+//!   benches.
+//! * [`PrivacyKnob`] — the paper's vision of *user-controllable privacy*: a
+//!   single dial trading masking effort against cost, producing the
+//!   privacy/utility curve.
+//!
+//! All defenses implement [`Defense`]: meter trace in, modified trace plus
+//! a [`DefenseCost`] out.
+
+pub mod battery;
+pub mod chpr;
+pub mod knob;
+pub mod local;
+pub mod obfuscation;
+pub mod traits;
+pub mod waterheater;
+
+pub use battery::BatteryLeveler;
+pub use chpr::Chpr;
+pub use knob::{KnobPoint, PrivacyKnob};
+pub use local::{exposure, Architecture, Exposure};
+pub use obfuscation::{NoiseInjector, Smoother};
+pub use traits::{Defended, Defense, DefenseCost};
+pub use waterheater::WaterHeater;

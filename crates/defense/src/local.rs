@@ -1,0 +1,165 @@
+//! Local-first IoT architectures (Section III-D).
+//!
+//! "If the data is kept locally and never sent to third parties, the user
+//! stays in control." This module makes that principle quantitative: each
+//! [`Architecture`] describes where a smart meter's data lives, and
+//! [`exposure`] computes what actually leaves the home — the attack
+//! surface the cloud (or anyone who breaches it) gets.
+
+use serde::{Deserialize, Serialize};
+use timeseries::PowerTrace;
+
+/// Where IoT data lives and what the cloud receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Architecture {
+    /// The dominant paradigm: raw fine-grained readings stream to the
+    /// cloud.
+    CloudRaw,
+    /// The cloud receives coarse aggregates only (e.g. daily totals).
+    CloudDailyTotals,
+    /// Local-first: analytics run at home on a hub; the cloud sends down
+    /// a model and receives nothing (transfer-learning style).
+    LocalOnly,
+    /// The cryptographic middle ground: per-interval commitments plus an
+    /// opened aggregate bill (see [`crate::Chpr`]'s sibling crate
+    /// `privatemeter`).
+    CommitmentsOnly,
+}
+
+impl Architecture {
+    /// All modelled architectures, in decreasing order of exposure.
+    pub fn all() -> &'static [Architecture] {
+        &[
+            Architecture::CloudRaw,
+            Architecture::CloudDailyTotals,
+            Architecture::CommitmentsOnly,
+            Architecture::LocalOnly,
+        ]
+    }
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Architecture::CloudRaw => "cloud-raw",
+            Architecture::CloudDailyTotals => "cloud-daily-totals",
+            Architecture::LocalOnly => "local-only",
+            Architecture::CommitmentsOnly => "commitments-only",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What one architecture exposes to the cloud for a given meter trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exposure {
+    /// Plaintext power samples the cloud can analyze.
+    pub plaintext_samples: usize,
+    /// Finest plaintext resolution available to the cloud, seconds
+    /// (`None` when no time series leaves the home at all).
+    pub finest_resolution_secs: Option<u32>,
+    /// `true` if NIOM-style occupancy analytics are possible on what the
+    /// cloud holds (needs sub-hourly plaintext data).
+    pub niom_possible: bool,
+    /// `true` if NILM-style appliance analytics are possible (needs
+    /// minute-scale plaintext data).
+    pub nilm_possible: bool,
+    /// `true` if the utility can still verify the bill exactly.
+    pub exact_billing: bool,
+}
+
+/// Computes the cloud-side exposure of `trace` under `arch`.
+pub fn exposure(arch: Architecture, trace: &PowerTrace) -> Exposure {
+    match arch {
+        Architecture::CloudRaw => Exposure {
+            plaintext_samples: trace.len(),
+            finest_resolution_secs: Some(trace.resolution().as_secs()),
+            niom_possible: trace.resolution().as_secs() <= 1_800,
+            nilm_possible: trace.resolution().as_secs() <= 300,
+            exact_billing: true,
+        },
+        Architecture::CloudDailyTotals => {
+            let days = (trace.duration_secs() / 86_400) as usize;
+            Exposure {
+                plaintext_samples: days,
+                finest_resolution_secs: Some(86_400u32),
+                niom_possible: false,
+                nilm_possible: false,
+                exact_billing: true,
+            }
+        }
+        Architecture::CommitmentsOnly => Exposure {
+            plaintext_samples: 1, // the opened aggregate bill
+            finest_resolution_secs: None,
+            niom_possible: false,
+            nilm_possible: false,
+            exact_billing: true,
+        },
+        Architecture::LocalOnly => Exposure {
+            plaintext_samples: 0,
+            finest_resolution_secs: None,
+            niom_possible: false,
+            nilm_possible: false,
+            // The cloud cannot bill at all; some separate channel must.
+            exact_billing: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::{Resolution, Timestamp};
+
+    fn week_trace() -> PowerTrace {
+        PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 7 * 1440, 400.0)
+    }
+
+    #[test]
+    fn cloud_raw_exposes_everything() {
+        let e = exposure(Architecture::CloudRaw, &week_trace());
+        assert_eq!(e.plaintext_samples, 7 * 1440);
+        assert!(e.niom_possible && e.nilm_possible && e.exact_billing);
+    }
+
+    #[test]
+    fn daily_totals_kill_fine_analytics() {
+        let e = exposure(Architecture::CloudDailyTotals, &week_trace());
+        assert_eq!(e.plaintext_samples, 7);
+        assert!(!e.niom_possible && !e.nilm_possible);
+        assert!(e.exact_billing);
+    }
+
+    #[test]
+    fn commitments_expose_one_number() {
+        let e = exposure(Architecture::CommitmentsOnly, &week_trace());
+        assert_eq!(e.plaintext_samples, 1);
+        assert_eq!(e.finest_resolution_secs, None);
+        assert!(e.exact_billing);
+    }
+
+    #[test]
+    fn local_only_exposes_nothing_but_cannot_bill() {
+        let e = exposure(Architecture::LocalOnly, &week_trace());
+        assert_eq!(e.plaintext_samples, 0);
+        assert!(!e.exact_billing);
+    }
+
+    #[test]
+    fn exposure_strictly_decreases_along_all() {
+        let t = week_trace();
+        let samples: Vec<usize> = Architecture::all()
+            .iter()
+            .map(|&a| exposure(a, &t).plaintext_samples)
+            .collect();
+        assert!(samples.windows(2).all(|w| w[0] >= w[1]), "{samples:?}");
+    }
+
+    #[test]
+    fn hourly_raw_data_blocks_nilm_but_not_niom() {
+        let hourly = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_HOUR, 24, 400.0);
+        let e = exposure(Architecture::CloudRaw, &hourly);
+        assert!(e.niom_possible == false); // 1 h > 30 min threshold
+        assert!(!e.nilm_possible);
+    }
+}

@@ -1,0 +1,149 @@
+//! Naive report-only obfuscation baselines: noise injection and smoothing.
+//!
+//! Unlike CHPr and battery levelling, these do not change the home's real
+//! load — they falsify what the meter *reports*. That makes them free in
+//! energy but costly in billing fidelity, and they serve as the weak
+//! baselines in the defense ablation benches (the paper notes obfuscation
+//! is "a blunt instrument").
+
+use crate::traits::{Defended, Defense, DefenseCost};
+use serde::{Deserialize, Serialize};
+use timeseries::rng::{laplace, SeededRng};
+use timeseries::PowerTrace;
+
+/// Adds zero-mean Laplace noise to each reported sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseInjector {
+    /// Laplace scale parameter, watts.
+    pub scale_watts: f64,
+}
+
+impl NoiseInjector {
+    /// Creates an injector with the given Laplace scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale_watts` is not finite and positive.
+    pub fn new(scale_watts: f64) -> Self {
+        assert!(scale_watts.is_finite() && scale_watts > 0.0, "scale must be positive");
+        NoiseInjector { scale_watts }
+    }
+}
+
+impl Defense for NoiseInjector {
+    fn apply(&self, meter: &PowerTrace, rng: &mut SeededRng) -> Defended {
+        let trace = meter.map(|w| (w + laplace(rng, 0.0, self.scale_watts)).max(0.0));
+        let billing_error_frac = if meter.energy_kwh() > 0.0 {
+            (trace.energy_kwh() - meter.energy_kwh()).abs() / meter.energy_kwh()
+        } else {
+            0.0
+        };
+        Defended {
+            trace,
+            cost: DefenseCost { extra_energy_kwh: 0.0, billing_error_frac, ..Default::default() },
+        }
+    }
+
+    fn name(&self) -> &str {
+        "noise-injector"
+    }
+}
+
+/// Replaces each reported sample with a trailing moving average.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Smoother {
+    /// Moving-average window, samples.
+    pub window: usize,
+}
+
+impl Smoother {
+    /// Creates a smoother with the given window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be non-empty");
+        Smoother { window }
+    }
+}
+
+impl Defense for Smoother {
+    fn apply(&self, meter: &PowerTrace, _rng: &mut SeededRng) -> Defended {
+        let s = meter.samples();
+        let mut out = Vec::with_capacity(s.len());
+        let mut acc = 0.0;
+        for i in 0..s.len() {
+            acc += s[i];
+            if i >= self.window {
+                acc -= s[i - self.window];
+            }
+            out.push(acc / (i + 1).min(self.window) as f64);
+        }
+        let trace = PowerTrace::new(meter.start(), meter.resolution(), out)
+            .expect("averages of finite samples are finite");
+        // Total energy is nearly preserved; bill distortion is the residual.
+        let billing_error_frac = if meter.energy_kwh() > 0.0 {
+            (trace.energy_kwh() - meter.energy_kwh()).abs() / meter.energy_kwh()
+        } else {
+            0.0
+        };
+        Defended {
+            trace,
+            cost: DefenseCost { extra_energy_kwh: 0.0, billing_error_frac, ..Default::default() },
+        }
+    }
+
+    fn name(&self) -> &str {
+        "smoother"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::rng::seeded_rng;
+    use timeseries::{detect_edges, Resolution, Timestamp};
+
+    fn step_meter() -> PowerTrace {
+        PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 600, |i| {
+            if i % 60 < 10 { 2_000.0 } else { 200.0 }
+        })
+    }
+
+    #[test]
+    fn noise_preserves_mean_roughly() {
+        let meter = step_meter();
+        let out = NoiseInjector::new(100.0).apply(&meter, &mut seeded_rng(1));
+        assert!((out.trace.mean_watts() - meter.mean_watts()).abs() < 40.0);
+        assert!(out.cost.billing_error_frac < 0.1);
+    }
+
+    #[test]
+    fn smoothing_removes_edges() {
+        let meter = step_meter();
+        let out = Smoother::new(30).apply(&meter, &mut seeded_rng(2));
+        assert!(detect_edges(&out.trace, 300.0).len() < detect_edges(&meter, 300.0).len() / 2);
+        assert!(out.cost.billing_error_frac < 0.12);
+    }
+
+    #[test]
+    fn smoother_identity_with_window_one() {
+        let meter = step_meter();
+        let out = Smoother::new(1).apply(&meter, &mut seeded_rng(3));
+        assert_eq!(out.trace, meter);
+    }
+
+    #[test]
+    fn noise_never_negative() {
+        let meter = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 500, 50.0);
+        let out = NoiseInjector::new(300.0).apply(&meter, &mut seeded_rng(4));
+        assert!(out.trace.samples().iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn zero_window_rejected() {
+        Smoother::new(0);
+    }
+}

@@ -1,0 +1,66 @@
+//! The defense interface and cost accounting.
+
+use serde::{Deserialize, Serialize};
+use timeseries::rng::SeededRng;
+use timeseries::PowerTrace;
+
+/// What a defense cost the user, beyond the unmodified home.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DefenseCost {
+    /// Extra energy consumed by the defense, kWh (0 for load-shifting
+    /// defenses that only move energy in time).
+    pub extra_energy_kwh: f64,
+    /// Relative billing distortion `|defended - original| / original` in
+    /// total energy — nonzero only for defenses that falsify the reported
+    /// data rather than shaping real load.
+    pub billing_error_frac: f64,
+    /// Comfort shortfall: hot-water demand the defense failed to serve,
+    /// litres (CHPr only).
+    pub unserved_hot_water_liters: f64,
+}
+
+/// A defended meter trace plus its cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Defended {
+    /// The trace the utility (and any attacker) now sees.
+    pub trace: PowerTrace,
+    /// What it cost.
+    pub cost: DefenseCost,
+}
+
+/// An energy-privacy defense: transforms the meter trace an attacker sees.
+pub trait Defense {
+    /// Applies the defense to `meter`.
+    fn apply(&self, meter: &PowerTrace, rng: &mut SeededRng) -> Defended;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::rng::seeded_rng;
+    use timeseries::{Resolution, Timestamp};
+
+    struct Identity;
+
+    impl Defense for Identity {
+        fn apply(&self, meter: &PowerTrace, _rng: &mut SeededRng) -> Defended {
+            Defended { trace: meter.clone(), cost: DefenseCost::default() }
+        }
+        fn name(&self) -> &str {
+            "identity"
+        }
+    }
+
+    #[test]
+    fn object_safe_and_default_cost() {
+        let d: Box<dyn Defense> = Box::new(Identity);
+        let meter = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 10, 100.0);
+        let out = d.apply(&meter, &mut seeded_rng(0));
+        assert_eq!(out.trace, meter);
+        assert_eq!(out.cost.extra_energy_kwh, 0.0);
+        assert_eq!(d.name(), "identity");
+    }
+}

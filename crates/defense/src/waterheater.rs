@@ -1,0 +1,179 @@
+//! An electric water heater with thermal storage.
+
+use serde::{Deserialize, Serialize};
+
+/// Specific heat of water, J/(kg·K).
+const WATER_CP: f64 = 4_186.0;
+
+/// A tank water heater: the thermal battery CHPr modulates.
+///
+/// State is the mean tank temperature; heating raises it, hot-water draws
+/// (replaced by cold inlet water) and standing losses lower it.
+///
+/// # Examples
+///
+/// ```
+/// use defense::WaterHeater;
+///
+/// let mut wh = WaterHeater::fifty_gallon();
+/// let t0 = wh.temp_c();
+/// wh.step(3_600.0, 4_500.0, 0.0); // heat full-bore for an hour
+/// assert!(wh.temp_c() > t0 + 15.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaterHeater {
+    tank_liters: f64,
+    element_watts: f64,
+    temp_c: f64,
+    min_temp_c: f64,
+    max_temp_c: f64,
+    inlet_temp_c: f64,
+    /// Standing heat loss, watts per kelvin above ambient.
+    loss_w_per_k: f64,
+    ambient_c: f64,
+    /// Below this mean-tank temperature a draw counts as unserved. Lower
+    /// than `min_temp_c` because the perfect-mixing model understates the
+    /// outlet temperature of a stratified tank.
+    comfort_min_c: f64,
+}
+
+impl WaterHeater {
+    /// The canonical CHPr device: a 50-gallon (189 L) tank with a 4.5 kW
+    /// element, 50–75 °C operating band.
+    pub fn fifty_gallon() -> Self {
+        WaterHeater {
+            tank_liters: 189.0,
+            element_watts: 4_500.0,
+            temp_c: 55.0,
+            min_temp_c: 50.0,
+            max_temp_c: 75.0,
+            inlet_temp_c: 12.0,
+            loss_w_per_k: 2.2,
+            ambient_c: 20.0,
+            comfort_min_c: 40.0,
+        }
+    }
+
+    /// Current mean tank temperature, °C.
+    pub fn temp_c(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// Element rating, watts.
+    pub fn element_watts(&self) -> f64 {
+        self.element_watts
+    }
+
+    /// `true` if the tank is below its comfort minimum (must-heat).
+    pub fn needs_heat(&self) -> bool {
+        self.temp_c < self.min_temp_c
+    }
+
+    /// `true` if the tank can absorb more heat without exceeding its
+    /// safety maximum.
+    pub fn has_headroom(&self) -> bool {
+        self.temp_c < self.max_temp_c
+    }
+
+    /// Thermal energy (kWh) the tank can still absorb before hitting the
+    /// maximum temperature.
+    pub fn headroom_kwh(&self) -> f64 {
+        let dt = (self.max_temp_c - self.temp_c).max(0.0);
+        self.tank_liters * WATER_CP * dt / 3.6e6
+    }
+
+    /// Advances the tank by `dt_secs` with the element drawing
+    /// `element_watts` (clamped to the rating) and `draw_liters` of hot
+    /// water drawn (replaced by inlet-temperature water).
+    ///
+    /// Returns the litres of the draw that could *not* be served hot
+    /// (tank below the comfort minimum).
+    pub fn step(&mut self, dt_secs: f64, element_watts: f64, draw_liters: f64) -> f64 {
+        assert!(dt_secs > 0.0, "time step must be positive");
+        let p = element_watts.clamp(0.0, self.element_watts);
+        let mass = self.tank_liters; // 1 kg per litre
+        // Heating.
+        let mut temp = self.temp_c + p * dt_secs / (mass * WATER_CP);
+        // Standing loss.
+        temp -= self.loss_w_per_k * (temp - self.ambient_c).max(0.0) * dt_secs / (mass * WATER_CP);
+        // Draw: replace hot with inlet water (perfect mixing).
+        let unserved = if self.temp_c < self.comfort_min_c { draw_liters } else { 0.0 };
+        if draw_liters > 0.0 {
+            let frac = (draw_liters / mass).min(1.0);
+            temp = temp * (1.0 - frac) + self.inlet_temp_c * frac;
+        }
+        self.temp_c = temp.min(self.max_temp_c + 1.0);
+        unserved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heating_raises_temperature() {
+        let mut wh = WaterHeater::fifty_gallon();
+        let t0 = wh.temp_c();
+        wh.step(600.0, 4_500.0, 0.0);
+        // 4.5 kW × 600 s = 2.7 MJ into 189 kg → ≈ 3.4 K.
+        assert!((wh.temp_c() - t0 - 3.4).abs() < 0.2, "Δ {}", wh.temp_c() - t0);
+    }
+
+    #[test]
+    fn standing_loss_cools() {
+        let mut wh = WaterHeater::fifty_gallon();
+        let t0 = wh.temp_c();
+        for _ in 0..24 {
+            wh.step(3_600.0, 0.0, 0.0);
+        }
+        assert!(wh.temp_c() < t0 - 0.5, "temp {}", wh.temp_c());
+        assert!(wh.temp_c() > 20.0);
+    }
+
+    #[test]
+    fn draws_cool_fast() {
+        let mut wh = WaterHeater::fifty_gallon();
+        let t0 = wh.temp_c();
+        let unserved = wh.step(600.0, 0.0, 60.0); // a long shower
+        assert!(wh.temp_c() < t0 - 10.0);
+        assert_eq!(unserved, 0.0); // tank was hot when the draw started
+    }
+
+    #[test]
+    fn cold_tank_reports_unserved() {
+        let mut wh = WaterHeater::fifty_gallon();
+        // Drain it cold (well below the 40 °C comfort floor).
+        for _ in 0..10 {
+            wh.step(600.0, 0.0, 80.0);
+        }
+        assert!(wh.needs_heat());
+        assert!(wh.temp_c() < 40.0);
+        let unserved = wh.step(600.0, 0.0, 30.0);
+        assert_eq!(unserved, 30.0);
+    }
+
+    #[test]
+    fn headroom_accounting() {
+        let mut wh = WaterHeater::fifty_gallon();
+        assert!(wh.has_headroom());
+        let kwh0 = wh.headroom_kwh();
+        // 55 → 75 °C on 189 kg ≈ 4.4 kWh.
+        assert!((kwh0 - 4.4).abs() < 0.2, "headroom {kwh0}");
+        // Saturate the tank.
+        for _ in 0..100 {
+            wh.step(600.0, 4_500.0, 0.0);
+        }
+        assert!(!wh.has_headroom());
+        assert!(wh.headroom_kwh() < 0.05);
+    }
+
+    #[test]
+    fn element_power_clamped() {
+        let mut a = WaterHeater::fifty_gallon();
+        let mut b = WaterHeater::fifty_gallon();
+        a.step(600.0, 99_000.0, 0.0);
+        b.step(600.0, 4_500.0, 0.0);
+        assert!((a.temp_c() - b.temp_c()).abs() < 1e-9);
+    }
+}

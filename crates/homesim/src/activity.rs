@@ -1,0 +1,206 @@
+//! Occupant activity: turning occupancy into appliance activations.
+//!
+//! The NIOM intuition is that occupants "perform activities that manifest
+//! themselves as an increase in the home's total energy usage, its
+//! burstiness, or both". This module is that causal link: for each
+//! interactive appliance, activations are sampled from the appliance's
+//! usage prior *conditioned on someone being home*.
+
+use loads::{Activation, Appliance, ApplianceCategory, UsagePrior};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use timeseries::rng::SeededRng;
+use timeseries::{LabelSeries, Timestamp};
+
+/// Configuration of the activity sampler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityModel {
+    /// Global multiplier on every appliance's `events_per_day` — the knob
+    /// that differentiates a quiet Home-A from a busy Home-B.
+    pub intensity: f64,
+    /// If `true`, an activation may start only when the home is occupied
+    /// (devices like dryers keep running after everyone leaves, which this
+    /// model permits since only the *start* is gated).
+    pub gate_on_occupancy: bool,
+}
+
+impl Default for ActivityModel {
+    fn default() -> Self {
+        ActivityModel { intensity: 1.0, gate_on_occupancy: true }
+    }
+}
+
+impl ActivityModel {
+    /// Creates an activity model with the given intensity multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intensity` is negative or non-finite.
+    pub fn new(intensity: f64) -> Self {
+        assert!(intensity.is_finite() && intensity >= 0.0, "intensity must be non-negative");
+        ActivityModel { intensity, ..ActivityModel::default() }
+    }
+
+    /// Samples the activation schedule for one appliance over the span of
+    /// `occupancy` (which defines both the horizon and the gating).
+    ///
+    /// Returns an empty schedule for background appliances — they are
+    /// rendered always-on by the home simulator instead.
+    pub fn sample_appliance(
+        &self,
+        appliance: &Appliance,
+        occupancy: &LabelSeries,
+        rng: &mut SeededRng,
+    ) -> Vec<Activation> {
+        if appliance.category() == ApplianceCategory::Background {
+            return Vec::new();
+        }
+        let prior = appliance
+            .usage()
+            .expect("interactive appliances always carry a usage prior");
+        let days = occupancy.len() as u64 * occupancy.resolution().as_secs() as u64 / 86_400;
+        let mut activations = Vec::new();
+        for day in 0..days {
+            let n = sample_poisson(rng, prior.events_per_day * self.intensity);
+            for _ in 0..n {
+                if let Some(act) = self.sample_event(prior, day, occupancy, rng) {
+                    activations.push(act);
+                }
+            }
+        }
+        activations.sort_by_key(|a| a.start);
+        activations
+    }
+
+    /// Samples one activation inside a preferred window on `day`, gated on
+    /// occupancy; retries a few times then gives up (e.g. the occupant was
+    /// away all window).
+    fn sample_event(
+        &self,
+        prior: &UsagePrior,
+        day: u64,
+        occupancy: &LabelSeries,
+        rng: &mut SeededRng,
+    ) -> Option<Activation> {
+        for _ in 0..8 {
+            let &(ws, we) = &prior.preferred_hours[rng.gen_range(0..prior.preferred_hours.len())];
+            let window_secs = (we as u64 - ws as u64) * 3_600;
+            let offset = rng.gen_range(0..window_secs);
+            let start = Timestamp::from_dhms(day, ws as u64, 0, 0) + offset;
+            let duration = rng.gen_range(prior.duration_secs.0..=prior.duration_secs.1);
+            if self.gate_on_occupancy {
+                match occupancy.at(start) {
+                    Some(true) => {}
+                    _ => continue,
+                }
+            } else if occupancy.at(start).is_none() {
+                continue; // outside the simulated horizon
+            }
+            return Some(Activation::new(start, duration));
+        }
+        None
+    }
+}
+
+fn sample_poisson(rng: &mut impl Rng, mean: f64) -> u32 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let limit = (-mean).exp();
+    let mut product: f64 = rng.gen();
+    let mut count = 0;
+    while product > limit && count < 100 {
+        count += 1;
+        product *= rng.gen::<f64>();
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::rng::seeded_rng;
+    use timeseries::Resolution;
+
+    fn all_home(days: usize) -> LabelSeries {
+        LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, days * 1440, |_| true)
+    }
+
+    fn never_home(days: usize) -> LabelSeries {
+        LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, days * 1440, |_| false)
+    }
+
+    #[test]
+    fn background_appliances_get_no_activations() {
+        let model = ActivityModel::default();
+        let mut rng = seeded_rng(1);
+        let acts = model.sample_appliance(&Appliance::fridge(), &all_home(3), &mut rng);
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn empty_home_produces_no_events() {
+        let model = ActivityModel::default();
+        let mut rng = seeded_rng(2);
+        let acts = model.sample_appliance(&Appliance::microwave(), &never_home(5), &mut rng);
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn occupied_home_produces_events_in_windows() {
+        let model = ActivityModel::default();
+        let mut rng = seeded_rng(3);
+        let acts = model.sample_appliance(&Appliance::toaster(), &all_home(30), &mut rng);
+        // ~0.9/day over 30 days.
+        assert!(acts.len() >= 10 && acts.len() <= 60, "got {}", acts.len());
+        for a in &acts {
+            let h = a.start.hour_of_day();
+            assert!((6..10).contains(&h), "toaster at hour {h}");
+            assert!((120..=300).contains(&a.duration_secs));
+        }
+        // Sorted by start.
+        assert!(acts.windows(2).all(|w| w[0].start <= w[1].start));
+    }
+
+    #[test]
+    fn intensity_scales_event_count() {
+        let mut rng_lo = seeded_rng(4);
+        let mut rng_hi = seeded_rng(4);
+        let occ = all_home(60);
+        let lo = ActivityModel::new(0.5).sample_appliance(&Appliance::microwave(), &occ, &mut rng_lo);
+        let hi = ActivityModel::new(2.0).sample_appliance(&Appliance::microwave(), &occ, &mut rng_hi);
+        assert!(hi.len() > lo.len(), "hi {} !> lo {}", hi.len(), lo.len());
+    }
+
+    #[test]
+    fn zero_intensity_produces_nothing() {
+        let mut rng = seeded_rng(5);
+        let acts =
+            ActivityModel::new(0.0).sample_appliance(&Appliance::tv(), &all_home(10), &mut rng);
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn ungated_model_ignores_occupancy() {
+        let model = ActivityModel { intensity: 1.0, gate_on_occupancy: false };
+        let mut rng = seeded_rng(6);
+        let acts = model.sample_appliance(&Appliance::toaster(), &never_home(30), &mut rng);
+        assert!(!acts.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let occ = all_home(10);
+        let a = ActivityModel::default().sample_appliance(
+            &Appliance::kettle(),
+            &occ,
+            &mut seeded_rng(7),
+        );
+        let b = ActivityModel::default().sample_appliance(
+            &Appliance::kettle(),
+            &occ,
+            &mut seeded_rng(7),
+        );
+        assert_eq!(a, b);
+    }
+}

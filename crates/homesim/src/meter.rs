@@ -1,0 +1,165 @@
+//! Smart-meter modelling.
+
+use serde::{Deserialize, Serialize};
+use timeseries::rng::{normal, SeededRng};
+use timeseries::{PowerTrace, Resolution, TraceError};
+
+/// A smart meter: samples a home's true aggregate power at a configured
+/// resolution with additive Gaussian measurement noise.
+///
+/// The paper's analyses run on meter *readings*, not ground truth; the
+/// noise level is what separates PowerPlay ("more robust to noisy smart
+/// meter data") from the FHMM baseline in Figure 2.
+///
+/// # Examples
+///
+/// ```
+/// use homesim::SmartMeter;
+/// use timeseries::rng::seeded_rng;
+/// use timeseries::{PowerTrace, Resolution, Timestamp};
+///
+/// let truth = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 60, 500.0);
+/// let meter = SmartMeter::new(Resolution::ONE_MINUTE, 20.0);
+/// let reading = meter.read(&truth, &mut seeded_rng(1))?;
+/// assert_eq!(reading.len(), 60);
+/// assert!((reading.mean_watts() - 500.0).abs() < 20.0);
+/// # Ok::<(), timeseries::TraceError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmartMeter {
+    resolution: Resolution,
+    noise_sd_watts: f64,
+}
+
+impl SmartMeter {
+    /// Creates a meter reporting at `resolution` with Gaussian noise of the
+    /// given standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_sd_watts` is negative or non-finite.
+    pub fn new(resolution: Resolution, noise_sd_watts: f64) -> Self {
+        assert!(
+            noise_sd_watts.is_finite() && noise_sd_watts >= 0.0,
+            "noise std-dev must be non-negative"
+        );
+        SmartMeter { resolution, noise_sd_watts }
+    }
+
+    /// An ideal (noise-free) meter at `resolution`.
+    pub fn ideal(resolution: Resolution) -> Self {
+        SmartMeter { resolution, noise_sd_watts: 0.0 }
+    }
+
+    /// The reporting resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// The noise standard deviation, watts.
+    pub fn noise_sd_watts(&self) -> f64 {
+        self.noise_sd_watts
+    }
+
+    /// Produces the meter's reading of `truth`: downsampled to the meter
+    /// resolution (if needed) then perturbed with noise and clamped
+    /// non-negative. Net-metered homes (with solar) may legitimately go
+    /// negative; use [`SmartMeter::read_net`] for those.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::IndivisibleResample`] if the meter resolution
+    /// is not an integer multiple of the truth resolution.
+    pub fn read(&self, truth: &PowerTrace, rng: &mut SeededRng) -> Result<PowerTrace, TraceError> {
+        Ok(self.read_net(truth, rng)?.clamp_non_negative())
+    }
+
+    /// Like [`SmartMeter::read`] but without the non-negativity clamp, for
+    /// net meters that can run backwards when solar export exceeds load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::IndivisibleResample`] if the meter resolution
+    /// is not an integer multiple of the truth resolution.
+    pub fn read_net(
+        &self,
+        truth: &PowerTrace,
+        rng: &mut SeededRng,
+    ) -> Result<PowerTrace, TraceError> {
+        let sampled = if truth.resolution() == self.resolution {
+            truth.clone()
+        } else {
+            truth.downsample(self.resolution)?
+        };
+        if self.noise_sd_watts == 0.0 {
+            return Ok(sampled);
+        }
+        Ok(sampled.map(|w| w + normal(rng, 0.0, self.noise_sd_watts)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::rng::seeded_rng;
+    use timeseries::Timestamp;
+
+    #[test]
+    fn ideal_meter_passes_through() {
+        let truth = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 10, 300.0);
+        let m = SmartMeter::ideal(Resolution::ONE_MINUTE);
+        let r = m.read(&truth, &mut seeded_rng(0)).unwrap();
+        assert_eq!(r, truth);
+    }
+
+    #[test]
+    fn noise_has_expected_spread() {
+        let truth = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 5_000, 1_000.0);
+        let m = SmartMeter::new(Resolution::ONE_MINUTE, 50.0);
+        let r = m.read(&truth, &mut seeded_rng(1)).unwrap();
+        let mean = r.mean_watts();
+        let sd = (r.samples().iter().map(|w| (w - mean).powi(2)).sum::<f64>()
+            / r.len() as f64)
+            .sqrt();
+        assert!((mean - 1_000.0).abs() < 5.0, "mean {mean}");
+        assert!((sd - 50.0).abs() < 5.0, "sd {sd}");
+    }
+
+    #[test]
+    fn read_clamps_negative() {
+        let truth = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 2_000, 1.0);
+        let m = SmartMeter::new(Resolution::ONE_MINUTE, 100.0);
+        let r = m.read(&truth, &mut seeded_rng(2)).unwrap();
+        assert!(r.samples().iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    fn read_net_allows_negative() {
+        let truth = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 2_000, -500.0);
+        let m = SmartMeter::new(Resolution::ONE_MINUTE, 10.0);
+        let r = m.read_net(&truth, &mut seeded_rng(3)).unwrap();
+        assert!(r.mean_watts() < -450.0);
+    }
+
+    #[test]
+    fn downsamples_to_meter_resolution() {
+        let truth = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 120, 500.0);
+        let m = SmartMeter::ideal(Resolution::ONE_HOUR);
+        let r = m.read(&truth, &mut seeded_rng(4)).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.resolution(), Resolution::ONE_HOUR);
+    }
+
+    #[test]
+    fn indivisible_resolution_rejected() {
+        let truth = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_HOUR, 5, 500.0);
+        let m = SmartMeter::ideal(Resolution::ONE_MINUTE);
+        assert!(m.read(&truth, &mut seeded_rng(5)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_noise_rejected() {
+        SmartMeter::new(Resolution::ONE_MINUTE, -1.0);
+    }
+}

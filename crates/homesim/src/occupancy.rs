@@ -1,0 +1,256 @@
+//! Occupant schedule simulation.
+//!
+//! Generates a binary ground-truth occupancy series from a day-structured
+//! behavioural model: occupants sleep at home, leave for work on weekdays,
+//! run errands, and occasionally take multi-day vacations. The model is the
+//! *generator* whose side channel NIOM later tries to recover from power
+//! data alone.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use timeseries::rng::{normal, SeededRng};
+use timeseries::{LabelSeries, Resolution, Timestamp};
+
+/// A household behavioural archetype, bundling canonical
+/// [`OccupancyModel`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Persona {
+    /// Out at work on weekdays roughly 8am–5:30pm; typical evenings and
+    /// weekends at home.
+    Worker,
+    /// Home most of the time, with short errands.
+    Homebody,
+    /// Works evenings: away roughly 3pm–midnight on weekdays.
+    NightShift,
+}
+
+/// Parameters of the occupancy schedule generator.
+///
+/// All times are hours of day; all jitters are standard deviations of a
+/// normal perturbation applied per day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyModel {
+    /// Mean weekday departure hour (None = no regular weekday absence).
+    pub weekday_leave_hour: Option<f64>,
+    /// Std-dev of the departure hour, hours.
+    pub leave_jitter: f64,
+    /// Mean weekday return hour.
+    pub weekday_return_hour: f64,
+    /// Std-dev of the return hour, hours.
+    pub return_jitter: f64,
+    /// Probability of skipping the weekday absence entirely (sick day,
+    /// work-from-home).
+    pub stay_home_prob: f64,
+    /// Expected number of errands per at-home day (weekends, and the home
+    /// portion of weekdays).
+    pub errands_per_day: f64,
+    /// Errand duration range, hours.
+    pub errand_hours: (f64, f64),
+    /// Inclusive day ranges `(first, last)` on which the home is empty all
+    /// day (vacations).
+    pub vacations: Vec<(u64, u64)>,
+}
+
+impl OccupancyModel {
+    /// The canonical model for a [`Persona`].
+    pub fn for_persona(persona: Persona) -> Self {
+        match persona {
+            Persona::Worker => OccupancyModel {
+                weekday_leave_hour: Some(8.0),
+                leave_jitter: 0.6,
+                weekday_return_hour: 17.5,
+                return_jitter: 0.8,
+                stay_home_prob: 0.1,
+                errands_per_day: 0.8,
+                errand_hours: (0.5, 2.5),
+                vacations: Vec::new(),
+            },
+            Persona::Homebody => OccupancyModel {
+                weekday_leave_hour: None,
+                leave_jitter: 0.0,
+                weekday_return_hour: 0.0,
+                return_jitter: 0.0,
+                stay_home_prob: 1.0,
+                errands_per_day: 1.2,
+                errand_hours: (0.5, 2.0),
+                vacations: Vec::new(),
+            },
+            Persona::NightShift => OccupancyModel {
+                weekday_leave_hour: Some(15.0),
+                leave_jitter: 0.4,
+                weekday_return_hour: 23.5,
+                return_jitter: 0.3,
+                stay_home_prob: 0.08,
+                errands_per_day: 0.6,
+                errand_hours: (0.5, 2.0),
+                vacations: Vec::new(),
+            },
+        }
+    }
+
+    /// Adds a vacation covering days `first..=last`.
+    pub fn with_vacation(mut self, first: u64, last: u64) -> Self {
+        assert!(first <= last, "vacation range inverted");
+        self.vacations.push((first, last));
+        self
+    }
+
+    /// `true` if `day` falls inside a configured vacation.
+    pub fn on_vacation(&self, day: u64) -> bool {
+        self.vacations.iter().any(|&(a, b)| (a..=b).contains(&day))
+    }
+
+    /// Generates a ground-truth occupancy series covering `days` days at
+    /// `resolution`, starting at the epoch.
+    pub fn generate(&self, days: u64, resolution: Resolution, rng: &mut SeededRng) -> LabelSeries {
+        let per_day = resolution.samples_per_day();
+        let mut labels = vec![true; (days as usize) * per_day];
+        let res_hours = resolution.as_secs() as f64 / 3_600.0;
+
+        for day in 0..days {
+            let base = day as usize * per_day;
+            if self.on_vacation(day) {
+                labels[base..base + per_day].fill(false);
+                continue;
+            }
+            let weekend = Timestamp::from_dhms(day, 12, 0, 0).is_weekend();
+
+            // Regular weekday absence.
+            if !weekend {
+                if let Some(leave_mean) = self.weekday_leave_hour {
+                    if rng.gen::<f64>() >= self.stay_home_prob {
+                        let leave = normal(rng, leave_mean, self.leave_jitter).clamp(0.0, 23.5);
+                        let ret = normal(rng, self.weekday_return_hour, self.return_jitter)
+                            .clamp(leave + 0.25, 24.0);
+                        mark_away(&mut labels[base..base + per_day], leave, ret, res_hours);
+                    }
+                }
+            }
+
+            // Errands while otherwise home, between 8am and 9pm.
+            let n_errands = sample_poisson(rng, self.errands_per_day);
+            for _ in 0..n_errands {
+                let len = rng.gen_range(self.errand_hours.0..=self.errand_hours.1);
+                let start = rng.gen_range(8.0..21.0_f64);
+                let end = (start + len).min(23.9);
+                mark_away(&mut labels[base..base + per_day], start, end, res_hours);
+            }
+        }
+        LabelSeries::new(Timestamp::ZERO, resolution, labels)
+    }
+}
+
+fn mark_away(day: &mut [bool], from_hour: f64, to_hour: f64, res_hours: f64) {
+    let lo = ((from_hour / res_hours) as usize).min(day.len());
+    let hi = ((to_hour / res_hours).ceil() as usize).min(day.len());
+    day[lo..hi].fill(false);
+}
+
+/// Samples a Poisson count by inversion (adequate for small means).
+fn sample_poisson(rng: &mut impl Rng, mean: f64) -> u32 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let limit = (-mean).exp();
+    let mut product: f64 = rng.gen();
+    let mut count = 0;
+    while product > limit && count < 100 {
+        count += 1;
+        product *= rng.gen::<f64>();
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::rng::seeded_rng;
+
+    #[test]
+    fn worker_away_during_workday() {
+        let model = OccupancyModel::for_persona(Persona::Worker);
+        let mut rng = seeded_rng(1);
+        let occ = model.generate(5, Resolution::ONE_MINUTE, &mut rng);
+        // Count weekday middays that are away: should be most of them.
+        let mut away_middays = 0;
+        for day in 0..5 {
+            if !occ.at(Timestamp::from_dhms(day, 12, 30, 0)).unwrap() {
+                away_middays += 1;
+            }
+        }
+        assert!(away_middays >= 3, "away {away_middays}/5 middays");
+        // Nights are home.
+        for day in 0..5 {
+            assert!(occ.at(Timestamp::from_dhms(day, 3, 0, 0)).unwrap(), "night {day}");
+        }
+    }
+
+    #[test]
+    fn homebody_mostly_home() {
+        let model = OccupancyModel::for_persona(Persona::Homebody);
+        let mut rng = seeded_rng(2);
+        let occ = model.generate(7, Resolution::ONE_MINUTE, &mut rng);
+        assert!(occ.positive_rate() > 0.8, "rate {}", occ.positive_rate());
+    }
+
+    #[test]
+    fn vacation_empties_home() {
+        let model = OccupancyModel::for_persona(Persona::Worker).with_vacation(2, 3);
+        let mut rng = seeded_rng(3);
+        let occ = model.generate(5, Resolution::ONE_MINUTE, &mut rng);
+        assert!(!occ.at(Timestamp::from_dhms(2, 12, 0, 0)).unwrap());
+        assert!(!occ.at(Timestamp::from_dhms(3, 3, 0, 0)).unwrap());
+        assert!(occ.at(Timestamp::from_dhms(4, 3, 0, 0)).unwrap());
+        assert!(model.on_vacation(2));
+        assert!(!model.on_vacation(4));
+    }
+
+    #[test]
+    fn weekend_has_no_work_absence() {
+        let mut model = OccupancyModel::for_persona(Persona::Worker);
+        model.errands_per_day = 0.0; // isolate the work schedule
+        let mut rng = seeded_rng(4);
+        let occ = model.generate(7, Resolution::ONE_MINUTE, &mut rng);
+        // Days 5 and 6 are the weekend: fully home without errands.
+        for day in [5, 6] {
+            for hour in 0..24 {
+                assert!(
+                    occ.at(Timestamp::from_dhms(day, hour, 0, 0)).unwrap(),
+                    "weekend day {day} hour {hour}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = OccupancyModel::for_persona(Persona::Worker);
+        let a = model.generate(3, Resolution::ONE_MINUTE, &mut seeded_rng(9));
+        let b = model.generate(3, Resolution::ONE_MINUTE, &mut seeded_rng(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn poisson_mean_reasonable() {
+        let mut rng = seeded_rng(5);
+        let n = 10_000;
+        let total: u32 = (0..n).map(|_| sample_poisson(&mut rng, 1.5)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1.5).abs() < 0.1, "mean {mean}");
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn night_shift_away_evenings() {
+        let model = OccupancyModel::for_persona(Persona::NightShift);
+        let mut rng = seeded_rng(6);
+        let occ = model.generate(5, Resolution::ONE_MINUTE, &mut rng);
+        let mut away_evenings = 0;
+        for day in 0..5 {
+            if !occ.at(Timestamp::from_dhms(day, 19, 0, 0)).unwrap() {
+                away_evenings += 1;
+            }
+        }
+        assert!(away_evenings >= 3, "away {away_evenings}/5 evenings");
+    }
+}

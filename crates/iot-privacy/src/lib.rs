@@ -1,0 +1,41 @@
+//! The unified facade of the *Private Memoirs of IoT Devices* suite.
+//!
+//! This crate re-exports every subsystem of the reproduction behind one
+//! dependency, and adds the [`scenario`] pipeline used by the examples and
+//! the experiment harness:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`timeseries`] | power traces, labels, windowed statistics |
+//! | [`loads`] | appliance load models and the standard catalogue |
+//! | [`homesim`] | occupant/home/meter simulation |
+//! | [`niom`] | occupancy-detection attacks |
+//! | [`nilm`] | PowerPlay and FHMM disaggregation attacks |
+//! | [`solar`] | solar simulation, SunSpot/Weatherman/SunDance |
+//! | [`defense`] | CHPr, battery levelling, obfuscation, privacy knob |
+//! | [`privatemeter`] | verifiable billing and differential privacy |
+//! | [`netsim`] | IoT traffic, fingerprinting, the smart gateway |
+//!
+//! # Examples
+//!
+//! ```
+//! use iot_privacy::scenario::EnergyScenario;
+//!
+//! // Simulate a home, attack it, defend it, attack again.
+//! let report = EnergyScenario::new(7).days(3).run();
+//! assert!(report.undefended.mcc > report.defended.mcc);
+//! ```
+
+pub use defense;
+pub use homesim;
+pub use loads;
+pub use netsim;
+pub use nilm;
+pub use niom;
+pub use privatemeter;
+pub use solar;
+pub use timeseries;
+
+pub mod scenario;
+
+pub use scenario::{AttackScore, EnergyScenario, ScenarioReport};

@@ -1,0 +1,129 @@
+//! Device activations (switch-on events).
+
+use serde::{Deserialize, Serialize};
+use timeseries::Timestamp;
+
+/// One switch-on event for a device: when it started and how long it ran.
+///
+/// # Examples
+///
+/// ```
+/// use loads::Activation;
+/// use timeseries::Timestamp;
+///
+/// let a = Activation::new(Timestamp::from_dhms(0, 7, 30, 0), 240);
+/// assert_eq!(a.end(), Timestamp::from_dhms(0, 7, 34, 0));
+/// assert!(a.contains(Timestamp::from_dhms(0, 7, 32, 0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Activation {
+    /// When the device was switched on.
+    pub start: Timestamp,
+    /// How long it ran, seconds.
+    pub duration_secs: u64,
+}
+
+impl Activation {
+    /// Creates an activation starting at `start` and running
+    /// `duration_secs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_secs` is zero.
+    pub fn new(start: Timestamp, duration_secs: u64) -> Self {
+        assert!(duration_secs > 0, "activation must have positive duration");
+        Activation { start, duration_secs }
+    }
+
+    /// The timestamp at which the device switches off.
+    pub fn end(&self) -> Timestamp {
+        self.start + self.duration_secs
+    }
+
+    /// `true` if `at` falls inside `[start, end)`.
+    pub fn contains(&self, at: Timestamp) -> bool {
+        at >= self.start && at < self.end()
+    }
+
+    /// `true` if this activation overlaps `other` in time.
+    pub fn overlaps(&self, other: &Activation) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+}
+
+/// Sorts activations by start time and merges any that overlap or abut,
+/// producing a disjoint schedule. Useful when independent behavioural
+/// processes produce events for the same physical device.
+pub fn merge_overlapping(mut activations: Vec<Activation>) -> Vec<Activation> {
+    activations.sort_by_key(|a| a.start);
+    let mut merged: Vec<Activation> = Vec::with_capacity(activations.len());
+    for a in activations {
+        match merged.last_mut() {
+            Some(last) if a.start <= last.end() => {
+                let new_end = last.end().as_secs().max(a.end().as_secs());
+                last.duration_secs = new_end - last.start.as_secs();
+            }
+            _ => merged.push(a),
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_end() {
+        let a = Activation::new(Timestamp::from_secs(100), 50);
+        assert_eq!(a.end(), Timestamp::from_secs(150));
+        assert!(a.contains(Timestamp::from_secs(100)));
+        assert!(a.contains(Timestamp::from_secs(149)));
+        assert!(!a.contains(Timestamp::from_secs(150)));
+        assert!(!a.contains(Timestamp::from_secs(99)));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Activation::new(Timestamp::from_secs(0), 100);
+        let b = Activation::new(Timestamp::from_secs(50), 100);
+        let c = Activation::new(Timestamp::from_secs(100), 10);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c)); // abutting, not overlapping
+    }
+
+    #[test]
+    fn merge_combines_overlaps() {
+        let merged = merge_overlapping(vec![
+            Activation::new(Timestamp::from_secs(200), 50),
+            Activation::new(Timestamp::from_secs(0), 100),
+            Activation::new(Timestamp::from_secs(80), 40),
+        ]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].start, Timestamp::from_secs(0));
+        assert_eq!(merged[0].duration_secs, 120);
+        assert_eq!(merged[1].start, Timestamp::from_secs(200));
+    }
+
+    #[test]
+    fn merge_abutting() {
+        let merged = merge_overlapping(vec![
+            Activation::new(Timestamp::from_secs(0), 100),
+            Activation::new(Timestamp::from_secs(100), 100),
+        ]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].duration_secs, 200);
+    }
+
+    #[test]
+    fn merge_empty() {
+        assert!(merge_overlapping(vec![]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_duration_rejected() {
+        Activation::new(Timestamp::ZERO, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Composite multi-phase loads.
+
+use crate::model::{LoadKind, LoadModel};
+
+/// One phase of a composite load: an inner model that runs for a fixed
+/// duration.
+#[derive(Debug)]
+pub struct Phase {
+    /// Length of this phase, seconds.
+    pub duration_secs: f64,
+    /// The load profile active during this phase.
+    pub model: Box<dyn LoadModel>,
+}
+
+impl Phase {
+    /// Creates a phase running `model` for `duration_secs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_secs` is not finite and positive.
+    pub fn new(duration_secs: f64, model: Box<dyn LoadModel>) -> Self {
+        assert!(
+            duration_secs.is_finite() && duration_secs > 0.0,
+            "phase duration must be positive"
+        );
+        Phase { duration_secs, model }
+    }
+}
+
+/// A composite load: an ordered sequence of phases, each with its own inner
+/// model, after which the load draws nothing.
+///
+/// The canonical example is a clothes dryer — a continuous drum motor
+/// overlaid with a thermostat-cycled 5 kW heating element — but washers and
+/// dishwashers (fill / wash / heat / spin) use the same structure.
+///
+/// An optional *overlay* model runs for the whole activation alongside the
+/// phases (the dryer's drum motor).
+#[derive(Debug)]
+pub struct CompositeLoad {
+    phases: Vec<Phase>,
+    overlay: Option<Box<dyn LoadModel>>,
+    total_secs: f64,
+}
+
+impl CompositeLoad {
+    /// Creates a composite load from its phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    pub fn new(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "composite load needs at least one phase");
+        let total_secs = phases.iter().map(|p| p.duration_secs).sum();
+        CompositeLoad { phases, overlay: None, total_secs }
+    }
+
+    /// Adds a model that runs concurrently for the entire activation.
+    pub fn with_overlay(mut self, overlay: Box<dyn LoadModel>) -> Self {
+        self.overlay = Some(overlay);
+        self
+    }
+
+    /// Total programmed run time, seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_secs
+    }
+
+    /// Number of phases.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+}
+
+impl LoadModel for CompositeLoad {
+    fn kind(&self) -> LoadKind {
+        LoadKind::Composite
+    }
+
+    fn nominal_watts(&self) -> f64 {
+        let peak_phase = self
+            .phases
+            .iter()
+            .map(|p| p.model.nominal_watts())
+            .fold(0.0, f64::max);
+        peak_phase + self.overlay.as_ref().map_or(0.0, |o| o.nominal_watts())
+    }
+
+    fn power_at(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs < 0.0 || elapsed_secs >= self.total_secs {
+            return 0.0;
+        }
+        let overlay = self.overlay.as_ref().map_or(0.0, |o| o.power_at(elapsed_secs));
+        let mut offset = 0.0;
+        for phase in &self.phases {
+            if elapsed_secs < offset + phase.duration_secs {
+                return overlay + phase.model.power_at(elapsed_secs - offset);
+            }
+            offset += phase.duration_secs;
+        }
+        overlay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cyclical::CyclicalLoad;
+    use crate::inductive::InductiveLoad;
+    use crate::resistive::ResistiveLoad;
+
+    /// A dryer-like composite: 45 min of a cycling 5 kW element over a
+    /// 300 W drum motor.
+    fn dryer() -> CompositeLoad {
+        let element = CyclicalLoad::new(
+            InductiveLoad::new(5_000.0, 5_000.0, 1.0),
+            300.0,
+            0.7,
+            0.0,
+        );
+        CompositeLoad::new(vec![Phase::new(2_700.0, Box::new(element))])
+            .with_overlay(Box::new(InductiveLoad::new(300.0, 900.0, 3.0)))
+    }
+
+    #[test]
+    fn dryer_profile() {
+        let d = dryer();
+        // Early: element on + motor.
+        assert!(d.power_at(30.0) > 5_000.0);
+        // During the element's off window (t in [210, 300)) only the motor runs.
+        let motor_only = d.power_at(250.0);
+        assert!(motor_only > 250.0 && motor_only < 400.0, "got {motor_only}");
+        // After the program ends, nothing.
+        assert_eq!(d.power_at(2_701.0), 0.0);
+    }
+
+    #[test]
+    fn phase_sequencing() {
+        let two_phase = CompositeLoad::new(vec![
+            Phase::new(60.0, Box::new(ResistiveLoad::new(100.0))),
+            Phase::new(60.0, Box::new(ResistiveLoad::new(900.0))),
+        ]);
+        assert_eq!(two_phase.power_at(30.0), 100.0);
+        assert_eq!(two_phase.power_at(90.0), 900.0);
+        assert_eq!(two_phase.power_at(120.0), 0.0);
+        assert_eq!(two_phase.total_secs(), 120.0);
+        assert_eq!(two_phase.phase_count(), 2);
+        assert_eq!(two_phase.nominal_watts(), 900.0);
+    }
+
+    #[test]
+    fn nominal_includes_overlay() {
+        assert!((dryer().nominal_watts() - 5_300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_rejected() {
+        CompositeLoad::new(vec![]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Cyclical (thermostatically duty-cycled) loads.
+
+use crate::inductive::InductiveLoad;
+use crate::model::{LoadKind, LoadModel};
+use serde::{Deserialize, Serialize};
+
+/// A cyclical load: an inner inductive element switched by a thermostat
+/// with a fixed period and duty fraction.
+///
+/// `power(t)` is the inner element's profile during the first
+/// `duty * period` seconds of each period, and 0 for the rest. Refrigerators
+/// and freezers are the canonical examples — the background loads whose
+/// statistical signature NIOM must filter out.
+///
+/// The `phase_secs` offset lets the simulator de-synchronize multiple
+/// cyclical devices in one home.
+///
+/// # Examples
+///
+/// ```
+/// use loads::{CyclicalLoad, InductiveLoad, LoadModel};
+///
+/// // Fridge: 25-minute cycle, on 40% of the time.
+/// let fridge = CyclicalLoad::new(InductiveLoad::new(120.0, 500.0, 4.0), 1_500.0, 0.4, 0.0);
+/// assert!(fridge.power_at(10.0) > 100.0);     // early in the on phase
+/// assert_eq!(fridge.power_at(700.0), 0.0);    // off phase
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CyclicalLoad {
+    element: InductiveLoad,
+    period_secs: f64,
+    duty: f64,
+    phase_secs: f64,
+}
+
+impl CyclicalLoad {
+    /// Creates a cyclical load.
+    ///
+    /// * `element` — the inner compressor/motor model.
+    /// * `period_secs` — full thermostat cycle length.
+    /// * `duty` — fraction of each period the element runs, in `(0, 1]`.
+    /// * `phase_secs` — offset into the cycle at switch-on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_secs` is not positive, `duty` is outside `(0, 1]`,
+    /// or `phase_secs` is not finite and non-negative.
+    pub fn new(element: InductiveLoad, period_secs: f64, duty: f64, phase_secs: f64) -> Self {
+        assert!(period_secs.is_finite() && period_secs > 0.0, "period must be positive");
+        assert!(duty > 0.0 && duty <= 1.0, "duty must be in (0, 1]");
+        assert!(phase_secs.is_finite() && phase_secs >= 0.0, "phase must be non-negative");
+        CyclicalLoad { element, period_secs, duty, phase_secs }
+    }
+
+    /// The inner element model.
+    pub fn element(&self) -> &InductiveLoad {
+        &self.element
+    }
+
+    /// Full cycle length, seconds.
+    pub fn period_secs(&self) -> f64 {
+        self.period_secs
+    }
+
+    /// On fraction of each cycle.
+    pub fn duty(&self) -> f64 {
+        self.duty
+    }
+
+    /// Duty-cycle-averaged draw in watts (ignoring the in-rush excess).
+    pub fn average_watts(&self) -> f64 {
+        self.element.steady_watts() * self.duty
+    }
+
+    /// Returns a copy with a different phase offset.
+    pub fn with_phase(mut self, phase_secs: f64) -> Self {
+        assert!(phase_secs.is_finite() && phase_secs >= 0.0, "phase must be non-negative");
+        self.phase_secs = phase_secs;
+        self
+    }
+}
+
+impl LoadModel for CyclicalLoad {
+    fn kind(&self) -> LoadKind {
+        LoadKind::Cyclical
+    }
+
+    fn nominal_watts(&self) -> f64 {
+        self.element.steady_watts()
+    }
+
+    fn power_at(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs < 0.0 {
+            return 0.0;
+        }
+        let t = (elapsed_secs + self.phase_secs) % self.period_secs;
+        let on_len = self.duty * self.period_secs;
+        if t < on_len {
+            self.element.power_at(t)
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fridge() -> CyclicalLoad {
+        CyclicalLoad::new(InductiveLoad::new(120.0, 500.0, 4.0), 1_500.0, 0.4, 0.0)
+    }
+
+    #[test]
+    fn on_and_off_phases() {
+        let f = fridge();
+        // On for the first 600 s of each 1500 s cycle.
+        assert!(f.power_at(100.0) > 100.0);
+        assert!(f.power_at(599.0) > 100.0);
+        assert_eq!(f.power_at(601.0), 0.0);
+        assert_eq!(f.power_at(1_499.0), 0.0);
+        // Next cycle repeats, including the in-rush.
+        assert!(f.power_at(1_500.0) > 400.0);
+    }
+
+    #[test]
+    fn phase_shifts_cycle() {
+        let f = fridge().with_phase(600.0);
+        // With a 600 s phase, t=0 lands at the start of the off phase.
+        assert_eq!(f.power_at(0.0), 0.0);
+        assert!(f.power_at(900.0) > 400.0); // wrapped to cycle start
+    }
+
+    #[test]
+    fn average_watts() {
+        let f = fridge();
+        assert!((f.average_watts() - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_run_average_close_to_duty_average() {
+        let f = fridge();
+        let avg = f.average_power(0.0, 15_000.0); // ten full cycles
+        // In-rush adds a little extra on top of the duty average.
+        assert!(avg > 48.0 && avg < 60.0, "avg {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duty must be in")]
+    fn bad_duty_rejected() {
+        CyclicalLoad::new(InductiveLoad::new(100.0, 200.0, 1.0), 100.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn bad_period_rejected() {
+        CyclicalLoad::new(InductiveLoad::new(100.0, 200.0, 1.0), 0.0, 0.5, 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Inductive (motor) loads.
+
+use crate::model::{LoadKind, LoadModel};
+use serde::{Deserialize, Serialize};
+
+/// The canonical in-rush decay constant used when reconstructing an
+/// inductive element from a [`crate::LoadSignature`] (which stores spike
+/// magnitude but not its decay rate).
+pub const DEFAULT_SPIKE_TAU_SECS: f64 = 4.0;
+
+/// An inductive load: a startup in-rush spike that decays exponentially to
+/// a steady motor draw.
+///
+/// `power(t) = steady + (spike - steady) * exp(-t / tau)`
+///
+/// Models compressors, pumps, and fans. The spike is the feature PowerPlay
+/// uses to distinguish motor starts from resistive switch-ons of similar
+/// magnitude.
+///
+/// # Examples
+///
+/// ```
+/// use loads::{InductiveLoad, LoadModel};
+///
+/// let compressor = InductiveLoad::new(150.0, 600.0, 5.0);
+/// assert!(compressor.power_at(0.0) > 500.0);       // in-rush
+/// assert!((compressor.power_at(60.0) - 150.0).abs() < 1.0); // settled
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InductiveLoad {
+    steady_watts: f64,
+    spike_watts: f64,
+    spike_tau_secs: f64,
+}
+
+impl InductiveLoad {
+    /// Creates an inductive load.
+    ///
+    /// * `steady_watts` — settled running draw.
+    /// * `spike_watts` — instantaneous draw at switch-on (≥ steady).
+    /// * `spike_tau_secs` — exponential decay constant of the in-rush.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-finite, negative, if
+    /// `spike_watts < steady_watts`, or if `spike_tau_secs` is not positive.
+    pub fn new(steady_watts: f64, spike_watts: f64, spike_tau_secs: f64) -> Self {
+        assert!(
+            steady_watts.is_finite() && steady_watts >= 0.0,
+            "steady watts must be non-negative"
+        );
+        assert!(
+            spike_watts.is_finite() && spike_watts >= steady_watts,
+            "spike must be at least the steady draw"
+        );
+        assert!(
+            spike_tau_secs.is_finite() && spike_tau_secs > 0.0,
+            "spike time constant must be positive"
+        );
+        InductiveLoad { steady_watts, spike_watts, spike_tau_secs }
+    }
+
+    /// Settled running draw, watts.
+    pub fn steady_watts(&self) -> f64 {
+        self.steady_watts
+    }
+
+    /// Switch-on in-rush draw, watts.
+    pub fn spike_watts(&self) -> f64 {
+        self.spike_watts
+    }
+
+    /// In-rush decay constant, seconds.
+    pub fn spike_tau_secs(&self) -> f64 {
+        self.spike_tau_secs
+    }
+}
+
+impl LoadModel for InductiveLoad {
+    fn kind(&self) -> LoadKind {
+        LoadKind::Inductive
+    }
+
+    fn nominal_watts(&self) -> f64 {
+        self.steady_watts
+    }
+
+    fn power_at(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs < 0.0 {
+            return 0.0;
+        }
+        self.steady_watts
+            + (self.spike_watts - self.steady_watts) * (-elapsed_secs / self.spike_tau_secs).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spike_decays_to_steady() {
+        let l = InductiveLoad::new(200.0, 1_000.0, 3.0);
+        assert!((l.power_at(0.0) - 1_000.0).abs() < 1e-9);
+        // After one tau, the excess has decayed to 1/e.
+        let expected = 200.0 + 800.0 / std::f64::consts::E;
+        assert!((l.power_at(3.0) - expected).abs() < 1e-9);
+        assert!((l.power_at(100.0) - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotone_decay() {
+        let l = InductiveLoad::new(100.0, 500.0, 2.0);
+        let mut prev = f64::INFINITY;
+        for i in 0..20 {
+            let p = l.power_at(i as f64);
+            assert!(p <= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn average_over_minute_near_steady() {
+        let l = InductiveLoad::new(150.0, 600.0, 5.0);
+        let avg = l.average_power(0.0, 60.0);
+        // Excess energy = (600-150)*tau = 2250 J over 60 s → ~37.5 W extra.
+        assert!(avg > 150.0 && avg < 200.0, "avg {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "spike must be at least")]
+    fn spike_below_steady_rejected() {
+        InductiveLoad::new(500.0, 100.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time constant must be positive")]
+    fn zero_tau_rejected() {
+        InductiveLoad::new(100.0, 200.0, 0.0);
+    }
+}

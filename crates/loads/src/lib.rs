@@ -1,0 +1,49 @@
+//! Physically-derived electrical load models for household appliances.
+//!
+//! The paper's NILM discussion (PowerPlay, Barker et al. IGCC'13) classifies
+//! residential loads into a small number of fundamental electrical types,
+//! each with a parameterized power profile:
+//!
+//! * **Resistive** ([`ResistiveLoad`]) — flat draw while on: toasters,
+//!   kettles, baseboard heat, water-heater elements.
+//! * **Inductive** ([`InductiveLoad`]) — a startup current spike decaying
+//!   exponentially to a steady motor draw: compressors, fans, pumps.
+//! * **Cyclical** ([`CyclicalLoad`]) — an inductive element duty-cycled by a
+//!   thermostat: refrigerators, freezers, dehumidifiers.
+//! * **Non-linear** ([`NonLinearLoad`]) — electronics with a fluctuating
+//!   draw: TVs, computers, variable-speed devices.
+//! * **Composite** ([`CompositeLoad`]) — multi-phase appliances built from
+//!   the above: clothes dryers (motor + cycling element), dishwashers,
+//!   washing machines.
+//!
+//! Each model is a *deterministic* function of time since switch-on, so the
+//! same model object serves both trace **synthesis** (the home simulator)
+//! and model-driven **tracking** (PowerPlay's virtual power meters), exactly
+//! as the paper's a-priori-model assumption requires. Meter noise is added
+//! by the meter, not the load.
+//!
+//! [`catalogue`] provides the canonical appliance set used throughout the
+//! experiments, including the five devices of Figure 2 (toaster, fridge,
+//! freezer, dryer, HRV).
+
+pub mod activation;
+pub mod catalogue;
+pub mod composite;
+pub mod cyclical;
+pub mod inductive;
+pub mod model;
+pub mod nonlinear;
+pub mod resistive;
+pub mod signature;
+pub mod synth;
+
+pub use activation::{merge_overlapping, Activation};
+pub use catalogue::{Appliance, ApplianceCategory, Catalogue, UsagePrior};
+pub use composite::{CompositeLoad, Phase};
+pub use cyclical::CyclicalLoad;
+pub use inductive::{InductiveLoad, DEFAULT_SPIKE_TAU_SECS};
+pub use model::{LoadKind, LoadModel};
+pub use nonlinear::NonLinearLoad;
+pub use resistive::ResistiveLoad;
+pub use signature::LoadSignature;
+pub use synth::{render_activations, render_always_on};

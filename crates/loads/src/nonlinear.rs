@@ -1,0 +1,115 @@
+//! Non-linear (electronic) loads.
+
+use crate::model::{LoadKind, LoadModel};
+use serde::{Deserialize, Serialize};
+
+/// A non-linear electronic load: a base draw plus a bounded deterministic
+/// fluctuation (sum of incommensurate sinusoids).
+///
+/// Models TVs, computers, and game consoles, whose draw varies with content
+/// and workload. The fluctuation is deterministic in elapsed time so that
+/// synthesis stays reproducible; its irrational frequency ratios keep it
+/// from aliasing against the sampling rate.
+///
+/// # Examples
+///
+/// ```
+/// use loads::{LoadModel, NonLinearLoad};
+///
+/// let tv = NonLinearLoad::new(150.0, 40.0);
+/// let p = tv.power_at(123.0);
+/// assert!(p >= 110.0 - 1e9_f64.recip() && p <= 190.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NonLinearLoad {
+    base_watts: f64,
+    swing_watts: f64,
+}
+
+impl NonLinearLoad {
+    /// Creates a non-linear load with draw `base ± swing`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are non-finite, negative, or if
+    /// `swing_watts > base_watts` (which would allow negative power).
+    pub fn new(base_watts: f64, swing_watts: f64) -> Self {
+        assert!(base_watts.is_finite() && base_watts >= 0.0, "base must be non-negative");
+        assert!(
+            swing_watts.is_finite() && (0.0..=base_watts).contains(&swing_watts),
+            "swing must be within [0, base]"
+        );
+        NonLinearLoad { base_watts, swing_watts }
+    }
+
+    /// The mean draw, watts.
+    pub fn base_watts(&self) -> f64 {
+        self.base_watts
+    }
+
+    /// The fluctuation amplitude, watts.
+    pub fn swing_watts(&self) -> f64 {
+        self.swing_watts
+    }
+}
+
+impl LoadModel for NonLinearLoad {
+    fn kind(&self) -> LoadKind {
+        LoadKind::NonLinear
+    }
+
+    fn nominal_watts(&self) -> f64 {
+        self.base_watts
+    }
+
+    fn power_at(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs < 0.0 {
+            return 0.0;
+        }
+        // Three incommensurate tones, normalized so the sum stays in [-1, 1].
+        let t = elapsed_secs;
+        let s = (0.011 * t).sin() + (0.0047 * t + 1.3).sin() + (0.00013 * t + 0.7).sin();
+        self.base_watts + self.swing_watts * (s / 3.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_fluctuation() {
+        let l = NonLinearLoad::new(200.0, 50.0);
+        for i in 0..10_000 {
+            let p = l.power_at(i as f64);
+            assert!(p >= 150.0 && p <= 250.0, "p={p} at t={i}");
+        }
+    }
+
+    #[test]
+    fn varies_over_time() {
+        let l = NonLinearLoad::new(200.0, 50.0);
+        let a = l.power_at(10.0);
+        let b = l.power_at(400.0);
+        assert!((a - b).abs() > 1.0, "expected variation, got {a} vs {b}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let l = NonLinearLoad::new(200.0, 50.0);
+        assert_eq!(l.power_at(77.0), l.power_at(77.0));
+    }
+
+    #[test]
+    fn zero_swing_is_flat() {
+        let l = NonLinearLoad::new(100.0, 0.0);
+        assert_eq!(l.power_at(1.0), 100.0);
+        assert_eq!(l.power_at(9_999.0), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "swing must be within")]
+    fn excessive_swing_rejected() {
+        NonLinearLoad::new(100.0, 150.0);
+    }
+}

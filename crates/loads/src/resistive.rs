@@ -1,0 +1,80 @@
+//! Purely resistive loads.
+
+use crate::model::{LoadKind, LoadModel};
+use serde::{Deserialize, Serialize};
+
+/// A purely resistive load: a flat `watts` draw for as long as it is on.
+///
+/// Models heating elements (toaster, kettle, cooktop, water-heater element)
+/// and incandescent lighting.
+///
+/// # Examples
+///
+/// ```
+/// use loads::{LoadModel, ResistiveLoad};
+///
+/// let toaster = ResistiveLoad::new(1_500.0);
+/// assert_eq!(toaster.power_at(10.0), 1_500.0);
+/// assert_eq!(toaster.power_at(-1.0), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResistiveLoad {
+    watts: f64,
+}
+
+impl ResistiveLoad {
+    /// Creates a resistive load drawing `watts` while on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is not finite and non-negative.
+    pub fn new(watts: f64) -> Self {
+        assert!(watts.is_finite() && watts >= 0.0, "watts must be non-negative");
+        ResistiveLoad { watts }
+    }
+
+    /// The flat draw in watts.
+    pub fn watts(&self) -> f64 {
+        self.watts
+    }
+}
+
+impl LoadModel for ResistiveLoad {
+    fn kind(&self) -> LoadKind {
+        LoadKind::Resistive
+    }
+
+    fn nominal_watts(&self) -> f64 {
+        self.watts
+    }
+
+    fn power_at(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs < 0.0 { 0.0 } else { self.watts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_profile() {
+        let l = ResistiveLoad::new(1_200.0);
+        assert_eq!(l.power_at(0.0), 1_200.0);
+        assert_eq!(l.power_at(3_600.0), 1_200.0);
+        assert_eq!(l.nominal_watts(), 1_200.0);
+        assert_eq!(l.kind(), LoadKind::Resistive);
+    }
+
+    #[test]
+    fn average_equals_plate() {
+        let l = ResistiveLoad::new(900.0);
+        assert!((l.average_power(0.0, 60.0) - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative() {
+        ResistiveLoad::new(-1.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! A-priori load signatures for model-driven tracking.
+//!
+//! PowerPlay assumes "detailed models of each device being tracked are known
+//! a priori". A [`LoadSignature`] is that knowledge in feature form: the
+//! step magnitude a device leaves in an aggregate meter trace, whether its
+//! start carries an in-rush spike, its thermostat cycle geometry, and its
+//! plausible run lengths.
+
+use crate::inductive::{InductiveLoad, DEFAULT_SPIKE_TAU_SECS};
+use crate::model::LoadKind;
+use serde::{Deserialize, Serialize};
+
+/// The identifiable features of one device, as used by PowerPlay's virtual
+/// power meters to claim edges in an aggregate trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadSignature {
+    /// Device name (matches the catalogue name).
+    pub name: String,
+    /// Fundamental electrical type.
+    pub kind: LoadKind,
+    /// Steady-state step this device adds to the aggregate when it turns
+    /// on, watts.
+    pub on_delta_watts: f64,
+    /// In-rush excess above the steady draw at switch-on, watts
+    /// (0 for resistive loads).
+    pub spike_excess_watts: f64,
+    /// Thermostat cycle period for cyclical loads, seconds.
+    pub cycle_period_secs: Option<f64>,
+    /// Thermostat duty fraction for cyclical loads.
+    pub cycle_duty: Option<f64>,
+    /// Plausible activation length `(min, max)`, seconds.
+    pub duration_bounds_secs: (u64, u64),
+}
+
+impl LoadSignature {
+    /// Signature of a resistive load.
+    pub fn resistive(name: impl Into<String>, watts: f64, duration_bounds_secs: (u64, u64)) -> Self {
+        LoadSignature {
+            name: name.into(),
+            kind: LoadKind::Resistive,
+            on_delta_watts: watts,
+            spike_excess_watts: 0.0,
+            cycle_period_secs: None,
+            cycle_duty: None,
+            duration_bounds_secs,
+        }
+    }
+
+    /// Signature of an inductive load.
+    pub fn inductive(
+        name: impl Into<String>,
+        steady_watts: f64,
+        spike_watts: f64,
+        duration_bounds_secs: (u64, u64),
+    ) -> Self {
+        LoadSignature {
+            name: name.into(),
+            kind: LoadKind::Inductive,
+            on_delta_watts: steady_watts,
+            spike_excess_watts: spike_watts - steady_watts,
+            cycle_period_secs: None,
+            cycle_duty: None,
+            duration_bounds_secs,
+        }
+    }
+
+    /// Signature of a cyclical load.
+    pub fn cyclical(
+        name: impl Into<String>,
+        on_watts: f64,
+        spike_watts: f64,
+        period_secs: f64,
+        duty: f64,
+    ) -> Self {
+        let on_len = (period_secs * duty) as u64;
+        LoadSignature {
+            name: name.into(),
+            kind: LoadKind::Cyclical,
+            on_delta_watts: on_watts,
+            spike_excess_watts: spike_watts - on_watts,
+            cycle_period_secs: Some(period_secs),
+            cycle_duty: Some(duty),
+            duration_bounds_secs: (on_len.saturating_sub(on_len / 2), on_len * 2),
+        }
+    }
+
+    /// Signature of a composite load, characterized by its dominant step.
+    pub fn composite(
+        name: impl Into<String>,
+        dominant_delta_watts: f64,
+        spike_excess_watts: f64,
+        duration_bounds_secs: (u64, u64),
+    ) -> Self {
+        LoadSignature {
+            name: name.into(),
+            kind: LoadKind::Composite,
+            on_delta_watts: dominant_delta_watts,
+            spike_excess_watts,
+            cycle_period_secs: None,
+            cycle_duty: None,
+            duration_bounds_secs,
+        }
+    }
+
+    /// Reconstructs the inner thermostat-cycled element of a cyclical
+    /// signature (used by PowerPlay to replay one compressor on-phase).
+    /// Returns `None` for non-cyclical signatures.
+    pub fn cyclical_element(&self) -> Option<InductiveLoad> {
+        self.cycle_period_secs?;
+        Some(InductiveLoad::new(
+            self.on_delta_watts,
+            self.on_delta_watts + self.spike_excess_watts.max(0.0),
+            DEFAULT_SPIKE_TAU_SECS,
+        ))
+    }
+
+    /// How well an observed rising edge of `delta_watts` matches this
+    /// signature, as a score in `[0, 1]` (1 = exact match, 0 = outside the
+    /// `tolerance` fraction).
+    pub fn match_score(&self, delta_watts: f64, tolerance: f64) -> f64 {
+        if self.on_delta_watts <= 0.0 {
+            return 0.0;
+        }
+        let rel = (delta_watts - self.on_delta_watts).abs() / self.on_delta_watts;
+        if rel >= tolerance {
+            0.0
+        } else {
+            1.0 - rel / tolerance
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistive_signature() {
+        let s = LoadSignature::resistive("toaster", 1_500.0, (60, 300));
+        assert_eq!(s.kind, LoadKind::Resistive);
+        assert_eq!(s.spike_excess_watts, 0.0);
+        assert_eq!(s.cycle_period_secs, None);
+    }
+
+    #[test]
+    fn cyclical_signature_durations() {
+        let s = LoadSignature::cyclical("fridge", 120.0, 500.0, 1_500.0, 0.4);
+        assert_eq!(s.cycle_period_secs, Some(1_500.0));
+        // On-phase is 600 s; bounds bracket it.
+        assert_eq!(s.duration_bounds_secs, (300, 1_200));
+        assert!((s.spike_excess_watts - 380.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn match_score_peaks_at_exact() {
+        let s = LoadSignature::resistive("toaster", 1_500.0, (60, 300));
+        assert!((s.match_score(1_500.0, 0.2) - 1.0).abs() < 1e-12);
+        assert!(s.match_score(1_650.0, 0.2) > 0.0);
+        assert_eq!(s.match_score(2_000.0, 0.2), 0.0);
+        assert!(s.match_score(1_400.0, 0.2) > s.match_score(1_300.0, 0.2));
+    }
+
+    #[test]
+    fn cyclical_element_reconstruction() {
+        let s = LoadSignature::cyclical("fridge", 120.0, 500.0, 1_500.0, 0.4);
+        let e = s.cyclical_element().unwrap();
+        assert_eq!(e.steady_watts(), 120.0);
+        assert_eq!(e.spike_watts(), 500.0);
+        assert!(LoadSignature::resistive("t", 100.0, (1, 2)).cyclical_element().is_none());
+    }
+
+    #[test]
+    fn zero_delta_never_matches() {
+        let s = LoadSignature::resistive("weird", 0.0, (1, 2));
+        assert_eq!(s.match_score(0.0, 0.5), 0.0);
+    }
+}

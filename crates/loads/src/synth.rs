@@ -1,0 +1,179 @@
+//! Rendering load models into power traces.
+
+use crate::activation::Activation;
+use crate::model::LoadModel;
+use timeseries::{PowerTrace, Resolution, Timestamp};
+
+/// Renders a device's ground-truth trace from its activation schedule.
+///
+/// Each output sample is the model's average power over that sampling
+/// interval, summed across any activations covering it (overlapping
+/// activations stack, which is physically right for e.g. a two-burner
+/// cooktop modelled as repeated activations).
+///
+/// # Examples
+///
+/// ```
+/// use loads::{render_activations, Activation, ResistiveLoad};
+/// use timeseries::{Resolution, Timestamp};
+///
+/// let toaster = ResistiveLoad::new(1_500.0);
+/// let trace = render_activations(
+///     &toaster,
+///     &[Activation::new(Timestamp::from_secs(120), 180)],
+///     Timestamp::ZERO,
+///     Resolution::ONE_MINUTE,
+///     10,
+/// );
+/// assert_eq!(trace.watts(0), 0.0);
+/// assert_eq!(trace.watts(2), 1_500.0);
+/// assert_eq!(trace.watts(5), 0.0);
+/// ```
+pub fn render_activations(
+    model: &dyn LoadModel,
+    activations: &[Activation],
+    start: Timestamp,
+    resolution: Resolution,
+    len: usize,
+) -> PowerTrace {
+    let res = resolution.as_secs() as u64;
+    let mut samples = vec![0.0; len];
+    for act in activations {
+        let act_start = act.start.as_secs();
+        let act_end = act.end().as_secs();
+        let trace_start = start.as_secs();
+        // Sample indices potentially covered by this activation.
+        let first = act_start.saturating_sub(trace_start) / res;
+        let last = act_end.saturating_sub(trace_start).div_ceil(res).min(len as u64);
+        for (i, slot) in samples
+            .iter_mut()
+            .enumerate()
+            .take(last as usize)
+            .skip(first as usize)
+        {
+            let slot_start = trace_start + i as u64 * res;
+            let slot_end = slot_start + res;
+            let lo = slot_start.max(act_start);
+            let hi = slot_end.min(act_end);
+            if hi <= lo {
+                continue;
+            }
+            let from = (lo - act_start) as f64;
+            let to = (hi - act_start) as f64;
+            // Average over the covered part, scaled by coverage fraction so
+            // the sample stays an interval average.
+            let covered = model.average_power(from, to) * (to - from) / res as f64;
+            *slot += covered;
+        }
+    }
+    PowerTrace::new(start, resolution, samples).expect("load models produce finite power")
+}
+
+/// Renders a device that is on for the entire span (background loads such
+/// as refrigerators, freezers, and ventilation).
+pub fn render_always_on(
+    model: &dyn LoadModel,
+    start: Timestamp,
+    resolution: Resolution,
+    len: usize,
+) -> PowerTrace {
+    let span = len as u64 * resolution.as_secs() as u64;
+    if span == 0 {
+        return PowerTrace::zeros(start, resolution, len);
+    }
+    render_activations(
+        model,
+        &[Activation::new(start, span)],
+        start,
+        resolution,
+        len,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cyclical::CyclicalLoad;
+    use crate::inductive::InductiveLoad;
+    use crate::resistive::ResistiveLoad;
+
+    #[test]
+    fn partial_sample_coverage_scales() {
+        // 90-second activation starting at t=30 in a 1-minute trace:
+        // sample 0 covers 30 s of the activation → 750 W average.
+        let toaster = ResistiveLoad::new(1_500.0);
+        let t = render_activations(
+            &toaster,
+            &[Activation::new(Timestamp::from_secs(30), 90)],
+            Timestamp::ZERO,
+            Resolution::ONE_MINUTE,
+            3,
+        );
+        assert!((t.watts(0) - 750.0).abs() < 1e-9);
+        assert!((t.watts(1) - 1_500.0).abs() < 1e-9);
+        assert_eq!(t.watts(2), 0.0);
+    }
+
+    #[test]
+    fn energy_conserved() {
+        // 1500 W for exactly 10 minutes = 0.25 kWh regardless of alignment.
+        let toaster = ResistiveLoad::new(1_500.0);
+        let t = render_activations(
+            &toaster,
+            &[Activation::new(Timestamp::from_secs(137), 600)],
+            Timestamp::ZERO,
+            Resolution::ONE_MINUTE,
+            30,
+        );
+        assert!((t.energy_kwh() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlapping_activations_stack() {
+        let burner = ResistiveLoad::new(1_000.0);
+        let t = render_activations(
+            &burner,
+            &[
+                Activation::new(Timestamp::ZERO, 120),
+                Activation::new(Timestamp::ZERO, 120),
+            ],
+            Timestamp::ZERO,
+            Resolution::ONE_MINUTE,
+            2,
+        );
+        assert!((t.watts(0) - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activation_outside_trace_ignored() {
+        let l = ResistiveLoad::new(500.0);
+        let t = render_activations(
+            &l,
+            &[Activation::new(Timestamp::from_secs(10_000), 60)],
+            Timestamp::ZERO,
+            Resolution::ONE_MINUTE,
+            5,
+        );
+        assert_eq!(t.samples().iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn always_on_fridge_duty_average() {
+        let fridge = CyclicalLoad::new(
+            InductiveLoad::new(120.0, 120.0, 1.0),
+            1_500.0,
+            0.4,
+            0.0,
+        );
+        let t = render_always_on(&fridge, Timestamp::ZERO, Resolution::ONE_MINUTE, 1_500 / 60 * 10);
+        // Ten full cycles at 40% duty of 120 W ≈ 48 W mean.
+        assert!((t.mean_watts() - 48.0).abs() < 2.0, "mean {}", t.mean_watts());
+    }
+
+    #[test]
+    fn empty_render() {
+        let l = ResistiveLoad::new(100.0);
+        let t = render_always_on(&l, Timestamp::ZERO, Resolution::ONE_MINUTE, 0);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests over load-model invariants.
+
+use loads::{
+    Appliance, Catalogue, CompositeLoad, CyclicalLoad, InductiveLoad, LoadModel, NonLinearLoad,
+    Phase, ResistiveLoad,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every model is non-negative and finite over its domain, and zero
+    /// before switch-on.
+    #[test]
+    fn models_physical(
+        watts in 1.0f64..6_000.0,
+        spike_mul in 1.0f64..5.0,
+        tau in 0.5f64..30.0,
+        t in -100.0f64..20_000.0,
+    ) {
+        let models: Vec<Box<dyn LoadModel>> = vec![
+            Box::new(ResistiveLoad::new(watts)),
+            Box::new(InductiveLoad::new(watts, watts * spike_mul, tau)),
+            Box::new(CyclicalLoad::new(
+                InductiveLoad::new(watts, watts * spike_mul, tau),
+                1_000.0,
+                0.5,
+                0.0,
+            )),
+            Box::new(NonLinearLoad::new(watts, watts * 0.3)),
+            Box::new(CompositeLoad::new(vec![Phase::new(
+                600.0,
+                Box::new(ResistiveLoad::new(watts)),
+            )])),
+        ];
+        for m in &models {
+            let p = m.power_at(t);
+            prop_assert!(p.is_finite());
+            prop_assert!(p >= 0.0, "negative power {p} at {t}");
+            if t < 0.0 {
+                prop_assert_eq!(p, 0.0);
+            }
+            prop_assert!(m.nominal_watts() >= 0.0);
+        }
+    }
+
+    /// average_power over [a, b) is bounded by the extremes of power_at on
+    /// a fine grid of the interval.
+    #[test]
+    fn average_bounded_by_extremes(
+        watts in 10.0f64..4_000.0,
+        from in 0.0f64..3_000.0,
+        span in 1.0f64..600.0,
+    ) {
+        let m = InductiveLoad::new(watts, watts * 3.0, 5.0);
+        let avg = m.average_power(from, from + span);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let steps = 200;
+        for i in 0..=steps {
+            let p = m.power_at(from + span * i as f64 / steps as f64);
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        prop_assert!(avg >= lo - 1e-6 && avg <= hi + 1e-6, "avg {avg} outside [{lo}, {hi}]");
+    }
+}
+
+#[test]
+fn catalogue_signatures_consistent_with_models() {
+    // Non-property sanity over the whole standard catalogue: the signature
+    // step is achievable by the model within its first minute.
+    for a in Catalogue::standard().iter() {
+        let sig = a.signature();
+        let first_minute = a.model().average_power(0.0, 60.0);
+        if matches!(
+            a.model().kind(),
+            loads::LoadKind::Composite | loads::LoadKind::NonLinear
+        ) {
+            // Composites are characterized by their dominant phase and
+            // non-linear loads legitimately swing above their base draw.
+            continue;
+        }
+        assert!(
+            first_minute <= sig.on_delta_watts + sig.spike_excess_watts + 1.0,
+            "{}: first minute {first_minute} vs signature {:?}",
+            a.name(),
+            sig
+        );
+    }
+    let _ = Appliance::toaster();
+}

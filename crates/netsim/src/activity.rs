@@ -1,0 +1,164 @@
+//! Household-activity inference from traffic metadata.
+//!
+//! The paper's Section IV warns that a passive observer on the LAN can
+//! "profile the occupants of the building ... their habits" without
+//! breaking any encryption. This module is that attack: occupancy is
+//! inferred purely from the *rate of event-driven flows* — motion sensors,
+//! cameras, voice assistants and bulbs all chatter when people are home.
+
+use crate::flow::FlowRecord;
+use timeseries::{LabelSeries, Resolution, Timestamp};
+
+/// Infers home occupancy from flow metadata.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficOccupancy {
+    /// Analysis window, seconds.
+    pub window_secs: u64,
+    /// Fraction of the 90th-percentile per-window excess above which a
+    /// window reads occupied (self-calibrating threshold).
+    pub threshold_frac: f64,
+    /// Flows at least this large (bytes) never count as events (streams
+    /// and firmware pulls are schedule-driven, not presence-driven).
+    pub max_event_bytes: u64,
+    /// Minimum run length (windows) kept by the smoother.
+    pub min_run_windows: usize,
+}
+
+impl Default for TrafficOccupancy {
+    fn default() -> Self {
+        TrafficOccupancy {
+            window_secs: 1_800,
+            threshold_frac: 0.3,
+            max_event_bytes: 5_000_000,
+            min_run_windows: 2,
+        }
+    }
+}
+
+impl TrafficOccupancy {
+    /// Infers an occupancy series over `horizon_secs` from `flows`
+    /// (sorted or not), at the resolution of the analysis window.
+    ///
+    /// Per-device flow counts per window are compared against that
+    /// device's own quiet floor (its 10th-percentile window): the floor is
+    /// the device's periodic telemetry, which flows whether or not anyone
+    /// is home; counts above it are occupant-driven events. The summed
+    /// excess is thresholded against its own 90th percentile, so the
+    /// detector self-calibrates to whatever device inventory it sees.
+    pub fn detect(&self, flows: &[FlowRecord], horizon_secs: u64) -> LabelSeries {
+        let n_windows = ((horizon_secs / self.window_secs) as usize).max(1);
+        // Per-device, per-window counts.
+        let mut device_ids: Vec<u32> = flows.iter().map(|f| f.device_id).collect();
+        device_ids.sort_unstable();
+        device_ids.dedup();
+        let mut excess = vec![0.0f64; n_windows];
+        for &id in &device_ids {
+            let mut counts = vec![0u32; n_windows];
+            for f in flows {
+                if f.device_id != id || f.total_bytes() > self.max_event_bytes {
+                    continue;
+                }
+                let w = (f.start_secs / self.window_secs) as usize;
+                if w < counts.len() {
+                    counts[w] += 1;
+                }
+            }
+            let mut sorted = counts.clone();
+            sorted.sort_unstable();
+            let floor = sorted[sorted.len() / 10] as f64;
+            for (w, &c) in counts.iter().enumerate() {
+                excess[w] += (c as f64 - floor).max(0.0) / (floor + 1.0).sqrt();
+            }
+        }
+        let mut sorted = excess.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let p90 = sorted[(sorted.len() * 9 / 10).min(sorted.len() - 1)];
+        let threshold = p90 * self.threshold_frac;
+        let labels: Vec<bool> = excess.iter().map(|&e| e > threshold).collect();
+        let series = LabelSeries::new(
+            Timestamp::ZERO,
+            Resolution::from_secs(self.window_secs as u32),
+            labels,
+        );
+        series.smooth_runs(self.min_run_windows)
+    }
+
+    /// Scores the inference against ground-truth occupancy (downsampled to
+    /// the analysis window by majority vote).
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the ground truth cannot be downsampled
+    /// to the analysis window.
+    pub fn evaluate(
+        &self,
+        flows: &[FlowRecord],
+        truth: &LabelSeries,
+        horizon_secs: u64,
+    ) -> Result<timeseries::labels::Confusion, timeseries::TraceError> {
+        let inferred = self.detect(flows, horizon_secs);
+        let coarse_truth = truth.downsample(inferred.resolution())?;
+        // Clamp to the common length (a trailing partial window may differ).
+        let n = inferred.len().min(coarse_truth.len());
+        let a = LabelSeries::new(
+            truth.start(),
+            inferred.resolution(),
+            coarse_truth.labels()[..n].to_vec(),
+        );
+        let b = LabelSeries::new(
+            truth.start(),
+            inferred.resolution(),
+            inferred.labels()[..n].to_vec(),
+        );
+        a.confusion(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceType;
+    use crate::generate::simulate_home_network;
+
+    fn occupancy(days: usize) -> LabelSeries {
+        LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, days * 1440, |i| {
+            let m = i % 1440;
+            !(540..1_020).contains(&m)
+        })
+    }
+
+    #[test]
+    fn infers_occupancy_from_flows() {
+        let inv = DeviceType::all().to_vec();
+        let occ = occupancy(7);
+        let trace = simulate_home_network(&inv, &occ, 7, 42);
+        let attack = TrafficOccupancy::default();
+        let c = attack.evaluate(&trace.flows, &occ, trace.horizon_secs).unwrap();
+        assert!(c.accuracy() > 0.7, "accuracy {:.3}", c.accuracy());
+        assert!(c.mcc() > 0.4, "mcc {:.3}", c.mcc());
+    }
+
+    #[test]
+    fn no_flows_reads_empty() {
+        let attack = TrafficOccupancy::default();
+        let inferred = attack.detect(&[], 86_400);
+        assert_eq!(inferred.positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn sparse_inventory_weakens_attack() {
+        // With only a smart lock (rare events), the signal mostly vanishes.
+        let occ = occupancy(7);
+        let rich = simulate_home_network(&DeviceType::all().to_vec(), &occ, 7, 43);
+        let poor = simulate_home_network(&[DeviceType::SmartLock], &occ, 7, 43);
+        let attack = TrafficOccupancy::default();
+        let c_rich = attack.evaluate(&rich.flows, &occ, rich.horizon_secs).unwrap();
+        let c_poor = attack.evaluate(&poor.flows, &occ, poor.horizon_secs).unwrap();
+        assert!(
+            c_rich.mcc() > c_poor.mcc(),
+            "rich {:.3} vs poor {:.3}",
+            c_rich.mcc(),
+            c_poor.mcc()
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! IoT device types and their behavioural traffic profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// The IoT device types found in the paper's "typical home with over 40
+/// IoT devices".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceType {
+    /// Smart thermostat: sparse telemetry plus occupancy-driven motion
+    /// reports.
+    Thermostat,
+    /// IP security camera: heavy upstream streaming, motion-triggered.
+    IpCamera,
+    /// Smart plug / switch: tiny telemetry and rare commands.
+    SmartPlug,
+    /// Voice assistant: bursty bidirectional audio exchanges when spoken
+    /// to.
+    VoiceAssistant,
+    /// Streaming TV box: long heavy downstream sessions in the evening.
+    TvStreamer,
+    /// Connected light bulb: tiny keepalives, occupancy-driven commands.
+    LightBulb,
+    /// Smart lock: rare, small, event-driven messages.
+    SmartLock,
+    /// IoT hub: steady aggregation uplink.
+    Hub,
+    /// Smart appliance (washer/fridge): periodic status, occasional bulk
+    /// diagnostics.
+    Appliance,
+    /// Motion sensor: event packets exactly when occupants move.
+    MotionSensor,
+}
+
+impl DeviceType {
+    /// All modelled types.
+    pub fn all() -> &'static [DeviceType] {
+        &[
+            DeviceType::Thermostat,
+            DeviceType::IpCamera,
+            DeviceType::SmartPlug,
+            DeviceType::VoiceAssistant,
+            DeviceType::TvStreamer,
+            DeviceType::LightBulb,
+            DeviceType::SmartLock,
+            DeviceType::Hub,
+            DeviceType::Appliance,
+            DeviceType::MotionSensor,
+        ]
+    }
+
+    /// The canonical traffic profile for this type.
+    pub fn profile(&self) -> TrafficProfile {
+        match self {
+            DeviceType::Thermostat => TrafficProfile {
+                telemetry_interval_secs: 300,
+                telemetry_bytes: (400, 900),
+                event_rate_per_occupied_hour: 2.0,
+                event_bytes: (200, 600),
+                stream_rate_per_day: 0.0,
+                stream_bytes_per_sec: 0,
+                stream_secs: (0, 0),
+                upstream_heavy: true,
+                endpoint_pool: 2,
+            },
+            DeviceType::IpCamera => TrafficProfile {
+                telemetry_interval_secs: 600,
+                telemetry_bytes: (300, 500),
+                event_rate_per_occupied_hour: 4.0,
+                event_bytes: (200_000, 2_000_000),
+                stream_rate_per_day: 1.0,
+                stream_bytes_per_sec: 120_000,
+                stream_secs: (300, 1_800),
+                upstream_heavy: true,
+                endpoint_pool: 3,
+            },
+            DeviceType::SmartPlug => TrafficProfile {
+                telemetry_interval_secs: 120,
+                telemetry_bytes: (80, 200),
+                event_rate_per_occupied_hour: 0.8,
+                event_bytes: (100, 300),
+                stream_rate_per_day: 0.0,
+                stream_bytes_per_sec: 0,
+                stream_secs: (0, 0),
+                upstream_heavy: true,
+                endpoint_pool: 1,
+            },
+            DeviceType::VoiceAssistant => TrafficProfile {
+                telemetry_interval_secs: 240,
+                telemetry_bytes: (200, 500),
+                event_rate_per_occupied_hour: 3.0,
+                event_bytes: (30_000, 300_000),
+                stream_rate_per_day: 0.6,
+                stream_bytes_per_sec: 40_000,
+                stream_secs: (120, 3_600),
+                upstream_heavy: false,
+                endpoint_pool: 4,
+            },
+            DeviceType::TvStreamer => TrafficProfile {
+                telemetry_interval_secs: 900,
+                telemetry_bytes: (300, 800),
+                event_rate_per_occupied_hour: 0.5,
+                event_bytes: (5_000, 40_000),
+                stream_rate_per_day: 2.2,
+                stream_bytes_per_sec: 600_000,
+                stream_secs: (1_200, 7_200),
+                upstream_heavy: false,
+                endpoint_pool: 5,
+            },
+            DeviceType::LightBulb => TrafficProfile {
+                telemetry_interval_secs: 600,
+                telemetry_bytes: (60, 150),
+                event_rate_per_occupied_hour: 1.5,
+                event_bytes: (80, 200),
+                stream_rate_per_day: 0.0,
+                stream_bytes_per_sec: 0,
+                stream_secs: (0, 0),
+                upstream_heavy: true,
+                endpoint_pool: 1,
+            },
+            DeviceType::SmartLock => TrafficProfile {
+                telemetry_interval_secs: 1_800,
+                telemetry_bytes: (150, 300),
+                event_rate_per_occupied_hour: 0.4,
+                event_bytes: (300, 900),
+                stream_rate_per_day: 0.0,
+                stream_bytes_per_sec: 0,
+                stream_secs: (0, 0),
+                upstream_heavy: true,
+                endpoint_pool: 2,
+            },
+            DeviceType::Hub => TrafficProfile {
+                telemetry_interval_secs: 60,
+                telemetry_bytes: (500, 2_000),
+                event_rate_per_occupied_hour: 1.0,
+                event_bytes: (1_000, 5_000),
+                stream_rate_per_day: 0.0,
+                stream_bytes_per_sec: 0,
+                stream_secs: (0, 0),
+                upstream_heavy: true,
+                endpoint_pool: 2,
+            },
+            DeviceType::Appliance => TrafficProfile {
+                telemetry_interval_secs: 1_200,
+                telemetry_bytes: (250, 700),
+                event_rate_per_occupied_hour: 0.6,
+                event_bytes: (10_000, 80_000),
+                stream_rate_per_day: 0.0,
+                stream_bytes_per_sec: 0,
+                stream_secs: (0, 0),
+                upstream_heavy: true,
+                endpoint_pool: 2,
+            },
+            DeviceType::MotionSensor => TrafficProfile {
+                telemetry_interval_secs: 3_600,
+                telemetry_bytes: (80, 160),
+                event_rate_per_occupied_hour: 6.0,
+                event_bytes: (90, 220),
+                stream_rate_per_day: 0.0,
+                stream_bytes_per_sec: 0,
+                stream_secs: (0, 0),
+                upstream_heavy: true,
+                endpoint_pool: 1,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DeviceType::Thermostat => "thermostat",
+            DeviceType::IpCamera => "ip-camera",
+            DeviceType::SmartPlug => "smart-plug",
+            DeviceType::VoiceAssistant => "voice-assistant",
+            DeviceType::TvStreamer => "tv-streamer",
+            DeviceType::LightBulb => "light-bulb",
+            DeviceType::SmartLock => "smart-lock",
+            DeviceType::Hub => "hub",
+            DeviceType::Appliance => "appliance",
+            DeviceType::MotionSensor => "motion-sensor",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The behavioural parameters the traffic generator samples from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficProfile {
+    /// Periodic telemetry interval, seconds.
+    pub telemetry_interval_secs: u64,
+    /// Telemetry flow size range (total bytes).
+    pub telemetry_bytes: (u64, u64),
+    /// Occupancy-driven events per occupied hour.
+    pub event_rate_per_occupied_hour: f64,
+    /// Event flow size range (total bytes).
+    pub event_bytes: (u64, u64),
+    /// Streaming sessions per day (occupancy-gated).
+    pub stream_rate_per_day: f64,
+    /// Streaming throughput, bytes per second.
+    pub stream_bytes_per_sec: u64,
+    /// Streaming session length range, seconds.
+    pub stream_secs: (u64, u64),
+    /// `true` if most bytes flow device→cloud (sensors), `false` for
+    /// media consumers.
+    pub upstream_heavy: bool,
+    /// Number of distinct cloud endpoints this device talks to.
+    pub endpoint_pool: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_types_have_profiles() {
+        for t in DeviceType::all() {
+            let p = t.profile();
+            assert!(p.telemetry_interval_secs > 0, "{t}");
+            assert!(p.telemetry_bytes.0 <= p.telemetry_bytes.1, "{t}");
+            assert!(p.endpoint_pool >= 1, "{t}");
+        }
+        assert_eq!(DeviceType::all().len(), 10);
+    }
+
+    #[test]
+    fn profiles_are_distinct() {
+        // Fingerprinting is only possible because profiles differ.
+        let profiles: Vec<_> = DeviceType::all().iter().map(|t| t.profile()).collect();
+        for i in 0..profiles.len() {
+            for j in i + 1..profiles.len() {
+                assert_ne!(profiles[i], profiles[j], "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DeviceType::IpCamera.to_string(), "ip-camera");
+        assert_eq!(DeviceType::Hub.to_string(), "hub");
+    }
+}

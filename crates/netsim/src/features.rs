@@ -1,0 +1,143 @@
+//! Flow-metadata feature extraction for fingerprinting and profiling.
+
+use crate::flow::FlowRecord;
+use serde::{Deserialize, Serialize};
+
+/// Number of features in a [`FeatureVector`].
+pub const N_FEATURES: usize = 7;
+
+/// Human-readable feature names, index-aligned with
+/// [`FeatureVector::values`].
+pub fn feature_names() -> [&'static str; N_FEATURES] {
+    [
+        "log_flows_per_hour",
+        "log_mean_flow_bytes",
+        "log_p95_flow_bytes",
+        "up_fraction",
+        "log_distinct_endpoints",
+        "interarrival_cv",
+        "log_mean_duration",
+    ]
+}
+
+/// A per-device traffic feature vector over an observation window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    /// The feature values (see [`feature_names`]).
+    pub values: [f64; N_FEATURES],
+}
+
+impl FeatureVector {
+    /// Extracts features from one device's flows over `window_secs`.
+    ///
+    /// Returns `None` when fewer than 3 flows exist (not enough evidence).
+    pub fn from_flows(flows: &[FlowRecord], window_secs: u64) -> Option<FeatureVector> {
+        if flows.len() < 3 || window_secs == 0 {
+            return None;
+        }
+        let n = flows.len() as f64;
+        let hours = window_secs as f64 / 3_600.0;
+        let mut sizes: Vec<f64> = flows.iter().map(|f| f.total_bytes() as f64).collect();
+        sizes.sort_by(|a, b| a.total_cmp(b));
+        let mean_bytes = sizes.iter().sum::<f64>() / n;
+        let p95 = sizes[((0.95 * (n - 1.0)) as usize).min(sizes.len() - 1)];
+        let up_frac =
+            flows.iter().map(|f| f.up_fraction()).sum::<f64>() / n;
+        let mut endpoints: Vec<u32> = flows.iter().map(|f| f.endpoint).collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        // Inter-arrival coefficient of variation: periodicity shows as a
+        // low value, event-driven traffic as high.
+        let mut gaps = Vec::with_capacity(flows.len() - 1);
+        for w in flows.windows(2) {
+            gaps.push((w[1].start_secs - w[0].start_secs) as f64);
+        }
+        let gap_mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let gap_var =
+            gaps.iter().map(|g| (g - gap_mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = if gap_mean > 0.0 { gap_var.sqrt() / gap_mean } else { 0.0 };
+        let mean_dur =
+            flows.iter().map(|f| f.duration_secs as f64).sum::<f64>() / n;
+
+        Some(FeatureVector {
+            values: [
+                (n / hours).max(1e-6).ln(),
+                mean_bytes.max(1.0).ln(),
+                p95.max(1.0).ln(),
+                up_frac,
+                (endpoints.len() as f64).ln(),
+                cv,
+                (mean_dur + 1.0).ln(),
+            ],
+        })
+    }
+
+    /// Euclidean distance to another feature vector.
+    pub fn distance(&self, other: &FeatureVector) -> f64 {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(start: u64, up: u64, down: u64, endpoint: u32) -> FlowRecord {
+        FlowRecord { start_secs: start, duration_secs: 3, device_id: 1, bytes_up: up, bytes_down: down, endpoint }
+    }
+
+    #[test]
+    fn periodic_traffic_has_low_cv() {
+        let periodic: Vec<FlowRecord> =
+            (0..50).map(|i| flow(i * 120, 200, 50, 1)).collect();
+        let fv = FeatureVector::from_flows(&periodic, 6_000).unwrap();
+        assert!(fv.values[5] < 0.1, "cv {}", fv.values[5]);
+        let bursty: Vec<FlowRecord> = (0..50)
+            .map(|i| flow(if i % 2 == 0 { i * 10 } else { i * 400 }, 200, 50, 1))
+            .collect();
+        let mut sorted = bursty.clone();
+        sorted.sort_by_key(|f| f.start_secs);
+        let fb = FeatureVector::from_flows(&sorted, 20_000).unwrap();
+        assert!(fb.values[5] > fv.values[5]);
+    }
+
+    #[test]
+    fn up_fraction_feature() {
+        let uppy: Vec<FlowRecord> = (0..10).map(|i| flow(i * 60, 900, 100, 1)).collect();
+        let fv = FeatureVector::from_flows(&uppy, 600).unwrap();
+        assert!((fv.values[3] - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn endpoint_count() {
+        let multi: Vec<FlowRecord> = (0..12).map(|i| flow(i * 60, 100, 100, i as u32 % 4)).collect();
+        let fv = FeatureVector::from_flows(&multi, 720).unwrap();
+        assert!((fv.values[4] - 4.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_flows() {
+        let two: Vec<FlowRecord> = (0..2).map(|i| flow(i * 60, 1, 1, 1)).collect();
+        assert!(FeatureVector::from_flows(&two, 120).is_none());
+        assert!(FeatureVector::from_flows(&[], 120).is_none());
+    }
+
+    #[test]
+    fn distance_symmetric_and_zero_on_self() {
+        let a = FeatureVector { values: [1.0, 2.0, 3.0, 0.5, 1.0, 0.2, 0.7] };
+        let b = FeatureVector { values: [2.0, 1.0, 3.5, 0.1, 0.0, 0.9, 0.1] };
+        assert_eq!(a.distance(&a), 0.0);
+        assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+        assert!(a.distance(&b) > 0.0);
+    }
+
+    #[test]
+    fn names_match_len() {
+        assert_eq!(feature_names().len(), N_FEATURES);
+    }
+}

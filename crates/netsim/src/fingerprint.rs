@@ -1,0 +1,247 @@
+//! The traffic-fingerprinting attack: identifying device types (and
+//! household activity) from flow metadata alone.
+
+use crate::device::DeviceType;
+use crate::features::{FeatureVector, N_FEATURES};
+use crate::generate::NetworkTrace;
+use serde::{Deserialize, Serialize};
+
+/// A trained device-type classifier.
+pub trait DeviceClassifier {
+    /// Predicts the type behind a feature vector.
+    fn predict(&self, features: &FeatureVector) -> DeviceType;
+
+    /// A short human-readable name.
+    fn name(&self) -> &str;
+}
+
+/// Gaussian naive Bayes over traffic features, from scratch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NaiveBayes {
+    classes: Vec<DeviceType>,
+    /// Per class: (mean, variance) per feature, plus log prior.
+    stats: Vec<([f64; N_FEATURES], [f64; N_FEATURES], f64)>,
+}
+
+impl NaiveBayes {
+    /// Trains on labelled feature vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `examples` is empty.
+    pub fn train(examples: &[(DeviceType, FeatureVector)]) -> Self {
+        assert!(!examples.is_empty(), "need training data");
+        let mut classes: Vec<DeviceType> = examples.iter().map(|(t, _)| *t).collect();
+        classes.sort_by_key(|t| format!("{t}"));
+        classes.dedup();
+        let total = examples.len() as f64;
+        let stats = classes
+            .iter()
+            .map(|&class| {
+                let of_class: Vec<&FeatureVector> = examples
+                    .iter()
+                    .filter_map(|(t, f)| (*t == class).then_some(f))
+                    .collect();
+                let n = of_class.len() as f64;
+                let mut mean = [0.0; N_FEATURES];
+                let mut var = [0.0; N_FEATURES];
+                for f in &of_class {
+                    for (k, &v) in f.values.iter().enumerate() {
+                        mean[k] += v;
+                    }
+                }
+                for m in &mut mean {
+                    *m /= n;
+                }
+                for f in &of_class {
+                    for (k, &v) in f.values.iter().enumerate() {
+                        var[k] += (v - mean[k]).powi(2);
+                    }
+                }
+                for v in &mut var {
+                    *v = (*v / n).max(1e-3); // variance floor
+                }
+                (mean, var, (n / total).ln())
+            })
+            .collect();
+        NaiveBayes { classes, stats }
+    }
+
+    /// Per-class log posterior (unnormalized).
+    fn log_posterior(&self, f: &FeatureVector) -> Vec<f64> {
+        self.stats
+            .iter()
+            .map(|(mean, var, prior)| {
+                let mut lp = *prior;
+                for k in 0..N_FEATURES {
+                    let d = f.values[k] - mean[k];
+                    lp += -0.5 * (d * d / var[k] + var[k].ln());
+                }
+                lp
+            })
+            .collect()
+    }
+}
+
+impl DeviceClassifier for NaiveBayes {
+    fn predict(&self, features: &FeatureVector) -> DeviceType {
+        let lp = self.log_posterior(features);
+        let best = lp
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.classes[best]
+    }
+
+    fn name(&self) -> &str {
+        "naive-bayes"
+    }
+}
+
+/// k-nearest-neighbour classifier, from scratch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Knn {
+    k: usize,
+    examples: Vec<(DeviceType, FeatureVector)>,
+}
+
+impl Knn {
+    /// Stores the training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or `examples` is empty.
+    pub fn train(k: usize, examples: Vec<(DeviceType, FeatureVector)>) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(!examples.is_empty(), "need training data");
+        Knn { k, examples }
+    }
+}
+
+impl DeviceClassifier for Knn {
+    fn predict(&self, features: &FeatureVector) -> DeviceType {
+        let mut dists: Vec<(f64, DeviceType)> = self
+            .examples
+            .iter()
+            .map(|(t, f)| (features.distance(f), *t))
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut votes: Vec<(DeviceType, usize)> = Vec::new();
+        for &(_, t) in dists.iter().take(self.k) {
+            match votes.iter_mut().find(|(v, _)| *v == t) {
+                Some((_, c)) => *c += 1,
+                None => votes.push((t, 1)),
+            }
+        }
+        votes.into_iter().max_by_key(|&(_, c)| c).map(|(t, _)| t).unwrap_or(self.examples[0].0)
+    }
+
+    fn name(&self) -> &str {
+        "knn"
+    }
+}
+
+/// Extracts one labelled example per device from a trace, splitting the
+/// horizon into `windows` observation windows (each window yields one
+/// feature vector per device — more windows, more examples).
+pub fn labelled_examples(
+    trace: &NetworkTrace,
+    windows: usize,
+) -> Vec<(DeviceType, FeatureVector)> {
+    assert!(windows > 0, "need at least one window");
+    let window_secs = trace.horizon_secs / windows as u64;
+    let mut out = Vec::new();
+    for dev in &trace.devices {
+        let flows = trace.flows_of(dev.device_id);
+        for w in 0..windows {
+            let lo = w as u64 * window_secs;
+            let hi = lo + window_secs;
+            let in_window: Vec<_> = flows
+                .iter()
+                .copied()
+                .filter(|f| f.start_secs >= lo && f.start_secs < hi)
+                .collect();
+            if let Some(fv) = FeatureVector::from_flows(&in_window, window_secs) {
+                out.push((dev.device_type, fv));
+            }
+        }
+    }
+    out
+}
+
+/// Scores a classifier on held-out labelled examples: fraction correct.
+pub fn accuracy(
+    classifier: &dyn DeviceClassifier,
+    test: &[(DeviceType, FeatureVector)],
+) -> f64 {
+    if test.is_empty() {
+        return 0.0;
+    }
+    let correct = test
+        .iter()
+        .filter(|(t, f)| classifier.predict(f) == *t)
+        .count();
+    correct as f64 / test.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::simulate_home_network;
+    use timeseries::{LabelSeries, Resolution, Timestamp};
+
+    fn occupancy(days: usize) -> LabelSeries {
+        LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, days * 1440, |i| {
+            let m = i % 1440;
+            !(540..1_020).contains(&m)
+        })
+    }
+
+    fn inventory() -> Vec<DeviceType> {
+        DeviceType::all().to_vec()
+    }
+
+    #[test]
+    fn fingerprinting_identifies_devices() {
+        let train_trace = simulate_home_network(&inventory(), &occupancy(6), 6, 100);
+        let test_trace = simulate_home_network(&inventory(), &occupancy(6), 6, 200);
+        let train = labelled_examples(&train_trace, 6);
+        let test = labelled_examples(&test_trace, 6);
+        let nb = NaiveBayes::train(&train);
+        let acc = accuracy(&nb, &test);
+        assert!(acc > 0.8, "naive bayes accuracy {acc}");
+        let knn = Knn::train(3, train);
+        let acc_knn = accuracy(&knn, &test);
+        assert!(acc_knn > 0.8, "knn accuracy {acc_knn}");
+        // Both are far above the 10-class chance level.
+        assert!(acc > 0.3 && acc_knn > 0.3);
+    }
+
+    #[test]
+    fn classifiers_have_names() {
+        let examples = vec![(
+            DeviceType::Hub,
+            FeatureVector { values: [0.0; crate::features::N_FEATURES] },
+        )];
+        assert_eq!(NaiveBayes::train(&examples).name(), "naive-bayes");
+        assert_eq!(Knn::train(1, examples).name(), "knn");
+    }
+
+    #[test]
+    fn accuracy_empty_test_is_zero() {
+        let examples = vec![(
+            DeviceType::Hub,
+            FeatureVector { values: [0.0; crate::features::N_FEATURES] },
+        )];
+        let nb = NaiveBayes::train(&examples);
+        assert_eq!(accuracy(&nb, &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need training data")]
+    fn empty_training_rejected() {
+        NaiveBayes::train(&[]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Flow records: the metadata a passive observer (or gateway) sees.
+
+use serde::{Deserialize, Serialize};
+
+/// One network flow's metadata — no payload, exactly what an observer of
+/// encrypted traffic still gets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Flow start, seconds since trace start.
+    pub start_secs: u64,
+    /// Flow duration, seconds.
+    pub duration_secs: u64,
+    /// Local device identifier.
+    pub device_id: u32,
+    /// Bytes sent by the device (upstream).
+    pub bytes_up: u64,
+    /// Bytes received by the device (downstream).
+    pub bytes_down: u64,
+    /// Remote endpoint identifier (a cloud service; stands in for the
+    /// `(ip, port)` pair).
+    pub endpoint: u32,
+}
+
+impl FlowRecord {
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_up + self.bytes_down
+    }
+
+    /// Upstream fraction of the flow's bytes (0 when empty).
+    pub fn up_fraction(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            self.bytes_up as f64 / total as f64
+        }
+    }
+
+    /// Flow end, seconds since trace start.
+    pub fn end_secs(&self) -> u64 {
+        self.start_secs + self.duration_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting() {
+        let f = FlowRecord {
+            start_secs: 100,
+            duration_secs: 10,
+            device_id: 1,
+            bytes_up: 300,
+            bytes_down: 700,
+            endpoint: 42,
+        };
+        assert_eq!(f.total_bytes(), 1_000);
+        assert!((f.up_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!(f.end_secs(), 110);
+    }
+
+    #[test]
+    fn empty_flow() {
+        let f = FlowRecord {
+            start_secs: 0,
+            duration_secs: 0,
+            device_id: 0,
+            bytes_up: 0,
+            bytes_down: 0,
+            endpoint: 0,
+        };
+        assert_eq!(f.up_fraction(), 0.0);
+    }
+}

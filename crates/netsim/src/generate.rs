@@ -1,0 +1,254 @@
+//! The home-network traffic generator.
+
+use crate::device::DeviceType;
+use crate::flow::FlowRecord;
+use rand::Rng;
+use timeseries::rng::{derive_seed, exponential, seeded_rng};
+use timeseries::{LabelSeries, Timestamp};
+
+/// One simulated device instance on the LAN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DeviceSim {
+    /// Stable device identifier (the "MAC address").
+    pub device_id: u32,
+    /// Ground-truth type.
+    pub device_type: DeviceType,
+}
+
+/// A simulated home network: flows plus ground truth.
+#[derive(Debug, Clone)]
+pub struct NetworkTrace {
+    /// All flows, sorted by start time.
+    pub flows: Vec<FlowRecord>,
+    /// The device inventory.
+    pub devices: Vec<DeviceSim>,
+    /// Ground-truth occupancy used to gate interactive traffic.
+    pub occupancy: LabelSeries,
+    /// Covered horizon, seconds.
+    pub horizon_secs: u64,
+}
+
+impl NetworkTrace {
+    /// Ground-truth type of a device id, if known.
+    pub fn type_of(&self, device_id: u32) -> Option<DeviceType> {
+        self.devices
+            .iter()
+            .find(|d| d.device_id == device_id)
+            .map(|d| d.device_type)
+    }
+
+    /// All flows of one device.
+    pub fn flows_of(&self, device_id: u32) -> Vec<FlowRecord> {
+        self.flows.iter().copied().filter(|f| f.device_id == device_id).collect()
+    }
+}
+
+/// Simulates `days` of traffic for a home containing `inventory` device
+/// types (duplicates allowed — a home has many plugs and bulbs), gated on
+/// `occupancy` where behaviour is interactive.
+///
+/// Endpoint identifiers are globally unique per (device, slot) so that
+/// distinct devices never share endpoints — a simplification that favours
+/// neither attack nor defense since fingerprinting features use endpoint
+/// *counts*, not identities.
+pub fn simulate_home_network(
+    inventory: &[DeviceType],
+    occupancy: &LabelSeries,
+    days: u64,
+    seed: u64,
+) -> NetworkTrace {
+    let horizon_secs = days * 86_400;
+    let mut flows = Vec::new();
+    let mut devices = Vec::with_capacity(inventory.len());
+    for (idx, &dtype) in inventory.iter().enumerate() {
+        let device_id = idx as u32 + 1;
+        devices.push(DeviceSim { device_id, device_type: dtype });
+        let mut rng = seeded_rng(derive_seed(seed, &format!("device-{device_id}")));
+        let profile = dtype.profile();
+        let endpoint_base = device_id * 100;
+
+        // 1. Periodic telemetry with 10 % interval jitter.
+        let mut t = rng.gen_range(0..profile.telemetry_interval_secs.max(1));
+        while t < horizon_secs {
+            let bytes = rng.gen_range(profile.telemetry_bytes.0..=profile.telemetry_bytes.1);
+            flows.push(split_flow(
+                t,
+                2,
+                device_id,
+                bytes,
+                profile.upstream_heavy,
+                endpoint_base + rng.gen_range(0..profile.endpoint_pool),
+            ));
+            let jitter = 0.9 + 0.2 * rng.gen::<f64>();
+            t += (profile.telemetry_interval_secs as f64 * jitter).max(1.0) as u64;
+        }
+
+        // 2. Occupancy-driven events.
+        if profile.event_rate_per_occupied_hour > 0.0 {
+            let mut t = 0.0f64;
+            while t < horizon_secs as f64 {
+                t += exponential(&mut rng, profile.event_rate_per_occupied_hour / 3_600.0);
+                let ts = Timestamp::from_secs(t as u64);
+                if t < horizon_secs as f64 && occupancy.at(ts) == Some(true) {
+                    let bytes = rng.gen_range(profile.event_bytes.0..=profile.event_bytes.1);
+                    flows.push(split_flow(
+                        t as u64,
+                        rng.gen_range(1..20),
+                        device_id,
+                        bytes,
+                        profile.upstream_heavy,
+                        endpoint_base + rng.gen_range(0..profile.endpoint_pool),
+                    ));
+                }
+            }
+        }
+
+        // 3. Streaming sessions (evening-weighted, occupancy-gated).
+        if profile.stream_rate_per_day > 0.0 {
+            for day in 0..days {
+                let n = sample_poisson(&mut rng, profile.stream_rate_per_day);
+                for _ in 0..n {
+                    let hour = 17.0 + 6.0 * rng.gen::<f64>(); // 17:00–23:00
+                    let start = day * 86_400 + (hour * 3_600.0) as u64;
+                    if occupancy.at(Timestamp::from_secs(start)) != Some(true) {
+                        continue;
+                    }
+                    let dur = rng.gen_range(profile.stream_secs.0..=profile.stream_secs.1.max(1));
+                    let bytes = profile.stream_bytes_per_sec * dur;
+                    flows.push(split_flow(
+                        start,
+                        dur,
+                        device_id,
+                        bytes,
+                        profile.upstream_heavy,
+                        endpoint_base + rng.gen_range(0..profile.endpoint_pool),
+                    ));
+                }
+            }
+        }
+
+        // 4. Daily firmware/update check: small down-heavy pull.
+        for day in 0..days {
+            let at = day * 86_400 + rng.gen_range(0..86_400);
+            flows.push(FlowRecord {
+                start_secs: at,
+                duration_secs: 5,
+                device_id,
+                bytes_up: 400,
+                bytes_down: rng.gen_range(2_000..50_000),
+                endpoint: endpoint_base + 99,
+            });
+        }
+    }
+    flows.sort_by_key(|f| f.start_secs);
+    NetworkTrace { flows, devices, occupancy: occupancy.clone(), horizon_secs }
+}
+
+fn split_flow(
+    start: u64,
+    duration: u64,
+    device_id: u32,
+    total_bytes: u64,
+    upstream_heavy: bool,
+    endpoint: u32,
+) -> FlowRecord {
+    let (up, down) = if upstream_heavy {
+        (total_bytes * 8 / 10, total_bytes * 2 / 10)
+    } else {
+        (total_bytes / 10, total_bytes * 9 / 10)
+    };
+    FlowRecord { start_secs: start, duration_secs: duration, device_id, bytes_up: up, bytes_down: down, endpoint }
+}
+
+fn sample_poisson(rng: &mut impl Rng, mean: f64) -> u32 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let limit = (-mean).exp();
+    let mut product: f64 = rng.gen();
+    let mut count = 0;
+    while product > limit && count < 100 {
+        count += 1;
+        product *= rng.gen::<f64>();
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::Resolution;
+
+    fn occupancy(days: usize) -> LabelSeries {
+        // Home except 9-17 weekdays-ish (simplified: every day).
+        LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, days * 1440, |i| {
+            let m = i % 1440;
+            !(540..1_020).contains(&m)
+        })
+    }
+
+    #[test]
+    fn generates_flows_for_every_device() {
+        let inv = [DeviceType::IpCamera, DeviceType::SmartPlug, DeviceType::TvStreamer];
+        let trace = simulate_home_network(&inv, &occupancy(3), 3, 7);
+        assert_eq!(trace.devices.len(), 3);
+        for d in &trace.devices {
+            assert!(
+                trace.flows_of(d.device_id).len() > 10,
+                "{} too few flows",
+                d.device_type
+            );
+        }
+        assert_eq!(trace.type_of(1), Some(DeviceType::IpCamera));
+        assert_eq!(trace.type_of(99), None);
+    }
+
+    #[test]
+    fn flows_sorted_and_within_horizon() {
+        let inv = [DeviceType::Hub, DeviceType::LightBulb];
+        let trace = simulate_home_network(&inv, &occupancy(2), 2, 8);
+        assert!(trace.flows.windows(2).all(|w| w[0].start_secs <= w[1].start_secs));
+        assert!(trace.flows.iter().all(|f| f.start_secs < trace.horizon_secs));
+    }
+
+    #[test]
+    fn camera_moves_more_bytes_than_plug() {
+        let inv = [DeviceType::IpCamera, DeviceType::SmartPlug];
+        let trace = simulate_home_network(&inv, &occupancy(3), 3, 9);
+        let bytes = |id: u32| -> u64 { trace.flows_of(id).iter().map(|f| f.total_bytes()).sum() };
+        assert!(bytes(1) > 50 * bytes(2), "camera {} vs plug {}", bytes(1), bytes(2));
+    }
+
+    #[test]
+    fn events_respect_occupancy() {
+        // Motion sensor events only fire while occupied.
+        let inv = [DeviceType::MotionSensor];
+        let trace = simulate_home_network(&inv, &occupancy(5), 5, 10);
+        let profile = DeviceType::MotionSensor.profile();
+        for f in trace.flows_of(1) {
+            let is_telemetry_or_fw = f.total_bytes() <= profile.telemetry_bytes.1
+                || f.endpoint % 100 == 99;
+            if !is_telemetry_or_fw {
+                let occupied = trace.occupancy.at(Timestamp::from_secs(f.start_secs));
+                assert_eq!(occupied, Some(true), "event at {}", f.start_secs);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let inv = [DeviceType::Thermostat, DeviceType::Hub];
+        let a = simulate_home_network(&inv, &occupancy(2), 2, 11);
+        let b = simulate_home_network(&inv, &occupancy(2), 2, 11);
+        assert_eq!(a.flows, b.flows);
+    }
+
+    #[test]
+    fn endpoints_disjoint_across_devices() {
+        let inv = [DeviceType::Hub, DeviceType::Hub, DeviceType::IpCamera];
+        let trace = simulate_home_network(&inv, &occupancy(2), 2, 12);
+        for f in &trace.flows {
+            assert_eq!(f.endpoint / 100, f.device_id, "endpoint leaked across devices");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! IoT network traffic: simulation, fingerprinting, and the smart gateway.
+//!
+//! Section IV of the paper argues that tens of untrusted IoT devices on an
+//! implicitly-trusted home LAN are a privacy and security liability: their
+//! traffic *metadata* alone profiles the household, and a compromised
+//! device can watch everything. The proposed research direction is a
+//! "smart" gateway that classifies devices by their typical traffic
+//! patterns and isolates the suspicious ones. This crate builds all three
+//! pieces:
+//!
+//! * [`generate`] — a flow-level traffic simulator: per-device behavioural
+//!   profiles (periodic telemetry, occupancy-driven event bursts, media
+//!   streaming, firmware pulls) emitting [`FlowRecord`]s with ground-truth
+//!   labels.
+//! * [`fingerprint`] — the attack: a passive observer identifies device
+//!   types (and infers occupancy) from flow metadata only, using
+//!   from-scratch naive-Bayes and k-NN classifiers.
+//! * [`gateway`] — the defense the paper envisions: per-device profiling,
+//!   anomaly scoring, and least-privilege isolation; plus traffic
+//!   [`shaping`] (padding + cover traffic) that blunts fingerprinting.
+
+pub mod activity;
+pub mod device;
+pub mod features;
+pub mod fingerprint;
+pub mod flow;
+pub mod gateway;
+pub mod generate;
+pub mod shaping;
+
+pub use activity::TrafficOccupancy;
+pub use device::{DeviceType, TrafficProfile};
+pub use features::{feature_names, FeatureVector};
+pub use fingerprint::{DeviceClassifier, NaiveBayes};
+pub use flow::FlowRecord;
+pub use gateway::{GatewayPolicy, SmartGateway, Verdict};
+pub use generate::{simulate_home_network, DeviceSim, NetworkTrace};
+pub use shaping::TrafficShaper;

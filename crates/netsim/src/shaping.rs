@@ -1,0 +1,194 @@
+//! Traffic shaping: the anti-fingerprinting defense.
+//!
+//! Padding flow sizes to buckets and blending in constant-rate cover
+//! traffic destroys the metadata features fingerprinting relies on. The
+//! cost is overhead bytes — measured and reported, since shaping is only
+//! credible with its price tag.
+
+use crate::flow::FlowRecord;
+use serde::{Deserialize, Serialize};
+
+/// A traffic shaper applied at the gateway on behalf of all devices.
+///
+/// Two mechanisms compose: flow sizes are padded to buckets (hiding
+/// magnitudes), and per-device flow *counts* are padded to a constant rate
+/// per window with dummy cover flows (hiding timing — without this, the
+/// mere rate of event flows still betrays occupancy).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficShaper {
+    /// Flow sizes are padded up to the next multiple of this many bytes.
+    pub pad_to_bytes: u64,
+    /// Window over which per-device flow counts are equalized, seconds
+    /// (0 disables constant-rate cover traffic).
+    pub cover_window_secs: u64,
+    /// Size of each cover flow, bytes (split like the padded flows).
+    pub cover_flow_bytes: u64,
+}
+
+impl Default for TrafficShaper {
+    fn default() -> Self {
+        TrafficShaper {
+            pad_to_bytes: 1 << 20, // 1 MiB buckets
+            cover_window_secs: 1_800,
+            cover_flow_bytes: 1 << 20,
+        }
+    }
+}
+
+/// The result of shaping: what an observer now sees, plus the overhead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shaped {
+    /// The shaped flow stream.
+    pub flows: Vec<FlowRecord>,
+    /// Padding + cover overhead as a fraction of the original bytes.
+    pub overhead_frac: f64,
+}
+
+impl TrafficShaper {
+    /// Shapes a flow stream covering `horizon_secs` for the device set in
+    /// `device_ids`.
+    pub fn shape(&self, flows: &[FlowRecord], device_ids: &[u32], horizon_secs: u64) -> Shaped {
+        let original_bytes: u64 = flows.iter().map(|f| f.total_bytes()).sum();
+        let mut out = Vec::with_capacity(flows.len());
+        // Pad real flows.
+        for f in flows {
+            let padded = pad(f.total_bytes(), self.pad_to_bytes);
+            let up = padded / 2;
+            out.push(FlowRecord {
+                bytes_up: up,
+                bytes_down: padded - up,
+                ..*f
+            });
+        }
+        // Constant-rate cover traffic: pad each device's per-window flow
+        // count up to its own maximum, so counts carry no information.
+        if self.cover_window_secs > 0 && horizon_secs > 0 {
+            let n_windows = horizon_secs.div_ceil(self.cover_window_secs) as usize;
+            for &device_id in device_ids {
+                let mut counts = vec![0u32; n_windows];
+                for f in flows {
+                    if f.device_id == device_id {
+                        let w = (f.start_secs / self.cover_window_secs) as usize;
+                        if w < counts.len() {
+                            counts[w] += 1;
+                        }
+                    }
+                }
+                let target = counts.iter().copied().max().unwrap_or(0).max(1);
+                for (w, &c) in counts.iter().enumerate() {
+                    for k in 0..target.saturating_sub(c) {
+                        // Deterministic spread inside the window.
+                        let offset = (k as u64 * 997 + device_id as u64 * 131)
+                            % self.cover_window_secs;
+                        out.push(FlowRecord {
+                            start_secs: w as u64 * self.cover_window_secs + offset,
+                            duration_secs: 5,
+                            device_id,
+                            bytes_up: self.cover_flow_bytes / 2,
+                            bytes_down: self.cover_flow_bytes - self.cover_flow_bytes / 2,
+                            endpoint: 500_000, // the shaping relay
+                        });
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|f| f.start_secs);
+        let shaped_bytes: u64 = out.iter().map(|f| f.total_bytes()).sum();
+        let overhead_frac = if original_bytes > 0 {
+            (shaped_bytes.saturating_sub(original_bytes)) as f64 / original_bytes as f64
+        } else {
+            0.0
+        };
+        Shaped { flows: out, overhead_frac }
+    }
+}
+
+fn pad(bytes: u64, bucket: u64) -> u64 {
+    if bucket <= 1 {
+        return bytes;
+    }
+    bytes.div_ceil(bucket).max(1) * bucket
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceType;
+    use crate::fingerprint::{accuracy, labelled_examples, NaiveBayes};
+    use crate::generate::simulate_home_network;
+    use timeseries::{LabelSeries, Resolution, Timestamp};
+
+    fn occupancy(days: usize) -> LabelSeries {
+        LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, days * 1440, |i| {
+            let m = i % 1440;
+            !(540..1_020).contains(&m)
+        })
+    }
+
+    #[test]
+    fn padding_quantizes_sizes() {
+        assert_eq!(pad(1, 1024), 1024);
+        assert_eq!(pad(1024, 1024), 1024);
+        assert_eq!(pad(1025, 1024), 2048);
+        assert_eq!(pad(0, 1024), 1024);
+        assert_eq!(pad(7, 1), 7);
+    }
+
+    #[test]
+    fn shaping_defeats_fingerprinting() {
+        let inv = DeviceType::all().to_vec();
+        let train_trace = simulate_home_network(&inv, &occupancy(6), 6, 300);
+        let test_trace = simulate_home_network(&inv, &occupancy(6), 6, 400);
+        // Attacker trains on *unshaped* data (a lab profile)…
+        let nb = NaiveBayes::train(&labelled_examples(&train_trace, 6));
+        let ids: Vec<u32> = test_trace.devices.iter().map(|d| d.device_id).collect();
+        // …but the home applies shaping.
+        let shaped = TrafficShaper::default().shape(
+            &test_trace.flows,
+            &ids,
+            test_trace.horizon_secs,
+        );
+        let mut shaped_trace = test_trace.clone();
+        shaped_trace.flows = shaped.flows;
+        let acc_shaped = accuracy(&nb, &labelled_examples(&shaped_trace, 6));
+        let acc_clear = accuracy(&nb, &labelled_examples(&test_trace, 6));
+        assert!(
+            acc_shaped < acc_clear - 0.3,
+            "shaped {acc_shaped} should be far below clear {acc_clear}"
+        );
+    }
+
+    #[test]
+    fn overhead_reported() {
+        let inv = [DeviceType::SmartPlug];
+        let trace = simulate_home_network(&inv, &occupancy(2), 2, 500);
+        let shaped = TrafficShaper::default().shape(&trace.flows, &[1], trace.horizon_secs);
+        // A chatty-but-tiny device pays enormous relative overhead.
+        assert!(shaped.overhead_frac > 10.0, "overhead {}", shaped.overhead_frac);
+        assert!(shaped.flows.len() > trace.flows.len());
+    }
+
+    #[test]
+    fn no_cover_traffic_mode() {
+        let inv = [DeviceType::Hub];
+        let trace = simulate_home_network(&inv, &occupancy(1), 1, 600);
+        let shaper = TrafficShaper { cover_window_secs: 0, ..Default::default() };
+        let shaped = shaper.shape(&trace.flows, &[1], trace.horizon_secs);
+        assert_eq!(shaped.flows.len(), trace.flows.len());
+    }
+
+    #[test]
+    fn constant_rate_hides_occupancy() {
+        use crate::activity::TrafficOccupancy;
+        let inv = DeviceType::all().to_vec();
+        let occ = occupancy(6);
+        let trace = simulate_home_network(&inv, &occ, 6, 700);
+        let ids: Vec<u32> = trace.devices.iter().map(|d| d.device_id).collect();
+        let shaped = TrafficShaper::default().shape(&trace.flows, &ids, trace.horizon_secs);
+        let attack = TrafficOccupancy::default();
+        let before = attack.evaluate(&trace.flows, &occ, trace.horizon_secs).unwrap().mcc();
+        let after = attack.evaluate(&shaped.flows, &occ, trace.horizon_secs).unwrap().mcc();
+        assert!(before > 0.5, "attack works on clear traffic: {before:.3}");
+        assert!(after < 0.2, "shaping should hide occupancy: {after:.3}");
+    }
+}

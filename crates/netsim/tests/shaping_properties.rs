@@ -1,0 +1,38 @@
+//! Property tests: shaped traffic preserves real flows and only adds.
+
+use netsim::{simulate_home_network, DeviceType, TrafficShaper};
+use proptest::prelude::*;
+use timeseries::{LabelSeries, Resolution, Timestamp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn shaping_preserves_flow_timing_and_count_lower_bound(
+        seed in 0u64..1_000,
+        n_devices in 1usize..6,
+    ) {
+        let inventory: Vec<DeviceType> =
+            DeviceType::all().iter().copied().cycle().take(n_devices).collect();
+        let occ = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 2 * 1440, |_| true);
+        let trace = simulate_home_network(&inventory, &occ, 2, seed);
+        let ids: Vec<u32> = trace.devices.iter().map(|d| d.device_id).collect();
+        let shaped = TrafficShaper::default().shape(&trace.flows, &ids, trace.horizon_secs);
+
+        // Never fewer flows than the original; all padded sizes are
+        // multiples of the bucket; per original flow there is a shaped flow
+        // with the same start/device.
+        prop_assert!(shaped.flows.len() >= trace.flows.len());
+        for f in &shaped.flows {
+            prop_assert_eq!(f.total_bytes() % (1 << 20), 0);
+        }
+        for f in &trace.flows {
+            prop_assert!(
+                shaped.flows.iter().any(|s| s.start_secs == f.start_secs
+                    && s.device_id == f.device_id
+                    && s.endpoint == f.endpoint),
+                "original flow lost"
+            );
+        }
+        prop_assert!(shaped.overhead_frac >= 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Disaggregation output types and scoring.
+
+use serde::{Deserialize, Serialize};
+use timeseries::stats::disaggregation_error;
+use timeseries::{PowerTrace, TraceError};
+
+/// One device's estimated power trace, as produced by a disaggregator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceEstimate {
+    /// Device name (matches the catalogue / training data).
+    pub name: String,
+    /// The estimated per-device power trace, aligned with the input meter
+    /// trace.
+    pub trace: PowerTrace,
+}
+
+/// A NILM attack: explains an aggregate meter trace as per-device traces.
+pub trait Disaggregator {
+    /// Disaggregates `meter` into one estimate per known device.
+    ///
+    /// Every returned trace must be aligned with `meter`.
+    fn disaggregate(&self, meter: &PowerTrace) -> Vec<DeviceEstimate>;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Per-device disaggregation score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceScore {
+    /// Device name.
+    pub device: String,
+    /// The paper's normalized error factor (0 perfect; 1 equals the
+    /// all-zero estimate; may exceed 1).
+    pub error_factor: f64,
+    /// The device's true energy over the horizon, kWh.
+    pub true_kwh: f64,
+    /// The estimated energy, kWh.
+    pub estimated_kwh: f64,
+}
+
+/// Scores estimates against ground truth, pairing by device name. Devices
+/// present in `truth` but absent from `estimates` are scored against an
+/// all-zero estimate (error factor 1 by definition, when the device used
+/// energy).
+///
+/// # Errors
+///
+/// Returns an alignment error if any estimate's geometry differs from its
+/// ground-truth counterpart.
+pub fn evaluate_disaggregation(
+    truth: &[(String, PowerTrace)],
+    estimates: &[DeviceEstimate],
+) -> Result<Vec<DeviceScore>, TraceError> {
+    let mut scores = Vec::with_capacity(truth.len());
+    for (name, actual) in truth {
+        let est = estimates.iter().find(|e| &e.name == name);
+        let error_factor = match est {
+            Some(e) => {
+                actual.check_aligned(&e.trace)?;
+                disaggregation_error(actual.samples(), e.trace.samples())
+            }
+            None => disaggregation_error(actual.samples(), &vec![0.0; actual.len()]),
+        };
+        scores.push(DeviceScore {
+            device: name.clone(),
+            error_factor,
+            true_kwh: actual.energy_kwh(),
+            estimated_kwh: est.map_or(0.0, |e| e.trace.energy_kwh()),
+        });
+    }
+    Ok(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::{Resolution, Timestamp};
+
+    fn trace(samples: Vec<f64>) -> PowerTrace {
+        PowerTrace::new(Timestamp::ZERO, Resolution::ONE_MINUTE, samples).unwrap()
+    }
+
+    #[test]
+    fn perfect_estimate_scores_zero() {
+        let truth = vec![("toaster".to_string(), trace(vec![0.0, 1_500.0, 0.0]))];
+        let est = vec![DeviceEstimate {
+            name: "toaster".into(),
+            trace: trace(vec![0.0, 1_500.0, 0.0]),
+        }];
+        let scores = evaluate_disaggregation(&truth, &est).unwrap();
+        assert_eq!(scores.len(), 1);
+        assert_eq!(scores[0].error_factor, 0.0);
+        assert!((scores[0].true_kwh - scores[0].estimated_kwh).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_device_scores_one() {
+        let truth = vec![("fridge".to_string(), trace(vec![100.0, 100.0]))];
+        let scores = evaluate_disaggregation(&truth, &[]).unwrap();
+        assert!((scores[0].error_factor - 1.0).abs() < 1e-12);
+        assert_eq!(scores[0].estimated_kwh, 0.0);
+    }
+
+    #[test]
+    fn misaligned_estimate_rejected() {
+        let truth = vec![("x".to_string(), trace(vec![1.0, 2.0]))];
+        let est = vec![DeviceEstimate { name: "x".into(), trace: trace(vec![1.0]) }];
+        assert!(evaluate_disaggregation(&truth, &est).is_err());
+    }
+
+    #[test]
+    fn half_error() {
+        // Estimate misses half the energy: error factor 0.5.
+        let truth = vec![("x".to_string(), trace(vec![1_000.0, 1_000.0]))];
+        let est = vec![DeviceEstimate { name: "x".into(), trace: trace(vec![1_000.0, 0.0]) }];
+        let scores = evaluate_disaggregation(&truth, &est).unwrap();
+        assert!((scores[0].error_factor - 0.5).abs() < 1e-12);
+    }
+}

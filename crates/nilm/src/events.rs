@@ -1,0 +1,155 @@
+//! Behavioural event extraction from disaggregated traces.
+//!
+//! Disaggregation is only the first half of the paper's privacy argument;
+//! the second half is what the per-device traces *say about people*:
+//! "What days of the week do the users do their laundry? Do they watch a
+//! lot of TV? What time do the occupants go to bed?" This module turns a
+//! [`DeviceEstimate`] into those statements.
+
+use crate::estimate::DeviceEstimate;
+use serde::{Deserialize, Serialize};
+use timeseries::{PowerTrace, Timestamp};
+
+/// One inferred usage event of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UsageEvent {
+    /// When the device turned on.
+    pub start: Timestamp,
+    /// How long it ran, seconds.
+    pub duration_secs: u64,
+    /// Energy used during the event, kWh.
+    pub kwh: f64,
+}
+
+/// A behavioural summary of one device over the analyzed horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsageProfile {
+    /// Device name.
+    pub device: String,
+    /// All inferred events, in time order.
+    pub events: Vec<UsageEvent>,
+    /// Days (indices) on which the device ran at all.
+    pub active_days: Vec<u64>,
+    /// The most common start hour of day (`None` if no events).
+    pub modal_start_hour: Option<u64>,
+}
+
+impl UsageProfile {
+    /// Events per analyzed day.
+    pub fn events_per_day(&self, days: u64) -> f64 {
+        if days == 0 {
+            0.0
+        } else {
+            self.events.len() as f64 / days as f64
+        }
+    }
+}
+
+/// Extracts usage events from an estimated device trace: maximal runs
+/// where the device draws at least `min_watts`.
+pub fn extract_events(trace: &PowerTrace, min_watts: f64) -> Vec<UsageEvent> {
+    let res = trace.resolution().as_secs() as u64;
+    let mut events = Vec::new();
+    let mut i = 0;
+    let s = trace.samples();
+    while i < s.len() {
+        if s[i] < min_watts {
+            i += 1;
+            continue;
+        }
+        let start_idx = i;
+        let mut kwh = 0.0;
+        while i < s.len() && s[i] >= min_watts {
+            kwh += s[i] * trace.resolution().as_hours() / 1_000.0;
+            i += 1;
+        }
+        events.push(UsageEvent {
+            start: trace.timestamp(start_idx),
+            duration_secs: (i - start_idx) as u64 * res,
+            kwh,
+        });
+    }
+    events
+}
+
+/// Builds the behavioural profile the paper's intro warns about.
+pub fn profile(estimate: &DeviceEstimate, min_watts: f64) -> UsageProfile {
+    let events = extract_events(&estimate.trace, min_watts);
+    let mut active_days: Vec<u64> = events.iter().map(|e| e.start.day()).collect();
+    active_days.sort_unstable();
+    active_days.dedup();
+    let modal_start_hour = {
+        let mut counts = [0u32; 24];
+        for e in &events {
+            counts[e.start.hour_of_day() as usize] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .filter(|&(_, &c)| c > 0)
+            .map(|(h, _)| h as u64)
+    };
+    UsageProfile {
+        device: estimate.name.clone(),
+        events,
+        active_days,
+        modal_start_hour,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::Resolution;
+
+    fn estimate(samples: Vec<f64>) -> DeviceEstimate {
+        DeviceEstimate {
+            name: "toaster".into(),
+            trace: PowerTrace::new(Timestamp::ZERO, Resolution::ONE_MINUTE, samples).unwrap(),
+        }
+    }
+
+    #[test]
+    fn extracts_separated_events() {
+        let mut samples = vec![0.0; 1440 * 2];
+        // Two events on day 0, one on day 1, all at 07:xx.
+        for i in 420..424 {
+            samples[i] = 1_500.0;
+        }
+        for i in 470..473 {
+            samples[i] = 1_500.0;
+        }
+        for i in 1440 + 430..1440 + 435 {
+            samples[i] = 1_500.0;
+        }
+        let est = estimate(samples);
+        let p = profile(&est, 100.0);
+        assert_eq!(p.events.len(), 3);
+        assert_eq!(p.active_days, vec![0, 1]);
+        assert_eq!(p.modal_start_hour, Some(7));
+        assert!((p.events_per_day(2) - 1.5).abs() < 1e-12);
+        assert_eq!(p.events[0].duration_secs, 240);
+        assert!((p.events[0].kwh - 1.5 * 4.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quiet_trace_has_no_events() {
+        let p = profile(&estimate(vec![10.0; 100]), 100.0);
+        assert!(p.events.is_empty());
+        assert!(p.active_days.is_empty());
+        assert_eq!(p.modal_start_hour, None);
+        assert_eq!(p.events_per_day(0), 0.0);
+    }
+
+    #[test]
+    fn adjacent_samples_form_one_event() {
+        let mut samples = vec![0.0; 60];
+        for i in 10..20 {
+            samples[i] = 500.0;
+        }
+        let events = extract_events(&estimate(samples).trace, 100.0);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].duration_secs, 600);
+    }
+}

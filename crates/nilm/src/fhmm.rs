@@ -1,0 +1,392 @@
+//! The Factorial-HMM disaggregation baseline (Kolter & Johnson, REDD).
+//!
+//! Each device is an independent Markov chain (learned by [`crate::train`])
+//! and the meter observes the *sum* of all chains' emissions plus Gaussian
+//! noise. Inference recovers the most likely joint state path:
+//!
+//! * **exact factorial Viterbi** over the joint product state space when it
+//!   is small enough, or
+//! * **iterated conditional modes (ICM)**: per-device Viterbi against the
+//!   residual left by the other devices' current estimates, swept until
+//!   convergence — the standard approximation for large device sets.
+
+use crate::estimate::{DeviceEstimate, Disaggregator};
+use crate::train::DeviceHmm;
+use timeseries::PowerTrace;
+
+/// Tuning parameters of the FHMM disaggregator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FhmmConfig {
+    /// Std-dev of the aggregate observation noise, watts.
+    pub noise_sd_watts: f64,
+    /// Largest joint state count for which exact factorial Viterbi is used.
+    pub max_exact_states: usize,
+    /// ICM sweeps when the joint space is too large for exact inference.
+    pub icm_sweeps: usize,
+}
+
+impl Default for FhmmConfig {
+    fn default() -> Self {
+        FhmmConfig { noise_sd_watts: 40.0, max_exact_states: 512, icm_sweeps: 4 }
+    }
+}
+
+/// The factorial HMM over a set of learned device models.
+#[derive(Debug, Clone)]
+pub struct Fhmm {
+    devices: Vec<DeviceHmm>,
+    config: FhmmConfig,
+}
+
+impl Fhmm {
+    /// Creates an FHMM from learned device models with default tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty.
+    pub fn new(devices: Vec<DeviceHmm>) -> Self {
+        Fhmm::with_config(devices, FhmmConfig::default())
+    }
+
+    /// Creates an FHMM with explicit tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty or the noise std-dev is not positive.
+    pub fn with_config(devices: Vec<DeviceHmm>, config: FhmmConfig) -> Self {
+        assert!(!devices.is_empty(), "FHMM needs at least one device");
+        assert!(
+            config.noise_sd_watts.is_finite() && config.noise_sd_watts > 0.0,
+            "noise std-dev must be positive"
+        );
+        Fhmm { devices, config }
+    }
+
+    /// The total joint state count.
+    pub fn joint_states(&self) -> usize {
+        self.devices.iter().map(|d| d.n_states()).product()
+    }
+
+    /// Decodes per-device state paths for `meter`.
+    fn decode(&self, meter: &PowerTrace) -> Vec<Vec<usize>> {
+        if meter.is_empty() {
+            return vec![Vec::new(); self.devices.len()];
+        }
+        if self.joint_states() <= self.config.max_exact_states {
+            self.decode_exact(meter)
+        } else {
+            self.decode_icm(meter)
+        }
+    }
+
+    /// Exact factorial Viterbi over the joint product space.
+    fn decode_exact(&self, meter: &PowerTrace) -> Vec<Vec<usize>> {
+        let k = self.joint_states();
+        let n = meter.len();
+        let xs = meter.samples();
+        let inv_two_var = 0.5 / (self.config.noise_sd_watts * self.config.noise_sd_watts);
+
+        // Joint-state tables.
+        let factored: Vec<Vec<usize>> = (0..k).map(|j| self.unpack(j)).collect();
+        let totals: Vec<f64> = factored
+            .iter()
+            .map(|states| {
+                states
+                    .iter()
+                    .zip(&self.devices)
+                    .map(|(&s, d)| d.state_watts[s])
+                    .sum()
+            })
+            .collect();
+        let log_init: Vec<f64> = factored
+            .iter()
+            .map(|states| {
+                states
+                    .iter()
+                    .zip(&self.devices)
+                    .map(|(&s, d)| d.log_init[s])
+                    .sum()
+            })
+            .collect();
+        // Joint transition matrix (k x k) — factorizes as a sum of logs.
+        let mut log_a = vec![vec![0.0f64; k]; k];
+        for (from, row) in log_a.iter_mut().enumerate() {
+            for (to, cell) in row.iter_mut().enumerate() {
+                *cell = factored[from]
+                    .iter()
+                    .zip(&factored[to])
+                    .zip(&self.devices)
+                    .map(|((&f, &t), d)| d.log_trans[f][t])
+                    .sum();
+            }
+        }
+
+        let emit = |j: usize, x: f64| -> f64 {
+            let d = x - totals[j];
+            -d * d * inv_two_var
+        };
+
+        let mut delta: Vec<f64> = (0..k).map(|j| log_init[j] + emit(j, xs[0])).collect();
+        let mut back = vec![vec![0usize; k]; n];
+        let mut next = vec![f64::NEG_INFINITY; k];
+        for t in 1..n {
+            for j in 0..k {
+                let mut best = f64::NEG_INFINITY;
+                let mut arg = 0;
+                for i in 0..k {
+                    let v = delta[i] + log_a[i][j];
+                    if v > best {
+                        best = v;
+                        arg = i;
+                    }
+                }
+                next[j] = best + emit(j, xs[t]);
+                back[t][j] = arg;
+            }
+            std::mem::swap(&mut delta, &mut next);
+        }
+        let mut joint_path = vec![0usize; n];
+        joint_path[n - 1] = delta
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(j, _)| j)
+            .unwrap_or(0);
+        for t in (0..n - 1).rev() {
+            joint_path[t] = back[t + 1][joint_path[t + 1]];
+        }
+
+        // Unpack into per-device paths.
+        let mut paths = vec![vec![0usize; n]; self.devices.len()];
+        for (t, &j) in joint_path.iter().enumerate() {
+            for (d, &s) in factored[j].iter().enumerate() {
+                paths[d][t] = s;
+            }
+        }
+        paths
+    }
+
+    /// Iterated conditional modes: per-device Viterbi against the residual.
+    fn decode_icm(&self, meter: &PowerTrace) -> Vec<Vec<usize>> {
+        let n = meter.len();
+        let xs = meter.samples();
+        // Start everything in its lowest state.
+        let mut paths: Vec<Vec<usize>> = self.devices.iter().map(|_| vec![0usize; n]).collect();
+        let mut explained: Vec<f64> = vec![0.0; n];
+        for (d, dev) in self.devices.iter().enumerate() {
+            for t in 0..n {
+                explained[t] += dev.state_watts[paths[d][t]];
+            }
+        }
+
+        // Sweep flexible chains (more states) first so slack/background
+        // chains absorb unmodelled load before specific appliances claim it.
+        let mut order: Vec<usize> = (0..self.devices.len()).collect();
+        order.sort_by_key(|&d| std::cmp::Reverse(self.devices[d].n_states()));
+        for _ in 0..self.config.icm_sweeps {
+            let mut changed = false;
+            for &d in &order {
+                let dev = &self.devices[d];
+                // Residual with this device removed.
+                let residual: Vec<f64> = (0..n)
+                    .map(|t| xs[t] - (explained[t] - dev.state_watts[paths[d][t]]))
+                    .collect();
+                let new_path = viterbi_single(dev, &residual, self.config.noise_sd_watts);
+                if new_path != paths[d] {
+                    changed = true;
+                    for t in 0..n {
+                        explained[t] += dev.state_watts[new_path[t]] - dev.state_watts[paths[d][t]];
+                    }
+                    paths[d] = new_path;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        paths
+    }
+
+    /// Unpacks joint state index `j` into per-device states.
+    fn unpack(&self, mut j: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.devices.len());
+        for d in &self.devices {
+            out.push(j % d.n_states());
+            j /= d.n_states();
+        }
+        out
+    }
+}
+
+/// Viterbi for a single device chain against a residual signal.
+fn viterbi_single(dev: &DeviceHmm, residual: &[f64], noise_sd: f64) -> Vec<usize> {
+    let k = dev.n_states();
+    let n = residual.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let inv_two_var = 0.5 / (noise_sd * noise_sd);
+    let emit = |s: usize, x: f64| -> f64 {
+        let d = x - dev.state_watts[s];
+        -d * d * inv_two_var
+    };
+    let mut delta: Vec<f64> = (0..k).map(|s| dev.log_init[s] + emit(s, residual[0])).collect();
+    let mut back = vec![vec![0usize; k]; n];
+    let mut next = vec![f64::NEG_INFINITY; k];
+    for t in 1..n {
+        for s in 0..k {
+            let mut best = f64::NEG_INFINITY;
+            let mut arg = 0;
+            for p in 0..k {
+                let v = delta[p] + dev.log_trans[p][s];
+                if v > best {
+                    best = v;
+                    arg = p;
+                }
+            }
+            next[s] = best + emit(s, residual[t]);
+            back[t][s] = arg;
+        }
+        std::mem::swap(&mut delta, &mut next);
+    }
+    let mut path = vec![0usize; n];
+    path[n - 1] = delta
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(s, _)| s)
+        .unwrap_or(0);
+    for t in (0..n - 1).rev() {
+        path[t] = back[t + 1][path[t + 1]];
+    }
+    path
+}
+
+impl Disaggregator for Fhmm {
+    fn disaggregate(&self, meter: &PowerTrace) -> Vec<DeviceEstimate> {
+        let paths = self.decode(meter);
+        self.devices
+            .iter()
+            .zip(paths)
+            .map(|(dev, path)| DeviceEstimate {
+                name: dev.name.clone(),
+                trace: PowerTrace::from_fn(
+                    meter.start(),
+                    meter.resolution(),
+                    meter.len(),
+                    |t| dev.state_watts[path[t]],
+                ),
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "fhmm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::evaluate_disaggregation;
+    use crate::train::train_device_hmm;
+    use timeseries::{Resolution, Timestamp};
+
+    fn square_wave(period: usize, on_len: usize, watts: f64, len: usize) -> PowerTrace {
+        PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, len, |i| {
+            if i % period < on_len { watts } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn exact_two_device_separation() {
+        // Two devices with different magnitudes and periods.
+        let a_truth = square_wave(40, 15, 150.0, 600);
+        let b_truth = square_wave(90, 30, 1_000.0, 600);
+        let meter = a_truth.checked_add(&b_truth).unwrap();
+
+        let a = train_device_hmm("a", &a_truth, 2);
+        let b = train_device_hmm("b", &b_truth, 2);
+        let fhmm = Fhmm::new(vec![a, b]);
+        assert_eq!(fhmm.joint_states(), 4);
+
+        let estimates = fhmm.disaggregate(&meter);
+        let truth = vec![("a".to_string(), a_truth), ("b".to_string(), b_truth)];
+        let scores = evaluate_disaggregation(&truth, &estimates).unwrap();
+        for s in &scores {
+            assert!(s.error_factor < 0.05, "{}: {}", s.device, s.error_factor);
+        }
+    }
+
+    #[test]
+    fn icm_matches_exact_on_small_problem() {
+        let a_truth = square_wave(50, 20, 200.0, 400);
+        let b_truth = square_wave(70, 25, 1_200.0, 400);
+        let meter = a_truth.checked_add(&b_truth).unwrap();
+        let models = vec![
+            train_device_hmm("a", &a_truth, 2),
+            train_device_hmm("b", &b_truth, 2),
+        ];
+        let exact = Fhmm::with_config(
+            models.clone(),
+            FhmmConfig { max_exact_states: 256, ..FhmmConfig::default() },
+        );
+        let icm = Fhmm::with_config(
+            models,
+            FhmmConfig { max_exact_states: 1, icm_sweeps: 6, ..FhmmConfig::default() },
+        );
+        let e1 = exact.disaggregate(&meter);
+        let e2 = icm.disaggregate(&meter);
+        // ICM should find (nearly) the same explanation here.
+        for (a, b) in e1.iter().zip(&e2) {
+            let diff: f64 = a
+                .trace
+                .samples()
+                .iter()
+                .zip(b.trace.samples())
+                .map(|(x, y)| (x - y).abs())
+                .sum();
+            let total: f64 = a.trace.samples().iter().sum();
+            assert!(diff / total.max(1.0) < 0.1, "{}: diff {diff}", a.name);
+        }
+    }
+
+    #[test]
+    fn confuses_similar_small_loads_under_noise() {
+        // Two near-identical small loads + noise: FHMM has trouble — this
+        // is the PowerPlay advantage the paper's Figure 2 shows.
+        use timeseries::rng::{normal, seeded_rng};
+        let a_truth = square_wave(50, 20, 100.0, 800);
+        let b_truth = square_wave(64, 24, 110.0, 800);
+        let mut rng = seeded_rng(1);
+        let meter = a_truth
+            .checked_add(&b_truth)
+            .unwrap()
+            .map(|w| (w + normal(&mut rng, 0.0, 40.0)).max(0.0));
+        let fhmm = Fhmm::new(vec![
+            train_device_hmm("a", &a_truth, 2),
+            train_device_hmm("b", &b_truth, 2),
+        ]);
+        let estimates = fhmm.disaggregate(&meter);
+        let truth = vec![("a".to_string(), a_truth), ("b".to_string(), b_truth)];
+        let scores = evaluate_disaggregation(&truth, &estimates).unwrap();
+        let worst = scores.iter().map(|s| s.error_factor).fold(0.0, f64::max);
+        assert!(worst > 0.15, "expected confusion, worst error {worst}");
+    }
+
+    #[test]
+    fn empty_meter() {
+        let t = square_wave(10, 5, 100.0, 50);
+        let fhmm = Fhmm::new(vec![train_device_hmm("a", &t, 2)]);
+        let meter = PowerTrace::zeros(Timestamp::ZERO, Resolution::ONE_MINUTE, 0);
+        let estimates = fhmm.disaggregate(&meter);
+        assert_eq!(estimates.len(), 1);
+        assert!(estimates[0].trace.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_device_set_rejected() {
+        Fhmm::new(vec![]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Hart's classic edge-pair NILM (IEEE T&S 1989) — the method that
+//! started the field, included as the unsupervised baseline: no a-priori
+//! models (unlike PowerPlay) and no training data (unlike the FHMM).
+//!
+//! Steady-state edges are clustered by magnitude; each rising edge is
+//! matched with the next falling edge of similar magnitude, and each
+//! cluster becomes an anonymous "appliance" reported as a rectangular
+//! power envelope.
+
+use crate::estimate::{DeviceEstimate, Disaggregator};
+use timeseries::{EdgeDetector, EdgeDirection, PowerTrace};
+
+/// The Hart edge-pair disaggregator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HartNilm {
+    /// Minimum step magnitude considered an appliance transition, watts.
+    pub edge_threshold_watts: f64,
+    /// Relative tolerance when matching a falling edge to a rising edge.
+    pub match_tolerance: f64,
+    /// Maximum pairing distance, samples (an appliance left "on" forever
+    /// is closed out at this horizon).
+    pub max_on_samples: usize,
+    /// Relative width of a magnitude cluster.
+    pub cluster_tolerance: f64,
+}
+
+impl Default for HartNilm {
+    fn default() -> Self {
+        HartNilm {
+            edge_threshold_watts: 60.0,
+            match_tolerance: 0.2,
+            max_on_samples: 240,
+            cluster_tolerance: 0.15,
+        }
+    }
+}
+
+/// One paired on/off interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PairedInterval {
+    start: usize,
+    end: usize,
+    watts: f64,
+}
+
+impl HartNilm {
+    /// Pairs rising edges with matching falling edges.
+    fn pair_edges(&self, meter: &PowerTrace) -> Vec<PairedInterval> {
+        let edges = EdgeDetector::new(self.edge_threshold_watts).detect(meter);
+        let mut pairs = Vec::new();
+        let mut open: Vec<(usize, f64)> = Vec::new(); // (index, magnitude)
+        for e in &edges {
+            match e.direction {
+                EdgeDirection::Rising => open.push((e.index, e.delta_watts)),
+                EdgeDirection::Falling => {
+                    let drop = -e.delta_watts;
+                    // Best open rising edge by relative magnitude match.
+                    let mut best: Option<(usize, f64)> = None;
+                    for (slot, &(start, mag)) in open.iter().enumerate() {
+                        if e.index - start > self.max_on_samples {
+                            continue;
+                        }
+                        let rel = (drop - mag).abs() / mag;
+                        if rel < self.match_tolerance
+                            && best.map_or(true, |(_, r)| rel < r)
+                        {
+                            best = Some((slot, rel));
+                        }
+                    }
+                    if let Some((slot, _)) = best {
+                        let (start, mag) = open.remove(slot);
+                        pairs.push(PairedInterval {
+                            start,
+                            end: e.index,
+                            watts: (mag + drop) / 2.0,
+                        });
+                    }
+                }
+            }
+            // Expire stale open edges.
+            open.retain(|&(start, _)| e.index.saturating_sub(start) <= self.max_on_samples);
+        }
+        pairs
+    }
+
+    /// Clusters paired intervals by magnitude into anonymous appliances.
+    fn cluster(&self, mut pairs: Vec<PairedInterval>) -> Vec<(f64, Vec<PairedInterval>)> {
+        pairs.sort_by(|a, b| a.watts.total_cmp(&b.watts));
+        let mut clusters: Vec<(f64, Vec<PairedInterval>)> = Vec::new();
+        for p in pairs {
+            match clusters.last_mut() {
+                Some((centre, members))
+                    if (p.watts - *centre).abs() / *centre < self.cluster_tolerance =>
+                {
+                    // Running-mean centre update.
+                    *centre = (*centre * members.len() as f64 + p.watts)
+                        / (members.len() + 1) as f64;
+                    members.push(p);
+                }
+                _ => clusters.push((p.watts, vec![p])),
+            }
+        }
+        clusters
+    }
+}
+
+impl Disaggregator for HartNilm {
+    /// Produces one anonymous estimate per magnitude cluster, named
+    /// `hart-<watts>w`. Scoring against named ground truth requires the
+    /// caller to match clusters to devices (see the tests for the
+    /// convention).
+    fn disaggregate(&self, meter: &PowerTrace) -> Vec<DeviceEstimate> {
+        let pairs = self.pair_edges(meter);
+        let clusters = self.cluster(pairs);
+        clusters
+            .into_iter()
+            .map(|(centre, members)| {
+                let mut samples = vec![0.0; meter.len()];
+                for m in &members {
+                    for slot in samples.iter_mut().take(m.end).skip(m.start) {
+                        *slot += m.watts;
+                    }
+                }
+                DeviceEstimate {
+                    name: format!("hart-{}w", centre.round() as i64),
+                    trace: PowerTrace::new(meter.start(), meter.resolution(), samples)
+                        .expect("finite cluster powers"),
+                }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "hart-1989"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::stats::disaggregation_error;
+    use timeseries::{Resolution, Timestamp};
+
+    /// Two rectangular appliances with distinct magnitudes. The phases are
+    /// offset so no two transitions share a sample — simultaneous events
+    /// are Hart's classic failure mode (PowerPlay's pair-claiming handles
+    /// them; this baseline deliberately does not).
+    fn two_device_home() -> (PowerTrace, PowerTrace, PowerTrace) {
+        let a = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 600, |i| {
+            if i % 60 < 10 { 1_500.0 } else { 0.0 }
+        });
+        let b = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 600, |i| {
+            if (15..45).contains(&(i % 90)) { 400.0 } else { 0.0 }
+        });
+        let total = a.checked_add(&b).unwrap();
+        (total, a, b)
+    }
+
+    #[test]
+    fn recovers_two_rectangular_appliances() {
+        let (meter, a_truth, b_truth) = two_device_home();
+        let estimates = HartNilm::default().disaggregate(&meter);
+        assert!(estimates.len() >= 2, "clusters: {:?}", estimates.len());
+        // Match clusters to devices by magnitude.
+        let near = |target: f64| {
+            estimates
+                .iter()
+                .find(|e| {
+                    let name_watts: f64 = e.name.trim_start_matches("hart-")
+                        .trim_end_matches('w')
+                        .parse()
+                        .unwrap_or(0.0);
+                    (name_watts - target).abs() / target < 0.2
+                })
+                .unwrap_or_else(|| panic!("no cluster near {target}"))
+        };
+        let e_a = disaggregation_error(a_truth.samples(), near(1_500.0).trace.samples());
+        let e_b = disaggregation_error(b_truth.samples(), near(400.0).trace.samples());
+        assert!(e_a < 0.15, "1.5kW device error {e_a}");
+        assert!(e_b < 0.15, "400W device error {e_b}");
+    }
+
+    #[test]
+    fn unpaired_edges_are_dropped() {
+        // A rise with no matching fall within the horizon.
+        let t = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 400, |i| {
+            if i >= 50 { 1_000.0 } else { 0.0 }
+        });
+        let estimates = HartNilm::default().disaggregate(&t);
+        let total: f64 = estimates.iter().map(|e| e.trace.energy_kwh()).sum();
+        assert_eq!(total, 0.0, "unpaired rise must not produce phantom energy");
+    }
+
+    #[test]
+    fn flat_trace_produces_nothing() {
+        let t = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 300, 80.0);
+        assert!(HartNilm::default().disaggregate(&t).is_empty());
+    }
+
+    #[test]
+    fn clusters_merge_similar_magnitudes() {
+        // Slightly jittered repetitions of one appliance → one cluster.
+        let t = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 600, |i| {
+            let jitter = ((i / 60) % 3) as f64 * 20.0;
+            if i % 60 < 8 { 1_000.0 + jitter } else { 0.0 }
+        });
+        let estimates = HartNilm::default().disaggregate(&t);
+        assert_eq!(estimates.len(), 1, "got {:?}", estimates.iter().map(|e| &e.name).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(HartNilm::default().name(), "hart-1989");
+    }
+}

@@ -1,0 +1,664 @@
+//! PowerPlay: model-driven load tracking via virtual power meters
+//! (Barker et al., BuildSys'14).
+
+use crate::estimate::{DeviceEstimate, Disaggregator};
+use loads::{render_activations, render_always_on, Activation, Catalogue, LoadModel, LoadSignature};
+use std::sync::Arc;
+use timeseries::{EdgeDetector, PowerTrace};
+
+/// Tuning parameters of the PowerPlay tracker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerPlayConfig {
+    /// Minimum aggregate step (watts) considered an event.
+    pub edge_threshold_watts: f64,
+    /// Relative tolerance when matching a residual step to a device's
+    /// expected step.
+    pub match_tolerance: f64,
+    /// Samples averaged on each side of a candidate edge; >1 suppresses
+    /// meter-noise steps at the cost of temporal sharpness.
+    pub settle_samples: usize,
+    /// Minimum match score in `(0, 1]` required to claim an edge; raising
+    /// it rejects marginal (usually noise-born) matches.
+    pub min_match_score: f64,
+}
+
+impl Default for PowerPlayConfig {
+    fn default() -> Self {
+        PowerPlayConfig {
+            edge_threshold_watts: 60.0,
+            match_tolerance: 0.18,
+            settle_samples: 1,
+            min_match_score: 0.35,
+        }
+    }
+}
+
+/// One device the tracker knows a priori.
+#[derive(Debug, Clone)]
+struct TrackedDevice {
+    name: String,
+    /// The model replayed by this device's virtual power meter while the
+    /// device is claimed on. For cyclical loads this is the *inner element*
+    /// — each compressor on-phase is claimed separately, which re-anchors
+    /// the cycle at every observed edge instead of replaying blind.
+    playback: Arc<dyn LoadModel>,
+    signature: LoadSignature,
+    /// Claimed on at trace start and never turned off (continuous loads
+    /// such as ventilation, which produce no edges to claim).
+    assumed_always_on: bool,
+}
+
+/// The PowerPlay tracker: holds the a-priori device models and explains an
+/// aggregate trace by claiming its step edges for devices, then letting
+/// each claimed device's *virtual power meter* replay its model.
+///
+/// Claimed playback (rather than copying measured power) is what makes
+/// PowerPlay "more robust to noisy smart meter data" than learned
+/// approaches — the virtual meter output never contains meter noise.
+///
+/// Claims are anchored at sub-sample precision: the fraction of the first
+/// meter sample covered by the observed step recovers where inside the
+/// sample the device actually switched, so multi-phase playback (a dryer's
+/// cycling element) stays aligned with reality.
+#[derive(Debug, Clone)]
+pub struct PowerPlay {
+    devices: Vec<TrackedDevice>,
+    config: PowerPlayConfig,
+}
+
+/// Internal: a device currently claimed on.
+#[derive(Debug, Clone, Copy)]
+struct OnState {
+    /// Switch-on time in (fractional) seconds since trace start.
+    start_secs: f64,
+}
+
+impl PowerPlay {
+    /// Builds a tracker for every appliance in `catalogue` with default
+    /// tuning.
+    pub fn from_catalogue(catalogue: &Catalogue) -> Self {
+        PowerPlay::with_config(catalogue, PowerPlayConfig::default())
+    }
+
+    /// Builds a tracker with explicit tuning.
+    pub fn with_config(catalogue: &Catalogue, config: PowerPlayConfig) -> Self {
+        let devices = catalogue
+            .iter()
+            .map(|a| {
+                let playback: Arc<dyn LoadModel> = match a.signature().cyclical_element() {
+                    Some(element) => Arc::new(element),
+                    None => a.model().clone(),
+                };
+                TrackedDevice {
+                    name: a.name().to_string(),
+                    playback,
+                    signature: a.signature().clone(),
+                    assumed_always_on: a.signature().cycle_period_secs.is_none()
+                        && a.signature().duration_bounds_secs.1 > 86_400 * 365,
+                }
+            })
+            .collect();
+        PowerPlay { devices, config }
+    }
+
+    /// Number of tracked devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The model-predicted average power of an on-device over meter sample
+    /// `t`, given its fractional switch-on time.
+    fn predicted_power(dev: &TrackedDevice, state: OnState, t: usize, res: f64) -> f64 {
+        let from = t as f64 * res - state.start_secs;
+        dev.playback.average_power(from.max(-res), from + res)
+    }
+
+    /// The range of plausible observed on-steps for a device. The
+    /// observable step depends on where inside a meter sample the device
+    /// started: a boundary-aligned start shows the full first-sample
+    /// average (steady + averaged in-rush) while a mid-sample start shows
+    /// close to the steady level.
+    fn expected_on_range(dev: &TrackedDevice, res: f64) -> (f64, f64) {
+        let steady = dev.signature.on_delta_watts;
+        let with_spike = dev.playback.average_power(0.0, res);
+        if steady <= with_spike { (steady, with_spike) } else { (with_spike, steady) }
+    }
+
+    /// Scores an observed step against a plausible range: 1 inside the
+    /// range, falling off linearly with relative distance outside it.
+    fn range_score(&self, delta: f64, lo: f64, hi: f64) -> f64 {
+        if lo <= 0.0 {
+            return 0.0;
+        }
+        if (lo..=hi).contains(&delta) {
+            return 1.0;
+        }
+        let (dist, reference) = if delta < lo { (lo - delta, lo) } else { (delta - hi, hi) };
+        let rel = dist / reference;
+        if rel >= self.config.match_tolerance {
+            0.0
+        } else {
+            1.0 - rel / self.config.match_tolerance
+        }
+    }
+}
+
+impl Disaggregator for PowerPlay {
+    fn disaggregate(&self, meter: &PowerTrace) -> Vec<DeviceEstimate> {
+        let res = meter.resolution().as_secs() as f64;
+        let samples = meter.samples();
+        let edges = EdgeDetector::new(self.config.edge_threshold_watts)
+            .with_settle(self.config.settle_samples)
+            .detect(meter);
+
+        // Claimed activation intervals per device, in fractional seconds
+        // since trace start: (start_secs, Option<end_secs>).
+        let mut claims: Vec<Vec<(f64, Option<f64>)>> = vec![Vec::new(); self.devices.len()];
+        let mut on: Vec<Option<OnState>> = vec![None; self.devices.len()];
+
+        for edge in &edges {
+            let i = edge.index;
+            // Force-close claims that have exceeded their plausible maximum
+            // duration (their off edge was missed), so the device becomes
+            // claimable again and stops mispredicting.
+            for (d, dev) in self.devices.iter().enumerate() {
+                if dev.assumed_always_on {
+                    continue;
+                }
+                if let Some(state) = on[d] {
+                    let max_secs = dev.signature.duration_bounds_secs.1 as f64;
+                    if i as f64 * res - state.start_secs > max_secs {
+                        on[d] = None;
+                        claims[d].push((state.start_secs, Some(state.start_secs + max_secs)));
+                    }
+                }
+            }
+            // Expected aggregate change at i from devices already claimed on
+            // (cycle transitions, composite phase changes, program end).
+            let mut predicted = 0.0;
+            for (d, dev) in self.devices.iter().enumerate() {
+                if dev.assumed_always_on {
+                    continue; // constant playback contributes no steps
+                }
+                if let Some(state) = on[d] {
+                    let before = Self::predicted_power(dev, state, i.saturating_sub(1), res);
+                    let after = Self::predicted_power(dev, state, edge.post_index, res);
+                    predicted += after - before;
+                }
+            }
+            let residual = edge.delta_watts - predicted;
+            let first_step = samples[i] - samples[i - 1];
+
+            if residual >= self.config.edge_threshold_watts {
+                // Rising: claim the best-matching off device, falling back
+                // to the best *pair* of off devices for simultaneous starts
+                // (two compressors kicking in within the same sample).
+                let off: Vec<usize> = (0..self.devices.len())
+                    .filter(|&d| on[d].is_none() && !self.devices[d].assumed_always_on)
+                    .collect();
+                let mut best: Option<(Vec<usize>, f64)> = None;
+                for &d in &off {
+                    let (lo, hi) = Self::expected_on_range(&self.devices[d], res);
+                    let score = self.range_score(residual, lo, hi);
+                    if score >= self.config.min_match_score
+                        && best.as_ref().is_none_or(|(_, s)| score > *s)
+                    {
+                        best = Some((vec![d], score));
+                    }
+                }
+                if best.is_none() {
+                    for (a_pos, &d1) in off.iter().enumerate() {
+                        for &d2 in &off[a_pos + 1..] {
+                            let (lo1, hi1) = Self::expected_on_range(&self.devices[d1], res);
+                            let (lo2, hi2) = Self::expected_on_range(&self.devices[d2], res);
+                            let score = self.range_score(residual, lo1 + lo2, hi1 + hi2);
+                            if score >= self.config.min_match_score
+                                && best.as_ref().is_none_or(|(_, s)| score > *s)
+                            {
+                                best = Some((vec![d1, d2], score));
+                            }
+                        }
+                    }
+                }
+                if let Some((claimed, _)) = best {
+                    // Verify the step is sustained one sample past the
+                    // transition — single-sample meter-noise blips rise and
+                    // immediately collapse, real devices keep drawing.
+                    let expected_level: f64 = claimed
+                        .iter()
+                        .map(|&d| self.devices[d].signature.on_delta_watts)
+                        .sum();
+                    let sustained = match samples.get(edge.post_index + 1) {
+                        Some(&next) => next - samples[i - 1] >= 0.4 * expected_level,
+                        None => true, // transition at trace end: accept
+                    };
+                    if sustained {
+                        // Sub-sample anchor: the first sample's partial rise
+                        // tells us how far into the sample the device started.
+                        let frac = if edge.delta_watts > 0.0 {
+                            (1.0 - first_step / edge.delta_watts).clamp(0.0, 0.99)
+                        } else {
+                            0.0
+                        };
+                        for &d in &claimed {
+                            on[d] = Some(OnState { start_secs: (i as f64 + frac) * res });
+                        }
+                    }
+                }
+            } else if residual <= -self.config.edge_threshold_watts {
+                // Falling: release the best-matching on device whose model
+                // says it is currently drawing about that much.
+                let drop = -residual;
+                // Devices eligible for release: claimed on, past their
+                // minimum plausible run length (a dryer cannot stop during
+                // an early element-off window), and currently drawing.
+                let eligible: Vec<(usize, f64)> = self
+                    .devices
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(d, dev)| {
+                        let state = on[d]?;
+                        if dev.assumed_always_on {
+                            return None;
+                        }
+                        let elapsed = i as f64 * res - state.start_secs;
+                        if elapsed < dev.signature.duration_bounds_secs.0 as f64 {
+                            return None;
+                        }
+                        let current =
+                            Self::predicted_power(dev, state, i.saturating_sub(1), res);
+                        (current > 0.0).then_some((d, current))
+                    })
+                    .collect();
+                let mut best: Option<(Vec<usize>, f64, f64)> = None;
+                for &(d, current) in &eligible {
+                    let score = self.range_score(drop, current, current);
+                    if score >= self.config.min_match_score
+                        && best.as_ref().is_none_or(|(_, s, _)| score > *s)
+                    {
+                        best = Some((vec![d], score, current));
+                    }
+                }
+                if best.is_none() {
+                    for (a_pos, &(d1, c1)) in eligible.iter().enumerate() {
+                        for &(d2, c2) in &eligible[a_pos + 1..] {
+                            let score = self.range_score(drop, c1 + c2, c1 + c2);
+                            if score >= self.config.min_match_score
+                                && best.as_ref().is_none_or(|(_, s, _)| score > *s)
+                            {
+                                best = Some((vec![d1, d2], score, c1 + c2));
+                            }
+                        }
+                    }
+                }
+                if let Some((released, _, current)) = best {
+                    // Verify the drop is sustained one sample past the
+                    // transition before releasing the device(s).
+                    let sustained = match samples.get(edge.post_index + 1) {
+                        Some(&next) => samples[i - 1] - next >= 0.4 * current,
+                        None => true,
+                    };
+                    if sustained {
+                        for &d in &released {
+                            let state = on[d].take().expect("selected from on devices");
+                            // Sub-sample end anchor from the partial fall.
+                            let frac = if current > 0.0 {
+                                (1.0 + first_step / current).clamp(0.0, 1.0)
+                            } else {
+                                0.0
+                            };
+                            claims[d].push((state.start_secs, Some((i as f64 + frac) * res)));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Close out still-on devices at the trace end.
+        let trace_end = meter.len() as f64 * res;
+        for (d, state) in on.iter().enumerate() {
+            if let Some(state) = state {
+                claims[d].push((state.start_secs, None));
+            }
+        }
+
+        // Build per-device claimed activations.
+        let mut device_acts: Vec<Vec<Activation>> = Vec::with_capacity(self.devices.len());
+        for (d, dev) in self.devices.iter().enumerate() {
+            if dev.assumed_always_on {
+                device_acts.push(Vec::new());
+                continue;
+            }
+            let max_secs = dev.signature.duration_bounds_secs.1;
+            device_acts.push(
+                claims[d]
+                    .iter()
+                    .filter_map(|&(start_secs, end_secs)| {
+                        let end_secs = end_secs.unwrap_or(trace_end);
+                        if end_secs <= start_secs {
+                            return None;
+                        }
+                        let dur = ((end_secs - start_secs).round() as u64).clamp(1, max_secs);
+                        let start = meter.start() + start_secs.round().max(0.0) as u64;
+                        Some(Activation::new(start, dur))
+                    })
+                    .collect(),
+            );
+        }
+
+        // Render each device's virtual meter.
+        let render = |d: usize, acts: &[Activation]| -> PowerTrace {
+            let dev = &self.devices[d];
+            if dev.assumed_always_on {
+                render_always_on(
+                    dev.playback.as_ref(),
+                    meter.start(),
+                    meter.resolution(),
+                    meter.len(),
+                )
+            } else {
+                render_activations(
+                    dev.playback.as_ref(),
+                    acts,
+                    meter.start(),
+                    meter.resolution(),
+                    meter.len(),
+                )
+            }
+        };
+        let mut traces: Vec<PowerTrace> =
+            (0..self.devices.len()).map(|d| render(d, &device_acts[d])).collect();
+
+        // Global validation pass: drop claims the meter does not support.
+        // With every claim rendered, the meter minus everything *else*
+        // should still show this device's power during each of its claimed
+        // intervals; meter-noise-born claims fail this test because nothing
+        // real underlies them.
+        let mut explained = vec![0.0f64; meter.len()];
+        for tr in &traces {
+            for (e, w) in explained.iter_mut().zip(tr.samples()) {
+                *e += w;
+            }
+        }
+        for d in 0..self.devices.len() {
+            if self.devices[d].assumed_always_on || device_acts[d].is_empty() {
+                continue;
+            }
+            let own = traces[d].samples().to_vec();
+            let kept: Vec<Activation> = device_acts[d]
+                .iter()
+                .copied()
+                .filter(|act| {
+                    let lo = meter.index_of(act.start).unwrap_or(0);
+                    let hi = meter.index_of(act.end()).unwrap_or(meter.len()).min(meter.len());
+                    if hi <= lo {
+                        return true;
+                    }
+                    let mut residual = 0.0;
+                    let mut claimed_power = 0.0;
+                    for t in lo..hi {
+                        residual += samples[t] - (explained[t] - own[t]);
+                        claimed_power += own[t];
+                    }
+                    if residual < 0.5 * claimed_power {
+                        return false;
+                    }
+                    // If the unexplained level *persists* past the claim's
+                    // end — no drop of about the device's draw at the
+                    // boundary — the claim was a look-alike for some
+                    // unmodelled load (e.g. a dishwasher heater claimed as
+                    // a toaster until the toaster's maximum run length
+                    // expired). Compare residual levels just before and
+                    // just after the end so unmodelled *background* (which
+                    // raises both) cancels out.
+                    if hi + 3 <= meter.len() && hi >= lo + 2 {
+                        // The drop to expect at the boundary is whatever the
+                        // *model* was drawing at the claim's end (a dryer
+                        // ends on its 300 W motor, not its 5.3 kW peak).
+                        let expected_drop = (own[hi - 2] + own[hi - 1]) / 2.0;
+                        let during: f64 = (hi - 2..hi)
+                            .map(|t| samples[t] - (explained[t] - own[t]))
+                            .sum::<f64>()
+                            / 2.0;
+                        let after: f64 =
+                            (hi..hi + 3).map(|t| samples[t] - explained[t]).sum::<f64>() / 3.0;
+                        if during - after < 0.5 * expected_drop {
+                            return false;
+                        }
+                    }
+                    true
+                })
+                .collect();
+            if kept.len() != device_acts[d].len() {
+                let new_trace = render(d, &kept);
+                for t in 0..meter.len() {
+                    explained[t] += new_trace.watts(t) - own[t];
+                }
+                traces[d] = new_trace;
+                device_acts[d] = kept;
+            }
+        }
+
+        // Repair pass: when two devices transition within the same meter
+        // sample (cycle collisions), the edge matcher can miss a whole
+        // on-phase. Sustained unexplained residual betrays those misses;
+        // claim the best-fitting idle device for each residual run.
+        for _ in 0..2 {
+            let mut repaired = false;
+            let residual: Vec<f64> =
+                (0..meter.len()).map(|t| samples[t] - explained[t]).collect();
+            let mut t = 0;
+            while t < meter.len() {
+                if residual[t] < self.config.edge_threshold_watts {
+                    t += 1;
+                    continue;
+                }
+                let lo = t;
+                while t < meter.len() && residual[t] >= self.config.edge_threshold_watts {
+                    t += 1;
+                }
+                let hi = t;
+                if hi - lo < 3 {
+                    continue;
+                }
+                let run_secs = (hi - lo) as f64 * res;
+                let run_mean = residual[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+                let mut best: Option<(usize, f64)> = None;
+                for (d, dev) in self.devices.iter().enumerate() {
+                    if dev.assumed_always_on {
+                        continue;
+                    }
+                    let (min_s, max_s) = dev.signature.duration_bounds_secs;
+                    if run_secs < min_s as f64 * 0.5 || run_secs > max_s as f64 * 1.5 {
+                        continue;
+                    }
+                    // Device must be idle throughout the run.
+                    let run_start = meter.timestamp(lo);
+                    let run_end = meter.timestamp(hi.min(meter.len() - 1));
+                    let busy = device_acts[d]
+                        .iter()
+                        .any(|a| a.start < run_end + res as u64 && run_start < a.end());
+                    if busy {
+                        continue;
+                    }
+                    let steady = dev.signature.on_delta_watts;
+                    if steady <= 0.0 {
+                        continue;
+                    }
+                    let rel = (run_mean - steady).abs() / steady;
+                    if rel < self.config.match_tolerance {
+                        let score = 1.0 - rel / self.config.match_tolerance;
+                        if best.is_none_or(|(_, s)| score > s) {
+                            best = Some((d, score));
+                        }
+                    }
+                }
+                if let Some((d, _)) = best {
+                    let act = Activation::new(meter.timestamp(lo), run_secs as u64);
+                    device_acts[d].push(act);
+                    device_acts[d].sort_by_key(|a| a.start);
+                    let new_trace = render(d, &device_acts[d]);
+                    for tt in 0..meter.len() {
+                        explained[tt] += new_trace.watts(tt) - traces[d].watts(tt);
+                    }
+                    traces[d] = new_trace;
+                    repaired = true;
+                }
+            }
+            if !repaired {
+                break;
+            }
+        }
+
+        self.devices
+            .iter()
+            .zip(traces)
+            .map(|(dev, trace)| DeviceEstimate { name: dev.name.clone(), trace })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "powerplay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::evaluate_disaggregation;
+    use loads::Appliance;
+    use timeseries::{Resolution, Timestamp};
+
+    fn single_device_home(appliance: &Appliance, acts: &[Activation], len: usize) -> PowerTrace {
+        render_activations(
+            appliance.model().as_ref(),
+            acts,
+            Timestamp::ZERO,
+            Resolution::ONE_MINUTE,
+            len,
+        )
+    }
+
+    #[test]
+    fn tracks_single_toaster() {
+        let toaster = Appliance::toaster();
+        let acts = vec![Activation::new(Timestamp::from_secs(600), 240)];
+        let meter = single_device_home(&toaster, &acts, 60);
+        let cat: Catalogue = [Appliance::toaster()].into_iter().collect();
+        let estimates = PowerPlay::from_catalogue(&cat).disaggregate(&meter);
+        let truth = vec![("toaster".to_string(), meter.clone())];
+        let scores = evaluate_disaggregation(&truth, &estimates).unwrap();
+        assert!(scores[0].error_factor < 0.05, "error {}", scores[0].error_factor);
+    }
+
+    #[test]
+    fn anchors_misaligned_toaster() {
+        // Activation starting 37 s into a minute: sub-sample anchoring keeps
+        // the playback aligned.
+        let toaster = Appliance::toaster();
+        let acts = vec![Activation::new(Timestamp::from_secs(637), 240)];
+        let meter = single_device_home(&toaster, &acts, 60);
+        let cat: Catalogue = [Appliance::toaster()].into_iter().collect();
+        let estimates = PowerPlay::from_catalogue(&cat).disaggregate(&meter);
+        let truth = vec![("toaster".to_string(), meter.clone())];
+        let scores = evaluate_disaggregation(&truth, &estimates).unwrap();
+        assert!(scores[0].error_factor < 0.1, "error {}", scores[0].error_factor);
+    }
+
+    #[test]
+    fn tracks_fridge_cycles() {
+        let fridge = Appliance::fridge();
+        let meter = render_always_on(
+            fridge.model().as_ref(),
+            Timestamp::ZERO,
+            Resolution::ONE_MINUTE,
+            480,
+        );
+        let cat: Catalogue = [Appliance::fridge()].into_iter().collect();
+        let estimates = PowerPlay::from_catalogue(&cat).disaggregate(&meter);
+        let truth = vec![("fridge".to_string(), meter.clone())];
+        let scores = evaluate_disaggregation(&truth, &estimates).unwrap();
+        assert!(scores[0].error_factor < 0.15, "error {}", scores[0].error_factor);
+    }
+
+    #[test]
+    fn hrv_assumed_always_on() {
+        let hrv = Appliance::hrv();
+        let meter = render_always_on(
+            hrv.model().as_ref(),
+            Timestamp::ZERO,
+            Resolution::ONE_MINUTE,
+            240,
+        );
+        let cat: Catalogue = [Appliance::hrv()].into_iter().collect();
+        let estimates = PowerPlay::from_catalogue(&cat).disaggregate(&meter);
+        let truth = vec![("hrv".to_string(), meter.clone())];
+        let scores = evaluate_disaggregation(&truth, &estimates).unwrap();
+        assert!(scores[0].error_factor < 0.02, "error {}", scores[0].error_factor);
+    }
+
+    #[test]
+    fn separates_toaster_from_fridge() {
+        let toaster = Appliance::toaster();
+        let fridge = Appliance::fridge();
+        let len = 480;
+        let toaster_truth = single_device_home(
+            &toaster,
+            &[Activation::new(Timestamp::from_secs(7_200), 300)],
+            len,
+        );
+        let fridge_truth = render_always_on(
+            fridge.model().as_ref(),
+            Timestamp::ZERO,
+            Resolution::ONE_MINUTE,
+            len,
+        );
+        let meter = toaster_truth.checked_add(&fridge_truth).unwrap();
+        let cat = Catalogue::from_iter([Appliance::toaster(), Appliance::fridge()]);
+        let estimates = PowerPlay::from_catalogue(&cat).disaggregate(&meter);
+        let truth = vec![
+            ("toaster".to_string(), toaster_truth),
+            ("fridge".to_string(), fridge_truth),
+        ];
+        let scores = evaluate_disaggregation(&truth, &estimates).unwrap();
+        for s in &scores {
+            assert!(s.error_factor < 0.2, "{}: error {}", s.device, s.error_factor);
+        }
+    }
+
+    #[test]
+    fn tracks_dryer_program() {
+        let dryer = Appliance::dryer();
+        let acts = vec![Activation::new(Timestamp::from_secs(3_600 + 23), 2_700)];
+        let meter = single_device_home(&dryer, &acts, 240);
+        let cat: Catalogue = [Appliance::dryer()].into_iter().collect();
+        let estimates = PowerPlay::from_catalogue(&cat).disaggregate(&meter);
+        let truth = vec![("dryer".to_string(), meter.clone())];
+        let scores = evaluate_disaggregation(&truth, &estimates).unwrap();
+        assert!(scores[0].error_factor < 0.1, "error {}", scores[0].error_factor);
+    }
+
+    #[test]
+    fn empty_meter_yields_empty_estimates() {
+        let cat = Catalogue::figure2();
+        let meter = PowerTrace::zeros(Timestamp::ZERO, Resolution::ONE_MINUTE, 0);
+        let estimates = PowerPlay::from_catalogue(&cat).disaggregate(&meter);
+        assert_eq!(estimates.len(), 5);
+        assert!(estimates.iter().all(|e| e.trace.is_empty()));
+    }
+
+    #[test]
+    fn quiet_meter_claims_nothing_interactive() {
+        let cat = Catalogue::from_iter([Appliance::toaster(), Appliance::dryer()]);
+        let meter = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 240, 10.0);
+        let estimates = PowerPlay::from_catalogue(&cat).disaggregate(&meter);
+        for e in &estimates {
+            assert_eq!(e.trace.energy_kwh(), 0.0, "{} phantom energy", e.name);
+        }
+    }
+
+    #[test]
+    fn device_count() {
+        assert_eq!(PowerPlay::from_catalogue(&Catalogue::figure2()).device_count(), 5);
+    }
+}

@@ -1,0 +1,244 @@
+//! Training per-device HMMs from sub-metered data.
+//!
+//! The FHMM baseline of Figure 2 "must learn a model using training data"
+//! — per-device power traces recorded by sub-meters (REDD-style). Training
+//! quantizes each device's trace into a small set of power states with 1-D
+//! k-means, then counts empirical state transitions.
+
+use serde::{Deserialize, Serialize};
+use timeseries::PowerTrace;
+
+/// A learned per-device hidden Markov model with constant-power states.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceHmm {
+    /// Device name.
+    pub name: String,
+    /// Emission mean of each state, watts, sorted ascending (state 0 is
+    /// "off" or the lowest mode).
+    pub state_watts: Vec<f64>,
+    /// Transition log-probabilities `log_trans[from][to]`.
+    pub log_trans: Vec<Vec<f64>>,
+    /// Initial-state log-probabilities.
+    pub log_init: Vec<f64>,
+}
+
+impl DeviceHmm {
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.state_watts.len()
+    }
+
+    /// The state whose emission mean is nearest to `watts`.
+    pub fn nearest_state(&self, watts: f64) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (s, &m) in self.state_watts.iter().enumerate() {
+            let d = (watts - m).abs();
+            if d < best_d {
+                best_d = d;
+                best = s;
+            }
+        }
+        best
+    }
+}
+
+/// Trains a [`DeviceHmm`] with `n_states` power states from a sub-metered
+/// trace of the device.
+///
+/// # Panics
+///
+/// Panics if `n_states` is zero or the trace is empty.
+pub fn train_device_hmm(name: impl Into<String>, trace: &PowerTrace, n_states: usize) -> DeviceHmm {
+    assert!(n_states > 0, "need at least one state");
+    assert!(!trace.is_empty(), "cannot train on an empty trace");
+    let xs = trace.samples();
+
+    let centroids = kmeans_1d(xs, n_states, 25);
+
+    // Assign states and count transitions with Laplace smoothing.
+    let assign = |x: f64| -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (s, &c) in centroids.iter().enumerate() {
+            let d = (x - c).abs();
+            if d < best_d {
+                best_d = d;
+                best = s;
+            }
+        }
+        best
+    };
+    let states: Vec<usize> = xs.iter().map(|&x| assign(x)).collect();
+    let k = centroids.len();
+    let mut counts = vec![vec![1.0f64; k]; k]; // Laplace prior
+    for w in states.windows(2) {
+        counts[w[0]][w[1]] += 1.0;
+    }
+    let log_trans: Vec<Vec<f64>> = counts
+        .iter()
+        .map(|row| {
+            let total: f64 = row.iter().sum();
+            row.iter().map(|&c| (c / total).ln()).collect()
+        })
+        .collect();
+    let mut init_counts = vec![1.0f64; k];
+    init_counts[states[0]] += 1.0;
+    let init_total: f64 = init_counts.iter().sum();
+    let log_init = init_counts.iter().map(|&c| (c / init_total).ln()).collect();
+
+    DeviceHmm { name: name.into(), state_watts: centroids, log_trans, log_init }
+}
+
+/// 1-D k-means with deterministic farthest-point initialization. Returns
+/// centroids sorted ascending; empty or duplicate clusters are pruned, so
+/// fewer than `k` centroids may be returned for low-diversity data.
+fn kmeans_1d(xs: &[f64], k: usize, iterations: usize) -> Vec<f64> {
+    // Farthest-point init: start at the minimum, then greedily add the
+    // sample farthest from its nearest chosen centroid.
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut centroids = vec![min];
+    while centroids.len() < k {
+        let mut best_x = min;
+        let mut best_d = 0.0;
+        for &x in xs {
+            let d = centroids
+                .iter()
+                .map(|&c| (x - c).abs())
+                .fold(f64::INFINITY, f64::min);
+            if d > best_d {
+                best_d = d;
+                best_x = x;
+            }
+        }
+        if best_d < 1e-6 {
+            break; // fewer distinct levels than k
+        }
+        centroids.push(best_x);
+    }
+
+    for _ in 0..iterations {
+        let mut sums = vec![0.0f64; centroids.len()];
+        let mut ns = vec![0usize; centroids.len()];
+        for &x in xs {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, &m) in centroids.iter().enumerate() {
+                let d = (x - m).abs();
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            sums[best] += x;
+            ns[best] += 1;
+        }
+        let mut changed = false;
+        for c in 0..centroids.len() {
+            if ns[c] > 0 {
+                let m = sums[c] / ns[c] as f64;
+                if (m - centroids[c]).abs() > 1e-9 {
+                    centroids[c] = m;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Prune clusters that own no samples, then sort and dedup.
+    let mut owned = vec![false; centroids.len()];
+    for &x in xs {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (c, &m) in centroids.iter().enumerate() {
+            let d = (x - m).abs();
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        owned[best] = true;
+    }
+    let mut centroids: Vec<f64> = centroids
+        .into_iter()
+        .zip(owned)
+        .filter_map(|(c, o)| o.then_some(c))
+        .collect();
+    centroids.sort_by(|a, b| a.total_cmp(b));
+    centroids.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::{Resolution, Timestamp};
+
+    fn on_off_trace() -> PowerTrace {
+        PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 600, |i| {
+            if i % 25 < 10 { 120.0 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn learns_two_states() {
+        let hmm = train_device_hmm("fridge", &on_off_trace(), 2);
+        assert_eq!(hmm.n_states(), 2);
+        assert!(hmm.state_watts[0].abs() < 1.0, "off state {}", hmm.state_watts[0]);
+        assert!((hmm.state_watts[1] - 120.0).abs() < 1.0, "on state {}", hmm.state_watts[1]);
+        // Self-transitions dominate a duty-cycled device.
+        assert!(hmm.log_trans[0][0] > hmm.log_trans[0][1]);
+        assert!(hmm.log_trans[1][1] > hmm.log_trans[1][0]);
+    }
+
+    #[test]
+    fn transition_rows_normalize() {
+        let hmm = train_device_hmm("x", &on_off_trace(), 2);
+        for row in &hmm.log_trans {
+            let p: f64 = row.iter().map(|l| l.exp()).sum();
+            assert!((p - 1.0).abs() < 1e-9, "row sums to {p}");
+        }
+        let pi: f64 = hmm.log_init.iter().map(|l| l.exp()).sum();
+        assert!((pi - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_trace_collapses_states() {
+        let flat = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 100, 50.0);
+        let hmm = train_device_hmm("flat", &flat, 3);
+        assert_eq!(hmm.n_states(), 1);
+        assert!((hmm.state_watts[0] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_state_device() {
+        let trace = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 900, |i| {
+            match i % 30 {
+                0..=9 => 0.0,
+                10..=19 => 300.0,
+                _ => 5_000.0,
+            }
+        });
+        let hmm = train_device_hmm("dryer", &trace, 3);
+        assert_eq!(hmm.n_states(), 3);
+        assert!((hmm.state_watts[1] - 300.0).abs() < 5.0);
+        assert!((hmm.state_watts[2] - 5_000.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn nearest_state_lookup() {
+        let hmm = train_device_hmm("fridge", &on_off_trace(), 2);
+        assert_eq!(hmm.nearest_state(5.0), 0);
+        assert_eq!(hmm.nearest_state(110.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_rejected() {
+        let empty = PowerTrace::zeros(Timestamp::ZERO, Resolution::ONE_MINUTE, 0);
+        train_device_hmm("x", &empty, 2);
+    }
+}

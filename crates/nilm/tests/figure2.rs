@@ -1,0 +1,72 @@
+//! Integration: the Figure 2 comparison — PowerPlay tracks every device
+//! with less error than the learned FHMM baseline on a full-home aggregate,
+//! with the dryer and HRV tracked near-perfectly.
+
+use homesim::{Home, HomeConfig, SmartMeter};
+use loads::Catalogue;
+use nilm::{evaluate_disaggregation, train_device_hmm, Disaggregator, Fhmm, PowerPlay};
+use timeseries::Resolution;
+
+/// Builds the Figure 2 setup: full-catalogue homes, five tracked devices.
+fn figure2_scores() -> (Vec<nilm::DeviceScore>, Vec<nilm::DeviceScore>) {
+    let tracked = Catalogue::figure2();
+    let train_home = Home::simulate(
+        &HomeConfig::new(100).days(3).meter(SmartMeter::new(Resolution::ONE_MINUTE, 10.0)),
+    );
+    let test_home = Home::simulate(
+        &HomeConfig::new(200).days(3).meter(SmartMeter::new(Resolution::ONE_MINUTE, 10.0)),
+    );
+
+    let pp = PowerPlay::from_catalogue(&tracked);
+    let states = |name: &str| -> usize {
+        if name == "dryer" { 5 } else { 2 }
+    };
+    let mut models: Vec<_> = tracked
+        .iter()
+        .map(|a| {
+            let d = train_home.device(a.name()).unwrap();
+            train_device_hmm(&d.name, &d.trace, states(&d.name))
+        })
+        .collect();
+    let mut other = train_home.meter.clone();
+    for a in tracked.iter() {
+        other = other.checked_sub(&train_home.device(a.name()).unwrap().trace).unwrap();
+    }
+    models.push(train_device_hmm("other", &other.clamp_non_negative(), 6));
+    let fhmm = Fhmm::new(models);
+
+    let truth: Vec<_> = tracked
+        .iter()
+        .map(|a| {
+            let d = test_home.device(a.name()).unwrap();
+            (d.name.clone(), d.trace.clone())
+        })
+        .collect();
+    let pp_scores = evaluate_disaggregation(&truth, &pp.disaggregate(&test_home.meter)).unwrap();
+    let fhmm_scores =
+        evaluate_disaggregation(&truth, &fhmm.disaggregate(&test_home.meter)).unwrap();
+    (pp_scores, fhmm_scores)
+}
+
+#[test]
+fn powerplay_beats_fhmm_on_every_device() {
+    let (pp, fhmm) = figure2_scores();
+    for (p, f) in pp.iter().zip(&fhmm) {
+        assert_eq!(p.device, f.device);
+        assert!(
+            p.error_factor <= f.error_factor + 0.05,
+            "{}: powerplay {:.3} should not exceed fhmm {:.3}",
+            p.device,
+            p.error_factor,
+            f.error_factor
+        );
+    }
+}
+
+#[test]
+fn powerplay_tracks_dryer_and_hrv_nearly_perfectly() {
+    let (pp, _) = figure2_scores();
+    let err = |name: &str| pp.iter().find(|s| s.device == name).unwrap().error_factor;
+    assert!(err("dryer") < 0.1, "dryer {}", err("dryer"));
+    assert!(err("hrv") < 0.05, "hrv {}", err("hrv"));
+}

@@ -1,0 +1,44 @@
+//! The occupancy-detector interface.
+
+use timeseries::{LabelSeries, PowerTrace};
+
+/// An occupancy-detection attack: maps a smart-meter trace to an inferred
+/// binary occupancy series with the same geometry.
+///
+/// Implementations must return a series aligned with the input (same start,
+/// resolution, and length) so it can be scored directly against ground
+/// truth with [`LabelSeries::confusion`].
+pub trait OccupancyDetector {
+    /// Infers occupancy from a meter trace.
+    fn detect(&self, meter: &PowerTrace) -> LabelSeries;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::{Resolution, Timestamp};
+
+    /// Trivial detector used to exercise the trait object surface.
+    struct AlwaysHome;
+
+    impl OccupancyDetector for AlwaysHome {
+        fn detect(&self, meter: &PowerTrace) -> LabelSeries {
+            LabelSeries::like_trace(meter, true)
+        }
+        fn name(&self) -> &str {
+            "always-home"
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let d: Box<dyn OccupancyDetector> = Box::new(AlwaysHome);
+        let meter = PowerTrace::zeros(Timestamp::ZERO, Resolution::ONE_MINUTE, 10);
+        let out = d.detect(&meter);
+        assert_eq!(out.len(), 10);
+        assert_eq!(d.name(), "always-home");
+    }
+}

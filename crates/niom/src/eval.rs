@@ -1,0 +1,88 @@
+//! Scoring occupancy attacks against ground truth.
+
+use crate::detector::OccupancyDetector;
+use serde::{Deserialize, Serialize};
+use timeseries::labels::Confusion;
+use timeseries::{LabelSeries, PowerTrace, TraceError};
+
+/// The outcome of running one detector against one home.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Detector name.
+    pub detector: String,
+    /// Raw confusion counts.
+    pub confusion: Confusion,
+    /// Detection accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Matthews Correlation Coefficient in `[-1, 1]` — the paper's defense
+    /// metric (0 ≈ random prediction).
+    pub mcc: f64,
+    /// Precision on the occupied class.
+    pub precision: f64,
+    /// Recall on the occupied class.
+    pub recall: f64,
+}
+
+/// Runs `detector` on `meter` and scores it against `truth`.
+///
+/// # Errors
+///
+/// Returns an alignment error if the detector's output (or `truth`) does
+/// not share the meter's geometry.
+pub fn evaluate(
+    detector: &dyn OccupancyDetector,
+    meter: &PowerTrace,
+    truth: &LabelSeries,
+) -> Result<Evaluation, TraceError> {
+    let inferred = detector.detect(meter);
+    let confusion = truth.confusion(&inferred)?;
+    Ok(Evaluation {
+        detector: detector.name().to_string(),
+        confusion,
+        accuracy: confusion.accuracy(),
+        mcc: confusion.mcc(),
+        precision: confusion.precision(),
+        recall: confusion.recall(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::ThresholdDetector;
+    use timeseries::{Resolution, Timestamp};
+
+    #[test]
+    fn evaluation_on_synthetic_home() {
+        let trace = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 1_440, |i| {
+            if (600..900).contains(&i) { 1_800.0 } else { 90.0 }
+        });
+        let truth = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 1_440, |i| {
+            (600..900).contains(&i)
+        });
+        let detector = ThresholdDetector { night_prior: None, ..ThresholdDetector::default() };
+        let eval = evaluate(&detector, &trace, &truth).unwrap();
+        assert_eq!(eval.detector, "niom-threshold");
+        assert!(eval.accuracy > 0.95);
+        assert!(eval.mcc > 0.9);
+        assert!(eval.precision > 0.9);
+        assert!(eval.recall > 0.9);
+        assert_eq!(eval.confusion.total(), 1_440);
+    }
+
+    #[test]
+    fn mismatched_truth_rejected() {
+        let trace = PowerTrace::zeros(Timestamp::ZERO, Resolution::ONE_MINUTE, 100);
+        let truth = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 99, |_| false);
+        assert!(evaluate(&ThresholdDetector::default(), &trace, &truth).is_err());
+    }
+
+    #[test]
+    fn serializable_report() {
+        let trace = PowerTrace::zeros(Timestamp::ZERO, Resolution::ONE_MINUTE, 60);
+        let truth = LabelSeries::like_trace(&trace, false);
+        let eval = evaluate(&ThresholdDetector::default(), &trace, &truth).unwrap();
+        let json = serde_json::to_string(&eval).unwrap();
+        assert!(json.contains("niom-threshold"));
+    }
+}

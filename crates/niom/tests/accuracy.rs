@@ -1,0 +1,64 @@
+//! Integration: NIOM detectors vs simulated homes reproduce the paper's
+//! 70-90% occupancy-detection accuracy claim.
+
+use homesim::{Home, HomeConfig, Persona};
+use niom::{evaluate, HmmDetector, OccupancyDetector, ThresholdDetector};
+
+#[test]
+fn threshold_accuracy_in_paper_band() {
+    for seed in 0..4u64 {
+        let home = Home::simulate(&HomeConfig::new(seed).days(7));
+        let eval = evaluate(&ThresholdDetector::default(), &home.meter, &home.occupancy).unwrap();
+        assert!(
+            eval.accuracy > 0.70 && eval.accuracy < 0.97,
+            "seed {seed}: accuracy {:.3} outside the paper's band",
+            eval.accuracy
+        );
+        assert!(eval.mcc > 0.4, "seed {seed}: mcc {:.3}", eval.mcc);
+    }
+}
+
+#[test]
+fn hmm_accuracy_in_paper_band() {
+    for seed in 0..4u64 {
+        let home = Home::simulate(&HomeConfig::new(seed).days(7));
+        let eval = evaluate(&HmmDetector::default(), &home.meter, &home.occupancy).unwrap();
+        assert!(
+            eval.accuracy > 0.70 && eval.accuracy < 0.97,
+            "seed {seed}: accuracy {:.3}",
+            eval.accuracy
+        );
+    }
+}
+
+#[test]
+fn detectors_beat_constant_baselines() {
+    let home = Home::simulate(&HomeConfig::new(99).days(7));
+    let eval = evaluate(&ThresholdDetector::default(), &home.meter, &home.occupancy).unwrap();
+    // An always-occupied guesser scores accuracy == positive rate and MCC 0.
+    let base = home.occupancy.positive_rate();
+    assert!(eval.accuracy > base, "detector {:.3} <= baseline {base:.3}", eval.accuracy);
+    assert!(eval.mcc > 0.3);
+}
+
+#[test]
+fn homebody_reads_mostly_occupied() {
+    let home = Home::simulate(&HomeConfig::new(5).days(7).persona(Persona::Homebody));
+    let inferred = ThresholdDetector::default().detect(&home.meter);
+    // Truth is mostly home; detector should agree far more than chance.
+    let c = home.occupancy.confusion(&inferred).unwrap();
+    assert!(c.accuracy() > 0.6, "accuracy {:.3}", c.accuracy());
+}
+
+#[test]
+fn vacation_week_reads_empty_during_days() {
+    use homesim::OccupancyModel;
+    let cfg = HomeConfig::new(6)
+        .days(7)
+        .occupancy(OccupancyModel::for_persona(Persona::Worker).with_vacation(0, 6));
+    let home = Home::simulate(&cfg);
+    let no_prior = ThresholdDetector { night_prior: None, ..ThresholdDetector::default() };
+    let inferred = no_prior.detect(&home.meter);
+    // Nothing but background: detector finds (almost) no occupancy.
+    assert!(inferred.positive_rate() < 0.1, "rate {}", inferred.positive_rate());
+}

@@ -1,0 +1,180 @@
+//! Differential privacy for released energy aggregates (Section III-A).
+//!
+//! The paper notes DP fits the *release* setting: a utility publishing
+//! neighbourhood-level statistics should prevent any single home from
+//! being identified, even though DP does not address the utility's own
+//! view. This module provides the Laplace mechanism with an ε accountant.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use timeseries::rng::{laplace, SeededRng};
+
+/// Errors from the privacy accountant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DpError {
+    /// The requested ε would exceed the remaining budget.
+    BudgetExhausted {
+        /// ε remaining.
+        remaining: f64,
+        /// ε requested.
+        requested: f64,
+    },
+    /// A non-positive ε or sensitivity was supplied.
+    InvalidParameter,
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::BudgetExhausted { remaining, requested } => {
+                write!(f, "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}")
+            }
+            DpError::InvalidParameter => write!(f, "epsilon and sensitivity must be positive"),
+        }
+    }
+}
+
+impl Error for DpError {}
+
+/// Adds Laplace noise scaled to `sensitivity / epsilon` — the standard
+/// ε-DP mechanism for numeric queries.
+///
+/// # Errors
+///
+/// Returns [`DpError::InvalidParameter`] for non-positive ε or sensitivity.
+pub fn laplace_mechanism(
+    true_value: f64,
+    sensitivity: f64,
+    epsilon: f64,
+    rng: &mut SeededRng,
+) -> Result<f64, DpError> {
+    if !(epsilon > 0.0) || !(sensitivity > 0.0) {
+        return Err(DpError::InvalidParameter);
+    }
+    Ok(true_value + laplace(rng, 0.0, sensitivity / epsilon))
+}
+
+/// Tracks cumulative ε across queries (sequential composition).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DpAccountant {
+    budget: f64,
+    spent: f64,
+}
+
+impl DpAccountant {
+    /// Creates an accountant with a total ε budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is not finite and positive.
+    pub fn new(budget: f64) -> Self {
+        assert!(budget.is_finite() && budget > 0.0, "budget must be positive");
+        DpAccountant { budget, spent: 0.0 }
+    }
+
+    /// ε spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// ε remaining.
+    pub fn remaining(&self) -> f64 {
+        (self.budget - self.spent).max(0.0)
+    }
+
+    /// Answers a numeric query under ε-DP, charging the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpError::BudgetExhausted`] when the budget cannot cover
+    /// `epsilon`, or [`DpError::InvalidParameter`] for bad parameters.
+    pub fn query(
+        &mut self,
+        true_value: f64,
+        sensitivity: f64,
+        epsilon: f64,
+        rng: &mut SeededRng,
+    ) -> Result<f64, DpError> {
+        if !(epsilon > 0.0) || !(sensitivity > 0.0) {
+            return Err(DpError::InvalidParameter);
+        }
+        if epsilon > self.remaining() + 1e-12 {
+            return Err(DpError::BudgetExhausted { remaining: self.remaining(), requested: epsilon });
+        }
+        let out = laplace_mechanism(true_value, sensitivity, epsilon, rng)?;
+        self.spent += epsilon;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::rng::seeded_rng;
+
+    #[test]
+    fn noise_scales_inversely_with_epsilon() {
+        let mut rng = seeded_rng(1);
+        let n = 4_000;
+        let spread = |eps: f64, rng: &mut _| {
+            let mut acc = 0.0;
+            for _ in 0..n {
+                let v = laplace_mechanism(100.0, 1.0, eps, rng).unwrap();
+                acc += (v - 100.0).abs();
+            }
+            acc / n as f64
+        };
+        let loose = spread(0.1, &mut rng);
+        let tight = spread(10.0, &mut rng);
+        // Mean |Laplace(b)| = b → ratio should be ~100.
+        assert!(loose / tight > 30.0, "loose {loose} tight {tight}");
+    }
+
+    #[test]
+    fn accountant_enforces_budget() {
+        let mut acct = DpAccountant::new(1.0);
+        let mut rng = seeded_rng(2);
+        assert!(acct.query(10.0, 1.0, 0.6, &mut rng).is_ok());
+        assert!((acct.spent() - 0.6).abs() < 1e-12);
+        assert!(matches!(
+            acct.query(10.0, 1.0, 0.6, &mut rng),
+            Err(DpError::BudgetExhausted { .. })
+        ));
+        assert!(acct.query(10.0, 1.0, 0.4, &mut rng).is_ok());
+        assert!(acct.remaining() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let mut rng = seeded_rng(3);
+        assert_eq!(
+            laplace_mechanism(1.0, 0.0, 1.0, &mut rng),
+            Err(DpError::InvalidParameter)
+        );
+        assert_eq!(
+            laplace_mechanism(1.0, 1.0, -1.0, &mut rng),
+            Err(DpError::InvalidParameter)
+        );
+        let mut acct = DpAccountant::new(1.0);
+        assert_eq!(acct.query(1.0, 1.0, 0.0, &mut rng), Err(DpError::InvalidParameter));
+    }
+
+    #[test]
+    fn unbiased() {
+        let mut rng = seeded_rng(4);
+        let n = 20_000;
+        let mean = (0..n)
+            .map(|_| laplace_mechanism(50.0, 2.0, 1.0, &mut rng).unwrap())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 50.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn error_messages() {
+        let e = DpError::BudgetExhausted { remaining: 0.1, requested: 0.5 };
+        assert!(e.to_string().contains("exhausted"));
+        assert!(DpError::InvalidParameter.to_string().contains("positive"));
+    }
+}

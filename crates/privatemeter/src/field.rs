@@ -1,0 +1,126 @@
+//! Modular arithmetic helpers over 64-bit moduli (via 128-bit widening).
+
+/// `(a * b) mod m` without overflow.
+pub fn mod_mul(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `(a + b) mod m` without overflow.
+pub fn mod_add(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 + b as u128) % m as u128) as u64
+}
+
+/// `base^exp mod m` by square-and-multiply.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn mod_pow(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    assert!(m > 0, "modulus must be non-zero");
+    if m == 1 {
+        return 0;
+    }
+    let mut acc: u64 = 1;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mod_mul(acc, base, m);
+        }
+        base = mod_mul(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse of `a` modulo prime `p` (Fermat).
+///
+/// # Panics
+///
+/// Panics if `a` is zero modulo `p`.
+pub fn mod_inv(a: u64, p: u64) -> u64 {
+    assert!(a % p != 0, "zero has no inverse");
+    mod_pow(a, p - 2, p)
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    // These witnesses are exact for n < 2^64.
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = mod_pow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mod_mul(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_pow_basics() {
+        assert_eq!(mod_pow(2, 10, 1_000_000_007), 1024);
+        assert_eq!(mod_pow(5, 0, 97), 1);
+        assert_eq!(mod_pow(7, 96, 97), 1); // Fermat
+        assert_eq!(mod_pow(123, 456, 1), 0);
+    }
+
+    #[test]
+    fn mod_mul_no_overflow() {
+        let big = u64::MAX - 58; // arbitrary large values
+        let m = u64::MAX - 82;
+        let r = mod_mul(big, big, m);
+        assert!(r < m);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let p = 2_305_843_009_213_691_579u64;
+        for a in [2u64, 3, 12345, 987_654_321] {
+            let inv = mod_inv(a, p);
+            assert_eq!(mod_mul(a, inv, p), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_rejected() {
+        mod_inv(0, 97);
+    }
+
+    #[test]
+    fn primality() {
+        assert!(is_prime(2));
+        assert!(is_prime(97));
+        assert!(is_prime(2_305_843_009_213_691_579)); // our demo p
+        assert!(is_prime(1_152_921_504_606_845_789)); // our demo q
+        assert!(!is_prime(1));
+        assert!(!is_prime(561)); // Carmichael
+        assert!(!is_prime(2_305_843_009_213_691_577));
+    }
+}

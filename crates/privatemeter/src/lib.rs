@@ -1,0 +1,34 @@
+//! Privacy-preserving smart metering: verifiable billing and differential
+//! privacy.
+//!
+//! Section III of the paper surveys two data-minimizing alternatives to
+//! shipping raw traces to the cloud:
+//!
+//! * **Cryptographic metering** (III-C, after *Private Memoirs of a Smart
+//!   Meter*, Molina-Markham et al.): the meter keeps readings local and
+//!   sends only [`pedersen`] commitments; at billing time it opens the
+//!   *aggregate* (total or time-of-use-weighted energy) and the utility
+//!   verifies it against the homomorphic product of the commitments —
+//!   correctness without ever seeing a single interval reading
+//!   ([`billing`]).
+//! * **Differential privacy** (III-A): for utility-scale analytics over
+//!   *many* homes, the [`dp`] module adds Laplace noise calibrated to the
+//!   query sensitivity, with an explicit ε budget accountant.
+//!
+//! ⚠️ The group parameters are 61-bit demonstration values — large enough
+//! to exercise every code path and small enough for fast tests, but **not**
+//! cryptographically secure. A production deployment would swap in a
+//! standard 2048-bit group or an elliptic curve; the protocol logic is
+//! identical.
+
+pub mod aggregate;
+pub mod billing;
+pub mod dp;
+pub mod field;
+pub mod pedersen;
+
+pub use aggregate::{aggregate_round, mask_round, MaskedReading};
+pub use billing::{BillReceipt, MeterProver, UtilityVerifier};
+pub use dp::{laplace_mechanism, DpAccountant, DpError};
+pub use field::{mod_inv, mod_mul, mod_pow};
+pub use pedersen::{Commitment, Opening, PedersenParams};

@@ -1,0 +1,163 @@
+//! Pedersen commitments over a Schnorr group (demonstration parameters).
+
+use crate::field::{mod_mul, mod_pow};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use timeseries::rng::SeededRng;
+
+/// Parameters of the commitment scheme: a safe-prime group of order `q`
+/// with independent generators `g` and `h` of the order-`q` subgroup.
+///
+/// Commit(m, r) = gᵐ·hʳ mod p — perfectly hiding, computationally binding
+/// (under dlog), and *additively homomorphic*: the product of commitments
+/// commits to the sum of messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PedersenParams {
+    /// The group modulus (a safe prime, p = 2q + 1).
+    pub p: u64,
+    /// The subgroup order.
+    pub q: u64,
+    /// First generator.
+    pub g: u64,
+    /// Second generator (dlog relative to `g` unknown).
+    pub h: u64,
+}
+
+impl PedersenParams {
+    /// 61-bit demonstration parameters (see crate docs for the caveat).
+    pub fn demo() -> Self {
+        PedersenParams {
+            p: 2_305_843_009_213_691_579,
+            q: 1_152_921_504_606_845_789,
+            g: 4,
+            h: 289,
+        }
+    }
+
+    /// Commits to `message` with explicit randomness `r` (both mod `q`).
+    pub fn commit_with(&self, message: u64, r: u64) -> Commitment {
+        let gm = mod_pow(self.g, message % self.q, self.p);
+        let hr = mod_pow(self.h, r % self.q, self.p);
+        Commitment(mod_mul(gm, hr, self.p))
+    }
+
+    /// Commits to `message` with fresh randomness from `rng`, returning the
+    /// commitment and the opening the prover must retain.
+    pub fn commit(&self, message: u64, rng: &mut SeededRng) -> (Commitment, Opening) {
+        let r = rng.gen_range(0..self.q);
+        (self.commit_with(message, r), Opening { message, r })
+    }
+
+    /// Verifies that `opening` opens `commitment`.
+    pub fn verify(&self, commitment: Commitment, opening: &Opening) -> bool {
+        self.commit_with(opening.message, opening.r) == commitment
+    }
+
+    /// Homomorphic combination: the product of commitments commits to the
+    /// sum of messages (and randomness).
+    pub fn combine(&self, commitments: &[Commitment]) -> Commitment {
+        Commitment(
+            commitments
+                .iter()
+                .fold(1u64, |acc, c| mod_mul(acc, c.0, self.p)),
+        )
+    }
+
+    /// Homomorphic weighted combination: Π Cᵢ^{wᵢ} commits to Σ wᵢ·mᵢ.
+    pub fn combine_weighted(&self, commitments: &[Commitment], weights: &[u64]) -> Commitment {
+        assert_eq!(commitments.len(), weights.len(), "weight per commitment");
+        Commitment(
+            commitments
+                .iter()
+                .zip(weights)
+                .fold(1u64, |acc, (c, &w)| mod_mul(acc, mod_pow(c.0, w, self.p), self.p)),
+        )
+    }
+}
+
+/// A Pedersen commitment (a group element).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Commitment(pub u64);
+
+/// The secret opening of a commitment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Opening {
+    /// The committed message.
+    pub message: u64,
+    /// The blinding randomness.
+    pub r: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::is_prime;
+    use timeseries::rng::seeded_rng;
+
+    #[test]
+    fn demo_params_are_a_schnorr_group() {
+        let pp = PedersenParams::demo();
+        assert!(is_prime(pp.p));
+        assert!(is_prime(pp.q));
+        assert_eq!(pp.p, 2 * pp.q + 1);
+        // Generators have order q.
+        assert_eq!(mod_pow(pp.g, pp.q, pp.p), 1);
+        assert_eq!(mod_pow(pp.h, pp.q, pp.p), 1);
+        assert_ne!(pp.g, 1);
+        assert_ne!(pp.h, 1);
+    }
+
+    #[test]
+    fn commit_verify_round_trip() {
+        let pp = PedersenParams::demo();
+        let mut rng = seeded_rng(1);
+        let (c, o) = pp.commit(1_234, &mut rng);
+        assert!(pp.verify(c, &o));
+        // Wrong message or randomness fails.
+        assert!(!pp.verify(c, &Opening { message: 1_235, r: o.r }));
+        assert!(!pp.verify(c, &Opening { message: o.message, r: o.r ^ 1 }));
+    }
+
+    #[test]
+    fn hiding_fresh_randomness() {
+        let pp = PedersenParams::demo();
+        let mut rng = seeded_rng(2);
+        let (c1, _) = pp.commit(42, &mut rng);
+        let (c2, _) = pp.commit(42, &mut rng);
+        assert_ne!(c1, c2, "same message must not produce equal commitments");
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        let pp = PedersenParams::demo();
+        let mut rng = seeded_rng(3);
+        let (c1, o1) = pp.commit(100, &mut rng);
+        let (c2, o2) = pp.commit(250, &mut rng);
+        let combined = pp.combine(&[c1, c2]);
+        let opening = Opening {
+            message: o1.message + o2.message,
+            r: ((o1.r as u128 + o2.r as u128) % pp.q as u128) as u64,
+        };
+        assert!(pp.verify(combined, &opening));
+    }
+
+    #[test]
+    fn weighted_homomorphism() {
+        let pp = PedersenParams::demo();
+        let mut rng = seeded_rng(4);
+        let (c1, o1) = pp.commit(10, &mut rng);
+        let (c2, o2) = pp.commit(20, &mut rng);
+        let combined = pp.combine_weighted(&[c1, c2], &[3, 5]);
+        let msg = 3 * o1.message + 5 * o2.message;
+        let r = ((3u128 * o1.r as u128 + 5u128 * o2.r as u128) % pp.q as u128) as u64;
+        assert!(pp.verify(combined, &Opening { message: msg, r }));
+    }
+
+    #[test]
+    fn empty_combine_is_identity() {
+        let pp = PedersenParams::demo();
+        assert_eq!(pp.combine(&[]).0, 1);
+        let id = pp.commit_with(0, 0);
+        assert_eq!(id.0, 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Geographic points and distances.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius, kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6_371.0;
+
+/// A point on the Earth's surface (degrees).
+///
+/// # Examples
+///
+/// ```
+/// use solar::GeoPoint;
+///
+/// let amherst = GeoPoint::new(42.39, -72.53);
+/// let boston = GeoPoint::new(42.36, -71.06);
+/// let d = amherst.distance_km(&boston);
+/// assert!(d > 110.0 && d < 132.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat_deg: f64,
+    /// Longitude in degrees, positive east.
+    pub lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from latitude and longitude in degrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latitude is outside `[-90, 90]` or the longitude is
+    /// outside `[-180, 180]`.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat_deg), "latitude out of range: {lat_deg}");
+        assert!((-180.0..=180.0).contains(&lon_deg), "longitude out of range: {lon_deg}");
+        GeoPoint { lat_deg, lon_deg }
+    }
+
+    /// Great-circle (haversine) distance to `other`, kilometres.
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat_deg.to_radians(), self.lon_deg.to_radians());
+        let (lat2, lon2) = (other.lat_deg.to_radians(), other.lon_deg.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+}
+
+impl std::fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.4}°, {:.4}°)", self.lat_deg, self.lon_deg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance() {
+        let p = GeoPoint::new(40.0, -75.0);
+        assert!(p.distance_km(&p) < 1e-9);
+    }
+
+    #[test]
+    fn known_distance() {
+        // One degree of latitude ≈ 111.2 km.
+        let a = GeoPoint::new(40.0, -75.0);
+        let b = GeoPoint::new(41.0, -75.0);
+        let d = a.distance_km(&b);
+        assert!((d - 111.2).abs() < 1.0, "got {d}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = GeoPoint::new(35.0, -100.0);
+        let b = GeoPoint::new(45.0, -80.0);
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude out of range")]
+    fn bad_latitude() {
+        GeoPoint::new(91.0, 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! First-principles solar geometry.
+//!
+//! The simulation clock is UTC; simulation day 0 maps to day-of-year
+//! [`EPOCH_DAY_OF_YEAR`] (early April), so a 90-day horizon spans spring
+//! into summer with well-conditioned declinations for latitude inversion.
+
+use crate::geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// Day-of-year that simulation day 0 corresponds to (April 10).
+pub const EPOCH_DAY_OF_YEAR: u64 = 100;
+
+/// Maps a simulation day index to a day of year in `0..365`.
+pub fn day_of_year(sim_day: u64) -> u64 {
+    (sim_day + EPOCH_DAY_OF_YEAR) % 365
+}
+
+/// Solar declination in degrees for a simulation day (Cooper's formula).
+pub fn declination_deg(sim_day: u64) -> f64 {
+    let doy = day_of_year(sim_day) as f64;
+    23.45 * (std::f64::consts::TAU * (284.0 + doy) / 365.0).sin()
+}
+
+/// Equation of time in minutes for a simulation day.
+pub fn equation_of_time_minutes(sim_day: u64) -> f64 {
+    let doy = day_of_year(sim_day) as f64;
+    let b = std::f64::consts::TAU * (doy - 81.0) / 364.0;
+    9.87 * (2.0 * b).sin() - 7.53 * b.cos() - 1.5 * b.sin()
+}
+
+/// Sine of the solar elevation angle at `location`, `utc_hours` into
+/// simulation day `sim_day`. Negative values mean the sun is below the
+/// horizon.
+pub fn solar_elevation_sin(location: &GeoPoint, sim_day: u64, utc_hours: f64) -> f64 {
+    let decl = declination_deg(sim_day).to_radians();
+    let lat = location.lat_deg.to_radians();
+    let solar_time =
+        utc_hours + location.lon_deg / 15.0 + equation_of_time_minutes(sim_day) / 60.0;
+    let hour_angle = (15.0 * (solar_time - 12.0)).to_radians();
+    lat.sin() * decl.sin() + lat.cos() * decl.cos() * hour_angle.cos()
+}
+
+/// Sunrise, solar-noon, and sunset times for one site and day, in UTC hours.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SunTimes {
+    /// Sunrise, UTC hours.
+    pub sunrise_utc: f64,
+    /// Solar noon, UTC hours.
+    pub noon_utc: f64,
+    /// Sunset, UTC hours.
+    pub sunset_utc: f64,
+}
+
+impl SunTimes {
+    /// Day length in hours.
+    pub fn day_length_hours(&self) -> f64 {
+        self.sunset_utc - self.sunrise_utc
+    }
+}
+
+/// Computes sunrise/noon/sunset for `location` on `sim_day`.
+///
+/// Returns `None` inside polar day/night (no sunrise or sunset).
+pub fn sun_times(location: &GeoPoint, sim_day: u64) -> Option<SunTimes> {
+    let decl = declination_deg(sim_day).to_radians();
+    let lat = location.lat_deg.to_radians();
+    let cos_h0 = -lat.tan() * decl.tan();
+    if !(-1.0..=1.0).contains(&cos_h0) {
+        return None;
+    }
+    let h0_hours = cos_h0.acos().to_degrees() / 15.0;
+    let noon_utc =
+        12.0 - location.lon_deg / 15.0 - equation_of_time_minutes(sim_day) / 60.0;
+    Some(SunTimes {
+        sunrise_utc: noon_utc - h0_hours,
+        noon_utc,
+        sunset_utc: noon_utc + h0_hours,
+    })
+}
+
+/// Day length in hours for `location` on `sim_day` (0 or 24 in polar
+/// night/day).
+pub fn day_length_hours(location: &GeoPoint, sim_day: u64) -> f64 {
+    match sun_times(location, sim_day) {
+        Some(t) => t.day_length_hours(),
+        None => {
+            if solar_elevation_sin(location, sim_day, 12.0 - location.lon_deg / 15.0) > 0.0 {
+                24.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// Inverts observed solar-noon UTC time to longitude, degrees east.
+pub fn longitude_from_noon(noon_utc: f64, sim_day: u64) -> f64 {
+    15.0 * (12.0 - noon_utc - equation_of_time_minutes(sim_day) / 60.0 / 1.0)
+}
+
+/// Inverts an observed day length (hours) on `sim_day` to latitude,
+/// degrees north. Returns `None` when the declination is too close to zero
+/// for a stable inversion (equinoxes) or the day length is degenerate.
+pub fn latitude_from_day_length(day_length_hours: f64, sim_day: u64) -> Option<f64> {
+    let decl = declination_deg(sim_day);
+    if decl.abs() < 3.0 || !(0.5..23.5).contains(&day_length_hours) {
+        return None;
+    }
+    let h0 = (day_length_hours * 15.0 / 2.0).to_radians();
+    // cos(H0) = -tan(lat) tan(decl)  →  tan(lat) = -cos(H0)/tan(decl)
+    let tan_lat = -h0.cos() / decl.to_radians().tan();
+    Some(tan_lat.atan().to_degrees())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AMHERST: GeoPoint = GeoPoint { lat_deg: 42.39, lon_deg: -72.53 };
+
+    #[test]
+    fn declination_bounds() {
+        for day in 0..365 {
+            let d = declination_deg(day);
+            assert!((-23.46..=23.46).contains(&d), "day {day}: {d}");
+        }
+        // Summer solstice (doy 172 → sim day 72) is near +23.45.
+        assert!(declination_deg(72) > 23.0);
+    }
+
+    #[test]
+    fn eot_bounds() {
+        for day in 0..365 {
+            let e = equation_of_time_minutes(day);
+            assert!((-15.0..=17.0).contains(&e), "day {day}: {e}");
+        }
+    }
+
+    #[test]
+    fn sun_times_sane_for_midlatitude() {
+        let t = sun_times(&AMHERST, 30).unwrap(); // ~May 10
+        // Local solar noon in UTC for lon -72.53 ≈ 12 + 4.84 h ≈ 16.8.
+        assert!((t.noon_utc - 16.8).abs() < 0.3, "noon {}", t.noon_utc);
+        // Mid-May day length at 42°N ≈ 14.5 h.
+        let len = t.day_length_hours();
+        assert!((13.5..15.5).contains(&len), "day length {len}");
+        assert!(t.sunrise_utc < t.noon_utc && t.noon_utc < t.sunset_utc);
+    }
+
+    #[test]
+    fn elevation_peaks_at_noon() {
+        let t = sun_times(&AMHERST, 30).unwrap();
+        let at_noon = solar_elevation_sin(&AMHERST, 30, t.noon_utc);
+        let before = solar_elevation_sin(&AMHERST, 30, t.noon_utc - 3.0);
+        let night = solar_elevation_sin(&AMHERST, 30, t.noon_utc + 11.0);
+        assert!(at_noon > before);
+        assert!(night < 0.0);
+        // Elevation crosses zero at sunrise.
+        let at_rise = solar_elevation_sin(&AMHERST, 30, t.sunrise_utc);
+        assert!(at_rise.abs() < 0.02, "sunrise elevation {at_rise}");
+    }
+
+    #[test]
+    fn longitude_inversion_round_trip() {
+        for lon in [-120.0, -72.53, 0.0, 30.0] {
+            let p = GeoPoint::new(40.0, lon);
+            let t = sun_times(&p, 50).unwrap();
+            let back = longitude_from_noon(t.noon_utc, 50);
+            assert!((back - lon).abs() < 0.01, "lon {lon} → {back}");
+        }
+    }
+
+    #[test]
+    fn latitude_inversion_round_trip() {
+        for lat in [25.0, 35.0, 42.39, 48.0] {
+            let p = GeoPoint::new(lat, -90.0);
+            let len = day_length_hours(&p, 40);
+            let back = latitude_from_day_length(len, 40).unwrap();
+            assert!((back - lat).abs() < 0.05, "lat {lat} → {back}");
+        }
+    }
+
+    #[test]
+    fn equinox_inversion_rejected() {
+        // Simulation day where declination ≈ 0: doy 265 → sim day 165.
+        let day = 165;
+        assert!(declination_deg(day).abs() < 3.0);
+        assert!(latitude_from_day_length(12.0, day).is_none());
+    }
+
+    #[test]
+    fn polar_cases() {
+        let far_north = GeoPoint::new(80.0, 0.0);
+        // Sim day 72 ≈ summer solstice: midnight sun.
+        assert!(sun_times(&far_north, 72).is_none());
+        assert_eq!(day_length_hours(&far_north, 72), 24.0);
+    }
+}

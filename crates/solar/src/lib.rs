@@ -1,0 +1,58 @@
+//! Solar generation simulation and the paper's location-inference attacks.
+//!
+//! Rooftop-solar IoT monitors (Enphase-style) publish per-site generation
+//! traces, often "anonymized" by stripping the geo-location. The paper's
+//! point (Section II-B, Figures 4–5) is that the location is *embedded in
+//! the data itself*:
+//!
+//! * [`SunSpot`] inverts **solar geometry** — sunrise, solar noon, and
+//!   sunset times recovered from when panels start/stop generating pin down
+//!   longitude (from noon) and latitude (from day length), averaged over
+//!   many days.
+//! * [`Weatherman`] correlates generation deficits with **public weather
+//!   data**: each location's cloud history is nearly unique, so the best-
+//!   correlating weather grid cell reveals the site, even from coarse
+//!   1-hour data.
+//! * [`SunDance`]-style disaggregation separates a *net* meter (consumption
+//!   minus solar) into its components, defeating net-metering as an
+//!   anonymization layer.
+//!
+//! The substrate is first-principles: solar declination, the equation of
+//! time, and hour angles ([`geometry`]); a PV array model ([`site`]); and a
+//! spatially-correlated regional cloud simulator ([`weather`]) standing in
+//! for the paper's public weather-station data.
+//!
+//! # Examples
+//!
+//! ```
+//! use solar::{GeoPoint, SolarSite, SunSpot, WeatherGrid};
+//! use timeseries::rng::seeded_rng;
+//! use timeseries::Resolution;
+//!
+//! let truth = GeoPoint::new(42.39, -72.53); // Amherst, MA
+//! let mut grid = WeatherGrid::new_region(truth, 300.0, 8, 42);
+//! grid.extend_to(60, 42);
+//! let site = SolarSite::new(truth, 5.0);
+//! let gen = site.generate(60, Resolution::ONE_MINUTE, &grid, &mut seeded_rng(7));
+//! let guess = SunSpot::default().localize(&gen).unwrap();
+//! assert!(truth.distance_km(&guess) < 200.0);
+//! ```
+
+pub mod geo;
+pub mod geometry;
+pub mod site;
+pub mod sundance;
+pub mod sunspot;
+pub mod weather;
+pub mod weatherman;
+
+pub use geo::GeoPoint;
+pub use geometry::{
+    day_length_hours, declination_deg, equation_of_time_minutes, solar_elevation_sin, sun_times,
+    SunTimes,
+};
+pub use site::SolarSite;
+pub use sundance::SunDance;
+pub use sunspot::SunSpot;
+pub use weather::WeatherGrid;
+pub use weatherman::Weatherman;

@@ -1,0 +1,153 @@
+//! PV sites and generation-trace synthesis.
+
+use crate::geo::GeoPoint;
+use crate::geometry::solar_elevation_sin;
+use crate::weather::WeatherGrid;
+use timeseries::rng::{normal, SeededRng};
+use timeseries::{PowerTrace, Resolution, Timestamp};
+
+/// A rooftop PV installation: location plus array capacity.
+///
+/// Generation follows the clear-sky elevation curve attenuated by the
+/// regional cloud field, with small multiplicative measurement noise — the
+/// signal an Enphase-style monitor would upload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolarSite {
+    location: GeoPoint,
+    capacity_kw: f64,
+    /// Fraction of clear-sky output lost under full overcast.
+    cloud_attenuation: f64,
+    /// Multiplicative noise std-dev on each sample.
+    noise_frac: f64,
+}
+
+impl SolarSite {
+    /// Creates a site with a given array capacity (kW) and default
+    /// attenuation/noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_kw` is not finite and positive.
+    pub fn new(location: GeoPoint, capacity_kw: f64) -> Self {
+        assert!(capacity_kw.is_finite() && capacity_kw > 0.0, "capacity must be positive");
+        SolarSite { location, capacity_kw, cloud_attenuation: 0.75, noise_frac: 0.02 }
+    }
+
+    /// The site location.
+    pub fn location(&self) -> GeoPoint {
+        self.location
+    }
+
+    /// Array capacity, kW.
+    pub fn capacity_kw(&self) -> f64 {
+        self.capacity_kw
+    }
+
+    /// Sets the fraction of output lost under full overcast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn with_cloud_attenuation(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "attenuation must be in [0,1]");
+        self.cloud_attenuation = fraction;
+        self
+    }
+
+    /// Instantaneous clear-sky output (watts) at `utc_hours` into
+    /// `sim_day`.
+    pub fn clear_sky_watts(&self, sim_day: u64, utc_hours: f64) -> f64 {
+        let s = solar_elevation_sin(&self.location, sim_day, utc_hours);
+        (self.capacity_kw * 1_000.0 * s).max(0.0)
+    }
+
+    /// Generates the site's uploaded generation trace over `days` days at
+    /// `resolution`, attenuated by `weather` (which must cover the horizon
+    /// — use [`WeatherGrid::extend_to`] first).
+    pub fn generate(
+        &self,
+        days: u64,
+        resolution: Resolution,
+        weather: &WeatherGrid,
+        rng: &mut SeededRng,
+    ) -> PowerTrace {
+        let len = resolution.samples_in(days * 86_400);
+        assert!(
+            weather.hours() >= (days * 24) as usize,
+            "weather history shorter than requested horizon"
+        );
+        let cloud = weather.cloud_series(&self.location);
+        PowerTrace::from_fn(Timestamp::ZERO, resolution, len, |i| {
+            let secs = i as u64 * resolution.as_secs() as u64;
+            let sim_day = secs / 86_400;
+            let utc_hours = (secs % 86_400) as f64 / 3_600.0;
+            let clear = self.clear_sky_watts(sim_day, utc_hours);
+            if clear <= 0.0 {
+                return 0.0;
+            }
+            let hour_idx = (secs / 3_600) as usize;
+            let attenuated =
+                clear * (1.0 - self.cloud_attenuation * cloud[hour_idx.min(cloud.len() - 1)]);
+            (attenuated * (1.0 + normal(rng, 0.0, self.noise_frac))).max(0.0)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::rng::seeded_rng;
+
+    fn site() -> SolarSite {
+        SolarSite::new(GeoPoint::new(42.39, -72.53), 5.0)
+    }
+
+    fn grid() -> WeatherGrid {
+        WeatherGrid::new_region(GeoPoint::new(42.39, -72.53), 300.0, 4, 3)
+    }
+
+    #[test]
+    fn clear_sky_zero_at_night() {
+        let s = site();
+        // 06:00 UTC ≈ 01:00 local at lon -72.5: night.
+        assert_eq!(s.clear_sky_watts(10, 6.0), 0.0);
+        // Local solar noon ≈ 16.8 UTC: strong output.
+        assert!(s.clear_sky_watts(10, 16.8) > 3_000.0);
+    }
+
+    #[test]
+    fn generated_trace_shape() {
+        let g = grid();
+        let t = site().generate(2, Resolution::ONE_MINUTE, &g, &mut seeded_rng(1));
+        assert_eq!(t.len(), 2 * 1440);
+        assert!(t.samples().iter().all(|&w| w >= 0.0));
+        // Peak below nameplate (clouds + geometry), above zero.
+        assert!(t.max_watts() > 500.0 && t.max_watts() <= 5_100.0);
+        // Night samples are exactly zero.
+        assert_eq!(t.watts(5 * 60), 0.0); // 05:00 UTC
+    }
+
+    #[test]
+    fn cloudier_site_generates_less() {
+        let g = grid();
+        let sunny = site().with_cloud_attenuation(0.0);
+        let cloudy = site().with_cloud_attenuation(0.9);
+        let e_sunny = sunny.generate(3, Resolution::ONE_HOUR, &g, &mut seeded_rng(2)).energy_kwh();
+        let e_cloudy =
+            cloudy.generate(3, Resolution::ONE_HOUR, &g, &mut seeded_rng(2)).energy_kwh();
+        assert!(e_sunny > e_cloudy);
+    }
+
+    #[test]
+    #[should_panic(expected = "weather history shorter")]
+    fn horizon_checked() {
+        let g = grid(); // 14 days pre-generated
+        site().generate(30, Resolution::ONE_HOUR, &g, &mut seeded_rng(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn bad_capacity() {
+        SolarSite::new(GeoPoint::new(0.0, 0.0), 0.0);
+    }
+}

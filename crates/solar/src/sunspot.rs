@@ -1,0 +1,294 @@
+//! SunSpot: localizing a solar site from its generation trace alone
+//! (Chen et al., BuildSys'16).
+
+use crate::geo::GeoPoint;
+use crate::geometry::{latitude_from_day_length, longitude_from_noon};
+use timeseries::PowerTrace;
+
+/// The SunSpot localization attack.
+///
+/// For each day the trace reveals *apparent* sunrise and sunset — the times
+/// generation rises above and falls below a small threshold. Their midpoint
+/// estimates solar noon (→ longitude via the equation of time) and their
+/// difference estimates day length (→ latitude via the sunrise hour-angle
+/// equation). Per-day estimates are noisy (clouds delay apparent sunrise),
+/// so SunSpot takes medians over many days.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SunSpot {
+    /// Generation threshold as a fraction of the trace's observed maximum.
+    pub threshold_frac: f64,
+    /// Minimum number of usable days required for an estimate.
+    pub min_days: usize,
+}
+
+impl Default for SunSpot {
+    fn default() -> Self {
+        SunSpot { threshold_frac: 0.015, min_days: 5 }
+    }
+}
+
+/// One day's extracted apparent sun times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApparentDay {
+    /// Simulation day index.
+    pub sim_day: u64,
+    /// Apparent sunrise, UTC hours.
+    pub sunrise_utc: f64,
+    /// Apparent sunset, UTC hours.
+    pub sunset_utc: f64,
+}
+
+impl ApparentDay {
+    /// Apparent solar noon (midpoint), UTC hours.
+    pub fn noon_utc(&self) -> f64 {
+        (self.sunrise_utc + self.sunset_utc) / 2.0
+    }
+
+    /// Apparent day length, hours.
+    pub fn day_length_hours(&self) -> f64 {
+        self.sunset_utc - self.sunrise_utc
+    }
+}
+
+impl SunSpot {
+    /// Extracts apparent sun times for every day with a clean generation
+    /// envelope.
+    ///
+    /// A naive threshold crossing is biased late (sunrise) and early
+    /// (sunset) because panels must clear the threshold *after* the sun
+    /// clears the horizon — which would bias the latitude estimate south.
+    /// Instead the dawn/dusk generation ramp (which is locally linear in
+    /// time) is extrapolated back to zero output.
+    pub fn apparent_days(&self, generation: &PowerTrace) -> Vec<ApparentDay> {
+        let peak = generation.max_watts();
+        if peak <= 0.0 {
+            return Vec::new();
+        }
+        // Segment the whole trace into *generation runs* — one per solar
+        // day — rather than slicing at UTC midnight, which falls in the
+        // local afternoon at western longitudes.
+        let s = generation.samples();
+        let res_h = generation.resolution().as_secs() as f64 / 3_600.0;
+        let gap_limit = (4.0 / res_h).ceil() as usize; // merge cloud dropouts < 4 h
+        let run_threshold = 0.01 * peak;
+
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < s.len() {
+            if s[i] <= run_threshold {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            let mut end = i;
+            let mut gap = 0;
+            while i < s.len() && gap <= gap_limit {
+                if s[i] > run_threshold {
+                    end = i;
+                    gap = 0;
+                } else {
+                    gap += 1;
+                }
+                i += 1;
+            }
+            runs.push((start, end));
+        }
+
+        let mut out = Vec::new();
+        for &(start, end) in &runs {
+            if (end - start) as f64 * res_h < 4.0 {
+                continue; // too short to be a solar day
+            }
+            let run = &s[start..=end];
+            let run_peak = run.iter().copied().fold(0.0, f64::max);
+            if run_peak < 0.05 * peak {
+                continue; // fully overcast: no usable geometry
+            }
+            let threshold = run_peak * self.threshold_frac;
+            let Some(first) = run.iter().position(|&w| w > threshold) else { continue };
+            let Some(last) = run.iter().rposition(|&w| w > threshold) else { continue };
+            if last <= first + 10 {
+                continue;
+            }
+            let ramp_hi = 0.15 * run_peak;
+            let rise_end = (first..=last).find(|&i| run[i] >= ramp_hi).unwrap_or(first);
+            let set_start = (first..=last).rev().find(|&i| run[i] >= ramp_hi).unwrap_or(last);
+            // Times in UTC hours from trace start (may exceed 24).
+            let base_h = start as f64 * res_h;
+            let sunrise = base_h
+                + extrapolate_ramp(run, first, rise_end, res_h).unwrap_or(first as f64 * res_h);
+            let sunset = base_h
+                + extrapolate_ramp(run, set_start, last, res_h)
+                    .unwrap_or((last + 1) as f64 * res_h);
+            if sunset <= sunrise + 2.0 {
+                continue;
+            }
+            let sim_day = ((sunrise + sunset) / 2.0 / 24.0).floor().max(0.0) as u64;
+            out.push(ApparentDay {
+                sim_day,
+                sunrise_utc: sunrise - sim_day as f64 * 24.0,
+                sunset_utc: sunset - sim_day as f64 * 24.0,
+            });
+        }
+        out
+    }
+
+    /// Estimates the site location.
+    ///
+    /// Returns `None` when fewer than `min_days` usable days exist or no
+    /// day yields a stable latitude inversion.
+    pub fn localize(&self, generation: &PowerTrace) -> Option<GeoPoint> {
+        let days = self.apparent_days(generation);
+        if days.len() < self.min_days {
+            return None;
+        }
+        let mut lons: Vec<f64> = days
+            .iter()
+            .map(|d| longitude_from_noon(d.noon_utc(), d.sim_day))
+            .collect();
+        let mut lats: Vec<f64> = days
+            .iter()
+            .filter_map(|d| latitude_from_day_length(d.day_length_hours(), d.sim_day))
+            .collect();
+        if lats.len() < self.min_days.min(3) {
+            return None;
+        }
+        let lon = median(&mut lons);
+        let lat = median(&mut lats);
+        Some(GeoPoint::new(lat.clamp(-89.9, 89.9), wrap_lon(lon)))
+    }
+}
+
+/// Least-squares line through `(t_mid, power)` over samples `lo..=hi` of a
+/// generation run, returning the time (hours from the run start) where
+/// power extrapolates to 0. Returns `None` for degenerate fits.
+fn extrapolate_ramp(s: &[f64], lo: usize, hi: usize, res_h: f64) -> Option<f64> {
+    if hi < lo + 1 || hi >= s.len() {
+        return None;
+    }
+    let n = (hi - lo + 1) as f64;
+    let mut st = 0.0;
+    let mut sp = 0.0;
+    let mut stt = 0.0;
+    let mut stp = 0.0;
+    for i in lo..=hi {
+        let t = (i as f64 + 0.5) * res_h;
+        let p = s[i];
+        st += t;
+        sp += p;
+        stt += t * t;
+        stp += t * p;
+    }
+    let denom = n * stt - st * st;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * stp - st * sp) / denom;
+    if slope.abs() < 1e-9 {
+        return None;
+    }
+    let intercept = (sp - slope * st) / n;
+    let t0 = -intercept / slope;
+    (-2.0..26.0).contains(&t0).then_some(t0)
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+fn wrap_lon(lon: f64) -> f64 {
+    let mut l = lon;
+    while l > 180.0 {
+        l -= 360.0;
+    }
+    while l < -180.0 {
+        l += 360.0;
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::SolarSite;
+    use crate::weather::WeatherGrid;
+    use timeseries::rng::seeded_rng;
+    use timeseries::Resolution;
+
+    fn generation(p: GeoPoint, days: u64, res: Resolution, seed: u64) -> PowerTrace {
+        let mut grid = WeatherGrid::new_region(p, 300.0, 4, seed);
+        grid.extend_to(days, seed);
+        SolarSite::new(p, 6.0).generate(days, res, &grid, &mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn localizes_minute_data_within_tens_of_km() {
+        let truth = GeoPoint::new(42.39, -72.53);
+        let gen = generation(truth, 60, Resolution::ONE_MINUTE, 11);
+        let guess = SunSpot::default().localize(&gen).unwrap();
+        let err = truth.distance_km(&guess);
+        assert!(err < 120.0, "error {err} km, guess {guess}");
+    }
+
+    #[test]
+    fn apparent_days_track_true_sun_times() {
+        let truth = GeoPoint::new(35.0, -100.0);
+        let gen = generation(truth, 10, Resolution::ONE_MINUTE, 5);
+        let days = SunSpot::default().apparent_days(&gen);
+        assert!(days.len() >= 8);
+        for d in &days {
+            let t = crate::geometry::sun_times(&truth, d.sim_day).unwrap();
+            assert!((d.noon_utc() - t.noon_utc).abs() < 0.75, "day {}", d.sim_day);
+            assert!(
+                (d.day_length_hours() - t.day_length_hours()).abs() < 1.5,
+                "day {}: apparent {} vs true {}",
+                d.sim_day,
+                d.day_length_hours(),
+                t.day_length_hours()
+            );
+        }
+    }
+
+    #[test]
+    fn refuses_dark_trace() {
+        let dark = PowerTrace::zeros(
+            timeseries::Timestamp::ZERO,
+            Resolution::ONE_MINUTE,
+            10 * 1440,
+        );
+        assert!(SunSpot::default().localize(&dark).is_none());
+        assert!(SunSpot::default().apparent_days(&dark).is_empty());
+    }
+
+    #[test]
+    fn refuses_too_short_trace() {
+        let truth = GeoPoint::new(42.0, -72.0);
+        let gen = generation(truth, 2, Resolution::ONE_MINUTE, 6);
+        assert!(SunSpot::default().localize(&gen).is_none());
+    }
+
+    #[test]
+    fn coarser_data_degrades_accuracy() {
+        let truth = GeoPoint::new(42.39, -72.53);
+        let fine = generation(truth, 45, Resolution::ONE_MINUTE, 9);
+        let coarse = generation(truth, 45, Resolution::ONE_HOUR, 9);
+        let e_fine = truth.distance_km(&SunSpot::default().localize(&fine).unwrap());
+        let e_coarse = truth.distance_km(&SunSpot::default().localize(&coarse).unwrap());
+        assert!(
+            e_fine < e_coarse,
+            "1-min error {e_fine} should beat 1-hour error {e_coarse}"
+        );
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+}

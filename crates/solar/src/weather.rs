@@ -1,0 +1,209 @@
+//! A spatially-correlated regional cloud simulator.
+//!
+//! Stands in for the public weather-station data Weatherman correlates
+//! against. The region is covered by a lattice of *anchor stations*, each
+//! carrying an AR(1) cloudiness series; cloudiness at an arbitrary point is
+//! inverse-distance-weighted interpolation of the anchors. Nearby sites
+//! therefore share weather while distant sites decorrelate — exactly the
+//! property that makes weather a location signature.
+
+use crate::geo::GeoPoint;
+use timeseries::rng::{seeded_rng, standard_normal, SeededRng};
+
+/// Hours per cloudiness step (weather changes on the hour).
+pub const STEP_HOURS: f64 = 1.0;
+
+/// A regional cloud field.
+#[derive(Debug, Clone)]
+pub struct WeatherGrid {
+    anchors: Vec<GeoPoint>,
+    /// `series[a][h]` = cloud fraction in `[0, 1]` at anchor `a`, hour `h`.
+    series: Vec<Vec<f64>>,
+    hours: usize,
+}
+
+impl WeatherGrid {
+    /// Builds a square region of `n_per_side²` anchor stations centred on
+    /// `centre`, spanning `span_km` on each side, with an independent AR(1)
+    /// cloud series per anchor (14 simulated days are pre-generated; call
+    /// [`WeatherGrid::extend_to`] for longer horizons).
+    pub fn new_region(centre: GeoPoint, span_km: f64, n_per_side: usize, seed: u64) -> Self {
+        assert!(n_per_side >= 2, "need at least a 2x2 anchor lattice");
+        assert!(span_km > 0.0, "span must be positive");
+        let deg_lat = span_km / 111.2;
+        let deg_lon = span_km / (111.2 * centre.lat_deg.to_radians().cos());
+        let mut anchors = Vec::with_capacity(n_per_side * n_per_side);
+        for i in 0..n_per_side {
+            for j in 0..n_per_side {
+                let fy = i as f64 / (n_per_side - 1) as f64 - 0.5;
+                let fx = j as f64 / (n_per_side - 1) as f64 - 0.5;
+                anchors.push(GeoPoint::new(
+                    (centre.lat_deg + fy * deg_lat).clamp(-89.9, 89.9),
+                    (centre.lon_deg + fx * deg_lon).clamp(-179.9, 179.9),
+                ));
+            }
+        }
+        let mut grid = WeatherGrid { anchors, series: Vec::new(), hours: 0 };
+        grid.series = vec![Vec::new(); grid.anchors.len()];
+        grid.regenerate(14 * 24, seed);
+        grid
+    }
+
+    /// Ensures at least `days` days of cloud history exist, regenerating
+    /// deterministically from the stored seed-derived streams.
+    pub fn extend_to(&mut self, days: u64, seed: u64) {
+        let hours = (days * 24) as usize;
+        if hours > self.hours {
+            self.regenerate(hours, seed);
+        }
+    }
+
+    fn regenerate(&mut self, hours: usize, seed: u64) {
+        self.hours = hours;
+        for (a, series) in self.series.iter_mut().enumerate() {
+            let mut rng: SeededRng = seeded_rng(seed ^ ((a as u64 + 1) * 0x9e37_79b9));
+            *series = ar1_cloud_series(hours, &mut rng);
+        }
+    }
+
+    /// Number of anchor stations.
+    pub fn anchor_count(&self) -> usize {
+        self.anchors.len()
+    }
+
+    /// The anchor station locations (the "public weather station" set).
+    pub fn anchors(&self) -> &[GeoPoint] {
+        &self.anchors
+    }
+
+    /// Hours of generated history.
+    pub fn hours(&self) -> usize {
+        self.hours
+    }
+
+    /// The cloud series observed at anchor `a` — what a public weather API
+    /// would serve for that station.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn anchor_series(&self, a: usize) -> &[f64] {
+        &self.series[a]
+    }
+
+    /// Cloud fraction in `[0, 1]` at an arbitrary point and hour, by
+    /// inverse-distance-squared interpolation of the anchors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour` is beyond the generated history.
+    pub fn cloud_at(&self, p: &GeoPoint, hour: usize) -> f64 {
+        assert!(hour < self.hours, "hour {hour} beyond generated history {}", self.hours);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (a, anchor) in self.anchors.iter().enumerate() {
+            let d = p.distance_km(anchor).max(0.1);
+            let w = 1.0 / (d * d);
+            num += w * self.series[a][hour];
+            den += w;
+        }
+        (num / den).clamp(0.0, 1.0)
+    }
+
+    /// The interpolated cloud series at a point, one value per hour.
+    pub fn cloud_series(&self, p: &GeoPoint) -> Vec<f64> {
+        (0..self.hours).map(|h| self.cloud_at(p, h)).collect()
+    }
+}
+
+/// An AR(1) process squashed into `[0, 1]` cloud fractions, with weather-
+/// front persistence (correlation time ≈ 8 hours).
+fn ar1_cloud_series(hours: usize, rng: &mut SeededRng) -> Vec<f64> {
+    let phi: f64 = 0.88;
+    let sigma = (1.0 - phi * phi_f64(phi)).sqrt();
+    let mut x = standard_normal(rng);
+    let mut out = Vec::with_capacity(hours);
+    for _ in 0..hours {
+        x = phi * x + sigma * standard_normal(rng);
+        // Squash to [0,1]; bias toward partly-cloudy skies.
+        out.push(1.0 / (1.0 + (-1.2 * x).exp()));
+    }
+    out
+}
+
+fn phi_f64(phi: f64) -> f64 {
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> WeatherGrid {
+        WeatherGrid::new_region(GeoPoint::new(42.0, -72.0), 300.0, 6, 7)
+    }
+
+    #[test]
+    fn construction() {
+        let g = grid();
+        assert_eq!(g.anchor_count(), 36);
+        assert_eq!(g.hours(), 14 * 24);
+        assert_eq!(g.anchors().len(), 36);
+    }
+
+    #[test]
+    fn cloud_in_unit_interval() {
+        let g = grid();
+        let p = GeoPoint::new(42.1, -72.2);
+        for h in 0..g.hours() {
+            let c = g.cloud_at(&p, h);
+            assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn nearby_points_correlate_distant_points_less() {
+        let g = grid();
+        let base = GeoPoint::new(42.0, -72.0);
+        let near = GeoPoint::new(42.02, -72.02);
+        let far = GeoPoint::new(43.2, -70.4);
+        let s0 = g.cloud_series(&base);
+        let sn = g.cloud_series(&near);
+        let sf = g.cloud_series(&far);
+        let c_near = timeseries::stats::pearson(&s0, &sn);
+        let c_far = timeseries::stats::pearson(&s0, &sf);
+        assert!(c_near > 0.95, "near correlation {c_near}");
+        assert!(c_far < c_near - 0.05, "far {c_far} vs near {c_near}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = grid().cloud_series(&GeoPoint::new(42.0, -72.0));
+        let b = grid().cloud_series(&GeoPoint::new(42.0, -72.0));
+        assert_eq!(a, b);
+        let c = WeatherGrid::new_region(GeoPoint::new(42.0, -72.0), 300.0, 6, 8)
+            .cloud_series(&GeoPoint::new(42.0, -72.0));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn extend_lengthens_history() {
+        let mut g = grid();
+        g.extend_to(30, 7);
+        assert_eq!(g.hours(), 30 * 24);
+        // Extending to something shorter is a no-op.
+        g.extend_to(5, 7);
+        assert_eq!(g.hours(), 30 * 24);
+    }
+
+    #[test]
+    fn temporal_persistence() {
+        let g = grid();
+        let s = g.anchor_series(0);
+        // Lag-1 autocorrelation should be strong.
+        let a: Vec<f64> = s[..s.len() - 1].to_vec();
+        let b: Vec<f64> = s[1..].to_vec();
+        let r = timeseries::stats::pearson(&a, &b);
+        assert!(r > 0.7, "lag-1 autocorrelation {r}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Weatherman: weather-signature localization (Chen & Irwin, BigData'17).
+
+use crate::geo::GeoPoint;
+use crate::weather::WeatherGrid;
+use timeseries::stats::pearson;
+use timeseries::PowerTrace;
+
+/// The Weatherman localization attack.
+///
+/// Clouds attenuate generation, so a site's *deficit* series (how far below
+/// its clear-sky envelope each hour lands) is a fingerprint of the weather
+/// it experienced. Public weather data supplies candidate cloud series for
+/// any location; the candidate whose cloud history best correlates with the
+/// observed deficits is the site. Works on 1-hour data where SunSpot's
+/// geometry gets coarse — exactly the paper's Figure 5 comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weatherman {
+    /// Candidate lattice refinement levels (each level shrinks the search
+    /// window around the best candidate so far).
+    pub refine_levels: usize,
+    /// Candidates per side at each refinement level.
+    pub candidates_per_side: usize,
+    /// Fraction of the clear-sky envelope below which an hour is treated as
+    /// night and excluded.
+    pub min_envelope_frac: f64,
+}
+
+impl Default for Weatherman {
+    fn default() -> Self {
+        Weatherman { refine_levels: 3, candidates_per_side: 9, min_envelope_frac: 0.25 }
+    }
+}
+
+impl Weatherman {
+    /// The observed cloudiness proxy: for each hour, `1 - gen/envelope`
+    /// where the envelope is the per-hour-of-day maximum over all days (an
+    /// empirical clear-sky curve needing no location knowledge). Hours with
+    /// a weak envelope (night, dawn, dusk) return `None`.
+    pub fn cloud_proxy(&self, generation: &PowerTrace) -> Vec<Option<f64>> {
+        let hourly = if generation.resolution() == timeseries::Resolution::ONE_HOUR {
+            generation.clone()
+        } else {
+            match generation.downsample(timeseries::Resolution::ONE_HOUR) {
+                Ok(t) => t,
+                Err(_) => return Vec::new(),
+            }
+        };
+        let n = hourly.len();
+        let mut envelope = [0.0f64; 24];
+        for i in 0..n {
+            let hod = (i % 24) as usize;
+            envelope[hod] = envelope[hod].max(hourly.watts(i));
+        }
+        let peak = envelope.iter().copied().fold(0.0, f64::max);
+        (0..n)
+            .map(|i| {
+                let e = envelope[i % 24];
+                if e < self.min_envelope_frac * peak {
+                    None
+                } else {
+                    Some((1.0 - hourly.watts(i) / e).clamp(0.0, 1.0))
+                }
+            })
+            .collect()
+    }
+
+    /// Localizes the site by correlating its deficit fingerprint against
+    /// the weather grid, coarse-to-fine.
+    ///
+    /// Returns `None` if the trace yields too few usable hours.
+    pub fn localize(&self, generation: &PowerTrace, weather: &WeatherGrid) -> Option<GeoPoint> {
+        let proxy = self.cloud_proxy(generation);
+        let usable: Vec<usize> = proxy
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|_| i))
+            .filter(|&i| i < weather.hours())
+            .collect();
+        if usable.len() < 48 {
+            return None;
+        }
+        let obs: Vec<f64> = usable.iter().map(|&i| proxy[i].unwrap()).collect();
+
+        let score = |p: &GeoPoint| -> f64 {
+            let cand: Vec<f64> = usable.iter().map(|&i| weather.cloud_at(p, i)).collect();
+            pearson(&obs, &cand)
+        };
+
+        // Level 0: the anchor stations themselves.
+        let mut best = *weather
+            .anchors()
+            .iter()
+            .max_by(|a, b| score(a).total_cmp(&score(b)))?;
+
+        // Refinement: shrink a lattice around the best candidate.
+        let anchor_span_km = weather.anchors()[0].distance_km(weather.anchors().last()?);
+        let mut span = anchor_span_km / 2.0_f64.sqrt() / 2.0;
+        for _ in 0..self.refine_levels {
+            let k = self.candidates_per_side;
+            let deg_lat = span / 111.2;
+            let deg_lon = span / (111.2 * best.lat_deg.to_radians().cos());
+            let mut level_best = best;
+            let mut level_score = score(&best);
+            for i in 0..k {
+                for j in 0..k {
+                    let fy = i as f64 / (k - 1) as f64 - 0.5;
+                    let fx = j as f64 / (k - 1) as f64 - 0.5;
+                    let cand = GeoPoint::new(
+                        (best.lat_deg + fy * deg_lat).clamp(-89.9, 89.9),
+                        (best.lon_deg + fx * deg_lon).clamp(-179.9, 179.9),
+                    );
+                    let s = score(&cand);
+                    if s > level_score {
+                        level_score = s;
+                        level_best = cand;
+                    }
+                }
+            }
+            best = level_best;
+            span /= (k - 1) as f64 / 2.0;
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::SolarSite;
+    use timeseries::rng::seeded_rng;
+    use timeseries::Resolution;
+
+    fn setup(truth: GeoPoint, days: u64, seed: u64) -> (PowerTrace, WeatherGrid) {
+        let mut grid = WeatherGrid::new_region(truth, 300.0, 6, seed);
+        grid.extend_to(days, seed);
+        let gen = SolarSite::new(truth, 6.0).generate(
+            days,
+            Resolution::ONE_HOUR,
+            &grid,
+            &mut seeded_rng(seed),
+        );
+        (gen, grid)
+    }
+
+    #[test]
+    fn localizes_hourly_data_within_km() {
+        // Offset from grid centre so the answer is not an anchor freebie.
+        let centre = GeoPoint::new(42.0, -72.0);
+        let truth = GeoPoint::new(42.31, -72.41);
+        let mut grid = WeatherGrid::new_region(centre, 300.0, 6, 21);
+        grid.extend_to(45, 21);
+        let gen = SolarSite::new(truth, 6.0).generate(
+            45,
+            Resolution::ONE_HOUR,
+            &grid,
+            &mut seeded_rng(21),
+        );
+        let guess = Weatherman::default().localize(&gen, &grid).unwrap();
+        let err = truth.distance_km(&guess);
+        assert!(err < 15.0, "error {err} km (guess {guess})");
+    }
+
+    #[test]
+    fn cloud_proxy_marks_night_hours() {
+        let truth = GeoPoint::new(40.0, -90.0);
+        let (gen, _) = setup(truth, 14, 4);
+        let proxy = Weatherman::default().cloud_proxy(&gen);
+        assert_eq!(proxy.len(), 14 * 24);
+        let usable = proxy.iter().filter(|p| p.is_some()).count();
+        // Roughly daytime fraction of hours.
+        assert!(usable > 14 * 6 && usable < 14 * 16, "usable {usable}");
+        for p in proxy.iter().flatten() {
+            assert!((0.0..=1.0).contains(p));
+        }
+    }
+
+    #[test]
+    fn too_short_trace_refused() {
+        let truth = GeoPoint::new(40.0, -90.0);
+        let (gen, grid) = setup(truth, 14, 5);
+        let two_days = gen.slice(0..48);
+        assert!(Weatherman::default().localize(&two_days, &grid).is_none());
+    }
+
+    #[test]
+    fn works_from_minute_data_by_downsampling() {
+        let truth = GeoPoint::new(42.2, -72.2);
+        let mut grid = WeatherGrid::new_region(GeoPoint::new(42.0, -72.0), 300.0, 6, 31);
+        grid.extend_to(30, 31);
+        let gen = SolarSite::new(truth, 6.0).generate(
+            30,
+            Resolution::ONE_MINUTE,
+            &grid,
+            &mut seeded_rng(31),
+        );
+        let guess = Weatherman::default().localize(&gen, &grid).unwrap();
+        assert!(truth.distance_km(&guess) < 25.0);
+    }
+}

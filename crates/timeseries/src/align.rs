@@ -1,0 +1,109 @@
+//! Alignment helpers for heterogeneous series.
+
+use crate::{LabelSeries, PowerTrace, TraceError};
+
+/// A verified-aligned pair of a power trace and a label series, produced by
+/// [`aligned`]. Holding this type proves sample `i` of the trace and label
+/// `i` describe the same interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Aligned<'a> {
+    trace: &'a PowerTrace,
+    labels: &'a LabelSeries,
+}
+
+impl<'a> Aligned<'a> {
+    /// The power trace.
+    pub fn trace(&self) -> &'a PowerTrace {
+        self.trace
+    }
+
+    /// The label series.
+    pub fn labels(&self) -> &'a LabelSeries {
+        self.labels
+    }
+
+    /// Number of aligned samples.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// `true` if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Iterates over `(watts, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, bool)> + 'a {
+        self.trace
+            .samples()
+            .iter()
+            .copied()
+            .zip(self.labels.labels().iter().copied())
+    }
+
+    /// Splits the samples by label: `(labelled_true, labelled_false)`.
+    pub fn partition(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut on = Vec::new();
+        let mut off = Vec::new();
+        for (w, l) in self.iter() {
+            if l { on.push(w) } else { off.push(w) }
+        }
+        (on, off)
+    }
+}
+
+/// Verifies that `trace` and `labels` share start, resolution, and length.
+///
+/// # Errors
+///
+/// Returns the first geometry mismatch found.
+pub fn aligned<'a>(
+    trace: &'a PowerTrace,
+    labels: &'a LabelSeries,
+) -> Result<Aligned<'a>, TraceError> {
+    if trace.resolution() != labels.resolution() {
+        return Err(TraceError::ResolutionMismatch {
+            left: trace.resolution(),
+            right: labels.resolution(),
+        });
+    }
+    if trace.start() != labels.start() {
+        return Err(TraceError::StartMismatch { left: trace.start(), right: labels.start() });
+    }
+    if trace.len() != labels.len() {
+        return Err(TraceError::LengthMismatch { left: trace.len(), right: labels.len() });
+    }
+    Ok(Aligned { trace, labels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Resolution, Timestamp};
+
+    #[test]
+    fn aligned_pair_iterates() {
+        let t = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 4, |i| i as f64);
+        let l = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 4, |i| i % 2 == 0);
+        let a = aligned(&t, &l).unwrap();
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        let pairs: Vec<_> = a.iter().collect();
+        assert_eq!(pairs[1], (1.0, false));
+        let (on, off) = a.partition();
+        assert_eq!(on, vec![0.0, 2.0]);
+        assert_eq!(off, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn mismatches_rejected() {
+        let t = PowerTrace::zeros(Timestamp::ZERO, Resolution::ONE_MINUTE, 4);
+        let wrong_len = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 3, |_| true);
+        assert!(matches!(aligned(&t, &wrong_len), Err(TraceError::LengthMismatch { .. })));
+        let wrong_res = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_HOUR, 4, |_| true);
+        assert!(matches!(aligned(&t, &wrong_res), Err(TraceError::ResolutionMismatch { .. })));
+        let wrong_start =
+            LabelSeries::from_fn(Timestamp::from_secs(1), Resolution::ONE_MINUTE, 4, |_| true);
+        assert!(matches!(aligned(&t, &wrong_start), Err(TraceError::StartMismatch { .. })));
+    }
+}

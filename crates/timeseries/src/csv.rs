@@ -1,0 +1,145 @@
+//! Minimal CSV import/export for traces and labels.
+//!
+//! The experiment harness emits plots as CSV so results can be inspected or
+//! re-plotted outside Rust. The format is intentionally tiny: a header line
+//! then `timestamp_secs,value` rows.
+
+use crate::{LabelSeries, PowerTrace, Resolution, Timestamp, TraceError};
+use std::io::{self, BufRead, Write};
+
+/// Writes `trace` as `timestamp_secs,watts` CSV rows (with header).
+///
+/// A `&mut` reference to any writer can be passed.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(mut w: W, trace: &PowerTrace) -> io::Result<()> {
+    writeln!(w, "timestamp_secs,watts")?;
+    for (ts, watts) in trace.iter() {
+        writeln!(w, "{},{}", ts.as_secs(), watts)?;
+    }
+    Ok(())
+}
+
+/// Writes `labels` as `timestamp_secs,label` CSV rows (with header), using
+/// `1`/`0` for the label.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_labels<W: Write>(mut w: W, labels: &LabelSeries) -> io::Result<()> {
+    writeln!(w, "timestamp_secs,label")?;
+    let res = labels.resolution().as_secs() as u64;
+    for (i, &l) in labels.labels().iter().enumerate() {
+        let ts = labels.start() + i as u64 * res;
+        writeln!(w, "{},{}", ts.as_secs(), if l { 1 } else { 0 })?;
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written by [`write_trace`].
+///
+/// The resolution is inferred from the first two timestamps; a single-row
+/// file is rejected because its resolution is ambiguous.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] on malformed input, non-uniform sampling,
+/// or fewer than two rows.
+pub fn read_trace<R: BufRead>(r: R) -> Result<PowerTrace, TraceError> {
+    let mut rows = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| TraceError::Parse(e.to_string()))?;
+        if lineno == 0 {
+            if line.trim() != "timestamp_secs,watts" {
+                return Err(TraceError::Parse(format!("unexpected header: {line}")));
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (ts, val) = line
+            .split_once(',')
+            .ok_or_else(|| TraceError::Parse(format!("line {lineno}: missing comma")))?;
+        let ts: u64 = ts
+            .trim()
+            .parse()
+            .map_err(|e| TraceError::Parse(format!("line {lineno}: bad timestamp: {e}")))?;
+        let val: f64 = val
+            .trim()
+            .parse()
+            .map_err(|e| TraceError::Parse(format!("line {lineno}: bad value: {e}")))?;
+        rows.push((ts, val));
+    }
+    if rows.len() < 2 {
+        return Err(TraceError::Parse("need at least two rows to infer resolution".into()));
+    }
+    let step = rows[1].0 - rows[0].0;
+    if step == 0 || step > u32::MAX as u64 {
+        return Err(TraceError::Parse(format!("invalid sampling step {step}")));
+    }
+    for pair in rows.windows(2) {
+        if pair[1].0 - pair[0].0 != step {
+            return Err(TraceError::Parse("non-uniform sampling".into()));
+        }
+    }
+    PowerTrace::new(
+        Timestamp::from_secs(rows[0].0),
+        Resolution::from_secs(step as u32),
+        rows.into_iter().map(|(_, v)| v).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_round_trip() {
+        let t = PowerTrace::from_fn(
+            Timestamp::from_secs(120),
+            Resolution::ONE_MINUTE,
+            5,
+            |i| i as f64 * 100.0,
+        );
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn labels_format() {
+        let l = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 2, |i| i == 1);
+        let mut buf = Vec::new();
+        write_labels(&mut buf, &l).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "timestamp_secs,label\n0,0\n60,1\n");
+    }
+
+    #[test]
+    fn read_rejects_bad_header() {
+        let err = read_trace("nope\n1,2\n2,3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse(_)));
+    }
+
+    #[test]
+    fn read_rejects_non_uniform() {
+        let data = "timestamp_secs,watts\n0,1\n60,2\n180,3\n";
+        assert!(matches!(read_trace(data.as_bytes()), Err(TraceError::Parse(_))));
+    }
+
+    #[test]
+    fn read_rejects_single_row() {
+        let data = "timestamp_secs,watts\n0,1\n";
+        assert!(matches!(read_trace(data.as_bytes()), Err(TraceError::Parse(_))));
+    }
+
+    #[test]
+    fn read_rejects_garbage_value() {
+        let data = "timestamp_secs,watts\n0,abc\n60,2\n";
+        assert!(matches!(read_trace(data.as_bytes()), Err(TraceError::Parse(_))));
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for trace operations.
+
+use crate::{Resolution, Timestamp};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when combining or transforming traces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// Two series have different resolutions.
+    ResolutionMismatch {
+        /// Resolution of the left-hand series.
+        left: Resolution,
+        /// Resolution of the right-hand series.
+        right: Resolution,
+    },
+    /// Two series have different start times.
+    StartMismatch {
+        /// Start of the left-hand series.
+        left: Timestamp,
+        /// Start of the right-hand series.
+        right: Timestamp,
+    },
+    /// Two series have different lengths.
+    LengthMismatch {
+        /// Length of the left-hand series.
+        left: usize,
+        /// Length of the right-hand series.
+        right: usize,
+    },
+    /// A requested downsampling is not an integer multiple of the source
+    /// resolution.
+    IndivisibleResample {
+        /// Source resolution.
+        from: Resolution,
+        /// Requested resolution.
+        to: Resolution,
+    },
+    /// A sample value was rejected (NaN or infinite).
+    InvalidSample {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// A parse failure while reading a serialized trace.
+    Parse(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::ResolutionMismatch { left, right } => {
+                write!(f, "resolution mismatch: {left} vs {right}")
+            }
+            TraceError::StartMismatch { left, right } => {
+                write!(f, "start time mismatch: {left} vs {right}")
+            }
+            TraceError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            TraceError::IndivisibleResample { from, to } => {
+                write!(f, "cannot resample from {from} to {to}: not an integer multiple")
+            }
+            TraceError::InvalidSample { index } => {
+                write!(f, "invalid (non-finite) sample at index {index}")
+            }
+            TraceError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TraceError::ResolutionMismatch {
+            left: Resolution::ONE_MINUTE,
+            right: Resolution::ONE_HOUR,
+        };
+        assert_eq!(e.to_string(), "resolution mismatch: 1min vs 1h");
+        let e = TraceError::LengthMismatch { left: 3, right: 5 };
+        assert_eq!(e.to_string(), "length mismatch: 3 vs 5");
+        let e = TraceError::IndivisibleResample {
+            from: Resolution::ONE_HOUR,
+            to: Resolution::ONE_MINUTE,
+        };
+        assert!(e.to_string().contains("not an integer multiple"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TraceError>();
+    }
+}

@@ -1,0 +1,250 @@
+//! Step-edge detection on power traces.
+//!
+//! The PowerPlay NILM tracker identifies loads by the step edges they leave
+//! in an aggregate trace (a 1.5 kW rise when a toaster starts, a matching
+//! fall when it stops). [`EdgeDetector`] extracts those edges with
+//! debouncing against meter noise.
+
+use crate::PowerTrace;
+use serde::{Deserialize, Serialize};
+
+/// The direction of a power step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeDirection {
+    /// Power increased (a load turned on or stepped up).
+    Rising,
+    /// Power decreased (a load turned off or stepped down).
+    Falling,
+}
+
+/// One detected power step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Sample index at which the transition begins.
+    pub index: usize,
+    /// Sample index at which the new level is established (equals `index`
+    /// for single-sample steps; later for merged multi-sample ramps).
+    pub post_index: usize,
+    /// Signed power change in watts (positive for rising), spanning the
+    /// whole transition `index-1 → post_index`.
+    pub delta_watts: f64,
+    /// Direction of the step.
+    pub direction: EdgeDirection,
+}
+
+impl Edge {
+    /// Absolute magnitude of the step, watts.
+    pub fn magnitude(&self) -> f64 {
+        self.delta_watts.abs()
+    }
+}
+
+/// Configurable step-edge detector.
+///
+/// The detector compares the mean of a short *pre* window against the mean
+/// of a short *post* window around each candidate sample; a step is reported
+/// when the means differ by at least `min_delta_watts`. Averaging over
+/// `settle` samples debounces transient spikes and meter noise.
+///
+/// # Examples
+///
+/// ```
+/// use timeseries::{EdgeDetector, PowerTrace, Resolution, Timestamp, EdgeDirection};
+///
+/// let t = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 30, |i| {
+///     if (10..20).contains(&i) { 1_500.0 } else { 100.0 }
+/// });
+/// let edges = EdgeDetector::new(200.0).detect(&t);
+/// assert_eq!(edges.len(), 2);
+/// assert_eq!(edges[0].direction, EdgeDirection::Rising);
+/// assert_eq!(edges[0].index, 10);
+/// assert_eq!(edges[1].direction, EdgeDirection::Falling);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeDetector {
+    min_delta_watts: f64,
+    settle: usize,
+}
+
+impl EdgeDetector {
+    /// Creates a detector reporting steps of at least `min_delta_watts`,
+    /// with a default settle window of one sample (exact step matching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_delta_watts` is not finite and positive.
+    pub fn new(min_delta_watts: f64) -> Self {
+        assert!(
+            min_delta_watts.is_finite() && min_delta_watts > 0.0,
+            "edge threshold must be positive"
+        );
+        EdgeDetector { min_delta_watts, settle: 1 }
+    }
+
+    /// Sets the number of samples averaged on each side of a candidate edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `settle` is zero.
+    pub fn with_settle(mut self, settle: usize) -> Self {
+        assert!(settle > 0, "settle window must be non-empty");
+        self.settle = settle;
+        self
+    }
+
+    /// The configured minimum step magnitude, watts.
+    pub fn min_delta_watts(&self) -> f64 {
+        self.min_delta_watts
+    }
+
+    /// Detects all step edges in `trace`, in index order.
+    ///
+    /// Consecutive samples within the same monotonic transition are merged
+    /// into a single edge whose delta spans the full transition.
+    pub fn detect(&self, trace: &PowerTrace) -> Vec<Edge> {
+        let s = trace.samples();
+        if s.len() < 2 {
+            return Vec::new();
+        }
+        let settle = self.settle;
+        let mut edges = Vec::new();
+        let mut i = 1;
+        while i < s.len() {
+            let pre_start = i.saturating_sub(settle);
+            let pre = mean(&s[pre_start..i]);
+            let post_end = (i + settle).min(s.len());
+            let post = mean(&s[i..post_end]);
+            let delta = post - pre;
+            // A transition straddling a sample boundary can split into two
+            // sub-threshold steps (e.g. -55 then -46 for a -120 W level
+            // change); a two-sample span test catches those.
+            let split = delta.abs() < self.min_delta_watts
+                && i + 1 < s.len()
+                && {
+                    let step1 = s[i] - s[i - 1];
+                    let step2 = s[i + 1] - s[i];
+                    (step1 > 0.0 && step2 > 0.0) || (step1 < 0.0 && step2 < 0.0)
+                }
+                && (s[i + 1] - s[i - 1]).abs() >= self.min_delta_watts
+                && delta.abs() >= 0.25 * self.min_delta_watts;
+            if delta.abs() >= self.min_delta_watts || split {
+                // Extend through the monotonic transition so a multi-sample
+                // ramp registers as one edge.
+                let sign = if split {
+                    (s[i + 1] - s[i - 1]).signum()
+                } else {
+                    delta.signum()
+                };
+                let mut j = if split { i + 1 } else { i };
+                while j + 1 < s.len() && (s[j + 1] - s[j]).signum() == sign
+                    && (s[j + 1] - s[j]).abs() >= self.min_delta_watts
+                {
+                    j += 1;
+                }
+                // A transition that straddles a sample boundary leaves a
+                // sub-threshold same-direction remainder in the next sample
+                // (e.g. a 120 W load starting mid-sample reads +94 then
+                // +26); extend through up to two such samples so the edge
+                // reports the full level change.
+                let mut ext = 0;
+                while ext < 2 && j + 1 < s.len() && ((s[j + 1] - s[j]) * sign) > 0.0 {
+                    j += 1;
+                    ext += 1;
+                }
+                let level_pre = mean(&s[pre_start..i]);
+                let level_post_end = (j + settle).min(s.len());
+                let level_post = mean(&s[j..level_post_end]);
+                let full_delta = level_post - level_pre;
+                edges.push(Edge {
+                    index: i,
+                    post_index: j,
+                    delta_watts: full_delta,
+                    direction: if full_delta >= 0.0 {
+                        EdgeDirection::Rising
+                    } else {
+                        EdgeDirection::Falling
+                    },
+                });
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+        edges
+    }
+}
+
+/// Convenience wrapper: detect edges with threshold `min_delta_watts` and a
+/// single-sample settle window.
+pub fn detect_edges(trace: &PowerTrace, min_delta_watts: f64) -> Vec<Edge> {
+    EdgeDetector::new(min_delta_watts).detect(trace)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Resolution, Timestamp};
+
+    fn trace(samples: Vec<f64>) -> PowerTrace {
+        PowerTrace::new(Timestamp::ZERO, Resolution::ONE_MINUTE, samples).unwrap()
+    }
+
+    #[test]
+    fn single_step_up_and_down() {
+        let t = trace(vec![100.0, 100.0, 1_600.0, 1_600.0, 100.0, 100.0]);
+        let edges = detect_edges(&t, 200.0);
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].index, 2);
+        assert!((edges[0].delta_watts - 1_500.0).abs() < 1e-9);
+        assert_eq!(edges[0].direction, EdgeDirection::Rising);
+        assert_eq!(edges[1].index, 4);
+        assert!((edges[1].delta_watts + 1_500.0).abs() < 1e-9);
+        assert_eq!(edges[1].direction, EdgeDirection::Falling);
+        assert!((edges[1].magnitude() - 1_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_noise_ignored() {
+        let t = trace(vec![100.0, 130.0, 90.0, 110.0, 105.0]);
+        assert!(detect_edges(&t, 200.0).is_empty());
+    }
+
+    #[test]
+    fn ramp_merged_into_one_edge() {
+        // A two-sample ramp 100 → 800 → 1500 should be one rising edge.
+        let t = trace(vec![100.0, 100.0, 800.0, 1_500.0, 1_500.0, 1_500.0]);
+        let edges = detect_edges(&t, 200.0);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].direction, EdgeDirection::Rising);
+        assert!(edges[0].delta_watts > 1_200.0);
+        assert_eq!(edges[0].index, 2);
+        assert_eq!(edges[0].post_index, 3);
+    }
+
+    #[test]
+    fn settle_window_debounces_spike() {
+        // One-sample spike: with settle=2 the averaged post window halves the
+        // apparent delta, dropping it below threshold.
+        let t = trace(vec![100.0, 100.0, 100.0, 700.0, 100.0, 100.0, 100.0]);
+        let strict = EdgeDetector::new(500.0).with_settle(2).detect(&t);
+        assert!(strict.is_empty(), "spike should be debounced, got {strict:?}");
+        let loose = EdgeDetector::new(500.0).detect(&t);
+        assert_eq!(loose.len(), 2, "without settle the spike is two edges");
+    }
+
+    #[test]
+    fn empty_and_tiny_traces() {
+        assert!(detect_edges(&trace(vec![]), 100.0).is_empty());
+        assert!(detect_edges(&trace(vec![5.0]), 100.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "edge threshold must be positive")]
+    fn zero_threshold_rejected() {
+        EdgeDetector::new(0.0);
+    }
+}

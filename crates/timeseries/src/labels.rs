@@ -1,0 +1,387 @@
+//! Binary label series aligned with power traces.
+
+use crate::{PowerTrace, Resolution, Timestamp, TraceError};
+use serde::{Deserialize, Serialize};
+
+/// A binary time series (e.g. ground-truth or inferred occupancy) aligned
+/// with a [`PowerTrace`].
+///
+/// Labels share a trace's start/resolution geometry so that attack output
+/// can be scored sample-for-sample against ground truth.
+///
+/// # Examples
+///
+/// ```
+/// use timeseries::{LabelSeries, Resolution, Timestamp};
+///
+/// let truth = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 4, |i| i >= 2);
+/// let guess = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 4, |i| i >= 1);
+/// let c = truth.confusion(&guess)?;
+/// assert_eq!((c.tp, c.fp, c.tn, c.fn_), (2, 1, 1, 0));
+/// # Ok::<(), timeseries::TraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelSeries {
+    start: Timestamp,
+    resolution: Resolution,
+    labels: Vec<bool>,
+}
+
+/// Confusion-matrix counts from comparing a predicted [`LabelSeries`]
+/// against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// True negatives.
+    pub tn: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl Confusion {
+    /// Total number of compared samples.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction of samples classified correctly, in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// Precision `tp / (tp + fp)`; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 { 0.0 } else { self.tp as f64 / denom as f64 }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 { 0.0 } else { self.tp as f64 / denom as f64 }
+    }
+
+    /// F1 score, the harmonic mean of precision and recall; 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) }
+    }
+
+    /// Matthews Correlation Coefficient in `[-1, 1]` ([Matthews 1975], the
+    /// paper's headline defense metric): 1 is perfect detection, 0 is random
+    /// prediction, -1 is always wrong. Returns 0 when any marginal is empty
+    /// (the conventional extension).
+    ///
+    /// [Matthews 1975]: https://doi.org/10.1016/0005-2795(75)90109-9
+    pub fn mcc(&self) -> f64 {
+        let tp = self.tp as f64;
+        let fp = self.fp as f64;
+        let tn = self.tn as f64;
+        let fn_ = self.fn_ as f64;
+        let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (tp * tn - fp * fn_) / denom
+        }
+    }
+}
+
+impl LabelSeries {
+    /// Creates a label series from raw booleans.
+    pub fn new(start: Timestamp, resolution: Resolution, labels: Vec<bool>) -> Self {
+        LabelSeries { start, resolution, labels }
+    }
+
+    /// Creates a label series by evaluating `f` at each sample index.
+    pub fn from_fn(
+        start: Timestamp,
+        resolution: Resolution,
+        len: usize,
+        mut f: impl FnMut(usize) -> bool,
+    ) -> Self {
+        LabelSeries { start, resolution, labels: (0..len).map(|i| f(i)).collect() }
+    }
+
+    /// Creates an all-`value` series with the geometry of `trace`.
+    pub fn like_trace(trace: &PowerTrace, value: bool) -> Self {
+        LabelSeries {
+            start: trace.start(),
+            resolution: trace.resolution(),
+            labels: vec![value; trace.len()],
+        }
+    }
+
+    /// The timestamp of the first label.
+    pub fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// The sampling resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the series has no labels.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The label at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> bool {
+        self.labels[i]
+    }
+
+    /// The raw labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Mutable access to the raw labels.
+    pub fn labels_mut(&mut self) -> &mut [bool] {
+        &mut self.labels
+    }
+
+    /// Fraction of labels that are `true`, in `[0, 1]` (0 when empty).
+    pub fn positive_rate(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|&&b| b).count() as f64 / self.labels.len() as f64
+    }
+
+    /// The label covering `at`, or `None` outside the series.
+    pub fn at(&self, at: Timestamp) -> Option<bool> {
+        if at < self.start {
+            return None;
+        }
+        let idx = ((at - self.start) / self.resolution.as_secs() as u64) as usize;
+        self.labels.get(idx).copied()
+    }
+
+    /// Downsamples by majority vote over whole groups; ties count as `true`.
+    /// A trailing partial group is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::IndivisibleResample`] if `to` is not an integer
+    /// multiple of the current resolution.
+    pub fn downsample(&self, to: Resolution) -> Result<LabelSeries, TraceError> {
+        if !self.resolution.divides(to) {
+            return Err(TraceError::IndivisibleResample { from: self.resolution, to });
+        }
+        let group = (to.as_secs() / self.resolution.as_secs()) as usize;
+        let labels = self
+            .labels
+            .chunks_exact(group)
+            .map(|c| c.iter().filter(|&&b| b).count() * 2 >= group)
+            .collect();
+        Ok(LabelSeries { start: self.start, resolution: to, labels })
+    }
+
+    /// Compares `predicted` (self is ground truth) and tallies the confusion
+    /// matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the two series differ in geometry.
+    pub fn confusion(&self, predicted: &LabelSeries) -> Result<Confusion, TraceError> {
+        self.check_aligned(predicted)?;
+        let mut c = Confusion::default();
+        for (&truth, &guess) in self.labels.iter().zip(&predicted.labels) {
+            match (truth, guess) {
+                (true, true) => c.tp += 1,
+                (false, true) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (true, false) => c.fn_ += 1,
+            }
+        }
+        Ok(c)
+    }
+
+    /// Verifies that `other` has the same start, resolution, and length.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatch found.
+    pub fn check_aligned(&self, other: &LabelSeries) -> Result<(), TraceError> {
+        if self.resolution != other.resolution {
+            return Err(TraceError::ResolutionMismatch {
+                left: self.resolution,
+                right: other.resolution,
+            });
+        }
+        if self.start != other.start {
+            return Err(TraceError::StartMismatch { left: self.start, right: other.start });
+        }
+        if self.labels.len() != other.labels.len() {
+            return Err(TraceError::LengthMismatch {
+                left: self.labels.len(),
+                right: other.labels.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Morphologically smooths the series: runs of `true` or `false` shorter
+    /// than `min_run` samples are merged into their surroundings (iterated
+    /// to a fixpoint, since flipping one short run can expose another).
+    /// Runs touching either boundary are preserved. NIOM uses this to
+    /// suppress single-sample flickers.
+    pub fn smooth_runs(&self, min_run: usize) -> LabelSeries {
+        if min_run <= 1 || self.labels.is_empty() {
+            return self.clone();
+        }
+        let mut out = self.labels.clone();
+        loop {
+            let mut changed = false;
+            let mut i = 0;
+            while i < out.len() {
+                let val = out[i];
+                let mut j = i;
+                while j < out.len() && out[j] == val {
+                    j += 1;
+                }
+                // Flip short interior runs; keep runs touching a boundary.
+                if j - i < min_run && i != 0 && j != out.len() {
+                    for slot in &mut out[i..j] {
+                        *slot = !val;
+                    }
+                    changed = true;
+                }
+                i = j;
+            }
+            if !changed {
+                break;
+            }
+        }
+        LabelSeries { start: self.start, resolution: self.resolution, labels: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(bits: &[u8]) -> LabelSeries {
+        LabelSeries::new(
+            Timestamp::ZERO,
+            Resolution::ONE_MINUTE,
+            bits.iter().map(|&b| b != 0).collect(),
+        )
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let truth = series(&[1, 1, 0, 0, 1]);
+        let guess = series(&[1, 0, 0, 1, 1]);
+        let c = truth.confusion(&guess).unwrap();
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(c.total(), 5);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mcc_perfect_and_inverted() {
+        let truth = series(&[1, 0, 1, 0]);
+        assert!((truth.confusion(&truth).unwrap().mcc() - 1.0).abs() < 1e-12);
+        let inverted = series(&[0, 1, 0, 1]);
+        assert!((truth.confusion(&inverted).unwrap().mcc() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mcc_degenerate_is_zero() {
+        let truth = series(&[1, 1, 1, 1]);
+        let guess = series(&[1, 1, 0, 1]);
+        // tn + fp == 0 → MCC defined as 0.
+        assert_eq!(truth.confusion(&guess).unwrap().mcc(), 0.0);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let truth = series(&[1, 1, 0, 0]);
+        let guess = series(&[1, 0, 1, 0]);
+        let c = truth.confusion(&guess).unwrap();
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_undefined_is_zero() {
+        let truth = series(&[0, 0]);
+        let guess = series(&[0, 0]);
+        assert_eq!(truth.confusion(&guess).unwrap().f1(), 0.0);
+    }
+
+    #[test]
+    fn alignment_checked() {
+        let a = series(&[1, 0]);
+        let b = LabelSeries::new(Timestamp::from_secs(60), Resolution::ONE_MINUTE, vec![true]);
+        assert!(a.confusion(&b).is_err());
+    }
+
+    #[test]
+    fn smooth_removes_short_runs() {
+        let noisy = series(&[0, 0, 1, 0, 0, 1, 1, 1, 0, 1, 1, 1]);
+        let smoothed = noisy.smooth_runs(2);
+        assert_eq!(
+            smoothed.labels(),
+            &[false, false, false, false, false, true, true, true, true, true, true, true]
+        );
+    }
+
+    #[test]
+    fn smooth_preserves_boundary_runs() {
+        let s = series(&[1, 0, 0, 0]);
+        // The leading single-sample run touches the boundary → preserved.
+        assert_eq!(s.smooth_runs(3).labels(), &[true, false, false, false]);
+    }
+
+    #[test]
+    fn downsample_majority() {
+        let s = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 120, |i| i < 45);
+        let hourly = s.downsample(Resolution::ONE_HOUR).unwrap();
+        assert_eq!(hourly.labels(), &[true, false]);
+    }
+
+    #[test]
+    fn positive_rate() {
+        assert_eq!(series(&[]).positive_rate(), 0.0);
+        assert!((series(&[1, 0, 1, 0]).positive_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn at_lookup() {
+        let s = series(&[1, 0]);
+        assert_eq!(s.at(Timestamp::from_secs(0)), Some(true));
+        assert_eq!(s.at(Timestamp::from_secs(61)), Some(false));
+        assert_eq!(s.at(Timestamp::from_secs(120)), None);
+    }
+
+    #[test]
+    fn like_trace_matches_geometry() {
+        let t = PowerTrace::zeros(Timestamp::from_secs(60), Resolution::ONE_HOUR, 5);
+        let l = LabelSeries::like_trace(&t, true);
+        assert_eq!(l.len(), 5);
+        assert_eq!(l.start(), t.start());
+        assert_eq!(l.resolution(), t.resolution());
+        assert!(l.labels().iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,48 @@
+//! Fixed-rate time series for energy and privacy analytics.
+//!
+//! This crate is the foundation substrate of the *Private Memoirs of IoT
+//! Devices* reproduction. Every other crate — the home simulator, the NIOM
+//! and NILM attacks, the CHPr defense, the solar analytics — exchanges data
+//! as the types defined here:
+//!
+//! * [`PowerTrace`] — a fixed-resolution power time series in watts, the
+//!   model of a smart-meter recording.
+//! * [`LabelSeries`] — a binary ground-truth/inference series aligned with a
+//!   trace (e.g. occupancy), used to score attacks.
+//! * [`stats`] — sliding-window statistics (mean, variance, range) that the
+//!   NIOM attack is built on.
+//! * [`events`] — step-edge detection used by the PowerPlay NILM tracker.
+//!
+//! # Examples
+//!
+//! ```
+//! use timeseries::{PowerTrace, Resolution, Timestamp};
+//!
+//! // A one-hour trace at one-minute resolution: 500 W base load with a
+//! // 1.5 kW toaster burst in the middle.
+//! let trace = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 60, |i| {
+//!     if (20..25).contains(&i) { 2000.0 } else { 500.0 }
+//! });
+//! assert_eq!(trace.len(), 60);
+//! assert!(trace.energy_kwh() > 0.5 && trace.energy_kwh() < 0.7);
+//! ```
+
+pub mod align;
+pub mod csv;
+pub mod error;
+pub mod events;
+pub mod labels;
+pub mod resolution;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use align::{aligned, Aligned};
+pub use error::TraceError;
+pub use events::{detect_edges, Edge, EdgeDetector, EdgeDirection};
+pub use labels::LabelSeries;
+pub use resolution::Resolution;
+pub use stats::{Summary, WindowStats};
+pub use time::Timestamp;
+pub use trace::PowerTrace;

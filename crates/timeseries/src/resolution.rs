@@ -1,0 +1,140 @@
+//! Sampling resolutions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The sampling period of a fixed-rate series, in whole seconds per sample.
+///
+/// Smart meters in the paper record at resolutions from one second to one
+/// hour; the named constants cover the resolutions the experiments use.
+///
+/// # Examples
+///
+/// ```
+/// use timeseries::Resolution;
+///
+/// assert_eq!(Resolution::ONE_MINUTE.samples_per_day(), 1440);
+/// assert_eq!(Resolution::ONE_HOUR.as_secs(), 3600);
+/// assert!(Resolution::ONE_MINUTE < Resolution::ONE_HOUR);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Resolution(u32);
+
+impl Resolution {
+    /// One sample per second.
+    pub const ONE_SECOND: Resolution = Resolution(1);
+    /// One sample per minute — the paper's high-resolution smart-meter rate.
+    pub const ONE_MINUTE: Resolution = Resolution(60);
+    /// One sample per quarter hour.
+    pub const FIFTEEN_MINUTES: Resolution = Resolution(900);
+    /// One sample per hour — the paper's coarse (Weatherman) rate.
+    pub const ONE_HOUR: Resolution = Resolution(3_600);
+
+    /// Creates a resolution of `secs` seconds per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is zero.
+    pub fn from_secs(secs: u32) -> Self {
+        assert!(secs > 0, "resolution must be at least one second");
+        Resolution(secs)
+    }
+
+    /// Seconds per sample.
+    pub const fn as_secs(self) -> u32 {
+        self.0
+    }
+
+    /// Seconds per sample as `f64`, for rate arithmetic.
+    pub const fn as_secs_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Hours per sample, the factor that converts average watts to
+    /// watt-hours per sample.
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / 3_600.0
+    }
+
+    /// Number of samples in one day at this resolution (rounded down).
+    pub const fn samples_per_day(self) -> usize {
+        (86_400 / self.0 as u64) as usize
+    }
+
+    /// Number of samples covering `secs` seconds (rounded down).
+    pub const fn samples_in(self, secs: u64) -> usize {
+        (secs / self.0 as u64) as usize
+    }
+
+    /// `true` if `coarser` is an integer multiple of this resolution, i.e.
+    /// a trace at this resolution can be exactly downsampled to `coarser`.
+    pub const fn divides(self, coarser: Resolution) -> bool {
+        coarser.0 % self.0 == 0
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            s if s % 3_600 == 0 => write!(f, "{}h", s / 3_600),
+            s if s % 60 == 0 => write!(f, "{}min", s / 60),
+            s => write!(f, "{s}s"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Resolution::ONE_SECOND.as_secs(), 1);
+        assert_eq!(Resolution::ONE_MINUTE.as_secs(), 60);
+        assert_eq!(Resolution::FIFTEEN_MINUTES.as_secs(), 900);
+        assert_eq!(Resolution::ONE_HOUR.as_secs(), 3600);
+    }
+
+    #[test]
+    fn samples_per_day() {
+        assert_eq!(Resolution::ONE_SECOND.samples_per_day(), 86_400);
+        assert_eq!(Resolution::ONE_MINUTE.samples_per_day(), 1_440);
+        assert_eq!(Resolution::ONE_HOUR.samples_per_day(), 24);
+    }
+
+    #[test]
+    fn divides() {
+        assert!(Resolution::ONE_MINUTE.divides(Resolution::ONE_HOUR));
+        assert!(Resolution::ONE_MINUTE.divides(Resolution::ONE_MINUTE));
+        assert!(!Resolution::ONE_HOUR.divides(Resolution::ONE_MINUTE));
+        assert!(!Resolution::from_secs(7).divides(Resolution::ONE_MINUTE));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one second")]
+    fn zero_rejected() {
+        Resolution::from_secs(0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Resolution::ONE_MINUTE.to_string(), "1min");
+        assert_eq!(Resolution::ONE_HOUR.to_string(), "1h");
+        assert_eq!(Resolution::from_secs(30).to_string(), "30s");
+        assert_eq!(Resolution::from_secs(7200).to_string(), "2h");
+    }
+
+    #[test]
+    fn energy_factor() {
+        assert!((Resolution::ONE_MINUTE.as_hours() - 1.0 / 60.0).abs() < 1e-12);
+        assert!((Resolution::ONE_HOUR.as_hours() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_in() {
+        assert_eq!(Resolution::ONE_MINUTE.samples_in(3_600), 60);
+        assert_eq!(Resolution::ONE_MINUTE.samples_in(90), 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Sliding-window and summary statistics over power traces.
+//!
+//! NIOM-style occupancy detection keys off exactly three windowed signals —
+//! mean power, power variance, and power range — so those are first-class
+//! here.
+
+use crate::PowerTrace;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one window (or a whole trace).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Arithmetic mean, watts.
+    pub mean: f64,
+    /// Population variance, watts².
+    pub variance: f64,
+    /// `max - min`, watts.
+    pub range: f64,
+    /// Minimum sample, watts.
+    pub min: f64,
+    /// Maximum sample, watts.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `samples`.
+    ///
+    /// Returns the all-zero summary for an empty slice.
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let variance = samples.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / n;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary { mean, variance, range: max - min, min, max }
+    }
+
+    /// Population standard deviation, watts.
+    pub fn stddev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// An iterator of per-window [`Summary`] values over a trace.
+///
+/// Windows are non-overlapping, each `window` samples long; a trailing
+/// partial window is included (NIOM classifies every sample, so the tail
+/// cannot be dropped).
+///
+/// # Examples
+///
+/// ```
+/// use timeseries::{PowerTrace, Resolution, Timestamp, WindowStats};
+///
+/// let t = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 25, |i| i as f64);
+/// let stats: Vec<_> = WindowStats::new(&t, 10).collect();
+/// assert_eq!(stats.len(), 3); // 10 + 10 + 5
+/// assert!((stats[0].1.mean - 4.5).abs() < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct WindowStats<'a> {
+    samples: &'a [f64],
+    window: usize,
+    pos: usize,
+}
+
+impl<'a> WindowStats<'a> {
+    /// Creates a window iterator over `trace` with `window` samples per
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(trace: &'a PowerTrace, window: usize) -> Self {
+        assert!(window > 0, "window must be non-empty");
+        WindowStats { samples: trace.samples(), window, pos: 0 }
+    }
+}
+
+impl Iterator for WindowStats<'_> {
+    /// `(start_index, summary)` for each window.
+    type Item = (usize, Summary);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.samples.len() {
+            return None;
+        }
+        let start = self.pos;
+        let end = (start + self.window).min(self.samples.len());
+        self.pos = end;
+        Some((start, Summary::of(&self.samples[start..end])))
+    }
+}
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// Returns 0 when either slice has zero variance or the slices are empty.
+/// Used by the Weatherman localization attack to correlate generation
+/// deficits with candidate weather series.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson requires equal-length slices");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    let denom = (va * vb).sqrt();
+    if denom == 0.0 { 0.0 } else { cov / denom }
+}
+
+/// Root-mean-square error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rmse requires equal-length slices");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let se: f64 = a.iter().zip(b).map(|(&x, &y)| (x - y).powi(2)).sum();
+    (se / a.len() as f64).sqrt()
+}
+
+/// Normalized disaggregation error factor from the paper's Figure 2:
+/// the sum of absolute per-sample errors between a device's actual and
+/// inferred power, normalized by the device's total actual usage.
+///
+/// 0 is perfect tracking; 1 is what "always infer zero" scores; values above
+/// 1 mean the errors exceed the device's own usage. Returns 0 when the
+/// device used no energy and the estimate is also all-zero, and infinity
+/// when the device used nothing but the estimate claims usage.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn disaggregation_error(actual: &[f64], inferred: &[f64]) -> f64 {
+    assert_eq!(actual.len(), inferred.len(), "error factor requires equal-length slices");
+    let total: f64 = actual.iter().map(|&x| x.abs()).sum();
+    let err: f64 = actual.iter().zip(inferred).map(|(&a, &e)| (a - e).abs()).sum();
+    if total == 0.0 {
+        if err == 0.0 { 0.0 } else { f64::INFINITY }
+    } else {
+        err / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Resolution, Timestamp};
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.variance - 1.25).abs() < 1e-12);
+        assert!((s.range - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.stddev() - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    #[test]
+    fn windows_cover_all_samples() {
+        let t = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 23, |i| i as f64);
+        let windows: Vec<_> = WindowStats::new(&t, 10).collect();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].0, 0);
+        assert_eq!(windows[2].0, 20);
+        // Last (partial) window covers samples 20, 21, 22.
+        assert!((windows[2].1.mean - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn zero_window_panics() {
+        let t = PowerTrace::zeros(Timestamp::ZERO, Resolution::ONE_MINUTE, 5);
+        let _ = WindowStats::new(&t, 0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn rmse_basics() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn error_factor_zero_estimate_scores_one() {
+        let actual = [100.0, 0.0, 200.0];
+        let zeros = [0.0, 0.0, 0.0];
+        assert!((disaggregation_error(&actual, &zeros) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_factor_perfect_is_zero() {
+        let actual = [100.0, 50.0];
+        assert_eq!(disaggregation_error(&actual, &actual), 0.0);
+    }
+
+    #[test]
+    fn error_factor_degenerate() {
+        assert_eq!(disaggregation_error(&[0.0], &[0.0]), 0.0);
+        assert_eq!(disaggregation_error(&[0.0], &[5.0]), f64::INFINITY);
+    }
+}

@@ -1,0 +1,200 @@
+//! Simulation timestamps.
+//!
+//! The simulator uses a simple monotonic clock: [`Timestamp`] counts whole
+//! seconds since the simulation epoch (day 0, 00:00:00). Calendar-aware
+//! helpers ([`Timestamp::day`], [`Timestamp::second_of_day`]) are all the
+//! higher layers need; real-world calendars and time zones are deliberately
+//! out of scope.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Seconds in one minute.
+pub const SECS_PER_MINUTE: u64 = 60;
+/// Seconds in one hour.
+pub const SECS_PER_HOUR: u64 = 3_600;
+/// Seconds in one day.
+pub const SECS_PER_DAY: u64 = 86_400;
+
+/// A point in simulation time, in whole seconds since the simulation epoch.
+///
+/// # Examples
+///
+/// ```
+/// use timeseries::Timestamp;
+///
+/// let t = Timestamp::from_dhms(1, 6, 30, 0); // day 1, 06:30:00
+/// assert_eq!(t.day(), 1);
+/// assert_eq!(t.hour_of_day(), 6);
+/// assert_eq!(t.second_of_day(), 6 * 3600 + 30 * 60);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The simulation epoch: day 0, midnight.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from raw seconds since the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        Timestamp(secs)
+    }
+
+    /// Creates a timestamp from a day index plus hours, minutes, and seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`, `minute >= 60`, or `second >= 60`.
+    pub fn from_dhms(day: u64, hour: u64, minute: u64, second: u64) -> Self {
+        assert!(hour < 24, "hour out of range: {hour}");
+        assert!(minute < 60, "minute out of range: {minute}");
+        assert!(second < 60, "second out of range: {second}");
+        Timestamp(day * SECS_PER_DAY + hour * SECS_PER_HOUR + minute * SECS_PER_MINUTE + second)
+    }
+
+    /// Seconds since the simulation epoch.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The day index this timestamp falls on (day 0 is the epoch day).
+    pub const fn day(self) -> u64 {
+        self.0 / SECS_PER_DAY
+    }
+
+    /// Seconds elapsed since the most recent midnight.
+    pub const fn second_of_day(self) -> u64 {
+        self.0 % SECS_PER_DAY
+    }
+
+    /// The hour of day in `0..24`.
+    pub const fn hour_of_day(self) -> u64 {
+        self.second_of_day() / SECS_PER_HOUR
+    }
+
+    /// The minute of day in `0..1440`.
+    pub const fn minute_of_day(self) -> u64 {
+        self.second_of_day() / SECS_PER_MINUTE
+    }
+
+    /// Fractional hour of day in `[0, 24)`, useful for solar geometry.
+    pub fn hour_of_day_f64(self) -> f64 {
+        self.second_of_day() as f64 / SECS_PER_HOUR as f64
+    }
+
+    /// `true` if this timestamp falls on a weekend (days 5 and 6 of each
+    /// 7-day week; the epoch day is a Monday).
+    pub const fn is_weekend(self) -> bool {
+        matches!(self.day() % 7, 5 | 6)
+    }
+
+    /// Saturating subtraction of two timestamps, as a duration in seconds.
+    pub const fn saturating_since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Timestamp {
+    type Output = Timestamp;
+
+    fn add(self, secs: u64) -> Timestamp {
+        Timestamp(self.0 + secs)
+    }
+}
+
+impl AddAssign<u64> for Timestamp {
+    fn add_assign(&mut self, secs: u64) {
+        self.0 += secs;
+    }
+}
+
+impl Sub for Timestamp {
+    /// Duration between two timestamps, in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    type Output = u64;
+
+    fn sub(self, rhs: Timestamp) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.second_of_day();
+        write!(
+            f,
+            "d{}+{:02}:{:02}:{:02}",
+            self.day(),
+            s / SECS_PER_HOUR,
+            (s % SECS_PER_HOUR) / SECS_PER_MINUTE,
+            s % SECS_PER_MINUTE
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dhms_round_trip() {
+        let t = Timestamp::from_dhms(3, 14, 25, 36);
+        assert_eq!(t.day(), 3);
+        assert_eq!(t.hour_of_day(), 14);
+        assert_eq!(t.minute_of_day(), 14 * 60 + 25);
+        assert_eq!(t.second_of_day(), 14 * 3600 + 25 * 60 + 36);
+    }
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(Timestamp::ZERO.as_secs(), 0);
+        assert_eq!(Timestamp::ZERO.day(), 0);
+        assert_eq!(Timestamp::ZERO, Timestamp::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "hour out of range")]
+    fn dhms_rejects_bad_hour() {
+        Timestamp::from_dhms(0, 24, 0, 0);
+    }
+
+    #[test]
+    fn weekend_cycle() {
+        // Epoch day (0) is Monday, so days 5 and 6 are the weekend.
+        assert!(!Timestamp::from_dhms(0, 12, 0, 0).is_weekend());
+        assert!(!Timestamp::from_dhms(4, 12, 0, 0).is_weekend());
+        assert!(Timestamp::from_dhms(5, 12, 0, 0).is_weekend());
+        assert!(Timestamp::from_dhms(6, 12, 0, 0).is_weekend());
+        assert!(!Timestamp::from_dhms(7, 12, 0, 0).is_weekend());
+        assert!(Timestamp::from_dhms(12, 0, 0, 0).is_weekend());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_secs(100);
+        assert_eq!((t + 50).as_secs(), 150);
+        assert_eq!((t + 50) - t, 50);
+        assert_eq!(t.saturating_since(t + 50), 0);
+        let mut u = t;
+        u += 10;
+        assert_eq!(u.as_secs(), 110);
+    }
+
+    #[test]
+    fn display_format() {
+        let t = Timestamp::from_dhms(2, 8, 5, 9);
+        assert_eq!(t.to_string(), "d2+08:05:09");
+    }
+
+    #[test]
+    fn fractional_hour() {
+        let t = Timestamp::from_dhms(0, 6, 30, 0);
+        assert!((t.hour_of_day_f64() - 6.5).abs() < 1e-12);
+    }
+}

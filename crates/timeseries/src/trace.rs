@@ -1,0 +1,491 @@
+//! Fixed-resolution power traces.
+
+use crate::{Resolution, Timestamp, TraceError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fixed-resolution power time series, in watts.
+///
+/// This is the model of a smart-meter recording: sample `i` is the average
+/// power over the interval starting at `start + i * resolution`. All sample
+/// values must be finite; constructors enforce this.
+///
+/// # Examples
+///
+/// ```
+/// use timeseries::{PowerTrace, Resolution, Timestamp};
+///
+/// let base = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 120, 200.0);
+/// let burst = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 120, |i| {
+///     if i >= 60 { 1_000.0 } else { 0.0 }
+/// });
+/// let total = base.checked_add(&burst)?;
+/// assert_eq!(total.watts(0), 200.0);
+/// assert_eq!(total.watts(60), 1_200.0);
+/// # Ok::<(), timeseries::TraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTrace {
+    start: Timestamp,
+    resolution: Resolution,
+    samples: Vec<f64>,
+}
+
+impl PowerTrace {
+    /// Creates a trace from raw samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidSample`] if any sample is NaN or
+    /// infinite.
+    pub fn new(
+        start: Timestamp,
+        resolution: Resolution,
+        samples: Vec<f64>,
+    ) -> Result<Self, TraceError> {
+        if let Some(index) = samples.iter().position(|s| !s.is_finite()) {
+            return Err(TraceError::InvalidSample { index });
+        }
+        Ok(PowerTrace { start, resolution, samples })
+    }
+
+    /// Creates an all-zero trace of `len` samples.
+    pub fn zeros(start: Timestamp, resolution: Resolution, len: usize) -> Self {
+        PowerTrace { start, resolution, samples: vec![0.0; len] }
+    }
+
+    /// Creates a trace with every sample equal to `watts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is not finite.
+    pub fn constant(start: Timestamp, resolution: Resolution, len: usize, watts: f64) -> Self {
+        assert!(watts.is_finite(), "constant power must be finite");
+        PowerTrace { start, resolution, samples: vec![watts; len] }
+    }
+
+    /// Creates a trace by evaluating `f` at each sample index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` produces a non-finite value.
+    pub fn from_fn(
+        start: Timestamp,
+        resolution: Resolution,
+        len: usize,
+        mut f: impl FnMut(usize) -> f64,
+    ) -> Self {
+        let samples: Vec<f64> = (0..len)
+            .map(|i| {
+                let w = f(i);
+                assert!(w.is_finite(), "from_fn produced non-finite sample at {i}");
+                w
+            })
+            .collect();
+        PowerTrace { start, resolution, samples }
+    }
+
+    /// The timestamp of the first sample.
+    pub fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// The sampling resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if the trace has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total covered duration in seconds.
+    pub fn duration_secs(&self) -> u64 {
+        self.samples.len() as u64 * self.resolution.as_secs() as u64
+    }
+
+    /// The timestamp of the end of the trace (one past the last sample).
+    pub fn end(&self) -> Timestamp {
+        self.start + self.duration_secs()
+    }
+
+    /// The timestamp at which sample `i` begins.
+    pub fn timestamp(&self, i: usize) -> Timestamp {
+        self.start + i as u64 * self.resolution.as_secs() as u64
+    }
+
+    /// The sample index covering `at`, or `None` if outside the trace.
+    pub fn index_of(&self, at: Timestamp) -> Option<usize> {
+        if at < self.start {
+            return None;
+        }
+        let idx = ((at - self.start) / self.resolution.as_secs() as u64) as usize;
+        (idx < self.samples.len()).then_some(idx)
+    }
+
+    /// The power at sample `i`, in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn watts(&self, i: usize) -> f64 {
+        self.samples[i]
+    }
+
+    /// The power at sample `i` in kilowatts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn kw(&self, i: usize) -> f64 {
+        self.samples[i] / 1_000.0
+    }
+
+    /// The raw samples, in watts.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mutable access to the raw samples.
+    ///
+    /// Callers must keep samples finite; [`PowerTrace::validate`] re-checks.
+    pub fn samples_mut(&mut self) -> &mut [f64] {
+        &mut self.samples
+    }
+
+    /// Re-validates that every sample is finite after in-place mutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidSample`] on the first non-finite sample.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        match self.samples.iter().position(|s| !s.is_finite()) {
+            Some(index) => Err(TraceError::InvalidSample { index }),
+            None => Ok(()),
+        }
+    }
+
+    /// Consumes the trace and returns the raw sample vector.
+    pub fn into_samples(self) -> Vec<f64> {
+        self.samples
+    }
+
+    /// Total energy over the trace, in kilowatt-hours.
+    pub fn energy_kwh(&self) -> f64 {
+        self.samples.iter().sum::<f64>() * self.resolution.as_hours() / 1_000.0
+    }
+
+    /// Mean power in watts (0 for an empty trace).
+    pub fn mean_watts(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Maximum power in watts (0 for an empty trace).
+    pub fn max_watts(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Returns a sub-trace covering samples `range` (clamped to the length).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> PowerTrace {
+        let start_idx = range.start.min(self.samples.len());
+        let end_idx = range.end.min(self.samples.len());
+        PowerTrace {
+            start: self.timestamp(start_idx),
+            resolution: self.resolution,
+            samples: self.samples[start_idx..end_idx].to_vec(),
+        }
+    }
+
+    /// Returns the sub-trace covering day `day` (relative to the epoch), or
+    /// an empty trace if the day is outside the covered span.
+    pub fn day_slice(&self, day: u64) -> PowerTrace {
+        let day_start = Timestamp::from_dhms(day, 0, 0, 0);
+        let day_end = day_start + crate::time::SECS_PER_DAY;
+        let res = self.resolution.as_secs() as u64;
+        let lo = day_start.as_secs().saturating_sub(self.start.as_secs()).div_ceil(res) as usize;
+        let hi = (day_end.as_secs().saturating_sub(self.start.as_secs()) / res) as usize;
+        self.slice(lo..hi)
+    }
+
+    /// Element-wise sum with another aligned trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the traces differ in start, resolution,
+    /// or length.
+    pub fn checked_add(&self, other: &PowerTrace) -> Result<PowerTrace, TraceError> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference (`self - other`) with another aligned trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the traces differ in start, resolution,
+    /// or length.
+    pub fn checked_sub(&self, other: &PowerTrace) -> Result<PowerTrace, TraceError> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Combines two aligned traces element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the traces differ in start, resolution,
+    /// or length.
+    pub fn zip_with(
+        &self,
+        other: &PowerTrace,
+        mut f: impl FnMut(f64, f64) -> f64,
+    ) -> Result<PowerTrace, TraceError> {
+        self.check_aligned(other)?;
+        let samples = self
+            .samples
+            .iter()
+            .zip(&other.samples)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        PowerTrace::new(self.start, self.resolution, samples)
+    }
+
+    /// Applies `f` to every sample, producing a new trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` produces a non-finite value.
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> PowerTrace {
+        PowerTrace::from_fn(self.start, self.resolution, self.samples.len(), |i| {
+            f(self.samples[i])
+        })
+    }
+
+    /// Clamps every sample to be non-negative.
+    pub fn clamp_non_negative(&self) -> PowerTrace {
+        self.map(|w| w.max(0.0))
+    }
+
+    /// Downsamples to a coarser resolution by averaging whole groups of
+    /// samples; a trailing partial group is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::IndivisibleResample`] if `to` is not an integer
+    /// multiple of the current resolution.
+    pub fn downsample(&self, to: Resolution) -> Result<PowerTrace, TraceError> {
+        if !self.resolution.divides(to) {
+            return Err(TraceError::IndivisibleResample { from: self.resolution, to });
+        }
+        let group = (to.as_secs() / self.resolution.as_secs()) as usize;
+        let samples: Vec<f64> = self
+            .samples
+            .chunks_exact(group)
+            .map(|c| c.iter().sum::<f64>() / group as f64)
+            .collect();
+        Ok(PowerTrace { start: self.start, resolution: to, samples })
+    }
+
+    /// Verifies that `other` has the same start, resolution, and length.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatch found.
+    pub fn check_aligned(&self, other: &PowerTrace) -> Result<(), TraceError> {
+        if self.resolution != other.resolution {
+            return Err(TraceError::ResolutionMismatch {
+                left: self.resolution,
+                right: other.resolution,
+            });
+        }
+        if self.start != other.start {
+            return Err(TraceError::StartMismatch { left: self.start, right: other.start });
+        }
+        if self.samples.len() != other.samples.len() {
+            return Err(TraceError::LengthMismatch {
+                left: self.samples.len(),
+                right: other.samples.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Iterates over `(timestamp, watts)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Timestamp, f64)> + '_ {
+        let res = self.resolution.as_secs() as u64;
+        let start = self.start;
+        self.samples
+            .iter()
+            .enumerate()
+            .map(move |(i, &w)| (start + i as u64 * res, w))
+    }
+}
+
+impl fmt::Display for PowerTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PowerTrace[{} samples @ {} from {}, mean {:.1} W]",
+            self.samples.len(),
+            self.resolution,
+            self.start,
+            self.mean_watts()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minute_trace(samples: Vec<f64>) -> PowerTrace {
+        PowerTrace::new(Timestamp::ZERO, Resolution::ONE_MINUTE, samples).unwrap()
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let err = PowerTrace::new(
+            Timestamp::ZERO,
+            Resolution::ONE_MINUTE,
+            vec![1.0, f64::NAN],
+        )
+        .unwrap_err();
+        assert_eq!(err, TraceError::InvalidSample { index: 1 });
+    }
+
+    #[test]
+    fn energy_of_constant_kilowatt() {
+        // 1 kW for an hour = 1 kWh.
+        let t = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 60, 1_000.0);
+        assert!((t.energy_kwh() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_and_sub_round_trip() {
+        let a = minute_trace(vec![100.0, 200.0, 300.0]);
+        let b = minute_trace(vec![10.0, 20.0, 30.0]);
+        let sum = a.checked_add(&b).unwrap();
+        assert_eq!(sum.samples(), &[110.0, 220.0, 330.0]);
+        let back = sum.checked_sub(&b).unwrap();
+        assert_eq!(back.samples(), a.samples());
+    }
+
+    #[test]
+    fn misaligned_add_fails() {
+        let a = minute_trace(vec![1.0, 2.0]);
+        let b = PowerTrace::new(Timestamp::ZERO, Resolution::ONE_HOUR, vec![1.0, 2.0]).unwrap();
+        assert!(matches!(
+            a.checked_add(&b),
+            Err(TraceError::ResolutionMismatch { .. })
+        ));
+        let c = PowerTrace::new(Timestamp::from_secs(60), Resolution::ONE_MINUTE, vec![1.0, 2.0])
+            .unwrap();
+        assert!(matches!(a.checked_add(&c), Err(TraceError::StartMismatch { .. })));
+        let d = minute_trace(vec![1.0]);
+        assert!(matches!(a.checked_add(&d), Err(TraceError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn downsample_averages_groups() {
+        let t = minute_trace(vec![0.0; 120]).map(|_| 0.0);
+        assert_eq!(t.downsample(Resolution::ONE_HOUR).unwrap().len(), 2);
+
+        let t = minute_trace((0..60).map(|i| i as f64).collect());
+        let h = t.downsample(Resolution::ONE_HOUR).unwrap();
+        assert_eq!(h.len(), 1);
+        assert!((h.watts(0) - 29.5).abs() < 1e-9);
+        // Energy is conserved under averaging.
+        assert!((h.energy_kwh() - t.energy_kwh()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downsample_drops_partial_tail() {
+        let t = minute_trace(vec![1.0; 90]);
+        let h = t.downsample(Resolution::ONE_HOUR).unwrap();
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn downsample_rejects_indivisible() {
+        let t = PowerTrace::constant(Timestamp::ZERO, Resolution::from_secs(7), 100, 1.0);
+        assert!(matches!(
+            t.downsample(Resolution::ONE_MINUTE),
+            Err(TraceError::IndivisibleResample { .. })
+        ));
+    }
+
+    #[test]
+    fn index_of_and_timestamp() {
+        let t = minute_trace(vec![0.0; 10]);
+        assert_eq!(t.index_of(Timestamp::from_secs(0)), Some(0));
+        assert_eq!(t.index_of(Timestamp::from_secs(59)), Some(0));
+        assert_eq!(t.index_of(Timestamp::from_secs(60)), Some(1));
+        assert_eq!(t.index_of(Timestamp::from_secs(600)), None);
+        assert_eq!(t.timestamp(3), Timestamp::from_secs(180));
+        assert_eq!(t.end(), Timestamp::from_secs(600));
+    }
+
+    #[test]
+    fn day_slice_extracts_whole_day() {
+        let two_days = PowerTrace::from_fn(
+            Timestamp::ZERO,
+            Resolution::ONE_HOUR,
+            48,
+            |i| i as f64,
+        );
+        let d1 = two_days.day_slice(1);
+        assert_eq!(d1.len(), 24);
+        assert_eq!(d1.watts(0), 24.0);
+        assert_eq!(d1.start(), Timestamp::from_dhms(1, 0, 0, 0));
+        assert!(two_days.day_slice(5).is_empty());
+    }
+
+    #[test]
+    fn slice_clamps() {
+        let t = minute_trace(vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.slice(1..99).samples(), &[2.0, 3.0]);
+        assert_eq!(t.slice(5..9).len(), 0);
+    }
+
+    #[test]
+    fn iter_yields_timestamps() {
+        let t = minute_trace(vec![5.0, 6.0]);
+        let pairs: Vec<_> = t.iter().collect();
+        assert_eq!(pairs, vec![(Timestamp::from_secs(0), 5.0), (Timestamp::from_secs(60), 6.0)]);
+    }
+
+    #[test]
+    fn clamp_non_negative() {
+        let t = minute_trace(vec![-5.0, 3.0]);
+        assert_eq!(t.clamp_non_negative().samples(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn validate_catches_mutation() {
+        let mut t = minute_trace(vec![1.0, 2.0]);
+        t.samples_mut()[1] = f64::INFINITY;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let t = minute_trace(vec![1.0]);
+        assert!(!t.to_string().is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = minute_trace(vec![1.5, 2.5]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: PowerTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests of trace arithmetic and edge detection.
+
+use proptest::prelude::*;
+use timeseries::{detect_edges, PowerTrace, Resolution, Timestamp};
+
+proptest! {
+    /// add then sub round-trips exactly.
+    #[test]
+    fn add_sub_round_trip(
+        a in prop::collection::vec(0.0f64..10_000.0, 1..200),
+        b in prop::collection::vec(0.0f64..10_000.0, 1..200),
+    ) {
+        let n = a.len().min(b.len());
+        let ta = PowerTrace::new(Timestamp::ZERO, Resolution::ONE_MINUTE, a[..n].to_vec()).unwrap();
+        let tb = PowerTrace::new(Timestamp::ZERO, Resolution::ONE_MINUTE, b[..n].to_vec()).unwrap();
+        let sum = ta.checked_add(&tb).unwrap();
+        let back = sum.checked_sub(&tb).unwrap();
+        for i in 0..n {
+            prop_assert!((back.watts(i) - ta.watts(i)).abs() < 1e-6);
+        }
+    }
+
+    /// Energy is non-negative and consistent with the mean.
+    #[test]
+    fn energy_mean_consistency(samples in prop::collection::vec(0.0f64..5_000.0, 1..500)) {
+        let t = PowerTrace::new(Timestamp::ZERO, Resolution::ONE_MINUTE, samples).unwrap();
+        let via_mean = t.mean_watts() * t.len() as f64 / 60.0 / 1_000.0;
+        prop_assert!(t.energy_kwh() >= 0.0);
+        prop_assert!((t.energy_kwh() - via_mean).abs() < 1e-9);
+    }
+
+    /// Every detected edge really moves at least the threshold between its
+    /// pre and post levels.
+    #[test]
+    fn edges_exceed_threshold(
+        samples in prop::collection::vec(0.0f64..3_000.0, 4..300),
+        threshold in 50.0f64..1_000.0,
+    ) {
+        let t = PowerTrace::new(Timestamp::ZERO, Resolution::ONE_MINUTE, samples).unwrap();
+        for e in detect_edges(&t, threshold) {
+            prop_assert!(e.magnitude() >= threshold * 0.99,
+                "edge at {} magnitude {}", e.index, e.magnitude());
+            prop_assert!(e.post_index >= e.index);
+            prop_assert!(e.post_index < t.len());
+        }
+    }
+
+    /// Slicing never panics and preserves geometry.
+    #[test]
+    fn slice_total_coverage(
+        samples in prop::collection::vec(0.0f64..100.0, 1..300),
+        cut in 0usize..400,
+    ) {
+        let t = PowerTrace::new(Timestamp::ZERO, Resolution::ONE_MINUTE, samples).unwrap();
+        let head = t.slice(0..cut.min(t.len()));
+        let tail = t.slice(cut.min(t.len())..t.len());
+        prop_assert_eq!(head.len() + tail.len(), t.len());
+        prop_assert!((head.energy_kwh() + tail.energy_kwh() - t.energy_kwh()).abs() < 1e-9);
+    }
+
+    /// index_of and timestamp are inverse on sample boundaries.
+    #[test]
+    fn index_timestamp_inverse(len in 1usize..500, idx in 0usize..500) {
+        let t = PowerTrace::zeros(Timestamp::from_secs(120), Resolution::ONE_MINUTE, len);
+        let idx = idx % len;
+        prop_assert_eq!(t.index_of(t.timestamp(idx)), Some(idx));
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: simulate a smart home, attack its meter data, defend it.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use iot_privacy_suite::defense::{Chpr, Defense};
+use iot_privacy_suite::homesim::{Home, HomeConfig};
+use iot_privacy_suite::niom::{evaluate, ThresholdDetector};
+use iot_privacy_suite::timeseries::rng::seeded_rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Simulate one week of a worker household at 1-minute resolution.
+    let home = Home::simulate(&HomeConfig::new(7).days(7));
+    println!(
+        "simulated {} days of meter data ({} samples, {:.1} kWh total)",
+        7,
+        home.meter.len(),
+        home.meter.energy_kwh()
+    );
+
+    // 2. The NIOM attack: infer occupancy from the meter alone.
+    let attack = ThresholdDetector::default();
+    let before = evaluate(&attack, &home.meter, &home.occupancy)?;
+    println!(
+        "NIOM attack on raw meter:   accuracy {:.1}%  MCC {:.3}",
+        100.0 * before.accuracy,
+        before.mcc
+    );
+
+    // 3. The CHPr defense: a water heater masks the occupancy signal.
+    let defended = Chpr::default().apply(&home.meter, &mut seeded_rng(1));
+    let after = evaluate(&attack, &defended.trace, &home.occupancy)?;
+    println!(
+        "NIOM attack after CHPr:     accuracy {:.1}%  MCC {:.3}",
+        100.0 * after.accuracy,
+        after.mcc
+    );
+    println!(
+        "CHPr cost: {:.1} kWh extra energy, {:.0} L hot water unserved",
+        defended.cost.extra_energy_kwh, defended.cost.unserved_hot_water_liters
+    );
+    println!("\nThe attack collapsed from informative to near-random — Figure 6 in one example.");
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Umbrella crate for the Private Memoirs reproduction suite.
+//!
+//! Re-exports the [`iot_privacy`] facade; see the `examples/` directory for
+//! runnable scenarios and `crates/bench` for the experiment harness.
+pub use iot_privacy::*;

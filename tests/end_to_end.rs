@@ -1,0 +1,110 @@
+//! Cross-crate integration: the full pipelines the paper's evaluation
+//! exercises, wired through the public facade.
+
+use iot_privacy_suite::defense::{BatteryLeveler, Chpr, Defense};
+use iot_privacy_suite::homesim::{Home, HomeConfig, Persona};
+use iot_privacy_suite::loads::Catalogue;
+use iot_privacy_suite::nilm::{evaluate_disaggregation, Disaggregator, PowerPlay};
+use iot_privacy_suite::niom::{evaluate, HmmDetector, OccupancyDetector, ThresholdDetector};
+use iot_privacy_suite::privatemeter::{MeterProver, PedersenParams, UtilityVerifier};
+use iot_privacy_suite::scenario::EnergyScenario;
+use iot_privacy_suite::timeseries::rng::seeded_rng;
+use iot_privacy_suite::timeseries::Resolution;
+
+#[test]
+fn figure6_pipeline_attack_then_defense() {
+    let report = EnergyScenario::new(60).days(7).run();
+    assert!(report.undefended.mcc > 0.4, "attack works raw: {report:?}");
+    assert!(report.defended.mcc < 0.2, "CHPr collapses it: {report:?}");
+    assert!(report.defended.mcc < report.undefended.mcc / 3.0);
+    assert_eq!(report.cost.unserved_hot_water_liters, 0.0);
+}
+
+#[test]
+fn both_attacks_work_on_all_personas() {
+    for (seed, persona) in [(1, Persona::Worker), (2, Persona::NightShift)] {
+        let home = Home::simulate(&HomeConfig::new(seed).days(7).persona(persona));
+        for attack in [
+            &ThresholdDetector::default() as &dyn OccupancyDetector,
+            &HmmDetector::default(),
+        ] {
+            let e = evaluate(attack, &home.meter, &home.occupancy).unwrap();
+            assert!(
+                e.accuracy > 0.65,
+                "{persona:?}/{}: accuracy {:.3}",
+                attack.name(),
+                e.accuracy
+            );
+        }
+    }
+}
+
+#[test]
+fn nilm_on_simulated_home_beats_zero_baseline() {
+    let catalogue = Catalogue::figure2();
+    let home = Home::simulate(&HomeConfig::new(9).days(3).catalogue(catalogue.clone()));
+    let estimates = PowerPlay::from_catalogue(&catalogue).disaggregate(&home.meter);
+    let truth: Vec<_> = home
+        .devices
+        .iter()
+        .map(|d| (d.name.clone(), d.trace.clone()))
+        .collect();
+    let scores = evaluate_disaggregation(&truth, &estimates).unwrap();
+    // Mean error over devices that actually ran must beat "guess zero".
+    let used: Vec<_> = scores.iter().filter(|s| s.true_kwh > 0.0).collect();
+    assert!(!used.is_empty());
+    let mean: f64 = used.iter().map(|s| s.error_factor).sum::<f64>() / used.len() as f64;
+    assert!(mean < 0.8, "mean error factor {mean}");
+}
+
+#[test]
+fn battery_defense_blunts_nilm() {
+    let catalogue = Catalogue::figure2();
+    let home = Home::simulate(&HomeConfig::new(10).days(3).catalogue(catalogue.clone()));
+    let defended = BatteryLeveler::default().apply(&home.meter, &mut seeded_rng(1));
+    let truth: Vec<_> = home
+        .devices
+        .iter()
+        .map(|d| (d.name.clone(), d.trace.clone()))
+        .collect();
+    let mean_err = |trace| {
+        let est = PowerPlay::from_catalogue(&catalogue).disaggregate(trace);
+        let scores = evaluate_disaggregation(&truth, &est).unwrap();
+        let used: Vec<_> = scores.iter().filter(|s| s.true_kwh > 0.0).collect();
+        used.iter().map(|s| s.error_factor).sum::<f64>() / used.len() as f64
+    };
+    let raw = mean_err(&home.meter);
+    let masked = mean_err(&defended.trace);
+    assert!(masked > raw, "battery should hurt NILM: raw {raw:.3} vs masked {masked:.3}");
+}
+
+#[test]
+fn private_meter_full_month_on_simulated_home() {
+    let home = Home::simulate(&HomeConfig::new(11).days(30));
+    let readings = home.meter.downsample(Resolution::ONE_HOUR).unwrap();
+    let params = PedersenParams::demo();
+    let prover = MeterProver::from_trace(params, &readings, &mut seeded_rng(2));
+    let verifier = UtilityVerifier::new(params);
+    let receipt = prover.bill_total();
+    assert!(verifier.verify_total(prover.commitments(), &receipt));
+    // The verified bill matches the home's true energy within rounding.
+    let true_wh = readings.energy_kwh() * 1_000.0;
+    assert!(
+        (receipt.total as f64 - true_wh).abs() < readings.len() as f64,
+        "bill {} vs true {true_wh}",
+        receipt.total
+    );
+}
+
+#[test]
+fn chpr_preserves_billing_battery_preserves_energy() {
+    let home = Home::simulate(&HomeConfig::new(12).days(7));
+    // CHPr adds real load (the water heater) — billing reflects real use.
+    let chpr = Chpr::default().apply(&home.meter, &mut seeded_rng(3));
+    assert_eq!(chpr.cost.billing_error_frac, 0.0);
+    assert!(chpr.trace.energy_kwh() >= home.meter.energy_kwh());
+    // The battery only shifts energy (plus bounded losses).
+    let battery = BatteryLeveler::default().apply(&home.meter, &mut seeded_rng(4));
+    let drift = (battery.trace.energy_kwh() - home.meter.energy_kwh()).abs();
+    assert!(drift < 8.0, "battery energy drift {drift}");
+}

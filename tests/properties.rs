@@ -1,0 +1,154 @@
+//! Property-based tests over the suite's core invariants.
+
+use iot_privacy_suite::loads::{
+    merge_overlapping, render_activations, Activation, ResistiveLoad,
+};
+use iot_privacy_suite::privatemeter::{Opening, PedersenParams};
+use iot_privacy_suite::timeseries::labels::Confusion;
+use iot_privacy_suite::timeseries::{LabelSeries, PowerTrace, Resolution, Timestamp};
+use proptest::prelude::*;
+
+proptest! {
+    /// Downsampling by averaging conserves energy over whole groups.
+    #[test]
+    fn downsample_conserves_energy(samples in prop::collection::vec(0.0f64..5_000.0, 60..240)) {
+        let truncated = samples.len() - samples.len() % 60;
+        let trace = PowerTrace::new(
+            Timestamp::ZERO,
+            Resolution::ONE_MINUTE,
+            samples[..truncated].to_vec(),
+        ).unwrap();
+        let hourly = trace.downsample(Resolution::ONE_HOUR).unwrap();
+        prop_assert!((hourly.energy_kwh() - trace.energy_kwh()).abs() < 1e-9);
+    }
+
+    /// MCC is always within [-1, 1] and confusion counts always total the
+    /// series length.
+    #[test]
+    fn confusion_invariants(
+        truth in prop::collection::vec(any::<bool>(), 1..500),
+        flips in prop::collection::vec(any::<bool>(), 1..500),
+    ) {
+        let n = truth.len().min(flips.len());
+        let t = LabelSeries::new(Timestamp::ZERO, Resolution::ONE_MINUTE, truth[..n].to_vec());
+        let guess: Vec<bool> = truth[..n].iter().zip(&flips[..n]).map(|(&a, &b)| a ^ b).collect();
+        let g = LabelSeries::new(Timestamp::ZERO, Resolution::ONE_MINUTE, guess);
+        let c: Confusion = t.confusion(&g).unwrap();
+        prop_assert_eq!(c.total() as usize, n);
+        prop_assert!((-1.0..=1.0).contains(&c.mcc()));
+        prop_assert!((0.0..=1.0).contains(&c.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&c.precision()));
+        prop_assert!((0.0..=1.0).contains(&c.recall()));
+    }
+
+    /// Rendering a resistive load conserves energy regardless of how
+    /// activations align with sample boundaries.
+    #[test]
+    fn render_conserves_energy(
+        start in 0u64..5_000,
+        dur in 1u64..4_000,
+        watts in 10.0f64..5_000.0,
+    ) {
+        let load = ResistiveLoad::new(watts);
+        let acts = [Activation::new(Timestamp::from_secs(start), dur)];
+        // Trace long enough to fully contain the activation.
+        let len = ((start + dur) / 60 + 2) as usize;
+        let trace = render_activations(&load, &acts, Timestamp::ZERO, Resolution::ONE_MINUTE, len);
+        let expect_kwh = watts * dur as f64 / 3_600.0 / 1_000.0;
+        prop_assert!(
+            (trace.energy_kwh() - expect_kwh).abs() < expect_kwh * 0.01 + 1e-9,
+            "got {} expected {}", trace.energy_kwh(), expect_kwh
+        );
+    }
+
+    /// Merged activations are disjoint, ordered, and cover the same span.
+    #[test]
+    fn merge_invariants(
+        raw in prop::collection::vec((0u64..10_000, 1u64..500), 0..40),
+    ) {
+        let acts: Vec<Activation> = raw
+            .iter()
+            .map(|&(s, d)| Activation::new(Timestamp::from_secs(s), d))
+            .collect();
+        let covered = |acts: &[Activation]| -> u64 {
+            // total covered seconds, counting overlaps once
+            let mut points: Vec<(u64, u64)> =
+                acts.iter().map(|a| (a.start.as_secs(), a.end().as_secs())).collect();
+            points.sort_unstable();
+            let mut total = 0;
+            let mut cur: Option<(u64, u64)> = None;
+            for (s, e) in points {
+                match cur {
+                    Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+                    Some((cs, ce)) => {
+                        total += ce - cs;
+                        cur = Some((s, e));
+                        let _ = cs;
+                    }
+                    None => cur = Some((s, e)),
+                }
+            }
+            if let Some((cs, ce)) = cur {
+                total += ce - cs;
+            }
+            total
+        };
+        let before = covered(&acts);
+        let merged = merge_overlapping(acts);
+        // Disjoint and sorted.
+        for w in merged.windows(2) {
+            prop_assert!(w[0].end() <= w[1].start);
+        }
+        let after: u64 = merged.iter().map(|a| a.duration_secs).sum();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Pedersen commitments are homomorphic for arbitrary message vectors.
+    #[test]
+    fn pedersen_homomorphism(
+        messages in prop::collection::vec(0u64..1_000_000, 1..12),
+        rs in prop::collection::vec(1u64..1_000_000_000, 1..12),
+    ) {
+        let n = messages.len().min(rs.len());
+        let pp = PedersenParams::demo();
+        let commitments: Vec<_> = messages[..n]
+            .iter()
+            .zip(&rs[..n])
+            .map(|(&m, &r)| pp.commit_with(m, r))
+            .collect();
+        let combined = pp.combine(&commitments);
+        let total: u64 = messages[..n].iter().sum();
+        let r_total = rs[..n]
+            .iter()
+            .fold(0u128, |acc, &r| (acc + r as u128) % pp.q as u128) as u64;
+        let honest = pp.verify(combined, &Opening { message: total, r: r_total });
+        prop_assert!(honest);
+        // And a wrong total never verifies.
+        let cheat = pp.verify(combined, &Opening { message: total + 1, r: r_total });
+        prop_assert!(!cheat);
+    }
+
+    /// Smoothed label series never create runs shorter than the minimum
+    /// (except at the boundaries).
+    #[test]
+    fn smooth_runs_enforces_min_run(
+        labels in prop::collection::vec(any::<bool>(), 10..300),
+        min_run in 2usize..6,
+    ) {
+        let s = LabelSeries::new(Timestamp::ZERO, Resolution::ONE_MINUTE, labels);
+        let sm = s.smooth_runs(min_run);
+        let out = sm.labels();
+        let mut i = 0;
+        while i < out.len() {
+            let v = out[i];
+            let mut j = i;
+            while j < out.len() && out[j] == v {
+                j += 1;
+            }
+            if i != 0 && j != out.len() {
+                prop_assert!(j - i >= min_run, "interior run of {} at {}", j - i, i);
+            }
+            i = j;
+        }
+    }
+}
