@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks for the optimized hot paths: FHMM exact
+//! factorial Viterbi, the ICM fallback, and the fleet scenario engine.
+//!
+//! The FHMM cases reuse one trained model set and one simulated day of
+//! meter data so that run-to-run numbers compare the decode kernels, not
+//! simulation noise.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iot_privacy::homesim::{Home, HomeConfig};
+use iot_privacy::loads::Catalogue;
+use iot_privacy::nilm::{train_device_hmm, Disaggregator, Fhmm, FhmmConfig};
+use iot_privacy::run_fleet;
+use iot_privacy::scenario::EnergyScenario;
+
+fn bench_hot_paths(c: &mut Criterion) {
+    let tracked = Catalogue::figure2();
+    let home = Home::simulate(&HomeConfig::new(5).days(3).catalogue(tracked.clone()));
+    let models: Vec<_> = home
+        .devices
+        .iter()
+        .map(|d| train_device_hmm(&d.name, &d.trace, 2))
+        .collect();
+    let day = home.meter.day_slice(1);
+
+    c.bench_function("fhmm/exact_viterbi_1_day", |b| {
+        let fhmm = Fhmm::new(models.clone());
+        assert!(fhmm.joint_states() <= FhmmConfig::default().max_exact_states);
+        b.iter(|| fhmm.disaggregate(&day))
+    });
+
+    c.bench_function("fhmm/icm_1_day", |b| {
+        // Shrink the exact-inference budget to zero so the same model set
+        // exercises the ICM coordinate-descent fallback.
+        let config = FhmmConfig {
+            max_exact_states: 1,
+            ..FhmmConfig::default()
+        };
+        let fhmm = Fhmm::with_config(models.clone(), config);
+        b.iter(|| fhmm.disaggregate(&day))
+    });
+
+    c.bench_function("fleet/10_homes_1_day", |b| {
+        b.iter(|| run_fleet(10, 7, |seed| EnergyScenario::new(seed).days(1)))
+    });
+}
+
+criterion_group!(hot_paths, bench_hot_paths);
+criterion_main!(hot_paths);

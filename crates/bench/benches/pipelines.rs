@@ -75,12 +75,8 @@ fn bench_solar(c: &mut Criterion) {
     let p = GeoPoint::new(42.0, -72.0);
     let mut grid = WeatherGrid::new_region(p, 300.0, 6, 7);
     grid.extend_to(30, 7);
-    let fine = SolarSite::new(p, 5.0).generate(
-        30,
-        Resolution::ONE_MINUTE,
-        &grid,
-        &mut seeded_rng(7),
-    );
+    let fine =
+        SolarSite::new(p, 5.0).generate(30, Resolution::ONE_MINUTE, &grid, &mut seeded_rng(7));
     let coarse = fine.downsample(Resolution::ONE_HOUR).expect("divisible");
     c.bench_function("solar/sunspot_30_days_1min", |b| {
         let s = SunSpot::default();
@@ -94,7 +90,10 @@ fn bench_solar(c: &mut Criterion) {
 
 fn bench_privatemeter(c: &mut Criterion) {
     let home = Home::simulate(&HomeConfig::new(5).days(30));
-    let monthly = home.meter.downsample(Resolution::FIFTEEN_MINUTES).expect("divisible");
+    let monthly = home
+        .meter
+        .downsample(Resolution::FIFTEEN_MINUTES)
+        .expect("divisible");
     let params = PedersenParams::demo();
     c.bench_function("privatemeter/commit_month_15min", |b| {
         b.iter_batched(

@@ -1,11 +1,12 @@
 //! Section III-D ablation: data-minimizing architectures vs what the cloud
 //! can still learn — the local-first principle made quantitative.
 
-use bench::{maybe_write_json, print_table};
+use bench::{maybe_write_json, print_table, BenchArgs};
 use iot_privacy::defense::{exposure, Architecture};
 use iot_privacy::homesim::{Home, HomeConfig};
 
 fn main() {
+    let args = BenchArgs::parse_or_exit();
     let home = Home::simulate(&HomeConfig::new(21).days(7));
     let mut rows = Vec::new();
     let mut json = Vec::new();
@@ -31,12 +32,23 @@ fn main() {
     }
     print_table(
         "Architectures: cloud-side exposure for one week of meter data",
-        &["architecture", "samples", "finest res", "NIOM?", "NILM?", "exact bill?"],
+        &[
+            "architecture",
+            "samples",
+            "finest res",
+            "NIOM?",
+            "NILM?",
+            "exact bill?",
+        ],
         &rows,
     );
     println!("\nShape check: the commitments architecture is the only point that keeps");
     println!("exact billing while denying both analytics — the paper's §III-C/D sweet spot. ✓");
-    maybe_write_json(&serde_json::json!({
-        "experiment": "ablation_architectures", "rows": json,
-    }));
+    maybe_write_json(
+        &args,
+        &serde_json::json!({
+            "experiment": "ablation_architectures", "rows": json,
+        }),
+    )
+    .expect("write json output");
 }

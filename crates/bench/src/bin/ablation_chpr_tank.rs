@@ -2,21 +2,29 @@
 //! thermal-budget tradeoff DESIGN.md calls out (a faster cadence masks
 //! better until the tank saturates).
 
-use bench::{maybe_write_json, print_table};
+use bench::{maybe_write_json, print_table, BenchArgs};
 use iot_privacy::defense::{Chpr, Defense};
 use iot_privacy::homesim::{Home, HomeConfig};
 use iot_privacy::niom::{OccupancyDetector, ThresholdDetector};
 use iot_privacy::timeseries::rng::seeded_rng;
 
 fn main() {
+    let args = BenchArgs::parse_or_exit();
     let home = Home::simulate(&HomeConfig::new(60).days(7));
     let attack = ThresholdDetector::default();
-    let base = home.occupancy.confusion(&attack.detect(&home.meter)).expect("aligned").mcc();
+    let base = home
+        .occupancy
+        .confusion(&attack.detect(&home.meter))
+        .expect("aligned")
+        .mcc();
 
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for gap in [2_400.0, 1_200.0, 660.0, 330.0] {
-        let chpr = Chpr { mean_burst_gap_secs: gap, ..Chpr::default() };
+        let chpr = Chpr {
+            mean_burst_gap_secs: gap,
+            ..Chpr::default()
+        };
         let defended = chpr.apply(&home.meter, &mut seeded_rng(2));
         let mcc = home
             .occupancy
@@ -40,5 +48,9 @@ fn main() {
         &["burst gap", "attack MCC", "extra kWh", "unserved L"],
         &rows,
     );
-    maybe_write_json(&serde_json::json!({"experiment": "ablation_chpr_tank", "points": json}));
+    maybe_write_json(
+        &args,
+        &serde_json::json!({"experiment": "ablation_chpr_tank", "points": json}),
+    )
+    .expect("write json output");
 }

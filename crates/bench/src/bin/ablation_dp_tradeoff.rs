@@ -1,12 +1,13 @@
 //! Section III-A ablation: differential privacy's utility/privacy tradeoff
 //! for released neighbourhood aggregates.
 
-use bench::{maybe_write_json, print_table};
+use bench::{maybe_write_json, print_table, BenchArgs};
 use iot_privacy::homesim::{Home, HomeConfig};
 use iot_privacy::privatemeter::laplace_mechanism;
 use iot_privacy::timeseries::rng::seeded_rng;
 
 fn main() {
+    let args = BenchArgs::parse_or_exit();
     // A 40-home neighbourhood; query = mean hourly energy (kWh).
     let homes: Vec<Home> = (0..40u64)
         .map(|s| Home::simulate(&HomeConfig::new(s).days(3)))
@@ -45,5 +46,9 @@ fn main() {
     );
     println!("\nShape check: error scales as 1/ε — strong privacy costs accuracy,");
     println!("grid-scale analytics stay usable at moderate ε. ✓");
-    maybe_write_json(&serde_json::json!({"experiment": "ablation_dp_tradeoff", "points": json}));
+    maybe_write_json(
+        &args,
+        &serde_json::json!({"experiment": "ablation_dp_tradeoff", "points": json}),
+    )
+    .expect("write json output");
 }

@@ -1,7 +1,7 @@
 //! NILM design ablation: disaggregation error vs meter noise for both
 //! PowerPlay and FHMM (robustness comparison behind Figure 2's claim).
 
-use bench::{maybe_write_json, print_table};
+use bench::{maybe_write_json, print_table, BenchArgs};
 use iot_privacy::homesim::{Home, HomeConfig, SmartMeter};
 use iot_privacy::loads::Catalogue;
 use iot_privacy::nilm::{
@@ -10,6 +10,7 @@ use iot_privacy::nilm::{
 use iot_privacy::timeseries::Resolution;
 
 fn main() {
+    let args = BenchArgs::parse_or_exit();
     let tracked = Catalogue::figure2();
     let train_home = Home::simulate(
         &HomeConfig::new(100)
@@ -25,9 +26,10 @@ fn main() {
         })
         .collect();
 
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-    for sd in [0.0, 5.0, 10.0, 20.0, 40.0] {
+    // Noise settings are independent (each simulates its own test home
+    // from a fixed seed and shares no RNG state), so the sweep fans out
+    // across threads with results identical to the old serial loop.
+    let points = iot_privacy::fleet::par_map(vec![0.0, 5.0, 10.0, 20.0, 40.0], |sd| {
         let test_home = Home::simulate(
             &HomeConfig::new(200)
                 .days(5)
@@ -59,15 +61,21 @@ fn main() {
             &Fhmm::new(models.clone()).disaggregate(&test_home.meter),
         )
         .expect("aligned");
+        (sd, mean_err(&pp), mean_err(&fh))
+    });
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (sd, pp_err, fh_err) in points {
         rows.push(vec![
             format!("{sd:.0} W"),
-            format!("{:.3}", mean_err(&pp)),
-            format!("{:.3}", mean_err(&fh)),
+            format!("{pp_err:.3}"),
+            format!("{fh_err:.3}"),
         ]);
         json.push(serde_json::json!({
             "noise_sd_w": sd,
-            "powerplay_mean_error": mean_err(&pp),
-            "fhmm_mean_error": mean_err(&fh),
+            "powerplay_mean_error": pp_err,
+            "fhmm_mean_error": fh_err,
         }));
     }
     print_table(
@@ -75,5 +83,9 @@ fn main() {
         &["noise sd", "PowerPlay", "FHMM"],
         &rows,
     );
-    maybe_write_json(&serde_json::json!({"experiment": "ablation_nilm_noise", "points": json}));
+    maybe_write_json(
+        &args,
+        &serde_json::json!({"experiment": "ablation_nilm_noise", "points": json}),
+    )
+    .expect("write json output");
 }

@@ -1,24 +1,37 @@
 //! NIOM design ablation: detection accuracy vs analysis window length.
 
-use bench::{maybe_write_json, print_table};
+use bench::{maybe_write_json, print_table, BenchArgs};
 use iot_privacy::homesim::{Home, HomeConfig};
 use iot_privacy::niom::{evaluate, ThresholdDetector};
 
 fn main() {
-    let homes: Vec<Home> =
-        (0..5u64).map(|s| Home::simulate(&HomeConfig::new(s).days(7))).collect();
+    let args = BenchArgs::parse_or_exit();
+    let homes: Vec<Home> = (0..5u64)
+        .map(|s| Home::simulate(&HomeConfig::new(s).days(7)))
+        .collect();
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for window in [5usize, 10, 15, 30, 60, 120] {
-        let detector = ThresholdDetector { window, ..ThresholdDetector::default() };
+        let detector = ThresholdDetector {
+            window,
+            ..ThresholdDetector::default()
+        };
         let mean_acc: f64 = homes
             .iter()
-            .map(|h| evaluate(&detector, &h.meter, &h.occupancy).expect("aligned").accuracy)
+            .map(|h| {
+                evaluate(&detector, &h.meter, &h.occupancy)
+                    .expect("aligned")
+                    .accuracy
+            })
             .sum::<f64>()
             / homes.len() as f64;
         let mean_mcc: f64 = homes
             .iter()
-            .map(|h| evaluate(&detector, &h.meter, &h.occupancy).expect("aligned").mcc)
+            .map(|h| {
+                evaluate(&detector, &h.meter, &h.occupancy)
+                    .expect("aligned")
+                    .mcc
+            })
             .sum::<f64>()
             / homes.len() as f64;
         rows.push(vec![
@@ -33,5 +46,9 @@ fn main() {
         &["window", "accuracy", "mcc"],
         &rows,
     );
-    maybe_write_json(&serde_json::json!({"experiment": "ablation_niom_window", "points": json}));
+    maybe_write_json(
+        &args,
+        &serde_json::json!({"experiment": "ablation_niom_window", "points": json}),
+    )
+    .expect("write json output");
 }

@@ -1,20 +1,28 @@
 //! Section III-E ablation: the user-controllable privacy knob — CHPr
 //! masking effort swept from 0 to 1, tracing the privacy/utility curve.
 
-use bench::{maybe_write_json, print_table};
+use bench::{maybe_write_json, print_table, BenchArgs};
 use iot_privacy::defense::PrivacyKnob;
 use iot_privacy::homesim::{Home, HomeConfig};
 use iot_privacy::niom::ThresholdDetector;
-use iot_privacy::timeseries::rng::seeded_rng;
 
 fn main() {
+    let args = BenchArgs::parse_or_exit();
     let home = Home::simulate(&HomeConfig::new(42).days(7));
     let knob = PrivacyKnob {
         settings: vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
         ..PrivacyKnob::default()
     };
+    // Settings are evaluated concurrently, each on its own derived RNG
+    // stream (see `PrivacyKnob::sweep`), so this curve no longer depends
+    // on the sequential position of each setting in the sweep.
     let points = knob
-        .sweep(&home.meter, &home.occupancy, &ThresholdDetector::default(), &mut seeded_rng(3))
+        .sweep(
+            &home.meter,
+            &home.occupancy,
+            &ThresholdDetector::default(),
+            3,
+        )
         .expect("aligned");
 
     let rows: Vec<Vec<String>> = points
@@ -40,11 +48,15 @@ fn main() {
         first.attack_mcc, last.attack_mcc
     );
     assert!(last.attack_mcc < first.attack_mcc);
-    maybe_write_json(&serde_json::json!({
-        "experiment": "ablation_privacy_knob",
-        "points": points.iter().map(|p| serde_json::json!({
-            "effort": p.effort, "mcc": p.attack_mcc,
-            "accuracy": p.attack_accuracy, "extra_kwh": p.extra_energy_kwh,
-        })).collect::<Vec<_>>(),
-    }));
+    maybe_write_json(
+        &args,
+        &serde_json::json!({
+            "experiment": "ablation_privacy_knob",
+            "points": points.iter().map(|p| serde_json::json!({
+                "effort": p.effort, "mcc": p.attack_mcc,
+                "accuracy": p.attack_accuracy, "extra_kwh": p.extra_energy_kwh,
+            })).collect::<Vec<_>>(),
+        }),
+    )
+    .expect("write json output");
 }

@@ -5,13 +5,14 @@
 //! personas, and activity intensities) and reports the accuracy
 //! distribution.
 
-use bench::{maybe_write_json, print_table};
+use bench::{maybe_write_json, print_table, BenchArgs};
 use iot_privacy::homesim::{Home, HomeConfig, Persona};
 use iot_privacy::niom::{
     evaluate, HmmDetector, LogisticDetector, OccupancyDetector, ThresholdDetector,
 };
 
 fn main() {
+    let args = BenchArgs::parse_or_exit();
     let personas = [Persona::Worker, Persona::Homebody, Persona::NightShift];
     // The supervised detector trains once on three held-out homes — the
     // analytics-company setting of the paper's Figure 3 job ad.
@@ -27,15 +28,18 @@ fn main() {
         let persona = personas[(seed % 3) as usize];
         let intensity = 0.6 + 0.15 * (seed % 5) as f64;
         let home = Home::simulate(
-            &HomeConfig::new(seed).days(14).persona(persona).intensity(intensity),
+            &HomeConfig::new(seed)
+                .days(14)
+                .persona(persona)
+                .intensity(intensity),
         );
         for detector in [
             &ThresholdDetector::default() as &dyn OccupancyDetector,
             &HmmDetector::default(),
             &logistic,
         ] {
-            let eval = evaluate(detector, &home.meter, &home.occupancy)
-                .expect("simulator aligns outputs");
+            let eval =
+                evaluate(detector, &home.meter, &home.occupancy).expect("simulator aligns outputs");
             if detector.name() == "niom-threshold" {
                 all_acc.push(eval.accuracy);
             }
@@ -62,7 +66,17 @@ fn main() {
     let hi = all_acc.iter().copied().fold(0.0, f64::max);
     let mean = all_acc.iter().sum::<f64>() / all_acc.len() as f64;
     println!("\nthreshold detector: min {lo:.3}  mean {mean:.3}  max {hi:.3}");
-    println!("paper's band: 0.70–0.90  →  {}",
-        if lo > 0.6 && hi < 0.97 && mean > 0.7 { "shape reproduced ✓" } else { "OUT OF BAND ✗" });
-    maybe_write_json(&serde_json::json!({ "experiment": "claim_niom_accuracy", "runs": json }));
+    println!(
+        "paper's band: 0.70–0.90  →  {}",
+        if lo > 0.6 && hi < 0.97 && mean > 0.7 {
+            "shape reproduced ✓"
+        } else {
+            "OUT OF BAND ✗"
+        }
+    );
+    maybe_write_json(
+        &args,
+        &serde_json::json!({ "experiment": "claim_niom_accuracy", "runs": json }),
+    )
+    .expect("write json output");
 }

@@ -1,15 +1,19 @@
 //! Section III-C claim: a meter can prove its bill without revealing any
 //! interval readings — and a cheating meter is caught.
 
-use bench::{maybe_write_json, print_table};
+use bench::{maybe_write_json, print_table, BenchArgs};
 use iot_privacy::homesim::{Home, HomeConfig};
 use iot_privacy::privatemeter::{MeterProver, PedersenParams, UtilityVerifier};
 use iot_privacy::timeseries::rng::seeded_rng;
 use iot_privacy::timeseries::Resolution;
 
 fn main() {
+    let args = BenchArgs::parse_or_exit();
     let home = Home::simulate(&HomeConfig::new(5).days(30));
-    let monthly = home.meter.downsample(Resolution::FIFTEEN_MINUTES).expect("divisible");
+    let monthly = home
+        .meter
+        .downsample(Resolution::FIFTEEN_MINUTES)
+        .expect("divisible");
 
     let params = PedersenParams::demo();
     let prover = MeterProver::from_trace(params, &monthly, &mut seeded_rng(9));
@@ -28,7 +32,11 @@ fn main() {
     let weights: Vec<u64> = (0..monthly.len())
         .map(|i| {
             let hour = (i % 96) / 4;
-            if (12..20).contains(&hour) { 30 } else { 10 }
+            if (12..20).contains(&hour) {
+                30
+            } else {
+                10
+            }
         })
         .collect();
     let tou = prover.bill_weighted(&weights);
@@ -45,15 +53,23 @@ fn main() {
             format!("{:.0}", monthly.energy_kwh() * 1_000.0),
         ],
     ];
-    print_table("Private meter: verifiable billing over one month", &["metric", "value"], &rows);
+    print_table(
+        "Private meter: verifiable billing over one month",
+        &["metric", "value"],
+        &rows,
+    );
     assert!(honest_ok && !cheat_ok && tou_ok);
     println!("\nThe utility verified the bill from commitments alone — it never saw a");
     println!("single interval reading, so NIOM/NILM have nothing to attack. ✓");
-    maybe_write_json(&serde_json::json!({
-        "experiment": "claim_private_meter",
-        "intervals": prover.len(),
-        "honest_verifies": honest_ok,
-        "cheat_detected": !cheat_ok,
-        "tou_verifies": tou_ok,
-    }));
+    maybe_write_json(
+        &args,
+        &serde_json::json!({
+            "experiment": "claim_private_meter",
+            "intervals": prover.len(),
+            "honest_verifies": honest_ok,
+            "cheat_detected": !cheat_ok,
+            "tou_verifies": tou_ok,
+        }),
+    )
+    .expect("write json output");
 }

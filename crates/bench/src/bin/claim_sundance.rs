@@ -2,13 +2,14 @@
 //! consumption and solar generation", defeating net-metering as an
 //! anonymity layer.
 
-use bench::{maybe_write_json, print_table};
+use bench::{maybe_write_json, print_table, BenchArgs};
 use iot_privacy::solar::{GeoPoint, SolarSite, SunDance, WeatherGrid};
 use iot_privacy::timeseries::rng::seeded_rng;
 use iot_privacy::timeseries::stats::rmse;
 use iot_privacy::timeseries::{PowerTrace, Resolution, Timestamp};
 
 fn main() {
+    let args = BenchArgs::parse_or_exit();
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for (i, seed) in (0..5u64).enumerate() {
@@ -28,7 +29,9 @@ fn main() {
             |t| {
                 550.0
                     + 350.0
-                        * ((t % 24) as f64 / 24.0 * std::f64::consts::TAU).sin().max(0.0)
+                        * ((t % 24) as f64 / 24.0 * std::f64::consts::TAU)
+                            .sin()
+                            .max(0.0)
                     + if t % 7 == 0 { 800.0 } else { 0.0 }
             },
         );
@@ -51,7 +54,10 @@ fn main() {
             "rmse_ignore_solar_w": rmse_ignore,
             "recovered_energy_ratio": energy_ratio,
         }));
-        assert!(rmse_sundance < 0.6 * rmse_ignore, "separation should beat ignoring solar");
+        assert!(
+            rmse_sundance < 0.6 * rmse_ignore,
+            "separation should beat ignoring solar"
+        );
     }
     print_table(
         "SunDance: net-meter solar separation (RMSE in W vs ignoring solar)",
@@ -60,5 +66,9 @@ fn main() {
     );
     println!("\nShape check: SunDance recovers the solar component far better than the");
     println!("ignore-solar baseline on every site, with total energy within ~±40%. ✓");
-    maybe_write_json(&serde_json::json!({ "experiment": "claim_sundance", "sites": json }));
+    maybe_write_json(
+        &args,
+        &serde_json::json!({ "experiment": "claim_sundance", "sites": json }),
+    )
+    .expect("write json output");
 }

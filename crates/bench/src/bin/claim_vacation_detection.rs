@@ -3,23 +3,30 @@
 //! vacations" — here, NIOM picks the vacation week out of a month of
 //! meter data.
 
-use bench::{maybe_write_json, print_table};
+use bench::{maybe_write_json, print_table, BenchArgs};
 use iot_privacy::homesim::{Home, HomeConfig, OccupancyModel, Persona};
 use iot_privacy::niom::{OccupancyDetector, ThresholdDetector};
 
 fn main() {
+    let args = BenchArgs::parse_or_exit();
     // A month with a vacation on days 10–16.
-    let occupancy =
-        OccupancyModel::for_persona(Persona::Worker).with_vacation(10, 16);
+    let occupancy = OccupancyModel::for_persona(Persona::Worker).with_vacation(10, 16);
     let home = Home::simulate(&HomeConfig::new(77).days(30).occupancy(occupancy));
     // NIOM without the sleep prior — a vacated home has no sleepers.
-    let detector = ThresholdDetector { night_prior: None, ..ThresholdDetector::default() };
+    let detector = ThresholdDetector {
+        night_prior: None,
+        ..ThresholdDetector::default()
+    };
     let inferred = detector.detect(&home.meter);
 
     // Per-day inferred occupancy fractions; vacation days sit far below
     // the household's norm.
     let day_frac = |labels: &[bool], day: usize| -> f64 {
-        labels[day * 1440..(day + 1) * 1440].iter().filter(|&&b| b).count() as f64 / 1_440.0
+        labels[day * 1440..(day + 1) * 1440]
+            .iter()
+            .filter(|&&b| b)
+            .count() as f64
+            / 1_440.0
     };
     let mut fracs: Vec<f64> = (0..30).map(|d| day_frac(inferred.labels(), d)).collect();
     fracs.sort_by(|a, b| a.total_cmp(b));
@@ -29,10 +36,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut detected_vacation_days = Vec::new();
     for day in 0..30usize {
-        let day_slice: Vec<bool> =
-            inferred.labels()[day * 1440..(day + 1) * 1440].to_vec();
-        let occupied_frac =
-            day_slice.iter().filter(|&&b| b).count() as f64 / 1_440.0;
+        let day_slice: Vec<bool> = inferred.labels()[day * 1440..(day + 1) * 1440].to_vec();
+        let occupied_frac = day_slice.iter().filter(|&&b| b).count() as f64 / 1_440.0;
         let truth_frac = home.occupancy.labels()[day * 1440..(day + 1) * 1440]
             .iter()
             .filter(|&&b| b)
@@ -46,7 +51,11 @@ fn main() {
             day.to_string(),
             format!("{truth_frac:.2}"),
             format!("{occupied_frac:.2}"),
-            if flagged { "AWAY".into() } else { String::new() },
+            if flagged {
+                "AWAY".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     print_table(
@@ -55,16 +64,23 @@ fn main() {
         &rows,
     );
     println!("\ninferred extended absence: days {detected_vacation_days:?} (truth: 10–16)");
-    let hit = detected_vacation_days.iter().filter(|&&d| (10..=16).contains(&d)).count();
+    let hit = detected_vacation_days
+        .iter()
+        .filter(|&&d| (10..=16).contains(&d))
+        .count();
     let false_alarms = detected_vacation_days.len() - hit;
     println!(
         "Shape check: ≥6/7 vacation days flagged ({}) with ≤1 false alarm ({})",
         if hit >= 6 { "✓" } else { "✗" },
         if false_alarms <= 1 { "✓" } else { "✗" },
     );
-    maybe_write_json(&serde_json::json!({
-        "experiment": "claim_vacation_detection",
-        "vacation_days_detected": detected_vacation_days,
-        "hits": hit, "false_alarms": false_alarms,
-    }));
+    maybe_write_json(
+        &args,
+        &serde_json::json!({
+            "experiment": "claim_vacation_detection",
+            "vacation_days_detected": detected_vacation_days,
+            "hits": hit, "false_alarms": false_alarms,
+        }),
+    )
+    .expect("write json output");
 }

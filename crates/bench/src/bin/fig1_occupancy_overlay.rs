@@ -5,11 +5,12 @@
 //! Prints the per-half-hour series for Home-A (quiet) and Home-B (busy)
 //! and summary statistics of occupied vs empty power.
 
-use bench::{maybe_write_json, print_table};
+use bench::{maybe_write_json, print_table, BenchArgs};
 use iot_privacy::homesim::{Home, HomeConfig};
 use iot_privacy::timeseries::aligned;
 
 fn main() {
+    let args = BenchArgs::parse_or_exit();
     // Home-A: quiet household (≈0–3 kW); Home-B: busy (≈0–6 kW).
     let home_a = Home::simulate(&HomeConfig::new(11).days(3).intensity(0.6));
     let home_b = Home::simulate(&HomeConfig::new(22).days(3).intensity(2.2));
@@ -20,8 +21,7 @@ fn main() {
         let day = 1usize;
         for half_hour in 16..46 {
             let lo = day * 1440 + half_hour * 30;
-            let mean_kw: f64 =
-                (lo..lo + 30).map(|i| home.meter.kw(i)).sum::<f64>() / 30.0;
+            let mean_kw: f64 = (lo..lo + 30).map(|i| home.meter.kw(i)).sum::<f64>() / 30.0;
             let occupied = (lo..lo + 30).filter(|&i| home.occupancy.get(i)).count() >= 15;
             rows.push(vec![
                 label.to_string(),
@@ -70,6 +70,10 @@ fn main() {
         &["home", "occ mean", "occ sigma", "empty mean", "empty sigma"],
         &summary_rows,
     );
-    maybe_write_json(&serde_json::json!({ "experiment": "fig1", "homes": json_homes }));
+    maybe_write_json(
+        &args,
+        &serde_json::json!({ "experiment": "fig1", "homes": json_homes }),
+    )
+    .expect("write json output");
     println!("\nShape check: occupancy correlates with higher, burstier power in both homes. ✓");
 }

@@ -5,7 +5,7 @@
 //! Shape target: PowerPlay ≤ FHMM on every device, with the dryer and HRV
 //! tracked near-perfectly by PowerPlay.
 
-use bench::{maybe_write_json, print_table};
+use bench::{maybe_write_json, print_table, BenchArgs};
 use iot_privacy::homesim::{Home, HomeConfig, SmartMeter};
 use iot_privacy::loads::Catalogue;
 use iot_privacy::nilm::{
@@ -14,15 +14,21 @@ use iot_privacy::nilm::{
 use iot_privacy::timeseries::Resolution;
 
 fn main() {
+    let args = BenchArgs::parse_or_exit();
     let tracked = Catalogue::figure2();
     // Train and test homes run the FULL standard catalogue; only the five
     // figure-2 devices are tracked (the paper's "all circuits" setting).
-    let train_home = Home::simulate(
-        &HomeConfig::new(100).days(7).meter(SmartMeter::new(Resolution::ONE_MINUTE, 10.0)),
-    );
-    let test_home = Home::simulate(
-        &HomeConfig::new(200).days(7).meter(SmartMeter::new(Resolution::ONE_MINUTE, 10.0)),
-    );
+    // The two simulations are seeded independently, so they run in
+    // parallel with numerics identical to back-to-back serial calls.
+    let mut homes = iot_privacy::fleet::par_map(vec![100u64, 200], |seed| {
+        Home::simulate(
+            &HomeConfig::new(seed)
+                .days(7)
+                .meter(SmartMeter::new(Resolution::ONE_MINUTE, 10.0)),
+        )
+    });
+    let test_home = homes.pop().expect("two homes");
+    let train_home = homes.pop().expect("two homes");
 
     let powerplay = PowerPlay::from_catalogue(&tracked);
     let states = |name: &str| if name == "dryer" { 5 } else { 2 };
@@ -50,11 +56,14 @@ fn main() {
         })
         .collect();
 
-    let pp_scores =
-        evaluate_disaggregation(&truth, &powerplay.disaggregate(&test_home.meter))
-            .expect("aligned");
-    let fhmm_scores =
-        evaluate_disaggregation(&truth, &fhmm.disaggregate(&test_home.meter)).expect("aligned");
+    // PowerPlay and the FHMM baseline read the same meter but share no
+    // state, so the two evaluations also run concurrently.
+    let attacks: Vec<&(dyn Disaggregator + Sync)> = vec![&powerplay, &fhmm];
+    let mut scores = iot_privacy::fleet::par_map(attacks, |attack| {
+        evaluate_disaggregation(&truth, &attack.disaggregate(&test_home.meter)).expect("aligned")
+    });
+    let fhmm_scores = scores.pop().expect("two attacks");
+    let pp_scores = scores.pop().expect("two attacks");
 
     let mut rows = Vec::new();
     let mut json = Vec::new();
@@ -83,7 +92,15 @@ fn main() {
     );
     println!(
         "\nShape check: PowerPlay ≤ FHMM on every device → {}",
-        if shape_ok { "reproduced ✓" } else { "VIOLATED ✗" }
+        if shape_ok {
+            "reproduced ✓"
+        } else {
+            "VIOLATED ✗"
+        }
     );
-    maybe_write_json(&serde_json::json!({ "experiment": "fig2", "devices": json }));
+    maybe_write_json(
+        &args,
+        &serde_json::json!({ "experiment": "fig2", "devices": json }),
+    )
+    .expect("write json output");
 }

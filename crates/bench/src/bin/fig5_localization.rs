@@ -6,12 +6,13 @@
 //! worse outliers; Weatherman is within a few km on all sites despite the
 //! coarser data.
 
-use bench::{maybe_write_json, print_table};
+use bench::{maybe_write_json, print_table, BenchArgs};
 use iot_privacy::solar::{GeoPoint, SolarSite, SunSpot, WeatherGrid, Weatherman};
 use iot_privacy::timeseries::rng::seeded_rng;
 use iot_privacy::timeseries::Resolution;
 
 fn main() {
+    let args = BenchArgs::parse_or_exit();
     // Ten sites spread across US-scale latitudes/longitudes ("different
     // states"), each in its own weather region.
     let sites = [
@@ -49,8 +50,12 @@ fn main() {
             .unwrap_or(f64::NAN);
 
         // Weatherman: 1-hour data plus the public weather grid.
-        let coarse =
-            site.generate(weatherman_days, Resolution::ONE_HOUR, &grid, &mut seeded_rng(seed + 7));
+        let coarse = site.generate(
+            weatherman_days,
+            Resolution::ONE_HOUR,
+            &grid,
+            &mut seeded_rng(seed + 7),
+        );
         let weatherman_err = Weatherman::default()
             .localize(&coarse, &grid)
             .map(|g| truth.distance_km(&g))
@@ -88,7 +93,15 @@ fn main() {
     println!(
         "Shape check: Weatherman ≤ ~10 km on all sites ({}), SunSpot coarser with outliers ({})",
         if max_wm < 12.0 { "✓" } else { "✗" },
-        if med(&sunspot_errs) < 120.0 { "✓" } else { "✗" },
+        if med(&sunspot_errs) < 120.0 {
+            "✓"
+        } else {
+            "✗"
+        },
     );
-    maybe_write_json(&serde_json::json!({ "experiment": "fig5", "sites": json }));
+    maybe_write_json(
+        &args,
+        &serde_json::json!({ "experiment": "fig5", "sites": json }),
+    )
+    .expect("write json output");
 }

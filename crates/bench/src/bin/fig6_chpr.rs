@@ -1,13 +1,14 @@
 //! Figure 6: a week of home power before and after CHPr, with the NIOM
 //! attack's MCC on both (paper: 0.44 → 0.045, a ~10× drop to near-random).
 
-use bench::{maybe_write_json, print_table};
+use bench::{maybe_write_json, print_table, BenchArgs};
 use iot_privacy::defense::{Chpr, Defense};
 use iot_privacy::homesim::{Home, HomeConfig};
 use iot_privacy::niom::{OccupancyDetector, ThresholdDetector};
 use iot_privacy::timeseries::rng::seeded_rng;
 
 fn main() {
+    let args = BenchArgs::parse_or_exit();
     let home = Home::simulate(&HomeConfig::new(60).days(7));
     let attack = ThresholdDetector::default();
 
@@ -23,19 +24,20 @@ fn main() {
         .expect("aligned")
         .mcc();
 
-    // The figure's visual: daily peak/mean power before and after.
-    let mut rows = Vec::new();
-    for day in 0..7u64 {
+    // The figure's visual: daily peak/mean power before and after. Each
+    // day's stats are read-only slices of the same two traces, so the
+    // seven rows are computed concurrently.
+    let rows = iot_privacy::fleet::par_map((0..7u64).collect(), |day| {
         let orig = home.meter.day_slice(day);
         let def = defended.trace.day_slice(day);
-        rows.push(vec![
+        vec![
             format!("{}", day + 1),
             format!("{:.2}", orig.mean_watts() / 1_000.0),
             format!("{:.2}", orig.max_watts() / 1_000.0),
             format!("{:.2}", def.mean_watts() / 1_000.0),
             format!("{:.2}", def.max_watts() / 1_000.0),
-        ]);
-    }
+        ]
+    });
     print_table(
         "Figure 6: week of power before/after CHPr (kW)",
         &["day", "orig mean", "orig peak", "chpr mean", "chpr peak"],
@@ -56,11 +58,15 @@ fn main() {
         "CHPr cost: {:.1} kWh extra over the week, {:.0} L hot water unserved",
         defended.cost.extra_energy_kwh, defended.cost.unserved_hot_water_liters
     );
-    maybe_write_json(&serde_json::json!({
-        "experiment": "fig6",
-        "mcc_before": mcc_before,
-        "mcc_after": mcc_after,
-        "extra_energy_kwh": defended.cost.extra_energy_kwh,
-        "unserved_hot_water_liters": defended.cost.unserved_hot_water_liters,
-    }));
+    maybe_write_json(
+        &args,
+        &serde_json::json!({
+            "experiment": "fig6",
+            "mcc_before": mcc_before,
+            "mcc_after": mcc_after,
+            "extra_energy_kwh": defended.cost.extra_energy_kwh,
+            "unserved_hot_water_liters": defended.cost.unserved_hot_water_liters,
+        }),
+    )
+    .expect("write json output");
 }

@@ -1,0 +1,75 @@
+//! Fleet-scale throughput: homes/sec for the parallel scenario engine vs
+//! the serial reference at fleet sizes 10, 100, and 1000.
+//!
+//! Each home is an independent 1-day Figure-6 scenario (simulate → NIOM
+//! attack → CHPr → attack again). The parallel and serial engines produce
+//! bit-identical results (asserted here on every run); the only thing the
+//! thread pool buys is wall-clock time.
+
+use bench::{maybe_write_json, print_table, BenchArgs};
+use iot_privacy::scenario::EnergyScenario;
+use iot_privacy::{run_fleet, run_fleet_serial};
+use std::time::Instant;
+
+const ROOT_SEED: u64 = 7;
+
+fn build(seed: u64) -> EnergyScenario {
+    EnergyScenario::new(seed).days(1)
+}
+
+fn main() {
+    let args = BenchArgs::parse_or_exit();
+    let threads = rayon::current_num_threads();
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for homes in [10usize, 100, 1000] {
+        let t = Instant::now();
+        let serial = run_fleet_serial(homes, ROOT_SEED, build);
+        let serial_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let parallel = run_fleet(homes, ROOT_SEED, build);
+        let parallel_s = t.elapsed().as_secs_f64();
+
+        assert_eq!(
+            parallel, serial,
+            "parallel fleet must match the serial reference"
+        );
+
+        let speedup = serial_s / parallel_s;
+        let homes_per_sec = homes as f64 / parallel_s;
+        rows.push(vec![
+            format!("{homes}"),
+            format!("{:.0}", homes as f64 / serial_s),
+            format!("{homes_per_sec:.0}"),
+            format!("{speedup:.2}x"),
+        ]);
+        json.push(serde_json::json!({
+            "homes": homes,
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "serial_homes_per_sec": homes as f64 / serial_s,
+            "parallel_homes_per_sec": homes_per_sec,
+            "speedup": speedup,
+            "summary": serde_json::to_value(&parallel.summary),
+        }));
+    }
+
+    print_table(
+        &format!("Fleet throughput: 1-day scenarios, {threads} threads"),
+        &["homes", "serial homes/s", "parallel homes/s", "speedup"],
+        &rows,
+    );
+    println!("\nParallel results verified bit-identical to the serial reference ✓");
+
+    maybe_write_json(
+        &args,
+        &serde_json::json!({
+            "experiment": "fleet_scale",
+            "threads": threads,
+            "sizes": json,
+        }),
+    )
+    .expect("write json output");
+}

@@ -2,7 +2,7 @@
 //! from flow metadata alone; the smart gateway catches compromised devices;
 //! traffic shaping blunts the fingerprinting at a bandwidth cost.
 
-use bench::{maybe_write_json, print_table};
+use bench::{maybe_write_json, print_table, BenchArgs};
 use iot_privacy::netsim::{
     fingerprint::{accuracy, labelled_examples, Knn},
     gateway::inject_compromise,
@@ -19,6 +19,7 @@ fn occupancy(days: usize) -> LabelSeries {
 }
 
 fn main() {
+    let args = BenchArgs::parse_or_exit();
     let inventory: Vec<DeviceType> = DeviceType::all().to_vec();
     let days = 6u64;
     let train_trace = simulate_home_network(&inventory, &occupancy(days as usize), days, 100);
@@ -43,7 +44,11 @@ fn main() {
         "Device fingerprinting from flow metadata (10 types)",
         &["setting", "naive-bayes", "knn"],
         &[
-            vec!["clear traffic".into(), format!("{acc_nb:.3}"), format!("{acc_knn:.3}")],
+            vec![
+                "clear traffic".into(),
+                format!("{acc_nb:.3}"),
+                format!("{acc_knn:.3}"),
+            ],
             vec![
                 "shaped traffic".into(),
                 format!("{acc_nb_shaped:.3}"),
@@ -97,7 +102,10 @@ fn main() {
         &[
             vec!["compromised device quarantined".into(), caught.to_string()],
             vec!["false quarantines".into(), false_quarantines.to_string()],
-            vec!["devices profiled".into(), gateway.profiled_devices().to_string()],
+            vec![
+                "devices profiled".into(),
+                gateway.profiled_devices().to_string(),
+            ],
         ],
     );
 
@@ -107,15 +115,19 @@ fn main() {
         if acc_nb_shaped < 0.35 { "✓" } else { "✗" },
         if caught && false_quarantines == 0 { "✓" } else { "✗" },
     );
-    maybe_write_json(&serde_json::json!({
-        "experiment": "sec4_traffic_fingerprint",
-        "acc_naive_bayes": acc_nb,
-        "acc_knn": acc_knn,
-        "acc_shaped": acc_nb_shaped,
-        "occupancy_mcc_clear": c_clear.mcc(),
-        "occupancy_mcc_shaped": c_shaped.mcc(),
-        "shaping_overhead_frac": shaped.overhead_frac,
-        "compromise_caught": caught,
-        "false_quarantines": false_quarantines,
-    }));
+    maybe_write_json(
+        &args,
+        &serde_json::json!({
+            "experiment": "sec4_traffic_fingerprint",
+            "acc_naive_bayes": acc_nb,
+            "acc_knn": acc_knn,
+            "acc_shaped": acc_nb_shaped,
+            "occupancy_mcc_clear": c_clear.mcc(),
+            "occupancy_mcc_shaped": c_shaped.mcc(),
+            "shaping_overhead_frac": shaped.overhead_frac,
+            "compromise_caught": caught,
+            "false_quarantines": false_quarantines,
+        }),
+    )
+    .expect("write json output");
 }

@@ -6,6 +6,7 @@
 //! machine-readable results.
 
 use std::io::Write;
+use std::path::{Path, PathBuf};
 
 /// Prints a text table: a header row then aligned data rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
@@ -26,34 +27,164 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
 }
 
-/// Writes `value` as pretty JSON to the path following a `--json` flag in
-/// `args`, if present.
-pub fn maybe_write_json(value: &serde_json::Value) {
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(pos) = args.iter().position(|a| a == "--json") {
-        if let Some(path) = args.get(pos + 1) {
-            let mut f = std::fs::File::create(path).expect("create json output");
-            write!(f, "{}", serde_json::to_string_pretty(value).expect("serialize"))
-                .expect("write json output");
-            println!("(wrote {path})");
+/// A malformed experiment command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// `--json` was given without a following path.
+    MissingJsonPath,
+}
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgsError::MissingJsonPath => {
+                write!(f, "--json requires a path argument (usage: --json <path>)")
+            }
         }
     }
 }
 
+impl std::error::Error for ArgsError {}
+
+/// Parsed command-line arguments shared by every experiment binary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Where to write machine-readable results, from `--json <path>`.
+    pub json_path: Option<PathBuf>,
+}
+
+impl BenchArgs {
+    /// Parses the process command line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `--json` appears without a path.
+    pub fn parse() -> Result<BenchArgs, ArgsError> {
+        BenchArgs::from_slice(&std::env::args().skip(1).collect::<Vec<_>>())
+    }
+
+    /// Parses an explicit argument slice (exposed for tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `--json` appears without a path.
+    pub fn from_slice(args: &[String]) -> Result<BenchArgs, ArgsError> {
+        let mut parsed = BenchArgs::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if arg == "--json" {
+                match it.next() {
+                    Some(path) if !path.starts_with("--") => {
+                        parsed.json_path = Some(PathBuf::from(path));
+                    }
+                    _ => return Err(ArgsError::MissingJsonPath),
+                }
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Parses the process command line, printing the error to stderr and
+    /// exiting with status 2 on a malformed invocation.
+    pub fn parse_or_exit() -> BenchArgs {
+        BenchArgs::parse().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// The `--json` output path, if one was requested.
+    pub fn json_path(&self) -> Option<&Path> {
+        self.json_path.as_deref()
+    }
+}
+
+/// Writes `value` as pretty JSON to the path parsed from `--json`, if one
+/// was given; a no-op otherwise.
+///
+/// # Errors
+///
+/// Returns the I/O error if the file cannot be created or written.
+pub fn maybe_write_json(args: &BenchArgs, value: &serde_json::Value) -> std::io::Result<()> {
+    let Some(path) = args.json_path() else {
+        return Ok(());
+    };
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    let rendered = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    write!(f, "{rendered}")?;
+    println!("(wrote {})", path.display());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn print_table_smoke() {
-        super::print_table(
+        print_table(
             "t",
             &["a", "bb"],
             &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
+    }
+
+    #[test]
+    fn parses_json_flag() {
+        let args = BenchArgs::from_slice(&strings(&["--json", "out.json"])).unwrap();
+        assert_eq!(args.json_path, Some(PathBuf::from("out.json")));
+        let none = BenchArgs::from_slice(&strings(&[])).unwrap();
+        assert_eq!(none.json_path, None);
+    }
+
+    #[test]
+    fn trailing_json_flag_is_an_error() {
+        assert_eq!(
+            BenchArgs::from_slice(&strings(&["--json"])),
+            Err(ArgsError::MissingJsonPath)
+        );
+        // A flag is not a path either.
+        assert_eq!(
+            BenchArgs::from_slice(&strings(&["--json", "--verbose"])),
+            Err(ArgsError::MissingJsonPath)
+        );
+    }
+
+    #[test]
+    fn no_path_is_a_no_op() {
+        maybe_write_json(&BenchArgs::default(), &serde_json::json!({"x": 1})).unwrap();
+    }
+
+    #[test]
+    fn writes_and_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("bench_args_test_dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("out.json");
+        let args = BenchArgs {
+            json_path: Some(path.clone()),
+        };
+        maybe_write_json(&args, &serde_json::json!({"ok": true})).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"ok\": true"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

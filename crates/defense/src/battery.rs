@@ -126,7 +126,11 @@ mod tests {
         // half the capacity either way, but nothing crazy.
         assert!(diff.abs() < 7.0, "energy drift {diff}");
         assert!(out.cost.extra_energy_kwh >= 0.0);
-        assert!(out.cost.extra_energy_kwh < 3.0, "losses {}", out.cost.extra_energy_kwh);
+        assert!(
+            out.cost.extra_energy_kwh < 3.0,
+            "losses {}",
+            out.cost.extra_energy_kwh
+        );
     }
 
     #[test]

@@ -140,7 +140,9 @@ impl Defense for Chpr {
 
         let heater_trace = PowerTrace::new(meter.start(), meter.resolution(), heater_watts)
             .expect("element power is finite");
-        let trace = meter.checked_add(&heater_trace).expect("aligned by construction");
+        let trace = meter
+            .checked_add(&heater_trace)
+            .expect("aligned by construction");
         // CHPr shifts heating the home needed anyway; the *extra* energy is
         // only what standing losses grow by holding the tank hotter. We
         // report the full heater energy minus a thermostat baseline
@@ -215,7 +217,10 @@ mod tests {
     fn hot_water_served() {
         let meter = quiet_home(7);
         let out = Chpr::default().apply(&meter, &mut seeded_rng(3));
-        assert_eq!(out.cost.unserved_hot_water_liters, 0.0, "ran out of hot water");
+        assert_eq!(
+            out.cost.unserved_hot_water_liters, 0.0,
+            "ran out of hot water"
+        );
     }
 
     #[test]
@@ -224,7 +229,11 @@ mod tests {
         let out = Chpr::default().apply(&meter, &mut seeded_rng(4));
         // The heater can't inject more than its thermal budget; extra
         // energy beyond baseline water heating stays bounded.
-        assert!(out.cost.extra_energy_kwh < 30.0, "extra {}", out.cost.extra_energy_kwh);
+        assert!(
+            out.cost.extra_energy_kwh < 30.0,
+            "extra {}",
+            out.cost.extra_energy_kwh
+        );
     }
 
     #[test]
@@ -236,7 +245,10 @@ mod tests {
         let full = Chpr::default().apply(&meter, &mut seeded_rng(5));
         let added_zero = out.trace.energy_kwh() - meter.energy_kwh();
         let added_full = full.trace.energy_kwh() - meter.energy_kwh();
-        assert!(added_zero < added_full * 0.8, "zero {added_zero} vs full {added_full}");
+        assert!(
+            added_zero < added_full * 0.8,
+            "zero {added_zero} vs full {added_full}"
+        );
     }
 
     #[test]

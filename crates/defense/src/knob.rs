@@ -10,7 +10,7 @@ use crate::chpr::Chpr;
 use crate::traits::Defense;
 use niom::OccupancyDetector;
 use serde::{Deserialize, Serialize};
-use timeseries::rng::SeededRng;
+use timeseries::rng::{derive_seed, seeded_rng};
 use timeseries::{LabelSeries, PowerTrace, TraceError};
 
 /// One point on the privacy/utility curve.
@@ -38,13 +38,22 @@ pub struct PrivacyKnob {
 
 impl Default for PrivacyKnob {
     fn default() -> Self {
-        PrivacyKnob { chpr: Chpr::default(), settings: vec![0.0, 0.25, 0.5, 0.75, 1.0] }
+        PrivacyKnob {
+            chpr: Chpr::default(),
+            settings: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+        }
     }
 }
 
 impl PrivacyKnob {
     /// Evaluates the curve: for each effort setting, defend `meter` and
     /// re-run `attack` against ground-truth `occupancy`.
+    ///
+    /// Settings are evaluated concurrently. Each setting draws from its own
+    /// RNG stream derived as `derive_seed(seed, "setting:<index>")`, so the
+    /// curve is a pure function of `(self, meter, occupancy, attack, seed)`
+    /// — independent of both thread count and the number or order of other
+    /// settings in the sweep.
     ///
     /// # Errors
     ///
@@ -53,22 +62,24 @@ impl PrivacyKnob {
         &self,
         meter: &PowerTrace,
         occupancy: &LabelSeries,
-        attack: &dyn OccupancyDetector,
-        rng: &mut SeededRng,
+        attack: &(dyn OccupancyDetector + Sync),
+        seed: u64,
     ) -> Result<Vec<KnobPoint>, TraceError> {
-        let mut out = Vec::with_capacity(self.settings.len());
-        for &effort in &self.settings {
-            let defended = self.chpr.with_effort(effort).apply(meter, rng);
+        let indexed: Vec<(usize, f64)> = self.settings.iter().copied().enumerate().collect();
+        rayon::parallel_map(indexed, |(i, effort)| {
+            let mut rng = seeded_rng(derive_seed(seed, &format!("setting:{i}")));
+            let defended = self.chpr.with_effort(effort).apply(meter, &mut rng);
             let inferred = attack.detect(&defended.trace);
             let c = occupancy.confusion(&inferred)?;
-            out.push(KnobPoint {
+            Ok(KnobPoint {
                 effort,
                 attack_mcc: c.mcc(),
                 attack_accuracy: c.accuracy(),
                 extra_energy_kwh: defended.cost.extra_energy_kwh,
-            });
-        }
-        Ok(out)
+            })
+        })
+        .into_iter()
+        .collect()
     }
 }
 
@@ -76,7 +87,6 @@ impl PrivacyKnob {
 mod tests {
     use super::*;
     use niom::ThresholdDetector;
-    use timeseries::rng::seeded_rng;
     use timeseries::{Resolution, Timestamp};
 
     fn home_with_truth() -> (PowerTrace, LabelSeries) {
@@ -88,10 +98,11 @@ mod tests {
                 160.0 + 15.0 * ((i as f64) * 0.4).sin()
             }
         });
-        let occupancy = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 3 * 1440, |i| {
-            let minute = i % 1440;
-            (1_020..1_320).contains(&minute) || !(420..1_020).contains(&minute)
-        });
+        let occupancy =
+            LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 3 * 1440, |i| {
+                let minute = i % 1440;
+                (1_020..1_320).contains(&minute) || !(420..1_020).contains(&minute)
+            });
         (meter, occupancy)
     }
 
@@ -103,7 +114,7 @@ mod tests {
             ..PrivacyKnob::default()
         };
         let points = knob
-            .sweep(&meter, &occ, &ThresholdDetector::default(), &mut seeded_rng(1))
+            .sweep(&meter, &occ, &ThresholdDetector::default(), 1)
             .unwrap();
         assert_eq!(points.len(), 2);
         assert!(
@@ -115,8 +126,35 @@ mod tests {
     }
 
     #[test]
+    fn points_independent_of_sweep_composition() {
+        // Per-setting seed derivation: evaluating a setting alone gives
+        // the same point as evaluating it inside a larger sweep at the
+        // same index position.
+        let (meter, occ) = home_with_truth();
+        let full = PrivacyKnob {
+            settings: vec![0.5, 1.0],
+            ..PrivacyKnob::default()
+        };
+        let solo = PrivacyKnob {
+            settings: vec![0.5],
+            ..PrivacyKnob::default()
+        };
+        let attack = ThresholdDetector::default();
+        let a = full.sweep(&meter, &occ, &attack, 9).unwrap();
+        let b = solo.sweep(&meter, &occ, &attack, 9).unwrap();
+        assert_eq!(a[0], b[0]);
+        // And the whole sweep is reproducible.
+        assert_eq!(a, full.sweep(&meter, &occ, &attack, 9).unwrap());
+    }
+
+    #[test]
     fn curve_is_serializable() {
-        let p = KnobPoint { effort: 0.5, attack_mcc: 0.1, attack_accuracy: 0.6, extra_energy_kwh: 2.0 };
+        let p = KnobPoint {
+            effort: 0.5,
+            attack_mcc: 0.1,
+            attack_accuracy: 0.6,
+            extra_energy_kwh: 2.0,
+        };
         let json = serde_json::to_string(&p).unwrap();
         assert!(json.contains("attack_mcc"));
     }
@@ -127,7 +165,7 @@ mod tests {
         let wrong = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 10, |_| true);
         let knob = PrivacyKnob::default();
         assert!(knob
-            .sweep(&meter, &wrong, &ThresholdDetector::default(), &mut seeded_rng(2))
+            .sweep(&meter, &wrong, &ThresholdDetector::default(), 2)
             .is_err());
     }
 }

@@ -159,7 +159,7 @@ mod tests {
     fn hourly_raw_data_blocks_nilm_but_not_niom() {
         let hourly = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_HOUR, 24, 400.0);
         let e = exposure(Architecture::CloudRaw, &hourly);
-        assert!(e.niom_possible == false); // 1 h > 30 min threshold
+        assert!(!e.niom_possible); // 1 h > 30 min threshold
         assert!(!e.nilm_possible);
     }
 }

@@ -25,7 +25,10 @@ impl NoiseInjector {
     ///
     /// Panics if `scale_watts` is not finite and positive.
     pub fn new(scale_watts: f64) -> Self {
-        assert!(scale_watts.is_finite() && scale_watts > 0.0, "scale must be positive");
+        assert!(
+            scale_watts.is_finite() && scale_watts > 0.0,
+            "scale must be positive"
+        );
         NoiseInjector { scale_watts }
     }
 }
@@ -40,7 +43,11 @@ impl Defense for NoiseInjector {
         };
         Defended {
             trace,
-            cost: DefenseCost { extra_energy_kwh: 0.0, billing_error_frac, ..Default::default() },
+            cost: DefenseCost {
+                extra_energy_kwh: 0.0,
+                billing_error_frac,
+                ..Default::default()
+            },
         }
     }
 
@@ -90,7 +97,11 @@ impl Defense for Smoother {
         };
         Defended {
             trace,
-            cost: DefenseCost { extra_energy_kwh: 0.0, billing_error_frac, ..Default::default() },
+            cost: DefenseCost {
+                extra_energy_kwh: 0.0,
+                billing_error_frac,
+                ..Default::default()
+            },
         }
     }
 
@@ -107,7 +118,11 @@ mod tests {
 
     fn step_meter() -> PowerTrace {
         PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 600, |i| {
-            if i % 60 < 10 { 2_000.0 } else { 200.0 }
+            if i % 60 < 10 {
+                2_000.0
+            } else {
+                200.0
+            }
         })
     }
 

@@ -47,7 +47,10 @@ mod tests {
 
     impl Defense for Identity {
         fn apply(&self, meter: &PowerTrace, _rng: &mut SeededRng) -> Defended {
-            Defended { trace: meter.clone(), cost: DefenseCost::default() }
+            Defended {
+                trace: meter.clone(),
+                cost: DefenseCost::default(),
+            }
         }
         fn name(&self) -> &str {
             "identity"

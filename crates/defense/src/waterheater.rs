@@ -92,12 +92,16 @@ impl WaterHeater {
         assert!(dt_secs > 0.0, "time step must be positive");
         let p = element_watts.clamp(0.0, self.element_watts);
         let mass = self.tank_liters; // 1 kg per litre
-        // Heating.
+                                     // Heating.
         let mut temp = self.temp_c + p * dt_secs / (mass * WATER_CP);
         // Standing loss.
         temp -= self.loss_w_per_k * (temp - self.ambient_c).max(0.0) * dt_secs / (mass * WATER_CP);
         // Draw: replace hot with inlet water (perfect mixing).
-        let unserved = if self.temp_c < self.comfort_min_c { draw_liters } else { 0.0 };
+        let unserved = if self.temp_c < self.comfort_min_c {
+            draw_liters
+        } else {
+            0.0
+        };
         if draw_liters > 0.0 {
             let frac = (draw_liters / mass).min(1.0);
             temp = temp * (1.0 - frac) + self.inlet_temp_c * frac;
@@ -117,7 +121,11 @@ mod tests {
         let t0 = wh.temp_c();
         wh.step(600.0, 4_500.0, 0.0);
         // 4.5 kW × 600 s = 2.7 MJ into 189 kg → ≈ 3.4 K.
-        assert!((wh.temp_c() - t0 - 3.4).abs() < 0.2, "Δ {}", wh.temp_c() - t0);
+        assert!(
+            (wh.temp_c() - t0 - 3.4).abs() < 0.2,
+            "Δ {}",
+            wh.temp_c() - t0
+        );
     }
 
     #[test]

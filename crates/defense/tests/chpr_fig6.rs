@@ -11,15 +11,33 @@ fn chpr_collapses_attack_mcc() {
     let home = Home::simulate(&HomeConfig::new(60).days(7));
     let attack = ThresholdDetector::default();
 
-    let before = home.occupancy.confusion(&attack.detect(&home.meter)).unwrap().mcc();
+    let before = home
+        .occupancy
+        .confusion(&attack.detect(&home.meter))
+        .unwrap()
+        .mcc();
     let defended = Chpr::default().apply(&home.meter, &mut seeded_rng(1));
-    let c = home.occupancy.confusion(&attack.detect(&defended.trace)).unwrap();
-    eprintln!("confusion after: tp {} fp {} tn {} fn {}", c.tp, c.fp, c.tn, c.fn_);
+    let c = home
+        .occupancy
+        .confusion(&attack.detect(&defended.trace))
+        .unwrap();
+    eprintln!(
+        "confusion after: tp {} fp {} tn {} fn {}",
+        c.tp, c.fp, c.tn, c.fn_
+    );
     let after = c.mcc();
 
-    eprintln!("fig6: mcc before {before:.3} after {after:.3}, extra {:.1} kWh, unserved {:.0} L",
-        defended.cost.extra_energy_kwh, defended.cost.unserved_hot_water_liters);
+    eprintln!(
+        "fig6: mcc before {before:.3} after {after:.3}, extra {:.1} kWh, unserved {:.0} L",
+        defended.cost.extra_energy_kwh, defended.cost.unserved_hot_water_liters
+    );
     assert!(before > 0.4, "attack should work undefended: {before:.3}");
-    assert!(after < 0.2, "CHPr should push MCC toward random: {after:.3}");
-    assert!(after < before / 3.0, "at least a 3x reduction: {before:.3} -> {after:.3}");
+    assert!(
+        after < 0.2,
+        "CHPr should push MCC toward random: {after:.3}"
+    );
+    assert!(
+        after < before / 3.0,
+        "at least a 3x reduction: {before:.3} -> {after:.3}"
+    );
 }

@@ -26,7 +26,10 @@ pub struct ActivityModel {
 
 impl Default for ActivityModel {
     fn default() -> Self {
-        ActivityModel { intensity: 1.0, gate_on_occupancy: true }
+        ActivityModel {
+            intensity: 1.0,
+            gate_on_occupancy: true,
+        }
     }
 }
 
@@ -37,8 +40,14 @@ impl ActivityModel {
     ///
     /// Panics if `intensity` is negative or non-finite.
     pub fn new(intensity: f64) -> Self {
-        assert!(intensity.is_finite() && intensity >= 0.0, "intensity must be non-negative");
-        ActivityModel { intensity, ..ActivityModel::default() }
+        assert!(
+            intensity.is_finite() && intensity >= 0.0,
+            "intensity must be non-negative"
+        );
+        ActivityModel {
+            intensity,
+            ..ActivityModel::default()
+        }
     }
 
     /// Samples the activation schedule for one appliance over the span of
@@ -123,11 +132,15 @@ mod tests {
     use timeseries::Resolution;
 
     fn all_home(days: usize) -> LabelSeries {
-        LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, days * 1440, |_| true)
+        LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, days * 1440, |_| {
+            true
+        })
     }
 
     fn never_home(days: usize) -> LabelSeries {
-        LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, days * 1440, |_| false)
+        LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, days * 1440, |_| {
+            false
+        })
     }
 
     #[test]
@@ -167,8 +180,10 @@ mod tests {
         let mut rng_lo = seeded_rng(4);
         let mut rng_hi = seeded_rng(4);
         let occ = all_home(60);
-        let lo = ActivityModel::new(0.5).sample_appliance(&Appliance::microwave(), &occ, &mut rng_lo);
-        let hi = ActivityModel::new(2.0).sample_appliance(&Appliance::microwave(), &occ, &mut rng_hi);
+        let lo =
+            ActivityModel::new(0.5).sample_appliance(&Appliance::microwave(), &occ, &mut rng_lo);
+        let hi =
+            ActivityModel::new(2.0).sample_appliance(&Appliance::microwave(), &occ, &mut rng_hi);
         assert!(hi.len() > lo.len(), "hi {} !> lo {}", hi.len(), lo.len());
     }
 
@@ -182,7 +197,10 @@ mod tests {
 
     #[test]
     fn ungated_model_ignores_occupancy() {
-        let model = ActivityModel { intensity: 1.0, gate_on_occupancy: false };
+        let model = ActivityModel {
+            intensity: 1.0,
+            gate_on_occupancy: false,
+        };
         let mut rng = seeded_rng(6);
         let acts = model.sample_appliance(&Appliance::toaster(), &never_home(30), &mut rng);
         assert!(!acts.is_empty());

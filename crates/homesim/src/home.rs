@@ -6,7 +6,6 @@ use crate::meter::SmartMeter;
 use crate::occupancy::{OccupancyModel, Persona};
 use loads::{
     render_activations, render_always_on, Activation, Appliance, ApplianceCategory, Catalogue,
-
 };
 use rand::Rng;
 use timeseries::rng::{derive_seed, seeded_rng};
@@ -37,7 +36,7 @@ impl HomeConfig {
             seed,
             days: 7,
             resolution: Resolution::ONE_MINUTE,
-            catalogue: Catalogue::standard(),
+            catalogue: Catalogue::standard_shared(),
             occupancy: OccupancyModel::for_persona(Persona::Worker),
             activity: ActivityModel::default(),
             meter: SmartMeter::new(Resolution::ONE_MINUTE, 15.0),
@@ -136,14 +135,18 @@ impl Home {
         let start = Timestamp::ZERO;
 
         let mut occ_rng = seeded_rng(derive_seed(config.seed, "occupancy"));
-        let occupancy = config.occupancy.generate(config.days, config.resolution, &mut occ_rng);
+        let occupancy = config
+            .occupancy
+            .generate(config.days, config.resolution, &mut occ_rng);
 
         let mut devices = Vec::with_capacity(config.catalogue.len());
         let mut aggregate = PowerTrace::zeros(start, config.resolution, len);
 
         for appliance in config.catalogue.iter() {
-            let mut dev_rng =
-                seeded_rng(derive_seed(config.seed, &format!("device:{}", appliance.name())));
+            let mut dev_rng = seeded_rng(derive_seed(
+                config.seed,
+                &format!("device:{}", appliance.name()),
+            ));
             let (trace, activations) = match appliance.category() {
                 ApplianceCategory::Background => {
                     let trace = render_background(appliance, start, config.resolution, len, || {
@@ -153,7 +156,9 @@ impl Home {
                 }
                 ApplianceCategory::Interactive => {
                     let acts =
-                        config.activity.sample_appliance(appliance, &occupancy, &mut dev_rng);
+                        config
+                            .activity
+                            .sample_appliance(appliance, &occupancy, &mut dev_rng);
                     let trace = render_activations(
                         appliance.model().as_ref(),
                         &acts,
@@ -164,8 +169,8 @@ impl Home {
                     (trace, acts)
                 }
             };
-            aggregate = aggregate
-                .checked_add(&trace)
+            aggregate
+                .checked_add_assign(&trace)
                 .expect("device traces share the home geometry");
             devices.push(DeviceTrace {
                 name: appliance.name().to_string(),
@@ -189,7 +194,12 @@ impl Home {
                 .expect("meter resolution divides simulation resolution")
         };
 
-        Home { meter, aggregate, devices, occupancy }
+        Home {
+            meter,
+            aggregate,
+            devices,
+            occupancy,
+        }
     }
 
     /// Looks up one device's ground truth by name.
@@ -203,7 +213,8 @@ impl Home {
         let mut acc = self.aggregate.clone();
         for dev in &self.devices {
             if dev.activations.is_empty() && dev.trace.mean_watts() > 0.0 {
-                acc = acc.checked_sub(&dev.trace).expect("aligned by construction");
+                acc.checked_sub_assign(&dev.trace)
+                    .expect("aligned by construction");
             }
         }
         acc.clamp_non_negative()
@@ -302,9 +313,7 @@ mod tests {
         // A vacation home: only background devices drawing power.
         let cfg = HomeConfig::new(4)
             .days(3)
-            .occupancy(
-                OccupancyModel::for_persona(Persona::Worker).with_vacation(0, 2),
-            );
+            .occupancy(OccupancyModel::for_persona(Persona::Worker).with_vacation(0, 2));
         let home = Home::simulate(&cfg);
         assert_eq!(home.occupancy.positive_rate(), 0.0);
         // Fridge/freezer/HRV still cycle: nonzero mean power.

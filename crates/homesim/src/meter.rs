@@ -43,12 +43,18 @@ impl SmartMeter {
             noise_sd_watts.is_finite() && noise_sd_watts >= 0.0,
             "noise std-dev must be non-negative"
         );
-        SmartMeter { resolution, noise_sd_watts }
+        SmartMeter {
+            resolution,
+            noise_sd_watts,
+        }
     }
 
     /// An ideal (noise-free) meter at `resolution`.
     pub fn ideal(resolution: Resolution) -> Self {
-        SmartMeter { resolution, noise_sd_watts: 0.0 }
+        SmartMeter {
+            resolution,
+            noise_sd_watts: 0.0,
+        }
     }
 
     /// The reporting resolution.
@@ -118,9 +124,8 @@ mod tests {
         let m = SmartMeter::new(Resolution::ONE_MINUTE, 50.0);
         let r = m.read(&truth, &mut seeded_rng(1)).unwrap();
         let mean = r.mean_watts();
-        let sd = (r.samples().iter().map(|w| (w - mean).powi(2)).sum::<f64>()
-            / r.len() as f64)
-            .sqrt();
+        let sd =
+            (r.samples().iter().map(|w| (w - mean).powi(2)).sum::<f64>() / r.len() as f64).sqrt();
         assert!((mean - 1_000.0).abs() < 5.0, "mean {mean}");
         assert!((sd - 50.0).abs() < 5.0, "sd {sd}");
     }

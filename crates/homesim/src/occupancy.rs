@@ -181,7 +181,10 @@ mod tests {
         assert!(away_middays >= 3, "away {away_middays}/5 middays");
         // Nights are home.
         for day in 0..5 {
-            assert!(occ.at(Timestamp::from_dhms(day, 3, 0, 0)).unwrap(), "night {day}");
+            assert!(
+                occ.at(Timestamp::from_dhms(day, 3, 0, 0)).unwrap(),
+                "night {day}"
+            );
         }
     }
 

@@ -1,0 +1,214 @@
+//! Fleet-scale scenario execution.
+//!
+//! The paper evaluates attacks and defenses home-by-home; real questions
+//! ("what does CHPr cost across a utility's service area?") need the same
+//! pipeline over *many* independent homes. This module runs a fleet of
+//! [`EnergyScenario`]s concurrently and aggregates their reports.
+//!
+//! # Determinism
+//!
+//! Every home gets its own seed derived from the fleet root seed via
+//! `derive_seed(root, "home:<index>")`, so no RNG state is shared between
+//! homes, and results are collected in home-index order. The parallel
+//! schedule therefore cannot influence any value: [`run_fleet`] is
+//! bit-identical to [`run_fleet_serial`] at any thread count (covered by a
+//! regression test that compares serialized JSON byte-for-byte).
+
+use crate::scenario::{EnergyScenario, ScenarioReport};
+use serde::{Deserialize, Serialize};
+use timeseries::rng::derive_seed;
+
+/// Order statistics of one metric across the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StatSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+}
+
+impl StatSummary {
+    /// Summarizes a non-empty set of values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> StatSummary {
+        assert!(!values.is_empty(), "cannot summarize zero values");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        StatSummary {
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: nearest_rank(&sorted, 0.50),
+            p95: nearest_rank(&sorted, 0.95),
+        }
+    }
+}
+
+/// Nearest-rank quantile of an ascending-sorted slice.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Aggregate statistics over every home's [`ScenarioReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSummary {
+    /// Number of homes simulated.
+    pub homes: usize,
+    /// Attack accuracy on raw meters.
+    pub undefended_accuracy: StatSummary,
+    /// Attack MCC on raw meters.
+    pub undefended_mcc: StatSummary,
+    /// Attack accuracy after the defense.
+    pub defended_accuracy: StatSummary,
+    /// Attack MCC after the defense.
+    pub defended_mcc: StatSummary,
+    /// Defense cost: extra energy drawn, kWh.
+    pub extra_energy_kwh: StatSummary,
+    /// Defense cost: absolute billing error fraction.
+    pub billing_error_frac: StatSummary,
+}
+
+impl FleetSummary {
+    /// Summarizes a non-empty batch of reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty.
+    pub fn of(reports: &[ScenarioReport]) -> FleetSummary {
+        assert!(!reports.is_empty(), "cannot summarize an empty fleet");
+        let pick = |f: &dyn Fn(&ScenarioReport) -> f64| -> StatSummary {
+            StatSummary::of(&reports.iter().map(f).collect::<Vec<_>>())
+        };
+        FleetSummary {
+            homes: reports.len(),
+            undefended_accuracy: pick(&|r| r.undefended.accuracy),
+            undefended_mcc: pick(&|r| r.undefended.mcc),
+            defended_accuracy: pick(&|r| r.defended.accuracy),
+            defended_mcc: pick(&|r| r.defended.mcc),
+            extra_energy_kwh: pick(&|r| r.cost.extra_energy_kwh),
+            billing_error_frac: pick(&|r| r.cost.billing_error_frac.abs()),
+        }
+    }
+}
+
+/// Every home's report plus the fleet-level summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetResult {
+    /// Per-home reports, in home-index order.
+    pub reports: Vec<ScenarioReport>,
+    /// Aggregate statistics.
+    pub summary: FleetSummary,
+}
+
+/// The derived seed for home `index` under `root`.
+pub fn home_seed(root: u64, index: usize) -> u64 {
+    derive_seed(root, &format!("home:{index}"))
+}
+
+/// Runs `homes` independent scenarios concurrently.
+///
+/// `build` receives each home's derived seed and constructs that home's
+/// scenario; it runs on worker threads, so it must be `Sync` and should
+/// not share mutable state.
+///
+/// # Panics
+///
+/// Panics if `homes` is zero.
+pub fn run_fleet<F>(homes: usize, root_seed: u64, build: F) -> FleetResult
+where
+    F: Fn(u64) -> EnergyScenario + Sync,
+{
+    assert!(homes > 0, "fleet needs at least one home");
+    let reports = rayon::parallel_map((0..homes).collect(), |i| {
+        build(home_seed(root_seed, i)).run()
+    });
+    let summary = FleetSummary::of(&reports);
+    FleetResult { reports, summary }
+}
+
+/// Reference serial implementation of [`run_fleet`]: same seeds, same
+/// order, one thread. Exists so tests (and sceptics) can verify that the
+/// parallel engine changes nothing but wall-clock time.
+///
+/// # Panics
+///
+/// Panics if `homes` is zero.
+pub fn run_fleet_serial<F>(homes: usize, root_seed: u64, build: F) -> FleetResult
+where
+    F: Fn(u64) -> EnergyScenario,
+{
+    assert!(homes > 0, "fleet needs at least one home");
+    let reports: Vec<ScenarioReport> = (0..homes)
+        .map(|i| build(home_seed(root_seed, i)).run())
+        .collect();
+    let summary = FleetSummary::of(&reports);
+    FleetResult { reports, summary }
+}
+
+/// Order-preserving parallel map over independent work items — the same
+/// engine [`run_fleet`] uses, exposed for experiment binaries whose sweep
+/// points are independent (each owns its RNG or needs none).
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    rayon::parallel_map(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let s = StatSummary::of(&[3.0, 1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p95, 5.0);
+        let one = StatSummary::of(&[7.5]);
+        assert_eq!((one.mean, one.p50, one.p95), (7.5, 7.5, 7.5));
+    }
+
+    #[test]
+    fn home_seeds_are_distinct() {
+        let seeds: std::collections::HashSet<u64> = (0..100).map(|i| home_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 100);
+        assert_ne!(home_seed(1, 0), home_seed(2, 0));
+    }
+
+    #[test]
+    fn fleet_matches_serial_reference() {
+        let build = |seed: u64| EnergyScenario::new(seed).days(1);
+        let parallel = run_fleet(6, 9, build);
+        let serial = run_fleet_serial(6, 9, build);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn summary_covers_all_homes() {
+        let result = run_fleet(4, 11, |seed| EnergyScenario::new(seed).days(1));
+        assert_eq!(result.reports.len(), 4);
+        assert_eq!(result.summary.homes, 4);
+        // Accuracy is a rate; the summary must stay in range.
+        assert!(result.summary.undefended_accuracy.mean >= 0.0);
+        assert!(result.summary.undefended_accuracy.p95 <= 1.0);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0u64..50).collect(), |i| i * 3);
+        assert_eq!(out, (0u64..50).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one home")]
+    fn zero_homes_rejected() {
+        run_fleet(0, 1, EnergyScenario::new);
+    }
+}

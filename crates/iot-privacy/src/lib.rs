@@ -2,7 +2,8 @@
 //!
 //! This crate re-exports every subsystem of the reproduction behind one
 //! dependency, and adds the [`scenario`] pipeline used by the examples and
-//! the experiment harness:
+//! the experiment harness, plus the [`fleet`] engine that runs many
+//! scenarios concurrently with per-home seed derivation:
 //!
 //! | module | contents |
 //! |---|---|
@@ -36,6 +37,8 @@ pub use privatemeter;
 pub use solar;
 pub use timeseries;
 
+pub mod fleet;
 pub mod scenario;
 
+pub use fleet::{run_fleet, run_fleet_serial, FleetResult, FleetSummary, StatSummary};
 pub use scenario::{AttackScore, EnergyScenario, ScenarioReport};

@@ -87,7 +87,9 @@ impl EnergyScenario {
     /// Runs the scenario.
     pub fn run(&self) -> ScenarioReport {
         let home = Home::simulate(
-            &HomeConfig::new(self.seed).days(self.days).persona(self.persona),
+            &HomeConfig::new(self.seed)
+                .days(self.days)
+                .persona(self.persona),
         );
         let score = |trace: &timeseries::PowerTrace| -> AttackScore {
             let inferred = self.attack.detect(trace);
@@ -95,13 +97,20 @@ impl EnergyScenario {
                 .occupancy
                 .confusion(&inferred)
                 .expect("attack output is aligned by contract");
-            AttackScore { accuracy: c.accuracy(), mcc: c.mcc() }
+            AttackScore {
+                accuracy: c.accuracy(),
+                mcc: c.mcc(),
+            }
         };
         let undefended = score(&home.meter);
         let mut rng = seeded_rng(derive_seed(self.seed, "defense"));
         let defended_out = self.defense.apply(&home.meter, &mut rng);
         let defended = score(&defended_out.trace);
-        ScenarioReport { undefended, defended, cost: defended_out.cost }
+        ScenarioReport {
+            undefended,
+            defended,
+            cost: defended_out.cost,
+        }
     }
 }
 
@@ -114,7 +123,10 @@ mod tests {
     #[test]
     fn default_scenario_shows_defense_working() {
         let report = EnergyScenario::new(1).days(3).run();
-        assert!(report.undefended.mcc > 0.3, "attack should work: {report:?}");
+        assert!(
+            report.undefended.mcc > 0.3,
+            "attack should work: {report:?}"
+        );
         assert!(
             report.defended.mcc < report.undefended.mcc,
             "defense should reduce MCC: {report:?}"

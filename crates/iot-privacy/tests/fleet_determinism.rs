@@ -1,0 +1,36 @@
+//! Regression tests for the fleet engine's determinism contract: the
+//! parallel engine must serialize byte-for-byte identically to the serial
+//! reference at every thread count.
+//!
+//! All thread-count cases live in ONE test function on purpose —
+//! `RAYON_NUM_THREADS` is process-global, and the harness runs separate
+//! `#[test]`s concurrently.
+
+use iot_privacy::scenario::EnergyScenario;
+use iot_privacy::{run_fleet, run_fleet_serial};
+
+fn build(seed: u64) -> EnergyScenario {
+    EnergyScenario::new(seed).days(1)
+}
+
+#[test]
+fn parallel_fleet_is_byte_identical_to_serial_at_any_thread_count() {
+    const HOMES: usize = 8;
+    const ROOT: u64 = 123;
+
+    let reference = serde_json::to_string(&run_fleet_serial(HOMES, ROOT, build))
+        .expect("serial fleet serializes");
+    assert!(reference.contains("undefended"), "sanity: report shape");
+
+    for threads in ["1", "2", "3", "8", "32"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let parallel = serde_json::to_string(&run_fleet(HOMES, ROOT, build))
+            .expect("parallel fleet serializes");
+        assert_eq!(
+            parallel, reference,
+            "fleet JSON must be byte-identical to the serial reference at \
+             RAYON_NUM_THREADS={threads}"
+        );
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}

@@ -32,7 +32,10 @@ impl Activation {
     /// Panics if `duration_secs` is zero.
     pub fn new(start: Timestamp, duration_secs: u64) -> Self {
         assert!(duration_secs > 0, "activation must have positive duration");
-        Activation { start, duration_secs }
+        Activation {
+            start,
+            duration_secs,
+        }
     }
 
     /// The timestamp at which the device switches off.

@@ -49,17 +49,28 @@ impl UsagePrior {
     ///
     /// Panics if `events_per_day` is negative, the duration range is empty
     /// or inverted, or any window is empty or exceeds 24 h.
-    pub fn new(events_per_day: f64, duration_secs: (u64, u64), preferred_hours: Vec<(u8, u8)>) -> Self {
+    pub fn new(
+        events_per_day: f64,
+        duration_secs: (u64, u64),
+        preferred_hours: Vec<(u8, u8)>,
+    ) -> Self {
         assert!(events_per_day >= 0.0, "events per day must be non-negative");
         assert!(
             duration_secs.0 > 0 && duration_secs.0 <= duration_secs.1,
             "duration range must be non-empty and ordered"
         );
-        assert!(!preferred_hours.is_empty(), "need at least one usage window");
+        assert!(
+            !preferred_hours.is_empty(),
+            "need at least one usage window"
+        );
         for &(s, e) in &preferred_hours {
             assert!(s < e && e <= 24, "invalid usage window {s}..{e}");
         }
-        UsagePrior { events_per_day, duration_secs, preferred_hours }
+        UsagePrior {
+            events_per_day,
+            duration_secs,
+            preferred_hours,
+        }
     }
 }
 
@@ -89,9 +100,18 @@ impl Appliance {
     ) -> Self {
         let name = name.into();
         if category == ApplianceCategory::Interactive {
-            assert!(usage.is_some(), "interactive appliance {name} needs a usage prior");
+            assert!(
+                usage.is_some(),
+                "interactive appliance {name} needs a usage prior"
+            );
         }
-        Appliance { name, category, model, usage, signature }
+        Appliance {
+            name,
+            category,
+            model,
+            usage,
+            signature,
+        }
     }
 
     /// The appliance name.
@@ -138,7 +158,11 @@ impl Appliance {
             "microwave",
             ApplianceCategory::Interactive,
             Arc::new(ResistiveLoad::new(1_100.0)),
-            Some(UsagePrior::new(1.8, (60, 420), vec![(7, 9), (11, 14), (17, 21)])),
+            Some(UsagePrior::new(
+                1.8,
+                (60, 420),
+                vec![(7, 9), (11, 14), (17, 21)],
+            )),
             LoadSignature::resistive("microwave", 1_100.0, (30, 600)),
         )
     }
@@ -149,7 +173,11 @@ impl Appliance {
             "kettle",
             ApplianceCategory::Interactive,
             Arc::new(ResistiveLoad::new(1_200.0)),
-            Some(UsagePrior::new(1.2, (120, 300), vec![(6, 10), (15, 17), (19, 22)])),
+            Some(UsagePrior::new(
+                1.2,
+                (120, 300),
+                vec![(6, 10), (15, 17), (19, 22)],
+            )),
             LoadSignature::resistive("kettle", 1_200.0, (60, 360)),
         )
     }
@@ -194,8 +222,7 @@ impl Appliance {
     /// Clothes dryer: 45-minute program; 5 kW element cycling at 70 % duty
     /// over a 300 W drum motor.
     pub fn dryer() -> Appliance {
-        let element =
-            CyclicalLoad::new(InductiveLoad::new(5_000.0, 5_000.0, 1.0), 300.0, 0.7, 0.0);
+        let element = CyclicalLoad::new(InductiveLoad::new(5_000.0, 5_000.0, 1.0), 300.0, 0.7, 0.0);
         let model = CompositeLoad::new(vec![Phase::new(2_700.0, Box::new(element))])
             .with_overlay(Box::new(InductiveLoad::new(300.0, 900.0, 3.0)));
         Appliance::new(
@@ -265,7 +292,11 @@ impl Appliance {
             "lighting",
             ApplianceCategory::Interactive,
             Arc::new(ResistiveLoad::new(250.0)),
-            Some(UsagePrior::new(3.0, (1_800, 10_800), vec![(6, 9), (17, 23)])),
+            Some(UsagePrior::new(
+                3.0,
+                (1_800, 10_800),
+                vec![(6, 9), (17, 23)],
+            )),
             LoadSignature::resistive("lighting", 250.0, (600, 14_400)),
         )
     }
@@ -276,7 +307,11 @@ impl Appliance {
             "tv",
             ApplianceCategory::Interactive,
             Arc::new(NonLinearLoad::new(150.0, 40.0)),
-            Some(UsagePrior::new(1.6, (1_800, 9_000), vec![(12, 14), (18, 23)])),
+            Some(UsagePrior::new(
+                1.6,
+                (1_800, 9_000),
+                vec![(12, 14), (18, 23)],
+            )),
             LoadSignature::resistive("tv", 150.0, (900, 10_800)),
         )
     }
@@ -336,6 +371,15 @@ impl Catalogue {
             c.push(a);
         }
         c
+    }
+
+    /// The standard set from a process-wide cache. Cloning a cached
+    /// catalogue only bumps the appliances' shared-model refcounts, so
+    /// fleet-scale callers building thousands of `HomeConfig`s skip
+    /// rebuilding the load models each time.
+    pub fn standard_shared() -> Self {
+        static CACHE: std::sync::OnceLock<Catalogue> = std::sync::OnceLock::new();
+        CACHE.get_or_init(Catalogue::standard).clone()
     }
 
     /// The five tracked devices of the paper's Figure 2.
@@ -452,7 +496,9 @@ mod tests {
     fn signatures_match_models() {
         let c = Catalogue::standard();
         let toaster = c.get("toaster").unwrap();
-        assert!((toaster.signature().on_delta_watts - toaster.model().nominal_watts()).abs() < 1e-9);
+        assert!(
+            (toaster.signature().on_delta_watts - toaster.model().nominal_watts()).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ impl Phase {
             duration_secs.is_finite() && duration_secs > 0.0,
             "phase duration must be positive"
         );
-        Phase { duration_secs, model }
+        Phase {
+            duration_secs,
+            model,
+        }
     }
 }
 
@@ -50,9 +53,16 @@ impl CompositeLoad {
     ///
     /// Panics if `phases` is empty.
     pub fn new(phases: Vec<Phase>) -> Self {
-        assert!(!phases.is_empty(), "composite load needs at least one phase");
+        assert!(
+            !phases.is_empty(),
+            "composite load needs at least one phase"
+        );
         let total_secs = phases.iter().map(|p| p.duration_secs).sum();
-        CompositeLoad { phases, overlay: None, total_secs }
+        CompositeLoad {
+            phases,
+            overlay: None,
+            total_secs,
+        }
     }
 
     /// Adds a model that runs concurrently for the entire activation.
@@ -90,7 +100,10 @@ impl LoadModel for CompositeLoad {
         if elapsed_secs < 0.0 || elapsed_secs >= self.total_secs {
             return 0.0;
         }
-        let overlay = self.overlay.as_ref().map_or(0.0, |o| o.power_at(elapsed_secs));
+        let overlay = self
+            .overlay
+            .as_ref()
+            .map_or(0.0, |o| o.power_at(elapsed_secs));
         let mut offset = 0.0;
         for phase in &self.phases {
             if elapsed_secs < offset + phase.duration_secs {
@@ -112,12 +125,7 @@ mod tests {
     /// A dryer-like composite: 45 min of a cycling 5 kW element over a
     /// 300 W drum motor.
     fn dryer() -> CompositeLoad {
-        let element = CyclicalLoad::new(
-            InductiveLoad::new(5_000.0, 5_000.0, 1.0),
-            300.0,
-            0.7,
-            0.0,
-        );
+        let element = CyclicalLoad::new(InductiveLoad::new(5_000.0, 5_000.0, 1.0), 300.0, 0.7, 0.0);
         CompositeLoad::new(vec![Phase::new(2_700.0, Box::new(element))])
             .with_overlay(Box::new(InductiveLoad::new(300.0, 900.0, 3.0)))
     }

@@ -46,10 +46,21 @@ impl CyclicalLoad {
     /// Panics if `period_secs` is not positive, `duty` is outside `(0, 1]`,
     /// or `phase_secs` is not finite and non-negative.
     pub fn new(element: InductiveLoad, period_secs: f64, duty: f64, phase_secs: f64) -> Self {
-        assert!(period_secs.is_finite() && period_secs > 0.0, "period must be positive");
+        assert!(
+            period_secs.is_finite() && period_secs > 0.0,
+            "period must be positive"
+        );
         assert!(duty > 0.0 && duty <= 1.0, "duty must be in (0, 1]");
-        assert!(phase_secs.is_finite() && phase_secs >= 0.0, "phase must be non-negative");
-        CyclicalLoad { element, period_secs, duty, phase_secs }
+        assert!(
+            phase_secs.is_finite() && phase_secs >= 0.0,
+            "phase must be non-negative"
+        );
+        CyclicalLoad {
+            element,
+            period_secs,
+            duty,
+            phase_secs,
+        }
     }
 
     /// The inner element model.
@@ -74,7 +85,10 @@ impl CyclicalLoad {
 
     /// Returns a copy with a different phase offset.
     pub fn with_phase(mut self, phase_secs: f64) -> Self {
-        assert!(phase_secs.is_finite() && phase_secs >= 0.0, "phase must be non-negative");
+        assert!(
+            phase_secs.is_finite() && phase_secs >= 0.0,
+            "phase must be non-negative"
+        );
         self.phase_secs = phase_secs;
         self
     }
@@ -141,7 +155,7 @@ mod tests {
     fn long_run_average_close_to_duty_average() {
         let f = fridge();
         let avg = f.average_power(0.0, 15_000.0); // ten full cycles
-        // In-rush adds a little extra on top of the duty average.
+                                                  // In-rush adds a little extra on top of the duty average.
         assert!(avg > 48.0 && avg < 60.0, "avg {avg}");
     }
 

@@ -57,7 +57,11 @@ impl InductiveLoad {
             spike_tau_secs.is_finite() && spike_tau_secs > 0.0,
             "spike time constant must be positive"
         );
-        InductiveLoad { steady_watts, spike_watts, spike_tau_secs }
+        InductiveLoad {
+            steady_watts,
+            spike_watts,
+            spike_tau_secs,
+        }
     }
 
     /// Settled running draw, watts.

@@ -84,7 +84,11 @@ mod tests {
             100.0
         }
         fn power_at(&self, elapsed_secs: f64) -> f64 {
-            if elapsed_secs < 0.0 { 0.0 } else { elapsed_secs }
+            if elapsed_secs < 0.0 {
+                0.0
+            } else {
+                elapsed_secs
+            }
         }
     }
 

@@ -34,12 +34,18 @@ impl NonLinearLoad {
     /// Panics if the parameters are non-finite, negative, or if
     /// `swing_watts > base_watts` (which would allow negative power).
     pub fn new(base_watts: f64, swing_watts: f64) -> Self {
-        assert!(base_watts.is_finite() && base_watts >= 0.0, "base must be non-negative");
+        assert!(
+            base_watts.is_finite() && base_watts >= 0.0,
+            "base must be non-negative"
+        );
         assert!(
             swing_watts.is_finite() && (0.0..=base_watts).contains(&swing_watts),
             "swing must be within [0, base]"
         );
-        NonLinearLoad { base_watts, swing_watts }
+        NonLinearLoad {
+            base_watts,
+            swing_watts,
+        }
     }
 
     /// The mean draw, watts.
@@ -82,7 +88,7 @@ mod tests {
         let l = NonLinearLoad::new(200.0, 50.0);
         for i in 0..10_000 {
             let p = l.power_at(i as f64);
-            assert!(p >= 150.0 && p <= 250.0, "p={p} at t={i}");
+            assert!((150.0..=250.0).contains(&p), "p={p} at t={i}");
         }
     }
 

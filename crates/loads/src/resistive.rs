@@ -29,7 +29,10 @@ impl ResistiveLoad {
     ///
     /// Panics if `watts` is not finite and non-negative.
     pub fn new(watts: f64) -> Self {
-        assert!(watts.is_finite() && watts >= 0.0, "watts must be non-negative");
+        assert!(
+            watts.is_finite() && watts >= 0.0,
+            "watts must be non-negative"
+        );
         ResistiveLoad { watts }
     }
 
@@ -49,7 +52,11 @@ impl LoadModel for ResistiveLoad {
     }
 
     fn power_at(&self, elapsed_secs: f64) -> f64 {
-        if elapsed_secs < 0.0 { 0.0 } else { self.watts }
+        if elapsed_secs < 0.0 {
+            0.0
+        } else {
+            self.watts
+        }
     }
 }
 

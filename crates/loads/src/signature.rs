@@ -34,7 +34,11 @@ pub struct LoadSignature {
 
 impl LoadSignature {
     /// Signature of a resistive load.
-    pub fn resistive(name: impl Into<String>, watts: f64, duration_bounds_secs: (u64, u64)) -> Self {
+    pub fn resistive(
+        name: impl Into<String>,
+        watts: f64,
+        duration_bounds_secs: (u64, u64),
+    ) -> Self {
         LoadSignature {
             name: name.into(),
             kind: LoadKind::Resistive,
@@ -166,7 +170,9 @@ mod tests {
         let e = s.cyclical_element().unwrap();
         assert_eq!(e.steady_watts(), 120.0);
         assert_eq!(e.spike_watts(), 500.0);
-        assert!(LoadSignature::resistive("t", 100.0, (1, 2)).cyclical_element().is_none());
+        assert!(LoadSignature::resistive("t", 100.0, (1, 2))
+            .cyclical_element()
+            .is_none());
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub fn render_activations(
         let trace_start = start.as_secs();
         // Sample indices potentially covered by this activation.
         let first = act_start.saturating_sub(trace_start) / res;
-        let last = act_end.saturating_sub(trace_start).div_ceil(res).min(len as u64);
+        let last = act_end
+            .saturating_sub(trace_start)
+            .div_ceil(res)
+            .min(len as u64);
         for (i, slot) in samples
             .iter_mut()
             .enumerate()
@@ -159,15 +162,19 @@ mod tests {
 
     #[test]
     fn always_on_fridge_duty_average() {
-        let fridge = CyclicalLoad::new(
-            InductiveLoad::new(120.0, 120.0, 1.0),
-            1_500.0,
-            0.4,
-            0.0,
+        let fridge = CyclicalLoad::new(InductiveLoad::new(120.0, 120.0, 1.0), 1_500.0, 0.4, 0.0);
+        let t = render_always_on(
+            &fridge,
+            Timestamp::ZERO,
+            Resolution::ONE_MINUTE,
+            1_500 / 60 * 10,
         );
-        let t = render_always_on(&fridge, Timestamp::ZERO, Resolution::ONE_MINUTE, 1_500 / 60 * 10);
         // Ten full cycles at 40% duty of 120 W ≈ 48 W mean.
-        assert!((t.mean_watts() - 48.0).abs() < 2.0, "mean {}", t.mean_watts());
+        assert!(
+            (t.mean_watts() - 48.0).abs() < 2.0,
+            "mean {}",
+            t.mean_watts()
+        );
     }
 
     #[test]

@@ -133,7 +133,9 @@ mod tests {
         let occ = occupancy(7);
         let trace = simulate_home_network(&inv, &occ, 7, 42);
         let attack = TrafficOccupancy::default();
-        let c = attack.evaluate(&trace.flows, &occ, trace.horizon_secs).unwrap();
+        let c = attack
+            .evaluate(&trace.flows, &occ, trace.horizon_secs)
+            .unwrap();
         assert!(c.accuracy() > 0.7, "accuracy {:.3}", c.accuracy());
         assert!(c.mcc() > 0.4, "mcc {:.3}", c.mcc());
     }
@@ -149,11 +151,15 @@ mod tests {
     fn sparse_inventory_weakens_attack() {
         // With only a smart lock (rare events), the signal mostly vanishes.
         let occ = occupancy(7);
-        let rich = simulate_home_network(&DeviceType::all().to_vec(), &occ, 7, 43);
+        let rich = simulate_home_network(DeviceType::all(), &occ, 7, 43);
         let poor = simulate_home_network(&[DeviceType::SmartLock], &occ, 7, 43);
         let attack = TrafficOccupancy::default();
-        let c_rich = attack.evaluate(&rich.flows, &occ, rich.horizon_secs).unwrap();
-        let c_poor = attack.evaluate(&poor.flows, &occ, poor.horizon_secs).unwrap();
+        let c_rich = attack
+            .evaluate(&rich.flows, &occ, rich.horizon_secs)
+            .unwrap();
+        let c_poor = attack
+            .evaluate(&poor.flows, &occ, poor.horizon_secs)
+            .unwrap();
         assert!(
             c_rich.mcc() > c_poor.mcc(),
             "rich {:.3} vs poor {:.3}",

@@ -41,8 +41,7 @@ impl FeatureVector {
         sizes.sort_by(|a, b| a.total_cmp(b));
         let mean_bytes = sizes.iter().sum::<f64>() / n;
         let p95 = sizes[((0.95 * (n - 1.0)) as usize).min(sizes.len() - 1)];
-        let up_frac =
-            flows.iter().map(|f| f.up_fraction()).sum::<f64>() / n;
+        let up_frac = flows.iter().map(|f| f.up_fraction()).sum::<f64>() / n;
         let mut endpoints: Vec<u32> = flows.iter().map(|f| f.endpoint).collect();
         endpoints.sort_unstable();
         endpoints.dedup();
@@ -53,11 +52,13 @@ impl FeatureVector {
             gaps.push((w[1].start_secs - w[0].start_secs) as f64);
         }
         let gap_mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-        let gap_var =
-            gaps.iter().map(|g| (g - gap_mean).powi(2)).sum::<f64>() / gaps.len() as f64;
-        let cv = if gap_mean > 0.0 { gap_var.sqrt() / gap_mean } else { 0.0 };
-        let mean_dur =
-            flows.iter().map(|f| f.duration_secs as f64).sum::<f64>() / n;
+        let gap_var = gaps.iter().map(|g| (g - gap_mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = if gap_mean > 0.0 {
+            gap_var.sqrt() / gap_mean
+        } else {
+            0.0
+        };
+        let mean_dur = flows.iter().map(|f| f.duration_secs as f64).sum::<f64>() / n;
 
         Some(FeatureVector {
             values: [
@@ -88,13 +89,19 @@ mod tests {
     use super::*;
 
     fn flow(start: u64, up: u64, down: u64, endpoint: u32) -> FlowRecord {
-        FlowRecord { start_secs: start, duration_secs: 3, device_id: 1, bytes_up: up, bytes_down: down, endpoint }
+        FlowRecord {
+            start_secs: start,
+            duration_secs: 3,
+            device_id: 1,
+            bytes_up: up,
+            bytes_down: down,
+            endpoint,
+        }
     }
 
     #[test]
     fn periodic_traffic_has_low_cv() {
-        let periodic: Vec<FlowRecord> =
-            (0..50).map(|i| flow(i * 120, 200, 50, 1)).collect();
+        let periodic: Vec<FlowRecord> = (0..50).map(|i| flow(i * 120, 200, 50, 1)).collect();
         let fv = FeatureVector::from_flows(&periodic, 6_000).unwrap();
         assert!(fv.values[5] < 0.1, "cv {}", fv.values[5]);
         let bursty: Vec<FlowRecord> = (0..50)
@@ -115,7 +122,9 @@ mod tests {
 
     #[test]
     fn endpoint_count() {
-        let multi: Vec<FlowRecord> = (0..12).map(|i| flow(i * 60, 100, 100, i as u32 % 4)).collect();
+        let multi: Vec<FlowRecord> = (0..12)
+            .map(|i| flow(i * 60, 100, 100, i as u32 % 4))
+            .collect();
         let fv = FeatureVector::from_flows(&multi, 720).unwrap();
         assert!((fv.values[4] - 4.0f64.ln()).abs() < 1e-9);
     }
@@ -129,8 +138,12 @@ mod tests {
 
     #[test]
     fn distance_symmetric_and_zero_on_self() {
-        let a = FeatureVector { values: [1.0, 2.0, 3.0, 0.5, 1.0, 0.2, 0.7] };
-        let b = FeatureVector { values: [2.0, 1.0, 3.5, 0.1, 0.0, 0.9, 0.1] };
+        let a = FeatureVector {
+            values: [1.0, 2.0, 3.0, 0.5, 1.0, 0.2, 0.7],
+        };
+        let b = FeatureVector {
+            values: [2.0, 1.0, 3.5, 0.1, 0.0, 0.9, 0.1],
+        };
         assert_eq!(a.distance(&a), 0.0);
         assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
         assert!(a.distance(&b) > 0.0);

@@ -135,7 +135,11 @@ impl DeviceClassifier for Knn {
                 None => votes.push((t, 1)),
             }
         }
-        votes.into_iter().max_by_key(|&(_, c)| c).map(|(t, _)| t).unwrap_or(self.examples[0].0)
+        votes
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .map(|(t, _)| t)
+            .unwrap_or(self.examples[0].0)
     }
 
     fn name(&self) -> &str {
@@ -146,10 +150,7 @@ impl DeviceClassifier for Knn {
 /// Extracts one labelled example per device from a trace, splitting the
 /// horizon into `windows` observation windows (each window yields one
 /// feature vector per device — more windows, more examples).
-pub fn labelled_examples(
-    trace: &NetworkTrace,
-    windows: usize,
-) -> Vec<(DeviceType, FeatureVector)> {
+pub fn labelled_examples(trace: &NetworkTrace, windows: usize) -> Vec<(DeviceType, FeatureVector)> {
     assert!(windows > 0, "need at least one window");
     let window_secs = trace.horizon_secs / windows as u64;
     let mut out = Vec::new();
@@ -172,10 +173,7 @@ pub fn labelled_examples(
 }
 
 /// Scores a classifier on held-out labelled examples: fraction correct.
-pub fn accuracy(
-    classifier: &dyn DeviceClassifier,
-    test: &[(DeviceType, FeatureVector)],
-) -> f64 {
+pub fn accuracy(classifier: &dyn DeviceClassifier, test: &[(DeviceType, FeatureVector)]) -> f64 {
     if test.is_empty() {
         return 0.0;
     }
@@ -223,7 +221,9 @@ mod tests {
     fn classifiers_have_names() {
         let examples = vec![(
             DeviceType::Hub,
-            FeatureVector { values: [0.0; crate::features::N_FEATURES] },
+            FeatureVector {
+                values: [0.0; crate::features::N_FEATURES],
+            },
         )];
         assert_eq!(NaiveBayes::train(&examples).name(), "naive-bayes");
         assert_eq!(Knn::train(1, examples).name(), "knn");
@@ -233,7 +233,9 @@ mod tests {
     fn accuracy_empty_test_is_zero() {
         let examples = vec![(
             DeviceType::Hub,
-            FeatureVector { values: [0.0; crate::features::N_FEATURES] },
+            FeatureVector {
+                values: [0.0; crate::features::N_FEATURES],
+            },
         )];
         let nb = NaiveBayes::train(&examples);
         assert_eq!(accuracy(&nb, &[]), 0.0);

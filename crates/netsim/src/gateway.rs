@@ -67,7 +67,10 @@ pub struct SmartGateway {
 impl SmartGateway {
     /// Creates a gateway with the given policy.
     pub fn new(policy: GatewayPolicy) -> Self {
-        SmartGateway { policy, profiles: HashMap::new() }
+        SmartGateway {
+            policy,
+            profiles: HashMap::new(),
+        }
     }
 
     /// Learns per-device profiles from a clean training trace.
@@ -115,7 +118,9 @@ impl SmartGateway {
                 device_id,
                 DeviceProfile {
                     mean: FeatureVector { values: mean },
-                    std: FeatureVector { values: std.try_into().expect("fixed size") },
+                    std: FeatureVector {
+                        values: std.try_into().expect("fixed size"),
+                    },
                     allowed_endpoints: dev_flows.iter().map(|f| f.endpoint).collect(),
                 },
             );
@@ -144,7 +149,9 @@ impl SmartGateway {
             };
             // Endpoint allowlist.
             if self.policy.enforce_endpoint_allowlist
-                && dev_flows.iter().any(|f| !profile.allowed_endpoints.contains(&f.endpoint))
+                && dev_flows
+                    .iter()
+                    .any(|f| !profile.allowed_endpoints.contains(&f.endpoint))
             {
                 verdicts.insert(device_id, Verdict::Quarantined);
                 continue;
@@ -257,7 +264,10 @@ mod tests {
         let (gw, test) = gateway_with_profiles(50);
         assert_eq!(gw.profiled_devices(), 4);
         let verdicts = gw.monitor(&test.flows, test.horizon_secs);
-        let quarantined = verdicts.values().filter(|&&v| v == Verdict::Quarantined).count();
+        let quarantined = verdicts
+            .values()
+            .filter(|&&v| v == Verdict::Quarantined)
+            .count();
         assert_eq!(quarantined, 0, "false positives: {verdicts:?}");
     }
 
@@ -275,7 +285,10 @@ mod tests {
     fn volumetric_attack_caught_even_without_allowlist() {
         let inv = [DeviceType::SmartPlug, DeviceType::Hub];
         let train = simulate_home_network(&inv, &occupancy(5), 5, 70);
-        let policy = GatewayPolicy { enforce_endpoint_allowlist: false, ..Default::default() };
+        let policy = GatewayPolicy {
+            enforce_endpoint_allowlist: false,
+            ..Default::default()
+        };
         let mut gw = SmartGateway::new(policy);
         gw.profile(&train.flows, train.horizon_secs);
         let mut test = simulate_home_network(&inv, &occupancy(5), 5, 71);
@@ -316,8 +329,14 @@ mod tests {
 
     #[test]
     fn verdict_ordering() {
-        assert_eq!(Verdict::Normal.max_with(Verdict::Suspicious), Verdict::Suspicious);
-        assert_eq!(Verdict::Suspicious.max_with(Verdict::Quarantined), Verdict::Quarantined);
+        assert_eq!(
+            Verdict::Normal.max_with(Verdict::Suspicious),
+            Verdict::Suspicious
+        );
+        assert_eq!(
+            Verdict::Suspicious.max_with(Verdict::Quarantined),
+            Verdict::Quarantined
+        );
         assert_eq!(Verdict::Normal.max_with(Verdict::Normal), Verdict::Normal);
     }
 }

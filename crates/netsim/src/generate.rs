@@ -39,7 +39,11 @@ impl NetworkTrace {
 
     /// All flows of one device.
     pub fn flows_of(&self, device_id: u32) -> Vec<FlowRecord> {
-        self.flows.iter().copied().filter(|f| f.device_id == device_id).collect()
+        self.flows
+            .iter()
+            .copied()
+            .filter(|f| f.device_id == device_id)
+            .collect()
     }
 }
 
@@ -62,7 +66,10 @@ pub fn simulate_home_network(
     let mut devices = Vec::with_capacity(inventory.len());
     for (idx, &dtype) in inventory.iter().enumerate() {
         let device_id = idx as u32 + 1;
-        devices.push(DeviceSim { device_id, device_type: dtype });
+        devices.push(DeviceSim {
+            device_id,
+            device_type: dtype,
+        });
         let mut rng = seeded_rng(derive_seed(seed, &format!("device-{device_id}")));
         let profile = dtype.profile();
         let endpoint_base = device_id * 100;
@@ -129,7 +136,7 @@ pub fn simulate_home_network(
 
         // 4. Daily firmware/update check: small down-heavy pull.
         for day in 0..days {
-            let at = day * 86_400 + rng.gen_range(0..86_400);
+            let at = day * 86_400 + rng.gen_range(0u64..86_400);
             flows.push(FlowRecord {
                 start_secs: at,
                 duration_secs: 5,
@@ -141,7 +148,12 @@ pub fn simulate_home_network(
         }
     }
     flows.sort_by_key(|f| f.start_secs);
-    NetworkTrace { flows, devices, occupancy: occupancy.clone(), horizon_secs }
+    NetworkTrace {
+        flows,
+        devices,
+        occupancy: occupancy.clone(),
+        horizon_secs,
+    }
 }
 
 fn split_flow(
@@ -157,7 +169,14 @@ fn split_flow(
     } else {
         (total_bytes / 10, total_bytes * 9 / 10)
     };
-    FlowRecord { start_secs: start, duration_secs: duration, device_id, bytes_up: up, bytes_down: down, endpoint }
+    FlowRecord {
+        start_secs: start,
+        duration_secs: duration,
+        device_id,
+        bytes_up: up,
+        bytes_down: down,
+        endpoint,
+    }
 }
 
 fn sample_poisson(rng: &mut impl Rng, mean: f64) -> u32 {
@@ -189,7 +208,11 @@ mod tests {
 
     #[test]
     fn generates_flows_for_every_device() {
-        let inv = [DeviceType::IpCamera, DeviceType::SmartPlug, DeviceType::TvStreamer];
+        let inv = [
+            DeviceType::IpCamera,
+            DeviceType::SmartPlug,
+            DeviceType::TvStreamer,
+        ];
         let trace = simulate_home_network(&inv, &occupancy(3), 3, 7);
         assert_eq!(trace.devices.len(), 3);
         for d in &trace.devices {
@@ -207,8 +230,14 @@ mod tests {
     fn flows_sorted_and_within_horizon() {
         let inv = [DeviceType::Hub, DeviceType::LightBulb];
         let trace = simulate_home_network(&inv, &occupancy(2), 2, 8);
-        assert!(trace.flows.windows(2).all(|w| w[0].start_secs <= w[1].start_secs));
-        assert!(trace.flows.iter().all(|f| f.start_secs < trace.horizon_secs));
+        assert!(trace
+            .flows
+            .windows(2)
+            .all(|w| w[0].start_secs <= w[1].start_secs));
+        assert!(trace
+            .flows
+            .iter()
+            .all(|f| f.start_secs < trace.horizon_secs));
     }
 
     #[test]
@@ -216,7 +245,12 @@ mod tests {
         let inv = [DeviceType::IpCamera, DeviceType::SmartPlug];
         let trace = simulate_home_network(&inv, &occupancy(3), 3, 9);
         let bytes = |id: u32| -> u64 { trace.flows_of(id).iter().map(|f| f.total_bytes()).sum() };
-        assert!(bytes(1) > 50 * bytes(2), "camera {} vs plug {}", bytes(1), bytes(2));
+        assert!(
+            bytes(1) > 50 * bytes(2),
+            "camera {} vs plug {}",
+            bytes(1),
+            bytes(2)
+        );
     }
 
     #[test]
@@ -226,8 +260,8 @@ mod tests {
         let trace = simulate_home_network(&inv, &occupancy(5), 5, 10);
         let profile = DeviceType::MotionSensor.profile();
         for f in trace.flows_of(1) {
-            let is_telemetry_or_fw = f.total_bytes() <= profile.telemetry_bytes.1
-                || f.endpoint % 100 == 99;
+            let is_telemetry_or_fw =
+                f.total_bytes() <= profile.telemetry_bytes.1 || f.endpoint % 100 == 99;
             if !is_telemetry_or_fw {
                 let occupied = trace.occupancy.at(Timestamp::from_secs(f.start_secs));
                 assert_eq!(occupied, Some(true), "event at {}", f.start_secs);
@@ -248,7 +282,11 @@ mod tests {
         let inv = [DeviceType::Hub, DeviceType::Hub, DeviceType::IpCamera];
         let trace = simulate_home_network(&inv, &occupancy(2), 2, 12);
         for f in &trace.flows {
-            assert_eq!(f.endpoint / 100, f.device_id, "endpoint leaked across devices");
+            assert_eq!(
+                f.endpoint / 100,
+                f.device_id,
+                "endpoint leaked across devices"
+            );
         }
     }
 }

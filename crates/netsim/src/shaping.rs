@@ -78,8 +78,8 @@ impl TrafficShaper {
                 for (w, &c) in counts.iter().enumerate() {
                     for k in 0..target.saturating_sub(c) {
                         // Deterministic spread inside the window.
-                        let offset = (k as u64 * 997 + device_id as u64 * 131)
-                            % self.cover_window_secs;
+                        let offset =
+                            (k as u64 * 997 + device_id as u64 * 131) % self.cover_window_secs;
                         out.push(FlowRecord {
                             start_secs: w as u64 * self.cover_window_secs + offset,
                             duration_secs: 5,
@@ -99,7 +99,10 @@ impl TrafficShaper {
         } else {
             0.0
         };
-        Shaped { flows: out, overhead_frac }
+        Shaped {
+            flows: out,
+            overhead_frac,
+        }
     }
 }
 
@@ -143,11 +146,8 @@ mod tests {
         let nb = NaiveBayes::train(&labelled_examples(&train_trace, 6));
         let ids: Vec<u32> = test_trace.devices.iter().map(|d| d.device_id).collect();
         // …but the home applies shaping.
-        let shaped = TrafficShaper::default().shape(
-            &test_trace.flows,
-            &ids,
-            test_trace.horizon_secs,
-        );
+        let shaped =
+            TrafficShaper::default().shape(&test_trace.flows, &ids, test_trace.horizon_secs);
         let mut shaped_trace = test_trace.clone();
         shaped_trace.flows = shaped.flows;
         let acc_shaped = accuracy(&nb, &labelled_examples(&shaped_trace, 6));
@@ -164,7 +164,11 @@ mod tests {
         let trace = simulate_home_network(&inv, &occupancy(2), 2, 500);
         let shaped = TrafficShaper::default().shape(&trace.flows, &[1], trace.horizon_secs);
         // A chatty-but-tiny device pays enormous relative overhead.
-        assert!(shaped.overhead_frac > 10.0, "overhead {}", shaped.overhead_frac);
+        assert!(
+            shaped.overhead_frac > 10.0,
+            "overhead {}",
+            shaped.overhead_frac
+        );
         assert!(shaped.flows.len() > trace.flows.len());
     }
 
@@ -172,7 +176,10 @@ mod tests {
     fn no_cover_traffic_mode() {
         let inv = [DeviceType::Hub];
         let trace = simulate_home_network(&inv, &occupancy(1), 1, 600);
-        let shaper = TrafficShaper { cover_window_secs: 0, ..Default::default() };
+        let shaper = TrafficShaper {
+            cover_window_secs: 0,
+            ..Default::default()
+        };
         let shaped = shaper.shape(&trace.flows, &[1], trace.horizon_secs);
         assert_eq!(shaped.flows.len(), trace.flows.len());
     }
@@ -186,8 +193,14 @@ mod tests {
         let ids: Vec<u32> = trace.devices.iter().map(|d| d.device_id).collect();
         let shaped = TrafficShaper::default().shape(&trace.flows, &ids, trace.horizon_secs);
         let attack = TrafficOccupancy::default();
-        let before = attack.evaluate(&trace.flows, &occ, trace.horizon_secs).unwrap().mcc();
-        let after = attack.evaluate(&shaped.flows, &occ, trace.horizon_secs).unwrap().mcc();
+        let before = attack
+            .evaluate(&trace.flows, &occ, trace.horizon_secs)
+            .unwrap()
+            .mcc();
+        let after = attack
+            .evaluate(&shaped.flows, &occ, trace.horizon_secs)
+            .unwrap()
+            .mcc();
         assert!(before > 0.5, "attack works on clear traffic: {before:.3}");
         assert!(after < 0.2, "shaping should hide occupancy: {after:.3}");
     }

@@ -105,7 +105,10 @@ mod tests {
     #[test]
     fn misaligned_estimate_rejected() {
         let truth = vec![("x".to_string(), trace(vec![1.0, 2.0]))];
-        let est = vec![DeviceEstimate { name: "x".into(), trace: trace(vec![1.0]) }];
+        let est = vec![DeviceEstimate {
+            name: "x".into(),
+            trace: trace(vec![1.0]),
+        }];
         assert!(evaluate_disaggregation(&truth, &est).is_err());
     }
 
@@ -113,7 +116,10 @@ mod tests {
     fn half_error() {
         // Estimate misses half the energy: error factor 0.5.
         let truth = vec![("x".to_string(), trace(vec![1_000.0, 1_000.0]))];
-        let est = vec![DeviceEstimate { name: "x".into(), trace: trace(vec![1_000.0, 0.0]) }];
+        let est = vec![DeviceEstimate {
+            name: "x".into(),
+            trace: trace(vec![1_000.0, 0.0]),
+        }];
         let scores = evaluate_disaggregation(&truth, &est).unwrap();
         assert!((scores[0].error_factor - 0.5).abs() < 1e-12);
     }

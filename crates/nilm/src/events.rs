@@ -114,15 +114,9 @@ mod tests {
     fn extracts_separated_events() {
         let mut samples = vec![0.0; 1440 * 2];
         // Two events on day 0, one on day 1, all at 07:xx.
-        for i in 420..424 {
-            samples[i] = 1_500.0;
-        }
-        for i in 470..473 {
-            samples[i] = 1_500.0;
-        }
-        for i in 1440 + 430..1440 + 435 {
-            samples[i] = 1_500.0;
-        }
+        samples[420..424].fill(1_500.0);
+        samples[470..473].fill(1_500.0);
+        samples[1440 + 430..1440 + 435].fill(1_500.0);
         let est = estimate(samples);
         let p = profile(&est, 100.0);
         assert_eq!(p.events.len(), 3);
@@ -145,9 +139,7 @@ mod tests {
     #[test]
     fn adjacent_samples_form_one_event() {
         let mut samples = vec![0.0; 60];
-        for i in 10..20 {
-            samples[i] = 500.0;
-        }
+        samples[10..20].fill(500.0);
         let events = extract_events(&estimate(samples).trace, 100.0);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].duration_secs, 600);

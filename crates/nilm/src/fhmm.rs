@@ -9,9 +9,19 @@
 //! * **iterated conditional modes (ICM)**: per-device Viterbi against the
 //!   residual left by the other devices' current estimates, swept until
 //!   convergence — the standard approximation for large device sets.
+//!
+//! Hot-path layout: both decoders work on flat `Vec<f64>` tables — joint
+//! emission means, joint log-transitions stored *transposed* (`[to*k+from]`)
+//! so the max-over-predecessors inner loop reads contiguous memory — with
+//! two swapped scratch rows instead of per-step allocation, and `u32`
+//! backpointers at half the memory traffic of `usize`. The joint tables
+//! depend only on the models, so they are built once per [`Fhmm`] and
+//! shared by every subsequent decode (e.g. per-day slices in the figure
+//! binaries).
 
 use crate::estimate::{DeviceEstimate, Disaggregator};
 use crate::train::DeviceHmm;
+use std::sync::OnceLock;
 use timeseries::PowerTrace;
 
 /// Tuning parameters of the FHMM disaggregator.
@@ -27,15 +37,62 @@ pub struct FhmmConfig {
 
 impl Default for FhmmConfig {
     fn default() -> Self {
-        FhmmConfig { noise_sd_watts: 40.0, max_exact_states: 512, icm_sweeps: 4 }
+        FhmmConfig {
+            noise_sd_watts: 40.0,
+            max_exact_states: 512,
+            icm_sweeps: 4,
+        }
     }
+}
+
+/// One device chain in hot-path layout: transposed flat transition table.
+#[derive(Debug, Clone)]
+struct FlatChain {
+    k: usize,
+    watts: Vec<f64>,
+    log_init: Vec<f64>,
+    /// `log_trans_t[to * k + from]` — transposed so scanning predecessors
+    /// of one target state is a contiguous read.
+    log_trans_t: Vec<f64>,
+}
+
+impl FlatChain {
+    fn from_hmm(dev: &DeviceHmm) -> Self {
+        let k = dev.n_states();
+        let mut log_trans_t = vec![0.0f64; k * k];
+        for (from, row) in dev.log_trans.iter().enumerate() {
+            for (to, &v) in row.iter().enumerate() {
+                log_trans_t[to * k + from] = v;
+            }
+        }
+        FlatChain {
+            k,
+            watts: dev.state_watts.clone(),
+            log_init: dev.log_init.clone(),
+            log_trans_t,
+        }
+    }
+}
+
+/// Joint-space tables for exact factorial Viterbi; model-dependent only,
+/// so built once per [`Fhmm`] and reused across decodes.
+#[derive(Debug, Clone)]
+struct JointTables {
+    k: usize,
+    /// Per-joint-state emission mean (sum of device state watts).
+    totals: Vec<f64>,
+    log_init: Vec<f64>,
+    /// `log_a_t[to * k + from]` — transposed joint log-transition matrix.
+    log_a_t: Vec<f64>,
 }
 
 /// The factorial HMM over a set of learned device models.
 #[derive(Debug, Clone)]
 pub struct Fhmm {
     devices: Vec<DeviceHmm>,
+    chains: Vec<FlatChain>,
     config: FhmmConfig,
+    joint: OnceLock<JointTables>,
 }
 
 impl Fhmm {
@@ -59,7 +116,13 @@ impl Fhmm {
             config.noise_sd_watts.is_finite() && config.noise_sd_watts > 0.0,
             "noise std-dev must be positive"
         );
-        Fhmm { devices, config }
+        let chains = devices.iter().map(FlatChain::from_hmm).collect();
+        Fhmm {
+            devices,
+            chains,
+            config,
+            joint: OnceLock::new(),
+        }
     }
 
     /// The total joint state count.
@@ -79,69 +142,86 @@ impl Fhmm {
         }
     }
 
+    /// Builds (or fetches) the joint tables for exact decoding.
+    fn joint_tables(&self) -> &JointTables {
+        self.joint.get_or_init(|| {
+            let k = self.joint_states();
+            let factored: Vec<Vec<usize>> = (0..k).map(|j| self.unpack(j)).collect();
+            let totals: Vec<f64> = factored
+                .iter()
+                .map(|states| {
+                    states
+                        .iter()
+                        .zip(&self.devices)
+                        .map(|(&s, d)| d.state_watts[s])
+                        .sum()
+                })
+                .collect();
+            let log_init: Vec<f64> = factored
+                .iter()
+                .map(|states| {
+                    states
+                        .iter()
+                        .zip(&self.devices)
+                        .map(|(&s, d)| d.log_init[s])
+                        .sum()
+                })
+                .collect();
+            // Joint log-transitions factorize as a sum over devices.
+            let mut log_a_t = vec![0.0f64; k * k];
+            for from in 0..k {
+                for to in 0..k {
+                    log_a_t[to * k + from] = factored[from]
+                        .iter()
+                        .zip(&factored[to])
+                        .zip(&self.devices)
+                        .map(|((&f, &t), d)| d.log_trans[f][t])
+                        .sum();
+                }
+            }
+            JointTables {
+                k,
+                totals,
+                log_init,
+                log_a_t,
+            }
+        })
+    }
+
     /// Exact factorial Viterbi over the joint product space.
     fn decode_exact(&self, meter: &PowerTrace) -> Vec<Vec<usize>> {
-        let k = self.joint_states();
+        let tables = self.joint_tables();
+        let k = tables.k;
         let n = meter.len();
         let xs = meter.samples();
         let inv_two_var = 0.5 / (self.config.noise_sd_watts * self.config.noise_sd_watts);
 
-        // Joint-state tables.
-        let factored: Vec<Vec<usize>> = (0..k).map(|j| self.unpack(j)).collect();
-        let totals: Vec<f64> = factored
-            .iter()
-            .map(|states| {
-                states
-                    .iter()
-                    .zip(&self.devices)
-                    .map(|(&s, d)| d.state_watts[s])
-                    .sum()
-            })
-            .collect();
-        let log_init: Vec<f64> = factored
-            .iter()
-            .map(|states| {
-                states
-                    .iter()
-                    .zip(&self.devices)
-                    .map(|(&s, d)| d.log_init[s])
-                    .sum()
-            })
-            .collect();
-        // Joint transition matrix (k x k) — factorizes as a sum of logs.
-        let mut log_a = vec![vec![0.0f64; k]; k];
-        for (from, row) in log_a.iter_mut().enumerate() {
-            for (to, cell) in row.iter_mut().enumerate() {
-                *cell = factored[from]
-                    .iter()
-                    .zip(&factored[to])
-                    .zip(&self.devices)
-                    .map(|((&f, &t), d)| d.log_trans[f][t])
-                    .sum();
-            }
-        }
-
         let emit = |j: usize, x: f64| -> f64 {
-            let d = x - totals[j];
+            let d = x - tables.totals[j];
             -d * d * inv_two_var
         };
 
-        let mut delta: Vec<f64> = (0..k).map(|j| log_init[j] + emit(j, xs[0])).collect();
-        let mut back = vec![vec![0usize; k]; n];
+        // Two scratch rows swapped each step; flat u32 backpointers.
+        let mut delta: Vec<f64> = (0..k)
+            .map(|j| tables.log_init[j] + emit(j, xs[0]))
+            .collect();
         let mut next = vec![f64::NEG_INFINITY; k];
+        let mut back = vec![0u32; n * k];
         for t in 1..n {
-            for j in 0..k {
+            let back_row = &mut back[t * k..(t + 1) * k];
+            for (j, slot) in back_row.iter_mut().enumerate() {
+                let row = &tables.log_a_t[j * k..(j + 1) * k];
                 let mut best = f64::NEG_INFINITY;
-                let mut arg = 0;
-                for i in 0..k {
-                    let v = delta[i] + log_a[i][j];
+                let mut arg = 0u32;
+                for (i, (&d, &a)) in delta.iter().zip(row).enumerate() {
+                    let v = d + a;
                     if v > best {
                         best = v;
-                        arg = i;
+                        arg = i as u32;
                     }
                 }
                 next[j] = best + emit(j, xs[t]);
-                back[t][j] = arg;
+                *slot = arg;
             }
             std::mem::swap(&mut delta, &mut next);
         }
@@ -153,20 +233,27 @@ impl Fhmm {
             .map(|(j, _)| j)
             .unwrap_or(0);
         for t in (0..n - 1).rev() {
-            joint_path[t] = back[t + 1][joint_path[t + 1]];
+            joint_path[t] = back[(t + 1) * k + joint_path[t + 1]] as usize;
         }
 
         // Unpack into per-device paths.
         let mut paths = vec![vec![0usize; n]; self.devices.len()];
         for (t, &j) in joint_path.iter().enumerate() {
-            for (d, &s) in factored[j].iter().enumerate() {
-                paths[d][t] = s;
+            let mut rest = j;
+            for (path, dev) in paths.iter_mut().zip(&self.devices) {
+                path[t] = rest % dev.n_states();
+                rest /= dev.n_states();
             }
         }
         paths
     }
 
     /// Iterated conditional modes: per-device Viterbi against the residual.
+    ///
+    /// Device sweeps stay strictly Gauss-Seidel (each device sees every
+    /// earlier update within the sweep) so results are independent of
+    /// thread count; only the residual construction is parallelized, in
+    /// fixed chunks that make the arithmetic identical to the serial fill.
     fn decode_icm(&self, meter: &PowerTrace) -> Vec<Vec<usize>> {
         let n = meter.len();
         let xs = meter.samples();
@@ -183,15 +270,16 @@ impl Fhmm {
         // chains absorb unmodelled load before specific appliances claim it.
         let mut order: Vec<usize> = (0..self.devices.len()).collect();
         order.sort_by_key(|&d| std::cmp::Reverse(self.devices[d].n_states()));
+        let mut residual = vec![0.0f64; n];
+        let mut scratch = ViterbiScratch::default();
         for _ in 0..self.config.icm_sweeps {
             let mut changed = false;
             for &d in &order {
                 let dev = &self.devices[d];
-                // Residual with this device removed.
-                let residual: Vec<f64> = (0..n)
-                    .map(|t| xs[t] - (explained[t] - dev.state_watts[paths[d][t]]))
-                    .collect();
-                let new_path = viterbi_single(dev, &residual, self.config.noise_sd_watts);
+                let chain = &self.chains[d];
+                fill_residual(&mut residual, xs, &explained, &dev.state_watts, &paths[d]);
+                let new_path =
+                    viterbi_single_flat(chain, &residual, self.config.noise_sd_watts, &mut scratch);
                 if new_path != paths[d] {
                     changed = true;
                     for t in 0..n {
@@ -218,36 +306,100 @@ impl Fhmm {
     }
 }
 
-/// Viterbi for a single device chain against a residual signal.
-fn viterbi_single(dev: &DeviceHmm, residual: &[f64], noise_sd: f64) -> Vec<usize> {
-    let k = dev.n_states();
+/// Minimum trace length before the residual fill fans out to threads;
+/// below this the serial loop wins on overhead.
+const PAR_RESIDUAL_MIN: usize = 8_192;
+/// Chunk length for the parallel residual fill. Fixed (not thread-count
+/// derived) so the work decomposition is identical on every machine.
+const PAR_RESIDUAL_CHUNK: usize = 4_096;
+
+/// Computes `residual[t] = xs[t] - (explained[t] - watts[path[t]])` — the
+/// meter signal with every *other* device's current explanation removed.
+fn fill_residual(
+    residual: &mut [f64],
+    xs: &[f64],
+    explained: &[f64],
+    watts: &[f64],
+    path: &[usize],
+) {
+    let n = residual.len();
+    if n >= PAR_RESIDUAL_MIN && rayon::current_num_threads() > 1 {
+        let chunks: Vec<Vec<f64>> =
+            rayon::parallel_map((0..n).step_by(PAR_RESIDUAL_CHUNK).collect(), |start| {
+                let end = (start + PAR_RESIDUAL_CHUNK).min(n);
+                (start..end)
+                    .map(|t| xs[t] - (explained[t] - watts[path[t]]))
+                    .collect()
+            });
+        let mut at = 0;
+        for chunk in chunks {
+            residual[at..at + chunk.len()].copy_from_slice(&chunk);
+            at += chunk.len();
+        }
+    } else {
+        for t in 0..n {
+            residual[t] = xs[t] - (explained[t] - watts[path[t]]);
+        }
+    }
+}
+
+/// Reusable buffers for [`viterbi_single_flat`], avoiding the dominant
+/// per-call allocation (the `n * k` backpointer table).
+#[derive(Debug, Default)]
+struct ViterbiScratch {
+    delta: Vec<f64>,
+    next: Vec<f64>,
+    back: Vec<u32>,
+}
+
+/// Viterbi for a single device chain against a residual signal, using the
+/// chain's transposed flat transition table and caller-owned scratch.
+fn viterbi_single_flat(
+    chain: &FlatChain,
+    residual: &[f64],
+    noise_sd: f64,
+    scratch: &mut ViterbiScratch,
+) -> Vec<usize> {
+    let k = chain.k;
     let n = residual.len();
     if n == 0 {
         return Vec::new();
     }
     let inv_two_var = 0.5 / (noise_sd * noise_sd);
     let emit = |s: usize, x: f64| -> f64 {
-        let d = x - dev.state_watts[s];
+        let d = x - chain.watts[s];
         -d * d * inv_two_var
     };
-    let mut delta: Vec<f64> = (0..k).map(|s| dev.log_init[s] + emit(s, residual[0])).collect();
-    let mut back = vec![vec![0usize; k]; n];
-    let mut next = vec![f64::NEG_INFINITY; k];
+
+    scratch.delta.clear();
+    scratch
+        .delta
+        .extend((0..k).map(|s| chain.log_init[s] + emit(s, residual[0])));
+    scratch.next.clear();
+    scratch.next.resize(k, f64::NEG_INFINITY);
+    scratch.back.clear();
+    scratch.back.resize(n * k, 0);
+    let delta = &mut scratch.delta;
+    let next = &mut scratch.next;
+    let back = &mut scratch.back;
+
     for t in 1..n {
-        for s in 0..k {
+        let back_row = &mut back[t * k..(t + 1) * k];
+        for (s, slot) in back_row.iter_mut().enumerate() {
+            let row = &chain.log_trans_t[s * k..(s + 1) * k];
             let mut best = f64::NEG_INFINITY;
-            let mut arg = 0;
-            for p in 0..k {
-                let v = delta[p] + dev.log_trans[p][s];
+            let mut arg = 0u32;
+            for (p, (&d, &a)) in delta.iter().zip(row).enumerate() {
+                let v = d + a;
                 if v > best {
                     best = v;
-                    arg = p;
+                    arg = p as u32;
                 }
             }
             next[s] = best + emit(s, residual[t]);
-            back[t][s] = arg;
+            *slot = arg;
         }
-        std::mem::swap(&mut delta, &mut next);
+        std::mem::swap(delta, next);
     }
     let mut path = vec![0usize; n];
     path[n - 1] = delta
@@ -257,7 +409,7 @@ fn viterbi_single(dev: &DeviceHmm, residual: &[f64], noise_sd: f64) -> Vec<usize
         .map(|(s, _)| s)
         .unwrap_or(0);
     for t in (0..n - 1).rev() {
-        path[t] = back[t + 1][path[t + 1]];
+        path[t] = back[(t + 1) * k + path[t + 1]] as usize;
     }
     path
 }
@@ -270,12 +422,9 @@ impl Disaggregator for Fhmm {
             .zip(paths)
             .map(|(dev, path)| DeviceEstimate {
                 name: dev.name.clone(),
-                trace: PowerTrace::from_fn(
-                    meter.start(),
-                    meter.resolution(),
-                    meter.len(),
-                    |t| dev.state_watts[path[t]],
-                ),
+                trace: PowerTrace::from_fn(meter.start(), meter.resolution(), meter.len(), |t| {
+                    dev.state_watts[path[t]]
+                }),
             })
             .collect()
     }
@@ -294,7 +443,11 @@ mod tests {
 
     fn square_wave(period: usize, on_len: usize, watts: f64, len: usize) -> PowerTrace {
         PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, len, |i| {
-            if i % period < on_len { watts } else { 0.0 }
+            if i % period < on_len {
+                watts
+            } else {
+                0.0
+            }
         })
     }
 
@@ -329,11 +482,18 @@ mod tests {
         ];
         let exact = Fhmm::with_config(
             models.clone(),
-            FhmmConfig { max_exact_states: 256, ..FhmmConfig::default() },
+            FhmmConfig {
+                max_exact_states: 256,
+                ..FhmmConfig::default()
+            },
         );
         let icm = Fhmm::with_config(
             models,
-            FhmmConfig { max_exact_states: 1, icm_sweeps: 6, ..FhmmConfig::default() },
+            FhmmConfig {
+                max_exact_states: 1,
+                icm_sweeps: 6,
+                ..FhmmConfig::default()
+            },
         );
         let e1 = exact.disaggregate(&meter);
         let e2 = icm.disaggregate(&meter);
@@ -388,5 +548,36 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn empty_device_set_rejected() {
         Fhmm::new(vec![]);
+    }
+
+    #[test]
+    fn flat_chain_matches_nested_table() {
+        let t = square_wave(30, 10, 500.0, 300);
+        let dev = train_device_hmm("d", &t, 3);
+        let chain = FlatChain::from_hmm(&dev);
+        for from in 0..dev.n_states() {
+            for to in 0..dev.n_states() {
+                assert_eq!(
+                    chain.log_trans_t[to * chain.k + from],
+                    dev.log_trans[from][to]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_residual_fill_matches_serial() {
+        let n = PAR_RESIDUAL_MIN + 1_234;
+        let xs: Vec<f64> = (0..n).map(|t| (t % 977) as f64).collect();
+        let explained: Vec<f64> = (0..n).map(|t| (t % 311) as f64 * 0.5).collect();
+        let watts = vec![0.0, 120.0, 950.0];
+        let path: Vec<usize> = (0..n).map(|t| t % watts.len()).collect();
+
+        let mut parallel = vec![0.0; n];
+        fill_residual(&mut parallel, &xs, &explained, &watts, &path);
+        let serial: Vec<f64> = (0..n)
+            .map(|t| xs[t] - (explained[t] - watts[path[t]]))
+            .collect();
+        assert_eq!(parallel, serial);
     }
 }

@@ -61,9 +61,7 @@ impl HartNilm {
                             continue;
                         }
                         let rel = (drop - mag).abs() / mag;
-                        if rel < self.match_tolerance
-                            && best.map_or(true, |(_, r)| rel < r)
-                        {
+                        if rel < self.match_tolerance && best.is_none_or(|(_, r)| rel < r) {
                             best = Some((slot, rel));
                         }
                     }
@@ -93,8 +91,8 @@ impl HartNilm {
                     if (p.watts - *centre).abs() / *centre < self.cluster_tolerance =>
                 {
                     // Running-mean centre update.
-                    *centre = (*centre * members.len() as f64 + p.watts)
-                        / (members.len() + 1) as f64;
+                    *centre =
+                        (*centre * members.len() as f64 + p.watts) / (members.len() + 1) as f64;
                     members.push(p);
                 }
                 _ => clusters.push((p.watts, vec![p])),
@@ -147,10 +145,18 @@ mod tests {
     /// them; this baseline deliberately does not).
     fn two_device_home() -> (PowerTrace, PowerTrace, PowerTrace) {
         let a = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 600, |i| {
-            if i % 60 < 10 { 1_500.0 } else { 0.0 }
+            if i % 60 < 10 {
+                1_500.0
+            } else {
+                0.0
+            }
         });
         let b = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 600, |i| {
-            if (15..45).contains(&(i % 90)) { 400.0 } else { 0.0 }
+            if (15..45).contains(&(i % 90)) {
+                400.0
+            } else {
+                0.0
+            }
         });
         let total = a.checked_add(&b).unwrap();
         (total, a, b)
@@ -166,7 +172,9 @@ mod tests {
             estimates
                 .iter()
                 .find(|e| {
-                    let name_watts: f64 = e.name.trim_start_matches("hart-")
+                    let name_watts: f64 = e
+                        .name
+                        .trim_start_matches("hart-")
                         .trim_end_matches('w')
                         .parse()
                         .unwrap_or(0.0);
@@ -184,7 +192,11 @@ mod tests {
     fn unpaired_edges_are_dropped() {
         // A rise with no matching fall within the horizon.
         let t = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 400, |i| {
-            if i >= 50 { 1_000.0 } else { 0.0 }
+            if i >= 50 {
+                1_000.0
+            } else {
+                0.0
+            }
         });
         let estimates = HartNilm::default().disaggregate(&t);
         let total: f64 = estimates.iter().map(|e| e.trace.energy_kwh()).sum();
@@ -202,10 +214,19 @@ mod tests {
         // Slightly jittered repetitions of one appliance → one cluster.
         let t = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 600, |i| {
             let jitter = ((i / 60) % 3) as f64 * 20.0;
-            if i % 60 < 8 { 1_000.0 + jitter } else { 0.0 }
+            if i % 60 < 8 {
+                1_000.0 + jitter
+            } else {
+                0.0
+            }
         });
         let estimates = HartNilm::default().disaggregate(&t);
-        assert_eq!(estimates.len(), 1, "got {:?}", estimates.iter().map(|e| &e.name).collect::<Vec<_>>());
+        assert_eq!(
+            estimates.len(),
+            1,
+            "got {:?}",
+            estimates.iter().map(|e| &e.name).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! (Barker et al., BuildSys'14).
 
 use crate::estimate::{DeviceEstimate, Disaggregator};
-use loads::{render_activations, render_always_on, Activation, Catalogue, LoadModel, LoadSignature};
+use loads::{
+    render_activations, render_always_on, Activation, Catalogue, LoadModel, LoadSignature,
+};
 use std::sync::Arc;
 use timeseries::{EdgeDetector, PowerTrace};
 
@@ -121,7 +123,11 @@ impl PowerPlay {
     fn expected_on_range(dev: &TrackedDevice, res: f64) -> (f64, f64) {
         let steady = dev.signature.on_delta_watts;
         let with_spike = dev.playback.average_power(0.0, res);
-        if steady <= with_spike { (steady, with_spike) } else { (with_spike, steady) }
+        if steady <= with_spike {
+            (steady, with_spike)
+        } else {
+            (with_spike, steady)
+        }
     }
 
     /// Scores an observed step against a plausible range: 1 inside the
@@ -133,7 +139,11 @@ impl PowerPlay {
         if (lo..=hi).contains(&delta) {
             return 1.0;
         }
-        let (dist, reference) = if delta < lo { (lo - delta, lo) } else { (delta - hi, hi) };
+        let (dist, reference) = if delta < lo {
+            (lo - delta, lo)
+        } else {
+            (delta - hi, hi)
+        };
         let rel = dist / reference;
         if rel >= self.config.match_tolerance {
             0.0
@@ -241,7 +251,9 @@ impl Disaggregator for PowerPlay {
                             0.0
                         };
                         for &d in &claimed {
-                            on[d] = Some(OnState { start_secs: (i as f64 + frac) * res });
+                            on[d] = Some(OnState {
+                                start_secs: (i as f64 + frac) * res,
+                            });
                         }
                     }
                 }
@@ -265,8 +277,7 @@ impl Disaggregator for PowerPlay {
                         if elapsed < dev.signature.duration_bounds_secs.0 as f64 {
                             return None;
                         }
-                        let current =
-                            Self::predicted_power(dev, state, i.saturating_sub(1), res);
+                        let current = Self::predicted_power(dev, state, i.saturating_sub(1), res);
                         (current > 0.0).then_some((d, current))
                     })
                     .collect();
@@ -366,8 +377,9 @@ impl Disaggregator for PowerPlay {
                 )
             }
         };
-        let mut traces: Vec<PowerTrace> =
-            (0..self.devices.len()).map(|d| render(d, &device_acts[d])).collect();
+        let mut traces: Vec<PowerTrace> = (0..self.devices.len())
+            .map(|d| render(d, &device_acts[d]))
+            .collect();
 
         // Global validation pass: drop claims the meter does not support.
         // With every claim rendered, the meter minus everything *else*
@@ -390,7 +402,10 @@ impl Disaggregator for PowerPlay {
                 .copied()
                 .filter(|act| {
                     let lo = meter.index_of(act.start).unwrap_or(0);
-                    let hi = meter.index_of(act.end()).unwrap_or(meter.len()).min(meter.len());
+                    let hi = meter
+                        .index_of(act.end())
+                        .unwrap_or(meter.len())
+                        .min(meter.len());
                     if hi <= lo {
                         return true;
                     }
@@ -445,8 +460,9 @@ impl Disaggregator for PowerPlay {
         // claim the best-fitting idle device for each residual run.
         for _ in 0..2 {
             let mut repaired = false;
-            let residual: Vec<f64> =
-                (0..meter.len()).map(|t| samples[t] - explained[t]).collect();
+            let residual: Vec<f64> = (0..meter.len())
+                .map(|t| samples[t] - explained[t])
+                .collect();
             let mut t = 0;
             while t < meter.len() {
                 if residual[t] < self.config.edge_threshold_watts {
@@ -498,8 +514,8 @@ impl Disaggregator for PowerPlay {
                     device_acts[d].push(act);
                     device_acts[d].sort_by_key(|a| a.start);
                     let new_trace = render(d, &device_acts[d]);
-                    for tt in 0..meter.len() {
-                        explained[tt] += new_trace.watts(tt) - traces[d].watts(tt);
+                    for (tt, e) in explained.iter_mut().enumerate() {
+                        *e += new_trace.watts(tt) - traces[d].watts(tt);
                     }
                     traces[d] = new_trace;
                     repaired = true;
@@ -513,7 +529,10 @@ impl Disaggregator for PowerPlay {
         self.devices
             .iter()
             .zip(traces)
-            .map(|(dev, trace)| DeviceEstimate { name: dev.name.clone(), trace })
+            .map(|(dev, trace)| DeviceEstimate {
+                name: dev.name.clone(),
+                trace,
+            })
             .collect()
     }
 
@@ -548,7 +567,11 @@ mod tests {
         let estimates = PowerPlay::from_catalogue(&cat).disaggregate(&meter);
         let truth = vec![("toaster".to_string(), meter.clone())];
         let scores = evaluate_disaggregation(&truth, &estimates).unwrap();
-        assert!(scores[0].error_factor < 0.05, "error {}", scores[0].error_factor);
+        assert!(
+            scores[0].error_factor < 0.05,
+            "error {}",
+            scores[0].error_factor
+        );
     }
 
     #[test]
@@ -562,7 +585,11 @@ mod tests {
         let estimates = PowerPlay::from_catalogue(&cat).disaggregate(&meter);
         let truth = vec![("toaster".to_string(), meter.clone())];
         let scores = evaluate_disaggregation(&truth, &estimates).unwrap();
-        assert!(scores[0].error_factor < 0.1, "error {}", scores[0].error_factor);
+        assert!(
+            scores[0].error_factor < 0.1,
+            "error {}",
+            scores[0].error_factor
+        );
     }
 
     #[test]
@@ -578,7 +605,11 @@ mod tests {
         let estimates = PowerPlay::from_catalogue(&cat).disaggregate(&meter);
         let truth = vec![("fridge".to_string(), meter.clone())];
         let scores = evaluate_disaggregation(&truth, &estimates).unwrap();
-        assert!(scores[0].error_factor < 0.15, "error {}", scores[0].error_factor);
+        assert!(
+            scores[0].error_factor < 0.15,
+            "error {}",
+            scores[0].error_factor
+        );
     }
 
     #[test]
@@ -594,7 +625,11 @@ mod tests {
         let estimates = PowerPlay::from_catalogue(&cat).disaggregate(&meter);
         let truth = vec![("hrv".to_string(), meter.clone())];
         let scores = evaluate_disaggregation(&truth, &estimates).unwrap();
-        assert!(scores[0].error_factor < 0.02, "error {}", scores[0].error_factor);
+        assert!(
+            scores[0].error_factor < 0.02,
+            "error {}",
+            scores[0].error_factor
+        );
     }
 
     #[test]
@@ -622,7 +657,12 @@ mod tests {
         ];
         let scores = evaluate_disaggregation(&truth, &estimates).unwrap();
         for s in &scores {
-            assert!(s.error_factor < 0.2, "{}: error {}", s.device, s.error_factor);
+            assert!(
+                s.error_factor < 0.2,
+                "{}: error {}",
+                s.device,
+                s.error_factor
+            );
         }
     }
 
@@ -635,7 +675,11 @@ mod tests {
         let estimates = PowerPlay::from_catalogue(&cat).disaggregate(&meter);
         let truth = vec![("dryer".to_string(), meter.clone())];
         let scores = evaluate_disaggregation(&truth, &estimates).unwrap();
-        assert!(scores[0].error_factor < 0.1, "error {}", scores[0].error_factor);
+        assert!(
+            scores[0].error_factor < 0.1,
+            "error {}",
+            scores[0].error_factor
+        );
     }
 
     #[test]
@@ -659,6 +703,9 @@ mod tests {
 
     #[test]
     fn device_count() {
-        assert_eq!(PowerPlay::from_catalogue(&Catalogue::figure2()).device_count(), 5);
+        assert_eq!(
+            PowerPlay::from_catalogue(&Catalogue::figure2()).device_count(),
+            5
+        );
     }
 }

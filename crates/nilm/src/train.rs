@@ -87,7 +87,12 @@ pub fn train_device_hmm(name: impl Into<String>, trace: &PowerTrace, n_states: u
     let init_total: f64 = init_counts.iter().sum();
     let log_init = init_counts.iter().map(|&c| (c / init_total).ln()).collect();
 
-    DeviceHmm { name: name.into(), state_watts: centroids, log_trans, log_init }
+    DeviceHmm {
+        name: name.into(),
+        state_watts: centroids,
+        log_trans,
+        log_init,
+    }
 }
 
 /// 1-D k-means with deterministic farthest-point initialization. Returns
@@ -179,7 +184,11 @@ mod tests {
 
     fn on_off_trace() -> PowerTrace {
         PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 600, |i| {
-            if i % 25 < 10 { 120.0 } else { 0.0 }
+            if i % 25 < 10 {
+                120.0
+            } else {
+                0.0
+            }
         })
     }
 
@@ -187,8 +196,16 @@ mod tests {
     fn learns_two_states() {
         let hmm = train_device_hmm("fridge", &on_off_trace(), 2);
         assert_eq!(hmm.n_states(), 2);
-        assert!(hmm.state_watts[0].abs() < 1.0, "off state {}", hmm.state_watts[0]);
-        assert!((hmm.state_watts[1] - 120.0).abs() < 1.0, "on state {}", hmm.state_watts[1]);
+        assert!(
+            hmm.state_watts[0].abs() < 1.0,
+            "off state {}",
+            hmm.state_watts[0]
+        );
+        assert!(
+            (hmm.state_watts[1] - 120.0).abs() < 1.0,
+            "on state {}",
+            hmm.state_watts[1]
+        );
         // Self-transitions dominate a duty-cycled device.
         assert!(hmm.log_trans[0][0] > hmm.log_trans[0][1]);
         assert!(hmm.log_trans[1][1] > hmm.log_trans[1][0]);

@@ -11,15 +11,23 @@ use timeseries::Resolution;
 fn figure2_scores() -> (Vec<nilm::DeviceScore>, Vec<nilm::DeviceScore>) {
     let tracked = Catalogue::figure2();
     let train_home = Home::simulate(
-        &HomeConfig::new(100).days(3).meter(SmartMeter::new(Resolution::ONE_MINUTE, 10.0)),
+        &HomeConfig::new(100)
+            .days(3)
+            .meter(SmartMeter::new(Resolution::ONE_MINUTE, 10.0)),
     );
     let test_home = Home::simulate(
-        &HomeConfig::new(200).days(3).meter(SmartMeter::new(Resolution::ONE_MINUTE, 10.0)),
+        &HomeConfig::new(200)
+            .days(3)
+            .meter(SmartMeter::new(Resolution::ONE_MINUTE, 10.0)),
     );
 
     let pp = PowerPlay::from_catalogue(&tracked);
     let states = |name: &str| -> usize {
-        if name == "dryer" { 5 } else { 2 }
+        if name == "dryer" {
+            5
+        } else {
+            2
+        }
     };
     let mut models: Vec<_> = tracked
         .iter()
@@ -30,7 +38,9 @@ fn figure2_scores() -> (Vec<nilm::DeviceScore>, Vec<nilm::DeviceScore>) {
         .collect();
     let mut other = train_home.meter.clone();
     for a in tracked.iter() {
-        other = other.checked_sub(&train_home.device(a.name()).unwrap().trace).unwrap();
+        other = other
+            .checked_sub(&train_home.device(a.name()).unwrap().trace)
+            .unwrap();
     }
     models.push(train_device_hmm("other", &other.clamp_non_negative(), 6));
     let fhmm = Fhmm::new(models);

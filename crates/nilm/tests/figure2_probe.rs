@@ -9,32 +9,59 @@ fn probe() {
     // Homes run the FULL standard catalogue ("all circuits"); only the five
     // Figure-2 devices are tracked.
     let tracked = Catalogue::figure2();
-    let train_home = Home::simulate(&HomeConfig::new(100).days(7)
-        .meter(SmartMeter::new(Resolution::ONE_MINUTE, 10.0)));
-    let test_home = Home::simulate(&HomeConfig::new(200).days(7)
-        .meter(SmartMeter::new(Resolution::ONE_MINUTE, 10.0)));
+    let train_home = Home::simulate(
+        &HomeConfig::new(100)
+            .days(7)
+            .meter(SmartMeter::new(Resolution::ONE_MINUTE, 10.0)),
+    );
+    let test_home = Home::simulate(
+        &HomeConfig::new(200)
+            .days(7)
+            .meter(SmartMeter::new(Resolution::ONE_MINUTE, 10.0)),
+    );
 
     let pp = PowerPlay::from_catalogue(&tracked);
-    let states = |name: &str| -> usize { match name { "dryer" => 5, _ => 2 } };
-    let mut models: Vec<_> = tracked.iter()
+    let states = |name: &str| -> usize {
+        match name {
+            "dryer" => 5,
+            _ => 2,
+        }
+    };
+    let mut models: Vec<_> = tracked
+        .iter()
         .map(|a| {
             let d = train_home.device(a.name()).unwrap();
             train_device_hmm(&d.name, &d.trace, states(&d.name))
-        }).collect();
+        })
+        .collect();
     // "Other" chain absorbing untracked circuits (standard FHMM practice).
     let mut other = train_home.meter.clone();
     for a in tracked.iter() {
-        other = other.checked_sub(&train_home.device(a.name()).unwrap().trace).unwrap();
+        other = other
+            .checked_sub(&train_home.device(a.name()).unwrap().trace)
+            .unwrap();
     }
     models.push(train_device_hmm("other", &other.clamp_non_negative(), 6));
     let fhmm = Fhmm::new(models);
     eprintln!("joint states: {}", fhmm.joint_states());
 
-    let truth: Vec<_> = tracked.iter()
-        .map(|a| { let d = test_home.device(a.name()).unwrap(); (d.name.clone(), d.trace.clone()) })
+    let truth: Vec<_> = tracked
+        .iter()
+        .map(|a| {
+            let d = test_home.device(a.name()).unwrap();
+            (d.name.clone(), d.trace.clone())
+        })
         .collect();
-    for (label, est) in [("powerplay", pp.disaggregate(&test_home.meter)), ("fhmm", fhmm.disaggregate(&test_home.meter))] {
+    for (label, est) in [
+        ("powerplay", pp.disaggregate(&test_home.meter)),
+        ("fhmm", fhmm.disaggregate(&test_home.meter)),
+    ] {
         let scores = evaluate_disaggregation(&truth, &est).unwrap();
-        for s in scores { eprintln!("{label:10} {:10} err {:.3} true {:.2} kWh est {:.2} kWh", s.device, s.error_factor, s.true_kwh, s.estimated_kwh); }
+        for s in scores {
+            eprintln!(
+                "{label:10} {:10} err {:.3} true {:.2} kWh est {:.2} kWh",
+                s.device, s.error_factor, s.true_kwh, s.estimated_kwh
+            );
+        }
     }
 }

@@ -55,12 +55,19 @@ mod tests {
     #[test]
     fn evaluation_on_synthetic_home() {
         let trace = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 1_440, |i| {
-            if (600..900).contains(&i) { 1_800.0 } else { 90.0 }
+            if (600..900).contains(&i) {
+                1_800.0
+            } else {
+                90.0
+            }
         });
         let truth = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 1_440, |i| {
             (600..900).contains(&i)
         });
-        let detector = ThresholdDetector { night_prior: None, ..ThresholdDetector::default() };
+        let detector = ThresholdDetector {
+            night_prior: None,
+            ..ThresholdDetector::default()
+        };
         let eval = evaluate(&detector, &trace, &truth).unwrap();
         assert_eq!(eval.detector, "niom-threshold");
         assert!(eval.accuracy > 0.95);

@@ -63,8 +63,8 @@ impl Hmm2 {
         let n = xs.len();
         let mut alpha = vec![[f64::NEG_INFINITY; 2]; n];
         let mut beta = vec![[0.0f64; 2]; n];
-        for s in 0..2 {
-            alpha[0][s] = self.log_pi[s] + self.log_emission(s, xs[0]);
+        for (s, a) in alpha[0].iter_mut().enumerate() {
+            *a = self.log_pi[s] + self.log_emission(s, xs[0]);
         }
         for t in 1..n {
             for s in 0..2 {
@@ -123,8 +123,8 @@ impl Hmm2 {
         }
         let mut delta = vec![[f64::NEG_INFINITY; 2]; n];
         let mut back = vec![[0usize; 2]; n];
-        for s in 0..2 {
-            delta[0][s] = self.log_pi[s] + self.log_emission(s, xs[0]);
+        for (s, d) in delta[0].iter_mut().enumerate() {
+            *d = self.log_pi[s] + self.log_emission(s, xs[0]);
         }
         for t in 1..n {
             for s in 0..2 {
@@ -136,7 +136,11 @@ impl Hmm2 {
             }
         }
         let mut path = vec![0usize; n];
-        path[n - 1] = if delta[n - 1][0] >= delta[n - 1][1] { 0 } else { 1 };
+        path[n - 1] = if delta[n - 1][0] >= delta[n - 1][1] {
+            0
+        } else {
+            1
+        };
         for t in (0..n - 1).rev() {
             path[t] = back[t + 1][path[t + 1]];
         }
@@ -178,12 +182,7 @@ impl HmmDetector {
                 if weight <= f64::MIN_POSITIVE {
                     continue;
                 }
-                let mean = gamma
-                    .iter()
-                    .zip(xs)
-                    .map(|(g, &x)| g[s] * x)
-                    .sum::<f64>()
-                    / weight;
+                let mean = gamma.iter().zip(xs).map(|(g, &x)| g[s] * x).sum::<f64>() / weight;
                 let var = gamma
                     .iter()
                     .zip(xs)
@@ -214,8 +213,9 @@ impl OccupancyDetector for HmmDetector {
         if meter.is_empty() {
             return LabelSeries::like_trace(meter, false);
         }
-        let windows: Vec<(usize, f64)> =
-            WindowStats::new(meter, self.window).map(|(i, s)| (i, s.mean)).collect();
+        let windows: Vec<(usize, f64)> = WindowStats::new(meter, self.window)
+            .map(|(i, s)| (i, s.mean))
+            .collect();
         let xs: Vec<f64> = windows.iter().map(|&(_, m)| m).collect();
         if xs.len() < 4 {
             // Too little data for EM; fall back to "all unoccupied".
@@ -266,7 +266,10 @@ mod tests {
     }
 
     fn no_prior() -> HmmDetector {
-        HmmDetector { night_prior: None, ..HmmDetector::default() }
+        HmmDetector {
+            night_prior: None,
+            ..HmmDetector::default()
+        }
     }
 
     #[test]

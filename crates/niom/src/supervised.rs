@@ -42,7 +42,9 @@ fn features(summary: &Summary, baseline: f64) -> [f64; N_FEATURES] {
 }
 
 fn baseline_watts(trace: &PowerTrace, window: usize) -> f64 {
-    let mut means: Vec<f64> = WindowStats::new(trace, window).map(|(_, s)| s.mean).collect();
+    let mut means: Vec<f64> = WindowStats::new(trace, window)
+        .map(|(_, s)| s.mean)
+        .collect();
     if means.is_empty() {
         return 0.0;
     }
@@ -69,9 +71,12 @@ impl LogisticDetector {
             let baseline = baseline_watts(meter, window);
             for (start, summary) in WindowStats::new(meter, window) {
                 let end = (start + window).min(occupancy.len());
-                let occupied =
-                    occupancy.labels()[start..end].iter().filter(|&&b| b).count() * 2
-                        >= end - start;
+                let occupied = occupancy.labels()[start..end]
+                    .iter()
+                    .filter(|&&b| b)
+                    .count()
+                    * 2
+                    >= end - start;
                 xs.push(features(&summary, baseline));
                 ys.push(if occupied { 1.0 } else { 0.0 });
             }
@@ -109,8 +114,7 @@ impl LogisticDetector {
             let mut grad_w = [0.0; N_FEATURES];
             let mut grad_b = 0.0;
             for (x, &y) in xs.iter().zip(&ys) {
-                let z: f64 =
-                    bias + weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+                let z: f64 = bias + weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
                 let p = 1.0 / (1.0 + (-z).exp());
                 let err = p - y;
                 for k in 0..N_FEATURES {
@@ -145,11 +149,10 @@ impl OccupancyDetector for LogisticDetector {
         let mut labels = vec![false; meter.len()];
         for (start, summary) in WindowStats::new(meter, self.window) {
             let mut x = features(&summary, baseline);
-            for k in 0..N_FEATURES {
-                x[k] = (x[k] - self.feat_mean[k]) / self.feat_std[k];
+            for (k, v) in x.iter_mut().enumerate() {
+                *v = (*v - self.feat_mean[k]) / self.feat_std[k];
             }
-            let z: f64 =
-                self.bias + self.weights.iter().zip(&x).map(|(w, v)| w * v).sum::<f64>();
+            let z: f64 = self.bias + self.weights.iter().zip(&x).map(|(w, v)| w * v).sum::<f64>();
             let occupied = z > 0.0;
             let end = (start + self.window).min(labels.len());
             labels[start..end].fill(occupied);
@@ -177,7 +180,11 @@ mod tests {
             let minute = i % 1440;
             let base = 120.0 + 40.0 * ((i as f64 + seed_phase) * 0.21).sin();
             if (1_020..1_320).contains(&minute) || (390..480).contains(&minute) {
-                base + if (i as f64 + seed_phase) as usize % 17 < 4 { 1_300.0 } else { 180.0 }
+                base + if (i as f64 + seed_phase) as usize % 17 < 4 {
+                    1_300.0
+                } else {
+                    180.0
+                }
             } else {
                 base
             }

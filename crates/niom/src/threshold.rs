@@ -56,14 +56,18 @@ impl ThresholdDetector {
     /// Panics if `window` is zero.
     pub fn with_window(window: usize) -> Self {
         assert!(window > 0, "window must be non-empty");
-        ThresholdDetector { window, ..ThresholdDetector::default() }
+        ThresholdDetector {
+            window,
+            ..ThresholdDetector::default()
+        }
     }
 
     /// The background baseline (watts) this detector would calibrate on
     /// `meter`: the configured percentile of window means.
     pub fn baseline_watts(&self, meter: &PowerTrace) -> f64 {
-        let mut means: Vec<f64> =
-            WindowStats::new(meter, self.window).map(|(_, s)| s.mean).collect();
+        let mut means: Vec<f64> = WindowStats::new(meter, self.window)
+            .map(|(_, s)| s.mean)
+            .collect();
         if means.is_empty() {
             return 0.0;
         }
@@ -109,7 +113,11 @@ impl OccupancyDetector for ThresholdDetector {
 pub(crate) fn apply_night_prior(labels: &mut [bool], meter: &PowerTrace, from: u8, to: u8) {
     for (i, slot) in labels.iter_mut().enumerate() {
         let hour = meter.timestamp(i).hour_of_day() as u8;
-        let in_night = if from <= to { (from..to).contains(&hour) } else { hour >= from || hour < to };
+        let in_night = if from <= to {
+            (from..to).contains(&hour)
+        } else {
+            hour >= from || hour < to
+        };
         if in_night {
             *slot = true;
         }
@@ -165,7 +173,10 @@ mod tests {
     }
 
     fn no_prior() -> ThresholdDetector {
-        ThresholdDetector { night_prior: None, ..ThresholdDetector::default() }
+        ThresholdDetector {
+            night_prior: None,
+            ..ThresholdDetector::default()
+        }
     }
 
     #[test]

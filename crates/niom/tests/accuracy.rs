@@ -37,7 +37,11 @@ fn detectors_beat_constant_baselines() {
     let eval = evaluate(&ThresholdDetector::default(), &home.meter, &home.occupancy).unwrap();
     // An always-occupied guesser scores accuracy == positive rate and MCC 0.
     let base = home.occupancy.positive_rate();
-    assert!(eval.accuracy > base, "detector {:.3} <= baseline {base:.3}", eval.accuracy);
+    assert!(
+        eval.accuracy > base,
+        "detector {:.3} <= baseline {base:.3}",
+        eval.accuracy
+    );
     assert!(eval.mcc > 0.3);
 }
 
@@ -57,8 +61,15 @@ fn vacation_week_reads_empty_during_days() {
         .days(7)
         .occupancy(OccupancyModel::for_persona(Persona::Worker).with_vacation(0, 6));
     let home = Home::simulate(&cfg);
-    let no_prior = ThresholdDetector { night_prior: None, ..ThresholdDetector::default() };
+    let no_prior = ThresholdDetector {
+        night_prior: None,
+        ..ThresholdDetector::default()
+    };
     let inferred = no_prior.detect(&home.meter);
     // Nothing but background: detector finds (almost) no occupancy.
-    assert!(inferred.positive_rate() < 0.1, "rate {}", inferred.positive_rate());
+    assert!(
+        inferred.positive_rate() < 0.1,
+        "rate {}",
+        inferred.positive_rate()
+    );
 }

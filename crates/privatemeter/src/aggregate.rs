@@ -81,7 +81,13 @@ pub fn aggregate_round(params: &PedersenParams, submissions: &[MaskedReading]) -
         .iter()
         .fold(0u128, |acc, s| (acc + s.r as u128) % q as u128) as u64;
     params
-        .verify(combined, &Opening { message: total, r: r_total })
+        .verify(
+            combined,
+            &Opening {
+                message: total,
+                r: r_total,
+            },
+        )
         .then_some(total)
 }
 

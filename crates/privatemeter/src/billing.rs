@@ -48,7 +48,12 @@ impl MeterProver {
             commitments.push(c);
             openings.push(o);
         }
-        MeterProver { params, readings_wh, openings, commitments }
+        MeterProver {
+            params,
+            readings_wh,
+            openings,
+            commitments,
+        }
     }
 
     /// The public commitments the meter uploads (one per interval).
@@ -120,7 +125,10 @@ impl UtilityVerifier {
         let combined = self.params.combine(commitments);
         self.params.verify(
             combined,
-            &Opening { message: receipt.total, r: receipt.r_total },
+            &Opening {
+                message: receipt.total,
+                r: receipt.r_total,
+            },
         )
     }
 
@@ -137,7 +145,10 @@ impl UtilityVerifier {
         let combined = self.params.combine_weighted(commitments, weights);
         self.params.verify(
             combined,
-            &Opening { message: receipt.total, r: receipt.r_total },
+            &Opening {
+                message: receipt.total,
+                r: receipt.r_total,
+            },
         )
     }
 }
@@ -150,7 +161,11 @@ mod tests {
 
     fn month_trace() -> PowerTrace {
         PowerTrace::from_fn(Timestamp::ZERO, Resolution::FIFTEEN_MINUTES, 30 * 96, |i| {
-            300.0 + 900.0 * ((i % 96) as f64 / 96.0 * std::f64::consts::TAU).sin().max(0.0)
+            300.0
+                + 900.0
+                    * ((i % 96) as f64 / 96.0 * std::f64::consts::TAU)
+                        .sin()
+                        .max(0.0)
         })
     }
 
@@ -194,7 +209,11 @@ mod tests {
         let weights: Vec<u64> = (0..trace.len())
             .map(|i| {
                 let hour = (i % 96) / 4;
-                if (12..20).contains(&hour) { 30 } else { 10 }
+                if (12..20).contains(&hour) {
+                    30
+                } else {
+                    10
+                }
             })
             .collect();
         let receipt = prover.bill_weighted(&weights);

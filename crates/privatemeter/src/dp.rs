@@ -27,8 +27,14 @@ pub enum DpError {
 impl fmt::Display for DpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DpError::BudgetExhausted { remaining, requested } => {
-                write!(f, "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}")
+            DpError::BudgetExhausted {
+                remaining,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}"
+                )
             }
             DpError::InvalidParameter => write!(f, "epsilon and sensitivity must be positive"),
         }
@@ -36,6 +42,12 @@ impl fmt::Display for DpError {
 }
 
 impl Error for DpError {}
+
+/// Strictly-positive check that also rejects NaN (`partial_cmp`-based, so
+/// a NaN parameter is an error rather than silently accepted).
+fn is_positive(x: f64) -> bool {
+    x.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater)
+}
 
 /// Adds Laplace noise scaled to `sensitivity / epsilon` — the standard
 /// ε-DP mechanism for numeric queries.
@@ -49,7 +61,7 @@ pub fn laplace_mechanism(
     epsilon: f64,
     rng: &mut SeededRng,
 ) -> Result<f64, DpError> {
-    if !(epsilon > 0.0) || !(sensitivity > 0.0) {
+    if !is_positive(epsilon) || !is_positive(sensitivity) {
         return Err(DpError::InvalidParameter);
     }
     Ok(true_value + laplace(rng, 0.0, sensitivity / epsilon))
@@ -69,7 +81,10 @@ impl DpAccountant {
     ///
     /// Panics if `budget` is not finite and positive.
     pub fn new(budget: f64) -> Self {
-        assert!(budget.is_finite() && budget > 0.0, "budget must be positive");
+        assert!(
+            budget.is_finite() && budget > 0.0,
+            "budget must be positive"
+        );
         DpAccountant { budget, spent: 0.0 }
     }
 
@@ -96,11 +111,14 @@ impl DpAccountant {
         epsilon: f64,
         rng: &mut SeededRng,
     ) -> Result<f64, DpError> {
-        if !(epsilon > 0.0) || !(sensitivity > 0.0) {
+        if !is_positive(epsilon) || !is_positive(sensitivity) {
             return Err(DpError::InvalidParameter);
         }
         if epsilon > self.remaining() + 1e-12 {
-            return Err(DpError::BudgetExhausted { remaining: self.remaining(), requested: epsilon });
+            return Err(DpError::BudgetExhausted {
+                remaining: self.remaining(),
+                requested: epsilon,
+            });
         }
         let out = laplace_mechanism(true_value, sensitivity, epsilon, rng)?;
         self.spent += epsilon;
@@ -157,7 +175,10 @@ mod tests {
             Err(DpError::InvalidParameter)
         );
         let mut acct = DpAccountant::new(1.0);
-        assert_eq!(acct.query(1.0, 1.0, 0.0, &mut rng), Err(DpError::InvalidParameter));
+        assert_eq!(
+            acct.query(1.0, 1.0, 0.0, &mut rng),
+            Err(DpError::InvalidParameter)
+        );
     }
 
     #[test]
@@ -173,7 +194,10 @@ mod tests {
 
     #[test]
     fn error_messages() {
-        let e = DpError::BudgetExhausted { remaining: 0.1, requested: 0.5 };
+        let e = DpError::BudgetExhausted {
+            remaining: 0.1,
+            requested: 0.5,
+        };
         assert!(e.to_string().contains("exhausted"));
         assert!(DpError::InvalidParameter.to_string().contains("positive"));
     }

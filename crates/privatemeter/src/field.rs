@@ -38,7 +38,7 @@ pub fn mod_pow(mut base: u64, mut exp: u64, m: u64) -> u64 {
 ///
 /// Panics if `a` is zero modulo `p`.
 pub fn mod_inv(a: u64, p: u64) -> u64 {
-    assert!(a % p != 0, "zero has no inverse");
+    assert!(!a.is_multiple_of(p), "zero has no inverse");
     mod_pow(a, p - 2, p)
 }
 
@@ -51,13 +51,13 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }

@@ -66,12 +66,9 @@ impl PedersenParams {
     /// Homomorphic weighted combination: Π Cᵢ^{wᵢ} commits to Σ wᵢ·mᵢ.
     pub fn combine_weighted(&self, commitments: &[Commitment], weights: &[u64]) -> Commitment {
         assert_eq!(commitments.len(), weights.len(), "weight per commitment");
-        Commitment(
-            commitments
-                .iter()
-                .zip(weights)
-                .fold(1u64, |acc, (c, &w)| mod_mul(acc, mod_pow(c.0, w, self.p), self.p)),
-        )
+        Commitment(commitments.iter().zip(weights).fold(1u64, |acc, (c, &w)| {
+            mod_mul(acc, mod_pow(c.0, w, self.p), self.p)
+        }))
     }
 }
 
@@ -114,8 +111,20 @@ mod tests {
         let (c, o) = pp.commit(1_234, &mut rng);
         assert!(pp.verify(c, &o));
         // Wrong message or randomness fails.
-        assert!(!pp.verify(c, &Opening { message: 1_235, r: o.r }));
-        assert!(!pp.verify(c, &Opening { message: o.message, r: o.r ^ 1 }));
+        assert!(!pp.verify(
+            c,
+            &Opening {
+                message: 1_235,
+                r: o.r
+            }
+        ));
+        assert!(!pp.verify(
+            c,
+            &Opening {
+                message: o.message,
+                r: o.r ^ 1
+            }
+        ));
     }
 
     #[test]

@@ -33,8 +33,14 @@ impl GeoPoint {
     /// Panics if the latitude is outside `[-90, 90]` or the longitude is
     /// outside `[-180, 180]`.
     pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
-        assert!((-90.0..=90.0).contains(&lat_deg), "latitude out of range: {lat_deg}");
-        assert!((-180.0..=180.0).contains(&lon_deg), "longitude out of range: {lon_deg}");
+        assert!(
+            (-90.0..=90.0).contains(&lat_deg),
+            "latitude out of range: {lat_deg}"
+        );
+        assert!(
+            (-180.0..=180.0).contains(&lon_deg),
+            "longitude out of range: {lon_deg}"
+        );
         GeoPoint { lat_deg, lon_deg }
     }
 
@@ -44,8 +50,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat_deg.to_radians(), other.lon_deg.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
     }
 }

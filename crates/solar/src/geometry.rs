@@ -34,8 +34,7 @@ pub fn equation_of_time_minutes(sim_day: u64) -> f64 {
 pub fn solar_elevation_sin(location: &GeoPoint, sim_day: u64, utc_hours: f64) -> f64 {
     let decl = declination_deg(sim_day).to_radians();
     let lat = location.lat_deg.to_radians();
-    let solar_time =
-        utc_hours + location.lon_deg / 15.0 + equation_of_time_minutes(sim_day) / 60.0;
+    let solar_time = utc_hours + location.lon_deg / 15.0 + equation_of_time_minutes(sim_day) / 60.0;
     let hour_angle = (15.0 * (solar_time - 12.0)).to_radians();
     lat.sin() * decl.sin() + lat.cos() * decl.cos() * hour_angle.cos()
 }
@@ -69,8 +68,7 @@ pub fn sun_times(location: &GeoPoint, sim_day: u64) -> Option<SunTimes> {
         return None;
     }
     let h0_hours = cos_h0.acos().to_degrees() / 15.0;
-    let noon_utc =
-        12.0 - location.lon_deg / 15.0 - equation_of_time_minutes(sim_day) / 60.0;
+    let noon_utc = 12.0 - location.lon_deg / 15.0 - equation_of_time_minutes(sim_day) / 60.0;
     Some(SunTimes {
         sunrise_utc: noon_utc - h0_hours,
         noon_utc,
@@ -116,7 +114,10 @@ pub fn latitude_from_day_length(day_length_hours: f64, sim_day: u64) -> Option<f
 mod tests {
     use super::*;
 
-    const AMHERST: GeoPoint = GeoPoint { lat_deg: 42.39, lon_deg: -72.53 };
+    const AMHERST: GeoPoint = GeoPoint {
+        lat_deg: 42.39,
+        lon_deg: -72.53,
+    };
 
     #[test]
     fn declination_bounds() {
@@ -139,7 +140,7 @@ mod tests {
     #[test]
     fn sun_times_sane_for_midlatitude() {
         let t = sun_times(&AMHERST, 30).unwrap(); // ~May 10
-        // Local solar noon in UTC for lon -72.53 ≈ 12 + 4.84 h ≈ 16.8.
+                                                  // Local solar noon in UTC for lon -72.53 ≈ 12 + 4.84 h ≈ 16.8.
         assert!((t.noon_utc - 16.8).abs() < 0.3, "noon {}", t.noon_utc);
         // Mid-May day length at 42°N ≈ 14.5 h.
         let len = t.day_length_hours();

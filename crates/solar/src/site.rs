@@ -29,8 +29,16 @@ impl SolarSite {
     ///
     /// Panics if `capacity_kw` is not finite and positive.
     pub fn new(location: GeoPoint, capacity_kw: f64) -> Self {
-        assert!(capacity_kw.is_finite() && capacity_kw > 0.0, "capacity must be positive");
-        SolarSite { location, capacity_kw, cloud_attenuation: 0.75, noise_frac: 0.02 }
+        assert!(
+            capacity_kw.is_finite() && capacity_kw > 0.0,
+            "capacity must be positive"
+        );
+        SolarSite {
+            location,
+            capacity_kw,
+            cloud_attenuation: 0.75,
+            noise_frac: 0.02,
+        }
     }
 
     /// The site location.
@@ -49,7 +57,10 @@ impl SolarSite {
     ///
     /// Panics if `fraction` is outside `[0, 1]`.
     pub fn with_cloud_attenuation(mut self, fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&fraction), "attenuation must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "attenuation must be in [0,1]"
+        );
         self.cloud_attenuation = fraction;
         self
     }
@@ -132,9 +143,12 @@ mod tests {
         let g = grid();
         let sunny = site().with_cloud_attenuation(0.0);
         let cloudy = site().with_cloud_attenuation(0.9);
-        let e_sunny = sunny.generate(3, Resolution::ONE_HOUR, &g, &mut seeded_rng(2)).energy_kwh();
-        let e_cloudy =
-            cloudy.generate(3, Resolution::ONE_HOUR, &g, &mut seeded_rng(2)).energy_kwh();
+        let e_sunny = sunny
+            .generate(3, Resolution::ONE_HOUR, &g, &mut seeded_rng(2))
+            .energy_kwh();
+        let e_cloudy = cloudy
+            .generate(3, Resolution::ONE_HOUR, &g, &mut seeded_rng(2))
+            .energy_kwh();
         assert!(e_sunny > e_cloudy);
     }
 

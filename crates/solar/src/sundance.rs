@@ -23,7 +23,10 @@ pub struct SunDance {
 
 impl Default for SunDance {
     fn default() -> Self {
-        SunDance { envelope_percentile: 90.0, night_hours_utc: (2, 9) }
+        SunDance {
+            envelope_percentile: 90.0,
+            night_hours_utc: (2, 9),
+        }
     }
 }
 
@@ -47,7 +50,10 @@ impl SunDance {
         let per_day = net.resolution().samples_per_day();
         let days = net.len() / per_day;
         if days < 2 {
-            return Err(TraceError::LengthMismatch { left: net.len(), right: 2 * per_day });
+            return Err(TraceError::LengthMismatch {
+                left: net.len(),
+                right: 2 * per_day,
+            });
         }
 
         // 1. Per-day night baseline (median of night samples).
@@ -56,7 +62,11 @@ impl SunDance {
         let is_night = |i: usize| {
             let hod = ((i as u64 * res_secs) % 86_400) / 3_600;
             let h = hod as u8;
-            if n0 <= n1 { (n0..n1).contains(&h) } else { h >= n0 || h < n1 }
+            if n0 <= n1 {
+                (n0..n1).contains(&h)
+            } else {
+                h >= n0 || h < n1
+            }
         };
         let mut baselines = Vec::with_capacity(days);
         for d in 0..days {
@@ -64,7 +74,11 @@ impl SunDance {
                 .filter(|&i| is_night(i))
                 .map(|i| net.watts(i))
                 .collect();
-            baselines.push(if night.is_empty() { 0.0 } else { percentile(&mut night, 50.0) });
+            baselines.push(if night.is_empty() {
+                0.0
+            } else {
+                percentile(&mut night, 50.0)
+            });
         }
 
         // 2. Solar proxy per sample and clear-sky envelope per time-of-day.
@@ -88,7 +102,11 @@ impl SunDance {
                     den += envelope[tod] * envelope[tod];
                 }
             }
-            let atten = if den > 0.0 { (num / den).clamp(0.0, 1.1) } else { 0.0 };
+            let atten = if den > 0.0 {
+                (num / den).clamp(0.0, 1.1)
+            } else {
+                0.0
+            };
             for tod in 0..per_day {
                 solar_est[d * per_day + tod] = envelope[tod] * atten;
             }
@@ -129,12 +147,14 @@ mod tests {
             &grid,
             &mut seeded_rng(seed),
         );
-        let consumption = PowerTrace::from_fn(
-            Timestamp::ZERO,
-            Resolution::ONE_HOUR,
-            solar.len(),
-            |i| 600.0 + 250.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin().max(0.0),
-        );
+        let consumption =
+            PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_HOUR, solar.len(), |i| {
+                600.0
+                    + 250.0
+                        * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU)
+                            .sin()
+                            .max(0.0)
+            });
         let net = consumption.checked_sub(&solar).unwrap();
         (net, solar, consumption)
     }

@@ -23,7 +23,10 @@ pub struct SunSpot {
 
 impl Default for SunSpot {
     fn default() -> Self {
-        SunSpot { threshold_frac: 0.015, min_days: 5 }
+        SunSpot {
+            threshold_frac: 0.015,
+            min_days: 5,
+        }
     }
 }
 
@@ -105,14 +108,21 @@ impl SunSpot {
                 continue; // fully overcast: no usable geometry
             }
             let threshold = run_peak * self.threshold_frac;
-            let Some(first) = run.iter().position(|&w| w > threshold) else { continue };
-            let Some(last) = run.iter().rposition(|&w| w > threshold) else { continue };
+            let Some(first) = run.iter().position(|&w| w > threshold) else {
+                continue;
+            };
+            let Some(last) = run.iter().rposition(|&w| w > threshold) else {
+                continue;
+            };
             if last <= first + 10 {
                 continue;
             }
             let ramp_hi = 0.15 * run_peak;
             let rise_end = (first..=last).find(|&i| run[i] >= ramp_hi).unwrap_or(first);
-            let set_start = (first..=last).rev().find(|&i| run[i] >= ramp_hi).unwrap_or(last);
+            let set_start = (first..=last)
+                .rev()
+                .find(|&i| run[i] >= ramp_hi)
+                .unwrap_or(last);
             // Times in UTC hours from trace start (may exceed 24).
             let base_h = start as f64 * res_h;
             let sunrise = base_h
@@ -171,9 +181,8 @@ fn extrapolate_ramp(s: &[f64], lo: usize, hi: usize, res_h: f64) -> Option<f64> 
     let mut sp = 0.0;
     let mut stt = 0.0;
     let mut stp = 0.0;
-    for i in lo..=hi {
+    for (i, &p) in s.iter().enumerate().take(hi + 1).skip(lo) {
         let t = (i as f64 + 0.5) * res_h;
-        let p = s[i];
         st += t;
         sp += p;
         stt += t * t;
@@ -244,7 +253,11 @@ mod tests {
         assert!(days.len() >= 8);
         for d in &days {
             let t = crate::geometry::sun_times(&truth, d.sim_day).unwrap();
-            assert!((d.noon_utc() - t.noon_utc).abs() < 0.75, "day {}", d.sim_day);
+            assert!(
+                (d.noon_utc() - t.noon_utc).abs() < 0.75,
+                "day {}",
+                d.sim_day
+            );
             assert!(
                 (d.day_length_hours() - t.day_length_hours()).abs() < 1.5,
                 "day {}: apparent {} vs true {}",

@@ -43,7 +43,11 @@ impl WeatherGrid {
                 ));
             }
         }
-        let mut grid = WeatherGrid { anchors, series: Vec::new(), hours: 0 };
+        let mut grid = WeatherGrid {
+            anchors,
+            series: Vec::new(),
+            hours: 0,
+        };
         grid.series = vec![Vec::new(); grid.anchors.len()];
         grid.regenerate(14 * 24, seed);
         grid
@@ -98,7 +102,11 @@ impl WeatherGrid {
     ///
     /// Panics if `hour` is beyond the generated history.
     pub fn cloud_at(&self, p: &GeoPoint, hour: usize) -> f64 {
-        assert!(hour < self.hours, "hour {hour} beyond generated history {}", self.hours);
+        assert!(
+            hour < self.hours,
+            "hour {hour} beyond generated history {}",
+            self.hours
+        );
         let mut num = 0.0;
         let mut den = 0.0;
         for (a, anchor) in self.anchors.iter().enumerate() {

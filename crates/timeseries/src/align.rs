@@ -46,7 +46,11 @@ impl<'a> Aligned<'a> {
         let mut on = Vec::new();
         let mut off = Vec::new();
         for (w, l) in self.iter() {
-            if l { on.push(w) } else { off.push(w) }
+            if l {
+                on.push(w)
+            } else {
+                off.push(w)
+            }
         }
         (on, off)
     }
@@ -68,10 +72,16 @@ pub fn aligned<'a>(
         });
     }
     if trace.start() != labels.start() {
-        return Err(TraceError::StartMismatch { left: trace.start(), right: labels.start() });
+        return Err(TraceError::StartMismatch {
+            left: trace.start(),
+            right: labels.start(),
+        });
     }
     if trace.len() != labels.len() {
-        return Err(TraceError::LengthMismatch { left: trace.len(), right: labels.len() });
+        return Err(TraceError::LengthMismatch {
+            left: trace.len(),
+            right: labels.len(),
+        });
     }
     Ok(Aligned { trace, labels })
 }
@@ -99,11 +109,20 @@ mod tests {
     fn mismatches_rejected() {
         let t = PowerTrace::zeros(Timestamp::ZERO, Resolution::ONE_MINUTE, 4);
         let wrong_len = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 3, |_| true);
-        assert!(matches!(aligned(&t, &wrong_len), Err(TraceError::LengthMismatch { .. })));
+        assert!(matches!(
+            aligned(&t, &wrong_len),
+            Err(TraceError::LengthMismatch { .. })
+        ));
         let wrong_res = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_HOUR, 4, |_| true);
-        assert!(matches!(aligned(&t, &wrong_res), Err(TraceError::ResolutionMismatch { .. })));
+        assert!(matches!(
+            aligned(&t, &wrong_res),
+            Err(TraceError::ResolutionMismatch { .. })
+        ));
         let wrong_start =
             LabelSeries::from_fn(Timestamp::from_secs(1), Resolution::ONE_MINUTE, 4, |_| true);
-        assert!(matches!(aligned(&t, &wrong_start), Err(TraceError::StartMismatch { .. })));
+        assert!(matches!(
+            aligned(&t, &wrong_start),
+            Err(TraceError::StartMismatch { .. })
+        ));
     }
 }

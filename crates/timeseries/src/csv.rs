@@ -74,7 +74,9 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<PowerTrace, TraceError> {
         rows.push((ts, val));
     }
     if rows.len() < 2 {
-        return Err(TraceError::Parse("need at least two rows to infer resolution".into()));
+        return Err(TraceError::Parse(
+            "need at least two rows to infer resolution".into(),
+        ));
     }
     let step = rows[1].0 - rows[0].0;
     if step == 0 || step > u32::MAX as u64 {
@@ -98,12 +100,9 @@ mod tests {
 
     #[test]
     fn trace_round_trip() {
-        let t = PowerTrace::from_fn(
-            Timestamp::from_secs(120),
-            Resolution::ONE_MINUTE,
-            5,
-            |i| i as f64 * 100.0,
-        );
+        let t = PowerTrace::from_fn(Timestamp::from_secs(120), Resolution::ONE_MINUTE, 5, |i| {
+            i as f64 * 100.0
+        });
         let mut buf = Vec::new();
         write_trace(&mut buf, &t).unwrap();
         let back = read_trace(&buf[..]).unwrap();
@@ -128,18 +127,27 @@ mod tests {
     #[test]
     fn read_rejects_non_uniform() {
         let data = "timestamp_secs,watts\n0,1\n60,2\n180,3\n";
-        assert!(matches!(read_trace(data.as_bytes()), Err(TraceError::Parse(_))));
+        assert!(matches!(
+            read_trace(data.as_bytes()),
+            Err(TraceError::Parse(_))
+        ));
     }
 
     #[test]
     fn read_rejects_single_row() {
         let data = "timestamp_secs,watts\n0,1\n";
-        assert!(matches!(read_trace(data.as_bytes()), Err(TraceError::Parse(_))));
+        assert!(matches!(
+            read_trace(data.as_bytes()),
+            Err(TraceError::Parse(_))
+        ));
     }
 
     #[test]
     fn read_rejects_garbage_value() {
         let data = "timestamp_secs,watts\n0,abc\n60,2\n";
-        assert!(matches!(read_trace(data.as_bytes()), Err(TraceError::Parse(_))));
+        assert!(matches!(
+            read_trace(data.as_bytes()),
+            Err(TraceError::Parse(_))
+        ));
     }
 }

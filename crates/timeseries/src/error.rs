@@ -58,7 +58,10 @@ impl fmt::Display for TraceError {
                 write!(f, "length mismatch: {left} vs {right}")
             }
             TraceError::IndivisibleResample { from, to } => {
-                write!(f, "cannot resample from {from} to {to}: not an integer multiple")
+                write!(
+                    f,
+                    "cannot resample from {from} to {to}: not an integer multiple"
+                )
             }
             TraceError::InvalidSample { index } => {
                 write!(f, "invalid (non-finite) sample at index {index}")

@@ -78,7 +78,10 @@ impl EdgeDetector {
             min_delta_watts.is_finite() && min_delta_watts > 0.0,
             "edge threshold must be positive"
         );
-        EdgeDetector { min_delta_watts, settle: 1 }
+        EdgeDetector {
+            min_delta_watts,
+            settle: 1,
+        }
     }
 
     /// Sets the number of samples averaged on each side of a candidate edge.
@@ -136,7 +139,8 @@ impl EdgeDetector {
                     delta.signum()
                 };
                 let mut j = if split { i + 1 } else { i };
-                while j + 1 < s.len() && (s[j + 1] - s[j]).signum() == sign
+                while j + 1 < s.len()
+                    && (s[j + 1] - s[j]).signum() == sign
                     && (s[j + 1] - s[j]).abs() >= self.min_delta_watts
                 {
                     j += 1;
@@ -181,7 +185,11 @@ pub fn detect_edges(trace: &PowerTrace, min_delta_watts: f64) -> Vec<Edge> {
 }
 
 fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 }
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
 }
 
 #[cfg(test)]
@@ -231,7 +239,10 @@ mod tests {
         // apparent delta, dropping it below threshold.
         let t = trace(vec![100.0, 100.0, 100.0, 700.0, 100.0, 100.0, 100.0]);
         let strict = EdgeDetector::new(500.0).with_settle(2).detect(&t);
-        assert!(strict.is_empty(), "spike should be debounced, got {strict:?}");
+        assert!(
+            strict.is_empty(),
+            "spike should be debounced, got {strict:?}"
+        );
         let loose = EdgeDetector::new(500.0).detect(&t);
         assert_eq!(loose.len(), 2, "without settle the spike is two edges");
     }

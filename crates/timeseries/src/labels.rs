@@ -58,20 +58,32 @@ impl Confusion {
     /// Precision `tp / (tp + fp)`; 0 when undefined.
     pub fn precision(&self) -> f64 {
         let denom = self.tp + self.fp;
-        if denom == 0 { 0.0 } else { self.tp as f64 / denom as f64 }
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
     }
 
     /// Recall `tp / (tp + fn)`; 0 when undefined.
     pub fn recall(&self) -> f64 {
         let denom = self.tp + self.fn_;
-        if denom == 0 { 0.0 } else { self.tp as f64 / denom as f64 }
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
     }
 
     /// F1 score, the harmonic mean of precision and recall; 0 when undefined.
     pub fn f1(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
-        if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) }
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
     }
 
     /// Matthews Correlation Coefficient in `[-1, 1]` ([Matthews 1975], the
@@ -97,7 +109,11 @@ impl Confusion {
 impl LabelSeries {
     /// Creates a label series from raw booleans.
     pub fn new(start: Timestamp, resolution: Resolution, labels: Vec<bool>) -> Self {
-        LabelSeries { start, resolution, labels }
+        LabelSeries {
+            start,
+            resolution,
+            labels,
+        }
     }
 
     /// Creates a label series by evaluating `f` at each sample index.
@@ -105,9 +121,13 @@ impl LabelSeries {
         start: Timestamp,
         resolution: Resolution,
         len: usize,
-        mut f: impl FnMut(usize) -> bool,
+        f: impl FnMut(usize) -> bool,
     ) -> Self {
-        LabelSeries { start, resolution, labels: (0..len).map(|i| f(i)).collect() }
+        LabelSeries {
+            start,
+            resolution,
+            labels: (0..len).map(f).collect(),
+        }
     }
 
     /// Creates an all-`value` series with the geometry of `trace`.
@@ -184,7 +204,10 @@ impl LabelSeries {
     /// multiple of the current resolution.
     pub fn downsample(&self, to: Resolution) -> Result<LabelSeries, TraceError> {
         if !self.resolution.divides(to) {
-            return Err(TraceError::IndivisibleResample { from: self.resolution, to });
+            return Err(TraceError::IndivisibleResample {
+                from: self.resolution,
+                to,
+            });
         }
         let group = (to.as_secs() / self.resolution.as_secs()) as usize;
         let labels = self
@@ -192,7 +215,11 @@ impl LabelSeries {
             .chunks_exact(group)
             .map(|c| c.iter().filter(|&&b| b).count() * 2 >= group)
             .collect();
-        Ok(LabelSeries { start: self.start, resolution: to, labels })
+        Ok(LabelSeries {
+            start: self.start,
+            resolution: to,
+            labels,
+        })
     }
 
     /// Compares `predicted` (self is ground truth) and tallies the confusion
@@ -228,7 +255,10 @@ impl LabelSeries {
             });
         }
         if self.start != other.start {
-            return Err(TraceError::StartMismatch { left: self.start, right: other.start });
+            return Err(TraceError::StartMismatch {
+                left: self.start,
+                right: other.start,
+            });
         }
         if self.labels.len() != other.labels.len() {
             return Err(TraceError::LengthMismatch {
@@ -271,7 +301,11 @@ impl LabelSeries {
                 break;
             }
         }
-        LabelSeries { start: self.start, resolution: self.resolution, labels: out }
+        LabelSeries {
+            start: self.start,
+            resolution: self.resolution,
+            labels: out,
+        }
     }
 }
 
@@ -292,7 +326,15 @@ mod tests {
         let truth = series(&[1, 1, 0, 0, 1]);
         let guess = series(&[1, 0, 0, 1, 1]);
         let c = truth.confusion(&guess).unwrap();
-        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert_eq!(c.total(), 5);
         assert!((c.accuracy() - 0.6).abs() < 1e-12);
     }

@@ -17,9 +17,7 @@ use std::fmt;
 /// assert_eq!(Resolution::ONE_HOUR.as_secs(), 3600);
 /// assert!(Resolution::ONE_MINUTE < Resolution::ONE_HOUR);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Resolution(u32);
 
 impl Resolution {
@@ -71,7 +69,7 @@ impl Resolution {
     /// `true` if `coarser` is an integer multiple of this resolution, i.e.
     /// a trace at this resolution can be exactly downsampled to `coarser`.
     pub const fn divides(self, coarser: Resolution) -> bool {
-        coarser.0 % self.0 == 0
+        coarser.0.is_multiple_of(self.0)
     }
 }
 

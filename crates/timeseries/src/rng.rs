@@ -61,7 +61,10 @@ pub fn standard_normal(rng: &mut impl rand::Rng) -> f64 {
 ///
 /// Panics if `std_dev` is negative or non-finite.
 pub fn normal(rng: &mut impl rand::Rng, mean: f64, std_dev: f64) -> f64 {
-    assert!(std_dev.is_finite() && std_dev >= 0.0, "std_dev must be non-negative");
+    assert!(
+        std_dev.is_finite() && std_dev >= 0.0,
+        "std_dev must be non-negative"
+    );
     mean + std_dev * standard_normal(rng)
 }
 

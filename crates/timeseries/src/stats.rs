@@ -35,7 +35,13 @@ impl Summary {
         let variance = samples.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / n;
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Summary { mean, variance, range: max - min, min, max }
+        Summary {
+            mean,
+            variance,
+            range: max - min,
+            min,
+            max,
+        }
     }
 
     /// Population standard deviation, watts.
@@ -76,7 +82,11 @@ impl<'a> WindowStats<'a> {
     /// Panics if `window` is zero.
     pub fn new(trace: &'a PowerTrace, window: usize) -> Self {
         assert!(window > 0, "window must be non-empty");
-        WindowStats { samples: trace.samples(), window, pos: 0 }
+        WindowStats {
+            samples: trace.samples(),
+            window,
+            pos: 0,
+        }
     }
 }
 
@@ -121,7 +131,11 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
         vb += (y - mb).powi(2);
     }
     let denom = (va * vb).sqrt();
-    if denom == 0.0 { 0.0 } else { cov / denom }
+    if denom == 0.0 {
+        0.0
+    } else {
+        cov / denom
+    }
 }
 
 /// Root-mean-square error between two equal-length slices.
@@ -151,11 +165,23 @@ pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn disaggregation_error(actual: &[f64], inferred: &[f64]) -> f64 {
-    assert_eq!(actual.len(), inferred.len(), "error factor requires equal-length slices");
+    assert_eq!(
+        actual.len(),
+        inferred.len(),
+        "error factor requires equal-length slices"
+    );
     let total: f64 = actual.iter().map(|&x| x.abs()).sum();
-    let err: f64 = actual.iter().zip(inferred).map(|(&a, &e)| (a - e).abs()).sum();
+    let err: f64 = actual
+        .iter()
+        .zip(inferred)
+        .map(|(&a, &e)| (a - e).abs())
+        .sum();
     if total == 0.0 {
-        if err == 0.0 { 0.0 } else { f64::INFINITY }
+        if err == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
     } else {
         err / total
     }

@@ -46,12 +46,20 @@ impl PowerTrace {
         if let Some(index) = samples.iter().position(|s| !s.is_finite()) {
             return Err(TraceError::InvalidSample { index });
         }
-        Ok(PowerTrace { start, resolution, samples })
+        Ok(PowerTrace {
+            start,
+            resolution,
+            samples,
+        })
     }
 
     /// Creates an all-zero trace of `len` samples.
     pub fn zeros(start: Timestamp, resolution: Resolution, len: usize) -> Self {
-        PowerTrace { start, resolution, samples: vec![0.0; len] }
+        PowerTrace {
+            start,
+            resolution,
+            samples: vec![0.0; len],
+        }
     }
 
     /// Creates a trace with every sample equal to `watts`.
@@ -61,7 +69,11 @@ impl PowerTrace {
     /// Panics if `watts` is not finite.
     pub fn constant(start: Timestamp, resolution: Resolution, len: usize, watts: f64) -> Self {
         assert!(watts.is_finite(), "constant power must be finite");
-        PowerTrace { start, resolution, samples: vec![watts; len] }
+        PowerTrace {
+            start,
+            resolution,
+            samples: vec![watts; len],
+        }
     }
 
     /// Creates a trace by evaluating `f` at each sample index.
@@ -82,7 +94,11 @@ impl PowerTrace {
                 w
             })
             .collect();
-        PowerTrace { start, resolution, samples }
+        PowerTrace {
+            start,
+            resolution,
+            samples,
+        }
     }
 
     /// The timestamp of the first sample.
@@ -212,7 +228,10 @@ impl PowerTrace {
         let day_start = Timestamp::from_dhms(day, 0, 0, 0);
         let day_end = day_start + crate::time::SECS_PER_DAY;
         let res = self.resolution.as_secs() as u64;
-        let lo = day_start.as_secs().saturating_sub(self.start.as_secs()).div_ceil(res) as usize;
+        let lo = day_start
+            .as_secs()
+            .saturating_sub(self.start.as_secs())
+            .div_ceil(res) as usize;
         let hi = (day_end.as_secs().saturating_sub(self.start.as_secs()) / res) as usize;
         self.slice(lo..hi)
     }
@@ -235,6 +254,34 @@ impl PowerTrace {
     /// or length.
     pub fn checked_sub(&self, other: &PowerTrace) -> Result<PowerTrace, TraceError> {
         self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Adds another aligned trace into this one without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the traces differ in start, resolution,
+    /// or length.
+    pub fn checked_add_assign(&mut self, other: &PowerTrace) -> Result<(), TraceError> {
+        self.check_aligned(other)?;
+        for (a, &b) in self.samples.iter_mut().zip(&other.samples) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Subtracts another aligned trace from this one without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the traces differ in start, resolution,
+    /// or length.
+    pub fn checked_sub_assign(&mut self, other: &PowerTrace) -> Result<(), TraceError> {
+        self.check_aligned(other)?;
+        for (a, &b) in self.samples.iter_mut().zip(&other.samples) {
+            *a -= b;
+        }
+        Ok(())
     }
 
     /// Combines two aligned traces element-wise.
@@ -283,7 +330,10 @@ impl PowerTrace {
     /// multiple of the current resolution.
     pub fn downsample(&self, to: Resolution) -> Result<PowerTrace, TraceError> {
         if !self.resolution.divides(to) {
-            return Err(TraceError::IndivisibleResample { from: self.resolution, to });
+            return Err(TraceError::IndivisibleResample {
+                from: self.resolution,
+                to,
+            });
         }
         let group = (to.as_secs() / self.resolution.as_secs()) as usize;
         let samples: Vec<f64> = self
@@ -291,7 +341,11 @@ impl PowerTrace {
             .chunks_exact(group)
             .map(|c| c.iter().sum::<f64>() / group as f64)
             .collect();
-        Ok(PowerTrace { start: self.start, resolution: to, samples })
+        Ok(PowerTrace {
+            start: self.start,
+            resolution: to,
+            samples,
+        })
     }
 
     /// Verifies that `other` has the same start, resolution, and length.
@@ -307,7 +361,10 @@ impl PowerTrace {
             });
         }
         if self.start != other.start {
-            return Err(TraceError::StartMismatch { left: self.start, right: other.start });
+            return Err(TraceError::StartMismatch {
+                left: self.start,
+                right: other.start,
+            });
         }
         if self.samples.len() != other.samples.len() {
             return Err(TraceError::LengthMismatch {
@@ -352,12 +409,8 @@ mod tests {
 
     #[test]
     fn rejects_non_finite() {
-        let err = PowerTrace::new(
-            Timestamp::ZERO,
-            Resolution::ONE_MINUTE,
-            vec![1.0, f64::NAN],
-        )
-        .unwrap_err();
+        let err = PowerTrace::new(Timestamp::ZERO, Resolution::ONE_MINUTE, vec![1.0, f64::NAN])
+            .unwrap_err();
         assert_eq!(err, TraceError::InvalidSample { index: 1 });
     }
 
@@ -386,11 +439,21 @@ mod tests {
             a.checked_add(&b),
             Err(TraceError::ResolutionMismatch { .. })
         ));
-        let c = PowerTrace::new(Timestamp::from_secs(60), Resolution::ONE_MINUTE, vec![1.0, 2.0])
-            .unwrap();
-        assert!(matches!(a.checked_add(&c), Err(TraceError::StartMismatch { .. })));
+        let c = PowerTrace::new(
+            Timestamp::from_secs(60),
+            Resolution::ONE_MINUTE,
+            vec![1.0, 2.0],
+        )
+        .unwrap();
+        assert!(matches!(
+            a.checked_add(&c),
+            Err(TraceError::StartMismatch { .. })
+        ));
         let d = minute_trace(vec![1.0]);
-        assert!(matches!(a.checked_add(&d), Err(TraceError::LengthMismatch { .. })));
+        assert!(matches!(
+            a.checked_add(&d),
+            Err(TraceError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -435,12 +498,7 @@ mod tests {
 
     #[test]
     fn day_slice_extracts_whole_day() {
-        let two_days = PowerTrace::from_fn(
-            Timestamp::ZERO,
-            Resolution::ONE_HOUR,
-            48,
-            |i| i as f64,
-        );
+        let two_days = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_HOUR, 48, |i| i as f64);
         let d1 = two_days.day_slice(1);
         assert_eq!(d1.len(), 24);
         assert_eq!(d1.watts(0), 24.0);
@@ -459,7 +517,13 @@ mod tests {
     fn iter_yields_timestamps() {
         let t = minute_trace(vec![5.0, 6.0]);
         let pairs: Vec<_> = t.iter().collect();
-        assert_eq!(pairs, vec![(Timestamp::from_secs(0), 5.0), (Timestamp::from_secs(60), 6.0)]);
+        assert_eq!(
+            pairs,
+            vec![
+                (Timestamp::from_secs(0), 5.0),
+                (Timestamp::from_secs(60), 6.0)
+            ]
+        );
     }
 
     #[test]

@@ -45,12 +45,19 @@ fn main() {
 
     // The privacy punchline: laundry day, cooking habits, and TV time are
     // all visible, as the paper's job-ad figure gloats.
-    let dryer = estimates.iter().find(|e| e.name == "dryer").expect("tracked");
-    let laundry_days: Vec<u64> =
-        (0..7).filter(|&d| dryer.trace.day_slice(d).energy_kwh() > 0.5).collect();
+    let dryer = estimates
+        .iter()
+        .find(|e| e.name == "dryer")
+        .expect("tracked");
+    let laundry_days: Vec<u64> = (0..7)
+        .filter(|&d| dryer.trace.day_slice(d).energy_kwh() > 0.5)
+        .collect();
     println!("\n→ laundry day(s) this week: {laundry_days:?}");
     let tv = estimates.iter().find(|e| e.name == "tv").expect("tracked");
-    println!("→ hours of TV this week: {:.1}", tv.trace.energy_kwh() / 0.15);
+    println!(
+        "→ hours of TV this week: {:.1}",
+        tv.trace.energy_kwh() / 0.15
+    );
     let cooking: f64 = estimates
         .iter()
         .filter(|e| ["cooktop", "microwave", "toaster", "kettle"].contains(&e.name.as_str()))

@@ -22,7 +22,10 @@ fn main() {
     // Week 1: a passive observer (or the gateway) learns the traffic.
     let week1 = simulate_home_network(&inventory, &occupancy, 5, 1);
     let classifier = NaiveBayes::train(&labelled_examples(&week1, 5));
-    println!("trained on week 1 flow metadata ({} flows)\n", week1.flows.len());
+    println!(
+        "trained on week 1 flow metadata ({} flows)\n",
+        week1.flows.len()
+    );
 
     // Week 2: identify every device from metadata alone.
     let week2 = simulate_home_network(&inventory, &occupancy, 5, 2);
@@ -41,7 +44,12 @@ fn main() {
     let mut gateway = SmartGateway::new(GatewayPolicy::default());
     gateway.profile(&week1.flows, week1.horizon_secs);
     let mut week2_attacked = week2.clone();
-    inject_compromise(&mut week2_attacked.flows, 2, 86_400, week2_attacked.horizon_secs);
+    inject_compromise(
+        &mut week2_attacked.flows,
+        2,
+        86_400,
+        week2_attacked.horizon_secs,
+    );
     let verdicts = gateway.monitor(&week2_attacked.flows, week2_attacked.horizon_secs);
     println!("\ngateway verdicts after device 2 joins a DDoS:");
     let mut ids: Vec<_> = verdicts.keys().copied().collect();

@@ -75,7 +75,10 @@ fn battery_defense_blunts_nilm() {
     };
     let raw = mean_err(&home.meter);
     let masked = mean_err(&defended.trace);
-    assert!(masked > raw, "battery should hurt NILM: raw {raw:.3} vs masked {masked:.3}");
+    assert!(
+        masked > raw,
+        "battery should hurt NILM: raw {raw:.3} vs masked {masked:.3}"
+    );
 }
 
 #[test]

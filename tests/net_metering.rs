@@ -20,12 +20,8 @@ fn sundance_restores_niom_on_net_metered_home() {
     let p = GeoPoint::new(42.0, -72.0);
     let mut grid = WeatherGrid::new_region(p, 300.0, 4, 8);
     grid.extend_to(14, 8);
-    let solar = SolarSite::new(p, 5.0).generate(
-        14,
-        Resolution::ONE_MINUTE,
-        &grid,
-        &mut seeded_rng(8),
-    );
+    let solar =
+        SolarSite::new(p, 5.0).generate(14, Resolution::ONE_MINUTE, &grid, &mut seeded_rng(8));
     let net = home.meter.checked_sub(&solar).unwrap();
 
     // NIOM hourly scoring on the recovered consumption.
@@ -33,7 +29,10 @@ fn sundance_restores_niom_on_net_metered_home() {
     let attack = ThresholdDetector::default();
     let score = |trace: &iot_privacy_suite::timeseries::PowerTrace| {
         let hourly = trace.downsample(Resolution::ONE_HOUR).unwrap();
-        let detector = ThresholdDetector { window: 1, ..attack.clone() };
+        let detector = ThresholdDetector {
+            window: 1,
+            ..attack.clone()
+        };
         let inferred = detector.detect(&hourly);
         hourly_truth.confusion(&inferred).unwrap().mcc()
     };

@@ -1,8 +1,6 @@
 //! Property-based tests over the suite's core invariants.
 
-use iot_privacy_suite::loads::{
-    merge_overlapping, render_activations, Activation, ResistiveLoad,
-};
+use iot_privacy_suite::loads::{merge_overlapping, render_activations, Activation, ResistiveLoad};
 use iot_privacy_suite::privatemeter::{Opening, PedersenParams};
 use iot_privacy_suite::timeseries::labels::Confusion;
 use iot_privacy_suite::timeseries::{LabelSeries, PowerTrace, Resolution, Timestamp};

@@ -1,0 +1,246 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API this workspace's benches use
+//! ([`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`criterion_group!`], [`criterion_main!`],
+//! [`black_box`]) as a plain wall-clock harness: each benchmark runs a
+//! short calibration pass, then `sample_size` timed samples, and prints
+//! min/median/mean per iteration.
+//!
+//! Statistical machinery (outlier analysis, HTML reports, comparison with
+//! saved baselines) is intentionally absent.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim times one
+/// routine call per setup call regardless of variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured call.
+    PerIteration,
+}
+
+/// The benchmark registry and runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    /// Substring filter from the command line (`cargo bench -- <filter>`).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Configures this runner from `std::env::args` (bench name filter).
+    /// Called by [`criterion_main!`]; not part of the real criterion API.
+    #[doc(hidden)]
+    pub fn configure_from_args(mut self) -> Self {
+        // Cargo invokes bench binaries as `<bin> --bench [filter]`; any
+        // non-flag argument is a substring filter on benchmark names.
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Runs one benchmark: a calibration pass sizing iterations to roughly
+    /// 20ms per sample, then `sample_size` timed samples.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(f) = &self.filter {
+            if !name.contains(f.as_str()) {
+                return self;
+            }
+        }
+
+        // Calibrate: one un-timed run to find per-iteration cost.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let target = Duration::from_millis(20);
+        let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut bencher);
+            samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let min = samples_ns[0];
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        println!(
+            "{name:<44} min {:>12}  median {:>12}  mean {:>12}  ({} samples x {iters} iters)",
+            format_ns(min),
+            format_ns(median),
+            format_ns(mean),
+            self.sample_size,
+        );
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times closures inside one benchmark sample.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// Groups benchmark functions, mirroring criterion's `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+        #[doc(hidden)]
+        fn __criterion_config_for(name: &str) -> Option<$crate::Criterion> {
+            if name == stringify!($name) {
+                Some($config)
+            } else {
+                None
+            }
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point running the given groups, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $(
+                let config = __criterion_config_for(stringify!($group))
+                    .unwrap_or_default()
+                    .configure_from_args();
+                let mut criterion = config;
+                $group(&mut criterion);
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut calls = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| std::hint::black_box(3u64 * 7));
+            calls += 1;
+        });
+        // One calibration call plus two samples.
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: Some("match".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other/name", |_| ran = true);
+        assert!(!ran);
+        c.bench_function("does/match/this", |b| {
+            ran = true;
+            b.iter(|| 1u8);
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn formats_durations() {
+        assert_eq!(format_ns(12.3), "12.3 ns");
+        assert_eq!(format_ns(4_500.0), "4.50 us");
+        assert_eq!(format_ns(7_200_000.0), "7.20 ms");
+        assert_eq!(format_ns(1_500_000_000.0), "1.500 s");
+    }
+}

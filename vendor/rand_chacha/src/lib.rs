@@ -1,0 +1,186 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha8 keystream RNG.
+//!
+//! This is a full implementation of the ChaCha block function (Bernstein,
+//! 2008) with 8 rounds, exposing the [`ChaCha8Rng`] type the workspace
+//! seeds all of its experiments from. The keystream is a pure function of
+//! the 32-byte seed, so every simulation in the suite is reproducible from
+//! its root `u64` via [`rand::SeedableRng::seed_from_u64`].
+//!
+//! Word order note: output words are consumed in block order (the standard
+//! ChaCha serialization), `next_u64` takes the low half first.
+
+pub use rand::{RngCore, SeedableRng};
+
+/// Re-export mirroring `rand_chacha`'s public `rand_core` dependency.
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+const ROUNDS: usize = 8;
+const WORDS_PER_BLOCK: usize = 16;
+
+/// A ChaCha stream cipher RNG with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, key, counter, nonce.
+    state: [u32; WORDS_PER_BLOCK],
+    /// Current output keystream block.
+    buffer: [u32; WORDS_PER_BLOCK],
+    /// Next unconsumed word in `buffer`; `WORDS_PER_BLOCK` = exhausted.
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self.buffer.iter_mut().zip(working.iter().zip(&self.state)) {
+            *out = w.wrapping_add(s);
+        }
+        self.index = 0;
+        // 64-bit block counter in words 12..14.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+    }
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; WORDS_PER_BLOCK], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; WORDS_PER_BLOCK];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for (word, chunk) in state[4..12].iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            state,
+            buffer: [0; WORDS_PER_BLOCK],
+            index: WORDS_PER_BLOCK,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= WORDS_PER_BLOCK {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_u32().to_le_bytes();
+            for (d, s) in chunk.iter_mut().zip(bytes) {
+                *d = s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// IETF RFC 7539 test vector structure check: with the all-zero key and
+    /// 20 rounds the first block is a published constant. We run 8 rounds,
+    /// so instead verify the keystream against an independently computed
+    /// property: determinism, full-period word consumption, and block
+    /// chaining.
+    #[test]
+    fn deterministic_and_chained() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let first: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let again: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(first, again);
+        // Crossing the 16-word block boundary must not repeat output.
+        let mut seen = first.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 64, "keystream repeated within 4 blocks");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..10 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bytes_match_words() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let mut b = ChaCha8Rng::seed_from_u64(3);
+        let mut bytes = [0u8; 8];
+        a.fill_bytes(&mut bytes);
+        let w0 = b.next_u32().to_le_bytes();
+        let w1 = b.next_u32().to_le_bytes();
+        assert_eq!(&bytes[..4], &w0);
+        assert_eq!(&bytes[4..], &w1);
+    }
+
+    #[test]
+    fn counter_carries_across_blocks() {
+        // Consuming >2^4 blocks exercises the word-12 increment; just
+        // check a long stream has sane statistics (mean of unit floats).
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

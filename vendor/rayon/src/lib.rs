@@ -1,0 +1,217 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Covers the subset the workspace uses: `par_iter()` / `into_par_iter()`
+//! on slices, `Vec`, and integer ranges, followed by `.map(...)` and
+//! `.collect()` / `.for_each(...)`.
+//!
+//! Unlike real rayon there is no global work-stealing pool: each `map`
+//! runs eagerly on a scoped pool of OS threads pulling `(index, item)`
+//! pairs from a shared queue, and results are merged back **in index
+//! order**. That makes every adapter chain produce output identical to
+//! the equivalent serial iterator regardless of thread count — the
+//! property the fleet engine's determinism tests rely on.
+//!
+//! Thread count is `RAYON_NUM_THREADS` if set (a value of 1 forces the
+//! serial path), otherwise `std::thread::available_parallelism()`.
+
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel map will use.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Applies `f` to every item on a scoped thread pool, returning results
+/// in input order.
+///
+/// Items are handed out one at a time from a shared queue, so uneven
+/// per-item cost load-balances naturally. A panic in `f` propagates to
+/// the caller when the scope joins.
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let done = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let next = queue.lock().expect("queue poisoned").next();
+                    match next {
+                        Some((index, item)) => local.push((index, f(item))),
+                        None => break,
+                    }
+                }
+                done.lock().expect("results poisoned").extend(local);
+            });
+        }
+    });
+
+    let mut merged = done.into_inner().expect("results poisoned");
+    merged.sort_unstable_by_key(|(index, _)| *index);
+    merged.into_iter().map(|(_, value)| value).collect()
+}
+
+/// An eager parallel iterator: adapters run immediately and buffer their
+/// output, preserving input order.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map preserving input order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    /// Runs `f` on every item in parallel, discarding results.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map(self.items, f);
+    }
+
+    /// Drains the buffered results into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// Item type of the produced iterator.
+    type Item: Send;
+
+    /// Converts `self` into an eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),* $(,)?) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u32, u64, usize);
+
+/// Conversion into a [`ParIter`] over references (`par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Reference item type.
+    type Item: Send;
+
+    /// Parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Rayon-style prelude: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<u64> = (0u64..200).into_par_iter().map(|i| i * i).collect();
+        let expected: Vec<u64> = (0u64..200).map(|i| i * i).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let words = vec!["a".to_string(), "bb".into(), "ccc".into()];
+        let lens: Vec<usize> = words.par_iter().map(|w| w.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        let out: Vec<u64> = (0u64..64)
+            .into_par_iter()
+            .map(|i| {
+                // Make early items slow so late items finish first.
+                if i < 8 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                i
+            })
+            .collect();
+        assert_eq!(out, (0u64..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn for_each_runs_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        (0usize..100).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+}

@@ -1,0 +1,65 @@
+//! Offline stand-in for `serde`, specialised to the needs of this
+//! workspace.
+//!
+//! Instead of serde's zero-copy visitor architecture, types convert to and
+//! from an owned JSON [`Value`] tree — a deliberate simplification: every
+//! serialization in this repo is small experiment metadata, never a hot
+//! path. The public surface mirrors real serde where the workspace touches
+//! it: `use serde::{Serialize, Deserialize}` imports both the traits and
+//! the derive macros, and the companion `serde_json` crate provides
+//! `json!`, `to_string`, `to_string_pretty`, and `from_str`.
+//!
+//! Derive support covers the shapes the workspace uses: structs with named
+//! fields, tuple/newtype structs, and enums with unit variants.
+
+mod impls;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+/// Serialization error (also used by `serde_json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// Wraps an error with the path element that produced it.
+    pub fn context(path: &str, inner: Error) -> Self {
+        Error {
+            message: format!("{path}: {}", inner.message),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can serialize itself into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `value` into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error describing the first structural mismatch.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}

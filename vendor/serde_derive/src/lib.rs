@@ -1,0 +1,342 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored value-tree `serde` crate, without `syn`/`quote`: the input
+//! token stream is walked by hand and the generated impl is assembled as a
+//! string. Supported shapes — the only ones this workspace uses:
+//!
+//! * structs with named fields → JSON objects in field order,
+//! * newtype structs (one unnamed field) → transparent,
+//! * tuple structs (several unnamed fields) → JSON arrays,
+//! * enums whose variants all carry no data → JSON strings.
+//!
+//! `#[serde(...)]` attributes are not supported and are rejected loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+fn expand(input: TokenStream, direction: Direction) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => generate(&name, &shape, direction)
+            .parse()
+            .expect("generated impl parses"),
+        Err(message) => format!("compile_error!({message:?});")
+            .parse()
+            .expect("error tokens parse"),
+    }
+}
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility; find `struct` or `enum`.
+    let mut is_enum = false;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' then the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            Some(_) => i += 1,
+            None => return Err("derive input has no struct or enum".to_string()),
+        }
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".to_string()),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde derive does not support generics (on `{name}`)"
+            ));
+        }
+    }
+
+    if is_enum {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            _ => return Err(format!("expected enum body for `{name}`")),
+        };
+        return Ok((name, Shape::UnitEnum(parse_unit_variants(body)?)));
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream())?;
+            Ok((name, Shape::Named(fields)))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = count_tuple_fields(g.stream());
+            Ok((name, Shape::Tuple(arity)))
+        }
+        _ => Err(format!(
+            "unsupported struct shape for `{name}` (unit structs are not serialized)"
+        )),
+    }
+}
+
+/// Field names of a brace-delimited struct body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        fields.push(name);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a paren-delimited tuple struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut arity = 0;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tok in body {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        arity += 1; // no trailing comma
+    }
+    arity
+}
+
+/// Variant names of an all-unit enum body.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                _ => break,
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "vendored serde derive supports only unit enum variants (`{name}` carries data)"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!("explicit discriminants are unsupported (`{name}`)"));
+            }
+            Some(other) => return Err(format!("unexpected token after `{name}`: `{other}`")),
+            None => {}
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn generate(name: &str, shape: &Shape, direction: Direction) -> String {
+    match direction {
+        Direction::Serialize => generate_serialize(name, shape),
+        Direction::Deserialize => generate_deserialize(name, shape),
+    }
+}
+
+fn generate_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut body = String::from("let mut map = ::serde::Map::new();\n");
+            for field in fields {
+                body.push_str(&format!(
+                    "map.insert({field:?}.to_string(), \
+                     ::serde::Serialize::to_value(&self.{field}));\n"
+                ));
+            }
+            body.push_str("::serde::Value::Object(map)");
+            body
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "::serde::Value::String(match self {{ {} }}.to_string())",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn generate_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut body = format!(
+                "let obj = value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\"expected object for {name}, got {{value}}\")))?;\n\
+                 Ok({name} {{\n"
+            );
+            for field in fields {
+                body.push_str(&format!(
+                    "{field}: ::serde::Deserialize::from_value(\
+                     obj.get({field:?}).unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| ::serde::Error::context(\"{name}.{field}\", e))?,\n"
+                ));
+            }
+            body.push_str("})");
+            body
+        }
+        Shape::Tuple(1) => format!(
+            "Ok({name}(::serde::Deserialize::from_value(value)\
+             .map_err(|e| ::serde::Error::context({name:?}, e))?))"
+        ),
+        Shape::Tuple(arity) => {
+            let mut body = format!(
+                "let items = value.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\"expected array for {name}, got {{value}}\")))?;\n\
+                 if items.len() != {arity} {{\n\
+                     return Err(::serde::Error::custom(format!(\
+                         \"expected {arity} elements for {name}, got {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok({name}(\n"
+            );
+            for i in 0..*arity {
+                body.push_str(&format!(
+                    "::serde::Deserialize::from_value(&items[{i}])\
+                     .map_err(|e| ::serde::Error::context(\"{name}.{i}\", e))?,\n"
+                ));
+            }
+            body.push_str("))");
+            body
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "let tag = value.as_str().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\"expected string for {name}, got {{value}}\")))?;\n\
+                 match tag {{\n{}\n\
+                 other => Err(::serde::Error::custom(format!(\
+                     \"unknown {name} variant {{other:?}}\"))),\n}}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

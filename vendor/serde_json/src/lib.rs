@@ -1,0 +1,198 @@
+//! Offline stand-in for `serde_json` over the vendored value-tree `serde`.
+//!
+//! Provides the pieces the workspace uses: [`json!`], [`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`to_value`], and the [`Value`]
+//! tree re-exported from `serde`.
+
+mod parse;
+
+pub use parse::from_str_value;
+pub use serde::{Error, Map, Number, Value};
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the vendored value model; the `Result` mirrors the real
+/// `serde_json` signature so call sites stay portable.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_compact())
+}
+
+/// Serializes `value` to pretty JSON with two-space indentation.
+///
+/// # Errors
+///
+/// Never fails for the vendored value model (see [`to_string`]).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_pretty())
+}
+
+/// Converts any serializable value to a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a structural mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::from_str_value(text)?;
+    T::from_value(&value)
+}
+
+/// Builds a [`Value`] with JSON literal syntax, interpolating Rust
+/// expressions, like `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+/// Implementation detail of [`json!`] (a token-tree muncher in the style
+/// of the real `serde_json`). Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ------------------------------------------------ array accumulation
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        vec![$($elems),*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ----------------------------------------------- object accumulation
+    // (@object $map (key tokens) (remaining tokens) (copy of remaining))
+    (@object $object:ident () () ()) => {};
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    // ------------------------------------------------------- main entry
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(vec![])
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn literals_and_interpolation() {
+        let name = "fridge";
+        let err = 0.25f64;
+        let v = json!({
+            "device": name,
+            "error": err,
+            "count": 3,
+            "nested": { "ok": true, "list": [1, 2.5, "x", null] },
+        });
+        assert_eq!(
+            v.render_compact(),
+            r#"{"device":"fridge","error":0.25,"count":3,"nested":{"ok":true,"list":[1,2.5,"x",null]}}"#
+        );
+    }
+
+    #[test]
+    fn expressions_with_paths_and_calls() {
+        struct P {
+            error_factor: f64,
+        }
+        let p = P { error_factor: 0.5 };
+        let xs = [1.0f64, 2.0];
+        let v = json!({
+            "e": p.error_factor,
+            "sum": xs.iter().sum::<f64>(),
+            "vec": (0..3).map(|i| json!(i)).collect::<Vec<_>>(),
+        });
+        assert_eq!(v.render_compact(), r#"{"e":0.5,"sum":3.0,"vec":[0,1,2]}"#);
+    }
+
+    #[test]
+    fn round_trip_through_parser() {
+        let v = json!({"a": [1, -2, 3.5], "b": {"c": "d\ne"}, "n": null});
+        let text = crate::to_string(&v).unwrap();
+        let back: crate::Value = crate::from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,299 @@
+//! A strict recursive-descent JSON parser.
+
+use serde::{Error, Map, Number, Value};
+
+/// Parses JSON text into a [`Value`].
+///
+/// # Errors
+///
+/// Returns an error with byte position on malformed input.
+pub fn from_str_value(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> Error {
+        Error::custom(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.error(&format!("unexpected `{}`", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1; // past 'u'
+                            let first = self.parse_hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&first) {
+                                // Surrogate pair: expect `\uXXXX` low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let second = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&second) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00)
+                            } else {
+                                first
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid escape code point"))?,
+                            );
+                            continue; // pos already past the escape
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let text =
+                        std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = text.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    /// Parses exactly four hex digits starting at `pos`, leaving `pos`
+    /// after them.
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let code = u32::from_str_radix(digits, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(v) = stripped.parse::<u64>() {
+                    if let Ok(neg) = i64::try_from(v) {
+                        return Ok(Value::Number(Number::NegInt(-neg)));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::Float(v)))
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str_value("null").unwrap(), Value::Null);
+        assert_eq!(from_str_value(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(
+            from_str_value("42").unwrap(),
+            Value::Number(Number::PosInt(42))
+        );
+        assert_eq!(
+            from_str_value("-7").unwrap(),
+            Value::Number(Number::NegInt(-7))
+        );
+        assert_eq!(
+            from_str_value("1.5e2").unwrap(),
+            Value::Number(Number::Float(150.0))
+        );
+        assert_eq!(
+            from_str_value(r#""a\nb""#).unwrap(),
+            Value::String("a\nb".into())
+        );
+    }
+
+    #[test]
+    fn parses_structures() {
+        let v = from_str_value(r#"{"a": [1, 2], "b": {"c": null}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert!(v.get("b").unwrap().get("c").unwrap().is_null());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(from_str_value(r#""A""#).unwrap(), Value::String("A".into()));
+        // Raw UTF-8 and the escaped surrogate pair for 😀 (U+1F600).
+        assert_eq!(
+            from_str_value(r#""😀""#).unwrap(),
+            Value::String("😀".into())
+        );
+        assert_eq!(
+            from_str_value("\"\\uD83D\\uDE00\"").unwrap(),
+            Value::String("😀".into())
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str_value("{").is_err());
+        assert!(from_str_value("[1,]").is_err());
+        assert!(from_str_value("nulla").is_err());
+        assert!(from_str_value("\"unterminated").is_err());
+    }
+}
