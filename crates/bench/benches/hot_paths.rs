@@ -42,6 +42,19 @@ fn bench_hot_paths(c: &mut Criterion) {
     c.bench_function("fleet/10_homes_1_day", |b| {
         b.iter(|| run_fleet(10, 7, |seed| EnergyScenario::new(seed).days(1)))
     });
+
+    // Same fleet with the obs layer recording — the measured number backs
+    // the <2 % overhead budget in docs/OBSERVABILITY.md. The per-iteration
+    // reset keeps registry memory flat across criterion's iteration loop.
+    c.bench_function("fleet/10_homes_1_day_metrics_on", |b| {
+        iot_privacy::obs::enable();
+        b.iter(|| {
+            iot_privacy::obs::reset();
+            run_fleet(10, 7, |seed| EnergyScenario::new(seed).days(1))
+        });
+        iot_privacy::obs::disable();
+        iot_privacy::obs::reset();
+    });
 }
 
 criterion_group!(hot_paths, bench_hot_paths);

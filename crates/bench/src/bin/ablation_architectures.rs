@@ -1,7 +1,7 @@
 //! Section III-D ablation: data-minimizing architectures vs what the cloud
 //! can still learn — the local-first principle made quantitative.
 
-use bench::{maybe_write_json, print_table, BenchArgs};
+use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
 use iot_privacy::defense::{exposure, Architecture};
 use iot_privacy::homesim::{Home, HomeConfig};
 
@@ -51,4 +51,5 @@ fn main() {
         }),
     )
     .expect("write json output");
+    maybe_write_metrics(&args).expect("write metrics output");
 }

@@ -2,7 +2,7 @@
 //! thermal-budget tradeoff DESIGN.md calls out (a faster cadence masks
 //! better until the tank saturates).
 
-use bench::{maybe_write_json, print_table, BenchArgs};
+use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
 use iot_privacy::defense::{Chpr, Defense};
 use iot_privacy::homesim::{Home, HomeConfig};
 use iot_privacy::niom::{OccupancyDetector, ThresholdDetector};
@@ -53,4 +53,5 @@ fn main() {
         &serde_json::json!({"experiment": "ablation_chpr_tank", "points": json}),
     )
     .expect("write json output");
+    maybe_write_metrics(&args).expect("write metrics output");
 }

@@ -1,7 +1,7 @@
 //! Section III-A ablation: differential privacy's utility/privacy tradeoff
 //! for released neighbourhood aggregates.
 
-use bench::{maybe_write_json, print_table, BenchArgs};
+use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
 use iot_privacy::homesim::{Home, HomeConfig};
 use iot_privacy::privatemeter::laplace_mechanism;
 use iot_privacy::timeseries::rng::seeded_rng;
@@ -51,4 +51,5 @@ fn main() {
         &serde_json::json!({"experiment": "ablation_dp_tradeoff", "points": json}),
     )
     .expect("write json output");
+    maybe_write_metrics(&args).expect("write metrics output");
 }

@@ -1,7 +1,7 @@
 //! NILM design ablation: disaggregation error vs meter noise for both
 //! PowerPlay and FHMM (robustness comparison behind Figure 2's claim).
 
-use bench::{maybe_write_json, print_table, BenchArgs};
+use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
 use iot_privacy::homesim::{Home, HomeConfig, SmartMeter};
 use iot_privacy::loads::Catalogue;
 use iot_privacy::nilm::{
@@ -88,4 +88,5 @@ fn main() {
         &serde_json::json!({"experiment": "ablation_nilm_noise", "points": json}),
     )
     .expect("write json output");
+    maybe_write_metrics(&args).expect("write metrics output");
 }

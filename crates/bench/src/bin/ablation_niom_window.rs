@@ -1,6 +1,6 @@
 //! NIOM design ablation: detection accuracy vs analysis window length.
 
-use bench::{maybe_write_json, print_table, BenchArgs};
+use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
 use iot_privacy::homesim::{Home, HomeConfig};
 use iot_privacy::niom::{evaluate, ThresholdDetector};
 
@@ -51,4 +51,5 @@ fn main() {
         &serde_json::json!({"experiment": "ablation_niom_window", "points": json}),
     )
     .expect("write json output");
+    maybe_write_metrics(&args).expect("write metrics output");
 }

@@ -1,7 +1,7 @@
 //! Section III-E ablation: the user-controllable privacy knob — CHPr
 //! masking effort swept from 0 to 1, tracing the privacy/utility curve.
 
-use bench::{maybe_write_json, print_table, BenchArgs};
+use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
 use iot_privacy::defense::PrivacyKnob;
 use iot_privacy::homesim::{Home, HomeConfig};
 use iot_privacy::niom::ThresholdDetector;
@@ -59,4 +59,5 @@ fn main() {
         }),
     )
     .expect("write json output");
+    maybe_write_metrics(&args).expect("write metrics output");
 }

@@ -5,7 +5,7 @@
 //! personas, and activity intensities) and reports the accuracy
 //! distribution.
 
-use bench::{maybe_write_json, print_table, BenchArgs};
+use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
 use iot_privacy::homesim::{Home, HomeConfig, Persona};
 use iot_privacy::niom::{
     evaluate, HmmDetector, LogisticDetector, OccupancyDetector, ThresholdDetector,
@@ -79,4 +79,5 @@ fn main() {
         &serde_json::json!({ "experiment": "claim_niom_accuracy", "runs": json }),
     )
     .expect("write json output");
+    maybe_write_metrics(&args).expect("write metrics output");
 }

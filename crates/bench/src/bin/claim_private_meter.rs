@@ -1,7 +1,7 @@
 //! Section III-C claim: a meter can prove its bill without revealing any
 //! interval readings — and a cheating meter is caught.
 
-use bench::{maybe_write_json, print_table, BenchArgs};
+use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
 use iot_privacy::homesim::{Home, HomeConfig};
 use iot_privacy::privatemeter::{MeterProver, PedersenParams, UtilityVerifier};
 use iot_privacy::timeseries::rng::seeded_rng;
@@ -72,4 +72,5 @@ fn main() {
         }),
     )
     .expect("write json output");
+    maybe_write_metrics(&args).expect("write metrics output");
 }

@@ -2,7 +2,7 @@
 //! consumption and solar generation", defeating net-metering as an
 //! anonymity layer.
 
-use bench::{maybe_write_json, print_table, BenchArgs};
+use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
 use iot_privacy::solar::{GeoPoint, SolarSite, SunDance, WeatherGrid};
 use iot_privacy::timeseries::rng::seeded_rng;
 use iot_privacy::timeseries::stats::rmse;
@@ -71,4 +71,5 @@ fn main() {
         &serde_json::json!({ "experiment": "claim_sundance", "sites": json }),
     )
     .expect("write json output");
+    maybe_write_metrics(&args).expect("write metrics output");
 }

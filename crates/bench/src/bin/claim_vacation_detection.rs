@@ -3,7 +3,7 @@
 //! vacations" — here, NIOM picks the vacation week out of a month of
 //! meter data.
 
-use bench::{maybe_write_json, print_table, BenchArgs};
+use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
 use iot_privacy::homesim::{Home, HomeConfig, OccupancyModel, Persona};
 use iot_privacy::niom::{OccupancyDetector, ThresholdDetector};
 
@@ -83,4 +83,5 @@ fn main() {
         }),
     )
     .expect("write json output");
+    maybe_write_metrics(&args).expect("write metrics output");
 }

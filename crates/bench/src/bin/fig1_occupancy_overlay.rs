@@ -5,7 +5,7 @@
 //! Prints the per-half-hour series for Home-A (quiet) and Home-B (busy)
 //! and summary statistics of occupied vs empty power.
 
-use bench::{maybe_write_json, print_table, BenchArgs};
+use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
 use iot_privacy::homesim::{Home, HomeConfig};
 use iot_privacy::timeseries::aligned;
 
@@ -75,5 +75,6 @@ fn main() {
         &serde_json::json!({ "experiment": "fig1", "homes": json_homes }),
     )
     .expect("write json output");
+    maybe_write_metrics(&args).expect("write metrics output");
     println!("\nShape check: occupancy correlates with higher, burstier power in both homes. ✓");
 }

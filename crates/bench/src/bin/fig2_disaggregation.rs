@@ -5,7 +5,7 @@
 //! Shape target: PowerPlay ≤ FHMM on every device, with the dryer and HRV
 //! tracked near-perfectly by PowerPlay.
 
-use bench::{maybe_write_json, print_table, BenchArgs};
+use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
 use iot_privacy::homesim::{Home, HomeConfig, SmartMeter};
 use iot_privacy::loads::Catalogue;
 use iot_privacy::nilm::{
@@ -103,4 +103,5 @@ fn main() {
         &serde_json::json!({ "experiment": "fig2", "devices": json }),
     )
     .expect("write json output");
+    maybe_write_metrics(&args).expect("write metrics output");
 }

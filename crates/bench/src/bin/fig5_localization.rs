@@ -6,7 +6,7 @@
 //! worse outliers; Weatherman is within a few km on all sites despite the
 //! coarser data.
 
-use bench::{maybe_write_json, print_table, BenchArgs};
+use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
 use iot_privacy::solar::{GeoPoint, SolarSite, SunSpot, WeatherGrid, Weatherman};
 use iot_privacy::timeseries::rng::seeded_rng;
 use iot_privacy::timeseries::Resolution;
@@ -104,4 +104,5 @@ fn main() {
         &serde_json::json!({ "experiment": "fig5", "sites": json }),
     )
     .expect("write json output");
+    maybe_write_metrics(&args).expect("write metrics output");
 }

@@ -1,7 +1,7 @@
 //! Figure 6: a week of home power before and after CHPr, with the NIOM
 //! attack's MCC on both (paper: 0.44 → 0.045, a ~10× drop to near-random).
 
-use bench::{maybe_write_json, print_table, BenchArgs};
+use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
 use iot_privacy::defense::{Chpr, Defense};
 use iot_privacy::homesim::{Home, HomeConfig};
 use iot_privacy::niom::{OccupancyDetector, ThresholdDetector};
@@ -69,4 +69,5 @@ fn main() {
         }),
     )
     .expect("write json output");
+    maybe_write_metrics(&args).expect("write metrics output");
 }

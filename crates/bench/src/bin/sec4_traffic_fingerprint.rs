@@ -2,7 +2,7 @@
 //! from flow metadata alone; the smart gateway catches compromised devices;
 //! traffic shaping blunts the fingerprinting at a bandwidth cost.
 
-use bench::{maybe_write_json, print_table, BenchArgs};
+use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
 use iot_privacy::netsim::{
     fingerprint::{accuracy, labelled_examples, Knn},
     gateway::inject_compromise,
@@ -130,4 +130,5 @@ fn main() {
         }),
     )
     .expect("write json output");
+    maybe_write_metrics(&args).expect("write metrics output");
 }

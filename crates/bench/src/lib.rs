@@ -2,8 +2,15 @@
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper
 //! (see DESIGN.md's experiment index). Binaries print aligned text tables
-//! to stdout and, when `--json <path>` is given, also write
-//! machine-readable results.
+//! to stdout and accept two flags, both parsed by [`BenchArgs`]:
+//!
+//! * `--json <path>` — also write machine-readable results;
+//! * `--metrics <path>` — enable the [`obs`] observability layer and
+//!   write a per-stage metrics sidecar (schema documented in
+//!   `docs/OBSERVABILITY.md`) when the binary exits through
+//!   [`maybe_write_metrics`].
+//!
+//! Anything else on the command line is a loud usage error.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -36,18 +43,35 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// The usage string shared by every experiment binary, printed on any
+/// malformed invocation.
+pub const USAGE: &str = "usage: <experiment> [--json <path>] [--metrics <path>]
+  --json <path>     also write machine-readable results to <path>
+  --metrics <path>  enable the observability layer and write a metrics
+                    sidecar (per-stage timings and counters) to <path>";
+
 /// A malformed experiment command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ArgsError {
     /// `--json` was given without a following path.
     MissingJsonPath,
+    /// `--metrics` was given without a following path.
+    MissingMetricsPath,
+    /// An argument no experiment binary understands.
+    UnknownArg(String),
 }
 
 impl std::fmt::Display for ArgsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ArgsError::MissingJsonPath => {
-                write!(f, "--json requires a path argument (usage: --json <path>)")
+                write!(f, "--json requires a path argument\n{USAGE}")
+            }
+            ArgsError::MissingMetricsPath => {
+                write!(f, "--metrics requires a path argument\n{USAGE}")
+            }
+            ArgsError::UnknownArg(arg) => {
+                write!(f, "unrecognized argument '{arg}'\n{USAGE}")
             }
         }
     }
@@ -60,6 +84,8 @@ impl std::error::Error for ArgsError {}
 pub struct BenchArgs {
     /// Where to write machine-readable results, from `--json <path>`.
     pub json_path: Option<PathBuf>,
+    /// Where to write the metrics sidecar, from `--metrics <path>`.
+    pub metrics_path: Option<PathBuf>,
 }
 
 impl BenchArgs {
@@ -67,7 +93,8 @@ impl BenchArgs {
     ///
     /// # Errors
     ///
-    /// Returns an error if `--json` appears without a path.
+    /// Returns an error if `--json` or `--metrics` appears without a
+    /// path, or on any argument that is not one of those flags.
     pub fn parse() -> Result<BenchArgs, ArgsError> {
         BenchArgs::from_slice(&std::env::args().skip(1).collect::<Vec<_>>())
     }
@@ -76,36 +103,65 @@ impl BenchArgs {
     ///
     /// # Errors
     ///
-    /// Returns an error if `--json` appears without a path.
+    /// Returns an error if `--json` or `--metrics` appears without a
+    /// path, or on any argument that is not one of those flags.
     pub fn from_slice(args: &[String]) -> Result<BenchArgs, ArgsError> {
         let mut parsed = BenchArgs::default();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
-            if arg == "--json" {
-                match it.next() {
+            match arg.as_str() {
+                "--json" => match it.next() {
                     Some(path) if !path.starts_with("--") => {
                         parsed.json_path = Some(PathBuf::from(path));
                     }
                     _ => return Err(ArgsError::MissingJsonPath),
-                }
+                },
+                "--metrics" => match it.next() {
+                    Some(path) if !path.starts_with("--") => {
+                        parsed.metrics_path = Some(PathBuf::from(path));
+                    }
+                    _ => return Err(ArgsError::MissingMetricsPath),
+                },
+                other => return Err(ArgsError::UnknownArg(other.to_string())),
             }
         }
         Ok(parsed)
     }
 
-    /// Parses the process command line, printing the error to stderr and
-    /// exiting with status 2 on a malformed invocation.
+    /// Parses the process command line, printing the error (with the
+    /// usage string) to stderr and exiting with status 2 on a malformed
+    /// invocation. When `--metrics` was requested, turns the global
+    /// [`obs`] registry on so the run records from its first stage.
     pub fn parse_or_exit() -> BenchArgs {
-        BenchArgs::parse().unwrap_or_else(|e| {
+        let args = BenchArgs::parse().unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(2);
-        })
+        });
+        if args.metrics_path.is_some() {
+            obs::enable();
+            obs::reset();
+        }
+        args
     }
 
     /// The `--json` output path, if one was requested.
     pub fn json_path(&self) -> Option<&Path> {
         self.json_path.as_deref()
     }
+
+    /// The `--metrics` sidecar path, if one was requested.
+    pub fn metrics_path(&self) -> Option<&Path> {
+        self.metrics_path.as_deref()
+    }
+}
+
+fn create_parent_dirs(path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    Ok(())
 }
 
 /// Writes `value` as pretty JSON to the path parsed from `--json`, if one
@@ -118,15 +174,29 @@ pub fn maybe_write_json(args: &BenchArgs, value: &serde_json::Value) -> std::io:
     let Some(path) = args.json_path() else {
         return Ok(());
     };
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir)?;
-        }
-    }
+    create_parent_dirs(path)?;
     let mut f = std::fs::File::create(path)?;
     let rendered = serde_json::to_string_pretty(value)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     write!(f, "{rendered}")?;
+    println!("(wrote {})", path.display());
+    Ok(())
+}
+
+/// Snapshots the global [`obs`] registry and writes it, as pretty
+/// deterministic JSON, to the path parsed from `--metrics`; a no-op when
+/// the flag was absent. Every experiment binary calls this on exit.
+///
+/// # Errors
+///
+/// Returns the I/O error if the file cannot be created or written.
+pub fn maybe_write_metrics(args: &BenchArgs) -> std::io::Result<()> {
+    let Some(path) = args.metrics_path() else {
+        return Ok(());
+    };
+    create_parent_dirs(path)?;
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "{}", obs::snapshot().to_json_pretty())?;
     println!("(wrote {})", path.display());
     Ok(())
 }
@@ -157,6 +227,18 @@ mod tests {
     }
 
     #[test]
+    fn parses_metrics_flag_alone_and_with_json() {
+        let args = BenchArgs::from_slice(&strings(&["--metrics", "m.json"])).unwrap();
+        assert_eq!(args.metrics_path, Some(PathBuf::from("m.json")));
+        assert_eq!(args.json_path, None);
+
+        let both =
+            BenchArgs::from_slice(&strings(&["--json", "r.json", "--metrics", "m.json"])).unwrap();
+        assert_eq!(both.json_path, Some(PathBuf::from("r.json")));
+        assert_eq!(both.metrics_path, Some(PathBuf::from("m.json")));
+    }
+
+    #[test]
     fn trailing_json_flag_is_an_error() {
         assert_eq!(
             BenchArgs::from_slice(&strings(&["--json"])),
@@ -164,14 +246,41 @@ mod tests {
         );
         // A flag is not a path either.
         assert_eq!(
-            BenchArgs::from_slice(&strings(&["--json", "--verbose"])),
+            BenchArgs::from_slice(&strings(&["--json", "--metrics"])),
             Err(ArgsError::MissingJsonPath)
+        );
+        assert_eq!(
+            BenchArgs::from_slice(&strings(&["--metrics"])),
+            Err(ArgsError::MissingMetricsPath)
+        );
+    }
+
+    #[test]
+    fn unknown_arguments_are_loud_errors() {
+        let err = BenchArgs::from_slice(&strings(&["--verbose"])).unwrap_err();
+        assert_eq!(err, ArgsError::UnknownArg("--verbose".to_string()));
+        // The rendered error carries the usage string naming both flags.
+        let msg = err.to_string();
+        assert!(msg.contains("unrecognized argument '--verbose'"));
+        assert!(msg.contains("--json <path>"));
+        assert!(msg.contains("--metrics <path>"));
+
+        // Stray positional arguments are rejected too.
+        assert_eq!(
+            BenchArgs::from_slice(&strings(&["out.json"])),
+            Err(ArgsError::UnknownArg("out.json".to_string()))
+        );
+        // ... even after a well-formed flag.
+        assert_eq!(
+            BenchArgs::from_slice(&strings(&["--json", "a.json", "extra"])),
+            Err(ArgsError::UnknownArg("extra".to_string()))
         );
     }
 
     #[test]
     fn no_path_is_a_no_op() {
         maybe_write_json(&BenchArgs::default(), &serde_json::json!({"x": 1})).unwrap();
+        maybe_write_metrics(&BenchArgs::default()).unwrap();
     }
 
     #[test]
@@ -181,10 +290,29 @@ mod tests {
         let path = dir.join("nested").join("out.json");
         let args = BenchArgs {
             json_path: Some(path.clone()),
+            metrics_path: None,
         };
         maybe_write_json(&args, &serde_json::json!({"ok": true})).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"ok\": true"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writes_metrics_sidecar() {
+        let dir = std::env::temp_dir().join("bench_metrics_test_dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("run.metrics.json");
+        obs::enable();
+        obs::counter_add("benchtest.stage.items", 5);
+        let args = BenchArgs {
+            json_path: None,
+            metrics_path: Some(path.clone()),
+        };
+        maybe_write_metrics(&args).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"schema\": \"iot-privacy.metrics.v1\""));
+        assert!(text.contains("\"benchtest.stage.items\": 5"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

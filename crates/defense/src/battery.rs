@@ -38,6 +38,8 @@ impl Default for BatteryLeveler {
 
 impl Defense for BatteryLeveler {
     fn apply(&self, meter: &PowerTrace, _rng: &mut SeededRng) -> Defended {
+        let _span = obs::span("defense.battery.apply");
+        obs::counter_add("defense.battery.samples", meter.len() as u64);
         let res_h = meter.resolution().as_hours();
         let mut soc_kwh = self.capacity_kwh / 2.0;
         let mut target = meter.mean_watts();

@@ -71,6 +71,8 @@ impl Chpr {
 
 impl Defense for Chpr {
     fn apply(&self, meter: &PowerTrace, rng: &mut SeededRng) -> Defended {
+        let _span = obs::span("defense.chpr.apply");
+        obs::counter_add("defense.chpr.samples", meter.len() as u64);
         let res = meter.resolution().as_secs() as f64;
         let n = meter.len();
         let mut heater = self.heater;

@@ -129,8 +129,11 @@ pub struct Home {
 impl Home {
     /// Runs the simulation described by `config`.
     ///
-    /// Deterministic: equal configurations produce equal homes.
+    /// Deterministic: equal configurations produce equal homes. When the
+    /// [`obs`] layer is enabled, records the `homesim.simulate` span and
+    /// the `homesim.simulate.{homes,samples}` counters.
     pub fn simulate(config: &HomeConfig) -> Home {
+        let _span = obs::span("homesim.simulate");
         let len = config.resolution.samples_in(config.days * 86_400);
         let start = Timestamp::ZERO;
 
@@ -194,6 +197,8 @@ impl Home {
                 .expect("meter resolution divides simulation resolution")
         };
 
+        obs::counter_add("homesim.simulate.homes", 1);
+        obs::counter_add("homesim.simulate.samples", meter.len() as u64);
         Home {
             meter,
             aggregate,

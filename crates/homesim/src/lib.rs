@@ -17,6 +17,12 @@
 //! attacks can be scored exactly — something the paper's real deployments
 //! needed manual annotation for.
 //!
+//! **Paper anchor:** Section II-A's instrumented homes — the Home-A/Home-B
+//! day of Figure 1, the "all circuits" 13-appliance week behind Figure 2,
+//! and the week of meter data CHPr defends in Figure 6 all come from this
+//! simulator. When the [`obs`] layer is enabled, [`Home::simulate`]
+//! records the `homesim.simulate` span and sample counters.
+//!
 //! # Examples
 //!
 //! ```

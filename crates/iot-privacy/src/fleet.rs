@@ -115,16 +115,38 @@ pub fn home_seed(root: u64, index: usize) -> u64 {
 /// scenario; it runs on worker threads, so it must be `Sync` and should
 /// not share mutable state.
 ///
+/// When the [`obs`] layer is enabled, records the `fleet.run`
+/// span, the per-home `fleet.home` timing distribution (whose snapshot
+/// summary gives mean/p50/p95 seconds per home), and the `fleet.homes`
+/// counter; each home additionally records its own `scenario.*` stage
+/// spans. Observation never feeds back into results, so metrics-enabled
+/// runs stay byte-identical to the serial reference.
+///
 /// # Panics
 ///
 /// Panics if `homes` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use iot_privacy::scenario::EnergyScenario;
+///
+/// let fleet = iot_privacy::run_fleet(2, 7, |seed| EnergyScenario::new(seed).days(1));
+/// assert_eq!(fleet.reports.len(), 2);
+/// assert_eq!(fleet.summary.homes, 2);
+/// // Same seeds, same order, one thread — identical result.
+/// let serial = iot_privacy::run_fleet_serial(2, 7, |seed| EnergyScenario::new(seed).days(1));
+/// assert_eq!(fleet, serial);
+/// ```
 pub fn run_fleet<F>(homes: usize, root_seed: u64, build: F) -> FleetResult
 where
     F: Fn(u64) -> EnergyScenario + Sync,
 {
     assert!(homes > 0, "fleet needs at least one home");
+    let _span = obs::span("fleet.run");
+    obs::counter_add("fleet.homes", homes as u64);
     let reports = rayon::parallel_map((0..homes).collect(), |i| {
-        build(home_seed(root_seed, i)).run()
+        obs::time("fleet.home", || build(home_seed(root_seed, i)).run())
     });
     let summary = FleetSummary::of(&reports);
     FleetResult { reports, summary }
@@ -142,8 +164,12 @@ where
     F: Fn(u64) -> EnergyScenario,
 {
     assert!(homes > 0, "fleet needs at least one home");
+    // Instrumented identically to [`run_fleet`] so the deterministic
+    // metric sections (counters/gauges) of the two engines also match.
+    let _span = obs::span("fleet.run");
+    obs::counter_add("fleet.homes", homes as u64);
     let reports: Vec<ScenarioReport> = (0..homes)
-        .map(|i| build(home_seed(root_seed, i)).run())
+        .map(|i| obs::time("fleet.home", || build(home_seed(root_seed, i)).run()))
         .collect();
     let summary = FleetSummary::of(&reports);
     FleetResult { reports, summary }

@@ -16,6 +16,7 @@
 //! | [`defense`] | CHPr, battery levelling, obfuscation, privacy knob |
 //! | [`privatemeter`] | verifiable billing and differential privacy |
 //! | [`netsim`] | IoT traffic, fingerprinting, the smart gateway |
+//! | [`obs`] | spans, counters, deterministic JSON metrics reports |
 //!
 //! # Examples
 //!
@@ -26,6 +27,23 @@
 //! let report = EnergyScenario::new(7).days(3).run();
 //! assert!(report.undefended.mcc > report.defended.mcc);
 //! ```
+//!
+//! Every pipeline stage is instrumented with the [`obs`] layer (disabled
+//! by default; see `docs/OBSERVABILITY.md`):
+//!
+//! ```
+//! use iot_privacy::{obs, scenario::EnergyScenario};
+//!
+//! obs::enable();
+//! obs::reset();
+//! let _report = EnergyScenario::new(7).days(1).run();
+//! let metrics = obs::snapshot();
+//! assert!(metrics.timing("scenario.simulate").is_some());
+//! assert!(metrics.counter("homesim.simulate.homes") >= Some(1));
+//! obs::disable();
+//! ```
+
+#![warn(missing_docs)]
 
 pub use defense;
 pub use homesim;
@@ -33,6 +51,7 @@ pub use loads;
 pub use netsim;
 pub use nilm;
 pub use niom;
+pub use obs;
 pub use privatemeter;
 pub use solar;
 pub use timeseries;

@@ -85,12 +85,20 @@ impl EnergyScenario {
     }
 
     /// Runs the scenario.
+    ///
+    /// When the [`obs`] layer is enabled, each pipeline stage
+    /// records its own span: `scenario.simulate`,
+    /// `scenario.attack_undefended`, `scenario.defend`, and
+    /// `scenario.attack_defended` — the per-stage breakdown the
+    /// `fleet_scale` experiment rolls up.
     pub fn run(&self) -> ScenarioReport {
-        let home = Home::simulate(
-            &HomeConfig::new(self.seed)
-                .days(self.days)
-                .persona(self.persona),
-        );
+        let home = obs::time("scenario.simulate", || {
+            Home::simulate(
+                &HomeConfig::new(self.seed)
+                    .days(self.days)
+                    .persona(self.persona),
+            )
+        });
         let score = |trace: &timeseries::PowerTrace| -> AttackScore {
             let inferred = self.attack.detect(trace);
             let c = home
@@ -102,10 +110,12 @@ impl EnergyScenario {
                 mcc: c.mcc(),
             }
         };
-        let undefended = score(&home.meter);
+        let undefended = obs::time("scenario.attack_undefended", || score(&home.meter));
         let mut rng = seeded_rng(derive_seed(self.seed, "defense"));
-        let defended_out = self.defense.apply(&home.meter, &mut rng);
-        let defended = score(&defended_out.trace);
+        let defended_out = obs::time("scenario.defend", || {
+            self.defense.apply(&home.meter, &mut rng)
+        });
+        let defended = obs::time("scenario.attack_defended", || score(&defended_out.trace));
         ScenarioReport {
             undefended,
             defended,

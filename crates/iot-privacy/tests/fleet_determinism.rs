@@ -1,13 +1,15 @@
 //! Regression tests for the fleet engine's determinism contract: the
 //! parallel engine must serialize byte-for-byte identically to the serial
-//! reference at every thread count.
+//! reference at every thread count — including with the obs metrics layer
+//! enabled, whose deterministic section (counters/gauges) must itself be
+//! byte-identical between the serial and parallel engines.
 //!
 //! All thread-count cases live in ONE test function on purpose —
 //! `RAYON_NUM_THREADS` is process-global, and the harness runs separate
 //! `#[test]`s concurrently.
 
 use iot_privacy::scenario::EnergyScenario;
-use iot_privacy::{run_fleet, run_fleet_serial};
+use iot_privacy::{obs, run_fleet, run_fleet_serial};
 
 fn build(seed: u64) -> EnergyScenario {
     EnergyScenario::new(seed).days(1)
@@ -18,12 +20,24 @@ fn parallel_fleet_is_byte_identical_to_serial_at_any_thread_count() {
     const HOMES: usize = 8;
     const ROOT: u64 = 123;
 
+    // Metrics observation must never feed back into results, so the whole
+    // test runs with the obs layer ON (the stricter direction: a pass here
+    // also covers metrics-off runs, which execute strictly less code).
+    obs::enable();
+    obs::reset();
+
     let reference = serde_json::to_string(&run_fleet_serial(HOMES, ROOT, build))
         .expect("serial fleet serializes");
     assert!(reference.contains("undefended"), "sanity: report shape");
+    let serial_metrics = obs::snapshot().deterministic_json();
+    assert!(
+        serial_metrics.contains("fleet.homes"),
+        "sanity: metrics recorded"
+    );
 
     for threads in ["1", "2", "3", "8", "32"] {
         std::env::set_var("RAYON_NUM_THREADS", threads);
+        obs::reset();
         let parallel = serde_json::to_string(&run_fleet(HOMES, ROOT, build))
             .expect("parallel fleet serializes");
         assert_eq!(
@@ -31,6 +45,15 @@ fn parallel_fleet_is_byte_identical_to_serial_at_any_thread_count() {
             "fleet JSON must be byte-identical to the serial reference at \
              RAYON_NUM_THREADS={threads}"
         );
+        // Counters merge commutatively, so the deterministic metric
+        // section is also schedule-independent.
+        assert_eq!(
+            obs::snapshot().deterministic_json(),
+            serial_metrics,
+            "deterministic metrics section must match the serial reference \
+             at RAYON_NUM_THREADS={threads}"
+        );
     }
     std::env::remove_var("RAYON_NUM_THREADS");
+    obs::disable();
 }

@@ -152,6 +152,7 @@ impl DeviceClassifier for Knn {
 /// feature vector per device — more windows, more examples).
 pub fn labelled_examples(trace: &NetworkTrace, windows: usize) -> Vec<(DeviceType, FeatureVector)> {
     assert!(windows > 0, "need at least one window");
+    let _span = obs::span("netsim.fingerprint.features");
     let window_secs = trace.horizon_secs / windows as u64;
     let mut out = Vec::new();
     for dev in &trace.devices {
@@ -169,6 +170,7 @@ pub fn labelled_examples(trace: &NetworkTrace, windows: usize) -> Vec<(DeviceTyp
             }
         }
     }
+    obs::counter_add("netsim.fingerprint.examples", out.len() as u64);
     out
 }
 
@@ -177,6 +179,8 @@ pub fn accuracy(classifier: &dyn DeviceClassifier, test: &[(DeviceType, FeatureV
     if test.is_empty() {
         return 0.0;
     }
+    let _span = obs::span("netsim.fingerprint.classify");
+    obs::counter_add("netsim.fingerprint.classified", test.len() as u64);
     let correct = test
         .iter()
         .filter(|(t, f)| classifier.predict(f) == *t)

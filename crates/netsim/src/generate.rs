@@ -61,6 +61,7 @@ pub fn simulate_home_network(
     days: u64,
     seed: u64,
 ) -> NetworkTrace {
+    let _span = obs::span("netsim.generate.simulate");
     let horizon_secs = days * 86_400;
     let mut flows = Vec::new();
     let mut devices = Vec::with_capacity(inventory.len());
@@ -148,6 +149,7 @@ pub fn simulate_home_network(
         }
     }
     flows.sort_by_key(|f| f.start_secs);
+    obs::counter_add("netsim.generate.flows", flows.len() as u64);
     NetworkTrace {
         flows,
         devices,

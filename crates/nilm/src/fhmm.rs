@@ -135,10 +135,11 @@ impl Fhmm {
         if meter.is_empty() {
             return vec![Vec::new(); self.devices.len()];
         }
+        obs::counter_add("nilm.fhmm.samples", meter.len() as u64);
         if self.joint_states() <= self.config.max_exact_states {
-            self.decode_exact(meter)
+            obs::time("nilm.fhmm.decode_exact", || self.decode_exact(meter))
         } else {
-            self.decode_icm(meter)
+            obs::time("nilm.fhmm.decode_icm", || self.decode_icm(meter))
         }
     }
 

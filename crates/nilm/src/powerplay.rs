@@ -155,11 +155,14 @@ impl PowerPlay {
 
 impl Disaggregator for PowerPlay {
     fn disaggregate(&self, meter: &PowerTrace) -> Vec<DeviceEstimate> {
+        let _span = obs::span("nilm.powerplay.disaggregate");
         let res = meter.resolution().as_secs() as f64;
         let samples = meter.samples();
         let edges = EdgeDetector::new(self.config.edge_threshold_watts)
             .with_settle(self.config.settle_samples)
             .detect(meter);
+        obs::counter_add("nilm.powerplay.samples", meter.len() as u64);
+        obs::counter_add("nilm.powerplay.edges", edges.len() as u64);
 
         // Claimed activation intervals per device, in fractional seconds
         // since trace start: (start_secs, Option<end_secs>).

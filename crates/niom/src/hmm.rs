@@ -213,6 +213,8 @@ impl OccupancyDetector for HmmDetector {
         if meter.is_empty() {
             return LabelSeries::like_trace(meter, false);
         }
+        let _span = obs::span("niom.hmm.detect");
+        obs::counter_add("niom.hmm.samples", meter.len() as u64);
         let windows: Vec<(usize, f64)> = WindowStats::new(meter, self.window)
             .map(|(i, s)| (i, s.mean))
             .collect();

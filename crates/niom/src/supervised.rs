@@ -145,6 +145,8 @@ impl LogisticDetector {
 
 impl OccupancyDetector for LogisticDetector {
     fn detect(&self, meter: &PowerTrace) -> LabelSeries {
+        let _span = obs::span("niom.logistic.detect");
+        obs::counter_add("niom.logistic.samples", meter.len() as u64);
         let baseline = baseline_watts(meter, self.window);
         let mut labels = vec![false; meter.len()];
         for (start, summary) in WindowStats::new(meter, self.window) {

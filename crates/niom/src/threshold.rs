@@ -84,6 +84,8 @@ impl ThresholdDetector {
 
 impl OccupancyDetector for ThresholdDetector {
     fn detect(&self, meter: &PowerTrace) -> LabelSeries {
+        let _span = obs::span("niom.threshold.detect");
+        obs::counter_add("niom.threshold.samples", meter.len() as u64);
         let baseline = self.baseline_watts(meter);
         let mut labels = vec![false; meter.len()];
         let mut window_flags = Vec::new();

@@ -1,0 +1,209 @@
+//! Zero-dependency observability for the Private Memoirs suite: scoped
+//! spans, named counters/gauges/histograms, and deterministic JSON
+//! metrics reports.
+//!
+//! The paper's pipeline is staged — simulate → attack → defend → score
+//! (Figs. 1–6) — and every performance or cost/utility question ("where
+//! does fleet time go?", "what does CHPr cost per home?") is a question
+//! about *per-stage* work. This crate is the measuring instrument: the
+//! suite's hot paths carry stage-granular spans and counters, all of
+//! which are **disabled by default** and cost one relaxed atomic load
+//! until a harness opts in (the experiment binaries do so via their
+//! `--metrics <path>` flag).
+//!
+//! The full contract — metric naming scheme, JSON schema, determinism
+//! rules, and the overhead budget — lives in `docs/OBSERVABILITY.md`.
+//! The short version:
+//!
+//! * **Names** follow `crate.stage[.metric]`, e.g. `nilm.fhmm.decode_exact`
+//!   (a span) or `homesim.simulate.samples` (a counter).
+//! * **Counters and gauges** are the *deterministic section*: for a
+//!   deterministic workload they are a pure function of the work done,
+//!   independent of thread schedule ([`MetricsReport::deterministic_json`]).
+//! * **Timings and histograms** summarize distributions (count, total,
+//!   mean, p50, p95, min, max) and are wall-clock-dependent.
+//!
+//! # Examples
+//!
+//! Instrument a stage, opt in, and snapshot:
+//!
+//! ```
+//! fn stage(items: &[u64]) -> u64 {
+//!     let _span = obs::span("demo.stage");          // timed while in scope
+//!     obs::counter_add("demo.stage.items", items.len() as u64);
+//!     items.iter().sum()
+//! }
+//!
+//! obs::enable();
+//! obs::reset();
+//! assert_eq!(stage(&[1, 2, 3]), 6);
+//! let report = obs::snapshot();
+//! assert_eq!(report.counter("demo.stage.items"), Some(3));
+//! assert_eq!(report.timing("demo.stage").unwrap().count, 1);
+//! obs::disable();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod registry;
+mod report;
+
+pub use registry::{Registry, Span, SAMPLE_CAP};
+pub use report::{MetricsReport, Summary};
+
+/// The process-global registry used by the free functions below and by
+/// all instrumentation in the suite's crates.
+///
+/// # Examples
+///
+/// ```
+/// obs::global().enable();
+/// obs::global().counter_add("demo.global.items", 1);
+/// assert!(obs::global().snapshot().counter("demo.global.items").is_some());
+/// obs::global().disable();
+/// ```
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry::new();
+    &GLOBAL
+}
+
+/// Enables recording on the global registry.
+///
+/// # Examples
+///
+/// ```
+/// obs::enable();
+/// assert!(obs::is_enabled());
+/// obs::disable();
+/// ```
+pub fn enable() {
+    global().enable();
+}
+
+/// Disables recording on the global registry (recorded values are kept).
+///
+/// # Examples
+///
+/// ```
+/// obs::disable();
+/// assert!(!obs::is_enabled());
+/// ```
+pub fn disable() {
+    global().disable();
+}
+
+/// Whether the global registry is recording.
+///
+/// # Examples
+///
+/// ```
+/// obs::enable();
+/// assert!(obs::is_enabled());
+/// obs::disable();
+/// assert!(!obs::is_enabled());
+/// ```
+pub fn is_enabled() -> bool {
+    global().is_enabled()
+}
+
+/// Adds `by` to the global counter `name`.
+///
+/// # Examples
+///
+/// ```
+/// obs::enable();
+/// obs::counter_add("demo.free.items", 2);
+/// assert!(obs::snapshot().counter("demo.free.items").unwrap() >= 2);
+/// obs::disable();
+/// ```
+pub fn counter_add(name: &str, by: u64) {
+    global().counter_add(name, by);
+}
+
+/// Sets the global gauge `name` (last write wins; single-threaded
+/// sections only, per the determinism contract).
+///
+/// # Examples
+///
+/// ```
+/// obs::enable();
+/// obs::gauge_set("demo.free.days", 7.0);
+/// assert_eq!(obs::snapshot().gauge("demo.free.days"), Some(7.0));
+/// obs::disable();
+/// ```
+pub fn gauge_set(name: &str, value: f64) {
+    global().gauge_set(name, value);
+}
+
+/// Records one sample into the global histogram `name`.
+///
+/// # Examples
+///
+/// ```
+/// obs::enable();
+/// obs::observe("demo.free.watts", 42.0);
+/// assert!(obs::snapshot().histogram("demo.free.watts").is_some());
+/// obs::disable();
+/// ```
+pub fn observe(name: &str, value: f64) {
+    global().observe(name, value);
+}
+
+/// Starts a scoped span on the global registry; elapsed time is recorded
+/// when the guard drops.
+///
+/// # Examples
+///
+/// ```
+/// obs::enable();
+/// {
+///     let _span = obs::span("demo.free.work");
+/// }
+/// assert!(obs::snapshot().timing("demo.free.work").is_some());
+/// obs::disable();
+/// ```
+pub fn span(name: &str) -> Span<'static> {
+    global().span(name)
+}
+
+/// Runs `f` inside a global span named `name` and returns its result.
+///
+/// # Examples
+///
+/// ```
+/// obs::enable();
+/// let v = obs::time("demo.free.compute", || 21 * 2);
+/// assert_eq!(v, 42);
+/// obs::disable();
+/// ```
+pub fn time<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    global().time(name, f)
+}
+
+/// Snapshots the global registry.
+///
+/// # Examples
+///
+/// ```
+/// let report = obs::snapshot();
+/// let _ = report.is_empty(); // may or may not be empty — it's global state
+/// ```
+pub fn snapshot() -> MetricsReport {
+    global().snapshot()
+}
+
+/// Clears everything recorded in the global registry.
+///
+/// # Examples
+///
+/// ```
+/// obs::enable();
+/// obs::counter_add("demo.free.reset", 1);
+/// obs::reset();
+/// assert_eq!(obs::snapshot().counter("demo.free.reset"), None);
+/// obs::disable();
+/// ```
+pub fn reset() {
+    global().reset();
+}

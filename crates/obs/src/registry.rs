@@ -1,0 +1,478 @@
+//! The thread-safe metric registry and the RAII span guard.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::report::{MetricsReport, Summary};
+
+/// Per-series sample retention cap. Exact `count`/`total`/`min`/`max` are
+/// tracked for every observation regardless; only the quantile buffer is
+/// bounded, so unbounded workloads (million-home fleets, criterion loops)
+/// cannot grow registry memory without limit.
+pub const SAMPLE_CAP: usize = 65_536;
+
+/// One timing or value series: exact moments plus a bounded sample buffer
+/// for quantiles.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Series {
+    pub(crate) count: u64,
+    pub(crate) total: f64,
+    pub(crate) min: f64,
+    pub(crate) max: f64,
+    pub(crate) samples: Vec<f64>,
+}
+
+impl Series {
+    fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.total += value;
+        if self.samples.len() < SAMPLE_CAP {
+            self.samples.push(value);
+        }
+    }
+
+    pub(crate) fn summary(&self) -> Summary {
+        Summary::from_series(self.count, self.total, self.min, self.max, &self.samples)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    timings: BTreeMap<String, Series>,
+    histograms: BTreeMap<String, Series>,
+}
+
+/// A thread-safe collection of named counters, gauges, timings, and
+/// histograms.
+///
+/// A registry starts **disabled**: every recording call is a cheap
+/// early-return (one relaxed atomic load), so instrumented hot paths cost
+/// nothing measurable until someone opts in with [`Registry::enable`].
+/// All mutation goes through one internal mutex; instrumentation is
+/// designed to be stage-granular (one span per pipeline stage, not per
+/// sample), so contention is negligible even across rayon workers.
+///
+/// Most code uses the process-global registry via the crate-level
+/// functions ([`crate::span`], [`crate::counter_add`], …); a local
+/// `Registry` is useful for tests that must not share state.
+///
+/// # Examples
+///
+/// ```
+/// let reg = obs::Registry::new();
+/// reg.enable();
+/// reg.counter_add("demo.stage.items", 3);
+/// assert_eq!(reg.snapshot().counter("demo.stage.items"), Some(3));
+/// ```
+pub struct Registry {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty, disabled registry (usable in `static` position).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// static REG: obs::Registry = obs::Registry::new();
+    /// assert!(!REG.is_enabled());
+    /// ```
+    pub const fn new() -> Registry {
+        Registry {
+            enabled: AtomicBool::new(false),
+            inner: Mutex::new(Inner {
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                timings: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Turns recording on.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// assert!(reg.is_enabled());
+    /// ```
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turns recording off (already-recorded values are kept).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// reg.counter_add("demo.stage.kept", 1);
+    /// reg.disable();
+    /// reg.counter_add("demo.stage.kept", 1); // ignored
+    /// assert_eq!(reg.snapshot().counter("demo.stage.kept"), Some(1));
+    /// ```
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// assert!(!obs::Registry::new().is_enabled());
+    /// ```
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Adds `by` to the counter `name` (a no-op while disabled).
+    ///
+    /// Counter merging is commutative, so counters recorded from parallel
+    /// workers land in the deterministic section of the report.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// reg.counter_add("demo.stage.items", 2);
+    /// reg.counter_add("demo.stage.items", 1);
+    /// assert_eq!(reg.snapshot().counter("demo.stage.items"), Some(3));
+    /// ```
+    pub fn counter_add(&self, name: &str, by: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        match inner.counters.get_mut(name) {
+            Some(slot) => *slot += by,
+            None => {
+                inner.counters.insert(name.to_string(), by);
+            }
+        }
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins; no-op while
+    /// disabled). Set gauges only from single-threaded sections — a racy
+    /// last-write is not deterministic.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// reg.gauge_set("demo.config.days", 7.0);
+    /// assert_eq!(reg.snapshot().gauge("demo.config.days"), Some(7.0));
+    /// ```
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one sample into the histogram `name` (a no-op while
+    /// disabled).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// for v in [1.0, 2.0, 3.0] {
+    ///     reg.observe("demo.stage.watts", v);
+    /// }
+    /// assert_eq!(reg.snapshot().histogram("demo.stage.watts").unwrap().mean, 2.0);
+    /// ```
+    pub fn observe(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Records an already-measured duration, in seconds, into the timing
+    /// series `name` (a no-op while disabled). [`Registry::span`] is the
+    /// usual front door; this exists for durations measured elsewhere.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// reg.record_seconds("demo.stage.run", 0.25);
+    /// assert_eq!(reg.snapshot().timing("demo.stage.run").unwrap().count, 1);
+    /// ```
+    pub fn record_seconds(&self, name: &str, seconds: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock()
+            .timings
+            .entry(name.to_string())
+            .or_default()
+            .record(seconds);
+    }
+
+    /// Starts a scoped span: the guard records the elapsed monotonic time
+    /// into the timing series `name` when dropped. While the registry is
+    /// disabled the guard is inert and costs one atomic load.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// {
+    ///     let _span = reg.span("demo.stage.work");
+    ///     // ... the measured work ...
+    /// } // recorded here
+    /// assert_eq!(reg.snapshot().timing("demo.stage.work").unwrap().count, 1);
+    /// ```
+    pub fn span(&self, name: &str) -> Span<'_> {
+        if !self.is_enabled() {
+            return Span { active: None };
+        }
+        Span {
+            active: Some((self, name.to_string(), Instant::now())),
+        }
+    }
+
+    /// Runs `f` inside a span named `name` and returns its result.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// let answer = reg.time("demo.stage.compute", || 6 * 7);
+    /// assert_eq!(answer, 42);
+    /// assert_eq!(reg.snapshot().timing("demo.stage.compute").unwrap().count, 1);
+    /// ```
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let _span = self.span(name);
+        f()
+    }
+
+    /// Takes a consistent snapshot of everything recorded so far.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// reg.counter_add("demo.stage.items", 1);
+    /// let report = reg.snapshot();
+    /// assert!(!report.is_empty());
+    /// ```
+    pub fn snapshot(&self) -> MetricsReport {
+        let inner = self.lock();
+        MetricsReport {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            timings: inner
+                .timings
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+
+    /// Clears every recorded value (the enabled flag is unchanged).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// reg.counter_add("demo.stage.items", 1);
+    /// reg.reset();
+    /// assert!(reg.snapshot().is_empty());
+    /// ```
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.counters.clear();
+        inner.gauges.clear();
+        inner.timings.clear();
+        inner.histograms.clear();
+    }
+}
+
+/// RAII guard for one timed scope, created by [`Registry::span`] or
+/// [`crate::span`]. Dropping the guard records the scope's elapsed
+/// monotonic time; a guard created while the registry was disabled records
+/// nothing.
+///
+/// # Examples
+///
+/// ```
+/// let reg = obs::Registry::new();
+/// reg.enable();
+/// let span = reg.span("demo.stage.step");
+/// drop(span);
+/// assert!(reg.snapshot().timing("demo.stage.step").unwrap().total >= 0.0);
+/// ```
+pub struct Span<'a> {
+    active: Option<(&'a Registry, String, Instant)>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((registry, name, start)) = self.active.take() {
+            // Re-check: recording may have been disabled mid-span.
+            if registry.is_enabled() {
+                registry
+                    .lock()
+                    .timings
+                    .entry(name)
+                    .or_default()
+                    .record(start.elapsed().as_secs_f64());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::new();
+        reg.counter_add("t.c", 1);
+        reg.gauge_set("t.g", 1.0);
+        reg.observe("t.h", 1.0);
+        reg.record_seconds("t.s", 1.0);
+        drop(reg.span("t.span"));
+        assert!(reg.snapshot().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = Registry::new();
+        reg.enable();
+        reg.counter_add("t.c", 2);
+        reg.counter_add("t.c", 3);
+        assert_eq!(reg.snapshot().counter("t.c"), Some(5));
+    }
+
+    #[test]
+    fn spans_record_on_drop_only() {
+        let reg = Registry::new();
+        reg.enable();
+        let span = reg.span("t.span");
+        assert!(reg.snapshot().timing("t.span").is_none());
+        drop(span);
+        let snap = reg.snapshot();
+        let t = snap.timing("t.span").unwrap();
+        assert_eq!(t.count, 1);
+        assert!(t.total >= 0.0);
+    }
+
+    #[test]
+    fn span_disabled_mid_flight_is_dropped() {
+        let reg = Registry::new();
+        reg.enable();
+        let span = reg.span("t.span");
+        reg.disable();
+        drop(span);
+        assert!(reg.snapshot().timing("t.span").is_none());
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let reg = Registry::new();
+        reg.enable();
+        for v in [4.0, 1.0, 3.0, 2.0, 5.0] {
+            reg.observe("t.h", v);
+        }
+        let snap = reg.snapshot();
+        let h = snap.histogram("t.h").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.total, 15.0);
+        assert_eq!(h.mean, 3.0);
+        assert_eq!(h.p50, 3.0);
+        assert_eq!(h.p95, 5.0);
+        assert_eq!((h.min, h.max), (1.0, 5.0));
+    }
+
+    #[test]
+    fn sample_cap_keeps_exact_moments() {
+        let mut series = Series::default();
+        for i in 0..(SAMPLE_CAP + 10) {
+            series.record(i as f64);
+        }
+        assert_eq!(series.samples.len(), SAMPLE_CAP);
+        let s = series.summary();
+        assert_eq!(s.count, (SAMPLE_CAP + 10) as u64);
+        assert_eq!(s.max, (SAMPLE_CAP + 9) as f64);
+    }
+
+    #[test]
+    fn reset_clears_values_not_enabled_flag() {
+        let reg = Registry::new();
+        reg.enable();
+        reg.counter_add("t.c", 1);
+        reg.reset();
+        assert!(reg.snapshot().is_empty());
+        assert!(reg.is_enabled());
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let reg = std::sync::Arc::new(Registry::new());
+        reg.enable();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        reg.counter_add("t.par", 1);
+                        reg.time("t.par.span", || {});
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("t.par"), Some(800));
+        assert_eq!(snap.timing("t.par.span").unwrap().count, 800);
+    }
+}

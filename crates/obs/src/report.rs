@@ -1,0 +1,461 @@
+//! The serializable metrics snapshot and its deterministic JSON renderer.
+//!
+//! The renderer is hand-rolled (the crate has zero dependencies) and
+//! deterministic by construction: top-level sections appear in a fixed
+//! order, metric names within a section are sorted (they come out of
+//! `BTreeMap`s), and floats render via Rust's shortest-round-trip `{:?}`
+//! formatting. No wall-clock timestamp ever appears anywhere — durations
+//! are *elapsed* seconds from a monotonic clock, and they live only in the
+//! `timings` section, which is documented as nondeterministic.
+
+use std::collections::BTreeMap;
+
+/// Order statistics of one timing or histogram series.
+///
+/// `count`, `total`, `min`, and `max` are exact over every observation;
+/// `mean`/`p50`/`p95` are computed from a retained sample buffer capped at
+/// [`crate::SAMPLE_CAP`] observations (quantiles degrade gracefully to
+/// "over the first 65 536 samples" on larger series).
+///
+/// # Examples
+///
+/// ```
+/// let s = obs::Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+/// assert_eq!(s.count, 5);
+/// assert_eq!(s.p50, 3.0);
+/// assert_eq!(s.p95, 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations (seconds, for timing series).
+    pub total: f64,
+    /// Arithmetic mean of the retained samples.
+    pub mean: f64,
+    /// Median, nearest-rank, of the retained samples.
+    pub p50: f64,
+    /// 95th percentile, nearest-rank, of the retained samples.
+    pub p95: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty slice of values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let s = obs::Summary::of(&[2.0, 1.0]);
+    /// assert_eq!((s.min, s.max, s.total), (1.0, 2.0, 3.0));
+    /// ```
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(!values.is_empty(), "cannot summarize zero values");
+        let total: f64 = values.iter().sum();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary::from_series(values.len() as u64, total, min, max, values)
+    }
+
+    pub(crate) fn from_series(
+        count: u64,
+        total: f64,
+        min: f64,
+        max: f64,
+        samples: &[f64],
+    ) -> Summary {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let nearest_rank = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        let mean = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<f64>() / sorted.len() as f64
+        };
+        Summary {
+            count,
+            total,
+            mean,
+            p50: nearest_rank(0.50),
+            p95: nearest_rank(0.95),
+            min,
+            max,
+        }
+    }
+}
+
+/// A point-in-time snapshot of a [`crate::Registry`], ready to serialize.
+///
+/// The JSON layout (schema `iot-privacy.metrics.v1`) is documented with an
+/// annotated example in `docs/OBSERVABILITY.md`. The `counters` and
+/// `gauges` sections are the *deterministic section*: for a deterministic
+/// workload they are a pure function of the work done, independent of
+/// thread count and wall-clock speed. `timings` and `histograms` carry
+/// duration/value distributions and vary run to run.
+///
+/// # Examples
+///
+/// ```
+/// let reg = obs::Registry::new();
+/// reg.enable();
+/// reg.counter_add("demo.stage.items", 3);
+/// let report = reg.snapshot();
+/// let json = report.to_json_pretty();
+/// assert!(json.contains("\"iot-privacy.metrics.v1\""));
+/// assert!(json.contains("\"demo.stage.items\": 3"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsReport {
+    /// Monotonic event counts, keyed by metric name (deterministic).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins point values, keyed by metric name (deterministic
+    /// when set from single-threaded sections, per the contract).
+    pub gauges: BTreeMap<String, f64>,
+    /// Elapsed-seconds distributions per span name (nondeterministic).
+    pub timings: BTreeMap<String, Summary>,
+    /// Value distributions per histogram name.
+    pub histograms: BTreeMap<String, Summary>,
+}
+
+impl MetricsReport {
+    /// Whether nothing has been recorded.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// assert!(obs::MetricsReport::default().is_empty());
+    /// ```
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.timings.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// Looks up a counter value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// reg.counter_add("demo.stage.items", 7);
+    /// assert_eq!(reg.snapshot().counter("demo.stage.items"), Some(7));
+    /// assert_eq!(reg.snapshot().counter("absent"), None);
+    /// ```
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Looks up a gauge value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// reg.gauge_set("demo.config.days", 7.0);
+    /// assert_eq!(reg.snapshot().gauge("demo.config.days"), Some(7.0));
+    /// ```
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Looks up a timing summary by span name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// reg.time("demo.stage.work", || ());
+    /// assert_eq!(reg.snapshot().timing("demo.stage.work").unwrap().count, 1);
+    /// ```
+    pub fn timing(&self, name: &str) -> Option<&Summary> {
+        self.timings.get(name)
+    }
+
+    /// Looks up a histogram summary.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// reg.observe("demo.stage.watts", 120.0);
+    /// assert_eq!(reg.snapshot().histogram("demo.stage.watts").unwrap().max, 120.0);
+    /// ```
+    pub fn histogram(&self, name: &str) -> Option<&Summary> {
+        self.histograms.get(name)
+    }
+
+    /// Renders the full report as compact deterministic JSON.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// reg.counter_add("demo.stage.items", 1);
+    /// let json = reg.snapshot().to_json_string();
+    /// assert!(json.starts_with("{\"schema\":\"iot-privacy.metrics.v1\""));
+    /// ```
+    pub fn to_json_string(&self) -> String {
+        self.render(false)
+    }
+
+    /// Renders the full report as pretty-printed deterministic JSON
+    /// (2-space indent) — the format of the `--metrics` sidecar files.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// reg.gauge_set("demo.config.days", 7.0);
+    /// assert!(reg.snapshot().to_json_pretty().contains("\"demo.config.days\": 7.0"));
+    /// ```
+    pub fn to_json_pretty(&self) -> String {
+        self.render(true)
+    }
+
+    /// Renders only the deterministic section (`schema`, `counters`,
+    /// `gauges`) as compact JSON. For a deterministic workload this string
+    /// is byte-identical across runs at any thread count — the property
+    /// the fleet determinism regression test asserts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// reg.counter_add("demo.stage.items", 1);
+    /// reg.time("demo.stage.work", || ()); // timings are excluded
+    /// let det = reg.snapshot().deterministic_json();
+    /// assert!(det.contains("demo.stage.items"));
+    /// assert!(!det.contains("demo.stage.work"));
+    /// ```
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":\"iot-privacy.metrics.v1\",\"counters\":");
+        render_counters(&mut out, &self.counters, 0, false);
+        out.push_str(",\"gauges\":");
+        render_gauges(&mut out, &self.gauges, 0, false);
+        out.push('}');
+        out
+    }
+
+    fn render(&self, pretty: bool) -> String {
+        let mut out = String::new();
+        let (nl, sp) = if pretty { ("\n", " ") } else { ("", "") };
+        out.push('{');
+        out.push_str(nl);
+        indent(&mut out, pretty, 1);
+        out.push_str(&format!("\"schema\":{sp}\"iot-privacy.metrics.v1\",{nl}"));
+        indent(&mut out, pretty, 1);
+        out.push_str(&format!("\"counters\":{sp}"));
+        render_counters(&mut out, &self.counters, 1, pretty);
+        out.push_str(&format!(",{nl}"));
+        indent(&mut out, pretty, 1);
+        out.push_str(&format!("\"gauges\":{sp}"));
+        render_gauges(&mut out, &self.gauges, 1, pretty);
+        out.push_str(&format!(",{nl}"));
+        indent(&mut out, pretty, 1);
+        out.push_str(&format!("\"timings\":{sp}"));
+        render_summaries(&mut out, &self.timings, 1, pretty);
+        out.push_str(&format!(",{nl}"));
+        indent(&mut out, pretty, 1);
+        out.push_str(&format!("\"histograms\":{sp}"));
+        render_summaries(&mut out, &self.histograms, 1, pretty);
+        out.push_str(nl);
+        out.push('}');
+        out
+    }
+}
+
+fn indent(out: &mut String, pretty: bool, depth: usize) {
+    if pretty {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+/// JSON string escaping for metric names (which are plain identifiers in
+/// practice, but correctness costs nothing).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Shortest round-trip float rendering; JSON has no NaN/inf, render null.
+fn float(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_counters(out: &mut String, map: &BTreeMap<String, u64>, depth: usize, pretty: bool) {
+    render_object(out, map.iter(), depth, pretty, |out, v| {
+        out.push_str(&v.to_string())
+    });
+}
+
+fn render_gauges(out: &mut String, map: &BTreeMap<String, f64>, depth: usize, pretty: bool) {
+    render_object(out, map.iter(), depth, pretty, |out, v| {
+        out.push_str(&float(*v))
+    });
+}
+
+fn render_summaries(out: &mut String, map: &BTreeMap<String, Summary>, depth: usize, pretty: bool) {
+    let sp = if pretty { " " } else { "" };
+    render_object(out, map.iter(), depth, pretty, |out, s| {
+        out.push_str(&format!(
+            "{{\"count\":{sp}{},{sp}\"total\":{sp}{},{sp}\"mean\":{sp}{},{sp}\
+             \"p50\":{sp}{},{sp}\"p95\":{sp}{},{sp}\"min\":{sp}{},{sp}\"max\":{sp}{}}}",
+            s.count,
+            float(s.total),
+            float(s.mean),
+            float(s.p50),
+            float(s.p95),
+            float(s.min),
+            float(s.max),
+        ));
+    });
+}
+
+fn render_object<'a, V: 'a>(
+    out: &mut String,
+    entries: impl ExactSizeIterator<Item = (&'a String, &'a V)>,
+    depth: usize,
+    pretty: bool,
+    mut render_value: impl FnMut(&mut String, &V),
+) {
+    if entries.len() == 0 {
+        out.push_str("{}");
+        return;
+    }
+    let (nl, sp) = if pretty { ("\n", " ") } else { ("", "") };
+    out.push('{');
+    out.push_str(nl);
+    let last = entries.len() - 1;
+    for (i, (k, v)) in entries.enumerate() {
+        indent(out, pretty, depth + 1);
+        out.push_str(&format!("\"{}\":{sp}", escape(k)));
+        render_value(out, v);
+        if i != last {
+            out.push(',');
+        }
+        out.push_str(nl);
+    }
+    indent(out, pretty, depth);
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> MetricsReport {
+        let mut counters = BTreeMap::new();
+        counters.insert("b.stage.n".to_string(), 2);
+        counters.insert("a.stage.n".to_string(), 1);
+        let mut gauges = BTreeMap::new();
+        gauges.insert("a.config.days".to_string(), 7.5);
+        let mut timings = BTreeMap::new();
+        timings.insert("a.stage.run".to_string(), Summary::of(&[0.5, 1.5]));
+        MetricsReport {
+            counters,
+            gauges,
+            timings,
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn compact_json_is_stable_and_sorted() {
+        let json = sample_report().to_json_string();
+        assert_eq!(
+            json,
+            "{\"schema\":\"iot-privacy.metrics.v1\",\
+             \"counters\":{\"a.stage.n\":1,\"b.stage.n\":2},\
+             \"gauges\":{\"a.config.days\":7.5},\
+             \"timings\":{\"a.stage.run\":{\"count\":2,\"total\":2.0,\"mean\":1.0,\
+             \"p50\":0.5,\"p95\":1.5,\"min\":0.5,\"max\":1.5}},\
+             \"histograms\":{}}"
+        );
+        // Byte-stable across calls.
+        assert_eq!(json, sample_report().to_json_string());
+    }
+
+    #[test]
+    fn pretty_json_round_trips_section_content() {
+        let pretty = sample_report().to_json_pretty();
+        assert!(pretty.contains("\"a.stage.n\": 1"));
+        assert!(pretty.contains("\"count\": 2"));
+        assert!(pretty.ends_with('}'));
+    }
+
+    #[test]
+    fn deterministic_json_excludes_timings() {
+        let det = sample_report().deterministic_json();
+        assert_eq!(
+            det,
+            "{\"schema\":\"iot-privacy.metrics.v1\",\
+             \"counters\":{\"a.stage.n\":1,\"b.stage.n\":2},\
+             \"gauges\":{\"a.config.days\":7.5}}"
+        );
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut counters = BTreeMap::new();
+        counters.insert("weird\"name\\with\ncontrol".to_string(), 1);
+        let report = MetricsReport {
+            counters,
+            ..MetricsReport::default()
+        };
+        assert!(report
+            .to_json_string()
+            .contains("\"weird\\\"name\\\\with\\ncontrol\":1"));
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(float(f64::NAN), "null");
+        assert_eq!(float(f64::INFINITY), "null");
+        assert_eq!(float(1.25), "1.25");
+    }
+
+    #[test]
+    fn summary_of_single_value() {
+        let s = Summary::of(&[4.0]);
+        assert_eq!((s.count, s.mean, s.p50, s.p95), (1, 4.0, 4.0, 4.0));
+    }
+}

@@ -13,6 +13,11 @@
 //!   NIOM attack is built on.
 //! * [`events`] — step-edge detection used by the PowerPlay NILM tracker.
 //!
+//! **Paper anchor:** the substrate under every figure — the 1-minute smart
+//! meter traces of Figures 1–2 and 6 (Section II), the MCC scoring of the
+//! occupancy attacks ([`labels::Confusion::mcc`], reference \[28\]), and the
+//! deterministic seed derivation the whole reproduction rests on.
+//!
 //! # Examples
 //!
 //! ```
