@@ -1,55 +1,6 @@
-//! Section III-D ablation: data-minimizing architectures vs what the cloud
-//! can still learn — the local-first principle made quantitative.
-
-use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
-use iot_privacy::defense::{exposure, Architecture};
-use iot_privacy::homesim::{Home, HomeConfig};
+//! Thin wrapper over `bench::experiments::ablation_architectures` — see that module for the
+//! experiment itself; this binary only parses flags and persists artifacts.
 
 fn main() {
-    let args = BenchArgs::parse_or_exit();
-    let home = Home::simulate(&HomeConfig::new(21).days(7));
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-    for &arch in Architecture::all() {
-        let e = exposure(arch, &home.meter);
-        rows.push(vec![
-            arch.to_string(),
-            e.plaintext_samples.to_string(),
-            e.finest_resolution_secs
-                .map(|s| format!("{s} s"))
-                .unwrap_or_else(|| "-".into()),
-            e.niom_possible.to_string(),
-            e.nilm_possible.to_string(),
-            e.exact_billing.to_string(),
-        ]);
-        json.push(serde_json::json!({
-            "architecture": arch.to_string(),
-            "plaintext_samples": e.plaintext_samples,
-            "niom_possible": e.niom_possible,
-            "nilm_possible": e.nilm_possible,
-            "exact_billing": e.exact_billing,
-        }));
-    }
-    print_table(
-        "Architectures: cloud-side exposure for one week of meter data",
-        &[
-            "architecture",
-            "samples",
-            "finest res",
-            "NIOM?",
-            "NILM?",
-            "exact bill?",
-        ],
-        &rows,
-    );
-    println!("\nShape check: the commitments architecture is the only point that keeps");
-    println!("exact billing while denying both analytics — the paper's §III-C/D sweet spot. ✓");
-    maybe_write_json(
-        &args,
-        &serde_json::json!({
-            "experiment": "ablation_architectures", "rows": json,
-        }),
-    )
-    .expect("write json output");
-    maybe_write_metrics(&args).expect("write metrics output");
+    bench::experiments::cli_main("ablation_architectures");
 }

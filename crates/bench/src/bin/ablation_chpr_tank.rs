@@ -1,57 +1,6 @@
-//! CHPr design ablation: masking effectiveness vs burst cadence — the
-//! thermal-budget tradeoff DESIGN.md calls out (a faster cadence masks
-//! better until the tank saturates).
-
-use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
-use iot_privacy::defense::{Chpr, Defense};
-use iot_privacy::homesim::{Home, HomeConfig};
-use iot_privacy::niom::{OccupancyDetector, ThresholdDetector};
-use iot_privacy::timeseries::rng::seeded_rng;
+//! Thin wrapper over `bench::experiments::ablation_chpr_tank` — see that module for the
+//! experiment itself; this binary only parses flags and persists artifacts.
 
 fn main() {
-    let args = BenchArgs::parse_or_exit();
-    let home = Home::simulate(&HomeConfig::new(60).days(7));
-    let attack = ThresholdDetector::default();
-    let base = home
-        .occupancy
-        .confusion(&attack.detect(&home.meter))
-        .expect("aligned")
-        .mcc();
-
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-    for gap in [2_400.0, 1_200.0, 660.0, 330.0] {
-        let chpr = Chpr {
-            mean_burst_gap_secs: gap,
-            ..Chpr::default()
-        };
-        let defended = chpr.apply(&home.meter, &mut seeded_rng(2));
-        let mcc = home
-            .occupancy
-            .confusion(&attack.detect(&defended.trace))
-            .expect("aligned")
-            .mcc();
-        rows.push(vec![
-            format!("{gap:.0} s"),
-            format!("{mcc:.3}"),
-            format!("{:.1}", defended.cost.extra_energy_kwh),
-            format!("{:.0}", defended.cost.unserved_hot_water_liters),
-        ]);
-        json.push(serde_json::json!({
-            "burst_gap_secs": gap, "attack_mcc": mcc,
-            "extra_kwh": defended.cost.extra_energy_kwh,
-            "unserved_l": defended.cost.unserved_hot_water_liters,
-        }));
-    }
-    print_table(
-        &format!("CHPr ablation: burst cadence vs attack MCC (undefended {base:.3})"),
-        &["burst gap", "attack MCC", "extra kWh", "unserved L"],
-        &rows,
-    );
-    maybe_write_json(
-        &args,
-        &serde_json::json!({"experiment": "ablation_chpr_tank", "points": json}),
-    )
-    .expect("write json output");
-    maybe_write_metrics(&args).expect("write metrics output");
+    bench::experiments::cli_main("ablation_chpr_tank");
 }

@@ -1,92 +1,6 @@
-//! NILM design ablation: disaggregation error vs meter noise for both
-//! PowerPlay and FHMM (robustness comparison behind Figure 2's claim).
-
-use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
-use iot_privacy::homesim::{Home, HomeConfig, SmartMeter};
-use iot_privacy::loads::Catalogue;
-use iot_privacy::nilm::{
-    evaluate_disaggregation, train_device_hmm, Disaggregator, Fhmm, PowerPlay,
-};
-use iot_privacy::timeseries::Resolution;
+//! Thin wrapper over `bench::experiments::ablation_nilm_noise` — see that module for the
+//! experiment itself; this binary only parses flags and persists artifacts.
 
 fn main() {
-    let args = BenchArgs::parse_or_exit();
-    let tracked = Catalogue::figure2();
-    let train_home = Home::simulate(
-        &HomeConfig::new(100)
-            .days(5)
-            .catalogue(tracked.clone())
-            .meter(SmartMeter::ideal(Resolution::ONE_MINUTE)),
-    );
-    let models: Vec<_> = tracked
-        .iter()
-        .map(|a| {
-            let d = train_home.device(a.name()).expect("simulated");
-            train_device_hmm(&d.name, &d.trace, if d.name == "dryer" { 5 } else { 2 })
-        })
-        .collect();
-
-    // Noise settings are independent (each simulates its own test home
-    // from a fixed seed and shares no RNG state), so the sweep fans out
-    // across threads with results identical to the old serial loop.
-    let points = iot_privacy::fleet::par_map(vec![0.0, 5.0, 10.0, 20.0, 40.0], |sd| {
-        let test_home = Home::simulate(
-            &HomeConfig::new(200)
-                .days(5)
-                .catalogue(tracked.clone())
-                .meter(SmartMeter::new(Resolution::ONE_MINUTE, sd)),
-        );
-        let truth: Vec<_> = test_home
-            .devices
-            .iter()
-            .map(|d| (d.name.clone(), d.trace.clone()))
-            .collect();
-        // Devices that never ran (zero true energy) have an undefined
-        // error factor; skip them in the mean.
-        let mean_err = |scores: &[iot_privacy::nilm::DeviceScore]| {
-            let used: Vec<f64> = scores
-                .iter()
-                .filter(|s| s.true_kwh > 0.0)
-                .map(|s| s.error_factor)
-                .collect();
-            used.iter().sum::<f64>() / used.len().max(1) as f64
-        };
-        let pp = evaluate_disaggregation(
-            &truth,
-            &PowerPlay::from_catalogue(&tracked).disaggregate(&test_home.meter),
-        )
-        .expect("aligned");
-        let fh = evaluate_disaggregation(
-            &truth,
-            &Fhmm::new(models.clone()).disaggregate(&test_home.meter),
-        )
-        .expect("aligned");
-        (sd, mean_err(&pp), mean_err(&fh))
-    });
-
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-    for (sd, pp_err, fh_err) in points {
-        rows.push(vec![
-            format!("{sd:.0} W"),
-            format!("{pp_err:.3}"),
-            format!("{fh_err:.3}"),
-        ]);
-        json.push(serde_json::json!({
-            "noise_sd_w": sd,
-            "powerplay_mean_error": pp_err,
-            "fhmm_mean_error": fh_err,
-        }));
-    }
-    print_table(
-        "NILM ablation: mean error factor vs meter noise (5 tracked devices)",
-        &["noise sd", "PowerPlay", "FHMM"],
-        &rows,
-    );
-    maybe_write_json(
-        &args,
-        &serde_json::json!({"experiment": "ablation_nilm_noise", "points": json}),
-    )
-    .expect("write json output");
-    maybe_write_metrics(&args).expect("write metrics output");
+    bench::experiments::cli_main("ablation_nilm_noise");
 }

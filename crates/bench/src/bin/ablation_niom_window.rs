@@ -1,55 +1,6 @@
-//! NIOM design ablation: detection accuracy vs analysis window length.
-
-use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
-use iot_privacy::homesim::{Home, HomeConfig};
-use iot_privacy::niom::{evaluate, ThresholdDetector};
+//! Thin wrapper over `bench::experiments::ablation_niom_window` — see that module for the
+//! experiment itself; this binary only parses flags and persists artifacts.
 
 fn main() {
-    let args = BenchArgs::parse_or_exit();
-    let homes: Vec<Home> = (0..5u64)
-        .map(|s| Home::simulate(&HomeConfig::new(s).days(7)))
-        .collect();
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-    for window in [5usize, 10, 15, 30, 60, 120] {
-        let detector = ThresholdDetector {
-            window,
-            ..ThresholdDetector::default()
-        };
-        let mean_acc: f64 = homes
-            .iter()
-            .map(|h| {
-                evaluate(&detector, &h.meter, &h.occupancy)
-                    .expect("aligned")
-                    .accuracy
-            })
-            .sum::<f64>()
-            / homes.len() as f64;
-        let mean_mcc: f64 = homes
-            .iter()
-            .map(|h| {
-                evaluate(&detector, &h.meter, &h.occupancy)
-                    .expect("aligned")
-                    .mcc
-            })
-            .sum::<f64>()
-            / homes.len() as f64;
-        rows.push(vec![
-            format!("{window} min"),
-            format!("{mean_acc:.3}"),
-            format!("{mean_mcc:.3}"),
-        ]);
-        json.push(serde_json::json!({"window_min": window, "accuracy": mean_acc, "mcc": mean_mcc}));
-    }
-    print_table(
-        "NIOM ablation: window length vs detection quality (5 homes x 7 days)",
-        &["window", "accuracy", "mcc"],
-        &rows,
-    );
-    maybe_write_json(
-        &args,
-        &serde_json::json!({"experiment": "ablation_niom_window", "points": json}),
-    )
-    .expect("write json output");
-    maybe_write_metrics(&args).expect("write metrics output");
+    bench::experiments::cli_main("ablation_niom_window");
 }

@@ -1,63 +1,6 @@
-//! Section III-E ablation: the user-controllable privacy knob — CHPr
-//! masking effort swept from 0 to 1, tracing the privacy/utility curve.
-
-use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
-use iot_privacy::defense::PrivacyKnob;
-use iot_privacy::homesim::{Home, HomeConfig};
-use iot_privacy::niom::ThresholdDetector;
+//! Thin wrapper over `bench::experiments::ablation_privacy_knob` — see that module for the
+//! experiment itself; this binary only parses flags and persists artifacts.
 
 fn main() {
-    let args = BenchArgs::parse_or_exit();
-    let home = Home::simulate(&HomeConfig::new(42).days(7));
-    let knob = PrivacyKnob {
-        settings: vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
-        ..PrivacyKnob::default()
-    };
-    // Settings are evaluated concurrently, each on its own derived RNG
-    // stream (see `PrivacyKnob::sweep`), so this curve no longer depends
-    // on the sequential position of each setting in the sweep.
-    let points = knob
-        .sweep(
-            &home.meter,
-            &home.occupancy,
-            &ThresholdDetector::default(),
-            3,
-        )
-        .expect("aligned");
-
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| {
-            vec![
-                format!("{:.1}", p.effort),
-                format!("{:.3}", p.attack_mcc),
-                format!("{:.3}", p.attack_accuracy),
-                format!("{:.1}", p.extra_energy_kwh),
-            ]
-        })
-        .collect();
-    print_table(
-        "Privacy knob: CHPr effort vs attack success vs cost (7 days)",
-        &["effort", "attack MCC", "attack acc", "extra kWh"],
-        &rows,
-    );
-    let first = points.first().expect("nonempty");
-    let last = points.last().expect("nonempty");
-    println!(
-        "\nShape check: monotone-ish privacy gain with effort (MCC {:.3} → {:.3}) ✓",
-        first.attack_mcc, last.attack_mcc
-    );
-    assert!(last.attack_mcc < first.attack_mcc);
-    maybe_write_json(
-        &args,
-        &serde_json::json!({
-            "experiment": "ablation_privacy_knob",
-            "points": points.iter().map(|p| serde_json::json!({
-                "effort": p.effort, "mcc": p.attack_mcc,
-                "accuracy": p.attack_accuracy, "extra_kwh": p.extra_energy_kwh,
-            })).collect::<Vec<_>>(),
-        }),
-    )
-    .expect("write json output");
-    maybe_write_metrics(&args).expect("write metrics output");
+    bench::experiments::cli_main("ablation_privacy_knob");
 }

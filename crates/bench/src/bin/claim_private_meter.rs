@@ -1,76 +1,6 @@
-//! Section III-C claim: a meter can prove its bill without revealing any
-//! interval readings — and a cheating meter is caught.
-
-use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
-use iot_privacy::homesim::{Home, HomeConfig};
-use iot_privacy::privatemeter::{MeterProver, PedersenParams, UtilityVerifier};
-use iot_privacy::timeseries::rng::seeded_rng;
-use iot_privacy::timeseries::Resolution;
+//! Thin wrapper over `bench::experiments::claim_private_meter` — see that module for the
+//! experiment itself; this binary only parses flags and persists artifacts.
 
 fn main() {
-    let args = BenchArgs::parse_or_exit();
-    let home = Home::simulate(&HomeConfig::new(5).days(30));
-    let monthly = home
-        .meter
-        .downsample(Resolution::FIFTEEN_MINUTES)
-        .expect("divisible");
-
-    let params = PedersenParams::demo();
-    let prover = MeterProver::from_trace(params, &monthly, &mut seeded_rng(9));
-    let verifier = UtilityVerifier::new(params);
-
-    // Honest bill.
-    let receipt = prover.bill_total();
-    let honest_ok = verifier.verify_total(prover.commitments(), &receipt);
-
-    // Cheating meter understates by 5 %.
-    let mut cheat = receipt;
-    cheat.total = (cheat.total as f64 * 0.95) as u64;
-    let cheat_ok = verifier.verify_total(prover.commitments(), &cheat);
-
-    // Time-of-use bill (peak price noon–8pm).
-    let weights: Vec<u64> = (0..monthly.len())
-        .map(|i| {
-            let hour = (i % 96) / 4;
-            if (12..20).contains(&hour) {
-                30
-            } else {
-                10
-            }
-        })
-        .collect();
-    let tou = prover.bill_weighted(&weights);
-    let tou_ok = verifier.verify_weighted(prover.commitments(), &weights, &tou);
-
-    let rows = vec![
-        vec!["intervals committed".into(), prover.len().to_string()],
-        vec!["honest total (Wh)".into(), receipt.total.to_string()],
-        vec!["honest bill verifies".into(), honest_ok.to_string()],
-        vec!["5% understated bill verifies".into(), cheat_ok.to_string()],
-        vec!["time-of-use bill verifies".into(), tou_ok.to_string()],
-        vec![
-            "true energy (Wh)".into(),
-            format!("{:.0}", monthly.energy_kwh() * 1_000.0),
-        ],
-    ];
-    print_table(
-        "Private meter: verifiable billing over one month",
-        &["metric", "value"],
-        &rows,
-    );
-    assert!(honest_ok && !cheat_ok && tou_ok);
-    println!("\nThe utility verified the bill from commitments alone — it never saw a");
-    println!("single interval reading, so NIOM/NILM have nothing to attack. ✓");
-    maybe_write_json(
-        &args,
-        &serde_json::json!({
-            "experiment": "claim_private_meter",
-            "intervals": prover.len(),
-            "honest_verifies": honest_ok,
-            "cheat_detected": !cheat_ok,
-            "tou_verifies": tou_ok,
-        }),
-    )
-    .expect("write json output");
-    maybe_write_metrics(&args).expect("write metrics output");
+    bench::experiments::cli_main("claim_private_meter");
 }

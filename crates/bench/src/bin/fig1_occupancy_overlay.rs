@@ -1,80 +1,6 @@
-//! Figure 1: power/occupancy overlay for two homes over one day
-//! (8am–11pm), showing that occupancy correlates with elevated, bursty
-//! usage.
-//!
-//! Prints the per-half-hour series for Home-A (quiet) and Home-B (busy)
-//! and summary statistics of occupied vs empty power.
-
-use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
-use iot_privacy::homesim::{Home, HomeConfig};
-use iot_privacy::timeseries::aligned;
+//! Thin wrapper over `bench::experiments::fig1_occupancy_overlay` — see that module for the
+//! experiment itself; this binary only parses flags and persists artifacts.
 
 fn main() {
-    let args = BenchArgs::parse_or_exit();
-    // Home-A: quiet household (≈0–3 kW); Home-B: busy (≈0–6 kW).
-    let home_a = Home::simulate(&HomeConfig::new(11).days(3).intensity(0.6));
-    let home_b = Home::simulate(&HomeConfig::new(22).days(3).intensity(2.2));
-
-    let mut rows = Vec::new();
-    for (label, home) in [("Home-A", &home_a), ("Home-B", &home_b)] {
-        // Day 1, 8am–11pm, half-hour aggregation like the figure's x-axis.
-        let day = 1usize;
-        for half_hour in 16..46 {
-            let lo = day * 1440 + half_hour * 30;
-            let mean_kw: f64 = (lo..lo + 30).map(|i| home.meter.kw(i)).sum::<f64>() / 30.0;
-            let occupied = (lo..lo + 30).filter(|&i| home.occupancy.get(i)).count() >= 15;
-            rows.push(vec![
-                label.to_string(),
-                format!("{:02}:{:02}", half_hour / 2, (half_hour % 2) * 30),
-                format!("{mean_kw:.2}"),
-                if occupied { "1".into() } else { "0".into() },
-            ]);
-        }
-    }
-    print_table(
-        "Figure 1: average power (kW) and occupancy, 8am-11pm",
-        &["home", "time", "kw", "occupied"],
-        &rows,
-    );
-
-    // The figure's claim: occupied periods are higher and burstier.
-    let mut summary_rows = Vec::new();
-    let mut json_homes = Vec::new();
-    for (label, home) in [("Home-A", &home_a), ("Home-B", &home_b)] {
-        let pair = aligned(&home.meter, &home.occupancy).expect("simulator aligns outputs");
-        let (occupied, empty) = pair.partition();
-        let stat = |v: &[f64]| {
-            let m = v.iter().sum::<f64>() / v.len().max(1) as f64;
-            let var = v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len().max(1) as f64;
-            (m, var.sqrt())
-        };
-        let (mo, so) = stat(&occupied);
-        let (me, se) = stat(&empty);
-        summary_rows.push(vec![
-            label.to_string(),
-            format!("{mo:.0} W"),
-            format!("{so:.0} W"),
-            format!("{me:.0} W"),
-            format!("{se:.0} W"),
-        ]);
-        json_homes.push(serde_json::json!({
-            "home": label,
-            "occupied_mean_w": mo, "occupied_sigma_w": so,
-            "empty_mean_w": me, "empty_sigma_w": se,
-        }));
-        assert!(mo > me, "{label}: occupied periods must use more power");
-        assert!(so > se, "{label}: occupied periods must be burstier");
-    }
-    print_table(
-        "Occupied vs empty statistics (3 days)",
-        &["home", "occ mean", "occ sigma", "empty mean", "empty sigma"],
-        &summary_rows,
-    );
-    maybe_write_json(
-        &args,
-        &serde_json::json!({ "experiment": "fig1", "homes": json_homes }),
-    )
-    .expect("write json output");
-    maybe_write_metrics(&args).expect("write metrics output");
-    println!("\nShape check: occupancy correlates with higher, burstier power in both homes. ✓");
+    bench::experiments::cli_main("fig1_occupancy_overlay");
 }

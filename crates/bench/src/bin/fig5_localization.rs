@@ -1,108 +1,6 @@
-//! Figure 5: localization error (km) for 10 solar sites using solar
-//! signatures (SunSpot, 1-minute data) and weather signatures (Weatherman,
-//! 1-hour data).
-//!
-//! Shape target: SunSpot lands within tens of km on most sites with a few
-//! worse outliers; Weatherman is within a few km on all sites despite the
-//! coarser data.
-
-use bench::{maybe_write_json, maybe_write_metrics, print_table, BenchArgs};
-use iot_privacy::solar::{GeoPoint, SolarSite, SunSpot, WeatherGrid, Weatherman};
-use iot_privacy::timeseries::rng::seeded_rng;
-use iot_privacy::timeseries::Resolution;
+//! Thin wrapper over `bench::experiments::fig5_localization` — see that module for the
+//! experiment itself; this binary only parses flags and persists artifacts.
 
 fn main() {
-    let args = BenchArgs::parse_or_exit();
-    // Ten sites spread across US-scale latitudes/longitudes ("different
-    // states"), each in its own weather region.
-    let sites = [
-        ("MA", GeoPoint::new(42.39, -72.53)),
-        ("VT", GeoPoint::new(44.26, -72.58)),
-        ("NC", GeoPoint::new(35.78, -78.64)),
-        ("FL", GeoPoint::new(28.54, -81.38)),
-        ("TX", GeoPoint::new(30.27, -97.74)),
-        ("CO", GeoPoint::new(39.74, -104.99)),
-        ("AZ", GeoPoint::new(33.45, -112.07)),
-        ("CA", GeoPoint::new(37.77, -122.42)),
-        ("OR", GeoPoint::new(45.52, -122.68)),
-        ("MN", GeoPoint::new(44.98, -93.27)),
-    ];
-    let days = 60u64;
-    let weatherman_days = 90u64; // coarser data, longer history
-
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-    let mut sunspot_errs = Vec::new();
-    let mut weatherman_errs = Vec::new();
-    for (i, (state, truth)) in sites.iter().enumerate() {
-        let seed = 1_000 + i as u64;
-        // Offset the grid centre so the true site is not an anchor freebie.
-        let centre = GeoPoint::new(truth.lat_deg - 0.31, truth.lon_deg + 0.27);
-        let mut grid = WeatherGrid::new_region(centre, 300.0, 9, seed);
-        grid.extend_to(weatherman_days, seed);
-        let site = SolarSite::new(*truth, 6.0);
-
-        // SunSpot: 1-minute generation data.
-        let fine = site.generate(days, Resolution::ONE_MINUTE, &grid, &mut seeded_rng(seed));
-        let sunspot_err = SunSpot::default()
-            .localize(&fine)
-            .map(|g| truth.distance_km(&g))
-            .unwrap_or(f64::NAN);
-
-        // Weatherman: 1-hour data plus the public weather grid.
-        let coarse = site.generate(
-            weatherman_days,
-            Resolution::ONE_HOUR,
-            &grid,
-            &mut seeded_rng(seed + 7),
-        );
-        let weatherman_err = Weatherman::default()
-            .localize(&coarse, &grid)
-            .map(|g| truth.distance_km(&g))
-            .unwrap_or(f64::NAN);
-
-        sunspot_errs.push(sunspot_err);
-        weatherman_errs.push(weatherman_err);
-        rows.push(vec![
-            format!("{} (site {})", state, i + 1),
-            format!("{sunspot_err:.1}"),
-            format!("{weatherman_err:.1}"),
-        ]);
-        json.push(serde_json::json!({
-            "site": i + 1, "state": state,
-            "sunspot_km": sunspot_err, "weatherman_km": weatherman_err,
-        }));
-    }
-    print_table(
-        "Figure 5: localization error (km) — SunSpot (1-min) vs Weatherman (1-h)",
-        &["site", "SunSpot km", "Weatherman km"],
-        &rows,
-    );
-
-    let max_wm = weatherman_errs.iter().copied().fold(0.0, f64::max);
-    let med = |v: &[f64]| {
-        let mut s = v.to_vec();
-        s.sort_by(|a, b| a.total_cmp(b));
-        s[s.len() / 2]
-    };
-    println!(
-        "\nSunSpot median {:.1} km; Weatherman max {:.1} km",
-        med(&sunspot_errs),
-        max_wm
-    );
-    println!(
-        "Shape check: Weatherman ≤ ~10 km on all sites ({}), SunSpot coarser with outliers ({})",
-        if max_wm < 12.0 { "✓" } else { "✗" },
-        if med(&sunspot_errs) < 120.0 {
-            "✓"
-        } else {
-            "✗"
-        },
-    );
-    maybe_write_json(
-        &args,
-        &serde_json::json!({ "experiment": "fig5", "sites": json }),
-    )
-    .expect("write json output");
-    maybe_write_metrics(&args).expect("write metrics output");
+    bench::experiments::cli_main("fig5_localization");
 }

@@ -1,0 +1,58 @@
+//! CHPr design ablation: masking effectiveness vs burst cadence — the
+//! thermal-budget tradeoff DESIGN.md calls out (a faster cadence masks
+//! better until the tank saturates).
+
+use super::{Report, RunConfig};
+use iot_privacy::defense::{Chpr, Defense};
+use iot_privacy::homesim::{Home, HomeConfig};
+use iot_privacy::niom::{OccupancyDetector, ThresholdDetector};
+use iot_privacy::timeseries::rng::seeded_rng;
+
+/// Runs the CHPr burst-cadence ablation.
+pub fn run(cfg: &RunConfig) -> Report {
+    let home = Home::simulate(&HomeConfig::new(cfg.seed(60)).days(7));
+    let attack = ThresholdDetector::default();
+    let base = home
+        .occupancy
+        .confusion(&attack.detect(&home.meter))
+        .expect("aligned")
+        .mcc();
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for gap in [2_400.0, 1_200.0, 660.0, 330.0] {
+        let chpr = Chpr {
+            mean_burst_gap_secs: gap,
+            ..Chpr::default()
+        };
+        let defended = chpr.apply(&home.meter, &mut seeded_rng(cfg.seed(2)));
+        let mcc = home
+            .occupancy
+            .confusion(&attack.detect(&defended.trace))
+            .expect("aligned")
+            .mcc();
+        rows.push(vec![
+            format!("{gap:.0} s"),
+            format!("{mcc:.3}"),
+            format!("{:.1}", defended.cost.extra_energy_kwh),
+            format!("{:.0}", defended.cost.unserved_hot_water_liters),
+        ]);
+        json.push(serde_json::json!({
+            "burst_gap_secs": gap, "attack_mcc": mcc,
+            "extra_kwh": defended.cost.extra_energy_kwh,
+            "unserved_l": defended.cost.unserved_hot_water_liters,
+        }));
+    }
+    let mut report = Report::new();
+    report.table(
+        &format!("CHPr ablation: burst cadence vs attack MCC (undefended {base:.3})"),
+        &["burst gap", "attack MCC", "extra kWh", "unserved L"],
+        rows,
+    );
+    report.json = serde_json::json!({
+        "experiment": "ablation_chpr_tank",
+        "undefended_mcc": base,
+        "points": json,
+    });
+    report
+}

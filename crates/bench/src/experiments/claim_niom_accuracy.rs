@@ -1,0 +1,86 @@
+//! NIOM accuracy claim: "prior work reports occupancy detection accuracies
+//! of 70–90 % for a range of homes".
+//!
+//! Runs both NIOM detectors over 20 simulated homes (varied seeds,
+//! personas, and activity intensities) and reports the accuracy
+//! distribution.
+
+use super::{Report, RunConfig};
+use iot_privacy::homesim::{Home, HomeConfig, Persona};
+use iot_privacy::niom::{
+    evaluate, HmmDetector, LogisticDetector, OccupancyDetector, ThresholdDetector,
+};
+
+/// Runs the NIOM accuracy-band claim experiment.
+pub fn run(cfg: &RunConfig) -> Report {
+    let personas = [Persona::Worker, Persona::Homebody, Persona::NightShift];
+    // The supervised detector trains once on three held-out homes — the
+    // analytics-company setting of the paper's Figure 3 job ad.
+    let training: Vec<Home> = (100..103u64)
+        .map(|s| Home::simulate(&HomeConfig::new(cfg.seed(s)).days(14)))
+        .collect();
+    let pairs: Vec<_> = training.iter().map(|h| (&h.meter, &h.occupancy)).collect();
+    let logistic = LogisticDetector::train(&pairs, 15);
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut all_acc = Vec::new();
+    for seed in 0..20u64 {
+        let persona = personas[(seed % 3) as usize];
+        let intensity = 0.6 + 0.15 * (seed % 5) as f64;
+        let home = Home::simulate(
+            &HomeConfig::new(cfg.seed(seed))
+                .days(14)
+                .persona(persona)
+                .intensity(intensity),
+        );
+        for detector in [
+            &ThresholdDetector::default() as &dyn OccupancyDetector,
+            &HmmDetector::default(),
+            &logistic,
+        ] {
+            let eval =
+                evaluate(detector, &home.meter, &home.occupancy).expect("simulator aligns outputs");
+            if detector.name() == "niom-threshold" {
+                all_acc.push(eval.accuracy);
+            }
+            rows.push(vec![
+                seed.to_string(),
+                format!("{persona:?}"),
+                detector.name().to_string(),
+                format!("{:.3}", eval.accuracy),
+                format!("{:.3}", eval.mcc),
+            ]);
+            json.push(serde_json::json!({
+                "seed": seed, "persona": format!("{persona:?}"),
+                "detector": detector.name(),
+                "accuracy": eval.accuracy, "mcc": eval.mcc,
+            }));
+        }
+    }
+    let mut report = Report::new();
+    report.table(
+        "NIOM occupancy-detection accuracy across 20 homes (14 days each)",
+        &["seed", "persona", "detector", "accuracy", "mcc"],
+        rows,
+    );
+    let lo = all_acc.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = all_acc.iter().copied().fold(0.0, f64::max);
+    let mean = all_acc.iter().sum::<f64>() / all_acc.len() as f64;
+    report.note(format!(
+        "\nthreshold detector: min {lo:.3}  mean {mean:.3}  max {hi:.3}"
+    ));
+    report.note(format!(
+        "paper's band: 0.70–0.90  →  {}",
+        if lo > 0.6 && hi < 0.97 && mean > 0.7 {
+            "shape reproduced ✓"
+        } else {
+            "OUT OF BAND ✗"
+        }
+    ));
+    report.json = serde_json::json!({
+        "experiment": "claim_niom_accuracy",
+        "threshold_accuracy": {"min": lo, "mean": mean, "max": hi},
+        "runs": json,
+    });
+    report
+}

@@ -1,0 +1,73 @@
+//! Section III-C claim: a meter can prove its bill without revealing any
+//! interval readings — and a cheating meter is caught.
+
+use super::{Report, RunConfig};
+use iot_privacy::homesim::{Home, HomeConfig};
+use iot_privacy::privatemeter::{MeterProver, PedersenParams, UtilityVerifier};
+use iot_privacy::timeseries::rng::seeded_rng;
+use iot_privacy::timeseries::Resolution;
+
+/// Runs the verifiable-billing claim experiment.
+pub fn run(cfg: &RunConfig) -> Report {
+    let home = Home::simulate(&HomeConfig::new(cfg.seed(5)).days(30));
+    let monthly = home
+        .meter
+        .downsample(Resolution::FIFTEEN_MINUTES)
+        .expect("divisible");
+
+    let params = PedersenParams::demo();
+    let prover = MeterProver::from_trace(params, &monthly, &mut seeded_rng(cfg.seed(9)));
+    let verifier = UtilityVerifier::new(params);
+
+    // Honest bill.
+    let receipt = prover.bill_total();
+    let honest_ok = verifier.verify_total(prover.commitments(), &receipt);
+
+    // Cheating meter understates by 5 %.
+    let mut cheat = receipt;
+    cheat.total = (cheat.total as f64 * 0.95) as u64;
+    let cheat_ok = verifier.verify_total(prover.commitments(), &cheat);
+
+    // Time-of-use bill (peak price noon–8pm).
+    let weights: Vec<u64> = (0..monthly.len())
+        .map(|i| {
+            let hour = (i % 96) / 4;
+            if (12..20).contains(&hour) {
+                30
+            } else {
+                10
+            }
+        })
+        .collect();
+    let tou = prover.bill_weighted(&weights);
+    let tou_ok = verifier.verify_weighted(prover.commitments(), &weights, &tou);
+
+    let rows = vec![
+        vec!["intervals committed".into(), prover.len().to_string()],
+        vec!["honest total (Wh)".into(), receipt.total.to_string()],
+        vec!["honest bill verifies".into(), honest_ok.to_string()],
+        vec!["5% understated bill verifies".into(), cheat_ok.to_string()],
+        vec!["time-of-use bill verifies".into(), tou_ok.to_string()],
+        vec![
+            "true energy (Wh)".into(),
+            format!("{:.0}", monthly.energy_kwh() * 1_000.0),
+        ],
+    ];
+    let mut report = Report::new();
+    report.table(
+        "Private meter: verifiable billing over one month",
+        &["metric", "value"],
+        rows,
+    );
+    assert!(honest_ok && !cheat_ok && tou_ok);
+    report.note("\nThe utility verified the bill from commitments alone — it never saw a");
+    report.note("single interval reading, so NIOM/NILM have nothing to attack. ✓");
+    report.json = serde_json::json!({
+        "experiment": "claim_private_meter",
+        "intervals": prover.len(),
+        "honest_verifies": honest_ok,
+        "cheat_detected": !cheat_ok,
+        "tou_verifies": tou_ok,
+    });
+    report
+}

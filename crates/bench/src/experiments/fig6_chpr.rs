@@ -1,0 +1,72 @@
+//! Figure 6: a week of home power before and after CHPr, with the NIOM
+//! attack's MCC on both (paper: 0.44 → 0.045, a ~10× drop to near-random).
+
+use super::{Report, RunConfig};
+use iot_privacy::defense::{Chpr, Defense};
+use iot_privacy::homesim::{Home, HomeConfig};
+use iot_privacy::niom::{OccupancyDetector, ThresholdDetector};
+use iot_privacy::timeseries::rng::seeded_rng;
+
+/// Runs the Figure 6 CHPr experiment.
+pub fn run(cfg: &RunConfig) -> Report {
+    let home = Home::simulate(&HomeConfig::new(cfg.seed(60)).days(7));
+    let attack = ThresholdDetector::default();
+
+    let mcc_before = home
+        .occupancy
+        .confusion(&attack.detect(&home.meter))
+        .expect("aligned")
+        .mcc();
+    let defended = Chpr::default().apply(&home.meter, &mut seeded_rng(cfg.seed(1)));
+    let mcc_after = home
+        .occupancy
+        .confusion(&attack.detect(&defended.trace))
+        .expect("aligned")
+        .mcc();
+
+    // The figure's visual: daily peak/mean power before and after. Each
+    // day's stats are read-only slices of the same two traces, so the
+    // seven rows are computed concurrently.
+    let rows = iot_privacy::fleet::par_map((0..7u64).collect(), |day| {
+        let orig = home.meter.day_slice(day);
+        let def = defended.trace.day_slice(day);
+        vec![
+            format!("{}", day + 1),
+            format!("{:.2}", orig.mean_watts() / 1_000.0),
+            format!("{:.2}", orig.max_watts() / 1_000.0),
+            format!("{:.2}", def.mean_watts() / 1_000.0),
+            format!("{:.2}", def.max_watts() / 1_000.0),
+        ]
+    });
+    let mut report = Report::new();
+    report.table(
+        "Figure 6: week of power before/after CHPr (kW)",
+        &["day", "orig mean", "orig peak", "chpr mean", "chpr peak"],
+        rows,
+    );
+
+    report.note(format!(
+        "\nNIOM attack MCC: original {mcc_before:.3} → CHPr {mcc_after:.3}"
+    ));
+    report.note("paper: 0.44 → 0.045 (~10x, ≈ random)");
+    report.note(format!(
+        "Shape check: large MCC collapse toward 0 → {}",
+        if mcc_before > 0.4 && mcc_after < 0.2 && mcc_after < mcc_before / 3.0 {
+            "reproduced ✓"
+        } else {
+            "VIOLATED ✗"
+        }
+    ));
+    report.note(format!(
+        "CHPr cost: {:.1} kWh extra over the week, {:.0} L hot water unserved",
+        defended.cost.extra_energy_kwh, defended.cost.unserved_hot_water_liters
+    ));
+    report.json = serde_json::json!({
+        "experiment": "fig6",
+        "mcc_before": mcc_before,
+        "mcc_after": mcc_after,
+        "extra_energy_kwh": defended.cost.extra_energy_kwh,
+        "unserved_hot_water_liters": defended.cost.unserved_hot_water_liters,
+    });
+    report
+}

@@ -1,0 +1,137 @@
+//! Fleet-scale throughput: homes/sec for the parallel scenario engine vs
+//! the serial reference at fleet sizes 10, 100, and 1000.
+//!
+//! Each home is an independent 1-day Figure-6 scenario (simulate → NIOM
+//! attack → CHPr → attack again). The parallel and serial engines produce
+//! bit-identical results (asserted here on every run); the only thing the
+//! thread pool buys is wall-clock time.
+//!
+//! With the [`obs`] layer enabled (the binary's `--metrics <path>` flag)
+//! the run additionally breaks each parallel run down per pipeline stage
+//! (homes/sec through simulate, attack, defend) — stage seconds are
+//! summed across worker threads, so they are cumulative CPU-seconds, not
+//! wall-clock.
+//!
+//! The JSON output carries wall-clock timings, so this is the one
+//! experiment whose artifact is *not* a pure function of the seed (its
+//! registry entry sets `deterministic: false`).
+
+use super::{Report, RunConfig};
+use iot_privacy::scenario::EnergyScenario;
+use iot_privacy::{obs, run_fleet, run_fleet_serial};
+use std::time::Instant;
+
+const ROOT_SEED: u64 = 7;
+
+/// The per-home pipeline stages rolled up in the `--metrics` breakdown.
+const STAGES: [&str; 5] = [
+    "fleet.home",
+    "scenario.simulate",
+    "scenario.attack_undefended",
+    "scenario.defend",
+    "scenario.attack_defended",
+];
+
+/// Per-stage CPU-seconds spent between two snapshots, from exact
+/// count/total deltas (quantiles are not delta-able; throughput is).
+fn stage_deltas(before: &obs::MetricsReport, after: &obs::MetricsReport) -> Vec<(String, f64)> {
+    STAGES
+        .iter()
+        .filter_map(|&stage| {
+            let prior = before.timing(stage).map_or(0.0, |t| t.total);
+            let total = after.timing(stage).map_or(0.0, |t| t.total) - prior;
+            (total > 0.0).then(|| (stage.to_string(), total))
+        })
+        .collect()
+}
+
+/// Runs the fleet-throughput benchmark.
+pub fn run(cfg: &RunConfig) -> Report {
+    let root_seed = cfg.seed(ROOT_SEED);
+    let build = move |seed: u64| EnergyScenario::new(seed).days(1);
+    let threads = rayon::current_num_threads();
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut stage_rows = Vec::new();
+    for homes in [10usize, 100, 1000] {
+        let t = Instant::now();
+        let serial = run_fleet_serial(homes, root_seed, build);
+        let serial_s = t.elapsed().as_secs_f64();
+
+        // Snapshot around the parallel run only, so the per-stage delta
+        // excludes the serial reference's contribution.
+        let before = obs::is_enabled().then(obs::snapshot);
+        let t = Instant::now();
+        let parallel = run_fleet(homes, root_seed, build);
+        let parallel_s = t.elapsed().as_secs_f64();
+
+        assert_eq!(
+            parallel, serial,
+            "parallel fleet must match the serial reference"
+        );
+
+        let speedup = serial_s / parallel_s;
+        let homes_per_sec = homes as f64 / parallel_s;
+        rows.push(vec![
+            format!("{homes}"),
+            format!("{:.0}", homes as f64 / serial_s),
+            format!("{homes_per_sec:.0}"),
+            format!("{speedup:.2}x"),
+        ]);
+        let mut size_json = serde_json::json!({
+            "homes": homes,
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "serial_homes_per_sec": homes as f64 / serial_s,
+            "parallel_homes_per_sec": homes_per_sec,
+            "speedup": speedup,
+            "summary": serde_json::to_value(&parallel.summary),
+        });
+        if let Some(before) = before {
+            let deltas = stage_deltas(&before, &obs::snapshot());
+            let mut stages = serde_json::Map::new();
+            stage_rows.clear();
+            for (stage, cpu_s) in &deltas {
+                stage_rows.push(vec![
+                    stage.clone(),
+                    format!("{cpu_s:.3}"),
+                    format!("{:.0}", homes as f64 / cpu_s),
+                ]);
+                stages.insert(
+                    stage.clone(),
+                    serde_json::json!({
+                        "cpu_seconds": cpu_s,
+                        "homes_per_cpu_sec": homes as f64 / cpu_s,
+                    }),
+                );
+            }
+            if let serde_json::Value::Object(map) = &mut size_json {
+                map.insert("stages".to_string(), serde_json::Value::Object(stages));
+            }
+        }
+        json.push(size_json);
+    }
+
+    let mut report = Report::new();
+    report.table(
+        &format!("Fleet throughput: 1-day scenarios, {threads} threads"),
+        &["homes", "serial homes/s", "parallel homes/s", "speedup"],
+        rows,
+    );
+    if !stage_rows.is_empty() {
+        report.table(
+            "Per-stage breakdown, 1000-home parallel run (CPU-seconds across workers)",
+            &["stage", "cpu s", "homes/cpu-s"],
+            stage_rows,
+        );
+    }
+    report.note("\nParallel results verified bit-identical to the serial reference ✓");
+
+    report.json = serde_json::json!({
+        "experiment": "fleet_scale",
+        "threads": threads,
+        "sizes": json,
+    });
+    report
+}

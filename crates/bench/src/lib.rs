@@ -1,10 +1,15 @@
 //! Shared helpers for the experiment harness.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper
-//! (see DESIGN.md's experiment index). Binaries print aligned text tables
-//! to stdout and accept two flags, both parsed by [`BenchArgs`]:
+//! (see DESIGN.md's experiment index). Binaries are thin wrappers around
+//! the library entry points in [`experiments`] — one
+//! `pub fn run(&RunConfig) -> Report` per experiment, so the conformance
+//! harness (`crates/conformance`) can invoke them in-process. Binaries
+//! print aligned text tables to stdout and accept three flags, all parsed
+//! by [`BenchArgs`]:
 //!
 //! * `--json <path>` — also write machine-readable results;
+//! * `--txt <path>` — also write the rendered text report;
 //! * `--metrics <path>` — enable the [`obs`] observability layer and
 //!   write a per-stage metrics sidecar (schema documented in
 //!   `docs/OBSERVABILITY.md`) when the binary exits through
@@ -15,9 +20,12 @@
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-/// Prints a text table: a header row then aligned data rows.
-pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
-    println!("\n== {title} ==");
+pub mod experiments;
+
+/// Renders a text table — a `== title ==` banner, a header row, then
+/// aligned data rows — as a string ending in a newline.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = format!("\n== {title} ==\n");
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -34,19 +42,28 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!(
-        "{}",
-        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
-    );
+    out.push_str(&fmt_row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
     for row in rows {
-        println!("{}", fmt_row(row));
+        out.push_str(&fmt_row(row));
+        out.push('\n');
     }
+    out
+}
+
+/// Prints a text table: a header row then aligned data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    print!("{}", render_table(title, header, rows));
 }
 
 /// The usage string shared by every experiment binary, printed on any
 /// malformed invocation.
-pub const USAGE: &str = "usage: <experiment> [--json <path>] [--metrics <path>]
+pub const USAGE: &str = "usage: <experiment> [--json <path>] [--txt <path>] [--metrics <path>]
   --json <path>     also write machine-readable results to <path>
+  --txt <path>      also write the rendered text report (tables and shape
+                    checks, without the artifact-write notices) to <path>
   --metrics <path>  enable the observability layer and write a metrics
                     sidecar (per-stage timings and counters) to <path>";
 
@@ -55,6 +72,8 @@ pub const USAGE: &str = "usage: <experiment> [--json <path>] [--metrics <path>]
 pub enum ArgsError {
     /// `--json` was given without a following path.
     MissingJsonPath,
+    /// `--txt` was given without a following path.
+    MissingTxtPath,
     /// `--metrics` was given without a following path.
     MissingMetricsPath,
     /// An argument no experiment binary understands.
@@ -66,6 +85,9 @@ impl std::fmt::Display for ArgsError {
         match self {
             ArgsError::MissingJsonPath => {
                 write!(f, "--json requires a path argument\n{USAGE}")
+            }
+            ArgsError::MissingTxtPath => {
+                write!(f, "--txt requires a path argument\n{USAGE}")
             }
             ArgsError::MissingMetricsPath => {
                 write!(f, "--metrics requires a path argument\n{USAGE}")
@@ -84,6 +106,8 @@ impl std::error::Error for ArgsError {}
 pub struct BenchArgs {
     /// Where to write machine-readable results, from `--json <path>`.
     pub json_path: Option<PathBuf>,
+    /// Where to write the rendered text report, from `--txt <path>`.
+    pub txt_path: Option<PathBuf>,
     /// Where to write the metrics sidecar, from `--metrics <path>`.
     pub metrics_path: Option<PathBuf>,
 }
@@ -115,6 +139,12 @@ impl BenchArgs {
                         parsed.json_path = Some(PathBuf::from(path));
                     }
                     _ => return Err(ArgsError::MissingJsonPath),
+                },
+                "--txt" => match it.next() {
+                    Some(path) if !path.starts_with("--") => {
+                        parsed.txt_path = Some(PathBuf::from(path));
+                    }
+                    _ => return Err(ArgsError::MissingTxtPath),
                 },
                 "--metrics" => match it.next() {
                     Some(path) if !path.starts_with("--") => {
@@ -149,6 +179,11 @@ impl BenchArgs {
         self.json_path.as_deref()
     }
 
+    /// The `--txt` output path, if one was requested.
+    pub fn txt_path(&self) -> Option<&Path> {
+        self.txt_path.as_deref()
+    }
+
     /// The `--metrics` sidecar path, if one was requested.
     pub fn metrics_path(&self) -> Option<&Path> {
         self.metrics_path.as_deref()
@@ -179,6 +214,25 @@ pub fn maybe_write_json(args: &BenchArgs, value: &serde_json::Value) -> std::io:
     let rendered = serde_json::to_string_pretty(value)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     write!(f, "{rendered}")?;
+    println!("(wrote {})", path.display());
+    Ok(())
+}
+
+/// Writes `text` to the path parsed from `--txt`, if one was given; a
+/// no-op otherwise. The text artifact carries exactly the rendered report
+/// (tables and shape-check notes), so the `.json`/`.txt` pair under
+/// `results/` stays a pure function of the experiment.
+///
+/// # Errors
+///
+/// Returns the I/O error if the file cannot be created or written.
+pub fn maybe_write_txt(args: &BenchArgs, text: &str) -> std::io::Result<()> {
+    let Some(path) = args.txt_path() else {
+        return Ok(());
+    };
+    create_parent_dirs(path)?;
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "{text}")?;
     println!("(wrote {})", path.display());
     Ok(())
 }
@@ -239,6 +293,27 @@ mod tests {
     }
 
     #[test]
+    fn parses_txt_flag_and_writes_text() {
+        let args = BenchArgs::from_slice(&strings(&["--txt", "out.txt"])).unwrap();
+        assert_eq!(args.txt_path, Some(PathBuf::from("out.txt")));
+        assert_eq!(
+            BenchArgs::from_slice(&strings(&["--txt"])),
+            Err(ArgsError::MissingTxtPath)
+        );
+
+        let dir = std::env::temp_dir().join("bench_txt_test_dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("out.txt");
+        let args = BenchArgs {
+            txt_path: Some(path.clone()),
+            ..BenchArgs::default()
+        };
+        maybe_write_txt(&args, "rendered report\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "rendered report\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn trailing_json_flag_is_an_error() {
         assert_eq!(
             BenchArgs::from_slice(&strings(&["--json"])),
@@ -290,6 +365,7 @@ mod tests {
         let path = dir.join("nested").join("out.json");
         let args = BenchArgs {
             json_path: Some(path.clone()),
+            txt_path: None,
             metrics_path: None,
         };
         maybe_write_json(&args, &serde_json::json!({"ok": true})).unwrap();
@@ -307,6 +383,7 @@ mod tests {
         obs::counter_add("benchtest.stage.items", 5);
         let args = BenchArgs {
             json_path: None,
+            txt_path: None,
             metrics_path: Some(path.clone()),
         };
         maybe_write_metrics(&args).unwrap();

@@ -1,0 +1,189 @@
+//! Structural JSON diff for golden-snapshot comparison.
+//!
+//! Two deliberate deviations from plain `Value` equality:
+//!
+//! * Objects compare as key → value maps, not entry sequences — the
+//!   vendored `Map` preserves insertion order and derives an
+//!   order-sensitive `PartialEq`, but key order is not part of the
+//!   artifact contract.
+//! * Non-finite floats compare equal to `null`: JSON has no NaN, so the
+//!   writer renders NaN as `null` (e.g. the dryer's undefined FHMM error
+//!   in `fig2_disaggregation`), and a freshly computed `Value` still
+//!   holds the NaN.
+
+use serde_json::Value;
+
+/// Caps the report so one structural mishap cannot flood the output.
+const MAX_DIFFS: usize = 20;
+
+/// Structural differences between a golden `expected` snapshot and a
+/// freshly computed `actual` value, as `$.path: what differs` lines.
+/// Empty means the snapshot matches.
+pub fn diff(expected: &Value, actual: &Value) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut truncated = false;
+    walk("$", expected, actual, &mut out, &mut truncated);
+    if truncated {
+        out.push(format!("... further differences truncated at {MAX_DIFFS}"));
+    }
+    out
+}
+
+static NULL: Value = Value::Null;
+
+/// A `Value` with writer semantics applied: non-finite numbers are null.
+fn written_form(v: &Value) -> &Value {
+    match v {
+        Value::Number(n) if !n.as_f64().is_finite() => &NULL,
+        other => other,
+    }
+}
+
+fn push(out: &mut Vec<String>, truncated: &mut bool, line: String) {
+    if out.len() < MAX_DIFFS {
+        out.push(line);
+    } else {
+        *truncated = true;
+    }
+}
+
+fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+fn walk(path: &str, expected: &Value, actual: &Value, out: &mut Vec<String>, truncated: &mut bool) {
+    let (expected, actual) = (written_form(expected), written_form(actual));
+    match (expected, actual) {
+        (Value::Object(e), Value::Object(a)) => {
+            for (key, ev) in e.iter() {
+                match a.get(key) {
+                    Some(av) => walk(&format!("{path}.{key}"), ev, av, out, truncated),
+                    None => push(out, truncated, format!("{path}.{key}: missing from run")),
+                }
+            }
+            for (key, _) in a.iter() {
+                if !e.contains_key(key) {
+                    push(
+                        out,
+                        truncated,
+                        format!("{path}.{key}: not in golden snapshot"),
+                    );
+                }
+            }
+        }
+        (Value::Array(e), Value::Array(a)) => {
+            if e.len() != a.len() {
+                push(
+                    out,
+                    truncated,
+                    format!("{path}: array length {} vs {}", e.len(), a.len()),
+                );
+            }
+            for (i, (ev, av)) in e.iter().zip(a.iter()).enumerate() {
+                walk(&format!("{path}[{i}]"), ev, av, out, truncated);
+            }
+        }
+        (Value::Number(e), Value::Number(a)) => {
+            // Exact: floats round-trip losslessly through the writer's
+            // shortest-representation rendering and strtod parsing.
+            if e.as_f64() != a.as_f64() {
+                push(
+                    out,
+                    truncated,
+                    format!("{path}: expected {expected}, got {actual}"),
+                );
+            }
+        }
+        _ if type_name(expected) != type_name(actual) => push(
+            out,
+            truncated,
+            format!(
+                "{path}: expected {} ({expected}), got {} ({actual})",
+                type_name(expected),
+                type_name(actual)
+            ),
+        ),
+        _ => {
+            if expected != actual {
+                push(
+                    out,
+                    truncated,
+                    format!("{path}: expected {expected}, got {actual}"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn identical_values_have_no_diff() {
+        let v = json!({"a": 1, "b": [1.5, true, "x"], "c": {"d": null}});
+        assert!(diff(&v, &v.clone()).is_empty());
+    }
+
+    #[test]
+    fn key_order_does_not_matter() {
+        let golden: Value = serde_json::from_str(r#"{"a": 1, "b": 2}"#).unwrap();
+        let fresh: Value = serde_json::from_str(r#"{"b": 2, "a": 1}"#).unwrap();
+        assert!(diff(&golden, &fresh).is_empty());
+    }
+
+    #[test]
+    fn nan_matches_the_null_it_was_written_as() {
+        let golden = json!({"err": null});
+        let fresh = json!({"err": f64::NAN});
+        assert!(diff(&golden, &fresh).is_empty());
+    }
+
+    #[test]
+    fn integer_and_float_forms_of_the_same_number_match() {
+        let golden: Value = serde_json::from_str(r#"{"n": 7}"#).unwrap();
+        let fresh = json!({"n": 7.0});
+        assert!(diff(&golden, &fresh).is_empty());
+    }
+
+    #[test]
+    fn differences_name_the_path() {
+        let golden = json!({"x": {"y": 1.0}, "only_golden": 1});
+        let fresh = json!({"x": {"y": 2.0}, "extra": true});
+        let diffs = diff(&golden, &fresh);
+        assert!(diffs
+            .iter()
+            .any(|d| d.starts_with("$.x.y: expected 1.0, got 2.0")));
+        assert!(diffs
+            .iter()
+            .any(|d| d.contains("$.only_golden: missing from run")));
+        assert!(diffs
+            .iter()
+            .any(|d| d.contains("$.extra: not in golden snapshot")));
+    }
+
+    #[test]
+    fn array_length_and_type_mismatches_are_reported() {
+        let diffs = diff(&json!([1, 2, 3]), &json!([1, 2]));
+        assert!(diffs[0].contains("array length 3 vs 2"));
+        let diffs = diff(&json!({"v": "s"}), &json!({"v": 1}));
+        assert!(diffs[0].contains("expected string"));
+    }
+
+    #[test]
+    fn flood_of_differences_is_truncated() {
+        let golden = Value::Array((0..50).map(|i| json!(i)).collect());
+        let fresh = Value::Array((0..50).map(|i| json!(i + 1000)).collect());
+        let diffs = diff(&golden, &fresh);
+        assert_eq!(diffs.len(), MAX_DIFFS + 1);
+        assert!(diffs.last().unwrap().contains("truncated"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Checked-in artifact hygiene: every registered experiment keeps a
+//! `.json`/`.txt` pair under `results/`, every JSON artifact round-trips
+//! through the vendored serde_json, every claim holds against its
+//! canonical artifact, and `docs/CLAIMS.md` matches the registry.
+
+use conformance::{registry, report};
+use serde_json::Value;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    // crates/conformance -> crates -> repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+#[test]
+fn every_experiment_has_a_results_artifact_pair() {
+    let results = repo_root().join("results");
+    for spec in bench::experiments::all() {
+        let json = results.join(format!("{}.json", spec.name));
+        let txt = results.join(format!("{}.txt", spec.name));
+        assert!(json.is_file(), "missing artifact {}", json.display());
+        assert!(txt.is_file(), "missing artifact {}", txt.display());
+        assert!(
+            !std::fs::read_to_string(&txt).unwrap().trim().is_empty(),
+            "{} is empty",
+            txt.display()
+        );
+    }
+}
+
+#[test]
+fn every_json_artifact_round_trips_through_serde_json() {
+    let results = repo_root().join("results");
+    for spec in bench::experiments::all() {
+        let path = results.join(format!("{}.json", spec.name));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value: Value = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e:?}", path.display()));
+        assert!(
+            value.get("experiment").and_then(Value::as_str).is_some(),
+            "{}: artifacts self-identify via an `experiment` field",
+            path.display()
+        );
+        // Render → reparse must reproduce the tree exactly (numbers
+        // round-trip through the shortest-float writer losslessly).
+        let reparsed: Value = serde_json::from_str(&serde_json::to_string_pretty(&value).unwrap())
+            .unwrap_or_else(|e| panic!("{} re-render does not parse: {e:?}", path.display()));
+        assert_eq!(value, reparsed, "{} round-trip drift", path.display());
+    }
+}
+
+#[test]
+fn every_claim_holds_against_its_canonical_artifact() {
+    // The single-seed claim check, evaluated from the checked-in
+    // artifacts instead of a fresh run: fast, and catches a band or
+    // extractor drifting away from what the repo actually records. The
+    // `claims` CI job replays the same bands against fresh runs.
+    let results = repo_root().join("results");
+    for claim in registry::all() {
+        let path = results.join(format!("{}.json", claim.experiment));
+        let value: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let measured = (claim.extract)(&value).unwrap_or_else(|e| {
+            panic!("{}: extractor failed on {}: {e}", claim.id, path.display())
+        });
+        assert!(
+            claim.band.contains(measured),
+            "{} ({}): canonical artifact value {measured} outside band {}",
+            claim.id,
+            claim.anchor,
+            claim.band.describe()
+        );
+    }
+}
+
+#[test]
+fn claims_md_is_in_sync_with_registry_and_artifacts() {
+    let root = repo_root();
+    let rendered = report::render_claims_md(&root.join("results")).unwrap();
+    let committed = std::fs::read_to_string(root.join("docs/CLAIMS.md"))
+        .expect("docs/CLAIMS.md exists — generate with check_claims --claims-md docs/CLAIMS.md");
+    assert_eq!(
+        committed, rendered,
+        "docs/CLAIMS.md is stale — regenerate with \
+         `cargo run --release -p conformance --bin check_claims -- --claims-md docs/CLAIMS.md`"
+    );
+}

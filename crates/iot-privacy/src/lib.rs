@@ -18,6 +18,12 @@
 //! | [`netsim`] | IoT traffic, fingerprinting, the smart gateway |
 //! | [`obs`] | spans, counters, deterministic JSON metrics reports |
 //!
+//! Two downstream crates sit *above* this facade and are therefore not
+//! re-exported here: `bench` (the experiment library behind the
+//! per-figure binaries, `bench::experiments`) and `conformance` (the
+//! paper-claims harness and its `check_claims` binary; see
+//! `docs/CLAIMS.md`).
+//!
 //! # Examples
 //!
 //! ```

@@ -1,0 +1,145 @@
+//! Property tests for the smart gateway's isolation decisions.
+//!
+//! Two invariants back the Section IV conformance claims:
+//!
+//! * **Monotonicity in policy strictness** — for a fixed observation
+//!   window, tightening any knob (lower z-threshold, fewer strikes to
+//!   quarantine, turning the endpoint allowlist on) can only raise a
+//!   device's verdict severity, never lower it. Lowering the z-threshold
+//!   enlarges the set of anomalous windows, so every consecutive
+//!   anomalous run survives and can only lengthen; the other two knobs
+//!   short-circuit *toward* quarantine.
+//! * **No benign isolation** — a gateway profiled on one clean trace
+//!   never quarantines a device that replays clean traffic from a
+//!   different seed, across many train/monitor seed pairs.
+
+use netsim::gateway::inject_compromise;
+use netsim::{
+    simulate_home_network, DeviceType, GatewayPolicy, NetworkTrace, SmartGateway, Verdict,
+};
+use proptest::prelude::*;
+use timeseries::{LabelSeries, Resolution, Timestamp};
+
+const DAYS: usize = 4;
+
+fn occupancy() -> LabelSeries {
+    LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, DAYS * 1440, |i| {
+        let m = i % 1440;
+        !(540..1_020).contains(&m)
+    })
+}
+
+fn inventory() -> [DeviceType; 4] {
+    [
+        DeviceType::Thermostat,
+        DeviceType::IpCamera,
+        DeviceType::SmartPlug,
+        DeviceType::Hub,
+    ]
+}
+
+fn traces(seed: u64) -> (NetworkTrace, NetworkTrace) {
+    let inv = inventory();
+    let occ = occupancy();
+    let train = simulate_home_network(&inv, &occ, DAYS as u64, seed);
+    let monitor = simulate_home_network(&inv, &occ, DAYS as u64, seed ^ 0x9e37_79b9);
+    (train, monitor)
+}
+
+/// Verdict severity: Normal < Suspicious < Quarantined.
+fn rank(v: Verdict) -> u8 {
+    match v {
+        Verdict::Normal => 0,
+        Verdict::Suspicious => 1,
+        Verdict::Quarantined => 2,
+    }
+}
+
+/// `strict` is at least as strict as `lax` on every knob (same window).
+fn stricter(lax: GatewayPolicy, strict: GatewayPolicy) -> bool {
+    lax.window_secs == strict.window_secs
+        && strict.z_threshold <= lax.z_threshold
+        && strict.strikes_to_quarantine <= lax.strikes_to_quarantine
+        && (strict.enforce_endpoint_allowlist || !lax.enforce_endpoint_allowlist)
+}
+
+fn verdicts(
+    policy: GatewayPolicy,
+    train: &NetworkTrace,
+    monitor: &NetworkTrace,
+) -> std::collections::HashMap<u32, Verdict> {
+    let mut gw = SmartGateway::new(policy);
+    gw.profile(&train.flows, train.horizon_secs);
+    gw.monitor(&monitor.flows, monitor.horizon_secs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn isolation_is_monotone_in_policy_strictness(
+        seed in 0u64..64,
+        z_lax in 4.0f64..10.0,
+        z_delta in 0.0f64..4.0,
+        strikes_strict in 1u32..4,
+        strikes_delta in 0u32..3,
+        allow_lax in any::<bool>(),
+        force_allow in any::<bool>(),
+        compromise in any::<bool>(),
+    ) {
+        let lax = GatewayPolicy {
+            z_threshold: z_lax,
+            strikes_to_quarantine: strikes_strict + strikes_delta,
+            enforce_endpoint_allowlist: allow_lax,
+            ..GatewayPolicy::default()
+        };
+        let strict = GatewayPolicy {
+            z_threshold: z_lax - z_delta,
+            strikes_to_quarantine: strikes_strict,
+            enforce_endpoint_allowlist: allow_lax || force_allow,
+            ..GatewayPolicy::default()
+        };
+        prop_assert!(stricter(lax, strict));
+
+        let (train, mut monitor) = traces(seed);
+        if compromise {
+            inject_compromise(&mut monitor.flows, 2, 86_400, monitor.horizon_secs);
+        }
+        let lax_verdicts = verdicts(lax, &train, &monitor);
+        let strict_verdicts = verdicts(strict, &train, &monitor);
+        for (device, lax_v) in &lax_verdicts {
+            let strict_v = strict_verdicts[device];
+            prop_assert!(
+                rank(strict_v) >= rank(*lax_v),
+                "device {device}: tightening the policy relaxed the verdict \
+                 ({lax_v:?} under {lax:?} but {strict_v:?} under {strict:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn benign_devices_are_never_isolated(seed in 0u64..64) {
+        let (train, monitor) = traces(seed);
+        let verdicts = verdicts(GatewayPolicy::default(), &train, &monitor);
+        prop_assert_eq!(verdicts.len(), inventory().len());
+        for (device, v) in &verdicts {
+            prop_assert!(
+                *v != Verdict::Quarantined,
+                "benign device {device} quarantined at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_compromise_never_lowers_a_verdict(seed in 0u64..32) {
+        // Adding attack flows to the monitored trace can only raise the
+        // compromised device's verdict; the clean run is the floor.
+        let (train, clean) = traces(seed);
+        let mut attacked = clean.clone();
+        inject_compromise(&mut attacked.flows, 1, 43_200, attacked.horizon_secs);
+        let before = verdicts(GatewayPolicy::default(), &train, &clean);
+        let after = verdicts(GatewayPolicy::default(), &train, &attacked);
+        prop_assert!(rank(after[&1]) >= rank(before[&1]));
+        prop_assert_eq!(after[&1], Verdict::Quarantined);
+    }
+}
