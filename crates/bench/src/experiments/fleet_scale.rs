@@ -56,14 +56,14 @@ pub fn run(cfg: &RunConfig) -> Report {
     let mut stage_rows = Vec::new();
     for homes in [10usize, 100, 1000] {
         let t = Instant::now();
-        let serial = run_fleet_serial(homes, root_seed, build);
+        let serial = run_fleet_serial(homes, root_seed, build).expect("non-empty fleet");
         let serial_s = t.elapsed().as_secs_f64();
 
         // Snapshot around the parallel run only, so the per-stage delta
         // excludes the serial reference's contribution.
         let before = obs::is_enabled().then(obs::snapshot);
         let t = Instant::now();
-        let parallel = run_fleet(homes, root_seed, build);
+        let parallel = run_fleet(homes, root_seed, build).expect("non-empty fleet");
         let parallel_s = t.elapsed().as_secs_f64();
 
         assert_eq!(

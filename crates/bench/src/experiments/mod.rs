@@ -22,6 +22,7 @@ pub mod claim_niom_accuracy;
 pub mod claim_private_meter;
 pub mod claim_sundance;
 pub mod claim_vacation_detection;
+pub mod degradation_curves;
 pub mod fig1_occupancy_overlay;
 pub mod fig2_disaggregation;
 pub mod fig5_localization;
@@ -280,6 +281,12 @@ pub fn all() -> &'static [ExperimentSpec] {
             paper_anchor: "§III-D (architectures)",
             deterministic: true,
             run: ablation_architectures::run,
+        },
+        ExperimentSpec {
+            name: "degradation_curves",
+            paper_anchor: "roadmap (robustness)",
+            deterministic: true,
+            run: degradation_curves::run,
         },
         ExperimentSpec {
             name: "fleet_scale",

@@ -345,6 +345,40 @@ fn chpr_best_cadence_margin(v: &Value) -> Result<f64, String> {
     Ok(num(v, "undefended_mcc")? - best)
 }
 
+/// A field from the degradation sweep point at a given fault intensity.
+fn degradation_at(v: &Value, key: &str, intensity: f64, field: &str) -> Result<f64, String> {
+    for point in items(v, key)? {
+        if num(point, "intensity")? == intensity {
+            return num(point, field);
+        }
+    }
+    Err(format!("no `{key}` point with intensity == {intensity}"))
+}
+
+fn robust_attack_mcc_floor(v: &Value) -> Result<f64, String> {
+    min_over(v, "points", |p| num(p, "undefended_mcc"))
+}
+
+fn robust_defense_mcc_ceiling(v: &Value) -> Result<f64, String> {
+    max_over(v, "points", |p| Ok(num(p, "defended_mcc")?.abs()))
+}
+
+fn robust_heavy_gap_fraction(v: &Value) -> Result<f64, String> {
+    degradation_at(v, "points", 0.50, "gap_fraction")
+}
+
+fn robust_fingerprint_floor(v: &Value) -> Result<f64, String> {
+    min_over(v, "network_points", |p| num(p, "fingerprint_accuracy"))
+}
+
+fn robust_quarantined_homes(v: &Value) -> Result<f64, String> {
+    nested_num(v, "fleet", "quarantined")
+}
+
+fn robust_fleet_survivors(v: &Value) -> Result<f64, String> {
+    nested_num(v, "fleet", "survivors")
+}
+
 /// Every registered claim, grouped by experiment in registry order.
 pub fn all() -> &'static [Claim] {
     static ALL: &[Claim] = &[
@@ -604,6 +638,61 @@ pub fn all() -> &'static [Claim] {
             experiment: "ablation_chpr_tank",
             band: Band::AtLeast { lo: 0.1 },
             extract: chpr_best_cadence_margin,
+            cheap: true,
+        },
+        // -- roadmap: robustness under injected faults --------------------
+        Claim {
+            id: "robust.attack-survives-faults",
+            anchor: "roadmap (robustness)",
+            title: "Gap-aware NIOM attack stays far above random at every fault level",
+            experiment: "degradation_curves",
+            band: Band::AtLeast { lo: 0.2 },
+            extract: robust_attack_mcc_floor,
+            cheap: true,
+        },
+        Claim {
+            id: "robust.defense-holds-under-faults",
+            anchor: "roadmap (robustness)",
+            title: "CHPr keeps the attack MCC collapsed even on corrupted meters",
+            experiment: "degradation_curves",
+            band: Band::AtMost { hi: 0.25 },
+            extract: robust_defense_mcc_ceiling,
+            cheap: true,
+        },
+        Claim {
+            id: "robust.heavy-faults-destroy-samples",
+            anchor: "roadmap (robustness)",
+            title: "The 50% fault profile really destroys a large trace fraction",
+            experiment: "degradation_curves",
+            band: Band::Absolute { lo: 0.2, hi: 0.9 },
+            extract: robust_heavy_gap_fraction,
+            cheap: true,
+        },
+        Claim {
+            id: "robust.fingerprint-survives-flow-faults",
+            anchor: "roadmap (robustness)",
+            title: "Traffic fingerprinting stays potent under packet loss and reboots",
+            experiment: "degradation_curves",
+            band: Band::AtLeast { lo: 0.8 },
+            extract: robust_fingerprint_floor,
+            cheap: true,
+        },
+        Claim {
+            id: "robust.supervisor-quarantines-exactly",
+            anchor: "roadmap (robustness)",
+            title: "The fleet supervisor quarantines exactly the panicking 10% of homes",
+            experiment: "degradation_curves",
+            band: Band::Absolute { lo: 1.0, hi: 1.0 },
+            extract: robust_quarantined_homes,
+            cheap: true,
+        },
+        Claim {
+            id: "robust.supervisor-saves-the-rest",
+            anchor: "roadmap (robustness)",
+            title: "Every non-panicking home survives a fleet run with injected panics",
+            experiment: "degradation_curves",
+            band: Band::Absolute { lo: 9.0, hi: 9.0 },
+            extract: robust_fleet_survivors,
             cheap: true,
         },
     ];

@@ -103,6 +103,10 @@ pub struct GoldenOutcome {
     pub diffs: Vec<String>,
     /// Whether the snapshot matched.
     pub passed: bool,
+    /// `true` when no snapshot exists yet under `--golden-dir` — the
+    /// experiment is newer than the golden directory. Reported as a new
+    /// artifact (and passes) rather than drift.
+    pub new_artifact: bool,
 }
 
 /// A full conformance run: every selected claim plus the golden tier.
@@ -170,10 +174,22 @@ impl ConformanceReport {
 
         if !self.golden.is_empty() {
             let ok = self.golden.iter().filter(|g| g.passed).count();
+            let new = self.golden.iter().filter(|g| g.new_artifact).count();
             out.push_str(&format!(
-                "\nGolden snapshots: {ok}/{} experiments match results/\n",
-                self.golden.len()
+                "\nGolden snapshots: {ok}/{} experiments match results/{}\n",
+                self.golden.len(),
+                if new > 0 {
+                    format!(" ({new} new, unpinned)")
+                } else {
+                    String::new()
+                }
             ));
+            for g in self.golden.iter().filter(|g| g.new_artifact) {
+                out.push_str(&format!(
+                    "\nNEW ARTIFACT {} — {} has no snapshot yet; regenerate results/ to pin it\n",
+                    g.experiment, g.anchor
+                ));
+            }
             for g in self.golden.iter().filter(|g| !g.passed) {
                 out.push_str(&format!(
                     "\nGOLDEN DRIFT {} — {} (claims: {})\n",
@@ -228,6 +244,7 @@ impl ConformanceReport {
                     "claims": g.claim_ids.clone(),
                     "diffs": g.diffs.clone(),
                     "passed": g.passed,
+                    "new_artifact": g.new_artifact,
                 })
             })
             .collect();
@@ -347,11 +364,35 @@ mod tests {
                 claim_ids: vec!["fig6.undefended-mcc"],
                 diffs: vec!["$.mcc_before: expected 0.54, got 0.468".into()],
                 passed: false,
+                new_artifact: false,
             }],
         };
         assert!(!report.passed());
         let text = report.render_text();
         assert!(text.contains("GOLDEN DRIFT fig6_chpr — Fig. 6"));
         assert!(text.contains("fig6.undefended-mcc"));
+    }
+
+    #[test]
+    fn missing_snapshot_reports_as_new_artifact_and_passes() {
+        let report = ConformanceReport {
+            seeds: 1,
+            outcomes: vec![ClaimOutcome::single(sample_claim(), 0.45)],
+            golden: vec![GoldenOutcome {
+                experiment: "degradation_curves",
+                anchor: "roadmap (robustness)",
+                claim_ids: vec!["robust.attack-survives-faults"],
+                diffs: Vec::new(),
+                passed: true,
+                new_artifact: true,
+            }],
+        };
+        assert!(report.passed(), "a new artifact must not fail the run");
+        let text = report.render_text();
+        assert!(text.contains("NEW ARTIFACT degradation_curves"));
+        assert!(text.contains("(1 new, unpinned)"));
+        assert!(!text.contains("GOLDEN DRIFT"));
+        let json = report.to_json();
+        assert_eq!(json.get("passed"), Some(&Value::Bool(true)));
     }
 }

@@ -147,21 +147,34 @@ pub fn run_claims(claims: &[&'static Claim], opts: &Options) -> ConformanceRepor
                 continue;
             }
             let path = dir.join(format!("{experiment}.json"));
-            let diffs = match std::fs::read_to_string(&path) {
-                Err(e) => vec![format!("cannot read snapshot {}: {e}", path.display())],
-                Ok(text) => match serde_json::from_str::<Value>(&text) {
-                    Err(e) => vec![format!("snapshot {} is not JSON: {e:?}", path.display())],
-                    Ok(expected) => match &runs[&(experiment, 0)] {
-                        Err(e) => vec![format!("canonical run failed: {e}")],
-                        Ok(actual) => golden::diff(&expected, actual),
+            // A snapshot that does not exist yet is a *new artifact*, not
+            // drift: the experiment postdates the golden directory (e.g. a
+            // fresh claim checked against an older `--golden-dir`). It
+            // passes with a note telling the operator to regenerate and
+            // pin it; every other read failure is still loud.
+            let (diffs, new_artifact) = match std::fs::read_to_string(&path) {
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => (Vec::new(), true),
+                Err(e) => (
+                    vec![format!("cannot read snapshot {}: {e}", path.display())],
+                    false,
+                ),
+                Ok(text) => (
+                    match serde_json::from_str::<Value>(&text) {
+                        Err(e) => vec![format!("snapshot {} is not JSON: {e:?}", path.display())],
+                        Ok(expected) => match &runs[&(experiment, 0)] {
+                            Err(e) => vec![format!("canonical run failed: {e}")],
+                            Ok(actual) => golden::diff(&expected, actual),
+                        },
                     },
-                },
+                    false,
+                ),
             };
             goldens.push(GoldenOutcome {
                 experiment: spec.name,
                 anchor: spec.paper_anchor,
                 claim_ids,
                 passed: diffs.is_empty(),
+                new_artifact,
                 diffs,
             });
         }

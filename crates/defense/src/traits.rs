@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use timeseries::rng::SeededRng;
-use timeseries::PowerTrace;
+use timeseries::{PipelineError, PowerTrace};
 
 /// What a defense cost the user, beyond the unmodified home.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -32,6 +32,37 @@ pub struct Defended {
 pub trait Defense {
     /// Applies the defense to `meter`.
     fn apply(&self, meter: &PowerTrace, rng: &mut SeededRng) -> Defended;
+
+    /// The checked entry point for possibly-degraded feeds: validates the
+    /// input and guards the geometry contract (a defense reshapes power,
+    /// never the sampling grid) on the way out.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::EmptyInput`] on a zero-length trace,
+    /// [`PipelineError::Trace`] when the trace fails validation, and
+    /// [`PipelineError::Degenerate`] if the implementation changes the
+    /// trace geometry.
+    fn try_apply(
+        &self,
+        meter: &PowerTrace,
+        rng: &mut SeededRng,
+    ) -> Result<Defended, PipelineError> {
+        if meter.is_empty() {
+            return Err(PipelineError::EmptyInput {
+                stage: "defense.apply",
+            });
+        }
+        meter.validate()?;
+        let out = self.apply(meter, rng);
+        if meter.check_aligned(&out.trace).is_err() {
+            return Err(PipelineError::Degenerate {
+                stage: "defense.apply",
+                reason: format!("{} changed the trace geometry", self.name()),
+            });
+        }
+        Ok(out)
+    }
 
     /// A short human-readable name for reports.
     fn name(&self) -> &str;
@@ -65,5 +96,43 @@ mod tests {
         assert_eq!(out.trace, meter);
         assert_eq!(out.cost.extra_energy_kwh, 0.0);
         assert_eq!(d.name(), "identity");
+    }
+
+    #[test]
+    fn try_apply_rejects_empty_and_passes_valid() {
+        let empty = PowerTrace::zeros(Timestamp::ZERO, Resolution::ONE_MINUTE, 0);
+        assert_eq!(
+            Identity.try_apply(&empty, &mut seeded_rng(0)),
+            Err(PipelineError::EmptyInput {
+                stage: "defense.apply"
+            })
+        );
+        let meter = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 10, 100.0);
+        let out = Identity.try_apply(&meter, &mut seeded_rng(0)).unwrap();
+        assert_eq!(out.trace, meter);
+    }
+
+    /// A defense that illegally truncates the trace.
+    struct Truncating;
+
+    impl Defense for Truncating {
+        fn apply(&self, meter: &PowerTrace, _rng: &mut SeededRng) -> Defended {
+            Defended {
+                trace: meter.slice(0..meter.len() / 2),
+                cost: DefenseCost::default(),
+            }
+        }
+        fn name(&self) -> &str {
+            "truncating"
+        }
+    }
+
+    #[test]
+    fn try_apply_catches_geometry_changes() {
+        let meter = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 10, 100.0);
+        match Truncating.try_apply(&meter, &mut seeded_rng(0)) {
+            Err(PipelineError::Degenerate { stage, .. }) => assert_eq!(stage, "defense.apply"),
+            other => panic!("expected Degenerate, got {other:?}"),
+        }
     }
 }

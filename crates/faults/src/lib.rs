@@ -1,0 +1,62 @@
+//! Deterministic fault injection for power traces and IoT network flows.
+//!
+//! The paper's attacks and defenses (NIOM, PowerPlay/FHMM, CHPr, the
+//! Section IV smart gateway) are evaluated on clean, gap-free traces;
+//! real smart-meter and IoT-traffic feeds suffer outages, dropped or
+//! duplicated readings, clock skew, value spikes, NaN corruption, packet
+//! loss, and reboot chatter. This crate injects exactly those defects —
+//! **deterministically** — so the suite can measure how every conclusion
+//! degrades with input quality instead of only reporting clean-input
+//! point values (see `results/degradation_curves.json` and the
+//! `robust.*` claims in `docs/CLAIMS.md`).
+//!
+//! # Determinism rules
+//!
+//! Fault injection is a pure function of `(input, plan, seed)`:
+//!
+//! * every fault in a [`FaultPlan`] draws from its own RNG stream,
+//!   seeded as `derive_seed(seed, "fault:<index>:<kind>")`, so inserting
+//!   or removing one fault never perturbs the randomness of the others;
+//! * faults apply in plan order — composition is explicit, not
+//!   commutative (an outage over a spike erases the spike);
+//! * no wall-clock, thread identity, or iteration-order dependence
+//!   anywhere, so faulted experiments stay byte-identical across
+//!   `RAYON_NUM_THREADS` settings like the clean ones.
+//!
+//! # Gap markers
+//!
+//! Faults that destroy a reading (outages, drops, NaN corruption) do not
+//! silently fabricate data: the result is a [`FaultyTrace`] carrying an
+//! explicit per-sample gap mask next to the raw (possibly non-finite)
+//! values. Downstream stages choose a [`GapFill`] policy to obtain a
+//! valid [`timeseries::PowerTrace`] and can score themselves only on real samples
+//! via [`timeseries::LabelSeries::confusion_where`].
+//!
+//! # Examples
+//!
+//! ```
+//! use faults::{FaultPlan, GapFill, TraceFault};
+//! use timeseries::{PowerTrace, Resolution, Timestamp};
+//!
+//! let clean = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 1_440, 200.0);
+//! let plan = FaultPlan::new(vec![
+//!     TraceFault::Outage { fraction: 0.10, mean_len: 30 },
+//!     TraceFault::Drop { prob: 0.02 },
+//! ]);
+//! let faulted = plan.apply_trace(&clean, 42);
+//! assert!(faulted.gap_fraction() > 0.05);
+//! // Same seed, same plan — bit-identical corruption.
+//! assert_eq!(faulted.gaps(), plan.apply_trace(&clean, 42).gaps());
+//! let filled = faulted.fill(GapFill::Hold);
+//! assert_eq!(filled.len(), clean.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod net;
+pub mod spec;
+pub mod trace;
+
+pub use net::FaultedFlows;
+pub use spec::{FaultPlan, FlowFault, TraceFault};
+pub use trace::{FaultyTrace, GapFill};

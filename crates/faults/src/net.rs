@@ -1,0 +1,200 @@
+//! Flow-log fault application: loss, reordering, reboot chatter.
+
+use crate::spec::FlowFault;
+use netsim::{FlowRecord, NetworkTrace};
+use rand::Rng;
+use timeseries::rng::{derive_seed, seeded_rng};
+
+/// A flow log after fault injection, with bookkeeping for what changed.
+///
+/// Unlike power traces, flows carry no positional gap mask — a lost flow
+/// simply vanishes — so the observable effect is the degraded log plus
+/// the loss/injection counts for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedFlows {
+    /// The surviving (and injected) flows, sorted by start time.
+    pub flows: Vec<FlowRecord>,
+    /// How many original flows were lost.
+    pub dropped: usize,
+    /// How many chatter flows were injected by reboot bursts.
+    pub injected: usize,
+}
+
+impl FaultedFlows {
+    /// Fraction of the original flows that were lost (0 when the
+    /// original log was empty).
+    pub fn loss_fraction(&self, original_len: usize) -> f64 {
+        if original_len == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / original_len as f64
+        }
+    }
+}
+
+/// Endpoint id used by injected reboot-chatter flows (DHCP/NTP/cloud
+/// re-registration). Kept outside every device's simulated endpoint pool
+/// (`device_id * 100 + slot`) by using the 0 block no device owns.
+const REBOOT_ENDPOINT: u32 = 7;
+
+/// Applies flow faults in order, each on its own derived RNG stream.
+/// Called via [`crate::FaultPlan::apply_flows`].
+pub(crate) fn apply_flow_faults(
+    trace: &NetworkTrace,
+    faults: &[FlowFault],
+    seed: u64,
+) -> FaultedFlows {
+    let mut flows = trace.flows.clone();
+    let mut dropped = 0usize;
+    let mut injected = 0usize;
+    for (index, fault) in faults.iter().enumerate() {
+        let stream = derive_seed(seed, &format!("fault:{index}:{}", fault.label()));
+        let mut rng = seeded_rng(stream);
+        match *fault {
+            FlowFault::Loss { prob } => {
+                let prob = prob.clamp(0.0, 1.0);
+                let before = flows.len();
+                flows.retain(|_| rng.gen::<f64>() >= prob);
+                dropped += before - flows.len();
+            }
+            FlowFault::Reorder {
+                prob,
+                max_skew_secs,
+            } => {
+                let prob = prob.clamp(0.0, 1.0);
+                if max_skew_secs > 0 {
+                    for f in flows.iter_mut() {
+                        if rng.gen::<f64>() < prob {
+                            let skew = rng.gen_range(0..=max_skew_secs) as i64;
+                            let sign = if rng.gen::<bool>() { 1 } else { -1 };
+                            let start = f.start_secs as i64 + sign * skew;
+                            f.start_secs = start.max(0) as u64;
+                        }
+                    }
+                }
+            }
+            FlowFault::RebootBurst {
+                bursts,
+                flows_per_burst,
+            } => {
+                if trace.devices.is_empty() || trace.horizon_secs == 0 {
+                    continue;
+                }
+                for _ in 0..bursts {
+                    let device = trace.devices[rng.gen_range(0..trace.devices.len())].device_id;
+                    let at = rng.gen_range(0..trace.horizon_secs);
+                    for k in 0..flows_per_burst {
+                        flows.push(FlowRecord {
+                            start_secs: (at + k as u64).min(trace.horizon_secs - 1),
+                            duration_secs: 1,
+                            device_id: device,
+                            bytes_up: rng.gen_range(100..600),
+                            bytes_down: rng.gen_range(100..1_200),
+                            endpoint: REBOOT_ENDPOINT,
+                        });
+                        injected += 1;
+                    }
+                }
+            }
+        }
+    }
+    // Restore the log invariant (sorted by start time) after skew and
+    // injection. Stable sort keeps the deterministic order of ties.
+    flows.sort_by_key(|f| f.start_secs);
+    obs::counter_add("faults.flows.dropped", dropped as u64);
+    obs::counter_add("faults.flows.injected", injected as u64);
+    FaultedFlows {
+        flows,
+        dropped,
+        injected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultPlan;
+    use netsim::device::DeviceType;
+    use timeseries::{LabelSeries, Resolution, Timestamp};
+
+    fn sample_trace() -> NetworkTrace {
+        let occupancy =
+            LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 2 * 1_440, |i| {
+                i % 1_440 < 480
+            });
+        netsim::simulate_home_network(
+            &[DeviceType::IpCamera, DeviceType::SmartPlug],
+            &occupancy,
+            2,
+            3,
+        )
+    }
+
+    #[test]
+    fn loss_removes_roughly_the_expected_fraction() {
+        let trace = sample_trace();
+        let out = FaultPlan::for_flows(vec![FlowFault::Loss { prob: 0.3 }]).apply_flows(&trace, 1);
+        let frac = out.loss_fraction(trace.flows.len());
+        assert!((0.2..=0.4).contains(&frac), "loss fraction {frac}");
+        assert_eq!(out.flows.len() + out.dropped, trace.flows.len());
+    }
+
+    #[test]
+    fn reorder_keeps_the_log_sorted_and_complete() {
+        let trace = sample_trace();
+        let out = FaultPlan::for_flows(vec![FlowFault::Reorder {
+            prob: 0.5,
+            max_skew_secs: 120,
+        }])
+        .apply_flows(&trace, 2);
+        assert_eq!(out.flows.len(), trace.flows.len());
+        assert!(out
+            .flows
+            .windows(2)
+            .all(|w| w[0].start_secs <= w[1].start_secs));
+        assert_ne!(out.flows, trace.flows, "skew should move some flows");
+    }
+
+    #[test]
+    fn reboot_bursts_inject_chatter_on_real_devices() {
+        let trace = sample_trace();
+        let out = FaultPlan::for_flows(vec![FlowFault::RebootBurst {
+            bursts: 3,
+            flows_per_burst: 6,
+        }])
+        .apply_flows(&trace, 4);
+        assert_eq!(out.injected, 18);
+        assert_eq!(out.flows.len(), trace.flows.len() + 18);
+        let chatter: Vec<_> = out
+            .flows
+            .iter()
+            .filter(|f| f.endpoint == REBOOT_ENDPOINT)
+            .collect();
+        assert_eq!(chatter.len(), 18);
+        for f in chatter {
+            assert!(trace.type_of(f.device_id).is_some());
+            assert!(f.start_secs < trace.horizon_secs);
+        }
+    }
+
+    #[test]
+    fn flow_faults_are_deterministic() {
+        let trace = sample_trace();
+        let plan = FaultPlan::network_profile(0.25);
+        let a = plan.apply_flows(&trace, 7);
+        let b = plan.apply_flows(&trace, 7);
+        assert_eq!(a, b);
+        let c = plan.apply_flows(&trace, 8);
+        assert_ne!(a.flows, c.flows);
+    }
+
+    #[test]
+    fn empty_flow_log_is_fine() {
+        let mut trace = sample_trace();
+        trace.flows.clear();
+        trace.devices.clear();
+        let out = FaultPlan::network_profile(1.0).apply_flows(&trace, 1);
+        assert!(out.flows.is_empty());
+        assert_eq!(out.loss_fraction(0), 0.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! The fault-model catalogue and composable plans.
+
+use crate::net::{apply_flow_faults, FaultedFlows};
+use crate::trace::{apply_trace_faults, FaultyTrace};
+use netsim::NetworkTrace;
+use timeseries::PowerTrace;
+
+/// One fault model applied to a smart-meter power trace.
+///
+/// All probabilities and fractions are in `[0, 1]`; constructors of
+/// [`FaultPlan`] clamp them, so a plan built from an arbitrary intensity
+/// knob is always well-formed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceFault {
+    /// Meter outage windows: contiguous runs of readings are lost until
+    /// roughly `fraction` of the trace is gone. Window lengths draw from
+    /// a geometric-ish distribution around `mean_len` samples.
+    Outage {
+        /// Target fraction of samples destroyed, `[0, 1]`.
+        fraction: f64,
+        /// Mean outage window length in samples (≥ 1).
+        mean_len: usize,
+    },
+    /// Independently dropped readings: each sample is lost with
+    /// probability `prob` (telemetry loss, not a meter fault).
+    Drop {
+        /// Per-sample drop probability.
+        prob: f64,
+    },
+    /// Duplicated (stuck) readings: each sample is replaced by its
+    /// predecessor with probability `prob`. The reading *exists* — it is
+    /// wrong, not missing — so this marks no gap.
+    Duplicate {
+        /// Per-sample duplication probability.
+        prob: f64,
+    },
+    /// Clock jitter: each sample is displaced by up to `max_slots`
+    /// sample slots, modelling skewed meter clocks and late telemetry.
+    ClockJitter {
+        /// Maximum displacement in sample slots (≥ 1 to have any effect).
+        max_slots: usize,
+    },
+    /// Additive value spikes (EMI, register glitches): with probability
+    /// `prob` a sample gains `magnitude_watts`.
+    Spike {
+        /// Per-sample spike probability.
+        prob: f64,
+        /// Spike height in watts.
+        magnitude_watts: f64,
+    },
+    /// NaN corruption: with probability `prob` a sample becomes NaN —
+    /// the classic parse-failure placeholder — which the gap mask then
+    /// marks explicitly.
+    NanCorrupt {
+        /// Per-sample corruption probability.
+        prob: f64,
+    },
+}
+
+impl TraceFault {
+    /// A short stable label, mixed into the fault's derived RNG seed.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceFault::Outage { .. } => "outage",
+            TraceFault::Drop { .. } => "drop",
+            TraceFault::Duplicate { .. } => "duplicate",
+            TraceFault::ClockJitter { .. } => "clock-jitter",
+            TraceFault::Spike { .. } => "spike",
+            TraceFault::NanCorrupt { .. } => "nan",
+        }
+    }
+}
+
+/// One fault model applied to a network flow log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowFault {
+    /// Packet loss: each flow record is lost entirely with probability
+    /// `prob` (its packets never reached the observation point).
+    Loss {
+        /// Per-flow loss probability.
+        prob: f64,
+    },
+    /// Reordering / late arrival: with probability `prob` a flow's start
+    /// time is displaced by up to `max_skew_secs`, then the log is
+    /// re-sorted by start time.
+    Reorder {
+        /// Per-flow displacement probability.
+        prob: f64,
+        /// Maximum displacement in seconds.
+        max_skew_secs: u64,
+    },
+    /// Device reboot bursts: `bursts` times, a random device emits a
+    /// burst of `flows_per_burst` short chatter flows (DHCP, NTP,
+    /// cloud re-registration) at a random instant.
+    RebootBurst {
+        /// Number of reboot events injected.
+        bursts: usize,
+        /// Chatter flows per reboot.
+        flows_per_burst: usize,
+    },
+}
+
+impl FlowFault {
+    /// A short stable label, mixed into the fault's derived RNG seed.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlowFault::Loss { .. } => "loss",
+            FlowFault::Reorder { .. } => "reorder",
+            FlowFault::RebootBurst { .. } => "reboot",
+        }
+    }
+}
+
+/// A composable, seeded fault plan: trace faults and flow faults applied
+/// in order. The plan itself carries no seed — the same plan replayed
+/// with the same seed reproduces the same corruption bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Power-trace faults, applied in order.
+    pub trace_faults: Vec<TraceFault>,
+    /// Flow-log faults, applied in order.
+    pub flow_faults: Vec<FlowFault>,
+}
+
+impl FaultPlan {
+    /// A plan over trace faults only.
+    pub fn new(trace_faults: Vec<TraceFault>) -> FaultPlan {
+        FaultPlan {
+            trace_faults,
+            flow_faults: Vec::new(),
+        }
+    }
+
+    /// A plan over flow faults only.
+    pub fn for_flows(flow_faults: Vec<FlowFault>) -> FaultPlan {
+        FaultPlan {
+            trace_faults: Vec::new(),
+            flow_faults,
+        }
+    }
+
+    /// The standard power-feed corruption profile at a given intensity
+    /// `x ∈ [0, 1]` — the knob the `degradation_curves` experiment
+    /// sweeps. Composition at intensity `x`:
+    ///
+    /// * outage windows covering `0.5·x` of the trace (mean 45 samples),
+    /// * independent drops at `0.2·x`,
+    /// * stuck/duplicated readings at `0.15·x`,
+    /// * NaN corruption at `0.1·x`,
+    /// * 2 kW spikes at `0.05·x`,
+    /// * clock jitter of up to 2 slots once `x ≥ 0.25`.
+    ///
+    /// Intensity 0 is the identity plan (no faults).
+    pub fn power_profile(intensity: f64) -> FaultPlan {
+        let x = intensity.clamp(0.0, 1.0);
+        if x == 0.0 {
+            return FaultPlan::default();
+        }
+        let mut trace_faults = vec![
+            TraceFault::Outage {
+                fraction: 0.5 * x,
+                mean_len: 45,
+            },
+            TraceFault::Drop { prob: 0.2 * x },
+            TraceFault::Duplicate { prob: 0.15 * x },
+            TraceFault::NanCorrupt { prob: 0.1 * x },
+            TraceFault::Spike {
+                prob: 0.05 * x,
+                magnitude_watts: 2_000.0,
+            },
+        ];
+        if x >= 0.25 {
+            trace_faults.push(TraceFault::ClockJitter { max_slots: 2 });
+        }
+        FaultPlan {
+            trace_faults,
+            flow_faults: Vec::new(),
+        }
+    }
+
+    /// The standard network-feed corruption profile at intensity
+    /// `x ∈ [0, 1]`: flow loss at `0.3·x`, reordering at `0.2·x` with up
+    /// to 60 s skew, and `⌈4·x⌉` reboot bursts of 6 chatter flows.
+    pub fn network_profile(intensity: f64) -> FaultPlan {
+        let x = intensity.clamp(0.0, 1.0);
+        if x == 0.0 {
+            return FaultPlan::default();
+        }
+        FaultPlan {
+            trace_faults: Vec::new(),
+            flow_faults: vec![
+                FlowFault::Loss { prob: 0.3 * x },
+                FlowFault::Reorder {
+                    prob: 0.2 * x,
+                    max_skew_secs: 60,
+                },
+                FlowFault::RebootBurst {
+                    bursts: (4.0 * x).ceil() as usize,
+                    flows_per_burst: 6,
+                },
+            ],
+        }
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_identity(&self) -> bool {
+        self.trace_faults.is_empty() && self.flow_faults.is_empty()
+    }
+
+    /// Applies the plan's trace faults to a power trace.
+    ///
+    /// Deterministic in `(trace, plan, seed)`; see the crate docs for
+    /// the seed-derivation rule. Records the `faults.injected` and
+    /// `faults.trace.gap_samples` counters when the obs layer is on.
+    pub fn apply_trace(&self, trace: &PowerTrace, seed: u64) -> FaultyTrace {
+        apply_trace_faults(trace, &self.trace_faults, seed)
+    }
+
+    /// Applies the plan's flow faults to a network trace's flow log.
+    ///
+    /// Deterministic in `(trace, plan, seed)`. Records the
+    /// `faults.flows.dropped` and `faults.flows.injected` counters when
+    /// the obs layer is on.
+    pub fn apply_flows(&self, trace: &NetworkTrace, seed: u64) -> FaultedFlows {
+        apply_flow_faults(trace, &self.flow_faults, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::{Resolution, Timestamp};
+
+    #[test]
+    fn profile_is_identity_at_zero_and_grows_with_intensity() {
+        assert!(FaultPlan::power_profile(0.0).is_identity());
+        assert!(FaultPlan::network_profile(0.0).is_identity());
+        let mild = FaultPlan::power_profile(0.1);
+        let harsh = FaultPlan::power_profile(0.5);
+        assert!(!mild.is_identity());
+        // Jitter only joins at x >= 0.25.
+        assert_eq!(mild.trace_faults.len() + 1, harsh.trace_faults.len());
+        // Out-of-range intensities clamp instead of panicking.
+        assert_eq!(FaultPlan::power_profile(7.0), FaultPlan::power_profile(1.0));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        for (fault, label) in [
+            (
+                TraceFault::Outage {
+                    fraction: 0.1,
+                    mean_len: 10,
+                },
+                "outage",
+            ),
+            (TraceFault::Drop { prob: 0.1 }, "drop"),
+            (TraceFault::NanCorrupt { prob: 0.1 }, "nan"),
+        ] {
+            assert_eq!(fault.label(), label);
+        }
+        assert_eq!(FlowFault::Loss { prob: 0.5 }.label(), "loss");
+    }
+
+    #[test]
+    fn identity_plan_changes_nothing() {
+        let trace = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 100, 150.0);
+        let out = FaultPlan::default().apply_trace(&trace, 1);
+        assert_eq!(out.gap_count(), 0);
+        assert_eq!(out.fill(crate::GapFill::Zero), trace);
+    }
+}

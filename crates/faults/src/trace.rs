@@ -1,0 +1,465 @@
+//! Power-trace fault application: gap masks, corruption, and fill policies.
+
+use crate::spec::TraceFault;
+use rand::Rng;
+use timeseries::rng::{derive_seed, seeded_rng};
+use timeseries::{PowerTrace, Resolution, Timestamp};
+
+/// How to bridge gap samples when converting a [`FaultyTrace`] back into
+/// a valid [`PowerTrace`] (whose constructor rejects non-finite values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapFill {
+    /// Replace gaps with 0 W — the "meter reports nothing" reading most
+    /// head-end systems materialise.
+    Zero,
+    /// Hold the last valid reading (leading gaps fall back to the first
+    /// valid reading, or 0 W if the whole trace is gone).
+    Hold,
+    /// Linear interpolation between the valid neighbours (edges hold).
+    Linear,
+}
+
+/// A power trace after fault injection: raw values (possibly NaN where
+/// corruption landed) plus an explicit per-sample gap mask.
+///
+/// Downstream code must either consume the mask (gap-aware scoring via
+/// [`timeseries::LabelSeries::confusion_where`]) or choose a [`GapFill`]
+/// policy to obtain a valid [`PowerTrace`]. There is no accessor that
+/// silently hands out the NaN-bearing values as a clean trace.
+#[derive(Debug, Clone)]
+pub struct FaultyTrace {
+    start: Timestamp,
+    resolution: Resolution,
+    values: Vec<f64>,
+    gaps: Vec<bool>,
+}
+
+// Bitwise value equality so that two runs producing identical corruption
+// (including NaN placeholders) compare equal — the property the
+// determinism tests assert.
+impl PartialEq for FaultyTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.start == other.start
+            && self.resolution == other.resolution
+            && self.gaps == other.gaps
+            && self.values.len() == other.values.len()
+            && self
+                .values
+                .iter()
+                .zip(&other.values)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+impl FaultyTrace {
+    /// Wraps raw (possibly dirty) samples, marking every non-finite value
+    /// as a gap. This is the ingestion path for external feeds that may
+    /// already contain NaN/inf placeholders.
+    pub fn from_raw(start: Timestamp, resolution: Resolution, values: Vec<f64>) -> FaultyTrace {
+        let gaps = values.iter().map(|v| !v.is_finite()).collect();
+        FaultyTrace {
+            start,
+            resolution,
+            values,
+            gaps,
+        }
+    }
+
+    /// A clean trace wrapped with an all-false gap mask.
+    pub fn from_clean(trace: &PowerTrace) -> FaultyTrace {
+        FaultyTrace {
+            start: trace.start(),
+            resolution: trace.resolution(),
+            values: trace.samples().to_vec(),
+            gaps: vec![false; trace.len()],
+        }
+    }
+
+    /// Number of samples (gaps included).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the trace holds no samples at all.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Timestamp of the first sample slot.
+    pub fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// Sampling resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// The raw sample values; entries where [`gaps`](Self::gaps) is
+    /// `true` are meaningless (and may be NaN).
+    pub fn raw_values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The per-sample gap mask: `true` means the reading was destroyed.
+    pub fn gaps(&self) -> &[bool] {
+        &self.gaps
+    }
+
+    /// Number of gap samples.
+    pub fn gap_count(&self) -> usize {
+        self.gaps.iter().filter(|&&g| g).count()
+    }
+
+    /// Fraction of samples that are gaps (0 for an empty trace).
+    pub fn gap_fraction(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.gap_count() as f64 / self.values.len() as f64
+        }
+    }
+
+    /// The keep mask for gap-aware scoring: `true` where the sample is
+    /// real. Pass straight to `LabelSeries::confusion_where`.
+    pub fn keep_mask(&self) -> Vec<bool> {
+        self.gaps.iter().map(|&g| !g).collect()
+    }
+
+    /// Bridges the gaps with the chosen policy and returns a valid
+    /// [`PowerTrace`]. Negative fills clamp to 0 W so the result always
+    /// satisfies the trace invariants.
+    pub fn fill(&self, policy: GapFill) -> PowerTrace {
+        let filled = match policy {
+            GapFill::Zero => self
+                .values
+                .iter()
+                .zip(&self.gaps)
+                .map(|(&v, &g)| if g { 0.0 } else { v })
+                .collect(),
+            GapFill::Hold => {
+                let mut out = Vec::with_capacity(self.values.len());
+                let mut last = self.first_valid().unwrap_or(0.0);
+                for (&v, &g) in self.values.iter().zip(&self.gaps) {
+                    if !g {
+                        last = v;
+                    }
+                    out.push(last);
+                }
+                out
+            }
+            GapFill::Linear => self.fill_linear(),
+        };
+        let clamped: Vec<f64> = filled.into_iter().map(|v| v.max(0.0)).collect();
+        PowerTrace::new(self.start, self.resolution, clamped)
+            .expect("gap fill produces finite non-negative samples")
+    }
+
+    fn first_valid(&self) -> Option<f64> {
+        self.values
+            .iter()
+            .zip(&self.gaps)
+            .find(|(_, &g)| !g)
+            .map(|(&v, _)| v)
+    }
+
+    fn fill_linear(&self) -> Vec<f64> {
+        let n = self.values.len();
+        let mut out = vec![0.0; n];
+        let mut prev: Option<(usize, f64)> = None;
+        let mut i = 0;
+        while i < n {
+            if !self.gaps[i] {
+                out[i] = self.values[i];
+                prev = Some((i, self.values[i]));
+                i += 1;
+                continue;
+            }
+            // Run of gaps [i, j): find the next valid sample.
+            let mut j = i;
+            while j < n && self.gaps[j] {
+                j += 1;
+            }
+            let next = if j < n {
+                Some((j, self.values[j]))
+            } else {
+                None
+            };
+            match (prev, next) {
+                (Some((pi, pv)), Some((ni, nv))) => {
+                    for (k, slot) in out.iter_mut().enumerate().take(j).skip(i) {
+                        let t = (k - pi) as f64 / (ni - pi) as f64;
+                        *slot = pv + t * (nv - pv);
+                    }
+                }
+                (Some((_, pv)), None) => out[i..j].fill(pv),
+                (None, Some((_, nv))) => out[i..j].fill(nv),
+                (None, None) => out[i..j].fill(0.0),
+            }
+            i = j;
+        }
+        out
+    }
+}
+
+/// Applies trace faults in order, each on its own derived RNG stream.
+/// Called via [`crate::FaultPlan::apply_trace`].
+pub(crate) fn apply_trace_faults(
+    trace: &PowerTrace,
+    faults: &[TraceFault],
+    seed: u64,
+) -> FaultyTrace {
+    let mut out = FaultyTrace::from_clean(trace);
+    let mut injected: u64 = 0;
+    for (index, fault) in faults.iter().enumerate() {
+        let stream = derive_seed(seed, &format!("fault:{index}:{}", fault.label()));
+        injected += apply_one(&mut out, fault, stream);
+    }
+    obs::counter_add("faults.injected", injected);
+    obs::counter_add("faults.trace.gap_samples", out.gap_count() as u64);
+    out
+}
+
+/// Applies a single fault in place; returns how many samples it touched.
+fn apply_one(trace: &mut FaultyTrace, fault: &TraceFault, stream_seed: u64) -> u64 {
+    let n = trace.values.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut rng = seeded_rng(stream_seed);
+    match *fault {
+        TraceFault::Outage { fraction, mean_len } => {
+            let fraction = fraction.clamp(0.0, 1.0);
+            let mean_len = mean_len.max(1);
+            let target = (fraction * n as f64).round() as usize;
+            let mut destroyed = 0usize;
+            let mut touched = 0u64;
+            // Guard against pathological targets on tiny traces: at most
+            // n window draws, each destroying >= 1 sample.
+            for _ in 0..n {
+                if destroyed >= target {
+                    break;
+                }
+                let start = rng.gen_range(0..n);
+                // Geometric-ish window length around mean_len.
+                let len = 1 + (-(1.0 - rng.gen::<f64>()).ln() * mean_len as f64) as usize;
+                for g in trace.gaps.iter_mut().skip(start).take(len) {
+                    if !*g {
+                        *g = true;
+                        destroyed += 1;
+                        touched += 1;
+                    }
+                }
+            }
+            touched
+        }
+        TraceFault::Drop { prob } => {
+            let prob = prob.clamp(0.0, 1.0);
+            let mut touched = 0u64;
+            for g in trace.gaps.iter_mut() {
+                if rng.gen::<f64>() < prob && !*g {
+                    *g = true;
+                    touched += 1;
+                }
+            }
+            touched
+        }
+        TraceFault::Duplicate { prob } => {
+            let prob = prob.clamp(0.0, 1.0);
+            let mut touched = 0u64;
+            for i in 1..n {
+                if rng.gen::<f64>() < prob && !trace.gaps[i] && !trace.gaps[i - 1] {
+                    trace.values[i] = trace.values[i - 1];
+                    touched += 1;
+                }
+            }
+            touched
+        }
+        TraceFault::ClockJitter { max_slots } => {
+            if max_slots == 0 || n < 2 {
+                return 0;
+            }
+            let mut touched = 0u64;
+            // Displace each sample by a signed offset, last-writer-wins
+            // into a fresh buffer; slots nobody lands on become gaps
+            // (the reading arrived under another timestamp).
+            let mut new_values = vec![f64::NAN; n];
+            let mut new_gaps = vec![true; n];
+            for i in 0..n {
+                if trace.gaps[i] {
+                    continue;
+                }
+                let offset = rng.gen_range(-(max_slots as i64)..=max_slots as i64);
+                let j = (i as i64 + offset).clamp(0, n as i64 - 1) as usize;
+                if offset != 0 {
+                    touched += 1;
+                }
+                new_values[j] = trace.values[i];
+                new_gaps[j] = false;
+            }
+            trace.values = new_values;
+            trace.gaps = new_gaps;
+            touched
+        }
+        TraceFault::Spike {
+            prob,
+            magnitude_watts,
+        } => {
+            let prob = prob.clamp(0.0, 1.0);
+            let mut touched = 0u64;
+            for i in 0..n {
+                if rng.gen::<f64>() < prob && !trace.gaps[i] {
+                    trace.values[i] = (trace.values[i] + magnitude_watts).max(0.0);
+                    touched += 1;
+                }
+            }
+            touched
+        }
+        TraceFault::NanCorrupt { prob } => {
+            let prob = prob.clamp(0.0, 1.0);
+            let mut touched = 0u64;
+            for i in 0..n {
+                if rng.gen::<f64>() < prob && !trace.gaps[i] {
+                    trace.values[i] = f64::NAN;
+                    trace.gaps[i] = true;
+                    touched += 1;
+                }
+            }
+            touched
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultPlan;
+
+    fn clean(n: usize) -> PowerTrace {
+        PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, n, |i| {
+            100.0 + (i % 7) as f64 * 10.0
+        })
+    }
+
+    #[test]
+    fn from_raw_marks_non_finite_as_gaps() {
+        let raw = vec![1.0, f64::NAN, 3.0, f64::INFINITY, 5.0];
+        let t = FaultyTrace::from_raw(Timestamp::ZERO, Resolution::ONE_MINUTE, raw);
+        assert_eq!(t.gaps(), &[false, true, false, true, false]);
+        assert_eq!(t.gap_count(), 2);
+        assert!((t.gap_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(t.keep_mask(), vec![true, false, true, false, true]);
+    }
+
+    #[test]
+    fn outage_hits_roughly_the_target_fraction() {
+        let t = clean(10_000);
+        let plan = FaultPlan::new(vec![TraceFault::Outage {
+            fraction: 0.25,
+            mean_len: 20,
+        }]);
+        let f = plan.apply_trace(&t, 7);
+        let got = f.gap_fraction();
+        assert!(
+            (0.20..=0.35).contains(&got),
+            "outage fraction {got} far from 0.25"
+        );
+    }
+
+    #[test]
+    fn injection_is_deterministic_and_seed_sensitive() {
+        let t = clean(2_000);
+        let plan = FaultPlan::power_profile(0.25);
+        let a = plan.apply_trace(&t, 11);
+        let b = plan.apply_trace(&t, 11);
+        assert_eq!(a, b);
+        let c = plan.apply_trace(&t, 12);
+        assert_ne!(a.gaps(), c.gaps(), "different seeds must decorrelate");
+    }
+
+    #[test]
+    fn fault_streams_are_independent_of_plan_edits() {
+        // Removing the *last* fault must not change what the earlier
+        // faults did (per-fault derived streams, not one shared stream).
+        let t = clean(1_000);
+        let full = FaultPlan::new(vec![
+            TraceFault::Drop { prob: 0.1 },
+            TraceFault::NanCorrupt { prob: 0.1 },
+        ]);
+        let head = FaultPlan::new(vec![TraceFault::Drop { prob: 0.1 }]);
+        let a = full.apply_trace(&t, 3);
+        let b = head.apply_trace(&t, 3);
+        // Every gap the head plan made is present in the full plan too.
+        for (i, (&fg, &hg)) in a.gaps().iter().zip(b.gaps()).enumerate() {
+            if hg {
+                assert!(fg, "sample {i}: head-plan gap missing under full plan");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_policies_produce_valid_traces() {
+        let raw = vec![f64::NAN, 100.0, f64::NAN, f64::NAN, 400.0, f64::NAN];
+        let t = FaultyTrace::from_raw(Timestamp::ZERO, Resolution::ONE_MINUTE, raw);
+
+        let zero = t.fill(GapFill::Zero);
+        assert_eq!(zero.samples(), &[0.0, 100.0, 0.0, 0.0, 400.0, 0.0]);
+
+        let hold = t.fill(GapFill::Hold);
+        assert_eq!(hold.samples(), &[100.0, 100.0, 100.0, 100.0, 400.0, 400.0]);
+
+        let lin = t.fill(GapFill::Linear);
+        assert_eq!(lin.samples(), &[100.0, 100.0, 200.0, 300.0, 400.0, 400.0]);
+    }
+
+    #[test]
+    fn fill_handles_all_gap_and_empty_traces() {
+        let all_gap =
+            FaultyTrace::from_raw(Timestamp::ZERO, Resolution::ONE_MINUTE, vec![f64::NAN; 4]);
+        for policy in [GapFill::Zero, GapFill::Hold, GapFill::Linear] {
+            assert_eq!(all_gap.fill(policy).samples(), &[0.0; 4]);
+        }
+        let empty = FaultyTrace::from_raw(Timestamp::ZERO, Resolution::ONE_MINUTE, vec![]);
+        assert_eq!(empty.gap_fraction(), 0.0);
+        assert!(empty.fill(GapFill::Linear).is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_spike_corrupt_without_gaps() {
+        let t = clean(1_000);
+        let f = FaultPlan::new(vec![
+            TraceFault::Duplicate { prob: 0.3 },
+            TraceFault::Spike {
+                prob: 0.1,
+                magnitude_watts: 2_000.0,
+            },
+        ])
+        .apply_trace(&t, 5);
+        assert_eq!(f.gap_count(), 0);
+        assert_ne!(f.raw_values(), t.samples());
+        // Corruption never breaks trace validity.
+        let filled = f.fill(GapFill::Zero);
+        assert!(filled.validate().is_ok());
+    }
+
+    #[test]
+    fn clock_jitter_preserves_length_and_marks_vacated_slots() {
+        let t = clean(500);
+        let f = FaultPlan::new(vec![TraceFault::ClockJitter { max_slots: 3 }]).apply_trace(&t, 9);
+        assert_eq!(f.len(), t.len());
+        assert!(f.gap_count() > 0, "jitter should vacate some slots");
+        assert!(f.gap_fraction() < 0.9, "jitter must not erase the trace");
+    }
+
+    #[test]
+    fn faults_on_empty_and_single_sample_traces_do_not_panic() {
+        let plan = FaultPlan::power_profile(1.0);
+        let empty = PowerTrace::new(Timestamp::ZERO, Resolution::ONE_MINUTE, vec![]).unwrap();
+        let f = plan.apply_trace(&empty, 1);
+        assert!(f.is_empty());
+        let single = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 1, 42.0);
+        let f = plan.apply_trace(&single, 1);
+        assert_eq!(f.len(), 1);
+        let _ = f.fill(GapFill::Linear);
+    }
+}

@@ -65,5 +65,9 @@ pub use timeseries;
 pub mod fleet;
 pub mod scenario;
 
-pub use fleet::{run_fleet, run_fleet_serial, FleetResult, FleetSummary, StatSummary};
+pub use fleet::{
+    run_fleet, run_fleet_serial, run_fleet_supervised, run_fleet_supervised_serial, FleetError,
+    FleetResult, FleetSummary, HomeAttempt, QuarantinedHome, StatSummary, SupervisedFleetResult,
+    SupervisorConfig,
+};
 pub use scenario::{AttackScore, EnergyScenario, ScenarioReport};

@@ -5,6 +5,7 @@ use crate::device::DeviceType;
 use crate::features::{FeatureVector, N_FEATURES};
 use crate::generate::NetworkTrace;
 use serde::{Deserialize, Serialize};
+use timeseries::PipelineError;
 
 /// A trained device-type classifier.
 pub trait DeviceClassifier {
@@ -30,7 +31,21 @@ impl NaiveBayes {
     ///
     /// Panics if `examples` is empty.
     pub fn train(examples: &[(DeviceType, FeatureVector)]) -> Self {
-        assert!(!examples.is_empty(), "need training data");
+        Self::try_train(examples).expect("need training data")
+    }
+
+    /// The checked training entry point for possibly-degraded feeds (a
+    /// heavily faulted flow log can yield zero usable examples).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::EmptyInput`] when `examples` is empty.
+    pub fn try_train(examples: &[(DeviceType, FeatureVector)]) -> Result<Self, PipelineError> {
+        if examples.is_empty() {
+            return Err(PipelineError::EmptyInput {
+                stage: "netsim.fingerprint.train",
+            });
+        }
         let mut classes: Vec<DeviceType> = examples.iter().map(|(t, _)| *t).collect();
         classes.sort_by_key(|t| format!("{t}"));
         classes.dedup();
@@ -64,7 +79,7 @@ impl NaiveBayes {
                 (mean, var, (n / total).ln())
             })
             .collect();
-        NaiveBayes { classes, stats }
+        Ok(NaiveBayes { classes, stats })
     }
 
     /// Per-class log posterior (unnormalized).
@@ -115,8 +130,31 @@ impl Knn {
     /// Panics if `k` is zero or `examples` is empty.
     pub fn train(k: usize, examples: Vec<(DeviceType, FeatureVector)>) -> Self {
         assert!(k > 0, "k must be positive");
-        assert!(!examples.is_empty(), "need training data");
-        Knn { k, examples }
+        Self::try_train(k, examples).expect("need training data")
+    }
+
+    /// The checked training entry point for possibly-degraded feeds.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::EmptyInput`] when `examples` is empty, and
+    /// [`PipelineError::Degenerate`] when `k` is zero.
+    pub fn try_train(
+        k: usize,
+        examples: Vec<(DeviceType, FeatureVector)>,
+    ) -> Result<Self, PipelineError> {
+        if k == 0 {
+            return Err(PipelineError::Degenerate {
+                stage: "netsim.fingerprint.train",
+                reason: "k must be positive".into(),
+            });
+        }
+        if examples.is_empty() {
+            return Err(PipelineError::EmptyInput {
+                stage: "netsim.fingerprint.train",
+            });
+        }
+        Ok(Knn { k, examples })
     }
 }
 

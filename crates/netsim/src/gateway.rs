@@ -75,22 +75,23 @@ impl SmartGateway {
 
     /// Learns per-device profiles from a clean training trace.
     pub fn profile(&mut self, flows: &[FlowRecord], horizon_secs: u64) {
+        let window_secs = self.policy.window_secs.max(1);
         let mut by_device: HashMap<u32, Vec<FlowRecord>> = HashMap::new();
         for f in flows {
             by_device.entry(f.device_id).or_default().push(*f);
         }
         for (device_id, dev_flows) in by_device {
-            let windows = (horizon_secs / self.policy.window_secs).max(1);
+            let windows = (horizon_secs / window_secs).max(1);
             let mut vecs = Vec::new();
             for w in 0..windows {
-                let lo = w * self.policy.window_secs;
-                let hi = lo + self.policy.window_secs;
+                let lo = w * window_secs;
+                let hi = lo + window_secs;
                 let in_w: Vec<_> = dev_flows
                     .iter()
                     .copied()
                     .filter(|f| f.start_secs >= lo && f.start_secs < hi)
                     .collect();
-                if let Some(fv) = FeatureVector::from_flows(&in_w, self.policy.window_secs) {
+                if let Some(fv) = FeatureVector::from_flows(&in_w, window_secs) {
                     vecs.push(fv);
                 }
             }
@@ -137,6 +138,7 @@ impl SmartGateway {
     /// Unprofiled devices are quarantined immediately (least privilege: an
     /// unknown MAC gets no network access).
     pub fn monitor(&self, flows: &[FlowRecord], horizon_secs: u64) -> HashMap<u32, Verdict> {
+        let window_secs = self.policy.window_secs.max(1);
         let mut by_device: HashMap<u32, Vec<FlowRecord>> = HashMap::new();
         for f in flows {
             by_device.entry(f.device_id).or_default().push(*f);
@@ -157,18 +159,18 @@ impl SmartGateway {
                 continue;
             }
             // Windowed anomaly scoring.
-            let windows = (horizon_secs / self.policy.window_secs).max(1);
+            let windows = (horizon_secs / window_secs).max(1);
             let mut strikes = 0u32;
             let mut worst = Verdict::Normal;
             for w in 0..windows {
-                let lo = w * self.policy.window_secs;
-                let hi = lo + self.policy.window_secs;
+                let lo = w * window_secs;
+                let hi = lo + window_secs;
                 let in_w: Vec<_> = dev_flows
                     .iter()
                     .copied()
                     .filter(|f| f.start_secs >= lo && f.start_secs < hi)
                     .collect();
-                let Some(fv) = FeatureVector::from_flows(&in_w, self.policy.window_secs) else {
+                let Some(fv) = FeatureVector::from_flows(&in_w, window_secs) else {
                     strikes = 0;
                     continue;
                 };

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use timeseries::stats::disaggregation_error;
-use timeseries::{PowerTrace, TraceError};
+use timeseries::{PipelineError, PowerTrace, TraceError};
 
 /// One device's estimated power trace, as produced by a disaggregator.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +20,37 @@ pub trait Disaggregator {
     ///
     /// Every returned trace must be aligned with `meter`.
     fn disaggregate(&self, meter: &PowerTrace) -> Vec<DeviceEstimate>;
+
+    /// The checked entry point for possibly-degraded feeds: validates the
+    /// input and the per-device alignment contract on the way out.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::EmptyInput`] on a zero-length trace,
+    /// [`PipelineError::Trace`] when the trace fails validation, and
+    /// [`PipelineError::Degenerate`] if any estimate breaks alignment.
+    fn try_disaggregate(&self, meter: &PowerTrace) -> Result<Vec<DeviceEstimate>, PipelineError> {
+        if meter.is_empty() {
+            return Err(PipelineError::EmptyInput {
+                stage: "nilm.disaggregate",
+            });
+        }
+        meter.validate()?;
+        let estimates = self.disaggregate(meter);
+        for e in &estimates {
+            if meter.check_aligned(&e.trace).is_err() {
+                return Err(PipelineError::Degenerate {
+                    stage: "nilm.disaggregate",
+                    reason: format!(
+                        "{} returned a misaligned estimate for device {}",
+                        self.name(),
+                        e.name
+                    ),
+                });
+            }
+        }
+        Ok(estimates)
+    }
 
     /// A short human-readable name for reports.
     fn name(&self) -> &str;
@@ -79,6 +110,61 @@ mod tests {
 
     fn trace(samples: Vec<f64>) -> PowerTrace {
         PowerTrace::new(Timestamp::ZERO, Resolution::ONE_MINUTE, samples).unwrap()
+    }
+
+    /// A disaggregator that echoes the meter back as one device.
+    struct Echo;
+
+    impl Disaggregator for Echo {
+        fn disaggregate(&self, meter: &PowerTrace) -> Vec<DeviceEstimate> {
+            vec![DeviceEstimate {
+                name: "everything".into(),
+                trace: meter.clone(),
+            }]
+        }
+        fn name(&self) -> &str {
+            "echo"
+        }
+    }
+
+    #[test]
+    fn try_disaggregate_rejects_empty_and_passes_valid() {
+        let empty = trace(vec![]);
+        assert_eq!(
+            Echo.try_disaggregate(&empty),
+            Err(PipelineError::EmptyInput {
+                stage: "nilm.disaggregate"
+            })
+        );
+        let meter = trace(vec![100.0, 200.0]);
+        assert_eq!(Echo.try_disaggregate(&meter).unwrap().len(), 1);
+    }
+
+    /// A disaggregator that breaks the alignment contract.
+    struct Short;
+
+    impl Disaggregator for Short {
+        fn disaggregate(&self, _meter: &PowerTrace) -> Vec<DeviceEstimate> {
+            vec![DeviceEstimate {
+                name: "stub".into(),
+                trace: trace(vec![1.0]),
+            }]
+        }
+        fn name(&self) -> &str {
+            "short"
+        }
+    }
+
+    #[test]
+    fn try_disaggregate_catches_misaligned_estimates() {
+        let meter = trace(vec![100.0, 200.0, 300.0]);
+        match Short.try_disaggregate(&meter) {
+            Err(PipelineError::Degenerate { stage, reason }) => {
+                assert_eq!(stage, "nilm.disaggregate");
+                assert!(reason.contains("stub"));
+            }
+            other => panic!("expected Degenerate, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The occupancy-detector interface.
 
-use timeseries::{LabelSeries, PowerTrace};
+use timeseries::{LabelSeries, PipelineError, PowerTrace};
 
 /// An occupancy-detection attack: maps a smart-meter trace to an inferred
 /// binary occupancy series with the same geometry.
@@ -11,6 +11,39 @@ use timeseries::{LabelSeries, PowerTrace};
 pub trait OccupancyDetector {
     /// Infers occupancy from a meter trace.
     fn detect(&self, meter: &PowerTrace) -> LabelSeries;
+
+    /// The checked entry point for possibly-degraded feeds: validates the
+    /// input (empty or non-finite traces become typed errors instead of
+    /// implementation-defined behaviour) and guards the alignment
+    /// contract on the way out.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::EmptyInput`] on a zero-length trace,
+    /// [`PipelineError::Trace`] when the trace fails validation, and
+    /// [`PipelineError::Degenerate`] if the implementation breaks the
+    /// alignment contract.
+    fn try_detect(&self, meter: &PowerTrace) -> Result<LabelSeries, PipelineError> {
+        if meter.is_empty() {
+            return Err(PipelineError::EmptyInput {
+                stage: "niom.detect",
+            });
+        }
+        meter.validate()?;
+        let out = self.detect(meter);
+        if out.len() != meter.len() {
+            return Err(PipelineError::Degenerate {
+                stage: "niom.detect",
+                reason: format!(
+                    "{} returned {} labels for {} samples",
+                    self.name(),
+                    out.len(),
+                    meter.len()
+                ),
+            });
+        }
+        Ok(out)
+    }
 
     /// A short human-readable name for reports.
     fn name(&self) -> &str;
@@ -40,5 +73,43 @@ mod tests {
         let out = d.detect(&meter);
         assert_eq!(out.len(), 10);
         assert_eq!(d.name(), "always-home");
+    }
+
+    #[test]
+    fn try_detect_rejects_empty_and_passes_valid() {
+        let d = AlwaysHome;
+        let empty = PowerTrace::zeros(Timestamp::ZERO, Resolution::ONE_MINUTE, 0);
+        assert_eq!(
+            d.try_detect(&empty),
+            Err(PipelineError::EmptyInput {
+                stage: "niom.detect"
+            })
+        );
+        let meter = PowerTrace::zeros(Timestamp::ZERO, Resolution::ONE_MINUTE, 5);
+        assert_eq!(d.try_detect(&meter).unwrap().len(), 5);
+    }
+
+    /// A detector that violates the alignment contract.
+    struct Broken;
+
+    impl OccupancyDetector for Broken {
+        fn detect(&self, _meter: &PowerTrace) -> LabelSeries {
+            LabelSeries::new(Timestamp::ZERO, Resolution::ONE_MINUTE, vec![true])
+        }
+        fn name(&self) -> &str {
+            "broken"
+        }
+    }
+
+    #[test]
+    fn try_detect_catches_misaligned_output() {
+        let meter = PowerTrace::zeros(Timestamp::ZERO, Resolution::ONE_MINUTE, 5);
+        match Broken.try_detect(&meter) {
+            Err(PipelineError::Degenerate { stage, reason }) => {
+                assert_eq!(stage, "niom.detect");
+                assert!(reason.contains("broken"));
+            }
+            other => panic!("expected Degenerate, got {other:?}"),
+        }
     }
 }

@@ -73,6 +73,95 @@ impl fmt::Display for TraceError {
 
 impl Error for TraceError {}
 
+/// The shared typed error for pipeline stages consuming possibly-degraded
+/// input (faulted traces, empty feeds, gap-riddled logs).
+///
+/// Library entry points expose fallible `try_*` variants returning this
+/// enum so that a fleet run over corrupted data degrades into per-home
+/// errors instead of panics. The `stage` field names the pipeline stage
+/// that rejected the input (e.g. `"niom.detect"`), which the fleet
+/// supervisor surfaces in its quarantine report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A stage received an input with no samples at all.
+    EmptyInput {
+        /// The rejecting stage.
+        stage: &'static str,
+    },
+    /// A stage received fewer samples than it can meaningfully process.
+    TooShort {
+        /// The rejecting stage.
+        stage: &'static str,
+        /// Samples received.
+        len: usize,
+        /// Minimum the stage needs.
+        min: usize,
+    },
+    /// A stage received non-finite samples that its contract forbids.
+    NonFinite {
+        /// The rejecting stage.
+        stage: &'static str,
+    },
+    /// A stage cannot produce a meaningful result from this input for a
+    /// reason beyond size/finiteness (e.g. zero-variance training data).
+    Degenerate {
+        /// The rejecting stage.
+        stage: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An underlying trace operation failed (alignment, resampling, …).
+    Trace(TraceError),
+}
+
+impl PipelineError {
+    /// The pipeline stage that produced the error, if it carries one.
+    pub fn stage(&self) -> Option<&'static str> {
+        match self {
+            PipelineError::EmptyInput { stage }
+            | PipelineError::TooShort { stage, .. }
+            | PipelineError::NonFinite { stage }
+            | PipelineError::Degenerate { stage, .. } => Some(stage),
+            PipelineError::Trace(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::EmptyInput { stage } => {
+                write!(f, "{stage}: input holds no samples")
+            }
+            PipelineError::TooShort { stage, len, min } => {
+                write!(f, "{stage}: {len} samples, needs at least {min}")
+            }
+            PipelineError::NonFinite { stage } => {
+                write!(f, "{stage}: input contains non-finite samples")
+            }
+            PipelineError::Degenerate { stage, reason } => {
+                write!(f, "{stage}: degenerate input ({reason})")
+            }
+            PipelineError::Trace(e) => write!(f, "trace operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for PipelineError {
+    fn from(e: TraceError) -> Self {
+        PipelineError::Trace(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +186,27 @@ mod tests {
     fn is_std_error() {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<TraceError>();
+        assert_err::<PipelineError>();
+    }
+
+    #[test]
+    fn pipeline_error_display_and_stage() {
+        let e = PipelineError::EmptyInput {
+            stage: "niom.detect",
+        };
+        assert_eq!(e.to_string(), "niom.detect: input holds no samples");
+        assert_eq!(e.stage(), Some("niom.detect"));
+
+        let e = PipelineError::TooShort {
+            stage: "nilm.train",
+            len: 2,
+            min: 10,
+        };
+        assert_eq!(e.to_string(), "nilm.train: 2 samples, needs at least 10");
+
+        let e: PipelineError = TraceError::LengthMismatch { left: 3, right: 5 }.into();
+        assert_eq!(e.stage(), None);
+        assert!(e.to_string().contains("length mismatch"));
+        assert!(Error::source(&e).is_some());
     }
 }

@@ -242,6 +242,42 @@ impl LabelSeries {
         Ok(c)
     }
 
+    /// Like [`confusion`](Self::confusion), but tallies only the samples
+    /// where `keep` is `true` — the gap-aware scoring path: pass the
+    /// inverse of a fault-injection gap mask so destroyed readings never
+    /// count for or against a detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the series differ in geometry or
+    /// `keep` has a different length.
+    pub fn confusion_where(
+        &self,
+        predicted: &LabelSeries,
+        keep: &[bool],
+    ) -> Result<Confusion, TraceError> {
+        self.check_aligned(predicted)?;
+        if keep.len() != self.labels.len() {
+            return Err(TraceError::LengthMismatch {
+                left: self.labels.len(),
+                right: keep.len(),
+            });
+        }
+        let mut c = Confusion::default();
+        for ((&truth, &guess), &k) in self.labels.iter().zip(&predicted.labels).zip(keep) {
+            if !k {
+                continue;
+            }
+            match (truth, guess) {
+                (true, true) => c.tp += 1,
+                (false, true) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (true, false) => c.fn_ += 1,
+            }
+        }
+        Ok(c)
+    }
+
     /// Verifies that `other` has the same start, resolution, and length.
     ///
     /// # Errors
@@ -337,6 +373,30 @@ mod tests {
         );
         assert_eq!(c.total(), 5);
         assert!((c.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_where_skips_masked_samples() {
+        let truth = series(&[1, 1, 0, 0, 1]);
+        let guess = series(&[1, 0, 0, 1, 1]);
+        let keep = [true, false, true, false, true];
+        let c = truth.confusion_where(&guess, &keep).unwrap();
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 0,
+                tn: 1,
+                fn_: 0
+            }
+        );
+        // An all-true mask reproduces plain confusion.
+        assert_eq!(
+            truth.confusion_where(&guess, &[true; 5]).unwrap(),
+            truth.confusion(&guess).unwrap()
+        );
+        // A mismatched mask is a typed error, not a panic.
+        assert!(truth.confusion_where(&guess, &[true; 3]).is_err());
     }
 
     #[test]

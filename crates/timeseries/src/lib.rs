@@ -44,7 +44,7 @@ pub mod time;
 pub mod trace;
 
 pub use align::{aligned, Aligned};
-pub use error::TraceError;
+pub use error::{PipelineError, TraceError};
 pub use events::{detect_edges, Edge, EdgeDetector, EdgeDirection};
 pub use labels::LabelSeries;
 pub use resolution::Resolution;

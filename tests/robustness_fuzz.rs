@@ -1,0 +1,185 @@
+//! Fuzz tests for the degraded-input contract: no library entry point may
+//! panic on empty, all-NaN, single-sample, or gap-riddled traces. The
+//! `try_*` entry points must return a typed [`PipelineError`] (or succeed)
+//! — never unwind — and the fault layer itself must stay total over
+//! arbitrary raw buffers.
+
+use faults::{FaultPlan, FaultyTrace, GapFill, TraceFault};
+use iot_privacy_suite::defense::{Chpr, Defense};
+use iot_privacy_suite::loads::Catalogue;
+use iot_privacy_suite::netsim::fingerprint::labelled_examples;
+use iot_privacy_suite::netsim::{
+    simulate_home_network, DeviceType, GatewayPolicy, NaiveBayes, SmartGateway,
+};
+use iot_privacy_suite::nilm::{Disaggregator, Fhmm, PowerPlay};
+use iot_privacy_suite::niom::{HmmDetector, OccupancyDetector, ThresholdDetector};
+use iot_privacy_suite::timeseries::rng::seeded_rng;
+use iot_privacy_suite::timeseries::{LabelSeries, PowerTrace, Resolution, Timestamp};
+use proptest::prelude::*;
+
+/// Raw meter samples as an attacker-controlled feed would deliver them:
+/// any length (including 0 and 1), any value (including NaN, ±∞, and
+/// negatives).
+fn raw_samples() -> impl Strategy<Value = Vec<f64>> {
+    let sample = prop_oneof![
+        5 => 0.0f64..5_000.0,
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+        1 => -100.0f64..0.0,
+    ];
+    prop::collection::vec(sample, 0..200)
+}
+
+/// A trained FHMM over a couple of tiny two-state device models, reused
+/// across cases (training is deterministic and the models are small).
+fn tiny_fhmm() -> Fhmm {
+    use iot_privacy_suite::nilm::train_device_hmm;
+    let on_off = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 1_440, |i| {
+        if (i / 30) % 2 == 0 {
+            0.0
+        } else {
+            1_200.0
+        }
+    });
+    let steady = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 1_440, 90.0);
+    Fhmm::new(vec![
+        train_device_hmm("burst", &on_off, 2),
+        train_device_hmm("base", &steady, 2),
+    ])
+}
+
+proptest! {
+    /// The fault layer is total: any raw buffer becomes a gap-marked
+    /// trace, every fill policy yields a valid finite PowerTrace, and the
+    /// keep mask stays aligned.
+    #[test]
+    fn fault_layer_is_total_over_raw_buffers(samples in raw_samples(), seed in any::<u64>()) {
+        let faulted = FaultyTrace::from_raw(
+            Timestamp::ZERO,
+            Resolution::ONE_MINUTE,
+            samples.clone(),
+        );
+        prop_assert_eq!(faulted.len(), samples.len());
+        prop_assert_eq!(faulted.keep_mask().len(), samples.len());
+        for policy in [GapFill::Zero, GapFill::Hold, GapFill::Linear] {
+            let filled = faulted.fill(policy);
+            prop_assert_eq!(filled.len(), samples.len());
+            prop_assert!(filled.validate().is_ok());
+        }
+        // Stacking every fault kind on the filled trace never panics
+        // either, and the result still fills to a valid trace.
+        let plan = FaultPlan::new(vec![
+            TraceFault::Outage { fraction: 0.3, mean_len: 10 },
+            TraceFault::Drop { prob: 0.1 },
+            TraceFault::Duplicate { prob: 0.1 },
+            TraceFault::ClockJitter { max_slots: 3 },
+            TraceFault::Spike { prob: 0.05, magnitude_watts: 2_000.0 },
+            TraceFault::NanCorrupt { prob: 0.05 },
+        ]);
+        let refaulted = plan.apply_trace(&faulted.fill(GapFill::Hold), seed);
+        prop_assert!(refaulted.fill(GapFill::Linear).validate().is_ok());
+    }
+
+    /// NIOM detectors never panic on degraded feeds: `try_detect` returns
+    /// Ok or a typed error on empty, single-sample, and gap-riddled input.
+    #[test]
+    fn niom_detectors_never_panic(samples in raw_samples(), seed in any::<u64>()) {
+        let faulted = FaultyTrace::from_raw(Timestamp::ZERO, Resolution::ONE_MINUTE, samples);
+        let plan = FaultPlan::power_profile(0.5);
+        let meter = plan
+            .apply_trace(&faulted.fill(GapFill::Hold), seed)
+            .fill(GapFill::Zero);
+        for detector in [&ThresholdDetector::default() as &dyn OccupancyDetector,
+                         &HmmDetector::default()] {
+            match detector.try_detect(&meter) {
+                Ok(labels) => prop_assert_eq!(labels.len(), meter.len()),
+                Err(e) => prop_assert_eq!(e.stage(), Some("niom.detect")),
+            }
+        }
+    }
+
+    /// NILM disaggregators (FHMM and PowerPlay) never panic on degraded
+    /// feeds, and any estimates they produce stay aligned.
+    #[test]
+    fn nilm_disaggregators_never_panic(samples in raw_samples(), seed in any::<u64>()) {
+        let faulted = FaultyTrace::from_raw(Timestamp::ZERO, Resolution::ONE_MINUTE, samples);
+        let meter = FaultPlan::power_profile(0.25)
+            .apply_trace(&faulted.fill(GapFill::Linear), seed)
+            .fill(GapFill::Hold);
+        let powerplay = PowerPlay::from_catalogue(&Catalogue::figure2());
+        for attack in [&tiny_fhmm() as &dyn Disaggregator, &powerplay] {
+            match attack.try_disaggregate(&meter) {
+                Ok(estimates) => {
+                    for e in &estimates {
+                        prop_assert_eq!(e.trace.len(), meter.len());
+                    }
+                }
+                Err(e) => prop_assert_eq!(e.stage(), Some("nilm.disaggregate")),
+            }
+        }
+    }
+
+    /// CHPr never panics on degraded feeds and preserves geometry when it
+    /// succeeds.
+    #[test]
+    fn chpr_never_panics(samples in raw_samples(), seed in any::<u64>()) {
+        let faulted = FaultyTrace::from_raw(Timestamp::ZERO, Resolution::ONE_MINUTE, samples);
+        let meter = faulted.fill(GapFill::Hold);
+        match Chpr::default().try_apply(&meter, &mut seeded_rng(seed)) {
+            Ok(defended) => prop_assert_eq!(defended.trace.len(), meter.len()),
+            Err(e) => prop_assert_eq!(e.stage(), Some("defense.apply")),
+        }
+    }
+
+    /// Classifier training and the gateway never panic on degenerate
+    /// inputs: empty training sets are typed errors, zero-window policies
+    /// and empty flow logs are handled.
+    #[test]
+    fn gateway_and_fingerprint_never_panic(
+        window_secs in 0u64..7_200,
+        keep_every in 1usize..20,
+        seed in 1u64..500,
+    ) {
+        prop_assert!(NaiveBayes::try_train(&[]).is_err());
+
+        let occupancy = LabelSeries::from_fn(
+            Timestamp::ZERO,
+            Resolution::ONE_MINUTE,
+            1_440,
+            |i| i % 1_440 < 540,
+        );
+        let inv = [DeviceType::IpCamera, DeviceType::SmartPlug];
+        let trace = simulate_home_network(&inv, &occupancy, 1, seed);
+
+        // A gap-riddled flow log: keep only every k-th flow.
+        let mut damaged = trace.clone();
+        damaged.flows = damaged
+            .flows
+            .into_iter()
+            .step_by(keep_every)
+            .collect();
+
+        let examples = labelled_examples(&damaged, 4);
+        match NaiveBayes::try_train(&examples) {
+            Ok(classifier) => {
+                // Prediction is total over any example set.
+                for (_, fv) in examples.iter().take(5) {
+                    let _ = iot_privacy_suite::netsim::DeviceClassifier::predict(&classifier, fv);
+                }
+            }
+            Err(e) => prop_assert_eq!(e.stage(), Some("netsim.fingerprint.train")),
+        }
+
+        let mut gateway = SmartGateway::new(GatewayPolicy {
+            window_secs,
+            ..GatewayPolicy::default()
+        });
+        gateway.profile(&damaged.flows, damaged.horizon_secs);
+        let verdicts = gateway.monitor(&damaged.flows, damaged.horizon_secs);
+        prop_assert!(verdicts.len() <= inv.len());
+        // Empty flow logs are fine in both phases.
+        gateway.profile(&[], damaged.horizon_secs);
+        prop_assert!(gateway.monitor(&[], damaged.horizon_secs).is_empty());
+    }
+}

@@ -164,6 +164,71 @@ impl_arbitrary!(
     f64 => |rng| rng.inner.gen::<f64>(),
 );
 
+/// A strategy that always yields a clone of one value (`Just(x)`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A weighted union of same-valued strategies — what [`prop_oneof!`]
+/// builds. Each draw picks an arm with probability proportional to its
+/// weight, then delegates to it.
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof needs a positive total weight");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.inner.gen_range(0..total);
+        for (weight, arm) in &self.arms {
+            if pick < *weight as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+/// Weighted (or uniform) choice between strategies of one value type,
+/// mirroring proptest's `prop_oneof!`:
+///
+/// ```ignore
+/// let s = prop_oneof![
+///     5 => 0.0f64..100.0,
+///     1 => Just(f64::NAN),
+/// ];
+/// ```
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight, Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>)),+])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>)),+])
+    };
+}
+
 /// Collection strategies (`prop::collection`).
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -197,8 +262,8 @@ pub mod collection {
 /// Everything a property test file needs, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
-        Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, Union,
     };
 
     /// The `prop::` namespace (`prop::collection::vec` and friends).
@@ -317,5 +382,32 @@ mod tests {
         let mut b = crate::TestRng::deterministic("t");
         let s = 0u64..1_000_000;
         assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn just_and_oneof_cover_their_arms() {
+        let mut rng = crate::TestRng::deterministic("oneof");
+        assert!(Just(f64::NAN).generate(&mut rng).is_nan());
+        let s = prop_oneof![
+            3 => 0.0f64..1.0,
+            1 => Just(f64::NAN),
+        ];
+        let draws: Vec<f64> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|v| v.is_nan()), "NaN arm never drawn");
+        assert!(
+            draws.iter().any(|v| (0.0..1.0).contains(v)),
+            "range arm never drawn"
+        );
+        // Unweighted form: every arm weight defaults to 1.
+        let uniform = prop_oneof![Just(1u64), Just(2u64)];
+        let picks: std::collections::HashSet<u64> =
+            (0..50).map(|_| uniform.generate(&mut rng)).collect();
+        assert_eq!(picks.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn zero_weight_union_rejected() {
+        crate::Union::<u64>::new(vec![(0, Box::new(Just(1u64)))]);
     }
 }
