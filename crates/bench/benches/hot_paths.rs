@@ -1,5 +1,7 @@
 //! Criterion micro-benchmarks for the optimized hot paths: FHMM exact
-//! factorial Viterbi, the ICM fallback, and the fleet scenario engine.
+//! factorial Viterbi, the ICM fallback, the fleet scenario engine, and
+//! the streaming ingestion layer (the kernels behind the
+//! `stream_throughput` experiment, including its `--metrics` mode).
 //!
 //! The FHMM cases reuse one trained model set and one simulated day of
 //! meter data so that run-to-run numbers compare the decode kernels, not
@@ -9,8 +11,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use iot_privacy::homesim::{Home, HomeConfig};
 use iot_privacy::loads::Catalogue;
 use iot_privacy::nilm::{train_device_hmm, Disaggregator, Fhmm, FhmmConfig};
-use iot_privacy::run_fleet;
+use iot_privacy::niom::ThresholdDetector;
 use iot_privacy::scenario::EnergyScenario;
+use iot_privacy::stream::{
+    dense_samples, feed_chunked, FhmmStream, StreamSpec, StreamState, ThresholdStream,
+};
+use iot_privacy::streaming::StreamingScenario;
+use iot_privacy::{run_fleet, run_fleet_streaming, SupervisorConfig};
 
 fn bench_hot_paths(c: &mut Criterion) {
     let tracked = Catalogue::figure2();
@@ -51,6 +58,53 @@ fn bench_hot_paths(c: &mut Criterion) {
         b.iter(|| {
             iot_privacy::obs::reset();
             run_fleet(10, 7, |seed| EnergyScenario::new(seed).days(1))
+        });
+        iot_privacy::obs::disable();
+        iot_privacy::obs::reset();
+    });
+
+    // Streaming ingestion kernels: chunked feed + finalize against the
+    // same one-day payloads the batch cases above decode.
+    let day_samples = dense_samples(day.samples());
+    let day_spec = StreamSpec::of_trace(&day);
+
+    c.bench_function("stream/threshold_feed_1_day_chunk60", |b| {
+        let detector = ThresholdDetector::default();
+        b.iter(|| {
+            let mut s = ThresholdStream::new(detector.clone(), day_spec);
+            feed_chunked(&mut s, &day_samples, 60);
+            s.finalize()
+        })
+    });
+
+    c.bench_function("stream/fhmm_exact_feed_1_day_chunk60", |b| {
+        let fhmm = Fhmm::new(models.clone());
+        b.iter(|| {
+            let mut s = FhmmStream::new(&fhmm, day_spec);
+            feed_chunked(&mut s, &day_samples, 60);
+            s.finalize()
+        })
+    });
+
+    // The stream_throughput experiment's inner loop: a supervised
+    // streaming fleet at one-hour chunks.
+    c.bench_function("stream/fleet_10_homes_1_day_chunk60", |b| {
+        b.iter(|| {
+            run_fleet_streaming(10, 7, SupervisorConfig::default(), |a| {
+                StreamingScenario::new(a.seed).days(1).chunk_len(60)
+            })
+        })
+    });
+
+    // Same streaming fleet with the obs layer recording — what
+    // `stream_throughput --metrics` measures per chunk-length sweep.
+    c.bench_function("stream/fleet_10_homes_1_day_chunk60_metrics_on", |b| {
+        iot_privacy::obs::enable();
+        b.iter(|| {
+            iot_privacy::obs::reset();
+            run_fleet_streaming(10, 7, SupervisorConfig::default(), |a| {
+                StreamingScenario::new(a.seed).days(1).chunk_len(60)
+            })
         });
         iot_privacy::obs::disable();
         iot_privacy::obs::reset();

@@ -29,6 +29,8 @@ pub mod fig5_localization;
 pub mod fig6_chpr;
 pub mod fleet_scale;
 pub mod sec4_traffic_fingerprint;
+pub mod stream_equivalence;
+pub mod stream_throughput;
 
 /// How one experiment run is parameterized.
 ///
@@ -293,6 +295,18 @@ pub fn all() -> &'static [ExperimentSpec] {
             paper_anchor: "roadmap (fleet throughput)",
             deterministic: false,
             run: fleet_scale::run,
+        },
+        ExperimentSpec {
+            name: "stream_equivalence",
+            paper_anchor: "roadmap (streaming)",
+            deterministic: true,
+            run: stream_equivalence::run,
+        },
+        ExperimentSpec {
+            name: "stream_throughput",
+            paper_anchor: "roadmap (streaming throughput)",
+            deterministic: false,
+            run: stream_throughput::run,
         },
     ];
     ALL

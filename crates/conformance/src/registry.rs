@@ -379,6 +379,47 @@ fn robust_fleet_survivors(v: &Value) -> Result<f64, String> {
     nested_num(v, "fleet", "survivors")
 }
 
+/// AND of boolean flags inside one section of `stream_equivalence`'s
+/// output: 1.0 iff every named flag is `true`.
+fn nested_flags_all(v: &Value, outer: &str, inners: &[&str]) -> Result<f64, String> {
+    let section = v
+        .get(outer)
+        .ok_or_else(|| format!("missing object field `{outer}`"))?;
+    let mut all_true = 1.0;
+    for inner in inners {
+        all_true = f64::min(all_true, flag(section, inner)?);
+    }
+    Ok(all_true)
+}
+
+fn stream_niom_equal(v: &Value) -> Result<f64, String> {
+    nested_flags_all(v, "niom", &["threshold_equal", "hmm_equal"])
+}
+
+fn stream_nilm_equal(v: &Value) -> Result<f64, String> {
+    nested_flags_all(v, "nilm", &["exact_equal", "icm_equal", "powerplay_equal"])
+}
+
+fn stream_defense_equal(v: &Value) -> Result<f64, String> {
+    nested_flags_all(v, "defense", &["chpr_equal", "battery_equal"])
+}
+
+fn stream_netsim_equal(v: &Value) -> Result<f64, String> {
+    nested_flags_all(v, "netsim", &["fingerprint_equal", "gateway_equal"])
+}
+
+fn stream_faults_equal(v: &Value) -> Result<f64, String> {
+    nested_flags_all(v, "faults", &["hold_equal", "zero_equal", "chpr_equal"])
+}
+
+fn stream_scenario_equal(v: &Value) -> Result<f64, String> {
+    nested_flags_all(v, "scenario", &["equal", "checkpoint_equal"])
+}
+
+fn stream_metric_delta_max(v: &Value) -> Result<f64, String> {
+    num(v, "metric_delta_max")
+}
+
 /// Every registered claim, grouped by experiment in registry order.
 pub fn all() -> &'static [Claim] {
     static ALL: &[Claim] = &[
@@ -693,6 +734,70 @@ pub fn all() -> &'static [Claim] {
             experiment: "degradation_curves",
             band: Band::Absolute { lo: 9.0, hi: 9.0 },
             extract: robust_fleet_survivors,
+            cheap: true,
+        },
+        // -- Streaming: batch equivalence (crates/stream) ----------------
+        Claim {
+            id: "stream.niom-batch-equal",
+            anchor: "roadmap (streaming)",
+            title: "Streaming NIOM detection (Fig. 1 metrics) is byte-identical to batch for any chunking",
+            experiment: "stream_equivalence",
+            band: Band::Absolute { lo: 1.0, hi: 1.0 },
+            extract: stream_niom_equal,
+            cheap: true,
+        },
+        Claim {
+            id: "stream.nilm-batch-equal",
+            anchor: "roadmap (streaming)",
+            title: "Streaming FHMM/PowerPlay disaggregation (Fig. 2 metrics) is byte-identical to batch",
+            experiment: "stream_equivalence",
+            band: Band::Absolute { lo: 1.0, hi: 1.0 },
+            extract: stream_nilm_equal,
+            cheap: true,
+        },
+        Claim {
+            id: "stream.defense-batch-equal",
+            anchor: "roadmap (streaming)",
+            title: "Streaming CHPr and battery defenses replay the batch rng schedule exactly",
+            experiment: "stream_equivalence",
+            band: Band::Absolute { lo: 1.0, hi: 1.0 },
+            extract: stream_defense_equal,
+            cheap: true,
+        },
+        Claim {
+            id: "stream.netsim-batch-equal",
+            anchor: "roadmap (streaming)",
+            title: "Streaming flow fingerprinting and gateway monitoring (§IV metrics) match batch",
+            experiment: "stream_equivalence",
+            band: Band::Absolute { lo: 1.0, hi: 1.0 },
+            extract: stream_netsim_equal,
+            cheap: true,
+        },
+        Claim {
+            id: "stream.faulted-batch-equal",
+            anchor: "roadmap (streaming)",
+            title: "Gap-marked (fault-injected) chunks resolve to the batch gap-fill output exactly",
+            experiment: "stream_equivalence",
+            band: Band::Absolute { lo: 1.0, hi: 1.0 },
+            extract: stream_faults_equal,
+            cheap: true,
+        },
+        Claim {
+            id: "stream.scenario-batch-equal",
+            anchor: "roadmap (streaming)",
+            title: "The chunked scenario and checkpoint/restore resume reproduce the batch report",
+            experiment: "stream_equivalence",
+            band: Band::Absolute { lo: 1.0, hi: 1.0 },
+            extract: stream_scenario_equal,
+            cheap: true,
+        },
+        Claim {
+            id: "stream.metric-deltas-zero",
+            anchor: "roadmap (streaming)",
+            title: "Streaming accuracy/MCC/error metrics differ from batch by exactly zero",
+            experiment: "stream_equivalence",
+            band: Band::AtMost { hi: 0.0 },
+            extract: stream_metric_delta_max,
             cheap: true,
         },
     ];

@@ -51,6 +51,38 @@ pub fn select(opts: &Options) -> Vec<&'static Claim> {
         .collect()
 }
 
+/// Nondeterministic experiments whose artifacts still join the golden
+/// tier after *timing projection*: wall-clock keys are stripped from both
+/// the snapshot and the fresh run, and the remaining structure (sizes,
+/// equivalence flags, summaries) must match exactly. These run even when
+/// no claim selects them, so their checked-in artifacts cannot silently
+/// drift.
+const GOLDEN_PROJECTED: &[&str] = &["stream_throughput"];
+
+/// Whether an object key carries a wall-clock (or machine-local)
+/// measurement that the golden projection drops.
+fn is_timing_key(key: &str) -> bool {
+    key.ends_with("_seconds")
+        || key.ends_with("_per_sec")
+        || key.ends_with("speedup")
+        || matches!(key, "seconds" | "threads" | "obs")
+}
+
+/// Recursively removes timing keys from a JSON value (see
+/// [`GOLDEN_PROJECTED`]).
+fn strip_timing(v: &Value) -> Value {
+    match v {
+        Value::Object(map) => Value::Object(
+            map.iter()
+                .filter(|(k, _)| !is_timing_key(k))
+                .map(|(k, val)| (k.clone(), strip_timing(val)))
+                .collect(),
+        ),
+        Value::Array(items) => Value::Array(items.iter().map(strip_timing).collect()),
+        other => other.clone(),
+    }
+}
+
 /// Runs one experiment at one seed offset, capturing panics (experiment
 /// bodies carry internal shape `assert!`s) as errors.
 fn run_experiment(name: &str, offset: u64) -> Result<Value, String> {
@@ -141,9 +173,22 @@ pub fn run_claims(claims: &[&'static Claim], opts: &Options) -> ConformanceRepor
                 .or_default()
                 .push(claim.id);
         }
+        // Projected experiments join the snapshot tier claim-less.
+        for &name in GOLDEN_PROJECTED {
+            let selected = opts
+                .filter
+                .as_ref()
+                .is_none_or(|f| name.contains(f.as_str()));
+            if selected && experiments::find(name).is_some() {
+                by_experiment.entry(name).or_default();
+                runs.entry((name, 0))
+                    .or_insert_with(|| run_experiment(name, 0));
+            }
+        }
         for (experiment, claim_ids) in by_experiment {
             let spec = experiments::find(experiment).expect("selected experiments resolve");
-            if !spec.deterministic {
+            let projected = GOLDEN_PROJECTED.contains(&experiment);
+            if !spec.deterministic && !projected {
                 continue;
             }
             let path = dir.join(format!("{experiment}.json"));
@@ -163,6 +208,9 @@ pub fn run_claims(claims: &[&'static Claim], opts: &Options) -> ConformanceRepor
                         Err(e) => vec![format!("snapshot {} is not JSON: {e:?}", path.display())],
                         Ok(expected) => match &runs[&(experiment, 0)] {
                             Err(e) => vec![format!("canonical run failed: {e}")],
+                            Ok(actual) if projected => {
+                                golden::diff(&strip_timing(&expected), &strip_timing(actual))
+                            }
                             Ok(actual) => golden::diff(&expected, actual),
                         },
                     },
@@ -234,6 +282,55 @@ mod tests {
         });
         assert!(!cheap.is_empty() && cheap.len() < all.len());
         assert!(cheap.iter().all(|c| c.cheap));
+    }
+
+    #[test]
+    fn timing_projection_strips_wall_clock_keys_only() {
+        let v = serde_json::json!({
+            "experiment": "stream_throughput",
+            "threads": 8,
+            "sizes": [{
+                "homes": 10,
+                "batch_seconds": 0.123,
+                "chunks": [{
+                    "chunk_len": 60,
+                    "seconds": 0.5,
+                    "samples_per_sec": 1e6,
+                    "vs_batch_speedup": 1.1,
+                    "matches_batch": true,
+                    "obs": {"stream_chunks": 240},
+                }],
+            }],
+        });
+        let projected = strip_timing(&v);
+        assert_eq!(
+            projected,
+            serde_json::json!({
+                "experiment": "stream_throughput",
+                "sizes": [{
+                    "homes": 10,
+                    "chunks": [{"chunk_len": 60, "matches_batch": true}],
+                }],
+            })
+        );
+        // Two runs differing only in timing project to the same value.
+        let other = serde_json::json!({
+            "experiment": "stream_throughput",
+            "threads": 1,
+            "sizes": [{
+                "homes": 10,
+                "batch_seconds": 9.9,
+                "chunks": [{
+                    "chunk_len": 60,
+                    "seconds": 0.5,
+                    "samples_per_sec": 1e6,
+                    "vs_batch_speedup": 1.1,
+                    "matches_batch": true,
+                    "obs": {"stream_chunks": 240},
+                }],
+            }],
+        });
+        assert!(golden::diff(&projected, &strip_timing(&other)).is_empty());
     }
 
     #[test]

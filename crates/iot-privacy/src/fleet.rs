@@ -27,6 +27,7 @@
 //! `docs/ROBUSTNESS.md`.
 
 use crate::scenario::{EnergyScenario, ScenarioReport};
+use crate::streaming::StreamingScenario;
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -325,15 +326,17 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// The per-home supervision loop: run, catch, retry on a reseeded stream,
 /// quarantine when retries are exhausted. Pure function of
-/// `(home, root_seed, config, build)`.
+/// `(home, root_seed, config, run_attempt)`. Generic over how an attempt
+/// produces its report so the batch ([`run_fleet_supervised`]) and
+/// streaming ([`run_fleet_streaming`]) engines share one loop.
 fn supervise_home<F>(
     home: usize,
     root_seed: u64,
     config: SupervisorConfig,
-    build: &F,
+    run_attempt: &F,
 ) -> (Result<ScenarioReport, QuarantinedHome>, u64)
 where
-    F: Fn(HomeAttempt) -> EnergyScenario,
+    F: Fn(HomeAttempt) -> ScenarioReport,
 {
     let base = home_seed(root_seed, home);
     let mut retries = 0u64;
@@ -351,7 +354,7 @@ where
         };
         let outcome = IN_SUPERVISED_ATTEMPT.with(|flag| {
             flag.set(true);
-            let r = catch_unwind(AssertUnwindSafe(|| build(attempt_ctx).run()));
+            let r = catch_unwind(AssertUnwindSafe(|| run_attempt(attempt_ctx)));
             flag.set(false);
             r
         });
@@ -426,6 +429,20 @@ pub fn run_fleet_supervised<F>(
 where
     F: Fn(HomeAttempt) -> EnergyScenario + Sync,
 {
+    supervised_engine(homes, root_seed, config, |attempt| build(attempt).run())
+}
+
+/// The parallel supervised engine shared by the batch and streaming entry
+/// points: `run_attempt` executes one `(home, attempt)` and may panic.
+fn supervised_engine<F>(
+    homes: usize,
+    root_seed: u64,
+    config: SupervisorConfig,
+    run_attempt: F,
+) -> Result<SupervisedFleetResult, FleetError>
+where
+    F: Fn(HomeAttempt) -> ScenarioReport + Sync,
+{
     if homes == 0 {
         return Err(FleetError::EmptyFleet);
     }
@@ -434,7 +451,7 @@ where
     obs::counter_add("fleet.homes", homes as u64);
     let outcomes = rayon::parallel_map((0..homes).collect(), |i| {
         obs::time("fleet.home", || {
-            supervise_home(i, root_seed, config, &build)
+            supervise_home(i, root_seed, config, &run_attempt)
         })
     });
     assemble_supervised(homes, outcomes)
@@ -456,6 +473,20 @@ pub fn run_fleet_supervised_serial<F>(
 where
     F: Fn(HomeAttempt) -> EnergyScenario,
 {
+    supervised_engine_serial(homes, root_seed, config, |attempt| build(attempt).run())
+}
+
+/// Serial counterpart of [`supervised_engine`]: same seeds, same attempt
+/// schedule, one thread.
+fn supervised_engine_serial<F>(
+    homes: usize,
+    root_seed: u64,
+    config: SupervisorConfig,
+    run_attempt: F,
+) -> Result<SupervisedFleetResult, FleetError>
+where
+    F: Fn(HomeAttempt) -> ScenarioReport,
+{
     if homes == 0 {
         return Err(FleetError::EmptyFleet);
     }
@@ -465,11 +496,77 @@ where
     let outcomes: Vec<_> = (0..homes)
         .map(|i| {
             obs::time("fleet.home", || {
-                supervise_home(i, root_seed, config, &build)
+                supervise_home(i, root_seed, config, &run_attempt)
             })
         })
         .collect();
     assemble_supervised(homes, outcomes)
+}
+
+/// Runs `homes` [`StreamingScenario`]s concurrently under the supervisor.
+///
+/// The streaming analogue of [`run_fleet_supervised`]: each home's meter
+/// flows through the `stream` crate's chunked ingestion layer instead of
+/// the batch entry points, behind the same panic isolation, retry
+/// schedule, and quarantine ledger. Because every streaming pipeline is
+/// batch-equivalent, the result is byte-identical to
+/// [`run_fleet_supervised`] over the matching batch scenarios — the
+/// `stream_throughput` experiment and `tests/stream_equivalence.rs` both
+/// assert exactly that.
+///
+/// When the [`obs`] layer is enabled, the per-home streams additionally
+/// record the `stream.chunks` / `stream.samples` counters and the
+/// `stream.finalize` timing under the usual `fleet.*` spans.
+///
+/// # Errors
+///
+/// Returns [`FleetError::EmptyFleet`] if `homes` is zero, and
+/// [`FleetError::AllHomesQuarantined`] if no home survived.
+///
+/// # Examples
+///
+/// ```
+/// use iot_privacy::fleet::SupervisorConfig;
+/// use iot_privacy::streaming::StreamingScenario;
+///
+/// let fleet = iot_privacy::run_fleet_streaming(
+///     2,
+///     7,
+///     SupervisorConfig::default(),
+///     |attempt| StreamingScenario::new(attempt.seed).days(1).chunk_len(60),
+/// )
+/// .unwrap();
+/// assert_eq!(fleet.reports.len(), 2);
+/// ```
+pub fn run_fleet_streaming<F>(
+    homes: usize,
+    root_seed: u64,
+    config: SupervisorConfig,
+    build: F,
+) -> Result<SupervisedFleetResult, FleetError>
+where
+    F: Fn(HomeAttempt) -> StreamingScenario + Sync,
+{
+    supervised_engine(homes, root_seed, config, |attempt| build(attempt).run())
+}
+
+/// Reference serial implementation of [`run_fleet_streaming`]: same
+/// seeds, same attempt schedule, one thread.
+///
+/// # Errors
+///
+/// Returns [`FleetError::EmptyFleet`] if `homes` is zero, and
+/// [`FleetError::AllHomesQuarantined`] if no home survived.
+pub fn run_fleet_streaming_serial<F>(
+    homes: usize,
+    root_seed: u64,
+    config: SupervisorConfig,
+    build: F,
+) -> Result<SupervisedFleetResult, FleetError>
+where
+    F: Fn(HomeAttempt) -> StreamingScenario,
+{
+    supervised_engine_serial(homes, root_seed, config, |attempt| build(attempt).run())
 }
 
 /// Folds per-home outcomes (already in home-index order) into the final
@@ -652,6 +749,25 @@ mod tests {
         .unwrap_err();
         assert_eq!(err, FleetError::AllHomesQuarantined { homes: 3 });
         assert_eq!(err.to_string(), "all 3 homes were quarantined");
+    }
+
+    #[test]
+    fn streaming_fleet_matches_batch_fleet() {
+        let cfg = SupervisorConfig::default();
+        let batch =
+            run_fleet_supervised(4, 29, cfg, |a| EnergyScenario::new(a.seed).days(2)).unwrap();
+        for chunk_len in [60, 1_440] {
+            let streamed = run_fleet_streaming(4, 29, cfg, |a| {
+                StreamingScenario::new(a.seed).days(2).chunk_len(chunk_len)
+            })
+            .unwrap();
+            assert_eq!(streamed, batch, "chunk_len {chunk_len}");
+        }
+        let serial = run_fleet_streaming_serial(4, 29, cfg, |a| {
+            StreamingScenario::new(a.seed).days(2).chunk_len(60)
+        })
+        .unwrap();
+        assert_eq!(serial, batch);
     }
 
     #[test]

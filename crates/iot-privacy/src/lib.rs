@@ -16,6 +16,7 @@
 //! | [`defense`] | CHPr, battery levelling, obfuscation, privacy knob |
 //! | [`privatemeter`] | verifiable billing and differential privacy |
 //! | [`netsim`] | IoT traffic, fingerprinting, the smart gateway |
+//! | [`stream`] | incremental, batch-equivalent chunked inference |
 //! | [`obs`] | spans, counters, deterministic JSON metrics reports |
 //!
 //! Two downstream crates sit *above* this facade and are therefore not
@@ -60,14 +61,17 @@ pub use niom;
 pub use obs;
 pub use privatemeter;
 pub use solar;
+pub use stream;
 pub use timeseries;
 
 pub mod fleet;
 pub mod scenario;
+pub mod streaming;
 
 pub use fleet::{
-    run_fleet, run_fleet_serial, run_fleet_supervised, run_fleet_supervised_serial, FleetError,
-    FleetResult, FleetSummary, HomeAttempt, QuarantinedHome, StatSummary, SupervisedFleetResult,
-    SupervisorConfig,
+    run_fleet, run_fleet_serial, run_fleet_streaming, run_fleet_streaming_serial,
+    run_fleet_supervised, run_fleet_supervised_serial, FleetError, FleetResult, FleetSummary,
+    HomeAttempt, QuarantinedHome, StatSummary, SupervisedFleetResult, SupervisorConfig,
 };
 pub use scenario::{AttackScore, EnergyScenario, ScenarioReport};
+pub use streaming::StreamingScenario;

@@ -1,0 +1,163 @@
+//! Chunked (streaming) execution of the standard scenario.
+//!
+//! [`StreamingScenario`] runs the same simulate → attack → defend →
+//! attack pipeline as [`EnergyScenario`](crate::scenario::EnergyScenario),
+//! but pushes the meter through the `stream` crate's incremental layer in
+//! bounded chunks instead of handing whole traces to the batch entry
+//! points — the shape of a deployment where the gateway forwards readings
+//! as they arrive. The contract is *batch equivalence*: for any chunk
+//! length, the report is byte-identical to the batch scenario with the
+//! same seed (see `docs/STREAMING.md` and `tests/stream_equivalence.rs`).
+
+use crate::scenario::{AttackScore, ScenarioReport};
+use defense::Chpr;
+use homesim::{Home, HomeConfig, Persona};
+use niom::ThresholdDetector;
+use stream::{dense_samples, feed_chunked, ChprStream, StreamSpec, StreamState, ThresholdStream};
+use timeseries::rng::derive_seed;
+use timeseries::PowerTrace;
+
+/// The default scenario pipeline, executed through chunked ingestion.
+///
+/// Defaults mirror [`EnergyScenario::new`]: a 7-day worker household, the
+/// NIOM threshold attack, the CHPr defense — plus a one-day (1440-sample)
+/// chunk length.
+///
+/// [`EnergyScenario::new`]: crate::scenario::EnergyScenario::new
+pub struct StreamingScenario {
+    seed: u64,
+    days: u64,
+    persona: Persona,
+    chunk_len: usize,
+    attack: ThresholdDetector,
+    defense: Chpr,
+}
+
+impl StreamingScenario {
+    /// Creates the default streaming scenario with a reproducibility seed.
+    pub fn new(seed: u64) -> Self {
+        StreamingScenario {
+            seed,
+            days: 7,
+            persona: Persona::Worker,
+            chunk_len: 1_440,
+            attack: ThresholdDetector::default(),
+            defense: Chpr::default(),
+        }
+    }
+
+    /// Sets the horizon in days.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days` is zero.
+    pub fn days(mut self, days: u64) -> Self {
+        assert!(days > 0, "need at least one day");
+        self.days = days;
+        self
+    }
+
+    /// Sets the household persona.
+    pub fn persona(mut self, persona: Persona) -> Self {
+        self.persona = persona;
+        self
+    }
+
+    /// Sets how many samples each fed chunk carries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    pub fn chunk_len(mut self, chunk_len: usize) -> Self {
+        assert!(chunk_len > 0, "chunks must be non-empty");
+        self.chunk_len = chunk_len;
+        self
+    }
+
+    /// Swaps the threshold attack's configuration.
+    pub fn attack(mut self, attack: ThresholdDetector) -> Self {
+        self.attack = attack;
+        self
+    }
+
+    /// Swaps the CHPr defense's configuration.
+    pub fn defense(mut self, defense: Chpr) -> Self {
+        self.defense = defense;
+        self
+    }
+
+    /// Runs the scenario through the streaming layer.
+    ///
+    /// Records the same `scenario.*` stage spans as the batch scenario;
+    /// the streams underneath additionally record the `stream.chunks` /
+    /// `stream.samples` counters and the `stream.finalize` timing.
+    pub fn run(&self) -> ScenarioReport {
+        let home = obs::time("scenario.simulate", || {
+            Home::simulate(
+                &HomeConfig::new(self.seed)
+                    .days(self.days)
+                    .persona(self.persona),
+            )
+        });
+        let score = |trace: &PowerTrace| -> AttackScore {
+            let mut s = ThresholdStream::new(self.attack.clone(), StreamSpec::of_trace(trace));
+            feed_chunked(&mut s, &dense_samples(trace.samples()), self.chunk_len);
+            let c = home
+                .occupancy
+                .confusion(&s.finalize())
+                .expect("attack output is aligned by contract");
+            AttackScore {
+                accuracy: c.accuracy(),
+                mcc: c.mcc(),
+            }
+        };
+        let undefended = obs::time("scenario.attack_undefended", || score(&home.meter));
+        let defended_out = obs::time("scenario.defend", || {
+            let mut d = ChprStream::new(
+                self.defense,
+                derive_seed(self.seed, "defense"),
+                StreamSpec::of_trace(&home.meter),
+            );
+            feed_chunked(&mut d, &dense_samples(home.meter.samples()), self.chunk_len);
+            d.finalize()
+        });
+        let defended = obs::time("scenario.attack_defended", || score(&defended_out.trace));
+        ScenarioReport {
+            undefended,
+            defended,
+            cost: defended_out.cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::EnergyScenario;
+
+    #[test]
+    fn streaming_scenario_matches_batch_scenario() {
+        let batch = EnergyScenario::new(11).days(3).run();
+        for chunk_len in [1, 97, 1_440, usize::MAX / 2] {
+            let streamed = StreamingScenario::new(11)
+                .days(3)
+                .chunk_len(chunk_len)
+                .run();
+            assert_eq!(streamed, batch, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn builders_carry_through() {
+        let batch = EnergyScenario::new(5)
+            .days(2)
+            .persona(Persona::Homebody)
+            .run();
+        let streamed = StreamingScenario::new(5)
+            .days(2)
+            .persona(Persona::Homebody)
+            .chunk_len(333)
+            .run();
+        assert_eq!(streamed, batch);
+    }
+}

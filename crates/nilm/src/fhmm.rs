@@ -22,7 +22,7 @@
 use crate::estimate::{DeviceEstimate, Disaggregator};
 use crate::train::DeviceHmm;
 use std::sync::OnceLock;
-use timeseries::PowerTrace;
+use timeseries::{PowerTrace, Resolution, Timestamp};
 
 /// Tuning parameters of the FHMM disaggregator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -305,6 +305,161 @@ impl Fhmm {
         }
         out
     }
+
+    /// Whether this model decodes with exact factorial Viterbi (as opposed
+    /// to the ICM approximation, which needs the whole trace at once).
+    pub fn exact_capable(&self) -> bool {
+        self.joint_states() <= self.config.max_exact_states
+    }
+
+    /// Number of device models in the factorial ensemble.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Starts an incremental exact-Viterbi forward pass over this model, or
+    /// `None` when the joint space is too large for exact decoding (ICM is
+    /// a whole-trace algorithm; callers must buffer and use
+    /// [`Disaggregator::disaggregate`] instead).
+    ///
+    /// Pushing every sample of a trace and then calling
+    /// [`FhmmFilter::paths`] reproduces the batch decode bit for bit: the
+    /// filter runs the same flat-table recurrence as the internal exact
+    /// decoder, merely spread across `push` calls.
+    pub fn filter(&self) -> Option<FhmmFilter<'_>> {
+        if !self.exact_capable() {
+            return None;
+        }
+        let tables = self.joint_tables();
+        Some(FhmmFilter {
+            fhmm: self,
+            inv_two_var: 0.5 / (self.config.noise_sd_watts * self.config.noise_sd_watts),
+            delta: Vec::new(),
+            next: vec![f64::NEG_INFINITY; tables.k],
+            back: Vec::new(),
+            n: 0,
+        })
+    }
+
+    /// Renders per-device state paths into [`DeviceEstimate`]s exactly as
+    /// [`Disaggregator::disaggregate`] does after decoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` does not hold one path per device, or any path is
+    /// shorter than `len`.
+    pub fn estimates_from_paths(
+        &self,
+        start: Timestamp,
+        resolution: Resolution,
+        len: usize,
+        paths: &[Vec<usize>],
+    ) -> Vec<DeviceEstimate> {
+        assert_eq!(paths.len(), self.devices.len(), "one path per device");
+        self.devices
+            .iter()
+            .zip(paths)
+            .map(|(dev, path)| DeviceEstimate {
+                name: dev.name.clone(),
+                trace: PowerTrace::from_fn(start, resolution, len, |t| dev.state_watts[path[t]]),
+            })
+            .collect()
+    }
+}
+
+/// Incremental forward pass of the exact factorial Viterbi decoder: the
+/// same recurrence as the batch decoder, one observation per
+/// [`FhmmFilter::push`]. Constant non-output state (two `k`-wide scratch
+/// rows); the backpointer table grows one row per sample, exactly like the
+/// batch decoder's. Cloning the filter checkpoints the decode mid-trace.
+#[derive(Debug, Clone)]
+pub struct FhmmFilter<'a> {
+    fhmm: &'a Fhmm,
+    inv_two_var: f64,
+    delta: Vec<f64>,
+    next: Vec<f64>,
+    back: Vec<u32>,
+    n: usize,
+}
+
+impl FhmmFilter<'_> {
+    /// Advances the decode by one aggregate observation (watts).
+    pub fn push(&mut self, x: f64) {
+        let tables = self.fhmm.joint_tables();
+        let k = tables.k;
+        if self.n == 0 {
+            self.delta.clear();
+            self.delta.extend((0..k).map(|j| {
+                let d = x - tables.totals[j];
+                tables.log_init[j] + (-d * d * self.inv_two_var)
+            }));
+            // Row 0 of the backpointer table is never read; keep it zeroed
+            // to mirror the batch decoder's layout.
+            self.back.resize(k, 0);
+        } else {
+            let t = self.n;
+            self.back.resize((t + 1) * k, 0);
+            for j in 0..k {
+                let row = &tables.log_a_t[j * k..(j + 1) * k];
+                let mut best = f64::NEG_INFINITY;
+                let mut arg = 0u32;
+                for (i, (&d, &a)) in self.delta.iter().zip(row).enumerate() {
+                    let v = d + a;
+                    if v > best {
+                        best = v;
+                        arg = i as u32;
+                    }
+                }
+                let d = x - tables.totals[j];
+                self.next[j] = best + (-d * d * self.inv_two_var);
+                self.back[t * k + j] = arg;
+            }
+            std::mem::swap(&mut self.delta, &mut self.next);
+        }
+        self.n += 1;
+    }
+
+    /// Number of observations pushed so far.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no observation has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Backtracks the decode so far into per-device state paths —
+    /// byte-identical to what the batch decoder returns for the same
+    /// observation prefix. Does not consume the filter; feeding may
+    /// continue afterwards.
+    pub fn paths(&self) -> Vec<Vec<usize>> {
+        let n = self.n;
+        if n == 0 {
+            return vec![Vec::new(); self.fhmm.devices.len()];
+        }
+        let k = self.fhmm.joint_tables().k;
+        let mut joint_path = vec![0usize; n];
+        joint_path[n - 1] = self
+            .delta
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(j, _)| j)
+            .unwrap_or(0);
+        for t in (0..n - 1).rev() {
+            joint_path[t] = self.back[(t + 1) * k + joint_path[t + 1]] as usize;
+        }
+        let mut paths = vec![vec![0usize; n]; self.fhmm.devices.len()];
+        for (t, &j) in joint_path.iter().enumerate() {
+            let mut rest = j;
+            for (path, dev) in paths.iter_mut().zip(&self.fhmm.devices) {
+                path[t] = rest % dev.n_states();
+                rest /= dev.n_states();
+            }
+        }
+        paths
+    }
 }
 
 /// Minimum trace length before the residual fill fans out to threads;
@@ -418,16 +573,7 @@ fn viterbi_single_flat(
 impl Disaggregator for Fhmm {
     fn disaggregate(&self, meter: &PowerTrace) -> Vec<DeviceEstimate> {
         let paths = self.decode(meter);
-        self.devices
-            .iter()
-            .zip(paths)
-            .map(|(dev, path)| DeviceEstimate {
-                name: dev.name.clone(),
-                trace: PowerTrace::from_fn(meter.start(), meter.resolution(), meter.len(), |t| {
-                    dev.state_watts[path[t]]
-                }),
-            })
-            .collect()
+        self.estimates_from_paths(meter.start(), meter.resolution(), meter.len(), &paths)
     }
 
     fn name(&self) -> &str {

@@ -41,7 +41,7 @@ pub mod train;
 
 pub use estimate::{evaluate_disaggregation, DeviceEstimate, DeviceScore, Disaggregator};
 pub use events::{extract_events, profile, UsageEvent, UsageProfile};
-pub use fhmm::{Fhmm, FhmmConfig};
+pub use fhmm::{Fhmm, FhmmConfig, FhmmFilter};
 pub use hart::HartNilm;
 pub use powerplay::{PowerPlay, PowerPlayConfig};
 pub use train::{train_device_hmm, DeviceHmm};

@@ -9,7 +9,7 @@
 
 use crate::detector::OccupancyDetector;
 use serde::{Deserialize, Serialize};
-use timeseries::{LabelSeries, PowerTrace, WindowStats};
+use timeseries::{LabelSeries, PowerTrace, Resolution, Timestamp, WindowStats};
 
 /// The two-state Gaussian-emission HMM occupancy detector.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -206,6 +206,43 @@ impl HmmDetector {
         }
         hmm
     }
+
+    /// Runs fit + Viterbi + labelling over precomputed window means.
+    ///
+    /// `windows` must be exactly the `(window start index, window mean)`
+    /// pairs `WindowStats::new(meter, self.window)` yields for a trace with
+    /// this geometry, trailing partial window included.
+    /// [`detect`](OccupancyDetector::detect) is a thin wrapper over this;
+    /// the streaming layer calls it directly with means accumulated chunk
+    /// by chunk, keeping both paths byte-identical.
+    pub fn detect_from_windows(
+        &self,
+        start: Timestamp,
+        resolution: Resolution,
+        len: usize,
+        windows: &[(usize, f64)],
+    ) -> LabelSeries {
+        if len == 0 {
+            return LabelSeries::new(start, resolution, Vec::new());
+        }
+        let xs: Vec<f64> = windows.iter().map(|&(_, m)| m).collect();
+        if xs.len() < 4 {
+            // Too little data for EM; fall back to "all unoccupied".
+            return LabelSeries::new(start, resolution, vec![false; len]);
+        }
+        let hmm = self.fit(&xs);
+        let path = hmm.viterbi(&xs);
+        let occupied_state = if hmm.mu[0] >= hmm.mu[1] { 0 } else { 1 };
+        let mut labels = vec![false; len];
+        for (&(w_start, _), &state) in windows.iter().zip(&path) {
+            let end = (w_start + self.window).min(labels.len());
+            labels[w_start..end].fill(state == occupied_state);
+        }
+        if let Some((from, to)) = self.night_prior {
+            crate::threshold::apply_night_prior(&mut labels, start, resolution, from, to);
+        }
+        LabelSeries::new(start, resolution, labels)
+    }
 }
 
 impl OccupancyDetector for HmmDetector {
@@ -218,23 +255,7 @@ impl OccupancyDetector for HmmDetector {
         let windows: Vec<(usize, f64)> = WindowStats::new(meter, self.window)
             .map(|(i, s)| (i, s.mean))
             .collect();
-        let xs: Vec<f64> = windows.iter().map(|&(_, m)| m).collect();
-        if xs.len() < 4 {
-            // Too little data for EM; fall back to "all unoccupied".
-            return LabelSeries::like_trace(meter, false);
-        }
-        let hmm = self.fit(&xs);
-        let path = hmm.viterbi(&xs);
-        let occupied_state = if hmm.mu[0] >= hmm.mu[1] { 0 } else { 1 };
-        let mut labels = vec![false; meter.len()];
-        for (&(start, _), &state) in windows.iter().zip(&path) {
-            let end = (start + self.window).min(labels.len());
-            labels[start..end].fill(state == occupied_state);
-        }
-        if let Some((from, to)) = self.night_prior {
-            crate::threshold::apply_night_prior(&mut labels, meter, from, to);
-        }
-        LabelSeries::new(meter.start(), meter.resolution(), labels)
+        self.detect_from_windows(meter.start(), meter.resolution(), meter.len(), &windows)
     }
 
     fn name(&self) -> &str {

@@ -9,7 +9,7 @@
 use crate::detector::OccupancyDetector;
 use crate::threshold::apply_night_prior;
 use serde::{Deserialize, Serialize};
-use timeseries::{LabelSeries, PowerTrace, Summary, WindowStats};
+use timeseries::{LabelSeries, PowerTrace, Resolution, Summary, Timestamp, WindowStats};
 
 /// Number of features per window.
 const N_FEATURES: usize = 4;
@@ -42,12 +42,17 @@ fn features(summary: &Summary, baseline: f64) -> [f64; N_FEATURES] {
 }
 
 fn baseline_watts(trace: &PowerTrace, window: usize) -> f64 {
-    let mut means: Vec<f64> = WindowStats::new(trace, window)
+    let means: Vec<f64> = WindowStats::new(trace, window)
         .map(|(_, s)| s.mean)
         .collect();
-    if means.is_empty() {
+    baseline_from_window_means(&means)
+}
+
+fn baseline_from_window_means(means_in_order: &[f64]) -> f64 {
+    if means_in_order.is_empty() {
         return 0.0;
     }
+    let mut means = means_in_order.to_vec();
     means.sort_by(|a, b| a.total_cmp(b));
     means[means.len() / 10]
 }
@@ -141,28 +146,47 @@ impl LogisticDetector {
     pub fn weights(&self) -> (&[f64; N_FEATURES], f64) {
         (&self.weights, self.bias)
     }
+
+    /// Applies the trained model over precomputed window summaries.
+    ///
+    /// `windows` must be exactly what `WindowStats::new(meter, self.window)`
+    /// yields for a trace with this geometry, trailing partial window
+    /// included. [`detect`](OccupancyDetector::detect) is a thin wrapper
+    /// over this; the streaming layer calls it directly with summaries it
+    /// accumulated chunk by chunk, keeping both paths byte-identical.
+    pub fn detect_from_windows(
+        &self,
+        start: Timestamp,
+        resolution: Resolution,
+        len: usize,
+        windows: &[(usize, Summary)],
+    ) -> LabelSeries {
+        let means: Vec<f64> = windows.iter().map(|(_, s)| s.mean).collect();
+        let baseline = baseline_from_window_means(&means);
+        let mut labels = vec![false; len];
+        for (w_start, summary) in windows {
+            let mut x = features(summary, baseline);
+            for (k, v) in x.iter_mut().enumerate() {
+                *v = (*v - self.feat_mean[k]) / self.feat_std[k];
+            }
+            let z: f64 = self.bias + self.weights.iter().zip(&x).map(|(w, v)| w * v).sum::<f64>();
+            let occupied = z > 0.0;
+            let end = (w_start + self.window).min(labels.len());
+            labels[*w_start..end].fill(occupied);
+        }
+        if let Some((from, to)) = self.night_prior {
+            apply_night_prior(&mut labels, start, resolution, from, to);
+        }
+        LabelSeries::new(start, resolution, labels)
+    }
 }
 
 impl OccupancyDetector for LogisticDetector {
     fn detect(&self, meter: &PowerTrace) -> LabelSeries {
         let _span = obs::span("niom.logistic.detect");
         obs::counter_add("niom.logistic.samples", meter.len() as u64);
-        let baseline = baseline_watts(meter, self.window);
-        let mut labels = vec![false; meter.len()];
-        for (start, summary) in WindowStats::new(meter, self.window) {
-            let mut x = features(&summary, baseline);
-            for (k, v) in x.iter_mut().enumerate() {
-                *v = (*v - self.feat_mean[k]) / self.feat_std[k];
-            }
-            let z: f64 = self.bias + self.weights.iter().zip(&x).map(|(w, v)| w * v).sum::<f64>();
-            let occupied = z > 0.0;
-            let end = (start + self.window).min(labels.len());
-            labels[start..end].fill(occupied);
-        }
-        if let Some((from, to)) = self.night_prior {
-            apply_night_prior(&mut labels, meter, from, to);
-        }
-        LabelSeries::new(meter.start(), meter.resolution(), labels)
+        let windows: Vec<(usize, Summary)> = WindowStats::new(meter, self.window).collect();
+        self.detect_from_windows(meter.start(), meter.resolution(), meter.len(), &windows)
     }
 
     fn name(&self) -> &str {

@@ -2,7 +2,7 @@
 
 use crate::detector::OccupancyDetector;
 use serde::{Deserialize, Serialize};
-use timeseries::{LabelSeries, PowerTrace, Summary, WindowStats};
+use timeseries::{LabelSeries, PowerTrace, Resolution, Summary, Timestamp, WindowStats};
 
 /// The statistical threshold detector.
 ///
@@ -65,12 +65,21 @@ impl ThresholdDetector {
     /// The background baseline (watts) this detector would calibrate on
     /// `meter`: the configured percentile of window means.
     pub fn baseline_watts(&self, meter: &PowerTrace) -> f64 {
-        let mut means: Vec<f64> = WindowStats::new(meter, self.window)
+        let means: Vec<f64> = WindowStats::new(meter, self.window)
             .map(|(_, s)| s.mean)
             .collect();
-        if means.is_empty() {
+        self.baseline_from_window_means(&means)
+    }
+
+    /// The baseline computed from window means given in trace order (the
+    /// same values [`baseline_watts`](Self::baseline_watts) derives itself);
+    /// exposed so incremental callers that already hold window summaries
+    /// reuse the exact batch arithmetic.
+    pub fn baseline_from_window_means(&self, means_in_order: &[f64]) -> f64 {
+        if means_in_order.is_empty() {
             return 0.0;
         }
+        let mut means = means_in_order.to_vec();
         means.sort_by(|a, b| a.total_cmp(b));
         let rank = (self.baseline_percentile / 100.0 * (means.len() - 1) as f64).round() as usize;
         means[rank.min(means.len() - 1)]
@@ -80,29 +89,49 @@ impl ThresholdDetector {
         summary.mean > baseline + self.mean_margin_watts
             || summary.stddev() > self.sigma_threshold_watts
     }
+
+    /// Runs the full detection pipeline over precomputed window summaries.
+    ///
+    /// `windows` must be exactly what `WindowStats::new(meter, self.window)`
+    /// yields for a trace with the given geometry — `(window start index,
+    /// summary)` pairs in trace order, trailing partial window included.
+    /// [`detect`](OccupancyDetector::detect) is a thin wrapper over this;
+    /// the streaming layer calls it directly with summaries it accumulated
+    /// chunk by chunk, which keeps the two paths byte-identical.
+    pub fn detect_from_windows(
+        &self,
+        start: Timestamp,
+        resolution: Resolution,
+        len: usize,
+        windows: &[(usize, Summary)],
+    ) -> LabelSeries {
+        let means: Vec<f64> = windows.iter().map(|(_, s)| s.mean).collect();
+        let baseline = self.baseline_from_window_means(&means);
+        let mut labels = vec![false; len];
+        let mut window_flags = Vec::new();
+        for (w_start, summary) in windows {
+            window_flags.push((*w_start, self.classify_window(summary, baseline)));
+        }
+        // Smooth at window granularity.
+        let flags: Vec<bool> = window_flags.iter().map(|&(_, f)| f).collect();
+        let smoothed = smooth_bool_runs(&flags, self.min_run_windows);
+        for (&(w_start, _), &flag) in window_flags.iter().zip(&smoothed) {
+            let end = (w_start + self.window).min(labels.len());
+            labels[w_start..end].fill(flag);
+        }
+        if let Some((from, to)) = self.night_prior {
+            apply_night_prior(&mut labels, start, resolution, from, to);
+        }
+        LabelSeries::new(start, resolution, labels)
+    }
 }
 
 impl OccupancyDetector for ThresholdDetector {
     fn detect(&self, meter: &PowerTrace) -> LabelSeries {
         let _span = obs::span("niom.threshold.detect");
         obs::counter_add("niom.threshold.samples", meter.len() as u64);
-        let baseline = self.baseline_watts(meter);
-        let mut labels = vec![false; meter.len()];
-        let mut window_flags = Vec::new();
-        for (start, summary) in WindowStats::new(meter, self.window) {
-            window_flags.push((start, self.classify_window(&summary, baseline)));
-        }
-        // Smooth at window granularity.
-        let flags: Vec<bool> = window_flags.iter().map(|&(_, f)| f).collect();
-        let smoothed = smooth_bool_runs(&flags, self.min_run_windows);
-        for (&(start, _), &flag) in window_flags.iter().zip(&smoothed) {
-            let end = (start + self.window).min(labels.len());
-            labels[start..end].fill(flag);
-        }
-        if let Some((from, to)) = self.night_prior {
-            apply_night_prior(&mut labels, meter, from, to);
-        }
-        LabelSeries::new(meter.start(), meter.resolution(), labels)
+        let windows: Vec<(usize, Summary)> = WindowStats::new(meter, self.window).collect();
+        self.detect_from_windows(meter.start(), meter.resolution(), meter.len(), &windows)
     }
 
     fn name(&self) -> &str {
@@ -111,10 +140,19 @@ impl OccupancyDetector for ThresholdDetector {
 }
 
 /// Marks every sample whose hour of day falls in the wrapping interval
-/// `[from, to)` as occupied.
-pub(crate) fn apply_night_prior(labels: &mut [bool], meter: &PowerTrace, from: u8, to: u8) {
+/// `[from, to)` as occupied. Sample `i` sits at `start + i * resolution`,
+/// matching `PowerTrace::timestamp` — callers only need the grid, not the
+/// trace itself.
+pub(crate) fn apply_night_prior(
+    labels: &mut [bool],
+    start: Timestamp,
+    resolution: Resolution,
+    from: u8,
+    to: u8,
+) {
     for (i, slot) in labels.iter_mut().enumerate() {
-        let hour = meter.timestamp(i).hour_of_day() as u8;
+        let at = start + i as u64 * resolution.as_secs() as u64;
+        let hour = at.hour_of_day() as u8;
         let in_night = if from <= to {
             (from..to).contains(&hour)
         } else {

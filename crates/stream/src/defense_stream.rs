@@ -1,0 +1,134 @@
+//! Streaming defenses (CHPr, battery leveling).
+//!
+//! Both defenses consume randomness on a schedule derived from the whole
+//! trace (CHPr draws its hot-water events per *day of trace*, the battery
+//! seeds its EWMA target with the global mean), so an incremental rewrite
+//! cannot reproduce the batch output bit for bit. The stream therefore
+//! keeps the defense and the rng *seed* — not a live rng — buffers
+//! resolved samples, and replays the batch `apply` with a freshly seeded
+//! rng at finalize. Checkpoints stay tiny and resume exactly, because the
+//! rng schedule is a pure function of (seed, trace).
+
+use crate::chunk::{Sample, StreamFill, StreamSpec};
+use crate::ingest::SampleBuf;
+use crate::{FeedReport, StreamState};
+use defense::{BatteryLeveler, Chpr, Defended, Defense};
+use timeseries::rng::seeded_rng;
+use timeseries::{PipelineError, PowerTrace};
+
+/// Streaming wrapper over any [`Defense`]: chunked ingestion, batch replay
+/// at finalize with a deterministic rng.
+#[derive(Debug, Clone)]
+pub struct DefenseStream<D: Defense + Clone> {
+    defense: D,
+    rng_seed: u64,
+    spec: StreamSpec,
+    buf: SampleBuf,
+}
+
+/// Streaming CHPr water-heater defense.
+pub type ChprStream = DefenseStream<Chpr>;
+/// Streaming battery-leveling defense.
+pub type BatteryStream = DefenseStream<BatteryLeveler>;
+
+impl<D: Defense + Clone> DefenseStream<D> {
+    /// Starts a stream applying `defense` with the rng stream
+    /// `seeded_rng(rng_seed)` — pass the same derived seed the batch
+    /// scenario would hand to `apply` and the outputs are byte-identical.
+    pub fn new(defense: D, rng_seed: u64, spec: StreamSpec) -> DefenseStream<D> {
+        DefenseStream {
+            defense,
+            rng_seed,
+            spec,
+            buf: SampleBuf::new(None),
+        }
+    }
+
+    /// Resolves gap-marked samples with `fill`. Must be called before any
+    /// `feed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if samples were already fed.
+    pub fn with_fill(mut self, fill: StreamFill) -> DefenseStream<D> {
+        assert!(self.buf.len() == 0, "set the fill policy before feeding");
+        self.buf = SampleBuf::new(Some(fill));
+        self
+    }
+}
+
+impl<D: Defense + Clone> StreamState for DefenseStream<D> {
+    type Item = Sample;
+    type Output = Defended;
+
+    fn feed(&mut self, chunk: &[Sample]) -> FeedReport {
+        self.buf.feed(chunk)
+    }
+
+    fn items(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn finalize(&self) -> Defended {
+        obs::time("stream.finalize", || {
+            let trace = PowerTrace::new(self.spec.start, self.spec.resolution, self.buf.resolved())
+                .expect("resolved stream samples form a valid trace");
+            self.defense.apply(&trace, &mut seeded_rng(self.rng_seed))
+        })
+    }
+
+    fn try_finalize(&self) -> Result<Defended, PipelineError> {
+        if self.items() == 0 {
+            return Err(PipelineError::EmptyInput {
+                stage: "stream.finalize",
+            });
+        }
+        let trace = PowerTrace::new(self.spec.start, self.spec.resolution, self.buf.resolved())?;
+        self.defense
+            .try_apply(&trace, &mut seeded_rng(self.rng_seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::dense_samples;
+    use crate::feed_chunked;
+    use timeseries::{Resolution, Timestamp};
+
+    fn household_trace() -> PowerTrace {
+        PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 2 * 1_440, |i| {
+            200.0 + 80.0 * ((i as f64) * 0.05).sin().abs() + if i % 97 < 9 { 900.0 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn chpr_stream_matches_batch_apply() {
+        let meter = household_trace();
+        let batch = Chpr::default().apply(&meter, &mut seeded_rng(42));
+        for chunk_len in [1, 33, 1_440, 4_000] {
+            let mut s = ChprStream::new(Chpr::default(), 42, StreamSpec::of_trace(&meter));
+            feed_chunked(&mut s, &dense_samples(meter.samples()), chunk_len);
+            assert_eq!(s.finalize(), batch, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn battery_stream_matches_batch_apply() {
+        let meter = household_trace();
+        let batch = BatteryLeveler::default().apply(&meter, &mut seeded_rng(7));
+        let mut s = BatteryStream::new(BatteryLeveler::default(), 7, StreamSpec::of_trace(&meter));
+        feed_chunked(&mut s, &dense_samples(meter.samples()), 511);
+        assert_eq!(s.finalize(), batch);
+    }
+
+    #[test]
+    fn empty_defense_stream_is_a_typed_error() {
+        let s = ChprStream::new(
+            Chpr::default(),
+            0,
+            StreamSpec::new(Timestamp::ZERO, Resolution::ONE_MINUTE),
+        );
+        assert!(s.try_finalize().is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Shared ingestion plumbing for the power streams: gap-fill routing plus
+//! either a raw-sample buffer (buffer-and-replay pipelines) or an
+//! incremental window-summary accumulator (the NIOM detectors).
+
+use crate::chunk::{FillState, Sample, StreamFill};
+use crate::FeedReport;
+use timeseries::Summary;
+
+/// Records the obs counters every power-stream `feed` emits.
+pub(crate) fn record_power_chunk(items: usize, gaps: usize) {
+    obs::counter_add("stream.chunks", 1);
+    obs::counter_add("stream.samples", items as u64);
+    obs::counter_add("stream.gap_samples", gaps as u64);
+}
+
+/// Gap fill + raw resolved-sample buffer, for pipelines that must replay
+/// the whole trace through the batch code at finalize.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SampleBuf {
+    fill: FillState,
+    samples: Vec<f64>,
+}
+
+impl SampleBuf {
+    pub(crate) fn new(fill: Option<StreamFill>) -> SampleBuf {
+        SampleBuf {
+            fill: FillState::new(fill),
+            samples: Vec::new(),
+        }
+    }
+
+    pub(crate) fn feed(&mut self, chunk: &[Sample]) -> FeedReport {
+        let mut gaps = 0;
+        let samples = &mut self.samples;
+        let fill = &mut self.fill;
+        for &s in chunk {
+            if fill.is_gap(&s) {
+                gaps += 1;
+            }
+            fill.push(s, &mut |v| samples.push(v));
+        }
+        record_power_chunk(chunk.len(), gaps);
+        FeedReport {
+            items: chunk.len(),
+            gaps,
+        }
+    }
+
+    /// Samples ingested, counting any withheld by an open leading-gap run.
+    pub(crate) fn len(&self) -> usize {
+        self.samples.len() + self.fill.flush().0
+    }
+
+    /// The resolved sample vector the batch fill would have produced for
+    /// the prefix ingested so far.
+    pub(crate) fn resolved(&self) -> Vec<f64> {
+        let (pending, pad) = self.fill.flush();
+        // An open leading-gap run means nothing was emitted yet, so the
+        // flushed pad values are the whole (prefix of the) trace.
+        let mut out = Vec::with_capacity(self.samples.len() + pending);
+        out.extend(std::iter::repeat_n(pad, pending));
+        out.extend_from_slice(&self.samples);
+        out
+    }
+}
+
+/// Gap fill + incremental non-overlapping window summaries, replicating
+/// `WindowStats` over the resolved samples: closed windows keep only their
+/// [`Summary`], the open window keeps raw samples (at most `window` of
+/// them), and the trailing partial window is summarized on demand.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct WindowBuf {
+    fill: FillState,
+    window: usize,
+    open: Vec<f64>,
+    next_start: usize,
+    closed: Vec<(usize, Summary)>,
+}
+
+impl WindowBuf {
+    pub(crate) fn new(fill: Option<StreamFill>, window: usize) -> WindowBuf {
+        assert!(window > 0, "window must be non-empty");
+        WindowBuf {
+            fill: FillState::new(fill),
+            window,
+            open: Vec::with_capacity(window),
+            next_start: 0,
+            closed: Vec::new(),
+        }
+    }
+
+    fn push_resolved(&mut self, x: f64) {
+        self.open.push(x);
+        if self.open.len() == self.window {
+            self.closed.push((self.next_start, Summary::of(&self.open)));
+            self.next_start += self.window;
+            self.open.clear();
+        }
+    }
+
+    pub(crate) fn feed(&mut self, chunk: &[Sample]) -> FeedReport {
+        let mut gaps = 0;
+        // FillState is Copy: run a local copy so its emit closure can
+        // borrow `self` for the window pushes, then store it back.
+        let mut fill = self.fill;
+        for &s in chunk {
+            if fill.is_gap(&s) {
+                gaps += 1;
+            }
+            fill.push(s, &mut |v| self.push_resolved(v));
+        }
+        self.fill = fill;
+        record_power_chunk(chunk.len(), gaps);
+        FeedReport {
+            items: chunk.len(),
+            gaps,
+        }
+    }
+
+    /// Samples ingested, counting any withheld by an open leading-gap run.
+    pub(crate) fn len(&self) -> usize {
+        self.next_start + self.open.len() + self.fill.flush().0
+    }
+
+    /// The `(window start, summary)` sequence `WindowStats` would yield
+    /// over the resolved prefix, plus that prefix's length.
+    pub(crate) fn windows_and_len(&self) -> (Vec<(usize, Summary)>, usize) {
+        let (pending, pad) = self.fill.flush();
+        let mut tail = self.clone();
+        for _ in 0..pending {
+            tail.push_resolved(pad);
+        }
+        let mut windows = tail.closed;
+        if !tail.open.is_empty() {
+            windows.push((tail.next_start, Summary::of(&tail.open)));
+        }
+        (windows, tail.next_start + tail.open.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::dense_samples;
+    use timeseries::{PowerTrace, Resolution, Timestamp, WindowStats};
+
+    #[test]
+    fn window_buf_matches_window_stats() {
+        for len in [0usize, 1, 14, 15, 16, 44, 45, 100] {
+            let values: Vec<f64> = (0..len)
+                .map(|i| (i as f64 * 1.7).sin() * 300.0 + 400.0)
+                .collect();
+            let trace =
+                PowerTrace::new(Timestamp::ZERO, Resolution::ONE_MINUTE, values.clone()).unwrap();
+            let batch: Vec<(usize, Summary)> = WindowStats::new(&trace, 15).collect();
+            let mut buf = WindowBuf::new(None, 15);
+            buf.feed(&dense_samples(&values));
+            let (windows, n) = buf.windows_and_len();
+            assert_eq!(n, len);
+            assert_eq!(windows, batch, "len {len}");
+        }
+    }
+
+    #[test]
+    fn sample_buf_resolves_like_batch() {
+        let mut buf = SampleBuf::new(Some(StreamFill::Hold));
+        buf.feed(&[Sample::gap(), Sample::gap()]);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.resolved(), vec![0.0, 0.0]);
+        buf.feed(&[Sample::valid(75.0), Sample::gap()]);
+        assert_eq!(buf.resolved(), vec![75.0, 75.0, 75.0, 75.0]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Streaming gateway-side traffic pipelines.
+//!
+//! Flow records arrive chunk by chunk (as a gateway tap would deliver
+//! them). Both pipelines window flows over the *whole* observation horizon
+//! — fingerprint features aggregate per device per window, the monitor
+//! scores devices against their profiled daily behaviour — so the streams
+//! retain the flow log and run the batch code at finalize. Flow metadata
+//! is a few dozen bytes per flow; the retained state is the flow log
+//! itself, which is also what a real gateway keeps.
+
+use crate::{FeedReport, StreamState};
+use netsim::fingerprint::labelled_examples;
+use netsim::{DeviceClassifier, DeviceType, FlowRecord, NetworkTrace, SmartGateway, Verdict};
+use std::collections::HashMap;
+
+/// Records the obs counters every flow-stream `feed` emits.
+fn record_flow_chunk(items: usize) {
+    obs::counter_add("stream.chunks", 1);
+    obs::counter_add("stream.flows", items as u64);
+}
+
+/// Streaming device fingerprinting: classify every labelled flow-feature
+/// example of an observed home network with a pre-trained classifier.
+pub struct FingerprintStream<'a, C: DeviceClassifier + ?Sized> {
+    classifier: &'a C,
+    shape: NetworkTrace,
+    windows: usize,
+}
+
+impl<'a, C: DeviceClassifier + ?Sized> FingerprintStream<'a, C> {
+    /// Starts a stream classifying flows from a network shaped like
+    /// `shape` (device inventory, occupancy, horizon — `shape`'s own flows
+    /// are ignored; feed the observed ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is zero.
+    pub fn new(classifier: &'a C, shape: &NetworkTrace, windows: usize) -> Self {
+        assert!(windows > 0, "need at least one feature window");
+        let mut shape = shape.clone();
+        shape.flows = Vec::new();
+        FingerprintStream {
+            classifier,
+            shape,
+            windows,
+        }
+    }
+}
+
+impl<C: DeviceClassifier + ?Sized> Clone for FingerprintStream<'_, C> {
+    fn clone(&self) -> Self {
+        FingerprintStream {
+            classifier: self.classifier,
+            shape: self.shape.clone(),
+            windows: self.windows,
+        }
+    }
+}
+
+impl<C: DeviceClassifier + ?Sized> StreamState for FingerprintStream<'_, C> {
+    type Item = FlowRecord;
+    /// `(true device type, predicted device type)` per labelled example,
+    /// in the batch `labelled_examples` order.
+    type Output = Vec<(DeviceType, DeviceType)>;
+
+    fn feed(&mut self, chunk: &[FlowRecord]) -> FeedReport {
+        self.shape.flows.extend_from_slice(chunk);
+        record_flow_chunk(chunk.len());
+        FeedReport {
+            items: chunk.len(),
+            gaps: 0,
+        }
+    }
+
+    fn items(&self) -> usize {
+        self.shape.flows.len()
+    }
+
+    fn finalize(&self) -> Vec<(DeviceType, DeviceType)> {
+        obs::time("stream.finalize", || {
+            labelled_examples(&self.shape, self.windows)
+                .iter()
+                .map(|(truth, fv)| (*truth, self.classifier.predict(fv)))
+                .collect()
+        })
+    }
+
+    // An empty flow log is a valid (empty) observation for a gateway, so
+    // the default empty-input error is deliberately not raised here.
+    fn try_finalize(&self) -> Result<Self::Output, timeseries::PipelineError> {
+        Ok(self.finalize())
+    }
+}
+
+/// Fraction of `(truth, predicted)` pairs that match — the same score
+/// `netsim::fingerprint::accuracy` assigns (0.0 for no examples).
+pub fn pair_accuracy(pairs: &[(DeviceType, DeviceType)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let correct = pairs.iter().filter(|(t, p)| t == p).count();
+    correct as f64 / pairs.len() as f64
+}
+
+/// Streaming smart-gateway monitoring: collect flows, then score every
+/// profiled device against its learned behaviour at finalize.
+#[derive(Debug, Clone)]
+pub struct GatewayStream {
+    gateway: SmartGateway,
+    horizon_secs: u64,
+    flows: Vec<FlowRecord>,
+}
+
+impl GatewayStream {
+    /// Starts a monitoring stream with an already-profiled gateway and the
+    /// observation horizon the fed flows will span.
+    pub fn new(gateway: SmartGateway, horizon_secs: u64) -> GatewayStream {
+        GatewayStream {
+            gateway,
+            horizon_secs,
+            flows: Vec::new(),
+        }
+    }
+}
+
+impl StreamState for GatewayStream {
+    type Item = FlowRecord;
+    type Output = HashMap<u32, Verdict>;
+
+    fn feed(&mut self, chunk: &[FlowRecord]) -> FeedReport {
+        self.flows.extend_from_slice(chunk);
+        record_flow_chunk(chunk.len());
+        FeedReport {
+            items: chunk.len(),
+            gaps: 0,
+        }
+    }
+
+    fn items(&self) -> usize {
+        self.flows.len()
+    }
+
+    fn finalize(&self) -> HashMap<u32, Verdict> {
+        obs::time("stream.finalize", || {
+            self.gateway.monitor(&self.flows, self.horizon_secs)
+        })
+    }
+
+    // Monitoring an empty flow log is valid (no verdicts), matching the
+    // batch gateway's behaviour.
+    fn try_finalize(&self) -> Result<Self::Output, timeseries::PipelineError> {
+        Ok(self.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feed_chunked;
+    use netsim::fingerprint::accuracy;
+    use netsim::{simulate_home_network, GatewayPolicy, NaiveBayes};
+    use timeseries::{LabelSeries, Resolution, Timestamp};
+
+    fn occupancy(days: usize) -> LabelSeries {
+        LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, days * 1_440, |i| {
+            let m = i % 1_440;
+            !(540..1_020).contains(&m)
+        })
+    }
+
+    #[test]
+    fn fingerprint_stream_matches_batch_examples() {
+        let inv = DeviceType::all();
+        let train = simulate_home_network(inv, &occupancy(2), 2, 100);
+        let test = simulate_home_network(inv, &occupancy(2), 2, 200);
+        let nb = NaiveBayes::train(&labelled_examples(&train, 4));
+
+        let batch_examples = labelled_examples(&test, 4);
+        let batch: Vec<(DeviceType, DeviceType)> = batch_examples
+            .iter()
+            .map(|(t, fv)| (*t, nb.predict(fv)))
+            .collect();
+
+        for chunk_len in [1, 7, 100, usize::MAX / 2] {
+            let mut s = FingerprintStream::new(&nb, &test, 4);
+            feed_chunked(&mut s, &test.flows, chunk_len);
+            let streamed = s.finalize();
+            assert_eq!(streamed, batch, "chunk_len {chunk_len}");
+            assert_eq!(
+                pair_accuracy(&streamed),
+                accuracy(&nb, &batch_examples),
+                "accuracy must agree with the batch scorer"
+            );
+        }
+    }
+
+    #[test]
+    fn gateway_stream_matches_batch_monitor() {
+        let inv = [DeviceType::IpCamera, DeviceType::SmartPlug];
+        let profile_trace = simulate_home_network(&inv, &occupancy(2), 2, 7);
+        let observe = simulate_home_network(&inv, &occupancy(2), 2, 8);
+        let mut gateway = SmartGateway::new(GatewayPolicy::default());
+        gateway.profile(&profile_trace.flows, profile_trace.horizon_secs);
+        let batch = gateway.monitor(&observe.flows, observe.horizon_secs);
+
+        let mut s = GatewayStream::new(gateway, observe.horizon_secs);
+        feed_chunked(&mut s, &observe.flows, 13);
+        assert_eq!(s.finalize(), batch);
+        // Empty logs are fine.
+        let empty = GatewayStream::new(SmartGateway::new(GatewayPolicy::default()), 86_400);
+        assert!(empty.try_finalize().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Streaming NIOM occupancy detectors.
+//!
+//! All three detectors reduce the trace to non-overlapping window
+//! statistics before doing anything global (baseline percentile, EM,
+//! logistic scoring), so the streaming layer folds incoming samples into
+//! those summaries as they arrive — O(len / window) retained state — and
+//! runs the detector's window-level entry point at finalize. Because the
+//! window summaries are computed by the same `Summary::of` code over the
+//! same values, the output is byte-identical to the batch `detect`.
+
+use crate::chunk::{Sample, StreamFill, StreamSpec};
+use crate::ingest::WindowBuf;
+use crate::{FeedReport, StreamState};
+use niom::{HmmDetector, LogisticDetector, ThresholdDetector};
+use timeseries::LabelSeries;
+
+macro_rules! niom_stream {
+    ($(#[$doc:meta])* $name:ident, $detector:ty, $finalize:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq)]
+        pub struct $name {
+            detector: $detector,
+            spec: StreamSpec,
+            ingest: WindowBuf,
+        }
+
+        impl $name {
+            /// Starts a stream for clean (gap-free) sample chunks.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the detector's window is zero.
+            pub fn new(detector: $detector, spec: StreamSpec) -> $name {
+                let window = detector.window;
+                $name {
+                    detector,
+                    spec,
+                    ingest: WindowBuf::new(None, window),
+                }
+            }
+
+            /// Resolves gap-marked (or non-finite) samples with `fill`
+            /// before they reach the detector, matching the batch
+            /// `FaultyTrace::fill` semantics. Must be called before any
+            /// `feed`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if samples were already fed.
+            pub fn with_fill(mut self, fill: StreamFill) -> $name {
+                assert!(self.ingest.len() == 0, "set the fill policy before feeding");
+                self.ingest = WindowBuf::new(Some(fill), self.detector.window);
+                self
+            }
+        }
+
+        impl StreamState for $name {
+            type Item = Sample;
+            type Output = LabelSeries;
+
+            fn feed(&mut self, chunk: &[Sample]) -> FeedReport {
+                self.ingest.feed(chunk)
+            }
+
+            fn items(&self) -> usize {
+                self.ingest.len()
+            }
+
+            fn finalize(&self) -> LabelSeries {
+                obs::time("stream.finalize", || {
+                    let (windows, len) = self.ingest.windows_and_len();
+                    #[allow(clippy::redundant_closure_call)]
+                    ($finalize)(&self.detector, &self.spec, len, windows)
+                })
+            }
+        }
+    };
+}
+
+niom_stream!(
+    /// Streaming [`ThresholdDetector`]: byte-identical to batch
+    /// `detect` for any chunking of the same samples.
+    ThresholdStream,
+    ThresholdDetector,
+    |d: &ThresholdDetector, spec: &StreamSpec, len, windows: Vec<_>| {
+        d.detect_from_windows(spec.start, spec.resolution, len, &windows)
+    }
+);
+
+niom_stream!(
+    /// Streaming [`HmmDetector`]: window means accumulate incrementally;
+    /// EM + Viterbi (which need every window) run at finalize, exactly as
+    /// the batch path does after its own window pass.
+    HmmStream,
+    HmmDetector,
+    |d: &HmmDetector, spec: &StreamSpec, len, windows: Vec<(usize, timeseries::Summary)>| {
+        let means: Vec<(usize, f64)> = windows.iter().map(|&(i, s)| (i, s.mean)).collect();
+        d.detect_from_windows(spec.start, spec.resolution, len, &means)
+    }
+);
+
+niom_stream!(
+    /// Streaming [`LogisticDetector`]: applies a pre-trained model over
+    /// incrementally accumulated window summaries.
+    LogisticStream,
+    LogisticDetector,
+    |d: &LogisticDetector, spec: &StreamSpec, len, windows: Vec<_>| {
+        d.detect_from_windows(spec.start, spec.resolution, len, &windows)
+    }
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::dense_samples;
+    use crate::feed_chunked;
+    use niom::OccupancyDetector;
+    use timeseries::{PowerTrace, Resolution, Timestamp};
+
+    fn bursty_trace(len: usize) -> PowerTrace {
+        PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, len, |i| {
+            let base = 120.0 + 40.0 * ((i as f64) * 0.21).sin().abs();
+            if (i / 60) % 5 == 3 && i % 13 < 4 {
+                base + 1_400.0
+            } else {
+                base
+            }
+        })
+    }
+
+    #[test]
+    fn threshold_stream_matches_batch_at_many_chunkings() {
+        let trace = bursty_trace(2_000);
+        let detector = ThresholdDetector::default();
+        let batch = detector.detect(&trace);
+        let samples = dense_samples(trace.samples());
+        for chunk_len in [1, 7, 15, 256, 2_000, 5_000] {
+            let mut s = ThresholdStream::new(detector.clone(), StreamSpec::of_trace(&trace));
+            let report = feed_chunked(&mut s, &samples, chunk_len);
+            assert_eq!(report.items, trace.len());
+            assert_eq!(s.finalize(), batch, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn hmm_stream_matches_batch() {
+        let trace = bursty_trace(3 * 1_440);
+        let detector = HmmDetector::default();
+        let batch = detector.detect(&trace);
+        let mut s = HmmStream::new(detector, StreamSpec::of_trace(&trace));
+        feed_chunked(&mut s, &dense_samples(trace.samples()), 97);
+        assert_eq!(s.finalize(), batch);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identically() {
+        let trace = bursty_trace(1_000);
+        let detector = ThresholdDetector::default();
+        let samples = dense_samples(trace.samples());
+        let mut s = ThresholdStream::new(detector.clone(), StreamSpec::of_trace(&trace));
+        s.feed(&samples[..400]);
+        let snap = s.checkpoint();
+        s.feed(&samples[400..]);
+        let full = s.finalize();
+        s.restore(&snap);
+        s.feed(&samples[400..]);
+        assert_eq!(s.finalize(), full);
+    }
+
+    #[test]
+    fn empty_stream_finalizes_to_empty_series() {
+        let s = ThresholdStream::new(
+            ThresholdDetector::default(),
+            StreamSpec::new(Timestamp::ZERO, Resolution::ONE_MINUTE),
+        );
+        assert!(s.finalize().is_empty());
+        assert!(s.try_finalize().is_err());
+    }
+}

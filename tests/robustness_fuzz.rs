@@ -5,7 +5,7 @@
 //! arbitrary raw buffers.
 
 use faults::{FaultPlan, FaultyTrace, GapFill, TraceFault};
-use iot_privacy_suite::defense::{Chpr, Defense};
+use iot_privacy_suite::defense::{BatteryLeveler, Chpr, Defense};
 use iot_privacy_suite::loads::Catalogue;
 use iot_privacy_suite::netsim::fingerprint::labelled_examples;
 use iot_privacy_suite::netsim::{
@@ -13,6 +13,10 @@ use iot_privacy_suite::netsim::{
 };
 use iot_privacy_suite::nilm::{Disaggregator, Fhmm, PowerPlay};
 use iot_privacy_suite::niom::{HmmDetector, OccupancyDetector, ThresholdDetector};
+use iot_privacy_suite::stream::{
+    dense_samples, faulty_samples, feed_partitioned, BatteryStream, ChprStream, FhmmStream, Sample,
+    StreamFill, StreamSpec, StreamState, ThresholdStream,
+};
 use iot_privacy_suite::timeseries::rng::seeded_rng;
 use iot_privacy_suite::timeseries::{LabelSeries, PowerTrace, Resolution, Timestamp};
 use proptest::prelude::*;
@@ -129,6 +133,147 @@ proptest! {
         match Chpr::default().try_apply(&meter, &mut seeded_rng(seed)) {
             Ok(defended) => prop_assert_eq!(defended.trace.len(), meter.len()),
             Err(e) => prop_assert_eq!(e.stage(), Some("defense.apply")),
+        }
+    }
+
+    /// Batch equivalence under *arbitrary* chunking: any random partition
+    /// of the samples — including empty chunks and a partition that stops
+    /// short of the end — streams to the batch pipeline's exact output.
+    #[test]
+    fn stream_partitions_always_match_batch(
+        partition in prop::collection::vec(0usize..200, 0..30),
+        phase in 0usize..1_000,
+    ) {
+        let trace = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 900, |i| {
+            let j = i + phase;
+            120.0 + 35.0 * ((j as f64) * 0.17).sin().abs()
+                + if j % 23 < 5 { 1_100.0 } else { 0.0 }
+        });
+        let spec = StreamSpec::of_trace(&trace);
+        let samples = dense_samples(trace.samples());
+
+        let detector = ThresholdDetector::default();
+        let mut s = ThresholdStream::new(detector.clone(), spec);
+        feed_partitioned(&mut s, &samples, &partition);
+        prop_assert_eq!(s.finalize(), detector.detect(&trace));
+
+        let mut d = ChprStream::new(Chpr::default(), 7, spec);
+        feed_partitioned(&mut d, &samples, &partition);
+        prop_assert_eq!(d.finalize(), Chpr::default().apply(&trace, &mut seeded_rng(7)));
+
+        let mut b = BatteryStream::new(BatteryLeveler::default(), 9, spec);
+        feed_partitioned(&mut b, &samples, &partition);
+        prop_assert_eq!(
+            b.finalize(),
+            BatteryLeveler::default().apply(&trace, &mut seeded_rng(9))
+        );
+    }
+
+    /// Gap-marked partitions match the batch fill + pipeline composition
+    /// for every fill policy, at any split.
+    #[test]
+    fn faulted_stream_partitions_match_batch_fill(
+        partition in prop::collection::vec(0usize..120, 0..20),
+        intensity in 0.05f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        let trace = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 700, |i| {
+            90.0 + ((i % 37) as f64) * 12.0
+        });
+        let faulted = FaultPlan::power_profile(intensity).apply_trace(&trace, seed);
+        let samples = faulty_samples(&faulted);
+        let spec = StreamSpec::of_faulty(&faulted);
+        let detector = ThresholdDetector::default();
+        for (stream_fill, batch_fill) in
+            [(StreamFill::Zero, GapFill::Zero), (StreamFill::Hold, GapFill::Hold)]
+        {
+            let mut s = ThresholdStream::new(detector.clone(), spec).with_fill(stream_fill);
+            feed_partitioned(&mut s, &samples, &partition);
+            prop_assert_eq!(s.finalize(), detector.detect(&faulted.fill(batch_fill)));
+        }
+    }
+
+    /// `checkpoint()` → `restore()` at a random split resumes to the
+    /// byte-identical output, even when the stream diverged after the
+    /// snapshot; a zero-length checkpoint rewinds to a fresh stream.
+    #[test]
+    fn checkpoint_restore_at_random_split_resumes_identically(
+        split_at in 0usize..900,
+        divergence in prop::collection::vec(0.0f64..3_000.0, 0..50),
+        phase in 0usize..1_000,
+    ) {
+        let trace = PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 900, |i| {
+            110.0 + 30.0 * (((i + phase) as f64) * 0.13).cos().abs()
+                + if (i + phase) % 31 < 6 { 1_250.0 } else { 0.0 }
+        });
+        let samples = dense_samples(trace.samples());
+        let split = split_at.min(samples.len());
+        let detector = ThresholdDetector::default();
+        let batch = detector.detect(&trace);
+
+        let mut s = ThresholdStream::new(detector, StreamSpec::of_trace(&trace));
+        let blank = s.checkpoint();
+        s.feed(&samples[..split]);
+        let snap = s.checkpoint();
+
+        // Diverge: feed arbitrary extra samples, then rewind.
+        s.feed(&dense_samples(&divergence));
+        s.restore(&snap);
+        s.feed(&samples[split..]);
+        prop_assert_eq!(s.finalize(), batch.clone());
+
+        // The zero-length snapshot rewinds to an un-fed stream that can
+        // replay the whole trace again.
+        s.restore(&blank);
+        prop_assert_eq!(s.items(), 0);
+        prop_assert!(s.try_finalize().is_err());
+        s.feed(&samples);
+        prop_assert_eq!(s.finalize(), batch);
+    }
+
+    /// Streaming `try_finalize` never unwinds on adversarial feeds: raw
+    /// buffers (NaN, ±∞, negatives, any length) fed in arbitrary chunks —
+    /// with or without a fill policy — either finalize cleanly or report a
+    /// typed error, exactly like the batch `try_*` contract.
+    #[test]
+    fn stream_try_finalize_never_panics(
+        samples in raw_samples(),
+        partition in prop::collection::vec(0usize..80, 0..10),
+        use_fill in any::<bool>(),
+    ) {
+        let payload: Vec<Sample> = samples
+            .iter()
+            .map(|&w| Sample { watts: w, gap: !w.is_finite() })
+            .collect();
+        let spec = StreamSpec::new(Timestamp::ZERO, Resolution::ONE_MINUTE);
+
+        let mut s = ThresholdStream::new(ThresholdDetector::default(), spec);
+        if use_fill {
+            s = s.with_fill(StreamFill::Hold);
+        }
+        feed_partitioned(&mut s, &payload, &partition);
+        match s.try_finalize() {
+            Ok(labels) => prop_assert_eq!(labels.len(), payload.len()),
+            Err(e) => prop_assert!(e.stage().is_some()),
+        }
+
+        let fhmm = tiny_fhmm();
+        let mut n = FhmmStream::new(&fhmm, spec).with_fill(StreamFill::Zero);
+        feed_partitioned(&mut n, &payload, &partition);
+        match n.try_finalize() {
+            Ok(estimates) => {
+                for e in &estimates {
+                    prop_assert_eq!(e.trace.len(), payload.len());
+                }
+            }
+            Err(e) => prop_assert!(e.stage().is_some()),
+        }
+
+        let mut d = ChprStream::new(Chpr::default(), 3, spec).with_fill(StreamFill::Hold);
+        feed_partitioned(&mut d, &payload, &partition);
+        match d.try_finalize() {
+            Ok(defended) => prop_assert_eq!(defended.trace.len(), payload.len()),
+            Err(e) => prop_assert!(e.stage().is_some()),
         }
     }
 
