@@ -99,6 +99,15 @@ impl StreamingScenario {
                     .persona(self.persona),
             )
         });
+        self.run_on(&home)
+    }
+
+    /// Runs the attack → defend → attack pipeline on an already-simulated
+    /// home — the deployment shape where readings arrive from outside and
+    /// no world needs rebuilding. [`run`](Self::run) is `simulate` +
+    /// `run_on`; the report is identical when `home` was simulated with
+    /// this scenario's seed/days/persona.
+    pub fn run_on(&self, home: &Home) -> ScenarioReport {
         let score = |trace: &PowerTrace| -> AttackScore {
             let mut s = ThresholdStream::new(self.attack.clone(), StreamSpec::of_trace(trace));
             feed_chunked(&mut s, &dense_samples(trace.samples()), self.chunk_len);

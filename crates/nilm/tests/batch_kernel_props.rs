@@ -1,0 +1,171 @@
+//! Property tests of the multi-home batched decode kernels.
+//!
+//! The batching contract says: for any number of lanes, any batch
+//! grouping, and any finite input watts — model-matched or not — the
+//! batched f64 kernels return byte-identical paths to the single-home
+//! decoder, ragged lane lengths included (lanes are grouped by length
+//! internally). The f32 fast path keeps the same batch-vs-single
+//! identity at its own precision and stays inside the disagreement band
+//! pinned by the `accuracy.f32-decode-close` claim.
+
+use std::sync::OnceLock;
+
+use nilm::{train_device_hmm, DecodeArena, DecodePrecision, Fhmm, FhmmConfig};
+use proptest::prelude::*;
+use timeseries::rng::{normal, seeded_rng};
+use timeseries::{PowerTrace, Resolution, Timestamp};
+
+fn square_wave(period: usize, on: usize, watts: f64, len: usize) -> PowerTrace {
+    PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, len, |i| {
+        if i % period < on {
+            watts
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Two trained two-state devices (4 joint states) — small enough that a
+/// proptest case decodes in microseconds, large enough to exercise the
+/// joint tables.
+fn devices() -> Vec<nilm::DeviceHmm> {
+    vec![
+        train_device_hmm("a", &square_wave(40, 15, 150.0, 600), 2),
+        train_device_hmm("b", &square_wave(90, 30, 1_000.0, 600), 2),
+    ]
+}
+
+fn exact_fhmm() -> &'static Fhmm {
+    static MODEL: OnceLock<Fhmm> = OnceLock::new();
+    MODEL.get_or_init(|| Fhmm::new(devices()))
+}
+
+fn icm_fhmm() -> &'static Fhmm {
+    static MODEL: OnceLock<Fhmm> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        Fhmm::with_config(
+            devices(),
+            FhmmConfig {
+                max_exact_states: 1,
+                ..FhmmConfig::default()
+            },
+        )
+    })
+}
+
+fn f32_fhmm() -> &'static Fhmm {
+    static MODEL: OnceLock<Fhmm> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        Fhmm::with_config(
+            devices(),
+            FhmmConfig {
+                precision: DecodePrecision::F32,
+                ..FhmmConfig::default()
+            },
+        )
+    })
+}
+
+fn traces(xs: &[Vec<f64>]) -> Vec<PowerTrace> {
+    xs.iter()
+        .map(|x| PowerTrace::new(Timestamp::ZERO, Resolution::ONE_MINUTE, x.clone()).unwrap())
+        .collect()
+}
+
+/// Asserts batched decode == per-meter single decode, paths and estimates.
+fn assert_batch_identical(fhmm: &Fhmm, meters: &[PowerTrace]) {
+    let refs: Vec<&PowerTrace> = meters.iter().collect();
+    let mut arena = DecodeArena::new();
+    let batched = fhmm.decode_batch(&refs, &mut arena);
+    assert_eq!(batched.len(), meters.len());
+    for (m, got) in meters.iter().zip(&batched) {
+        let solo = fhmm.decode(m, &mut arena);
+        assert_eq!(got, &solo);
+    }
+    let estimates = fhmm.disaggregate_batch(&refs, &mut arena);
+    for (m, got) in meters.iter().zip(&estimates) {
+        let solo = fhmm.disaggregate_with(m, &mut arena);
+        assert_eq!(got, &solo);
+    }
+}
+
+proptest! {
+    /// Exact Viterbi: any lane count, ragged lengths, arbitrary watts.
+    #[test]
+    fn batched_exact_identical_to_single(
+        xs in prop::collection::vec(
+            prop::collection::vec(0.0f64..3_000.0, 1..80), 1..7),
+    ) {
+        assert_batch_identical(exact_fhmm(), &traces(&xs));
+    }
+
+    /// ICM fallback: the batched Gauss-Seidel sweep replicates the serial
+    /// single-home sweep lane by lane.
+    #[test]
+    fn batched_icm_identical_to_single(
+        xs in prop::collection::vec(
+            prop::collection::vec(0.0f64..3_000.0, 1..40), 1..5),
+    ) {
+        assert_batch_identical(icm_fhmm(), &traces(&xs));
+    }
+
+    /// The batch-vs-single identity holds at f32 precision too: the fast
+    /// path may disagree with f64, never with its own single-home form.
+    #[test]
+    fn batched_f32_identical_to_single_f32(
+        xs in prop::collection::vec(
+            prop::collection::vec(0.0f64..3_000.0, 1..80), 1..7),
+    ) {
+        assert_batch_identical(f32_fhmm(), &traces(&xs));
+    }
+
+    /// Equal-length lanes decoded as one group must equal the same lanes
+    /// decoded through any batch split (ragged last batch included) —
+    /// this is what lets the fleet layer pick its shard size freely.
+    #[test]
+    fn batch_split_invariant(
+        xs in prop::collection::vec(
+            prop::collection::vec(0.0f64..3_000.0, 30..31), 1..9),
+        batch in 1usize..10,
+    ) {
+        let meters = traces(&xs);
+        let refs: Vec<&PowerTrace> = meters.iter().collect();
+        let mut arena = DecodeArena::new();
+        let whole = exact_fhmm().decode_batch(&refs, &mut arena);
+        let sharded: Vec<_> = refs
+            .chunks(batch)
+            .flat_map(|shard| exact_fhmm().decode_batch(shard, &mut arena))
+            .collect();
+        prop_assert_eq!(whole, sharded);
+    }
+}
+
+/// Ties the f32 fast path to the `accuracy.f32-decode-close` claim band
+/// (state disagreement vs f64 < 2%) across 8 seeds of model-matched
+/// noisy meters — the same band `check_claims --seeds 8` sweeps.
+#[test]
+fn f32_disagreement_within_claim_band_across_8_seeds() {
+    let f64_model = exact_fhmm();
+    let f32_model = f32_fhmm();
+    let mut arena = DecodeArena::new();
+    let mut total = 0usize;
+    let mut disagree = 0usize;
+    for seed in 0..8u64 {
+        let mut rng = seeded_rng(seed);
+        let meter = square_wave(40, 15, 150.0, 400)
+            .checked_add(&square_wave(90, 30, 1_000.0, 400))
+            .unwrap()
+            .map(|w| (w + normal(&mut rng, 0.0, 25.0)).max(0.0));
+        let a = f64_model.decode(&meter, &mut arena);
+        let b = f32_model.decode(&meter, &mut arena);
+        for (pa, pb) in a.iter().zip(&b) {
+            total += pa.len();
+            disagree += pa.iter().zip(pb).filter(|(x, y)| x != y).count();
+        }
+    }
+    let rate = disagree as f64 / total as f64;
+    assert!(
+        rate < 0.02,
+        "f32 state disagreement rate {rate} breaches the claim band"
+    );
+}

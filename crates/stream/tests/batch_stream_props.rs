@@ -1,0 +1,198 @@
+//! Property tests of the batched FHMM stream: gap-riddled lanes, random
+//! per-lane chunk partitions, and checkpoint/restore mid-stream must all
+//! finalize byte-identical to a solo [`FhmmStream`] on the same samples.
+
+use std::sync::OnceLock;
+
+use nilm::{train_device_hmm, Fhmm, FhmmConfig};
+use proptest::prelude::*;
+use stream::{FhmmBatchStream, FhmmStream, Sample, StreamFill, StreamSpec, StreamState};
+use timeseries::{PowerTrace, Resolution, Timestamp};
+
+fn square_wave(period: usize, on: usize, watts: f64, len: usize) -> PowerTrace {
+    PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, len, |i| {
+        if i % period < on {
+            watts
+        } else {
+            0.0
+        }
+    })
+}
+
+fn devices() -> Vec<nilm::DeviceHmm> {
+    vec![
+        train_device_hmm("a", &square_wave(40, 15, 150.0, 600), 2),
+        train_device_hmm("b", &square_wave(90, 30, 1_000.0, 600), 2),
+    ]
+}
+
+fn exact_fhmm() -> &'static Fhmm {
+    static MODEL: OnceLock<Fhmm> = OnceLock::new();
+    MODEL.get_or_init(|| Fhmm::new(devices()))
+}
+
+fn icm_fhmm() -> &'static Fhmm {
+    static MODEL: OnceLock<Fhmm> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        Fhmm::with_config(
+            devices(),
+            FhmmConfig {
+                max_exact_states: 1,
+                ..FhmmConfig::default()
+            },
+        )
+    })
+}
+
+fn spec() -> StreamSpec {
+    StreamSpec::new(Timestamp::ZERO, Resolution::ONE_MINUTE)
+}
+
+/// Builds one lane's gap-riddled samples: `mask == 0` slots (~25%) are
+/// gaps whose watts are ignored by the fill.
+fn lane_samples(watts: &[f64], mask: &[u8]) -> Vec<Sample> {
+    watts
+        .iter()
+        .zip(mask)
+        .map(|(&w, &m)| {
+            if m == 0 {
+                Sample::gap()
+            } else {
+                Sample::valid(w)
+            }
+        })
+        .collect()
+}
+
+/// Solo reference: one [`FhmmStream`] per lane, fed in a single chunk.
+fn solo_reference(
+    fhmm: &Fhmm,
+    fill: StreamFill,
+    lanes: &[Vec<Sample>],
+) -> Vec<Vec<nilm::DeviceEstimate>> {
+    lanes
+        .iter()
+        .map(|samples| {
+            let mut s = FhmmStream::new(fhmm, spec()).with_fill(fill);
+            s.feed(samples);
+            s.finalize()
+        })
+        .collect()
+}
+
+/// Feeds every lane round-robin with its own chunk length until drained.
+fn feed_interleaved(stream: &mut FhmmBatchStream<'_>, lanes: &[Vec<Sample>], chunk_lens: &[usize]) {
+    let mut at = vec![0usize; lanes.len()];
+    while at.iter().zip(lanes).any(|(&a, l)| a < l.len()) {
+        for (lane, samples) in lanes.iter().enumerate() {
+            if at[lane] < samples.len() {
+                let end = (at[lane] + chunk_lens[lane]).min(samples.len());
+                stream.feed_lane(lane, &samples[at[lane]..end]);
+                at[lane] = end;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Gap-riddled lanes through the exact batched stream, arbitrary
+    /// per-lane chunking, both fill policies.
+    #[test]
+    fn gappy_batch_stream_matches_solo(
+        watts in prop::collection::vec(
+            prop::collection::vec(0.0f64..2_000.0, 30..90), 1..5),
+        masks in prop::collection::vec(
+            prop::collection::vec(0u8..4, 90..91), 1..5),
+        chunk_lens in prop::collection::vec(1usize..40, 5..6),
+        hold in any::<bool>(),
+    ) {
+        let fill = if hold { StreamFill::Hold } else { StreamFill::Zero };
+        let n = watts.len().min(masks.len());
+        let len = watts[..n].iter().map(Vec::len).min().unwrap();
+        let lanes: Vec<Vec<Sample>> = (0..n)
+            .map(|l| lane_samples(&watts[l][..len], &masks[l][..len]))
+            .collect();
+        let want = solo_reference(exact_fhmm(), fill, &lanes);
+
+        let mut stream = FhmmBatchStream::with_fill(exact_fhmm(), spec(), n, fill);
+        prop_assert!(stream.incremental());
+        feed_interleaved(&mut stream, &lanes, &chunk_lens[..n]);
+        for (lane, samples) in lanes.iter().enumerate() {
+            prop_assert_eq!(stream.lane_items(lane), samples.len());
+        }
+        prop_assert_eq!(stream.finalize(), want);
+    }
+
+    /// Checkpoint (clone) mid-stream at a random per-lane split, resume on
+    /// the restored copy: the restored stream and the original must both
+    /// finalize byte-identical to the solo reference.
+    #[test]
+    fn checkpoint_restore_mid_stream(
+        watts in prop::collection::vec(
+            prop::collection::vec(0.0f64..2_000.0, 40..80), 2..4),
+        masks in prop::collection::vec(
+            prop::collection::vec(0u8..4, 80..81), 2..4),
+        splits in prop::collection::vec(0usize..80, 3..4),
+    ) {
+        let n = watts.len().min(masks.len());
+        let len = watts[..n].iter().map(Vec::len).min().unwrap();
+        let lanes: Vec<Vec<Sample>> = (0..n)
+            .map(|l| lane_samples(&watts[l][..len], &masks[l][..len]))
+            .collect();
+        let want = solo_reference(exact_fhmm(), StreamFill::Hold, &lanes);
+
+        let mut stream =
+            FhmmBatchStream::with_fill(exact_fhmm(), spec(), n, StreamFill::Hold);
+        for (lane, samples) in lanes.iter().enumerate() {
+            let cut = splits[lane].min(samples.len());
+            stream.feed_lane(lane, &samples[..cut]);
+        }
+        // Checkpoint with lanes intentionally uneven, then resume twice.
+        let mut restored = stream.clone();
+        for (lane, samples) in lanes.iter().enumerate() {
+            let cut = splits[lane].min(samples.len());
+            restored.feed_lane(lane, &samples[cut..]);
+            stream.feed_lane(lane, &samples[cut..]);
+        }
+        prop_assert_eq!(restored.finalize(), want.clone());
+        prop_assert_eq!(stream.finalize(), want);
+    }
+
+    /// The ICM (buffered) path honors the same gap-fill + batch identity.
+    #[test]
+    fn gappy_icm_batch_stream_matches_solo(
+        watts in prop::collection::vec(
+            prop::collection::vec(0.0f64..2_000.0, 20..50), 1..4),
+        masks in prop::collection::vec(
+            prop::collection::vec(0u8..4, 50..51), 1..4),
+        chunk_lens in prop::collection::vec(1usize..20, 4..5),
+    ) {
+        let n = watts.len().min(masks.len());
+        let len = watts[..n].iter().map(Vec::len).min().unwrap();
+        let lanes: Vec<Vec<Sample>> = (0..n)
+            .map(|l| lane_samples(&watts[l][..len], &masks[l][..len]))
+            .collect();
+        let want = solo_reference(icm_fhmm(), StreamFill::Zero, &lanes);
+
+        let mut stream =
+            FhmmBatchStream::with_fill(icm_fhmm(), spec(), n, StreamFill::Zero);
+        prop_assert!(!stream.incremental());
+        feed_interleaved(&mut stream, &lanes, &chunk_lens[..n]);
+        prop_assert_eq!(stream.finalize(), want);
+    }
+}
+
+/// All-gap lanes under Hold never see a valid sample: the withheld run
+/// must flush as 0 W at finalize, identically to the solo stream.
+#[test]
+fn all_gap_lanes_flush_at_finalize() {
+    let lanes: Vec<Vec<Sample>> = (0..3).map(|_| vec![Sample::gap(); 25]).collect();
+    let want = solo_reference(exact_fhmm(), StreamFill::Hold, &lanes);
+    let mut stream = FhmmBatchStream::with_fill(exact_fhmm(), spec(), 3, StreamFill::Hold);
+    for (lane, samples) in lanes.iter().enumerate() {
+        stream.feed_lane(lane, samples);
+    }
+    assert_eq!(stream.finalize(), want);
+}
