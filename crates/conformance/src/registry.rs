@@ -473,6 +473,29 @@ fn decode_batched_identical(v: &Value) -> Result<f64, String> {
     Ok(all_match)
 }
 
+fn resident_section(v: &Value) -> Result<&Value, String> {
+    v.get("resident")
+        .ok_or_else(|| "missing `resident` section".to_string())
+}
+
+fn resident_evict_identical(v: &Value) -> Result<f64, String> {
+    flag(resident_section(v)?, "evict_identical")
+}
+
+fn resident_cold_bytes_max(v: &Value) -> Result<f64, String> {
+    max_over(resident_section(v)?, "sizes", |s| {
+        num(s, "cold_bytes_per_home")
+    })
+}
+
+fn resident_samples_per_sec_min(v: &Value) -> Result<f64, String> {
+    min_over(resident_section(v)?, "sizes", |s| num(s, "samples_per_sec"))
+}
+
+fn resident_homes_per_sec_min(v: &Value) -> Result<f64, String> {
+    min_over(resident_section(v)?, "sizes", |s| num(s, "homes_per_sec"))
+}
+
 /// Every registered claim, grouped by experiment in registry order.
 pub fn all() -> &'static [Claim] {
     static ALL: &[Claim] = &[
@@ -907,6 +930,43 @@ pub fn all() -> &'static [Claim] {
             experiment: "stream_throughput",
             band: Band::Absolute { lo: 1.0, hi: 1.0 },
             extract: decode_batched_identical,
+            cheap: false,
+        },
+        // -- Resident fleet service (docs/FLEET.md) ----------------------
+        Claim {
+            id: "fleet.resident-evict-identical",
+            anchor: "roadmap (fleet throughput)",
+            title: "Eviction/rehydration through compact checkpoints is byte-invisible to output",
+            experiment: "fleet_scale",
+            band: Band::Absolute { lo: 1.0, hi: 1.0 },
+            extract: resident_evict_identical,
+            cheap: false,
+        },
+        Claim {
+            id: "fleet.resident-bytes-per-home",
+            anchor: "roadmap (fleet throughput)",
+            title: "An evicted home costs at most 512 bytes at every ladder rung (10^4..10^6)",
+            experiment: "fleet_scale",
+            band: Band::AtMost { hi: 512.0 },
+            extract: resident_cold_bytes_max,
+            cheap: false,
+        },
+        Claim {
+            id: "fleet.resident-throughput",
+            anchor: "roadmap (fleet throughput)",
+            title: "Resident admission clears 1M samples/sec at every rung up to 10^6 homes",
+            experiment: "fleet_scale",
+            band: Band::AtLeast { lo: 1_000_000.0 },
+            extract: resident_samples_per_sec_min,
+            cheap: false,
+        },
+        Claim {
+            id: "fleet.resident-homes-per-sec",
+            anchor: "roadmap (fleet throughput)",
+            title: "The resident service admits 30k home-rounds/sec at every rung (vs ~200 rebuilt homes/sec)",
+            experiment: "fleet_scale",
+            band: Band::AtLeast { lo: 30_000.0 },
+            extract: resident_homes_per_sec_min,
             cheap: false,
         },
     ];

@@ -1,0 +1,41 @@
+//! Runs a small resident fleet and serves its metrics at `/metrics`.
+//!
+//! ```bash
+//! cargo run --release -p fleetd --example serve_metrics
+//! # in another terminal, scrape the printed address:
+//! curl http://127.0.0.1:<port>/metrics
+//! ```
+//!
+//! The exposition format is documented in `docs/OBSERVABILITY.md`; the
+//! service architecture in `docs/FLEET.md`.
+
+use fleetd::{FleetService, FleetdConfig, MetricsServer};
+
+fn main() {
+    obs::enable();
+
+    let mut svc = FleetService::new(
+        FleetdConfig {
+            resident_cap: Some(256),
+            ..FleetdConfig::default()
+        },
+        2_000,
+    );
+    for round in 0..3 {
+        svc.admit_round(round, 30);
+    }
+    let mem = svc.memory();
+    println!(
+        "fleet: {} homes ({} resident, {} cold), {:.0} B/home",
+        svc.homes(),
+        mem.resident_homes,
+        mem.cold_homes,
+        mem.bytes_per_home()
+    );
+
+    let server = MetricsServer::bind().expect("bind loopback");
+    println!("serving http://{}/metrics — Ctrl-C to stop", server.addr());
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,290 @@
+//! Compact binary codec for evicted per-home checkpoints.
+//!
+//! An evicted home is exactly one encoded
+//! [`stream::WindowCheckpoint`]: the fill automaton
+//! (one tagged scalar), the open-window samples, and one 48-byte record
+//! per closed window. The format is little-endian, versioned by a
+//! 4-byte magic, and round-trips exactly (`decode(encode(cp)) == cp`,
+//! including NaN payloads bit-for-bit) — the property the eviction
+//! identity claim leans on.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   4 bytes  "FDC1"
+//! fill    1 + 8    tag (0 passthrough, 1 zero, 2 hold-pending, 3 hold-last)
+//!                  + u64 count or f64 watts payload (zero if unused)
+//! next    8        u64 open-window start index
+//! open    4 + 8n   u32 count + f64 samples
+//! closed  4 + 48n  u32 count + (u64 start, f64 mean/variance/range/min/max)
+//! ```
+
+use stream::{FillCheckpoint, WindowCheckpoint};
+use timeseries::Summary;
+
+/// First four bytes of every encoded checkpoint.
+pub const MAGIC: [u8; 4] = *b"FDC1";
+
+/// Why a byte buffer failed to decode as a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Buffer ended before the structure it promised.
+    Truncated,
+    /// The buffer doesn't start with [`MAGIC`].
+    BadMagic,
+    /// Unknown fill-automaton tag.
+    BadFillTag(u8),
+    /// Bytes remain after a complete checkpoint.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "checkpoint buffer truncated"),
+            CodecError::BadMagic => write!(f, "checkpoint magic mismatch"),
+            CodecError::BadFillTag(t) => write!(f, "unknown fill tag {t}"),
+            CodecError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after checkpoint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serializes a checkpoint into the compact binary layout.
+///
+/// # Examples
+///
+/// ```
+/// use stream::{FillCheckpoint, WindowCheckpoint};
+///
+/// let cp = WindowCheckpoint {
+///     fill: FillCheckpoint::Passthrough,
+///     next_start: 30,
+///     open: vec![120.0, 350.5],
+///     closed: Vec::new(),
+/// };
+/// let bytes = fleetd::codec::encode(&cp);
+/// assert_eq!(fleetd::codec::decode(&bytes).unwrap(), cp);
+/// ```
+pub fn encode(cp: &WindowCheckpoint) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_len(cp));
+    out.extend_from_slice(&MAGIC);
+    let (tag, payload): (u8, u64) = match cp.fill {
+        FillCheckpoint::Passthrough => (0, 0),
+        FillCheckpoint::Zero => (1, 0),
+        FillCheckpoint::HoldPending(n) => (2, n),
+        FillCheckpoint::HoldLast(w) => (3, w.to_bits()),
+    };
+    out.push(tag);
+    out.extend_from_slice(&payload.to_le_bytes());
+    out.extend_from_slice(&cp.next_start.to_le_bytes());
+    out.extend_from_slice(&(cp.open.len() as u32).to_le_bytes());
+    for &x in &cp.open {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out.extend_from_slice(&(cp.closed.len() as u32).to_le_bytes());
+    for &(start, s) in &cp.closed {
+        out.extend_from_slice(&start.to_le_bytes());
+        for v in [s.mean, s.variance, s.range, s.min, s.max] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Exact byte length [`encode`] produces for `cp` — the cold-store cost
+/// of evicting this home.
+pub fn encoded_len(cp: &WindowCheckpoint) -> usize {
+    4 + 9 + 8 + 4 + 8 * cp.open.len() + 4 + 48 * cp.closed.len()
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.at.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// Deserializes a buffer produced by [`encode`].
+///
+/// # Errors
+///
+/// [`CodecError`] on truncation, magic mismatch, an unknown fill tag, or
+/// trailing bytes. Never panics on malformed input.
+pub fn decode(bytes: &[u8]) -> Result<WindowCheckpoint, CodecError> {
+    let mut r = Reader { buf: bytes, at: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let tag = r.u8()?;
+    let payload = r.u64()?;
+    let fill = match tag {
+        0 => FillCheckpoint::Passthrough,
+        1 => FillCheckpoint::Zero,
+        2 => FillCheckpoint::HoldPending(payload),
+        3 => FillCheckpoint::HoldLast(f64::from_bits(payload)),
+        t => return Err(CodecError::BadFillTag(t)),
+    };
+    let next_start = r.u64()?;
+    let open_len = r.u32()? as usize;
+    let mut open = Vec::with_capacity(open_len.min(bytes.len() / 8));
+    for _ in 0..open_len {
+        open.push(r.f64()?);
+    }
+    let closed_len = r.u32()? as usize;
+    let mut closed = Vec::with_capacity(closed_len.min(bytes.len() / 48));
+    for _ in 0..closed_len {
+        let start = r.u64()?;
+        let mean = r.f64()?;
+        let variance = r.f64()?;
+        let range = r.f64()?;
+        let min = r.f64()?;
+        let max = r.f64()?;
+        closed.push((
+            start,
+            Summary {
+                mean,
+                variance,
+                range,
+                min,
+                max,
+            },
+        ));
+    }
+    if r.at != bytes.len() {
+        return Err(CodecError::TrailingBytes(bytes.len() - r.at));
+    }
+    Ok(WindowCheckpoint {
+        fill,
+        next_start,
+        open,
+        closed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint() -> WindowCheckpoint {
+        WindowCheckpoint {
+            fill: FillCheckpoint::HoldLast(432.5),
+            next_start: 45,
+            open: vec![120.0, f64::NAN, 0.0, -1.5],
+            closed: vec![
+                (
+                    0,
+                    Summary {
+                        mean: 1.0,
+                        variance: 2.0,
+                        range: 3.0,
+                        min: 4.0,
+                        max: 5.0,
+                    },
+                ),
+                (
+                    15,
+                    Summary {
+                        mean: -1.0,
+                        variance: 0.0,
+                        range: f64::INFINITY,
+                        min: f64::MIN,
+                        max: f64::MAX,
+                    },
+                ),
+            ],
+        }
+    }
+
+    fn bit_eq(a: &WindowCheckpoint, b: &WindowCheckpoint) -> bool {
+        // PartialEq is false under NaN; compare payload bits instead.
+        encode(a) == encode(b)
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        for fill in [
+            FillCheckpoint::Passthrough,
+            FillCheckpoint::Zero,
+            FillCheckpoint::HoldPending(7),
+            FillCheckpoint::HoldLast(99.25),
+        ] {
+            let cp = WindowCheckpoint {
+                fill,
+                ..sample_checkpoint()
+            };
+            let bytes = encode(&cp);
+            assert_eq!(bytes.len(), encoded_len(&cp));
+            assert!(bit_eq(&decode(&bytes).unwrap(), &cp), "{fill:?}");
+        }
+    }
+
+    #[test]
+    fn empty_checkpoint_is_29_bytes() {
+        let cp = WindowCheckpoint {
+            fill: FillCheckpoint::Zero,
+            next_start: 0,
+            open: Vec::new(),
+            closed: Vec::new(),
+        };
+        assert_eq!(encode(&cp).len(), 29);
+    }
+
+    #[test]
+    fn malformed_buffers_error_not_panic() {
+        let good = encode(&sample_checkpoint());
+        assert_eq!(decode(&[]), Err(CodecError::Truncated));
+        assert_eq!(decode(b"NOPE"), Err(CodecError::BadMagic));
+        for cut in 0..good.len() {
+            assert!(decode(&good[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(decode(&trailing), Err(CodecError::TrailingBytes(1)));
+        let mut bad_tag = good.clone();
+        bad_tag[4] = 9;
+        assert_eq!(decode(&bad_tag), Err(CodecError::BadFillTag(9)));
+    }
+
+    #[test]
+    fn huge_declared_lengths_do_not_preallocate() {
+        // A 4 GiB open-window count on a 30-byte buffer must fail fast
+        // (Truncated), not try to reserve 32 GiB.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(0);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(CodecError::Truncated));
+    }
+}

@@ -1,0 +1,134 @@
+//! Perf-model extrapolation: from one measured run to "1M homes needs
+//! N cores".
+//!
+//! The resident admission path is embarrassingly parallel across shards
+//! and was measured byte-identical at every thread count, so a linear
+//! per-core model is honest: measured samples/sec on `threads` workers
+//! gives a per-core rate, and a target fleet's required ingest rate
+//! divides by it. The model deliberately ignores memory bandwidth and
+//! NUMA effects — it extrapolates the measured regime, it doesn't
+//! simulate a bigger one — which is why `fleet_scale` reports the
+//! observation alongside the projection.
+
+/// One measured resident-fleet data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Homes in the measured fleet.
+    pub homes: usize,
+    /// Admission throughput actually measured, samples/sec.
+    pub samples_per_sec: f64,
+    /// Worker threads the measurement ran on.
+    pub threads: usize,
+}
+
+/// The projected capacity answer — see [`extrapolate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Extrapolation {
+    /// Measured throughput divided by measured threads.
+    pub per_core_samples_per_sec: f64,
+    /// Ingest rate the target fleet generates, samples/sec.
+    pub required_samples_per_sec: f64,
+    /// `required / per_core` — fractional cores of this machine's type.
+    pub projected_cores: f64,
+    /// [`projected_cores`](Extrapolation::projected_cores) rounded up to
+    /// whole cores (minimum 1 for a non-empty target).
+    pub projected_cores_ceil: usize,
+    /// How many times over the *measured* configuration could serve the
+    /// target (`> 1.0` means it already can).
+    pub headroom: f64,
+}
+
+/// Projects how many cores a `target_homes` fleet needs when each home
+/// emits `samples_per_home_per_sec` readings, given one measured
+/// [`Observation`].
+///
+/// # Panics
+///
+/// Panics if the observation has zero threads or a non-positive
+/// measured rate — a degenerate measurement can't anchor a projection.
+///
+/// # Examples
+///
+/// ```
+/// use fleetd::{extrapolate, Observation};
+///
+/// // Measured: 8 threads admit 8M samples/sec. Target: 1M homes at
+/// // one reading per home per second.
+/// let obs = Observation { homes: 100_000, samples_per_sec: 8.0e6, threads: 8 };
+/// let x = extrapolate(&obs, 1_000_000, 1.0);
+/// assert_eq!(x.per_core_samples_per_sec, 1.0e6);
+/// assert_eq!(x.required_samples_per_sec, 1.0e6);
+/// assert_eq!(x.projected_cores_ceil, 1);
+/// assert_eq!(x.headroom, 8.0); // the measured 8-thread box is 8x over
+/// ```
+pub fn extrapolate(
+    obs: &Observation,
+    target_homes: usize,
+    samples_per_home_per_sec: f64,
+) -> Extrapolation {
+    assert!(obs.threads > 0, "observation needs at least one thread");
+    assert!(
+        obs.samples_per_sec > 0.0,
+        "observation needs a positive measured rate"
+    );
+    let per_core = obs.samples_per_sec / obs.threads as f64;
+    let required = target_homes as f64 * samples_per_home_per_sec;
+    let projected = required / per_core;
+    let ceil = if required <= 0.0 {
+        0
+    } else {
+        (projected.ceil() as usize).max(1)
+    };
+    Extrapolation {
+        per_core_samples_per_sec: per_core,
+        required_samples_per_sec: required,
+        projected_cores: projected,
+        projected_cores_ceil: ceil,
+        headroom: if required > 0.0 {
+            obs.samples_per_sec / required
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_linearly_in_target() {
+        let obs = Observation {
+            homes: 10_000,
+            samples_per_sec: 2.0e6,
+            threads: 4,
+        };
+        let small = extrapolate(&obs, 100_000, 0.5);
+        let big = extrapolate(&obs, 1_000_000, 0.5);
+        assert!((big.projected_cores / small.projected_cores - 10.0).abs() < 1e-9);
+        assert_eq!(small.per_core_samples_per_sec, big.per_core_samples_per_sec);
+    }
+
+    #[test]
+    fn empty_target_needs_nothing() {
+        let obs = Observation {
+            homes: 10,
+            samples_per_sec: 1.0e3,
+            threads: 1,
+        };
+        let x = extrapolate(&obs, 0, 1.0);
+        assert_eq!(x.projected_cores_ceil, 0);
+        assert_eq!(x.headroom, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive measured rate")]
+    fn degenerate_observation_is_rejected() {
+        let obs = Observation {
+            homes: 10,
+            samples_per_sec: 0.0,
+            threads: 1,
+        };
+        let _ = extrapolate(&obs, 10, 1.0);
+    }
+}

@@ -1,0 +1,509 @@
+//! The sharded resident fleet service.
+//!
+//! A [`FleetService`] owns a fixed number of shards; each home belongs
+//! to shard `home % shards` forever. A shard holds its homes in one of
+//! two tiers: **resident** (a live [`ThresholdStream`] whose size is
+//! measured by [`StreamState::state_bytes`]) or **cold** (the
+//! [`codec`](crate::codec)-encoded compact checkpoint, costing exactly
+//! its byte length). Admission rounds feed every home a chunk,
+//! rehydrating cold homes on demand and evicting back down to the
+//! residency cap afterwards — so steady-state memory is O(resident cap)
+//! live streams plus O(homes) compact checkpoints, not O(homes) live
+//! streams.
+
+use crate::codec;
+use niom::ThresholdDetector;
+use std::collections::BTreeMap;
+use stream::{Sample, StreamFill, StreamSpec, StreamState, ThresholdStream};
+use timeseries::rng::derive_seed;
+use timeseries::{LabelSeries, Resolution, Timestamp};
+
+/// Configuration of a resident fleet service.
+#[derive(Debug, Clone)]
+pub struct FleetdConfig {
+    /// Occupancy detector every home runs (Sec. III-B).
+    pub detector: ThresholdDetector,
+    /// Trace geometry shared by all homes.
+    pub spec: StreamSpec,
+    /// Causal gap-fill policy for transport gaps in admitted chunks.
+    pub fill: StreamFill,
+    /// Number of shards. Home → shard assignment is `home % shards`, so
+    /// this is part of the deterministic identity of a run — it must
+    /// never be derived from thread count.
+    pub shards: usize,
+    /// Fleet-wide residency cap: at most this many homes keep a live
+    /// stream between rounds (each shard keeps its `cap / shards`
+    /// share, at least one). `None` keeps every home resident.
+    pub resident_cap: Option<usize>,
+    /// Root seed from which per-home seeds derive
+    /// (`derive_seed(root, "home:<i>")` — the fleet engine's scheme).
+    pub root_seed: u64,
+}
+
+impl Default for FleetdConfig {
+    fn default() -> FleetdConfig {
+        FleetdConfig {
+            detector: ThresholdDetector::default(),
+            spec: StreamSpec::new(Timestamp::ZERO, Resolution::ONE_MINUTE),
+            fill: StreamFill::Zero,
+            shards: 64,
+            resident_cap: None,
+            root_seed: 7,
+        }
+    }
+}
+
+impl FleetdConfig {
+    fn shard_cap(&self) -> Option<usize> {
+        self.resident_cap
+            .map(|cap| (cap.div_ceil(self.shards)).max(1))
+    }
+}
+
+/// Point-in-time memory accounting of the fleet, split by tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryStats {
+    /// Homes currently holding a live stream.
+    pub resident_homes: usize,
+    /// Homes currently evicted to an encoded checkpoint.
+    pub cold_homes: usize,
+    /// Bytes of live stream state ([`StreamState::state_bytes`] summed).
+    pub resident_bytes: usize,
+    /// Bytes of encoded cold checkpoints.
+    pub cold_bytes: usize,
+}
+
+impl MemoryStats {
+    /// Total tracked bytes across both tiers.
+    pub fn total_bytes(&self) -> usize {
+        self.resident_bytes + self.cold_bytes
+    }
+
+    /// Mean tracked bytes per home (0 for an empty fleet).
+    pub fn bytes_per_home(&self) -> f64 {
+        let homes = self.resident_homes + self.cold_homes;
+        if homes == 0 {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / homes as f64
+    }
+}
+
+/// Order-independent-free digest of every home's finalized occupancy
+/// series: homes are folded in index order, so two services that
+/// processed the same readings — at any thread count, with any eviction
+/// history — produce the same digest iff every home's output is
+/// byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetDigest {
+    /// Homes folded into the digest.
+    pub homes: usize,
+    /// Samples admitted across the fleet (gap-withheld ones included).
+    pub samples: u64,
+    /// Occupied labels across every home's finalized series.
+    pub positives: u64,
+    /// FNV-1a fold over `(home index, series length, labels)`.
+    pub digest: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_byte(h: u64, b: u8) -> u64 {
+    (h ^ b as u64).wrapping_mul(FNV_PRIME)
+}
+
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = fnv_byte(h, b);
+    }
+    h
+}
+
+/// One shard: the resident and cold tiers of its homes, plus lifecycle
+/// counters. Homes in `resident` and `cold` are always disjoint.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    resident: BTreeMap<usize, ThresholdStream>,
+    cold: BTreeMap<usize, Vec<u8>>,
+    samples: u64,
+    evictions: u64,
+    rehydrations: u64,
+}
+
+impl Shard {
+    /// Moves home `home` into the resident tier (decoding its cold
+    /// checkpoint or starting a fresh stream) and returns it.
+    fn rehydrate(&mut self, home: usize, cfg: &FleetdConfig) -> &mut ThresholdStream {
+        if !self.resident.contains_key(&home) {
+            let stream = match self.cold.remove(&home) {
+                Some(bytes) => {
+                    self.rehydrations += 1;
+                    let cp = codec::decode(&bytes).expect("cold store holds valid checkpoints");
+                    ThresholdStream::from_compact(cfg.detector.clone(), cfg.spec, &cp)
+                }
+                None => ThresholdStream::new(cfg.detector.clone(), cfg.spec).with_fill(cfg.fill),
+            };
+            self.resident.insert(home, stream);
+        }
+        self.resident.get_mut(&home).expect("just inserted")
+    }
+
+    /// Evicts lowest-index homes until at most `cap` remain resident.
+    fn evict_to(&mut self, cap: usize) {
+        while self.resident.len() > cap {
+            let (&home, _) = self.resident.iter().next().expect("len > cap >= 0");
+            let stream = self.resident.remove(&home).expect("key just observed");
+            self.cold
+                .insert(home, codec::encode(&stream.compact_checkpoint()));
+            self.evictions += 1;
+        }
+    }
+
+    /// Feeds this round's chunk to every home of the shard, in home
+    /// order, then enforces the residency cap.
+    fn admit_round<F>(&mut self, shard_homes: &[usize], round: u64, cfg: &FleetdConfig, gen: &F)
+    where
+        F: Fn(u64, u64, &mut Vec<Sample>),
+    {
+        let mut chunk = Vec::new();
+        for &home in shard_homes {
+            gen(
+                derive_seed(cfg.root_seed, &format!("home:{home}")),
+                round,
+                &mut chunk,
+            );
+            let report = self.rehydrate(home, cfg).feed(&chunk);
+            self.samples += report.items as u64;
+        }
+        if let Some(cap) = cfg.shard_cap() {
+            self.evict_to(cap);
+        }
+    }
+
+    /// `(index, finalized series)` for every home of the shard, resident
+    /// or cold, in index order. Cold homes are decoded into a transient
+    /// stream; the shard is not mutated.
+    fn finalize_homes(&self, cfg: &FleetdConfig) -> Vec<(usize, LabelSeries)> {
+        let mut out: Vec<(usize, LabelSeries)> = self
+            .resident
+            .iter()
+            .map(|(&home, s)| (home, s.finalize()))
+            .chain(self.cold.iter().map(|(&home, bytes)| {
+                let cp = codec::decode(bytes).expect("cold store holds valid checkpoints");
+                let s = ThresholdStream::from_compact(cfg.detector.clone(), cfg.spec, &cp);
+                (home, s.finalize())
+            }))
+            .collect();
+        out.sort_unstable_by_key(|&(home, _)| home);
+        out
+    }
+}
+
+/// A long-lived, sharded fleet of streaming occupancy detectors — see
+/// the [crate docs](crate) and `docs/FLEET.md` for the architecture.
+///
+/// # Examples
+///
+/// Admit three rounds to a small capped fleet and check the digest
+/// against an always-resident run:
+///
+/// ```
+/// use fleetd::{synthetic_chunk, FleetService, FleetdConfig};
+///
+/// let capped = FleetdConfig { resident_cap: Some(8), ..FleetdConfig::default() };
+/// let mut a = FleetService::new(capped, 100);
+/// let mut b = FleetService::new(FleetdConfig::default(), 100);
+/// for round in 0..3 {
+///     a.admit_round(round, 30);
+///     b.admit_round(round, 30);
+/// }
+/// assert!(a.memory().cold_homes > 0);
+/// assert_eq!(a.digest(), b.digest()); // eviction is invisible to output
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetService {
+    cfg: FleetdConfig,
+    homes: usize,
+    shards: Vec<Shard>,
+    rounds: u64,
+}
+
+impl FleetService {
+    /// Creates a service managing homes `0..homes`. No stream state is
+    /// allocated until a home's first admitted chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.shards` is zero.
+    pub fn new(cfg: FleetdConfig, homes: usize) -> FleetService {
+        assert!(cfg.shards > 0, "a fleet needs at least one shard");
+        let shards = vec![Shard::default(); cfg.shards];
+        FleetService {
+            cfg,
+            homes,
+            shards,
+            rounds: 0,
+        }
+    }
+
+    /// The service's configuration.
+    pub fn config(&self) -> &FleetdConfig {
+        &self.cfg
+    }
+
+    /// Homes managed (resident + cold + never-admitted).
+    pub fn homes(&self) -> usize {
+        self.homes
+    }
+
+    /// Admission rounds completed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    fn shard_homes(&self, shard: usize) -> Vec<usize> {
+        (shard..self.homes).step_by(self.cfg.shards).collect()
+    }
+
+    /// Admits one round of [`synthetic_chunk`](crate::synthetic_chunk)
+    /// readings (`samples_per_home` each), shards in parallel.
+    pub fn admit_round(&mut self, round: u64, samples_per_home: usize) {
+        self.admit_round_with(round, &|seed, round, out| {
+            crate::gen::synthetic_chunk(seed, round, samples_per_home, out)
+        });
+    }
+
+    /// Serial reference for [`admit_round`](Self::admit_round): the
+    /// determinism tests assert both leave identical state.
+    pub fn admit_round_serial(&mut self, round: u64, samples_per_home: usize) {
+        self.admit_round_with_serial(round, &|seed, round, out| {
+            crate::gen::synthetic_chunk(seed, round, samples_per_home, out)
+        });
+    }
+
+    /// Admits one round with a caller-supplied chunk generator, run as
+    /// `gen(home_seed, round, &mut chunk)` per home. Shards run in
+    /// parallel; within a shard homes are fed in index order, so fleet
+    /// state after the round is independent of thread count.
+    pub fn admit_round_with<F>(&mut self, round: u64, gen: &F)
+    where
+        F: Fn(u64, u64, &mut Vec<Sample>) + Sync,
+    {
+        let _span = obs::span("fleetd.admit");
+        let cfg = self.cfg.clone();
+        let homes = self.homes;
+        let taken = std::mem::take(&mut self.shards);
+        self.shards =
+            rayon::parallel_map(taken.into_iter().enumerate().collect(), |(i, mut shard)| {
+                let shard_homes: Vec<usize> = (i..homes).step_by(cfg.shards).collect();
+                shard.admit_round(&shard_homes, round, &cfg, gen);
+                shard
+            });
+        self.finish_round();
+    }
+
+    /// Serial reference for [`admit_round_with`](Self::admit_round_with).
+    pub fn admit_round_with_serial<F>(&mut self, round: u64, gen: &F)
+    where
+        F: Fn(u64, u64, &mut Vec<Sample>),
+    {
+        let _span = obs::span("fleetd.admit");
+        let cfg = self.cfg.clone();
+        for i in 0..self.shards.len() {
+            let shard_homes = self.shard_homes(i);
+            self.shards[i].admit_round(&shard_homes, round, &cfg, gen);
+        }
+        self.finish_round();
+    }
+
+    fn finish_round(&mut self) {
+        self.rounds += 1;
+        let mem = self.memory();
+        obs::counter_add("fleetd.rounds", 1);
+        obs::gauge_set(
+            "fleetd.samples",
+            self.shards.iter().map(|s| s.samples).sum::<u64>() as f64,
+        );
+        obs::gauge_set(
+            "fleetd.evictions",
+            self.shards.iter().map(|s| s.evictions).sum::<u64>() as f64,
+        );
+        obs::gauge_set(
+            "fleetd.rehydrations",
+            self.shards.iter().map(|s| s.rehydrations).sum::<u64>() as f64,
+        );
+        obs::gauge_set("fleetd.resident_homes", mem.resident_homes as f64);
+        obs::gauge_set("fleetd.resident_bytes", mem.resident_bytes as f64);
+        obs::gauge_set("fleetd.cold_bytes", mem.cold_bytes as f64);
+    }
+
+    /// Evicts every resident home to its compact checkpoint — the
+    /// steady-state floor of the memory model.
+    pub fn evict_all(&mut self) {
+        for shard in &mut self.shards {
+            shard.evict_to(0);
+        }
+    }
+
+    /// Measures both memory tiers. Resident streams are measured by
+    /// [`StreamState::state_bytes`]; cold homes by encoded length.
+    pub fn memory(&self) -> MemoryStats {
+        let mut stats = MemoryStats::default();
+        for shard in &self.shards {
+            stats.resident_homes += shard.resident.len();
+            stats.cold_homes += shard.cold.len();
+            stats.resident_bytes += shard
+                .resident
+                .values()
+                .map(|s| s.state_bytes())
+                .sum::<usize>();
+            stats.cold_bytes += shard.cold.values().map(Vec::len).sum::<usize>();
+        }
+        stats
+    }
+
+    /// Samples admitted across the fleet so far.
+    pub fn samples(&self) -> u64 {
+        self.shards.iter().map(|s| s.samples).sum()
+    }
+
+    /// Checkpoints evicted so far (a home can be evicted many times).
+    pub fn evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.evictions).sum()
+    }
+
+    /// Cold checkpoints decoded back to live streams so far.
+    pub fn rehydrations(&self) -> u64 {
+        self.shards.iter().map(|s| s.rehydrations).sum()
+    }
+
+    /// Finalizes one home's occupancy series without mutating the fleet
+    /// (`None` if the home was never admitted a chunk).
+    pub fn finalize_home(&self, home: usize) -> Option<LabelSeries> {
+        if home >= self.homes {
+            return None;
+        }
+        let shard = &self.shards[home % self.cfg.shards];
+        if let Some(s) = shard.resident.get(&home) {
+            return Some(s.finalize());
+        }
+        let bytes = shard.cold.get(&home)?;
+        let cp = codec::decode(bytes).expect("cold store holds valid checkpoints");
+        Some(
+            ThresholdStream::from_compact(self.cfg.detector.clone(), self.cfg.spec, &cp).finalize(),
+        )
+    }
+
+    /// Finalizes every admitted home (in parallel, shard by shard) and
+    /// folds the outputs into a [`FleetDigest`] in home-index order.
+    pub fn digest(&self) -> FleetDigest {
+        let _span = obs::span("fleetd.digest");
+        let cfg = &self.cfg;
+        let per_shard = rayon::parallel_map(self.shards.iter().collect(), |shard| {
+            shard
+                .finalize_homes(cfg)
+                .into_iter()
+                .map(|(home, series)| {
+                    let mut h = FNV_OFFSET;
+                    h = fnv_u64(h, home as u64);
+                    h = fnv_u64(h, series.len() as u64);
+                    for &b in series.labels() {
+                        h = fnv_byte(h, b as u8);
+                    }
+                    let positives = series.labels().iter().filter(|&&b| b).count() as u64;
+                    (home, h, positives)
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut all: Vec<(usize, u64, u64)> = per_shard.into_iter().flatten().collect();
+        all.sort_unstable_by_key(|&(home, _, _)| home);
+        let mut digest = FNV_OFFSET;
+        let mut positives = 0;
+        for &(home, h, p) in &all {
+            digest = fnv_u64(digest, home as u64);
+            digest = fnv_u64(digest, h);
+            positives += p;
+        }
+        FleetDigest {
+            homes: all.len(),
+            samples: self.samples(),
+            positives,
+            digest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cfg: FleetdConfig, homes: usize, rounds: u64, serial: bool) -> FleetService {
+        let mut svc = FleetService::new(cfg, homes);
+        for round in 0..rounds {
+            if serial {
+                svc.admit_round_serial(round, 30);
+            } else {
+                svc.admit_round(round, 30);
+            }
+        }
+        svc
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let a = run(FleetdConfig::default(), 333, 3, false);
+        let b = run(FleetdConfig::default(), 333, 3, true);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.memory(), b.memory());
+    }
+
+    #[test]
+    fn capped_fleet_evicts_and_stays_bounded() {
+        let cfg = FleetdConfig {
+            resident_cap: Some(64),
+            ..FleetdConfig::default()
+        };
+        let svc = run(cfg, 500, 3, false);
+        let mem = svc.memory();
+        assert!(mem.resident_homes <= 64, "{mem:?}");
+        assert_eq!(mem.resident_homes + mem.cold_homes, 500);
+        assert!(svc.evictions() > 0);
+        assert!(svc.rehydrations() > 0, "rounds 2+ must rehydrate");
+    }
+
+    #[test]
+    fn eviction_is_invisible_to_output() {
+        let capped = FleetdConfig {
+            resident_cap: Some(32),
+            ..FleetdConfig::default()
+        };
+        let a = run(capped, 300, 4, false);
+        let b = run(FleetdConfig::default(), 300, 4, false);
+        assert_eq!(a.digest(), b.digest());
+        for home in [0, 1, 63, 64, 150, 299] {
+            assert_eq!(a.finalize_home(home), b.finalize_home(home), "home {home}");
+        }
+    }
+
+    #[test]
+    fn digest_tracks_every_home() {
+        let svc = run(FleetdConfig::default(), 130, 2, false);
+        let d = svc.digest();
+        assert_eq!(d.homes, 130);
+        assert_eq!(d.samples, 130 * 2 * 30);
+        assert!(svc.finalize_home(130).is_none());
+    }
+
+    #[test]
+    fn evict_all_reaches_cold_floor() {
+        let mut svc = run(FleetdConfig::default(), 100, 2, false);
+        let before = svc.digest();
+        svc.evict_all();
+        let mem = svc.memory();
+        assert_eq!(mem.resident_homes, 0);
+        assert_eq!(mem.cold_homes, 100);
+        assert!(mem.resident_bytes == 0 && mem.cold_bytes > 0);
+        assert_eq!(svc.digest(), before, "evict_all must not change output");
+    }
+}

@@ -1,0 +1,69 @@
+//! Resident-service determinism: parallel admission must leave the
+//! fleet byte-identical to serial admission, and eviction/rehydration
+//! must be invisible to every home's finalized output. CI runs this
+//! binary at `RAYON_NUM_THREADS` 1 and 8.
+
+use fleetd::{FleetService, FleetdConfig};
+
+fn drive(cfg: FleetdConfig, homes: usize, rounds: u64, serial: bool) -> FleetService {
+    let mut svc = FleetService::new(cfg, homes);
+    for round in 0..rounds {
+        if serial {
+            svc.admit_round_serial(round, 24);
+        } else {
+            svc.admit_round(round, 24);
+        }
+    }
+    svc
+}
+
+#[test]
+fn parallel_digest_equals_serial_at_any_thread_count() {
+    for homes in [1, 63, 64, 65, 1_000] {
+        let par = drive(FleetdConfig::default(), homes, 3, false);
+        let ser = drive(FleetdConfig::default(), homes, 3, true);
+        assert_eq!(par.digest(), ser.digest(), "{homes} homes");
+        assert_eq!(par.memory(), ser.memory(), "{homes} homes");
+    }
+}
+
+#[test]
+fn capped_parallel_equals_capped_serial() {
+    let cfg = FleetdConfig {
+        resident_cap: Some(100),
+        ..FleetdConfig::default()
+    };
+    let par = drive(cfg.clone(), 1_000, 4, false);
+    let ser = drive(cfg, 1_000, 4, true);
+    assert_eq!(par.digest(), ser.digest());
+    assert_eq!(par.memory(), ser.memory());
+    assert_eq!(par.evictions(), ser.evictions());
+    assert_eq!(par.rehydrations(), ser.rehydrations());
+}
+
+#[test]
+fn capped_fleet_output_is_byte_identical_to_always_resident() {
+    let capped = FleetdConfig {
+        resident_cap: Some(64),
+        ..FleetdConfig::default()
+    };
+    let evicting = drive(capped, 1_000, 3, false);
+    let resident = drive(FleetdConfig::default(), 1_000, 3, false);
+    assert!(evicting.evictions() > 0, "cap must actually evict");
+    assert_eq!(evicting.digest(), resident.digest());
+    // Spot-check whole label series, not just the digest.
+    for home in [0, 1, 64, 500, 999] {
+        assert_eq!(
+            evicting.finalize_home(home),
+            resident.finalize_home(home),
+            "home {home}"
+        );
+    }
+}
+
+#[test]
+fn digest_is_stable_across_repeat_runs() {
+    let a = drive(FleetdConfig::default(), 500, 2, false);
+    let b = drive(FleetdConfig::default(), 500, 2, false);
+    assert_eq!(a.digest(), b.digest());
+}

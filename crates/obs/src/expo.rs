@@ -1,0 +1,206 @@
+//! Prometheus-style text exposition of a [`MetricsReport`].
+//!
+//! The resident fleet service (`crates/fleetd`) serves this rendering
+//! over HTTP at `/metrics` so any Prometheus-compatible scraper can poll
+//! the suite's counters, gauges, and timing summaries from a live
+//! process. The format follows the Prometheus text exposition format
+//! (version 0.0.4): one `# TYPE` line per metric family followed by one
+//! sample line per value, floats in Go syntax (`NaN`, `+Inf`, `-Inf` for
+//! the non-finite values).
+//!
+//! Rendering is deterministic for the same reasons the JSON report is:
+//! sections appear in a fixed order (counters, gauges, timings,
+//! histograms), names within a section are sorted, and floats use
+//! shortest-round-trip formatting. The full contract — including how the
+//! suite's `crate.stage.metric` names map onto Prometheus names — is in
+//! `docs/OBSERVABILITY.md`.
+
+use crate::report::{MetricsReport, Summary};
+use std::fmt::Write as _;
+
+/// Mangles a suite metric name (`crate.stage.metric`) into a valid
+/// Prometheus metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every character
+/// outside that alphabet becomes `_`, and a leading digit is prefixed
+/// with `_`. The mapping is stable but not injective — the suite's
+/// naming scheme (lowercase words, dots, underscores) never collides in
+/// practice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(obs::prometheus_name("fleetd.admit.samples"), "fleetd_admit_samples");
+/// assert_eq!(obs::prometheus_name("nilm.fhmm.decode_exact"), "nilm_fhmm_decode_exact");
+/// assert_eq!(obs::prometheus_name("9to5"), "_9to5");
+/// ```
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if valid {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a float in Prometheus text syntax: `NaN`, `+Inf`, `-Inf` for
+/// the non-finite values, shortest-round-trip decimal otherwise.
+fn float(x: f64) -> String {
+    if x.is_nan() {
+        "NaN".to_string()
+    } else if x == f64::INFINITY {
+        "+Inf".to_string()
+    } else if x == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{x:?}")
+    }
+}
+
+fn write_summary(out: &mut String, name: &str, s: &Summary) {
+    let _ = writeln!(out, "# TYPE {name} summary");
+    let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", float(s.p50));
+    let _ = writeln!(out, "{name}{{quantile=\"0.95\"}} {}", float(s.p95));
+    let _ = writeln!(out, "{name}_sum {}", float(s.total));
+    let _ = writeln!(out, "{name}_count {}", s.count);
+}
+
+impl MetricsReport {
+    /// Renders the report in the Prometheus text exposition format
+    /// (version 0.0.4).
+    ///
+    /// * **Counters** render as `counter` families.
+    /// * **Gauges** render as `gauge` families.
+    /// * **Timings** render as `summary` families with the Prometheus
+    ///   `_seconds` unit suffix (they are elapsed-seconds series), with
+    ///   `quantile="0.5"`/`quantile="0.95"` samples plus `_sum`/`_count`.
+    /// * **Histograms** render as `summary` families under their mangled
+    ///   name unchanged (their unit is metric-specific).
+    ///
+    /// The `_seconds` suffix also guarantees a span and a counter sharing
+    /// a suite name never collide after mangling.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.enable();
+    /// reg.counter_add("demo.stage.items", 3);
+    /// reg.gauge_set("demo.config.days", 7.0);
+    /// let text = reg.snapshot().to_prometheus_text();
+    /// assert!(text.contains("# TYPE demo_stage_items counter\ndemo_stage_items 3\n"));
+    /// assert!(text.contains("# TYPE demo_config_days gauge\ndemo_config_days 7.0\n"));
+    /// ```
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, &v) in &self.counters {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, &v) in &self.gauges {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", float(v));
+        }
+        for (name, s) in &self.timings {
+            let name = format!("{}_seconds", prometheus_name(name));
+            write_summary(&mut out, &name, s);
+        }
+        for (name, s) in &self.histograms {
+            write_summary(&mut out, &prometheus_name(name), s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_mangling() {
+        assert_eq!(prometheus_name("fleet.run"), "fleet_run");
+        assert_eq!(prometheus_name("a.b-c/d e"), "a_b_c_d_e");
+        assert_eq!(prometheus_name("already_valid:name"), "already_valid:name");
+        assert_eq!(prometheus_name("1abc"), "_1abc");
+        assert_eq!(prometheus_name(""), "");
+    }
+
+    #[test]
+    fn golden_exposition_format() {
+        let mut report = MetricsReport::default();
+        report.counters.insert("fleetd.admit.samples".into(), 1_200);
+        report.counters.insert("fleetd.evictions".into(), 4);
+        report.gauges.insert("fleetd.resident_homes".into(), 64.0);
+        report
+            .gauges
+            .insert("fleetd.headroom".into(), f64::INFINITY);
+        report.timings.insert(
+            "fleet.run".into(),
+            Summary {
+                count: 2,
+                total: 0.5,
+                mean: 0.25,
+                p50: 0.2,
+                p95: 0.3,
+                min: 0.2,
+                max: 0.3,
+            },
+        );
+        report.histograms.insert(
+            "demo.stage.watts".into(),
+            Summary {
+                count: 3,
+                total: 360.0,
+                mean: 120.0,
+                p50: 100.0,
+                p95: 200.0,
+                min: 60.0,
+                max: 200.0,
+            },
+        );
+        let expected = "\
+# TYPE fleetd_admit_samples counter
+fleetd_admit_samples 1200
+# TYPE fleetd_evictions counter
+fleetd_evictions 4
+# TYPE fleetd_headroom gauge
+fleetd_headroom +Inf
+# TYPE fleetd_resident_homes gauge
+fleetd_resident_homes 64.0
+# TYPE fleet_run_seconds summary
+fleet_run_seconds{quantile=\"0.5\"} 0.2
+fleet_run_seconds{quantile=\"0.95\"} 0.3
+fleet_run_seconds_sum 0.5
+fleet_run_seconds_count 2
+# TYPE demo_stage_watts summary
+demo_stage_watts{quantile=\"0.5\"} 100.0
+demo_stage_watts{quantile=\"0.95\"} 200.0
+demo_stage_watts_sum 360.0
+demo_stage_watts_count 3
+";
+        assert_eq!(report.to_prometheus_text(), expected);
+    }
+
+    #[test]
+    fn non_finite_floats_use_go_syntax() {
+        let mut report = MetricsReport::default();
+        report.gauges.insert("g.nan".into(), f64::NAN);
+        report.gauges.insert("g.neg".into(), f64::NEG_INFINITY);
+        let text = report.to_prometheus_text();
+        assert!(text.contains("g_nan NaN\n"));
+        assert!(text.contains("g_neg -Inf\n"));
+    }
+
+    #[test]
+    fn empty_report_renders_empty() {
+        assert_eq!(MetricsReport::default().to_prometheus_text(), "");
+    }
+}

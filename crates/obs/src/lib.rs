@@ -46,9 +46,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod expo;
 mod registry;
 mod report;
 
+pub use expo::prometheus_name;
 pub use registry::{Registry, Span, SAMPLE_CAP};
 pub use report::{MetricsReport, Summary};
 

@@ -77,6 +77,10 @@ impl<D: Defense + Clone> StreamState for DefenseStream<D> {
         })
     }
 
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.buf.heap_bytes()
+    }
+
     fn try_finalize(&self) -> Result<Defended, PipelineError> {
         if self.items() == 0 {
             return Err(PipelineError::EmptyInput {

@@ -6,6 +6,69 @@ use crate::chunk::{FillState, Sample, StreamFill};
 use crate::FeedReport;
 use timeseries::Summary;
 
+/// The gap-fill position inside a [`WindowCheckpoint`].
+///
+/// Mirrors the stream's internal fill automaton so a checkpoint can be
+/// serialized compactly and resumed byte-identically: the only mutable
+/// fill state is either a count of withheld leading gaps or the last
+/// valid wattage (see [`crate::StreamFill::Hold`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FillCheckpoint {
+    /// No fill policy: samples forwarded verbatim.
+    Passthrough,
+    /// [`crate::StreamFill::Zero`]: gaps read as 0 W (no mutable state).
+    Zero,
+    /// [`crate::StreamFill::Hold`] with an open leading-gap run of this
+    /// many withheld samples.
+    HoldPending(u64),
+    /// [`crate::StreamFill::Hold`] after the first valid sample, carrying
+    /// the last valid (unclamped) wattage.
+    HoldLast(f64),
+}
+
+/// Compact snapshot of a windowed NIOM stream's mutable state — the
+/// eviction/rehydration target of the resident fleet service
+/// (`crates/fleetd`, `docs/FLEET.md`).
+///
+/// A [`crate::ThresholdStream`] (or Hmm/Logistic sibling) is detector
+/// configuration plus this: closed windows keep only their 40-byte
+/// [`Summary`], the open window keeps at most `window - 1` raw samples,
+/// and the fill automaton is one tagged scalar. Restoring via
+/// `from_compact` resumes to byte-identical output — asserted by the
+/// streaming equivalence tests and the `fleet.resident-evict-identical`
+/// conformance claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowCheckpoint {
+    /// The fill automaton's position.
+    pub fill: FillCheckpoint,
+    /// Sample index where the open window starts.
+    pub next_start: u64,
+    /// Raw samples of the open (not yet full) window.
+    pub open: Vec<f64>,
+    /// `(window start, summary)` of every closed window, in trace order.
+    pub closed: Vec<(u64, Summary)>,
+}
+
+impl FillState {
+    fn to_compact(self) -> FillCheckpoint {
+        match self {
+            FillState::Passthrough => FillCheckpoint::Passthrough,
+            FillState::Zero => FillCheckpoint::Zero,
+            FillState::HoldPending(n) => FillCheckpoint::HoldPending(n as u64),
+            FillState::HoldLast(w) => FillCheckpoint::HoldLast(w),
+        }
+    }
+
+    fn from_compact(fill: FillCheckpoint) -> FillState {
+        match fill {
+            FillCheckpoint::Passthrough => FillState::Passthrough,
+            FillCheckpoint::Zero => FillState::Zero,
+            FillCheckpoint::HoldPending(n) => FillState::HoldPending(n as usize),
+            FillCheckpoint::HoldLast(w) => FillState::HoldLast(w),
+        }
+    }
+}
+
 /// Records the obs counters every power-stream `feed` emits.
 pub(crate) fn record_power_chunk(items: usize, gaps: usize) {
     obs::counter_add("stream.chunks", 1);
@@ -49,6 +112,11 @@ impl SampleBuf {
     /// Samples ingested, counting any withheld by an open leading-gap run.
     pub(crate) fn len(&self) -> usize {
         self.samples.len() + self.fill.flush().0
+    }
+
+    /// Heap bytes held by the raw-sample buffer (capacity, not length).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.samples.capacity() * std::mem::size_of::<f64>()
     }
 
     /// The resolved sample vector the batch fill would have produced for
@@ -122,6 +190,57 @@ impl WindowBuf {
         self.next_start + self.open.len() + self.fill.flush().0
     }
 
+    /// Heap bytes held by the window accumulator (capacities, not
+    /// lengths).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.open.capacity() * std::mem::size_of::<f64>()
+            + self.closed.capacity() * std::mem::size_of::<(usize, Summary)>()
+    }
+
+    /// Snapshots the mutable ingestion state as a [`WindowCheckpoint`].
+    pub(crate) fn to_compact(&self) -> WindowCheckpoint {
+        WindowCheckpoint {
+            fill: self.fill.to_compact(),
+            next_start: self.next_start as u64,
+            open: self.open.clone(),
+            closed: self
+                .closed
+                .iter()
+                .map(|&(start, s)| (start as u64, s))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the accumulator from a checkpoint taken by
+    /// [`to_compact`](WindowBuf::to_compact) on an identically configured
+    /// stream (same `window`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or the checkpoint's open window is
+    /// already full (it can never hold `window` samples).
+    pub(crate) fn from_compact(window: usize, cp: &WindowCheckpoint) -> WindowBuf {
+        assert!(window > 0, "window must be non-empty");
+        assert!(
+            cp.open.len() < window,
+            "open window of {} samples cannot belong to a window of {window}",
+            cp.open.len()
+        );
+        let mut open = Vec::with_capacity(window);
+        open.extend_from_slice(&cp.open);
+        WindowBuf {
+            fill: FillState::from_compact(cp.fill),
+            window,
+            open,
+            next_start: cp.next_start as usize,
+            closed: cp
+                .closed
+                .iter()
+                .map(|&(start, s)| (start as usize, s))
+                .collect(),
+        }
+    }
+
     /// The `(window start, summary)` sequence `WindowStats` would yield
     /// over the resolved prefix, plus that prefix's length.
     pub(crate) fn windows_and_len(&self) -> (Vec<(usize, Summary)>, usize) {
@@ -159,6 +278,61 @@ mod tests {
             assert_eq!(n, len);
             assert_eq!(windows, batch, "len {len}");
         }
+    }
+
+    #[test]
+    fn window_buf_compact_round_trips_mid_stream() {
+        let values: Vec<f64> = (0..53)
+            .map(|i| (i as f64 * 0.9).cos() * 250.0 + 300.0)
+            .collect();
+        let samples = dense_samples(&values);
+        for (fill, split) in [
+            (None, 0usize),
+            (None, 22),
+            (Some(StreamFill::Zero), 30),
+            (Some(StreamFill::Hold), 7),
+            (Some(StreamFill::Hold), 53),
+        ] {
+            let mut whole = WindowBuf::new(fill, 15);
+            whole.feed(&samples);
+
+            let mut head = WindowBuf::new(fill, 15);
+            head.feed(&samples[..split]);
+            let cp = head.to_compact();
+            let mut resumed = WindowBuf::from_compact(15, &cp);
+            assert_eq!(resumed, head, "restore must be exact ({fill:?}/{split})");
+            resumed.feed(&samples[split..]);
+            assert_eq!(
+                resumed.windows_and_len(),
+                whole.windows_and_len(),
+                "{fill:?}/{split}"
+            );
+        }
+    }
+
+    #[test]
+    fn compact_checkpoint_preserves_open_hold_run() {
+        let mut buf = WindowBuf::new(Some(StreamFill::Hold), 4);
+        buf.feed(&[Sample::gap(), Sample::gap(), Sample::gap()]);
+        let cp = buf.to_compact();
+        assert_eq!(cp.fill, FillCheckpoint::HoldPending(3));
+        assert!(cp.open.is_empty() && cp.closed.is_empty());
+        let mut resumed = WindowBuf::from_compact(4, &cp);
+        resumed.feed(&[Sample::valid(80.0)]);
+        buf.feed(&[Sample::valid(80.0)]);
+        assert_eq!(resumed.windows_and_len(), buf.windows_and_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot belong")]
+    fn overfull_open_window_is_rejected() {
+        let cp = WindowCheckpoint {
+            fill: FillCheckpoint::Passthrough,
+            next_start: 0,
+            open: vec![1.0, 2.0, 3.0],
+            closed: Vec::new(),
+        };
+        let _ = WindowBuf::from_compact(3, &cp);
     }
 
     #[test]

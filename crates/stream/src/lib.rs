@@ -52,6 +52,7 @@ use timeseries::PipelineError;
 
 pub use chunk::{dense_samples, faulty_samples, Sample, StreamFill, StreamSpec};
 pub use defense_stream::{BatteryStream, ChprStream, DefenseStream};
+pub use ingest::{FillCheckpoint, WindowCheckpoint};
 pub use netsim_stream::{pair_accuracy, FingerprintStream, GatewayStream};
 pub use nilm_stream::{FhmmBatchStream, FhmmStream, PowerPlayStream};
 pub use niom_stream::{HmmStream, LogisticStream, ThresholdStream};
@@ -125,6 +126,20 @@ pub trait StreamState: Clone {
             });
         }
         Ok(self.finalize())
+    }
+
+    /// Resident bytes this state currently holds: the struct itself plus
+    /// the heap buffers it directly owns (vector capacities, not lengths —
+    /// this is an allocation measure, not an information measure).
+    ///
+    /// The default accounts only for `size_of::<Self>()`; states that
+    /// buffer samples or window summaries override it to include their
+    /// heap. Implementations holding opaque sub-state (e.g. a borrowed
+    /// decode filter's scratch rows) may under-report; the value is a
+    /// lower bound meant for fleet memory accounting (`bytes/home` in
+    /// `docs/FLEET.md`), not an allocator audit.
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
     }
 
     /// Snapshots the stream for mid-trace resume.

@@ -421,6 +421,10 @@ impl StreamState for PowerPlayStream<'_> {
         })
     }
 
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.buf.heap_bytes()
+    }
+
     fn try_finalize(&self) -> Result<Vec<DeviceEstimate>, PipelineError> {
         if self.items() == 0 {
             return Err(PipelineError::EmptyInput {

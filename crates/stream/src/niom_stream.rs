@@ -52,6 +52,38 @@ macro_rules! niom_stream {
                 self.ingest = WindowBuf::new(Some(fill), self.detector.window);
                 self
             }
+
+            /// Snapshots the stream's mutable ingestion state as a
+            /// [`WindowCheckpoint`](crate::WindowCheckpoint) — everything
+            /// beyond the (immutable) detector and [`StreamSpec`], in a
+            /// serialization-friendly shape. The eviction target of the
+            /// resident fleet service (`crates/fleetd`).
+            pub fn compact_checkpoint(&self) -> crate::WindowCheckpoint {
+                self.ingest.to_compact()
+            }
+
+            /// Rebuilds a stream from a compact checkpoint taken by
+            /// [`compact_checkpoint`](Self::compact_checkpoint) on a
+            /// stream with the same detector configuration. Feeding the
+            /// remaining samples yields byte-identical output to the
+            /// never-checkpointed stream.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the detector's window is zero or the
+            /// checkpoint's open window doesn't fit it.
+            pub fn from_compact(
+                detector: $detector,
+                spec: StreamSpec,
+                cp: &crate::WindowCheckpoint,
+            ) -> $name {
+                let window = detector.window;
+                $name {
+                    detector,
+                    spec,
+                    ingest: WindowBuf::from_compact(window, cp),
+                }
+            }
         }
 
         impl StreamState for $name {
@@ -72,6 +104,10 @@ macro_rules! niom_stream {
                     #[allow(clippy::redundant_closure_call)]
                     ($finalize)(&self.detector, &self.spec, len, windows)
                 })
+            }
+
+            fn state_bytes(&self) -> usize {
+                std::mem::size_of::<Self>() + self.ingest.heap_bytes()
             }
         }
     };
@@ -165,6 +201,71 @@ mod tests {
         s.restore(&snap);
         s.feed(&samples[400..]);
         assert_eq!(s.finalize(), full);
+    }
+
+    #[test]
+    fn compact_checkpoint_resumes_identically() {
+        let trace = bursty_trace(1_003); // not window-aligned: open window in-flight
+        let detector = ThresholdDetector::default();
+        let samples = dense_samples(trace.samples());
+        let mut s = ThresholdStream::new(detector.clone(), StreamSpec::of_trace(&trace));
+        s.feed(&samples[..700]);
+        let cp = s.compact_checkpoint();
+        s.feed(&samples[700..]);
+        let full = s.finalize();
+
+        let mut resumed =
+            ThresholdStream::from_compact(detector, StreamSpec::of_trace(&trace), &cp);
+        assert_eq!(resumed.items(), 700, "restore must land mid-trace");
+        resumed.feed(&samples[700..]);
+        assert_eq!(resumed.finalize(), full);
+    }
+
+    #[test]
+    fn compact_checkpoint_survives_hold_fill_gaps() {
+        let trace = bursty_trace(600);
+        let samples: Vec<Sample> = trace
+            .samples()
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                // Leading gap run exercises HoldPending; a mid-trace run
+                // exercises HoldLast.
+                if i < 40 || (300..330).contains(&i) {
+                    Sample::gap()
+                } else {
+                    Sample::valid(w)
+                }
+            })
+            .collect();
+        let detector = ThresholdDetector::default();
+        let spec = StreamSpec::of_trace(&trace);
+        let mut whole = ThresholdStream::new(detector.clone(), spec).with_fill(StreamFill::Hold);
+        whole.feed(&samples);
+
+        for split in [0usize, 10, 40, 315, 600] {
+            let mut head = ThresholdStream::new(detector.clone(), spec).with_fill(StreamFill::Hold);
+            head.feed(&samples[..split]);
+            let cp = head.compact_checkpoint();
+            let mut resumed = ThresholdStream::from_compact(detector.clone(), spec, &cp);
+            resumed.feed(&samples[split..]);
+            assert_eq!(resumed.finalize(), whole.finalize(), "split {split}");
+        }
+    }
+
+    #[test]
+    fn state_bytes_tracks_ingested_windows() {
+        let trace = bursty_trace(1_500);
+        let detector = ThresholdDetector::default();
+        let mut s = ThresholdStream::new(detector, StreamSpec::of_trace(&trace));
+        let empty = s.state_bytes();
+        assert!(empty >= std::mem::size_of::<ThresholdStream>());
+        s.feed(&dense_samples(trace.samples()));
+        let full = s.state_bytes();
+        // 100 closed windows at 48 bytes each must show up in the measure.
+        assert!(full >= empty + 100 * 48, "{empty} -> {full}");
+        // And the measure is sublinear in the trace: far below raw f64s.
+        assert!(full < empty + 1_500 * 8, "{empty} -> {full}");
     }
 
     #[test]

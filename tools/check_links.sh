@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Checks every relative markdown link in README.md, DESIGN.md,
+# EXPERIMENTS.md, ROADMAP.md, CHANGES.md, and docs/*.md for a dangling
+# target. External links (http/https/mailto) and pure in-page anchors
+# (#fragment) are skipped; a relative target is resolved against the
+# directory of the file that contains it, and its optional #fragment is
+# stripped before the existence check. Exits non-zero listing every
+# dangling link. Run from the repository root (CI does).
+set -u
+
+fail=0
+checked=0
+
+for file in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md docs/*.md; do
+    [ -f "$file" ] || continue
+    dir=$(dirname "$file")
+    # Inline links: ](target) — tolerates several per line; skips
+    # fenced/inline code by virtue of markdown links not appearing there
+    # in this repo's style.
+    targets=$(grep -o '](\([^)]*\))' "$file" | sed 's/^](//; s/)$//')
+    while IFS= read -r target; do
+        [ -n "$target" ] || continue
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ]; then
+            echo "DANGLING: $file -> $target"
+            fail=1
+        fi
+    done <<EOF
+$targets
+EOF
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "link check failed"
+    exit 1
+fi
+echo "link check: $checked relative links OK"
