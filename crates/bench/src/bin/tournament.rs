@@ -1,0 +1,7 @@
+//! Thin wrapper over `bench::experiments::tournament` — see that module
+//! for the experiment itself; this binary only parses flags and persists
+//! artifacts.
+
+fn main() {
+    bench::experiments::cli_main("tournament");
+}

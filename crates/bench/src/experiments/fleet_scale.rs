@@ -27,7 +27,8 @@
 //! registry entry sets `deterministic: false`).
 
 use super::{Report, RunConfig};
-use fleetd::{extrapolate, FleetService, FleetdConfig, Observation};
+use crate::table::{Cell, ThroughputTable};
+use fleetd::{extrapolate, top_rung, FleetService, FleetdConfig, Observation};
 use iot_privacy::scenario::EnergyScenario;
 use iot_privacy::{obs, run_fleet, run_fleet_serial};
 use std::time::Instant;
@@ -135,10 +136,18 @@ pub fn run(cfg: &RunConfig) -> Report {
     }
 
     // ---- resident ladder: 10^4 -> 10^6 homes under a residency cap ----
-    let mut resident_rows = Vec::new();
+    let mut resident_table = ThroughputTable::new(&[
+        "homes",
+        "cap",
+        "homes/s",
+        "samples/s",
+        "B/home steady",
+        "B/home cold",
+        "evictions",
+    ]);
     let mut resident_sizes = Vec::new();
     let mut evict_identical = false;
-    let mut top_observation = None;
+    let mut ladder = Vec::new();
     for homes in [10_000usize, 100_000, 1_000_000] {
         let cap = homes / 8;
         let fleet_cfg = FleetdConfig {
@@ -178,14 +187,14 @@ pub fn run(cfg: &RunConfig) -> Report {
 
         let homes_per_sec = (homes as u64 * RESIDENT_ROUNDS) as f64 / admit_s;
         let samples_per_sec = digest.samples as f64 / admit_s;
-        resident_rows.push(vec![
-            format!("{homes}"),
-            format!("{cap}"),
-            format!("{homes_per_sec:.0}"),
-            format!("{:.2}M", samples_per_sec / 1e6),
-            format!("{:.0}", steady.bytes_per_home()),
-            format!("{:.0}", cold.bytes_per_home()),
-            format!("{}", svc.evictions()),
+        resident_table.row(&[
+            Cell::Count(homes as u64),
+            Cell::Count(cap as u64),
+            Cell::Rate(homes_per_sec),
+            Cell::MegaRate(samples_per_sec),
+            Cell::Rate(steady.bytes_per_home()),
+            Cell::Rate(cold.bytes_per_home()),
+            Cell::Count(svc.evictions()),
         ]);
         resident_sizes.push(serde_json::json!({
             "homes": homes,
@@ -202,13 +211,11 @@ pub fn run(cfg: &RunConfig) -> Report {
             "evictions": svc.evictions(),
             "rehydrations": svc.rehydrations(),
         }));
-        if homes == 1_000_000 {
-            top_observation = Some(Observation {
-                homes,
-                samples_per_sec,
-                threads,
-            });
-        }
+        ladder.push(Observation {
+            homes,
+            samples_per_sec,
+            threads,
+        });
     }
     assert!(
         evict_identical,
@@ -217,8 +224,8 @@ pub fn run(cfg: &RunConfig) -> Report {
 
     // Project the measured top rung onto the million-home north star at
     // one reading per home per second.
-    let top = top_observation.expect("ladder includes the 10^6 rung");
-    let x = extrapolate(&top, 1_000_000, 1.0);
+    let top = top_rung(&ladder).expect("ladder is non-empty");
+    let x = extrapolate(top, 1_000_000, 1.0);
     let extrapolation = serde_json::json!({
         "target_homes": 1_000_000,
         "target_samples_per_home_per_sec": 1.0,
@@ -246,21 +253,12 @@ pub fn run(cfg: &RunConfig) -> Report {
     }
     report.note("\nParallel results verified bit-identical to the serial reference ✓");
 
-    report.table(
+    resident_table.add_to(
+        &mut report,
         &format!(
             "Resident fleet ladder: {RESIDENT_ROUNDS} rounds x {SAMPLES_PER_ROUND} samples/home, \
              {RESIDENT_SHARDS} shards, cap = homes/8"
         ),
-        &[
-            "homes",
-            "cap",
-            "homes/s",
-            "samples/s",
-            "B/home steady",
-            "B/home cold",
-            "evictions",
-        ],
-        resident_rows,
     );
     report.note("\nEviction/rehydration verified byte-identical to the always-resident fleet ✓");
     report.note(format!(

@@ -31,6 +31,7 @@ pub mod fleet_scale;
 pub mod sec4_traffic_fingerprint;
 pub mod stream_equivalence;
 pub mod stream_throughput;
+pub mod tournament;
 
 /// How one experiment run is parameterized.
 ///
@@ -307,6 +308,12 @@ pub fn all() -> &'static [ExperimentSpec] {
             paper_anchor: "roadmap (streaming throughput)",
             deterministic: false,
             run: stream_throughput::run,
+        },
+        ExperimentSpec {
+            name: "tournament",
+            paper_anchor: "roadmap (adaptive adversary)",
+            deterministic: true,
+            run: tournament::run,
         },
     ];
     ALL

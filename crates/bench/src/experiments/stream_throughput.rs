@@ -30,6 +30,7 @@
 //! compares it with timing keys projected away.
 
 use super::{Report, RunConfig};
+use crate::table::{Cell, ThroughputTable};
 use iot_privacy::fleet::{home_seed, par_map};
 use iot_privacy::homesim::{Home, HomeConfig};
 use iot_privacy::nilm::{DecodeArena, DecodePrecision, DeviceHmm, Fhmm, FhmmConfig};
@@ -72,7 +73,7 @@ pub fn run(cfg: &RunConfig) -> Report {
     let root_seed = cfg.seed(ROOT_SEED);
     let threads = rayon::current_num_threads();
 
-    let mut rows = Vec::new();
+    let mut table = ThroughputTable::new(&["homes", "chunk len", "samples/s", "vs batch"]);
     let mut json = Vec::new();
     for homes in [10usize, 100, 1000] {
         let t = Instant::now();
@@ -110,11 +111,11 @@ pub fn run(cfg: &RunConfig) -> Report {
             });
 
             let samples_per_sec = samples as f64 / stream_s;
-            rows.push(vec![
-                format!("{homes}"),
-                format!("{chunk_len}"),
-                format!("{samples_per_sec:.0}"),
-                format!("{:.2}x", batch_s / stream_s),
+            table.row(&[
+                Cell::Count(homes as u64),
+                Cell::Count(chunk_len as u64),
+                Cell::Rate(samples_per_sec),
+                Cell::Speedup(batch_s / stream_s),
             ]);
             let mut entry = serde_json::json!({
                 "chunk_len": chunk_len,
@@ -150,26 +151,24 @@ pub fn run(cfg: &RunConfig) -> Report {
         }));
     }
 
-    let (decode_json, decode_rows) = decode_section(root_seed);
+    let (decode_json, decode_table) = decode_section(root_seed);
 
     let mut report = Report::new();
-    report.table(
+    table.add_to(
+        &mut report,
         &format!("Streaming-fleet throughput: 1-day scenarios, {threads} threads"),
-        &["homes", "chunk len", "samples/s", "vs batch"],
-        rows,
     );
     report.note(
         "\nEvery streaming run verified bit-identical to the batch supervised fleet ✓ \
          (chunk length moves wall-clock only, never output; the timed region is chunked \
          admission of already-arrived readings — the batch reference rebuilds each world)",
     );
-    report.table(
+    decode_table.add_to(
+        &mut report,
         &format!(
             "FHMM decode kernel: {DECODE_HOMES} homes x {SAMPLES_PER_HOME} samples, \
              16 joint states"
         ),
-        &["kernel", "precision", "samples/s", "vs single f64"],
-        decode_rows,
     );
     report.note(
         "\nBatched f64 decode verified byte-identical to the single-home kernel at every \
@@ -231,7 +230,7 @@ fn decode_meter(seed: u64, index: usize, len: usize) -> PowerTrace {
 
 /// The FHMM decode section: single-home kernel vs the batched kernel at
 /// each batch size, in `f64` and `f32`.
-fn decode_section(root_seed: u64) -> (serde_json::Value, Vec<Vec<String>>) {
+fn decode_section(root_seed: u64) -> (serde_json::Value, ThroughputTable) {
     let meters: Vec<PowerTrace> = (0..DECODE_HOMES)
         .map(|i| {
             decode_meter(
@@ -268,7 +267,7 @@ fn decode_section(root_seed: u64) -> (serde_json::Value, Vec<Vec<String>>) {
         .collect();
     let disagreement = state_disagreement(&single_paths, &single32_paths);
 
-    let mut rows = Vec::new();
+    let mut table = ThroughputTable::new(&["kernel", "precision", "samples/s", "vs single f64"]);
     let mut entries = Vec::new();
     let mut single_per_sec = [0.0f64; 2];
     for (pi, (model, label)) in [(&f64_model, "f64"), (&f32_model, "f32")]
@@ -281,11 +280,11 @@ fn decode_section(root_seed: u64) -> (serde_json::Value, Vec<Vec<String>>) {
             }
         });
         single_per_sec[pi] = samples as f64 / s;
-        rows.push(vec![
-            "single".to_string(),
-            label.to_string(),
-            format!("{:.0}", single_per_sec[pi]),
-            format!("{:.2}x", single_per_sec[pi] / single_per_sec[0]),
+        table.row(&[
+            Cell::Text("single".into()),
+            Cell::Text(label.into()),
+            Cell::Rate(single_per_sec[pi]),
+            Cell::Speedup(single_per_sec[pi] / single_per_sec[0]),
         ]);
         entries.push(serde_json::json!({
             "kernel": "single",
@@ -314,11 +313,11 @@ fn decode_section(root_seed: u64) -> (serde_json::Value, Vec<Vec<String>>) {
             );
             let per_sec = samples as f64 / s;
             let speedup = per_sec / single_per_sec[0];
-            rows.push(vec![
-                format!("batched B={batch}"),
-                label.to_string(),
-                format!("{per_sec:.0}"),
-                format!("{speedup:.2}x"),
+            table.row(&[
+                Cell::Text(format!("batched B={batch}")),
+                Cell::Text(label.into()),
+                Cell::Rate(per_sec),
+                Cell::Speedup(speedup),
             ]);
             entries.push(serde_json::json!({
                 "kernel": "batched",
@@ -340,7 +339,7 @@ fn decode_section(root_seed: u64) -> (serde_json::Value, Vec<Vec<String>>) {
         "f32_state_disagreement_rate": disagreement,
         "kernels": entries,
     });
-    (decode_json, rows)
+    (decode_json, table)
 }
 
 /// Fraction of per-device per-sample states where the `f32` decode differs

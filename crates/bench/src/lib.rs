@@ -21,6 +21,9 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 pub mod experiments;
+pub mod table;
+
+pub use table::{Cell, ThroughputTable};
 
 /// Renders a text table — a `== title ==` banner, a header row, then
 /// aligned data rows — as a string ending in a newline.

@@ -1,0 +1,150 @@
+//! Typed cells for the throughput/ladder tables.
+//!
+//! The scale benches (`stream_throughput`'s chunk-length table,
+//! `fleet_scale`'s resident ladder, the tournament matrix) all print the
+//! same vocabulary of columns — counts, rates, speedups — and used to
+//! re-implement the format strings independently. [`Cell`] is the single
+//! place those formats live, and [`ThroughputTable`] enforces that every
+//! row matches the header's arity before it reaches
+//! [`render_table`](crate::render_table).
+
+use crate::experiments::Report;
+
+/// One typed table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A plain integer (homes, chunk length, caps, evictions).
+    Count(u64),
+    /// Verbatim text (kernel names, defense keys).
+    Text(String),
+    /// A per-second rate or other magnitude rendered with no decimals.
+    Rate(f64),
+    /// A rate in millions, rendered `1.23M`.
+    MegaRate(f64),
+    /// A speedup factor, rendered `1.23x`.
+    Speedup(f64),
+    /// A score rendered with three decimals (MCC, accuracy, kWh).
+    Score(f64),
+}
+
+impl Cell {
+    /// The canonical text rendering of this cell.
+    pub fn render(&self) -> String {
+        match self {
+            Cell::Count(n) => format!("{n}"),
+            Cell::Text(s) => s.clone(),
+            Cell::Rate(x) => format!("{x:.0}"),
+            Cell::MegaRate(x) => format!("{:.2}M", x / 1e6),
+            Cell::Speedup(x) => format!("{x:.2}x"),
+            Cell::Score(x) => format!("{x:.3}"),
+        }
+    }
+}
+
+/// A throughput/ladder table under construction: a fixed header plus
+/// typed rows, rendered through the shared cell vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ThroughputTable {
+    /// A new table with the given column headers.
+    pub fn new(header: &[&str]) -> ThroughputTable {
+        ThroughputTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity differs from the header's — a malformed
+    /// ladder row is a bug in the bench, not a rendering choice.
+    pub fn row(&mut self, cells: &[Cell]) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "ladder row arity must match the header"
+        );
+        self.rows.push(cells.iter().map(Cell::render).collect());
+    }
+
+    /// Number of rows accumulated so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Consumes the builder into `(header, rows)` for callers that feed
+    /// [`crate::render_table`] directly.
+    pub fn into_parts(self) -> (Vec<String>, Vec<Vec<String>>) {
+        (self.header, self.rows)
+    }
+
+    /// Appends the finished table to a report under `title`.
+    pub fn add_to(self, report: &mut Report, title: &str) {
+        let header: Vec<&str> = self.header.iter().map(String::as_str).collect();
+        report.table(title, &header, self.rows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_render_the_shared_vocabulary() {
+        assert_eq!(Cell::Count(1_440).render(), "1440");
+        assert_eq!(Cell::Text("chpr".into()).render(), "chpr");
+        assert_eq!(Cell::Rate(12_345.67).render(), "12346");
+        assert_eq!(Cell::MegaRate(2_340_000.0).render(), "2.34M");
+        assert_eq!(Cell::Speedup(1.5).render(), "1.50x");
+        assert_eq!(Cell::Score(0.87654).render(), "0.877");
+    }
+
+    #[test]
+    fn golden_rendered_ladder() {
+        // The full rendered string is pinned so a format drift in any
+        // cell type (or in render_table's alignment) fails loudly.
+        let mut t = ThroughputTable::new(&["homes", "cap", "homes/s", "samples/s", "speedup"]);
+        t.row(&[
+            Cell::Count(10_000),
+            Cell::Count(1_250),
+            Cell::Rate(52_341.9),
+            Cell::MegaRate(1_570_257.0),
+            Cell::Speedup(7.25),
+        ]);
+        t.row(&[
+            Cell::Count(100_000),
+            Cell::Count(12_500),
+            Cell::Rate(48_012.2),
+            Cell::MegaRate(1_440_366.0),
+            Cell::Speedup(6.8),
+        ]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let (header, rows) = t.into_parts();
+        let header: Vec<&str> = header.iter().map(String::as_str).collect();
+        let rendered = crate::render_table("Ladder", &header, &rows);
+        let expected = "\n\
+            == Ladder ==\n\
+            homes   cap    homes/s  samples/s  speedup\n\
+            10000   1250   52342    1.57M      7.25x  \n\
+            100000  12500  48012    1.44M      6.80x  \n";
+        assert_eq!(rendered, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn short_row_is_rejected() {
+        ThroughputTable::new(&["a", "b"]).row(&[Cell::Count(1)]);
+    }
+}

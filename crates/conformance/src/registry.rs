@@ -496,6 +496,38 @@ fn resident_homes_per_sec_min(v: &Value) -> Result<f64, String> {
     min_over(resident_section(v)?, "sizes", |s| num(s, "homes_per_sec"))
 }
 
+/// The derived `summary` section of the tournament matrix.
+fn tournament_summary(v: &Value) -> Result<&Value, String> {
+    v.get("summary")
+        .ok_or_else(|| "missing `summary` section".to_string())
+}
+
+fn tournament_adaptive_margin(v: &Value) -> Result<f64, String> {
+    num(tournament_summary(v)?, "adaptive_min_non_dp_margin")
+}
+
+fn tournament_dp_degradation(v: &Value) -> Result<f64, String> {
+    num(tournament_summary(v)?, "dp_static_degradation_min")
+}
+
+fn tournament_dp_floor(v: &Value) -> Result<f64, String> {
+    num(tournament_summary(v)?, "dp_adaptive_floor_margin")
+}
+
+fn tournament_cost_ratio(v: &Value) -> Result<f64, String> {
+    num(tournament_summary(v)?, "dp_cost_min_ratio")
+}
+
+fn tournament_quarantine(v: &Value) -> Result<f64, String> {
+    flag(tournament_summary(v)?, "quarantine_composes")
+}
+
+fn tournament_stream_equal(v: &Value) -> Result<f64, String> {
+    v.get("stream")
+        .ok_or_else(|| "missing `stream` section".to_string())
+        .and_then(|s| flag(s, "chunked_equal"))
+}
+
 /// Every registered claim, grouped by experiment in registry order.
 pub fn all() -> &'static [Claim] {
     static ALL: &[Claim] = &[
@@ -967,6 +999,61 @@ pub fn all() -> &'static [Claim] {
             experiment: "fleet_scale",
             band: Band::AtLeast { lo: 30_000.0 },
             extract: resident_homes_per_sec_min,
+            cheap: false,
+        },
+        // -- Adaptive-adversary tournament (docs/TOURNAMENT.md) ----------
+        Claim {
+            id: "tournament.adaptive-beats-static",
+            anchor: "roadmap (adaptive adversary)",
+            title: "The co-evolving attacker strictly beats both static baselines on every non-DP defense",
+            experiment: "tournament",
+            band: Band::AtLeast { lo: 0.004 },
+            extract: tournament_adaptive_margin,
+            cheap: false,
+        },
+        Claim {
+            id: "tournament.dp-mcc-monotone",
+            anchor: "roadmap (adaptive adversary)",
+            title: "DP noise degrades the static attack gracefully: MCC falls from ε=∞ to ε=8, and every stronger rung stays below ε=8",
+            experiment: "tournament",
+            band: Band::AtLeast { lo: 0.01 },
+            extract: tournament_dp_degradation,
+            cheap: false,
+        },
+        Claim {
+            id: "tournament.dp-floors-adaptive",
+            anchor: "roadmap (adaptive adversary)",
+            title: "The strongest DP rung (ε=0.125) holds even the retrained attacker well below its undefended MCC",
+            experiment: "tournament",
+            band: Band::AtLeast { lo: 0.03 },
+            extract: tournament_dp_floor,
+            cheap: false,
+        },
+        Claim {
+            id: "tournament.cost-monotone-in-epsilon",
+            anchor: "roadmap (adaptive adversary)",
+            title: "Defense energy cost is monotone in strength: each 8× ε cut at least doubles the per-home kWh cost",
+            experiment: "tournament",
+            band: Band::AtLeast { lo: 2.0 },
+            extract: tournament_cost_ratio,
+            cheap: false,
+        },
+        Claim {
+            id: "tournament.quarantine-composes",
+            anchor: "roadmap (adaptive adversary)",
+            title: "The fleet supervisor quarantines the injected panic home in every matrix cell",
+            experiment: "tournament",
+            band: Band::Absolute { lo: 1.0, hi: 1.0 },
+            extract: tournament_quarantine,
+            cheap: false,
+        },
+        Claim {
+            id: "tournament.stream-chunked-identical",
+            anchor: "roadmap (adaptive adversary)",
+            title: "The fitted adaptive attack replayed through chunked streaming admission matches batch byte-for-byte",
+            experiment: "tournament",
+            band: Band::Absolute { lo: 1.0, hi: 1.0 },
+            extract: tournament_stream_equal,
             cheap: false,
         },
     ];

@@ -78,6 +78,63 @@ fn every_claim_holds_against_its_canonical_artifact() {
 }
 
 #[test]
+fn tournament_and_robust_claim_families_hold_against_canonical_artifacts() {
+    // The generic canonical-artifact check above would pass vacuously if a
+    // whole claim family were deleted from the registry; pin the two
+    // roadmap families by size and re-verify each member explicitly
+    // against its checked-in artifact.
+    let results = repo_root().join("results");
+    for (prefix, expected) in [("tournament.", 6), ("robust.", 6)] {
+        let family: Vec<_> = registry::all()
+            .iter()
+            .filter(|c| c.id.starts_with(prefix))
+            .collect();
+        assert_eq!(
+            family.len(),
+            expected,
+            "the `{prefix}*` claim family shrank — bands must not be \
+             silently dropped"
+        );
+        for claim in family {
+            let path = results.join(format!("{}.json", claim.experiment));
+            let value: Value =
+                serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+            let measured = (claim.extract)(&value).unwrap();
+            assert!(
+                claim.band.contains(measured),
+                "{}: canonical artifact value {measured} outside band {}",
+                claim.id,
+                claim.band.describe()
+            );
+        }
+    }
+
+    // The tournament artifact itself must be the full canonical matrix:
+    // every attacker×defense cell present, the faulted home quarantined
+    // in each, and the summary scalars the claims read all in place.
+    let value: Value =
+        serde_json::from_str(&std::fs::read_to_string(results.join("tournament.json")).unwrap())
+            .unwrap();
+    let cells = value.get("cells").and_then(Value::as_array).unwrap();
+    assert_eq!(cells.len(), 24, "3 attackers × 8 defenses");
+    assert!(cells
+        .iter()
+        .all(|c| c.get("quarantined").and_then(Value::as_f64) == Some(1.0)));
+    let summary = value.get("summary").unwrap();
+    for key in [
+        "adaptive_min_non_dp_margin",
+        "dp_static_degradation_min",
+        "dp_adaptive_floor_margin",
+        "dp_cost_min_ratio",
+    ] {
+        assert!(
+            summary.get(key).and_then(Value::as_f64).is_some(),
+            "summary scalar `{key}` missing from the canonical artifact"
+        );
+    }
+}
+
+#[test]
 fn claims_md_is_in_sync_with_registry_and_artifacts() {
     let root = repo_root();
     let rendered = report::render_claims_md(&root.join("results")).unwrap();

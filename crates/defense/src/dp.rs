@@ -1,0 +1,268 @@
+//! Differentially-private meter reporting: calibrated Laplace noise on
+//! the NILM-visible aggregates.
+//!
+//! The NILM/NIOM attack surface is the *windowed* meter signal — every
+//! detector in this workspace reduces the trace to non-overlapping
+//! window statistics before inferring anything. [`DpNoise`] therefore
+//! noises exactly that surface: one Laplace draw per reporting window,
+//! calibrated so the window's *mean power* is ε-differentially private
+//! with respect to a bounded change in any single reading
+//! (sensitivity [`DpNoise::sensitivity_watts`]). The draw is added to
+//! every sample of the window, so within-window shape is preserved but
+//! the aggregate an attacker keys on carries the full noise.
+//!
+//! Unlike the load-shaping defenses (CHPr, battery), this is a
+//! report-only mechanism — free in energy, costly in billing fidelity —
+//! but unlike the naive [`NoiseInjector`](crate::NoiseInjector) baseline
+//! its guarantee is *retraining-proof*: no attacker, however adaptive,
+//! can beat the DP bound by fitting a better model to defended traces
+//! (Wang et al., arXiv 2011.06205). The tournament experiment
+//! (`crates/tournament`) pits it against exactly such an attacker.
+//!
+//! # Epsilon policy
+//!
+//! `epsilon` is the privacy budget *per reporting window*. Smaller is
+//! stronger. Two special cases are part of the contract:
+//!
+//! * `epsilon == f64::INFINITY` — no privacy: the defense is the exact
+//!   identity and consumes **zero** RNG draws, so a pipeline with the
+//!   knob parked at ∞ is byte-identical to one with no DP stage at all.
+//! * `epsilon <= 0` or NaN — rejected at construction; a nonsensical
+//!   budget must not silently mean "no noise".
+
+use crate::traits::{Defended, Defense, DefenseCost};
+use serde::{Deserialize, Serialize};
+use timeseries::rng::{laplace, SeededRng};
+use timeseries::PowerTrace;
+
+/// Report-only DP defense: per-window Laplace noise on the meter feed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DpNoise {
+    /// Privacy budget per reporting window; `f64::INFINITY` disables
+    /// the mechanism entirely (exact identity, no RNG consumed).
+    pub epsilon: f64,
+    /// Reporting-window length in samples (the aggregate being
+    /// protected is this window's mean power).
+    pub window: usize,
+    /// Bound on one reading's magnitude, watts — the sensitivity of the
+    /// window *sum* to one reading; the mean's sensitivity is this
+    /// divided by `window`.
+    pub sensitivity_watts: f64,
+}
+
+impl DpNoise {
+    /// Reporting window matching the NIOM detectors' default (15
+    /// one-minute samples).
+    pub const DEFAULT_WINDOW: usize = 15;
+    /// Default per-reading bound: a 4kW whole-home swing.
+    pub const DEFAULT_SENSITIVITY_WATTS: f64 = 4_000.0;
+
+    /// Creates the mechanism with the default window and sensitivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is NaN or not positive (`f64::INFINITY` is
+    /// allowed and means "off").
+    pub fn new(epsilon: f64) -> Self {
+        Self::with_window(
+            epsilon,
+            Self::DEFAULT_WINDOW,
+            Self::DEFAULT_SENSITIVITY_WATTS,
+        )
+    }
+
+    /// Creates the mechanism with an explicit window and sensitivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is NaN or not positive, `window` is zero, or
+    /// `sensitivity_watts` is not finite and positive.
+    pub fn with_window(epsilon: f64, window: usize, sensitivity_watts: f64) -> Self {
+        assert!(
+            !epsilon.is_nan() && epsilon > 0.0,
+            "epsilon must be positive (INFINITY = off)"
+        );
+        assert!(window > 0, "window must be non-empty");
+        assert!(
+            sensitivity_watts.is_finite() && sensitivity_watts > 0.0,
+            "sensitivity must be positive"
+        );
+        DpNoise {
+            epsilon,
+            window,
+            sensitivity_watts,
+        }
+    }
+
+    /// The Laplace scale (watts) applied to each window's mean power:
+    /// `sensitivity / (window * epsilon)`. Zero at `epsilon == INFINITY`.
+    pub fn noise_scale_watts(&self) -> f64 {
+        if self.epsilon.is_infinite() {
+            0.0
+        } else {
+            self.sensitivity_watts / (self.window as f64 * self.epsilon)
+        }
+    }
+}
+
+impl Defense for DpNoise {
+    fn apply(&self, meter: &PowerTrace, rng: &mut SeededRng) -> Defended {
+        obs::gauge_set(
+            "defense.dp.epsilon",
+            if self.epsilon.is_infinite() {
+                -1.0
+            } else {
+                self.epsilon
+            },
+        );
+        if self.epsilon.is_infinite() {
+            // Contract: ∞ is the exact no-DP path — clone the trace and
+            // touch neither the RNG nor the noise counters.
+            return Defended {
+                trace: meter.clone(),
+                cost: DefenseCost::default(),
+            };
+        }
+        let scale = self.noise_scale_watts();
+        let samples = meter.samples();
+        let mut out = Vec::with_capacity(samples.len());
+        let mut windows = 0u64;
+        let mut abs_distortion_wmin = 0.0f64; // watt-minutes... units of sample-watts
+        for chunk in samples.chunks(self.window) {
+            let draw = laplace(rng, 0.0, scale);
+            windows += 1;
+            for &w in chunk {
+                let noised = (w + draw).max(0.0);
+                abs_distortion_wmin += (noised - w).abs();
+                out.push(noised);
+            }
+        }
+        obs::counter_add("defense.dp.windows_noised", windows);
+        let trace = PowerTrace::new(meter.start(), meter.resolution(), out)
+            .expect("clamped finite samples stay finite");
+        // Billing distortion as *per-window absolute* error, not the net
+        // (which cancels in expectation and would hide the cost): the sum
+        // of |noised - true| over samples, relative to total energy.
+        let total_wmin: f64 = samples.iter().sum();
+        let billing_error_frac = if total_wmin > 0.0 {
+            abs_distortion_wmin / total_wmin
+        } else {
+            0.0
+        };
+        Defended {
+            trace,
+            cost: DefenseCost {
+                extra_energy_kwh: 0.0,
+                billing_error_frac,
+                ..Default::default()
+            },
+        }
+    }
+
+    fn name(&self) -> &str {
+        "dp-noise"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::rng::seeded_rng;
+    use timeseries::{Resolution, Timestamp};
+
+    fn meter() -> PowerTrace {
+        PowerTrace::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 900, |i| {
+            if i % 90 < 25 {
+                1_800.0
+            } else {
+                150.0
+            }
+        })
+    }
+
+    #[test]
+    fn infinite_epsilon_is_exact_identity_and_consumes_no_rng() {
+        use rand::RngCore;
+        let meter = meter();
+        let mut rng = seeded_rng(9);
+        let mut untouched = rng.clone();
+        let out = DpNoise::new(f64::INFINITY).apply(&meter, &mut rng);
+        assert_eq!(out.trace, meter);
+        assert_eq!(out.cost, DefenseCost::default());
+        assert_eq!(
+            rng.next_u64(),
+            untouched.next_u64(),
+            "identity path must not advance the RNG"
+        );
+    }
+
+    #[test]
+    fn noise_scale_is_calibrated() {
+        let dp = DpNoise::with_window(2.0, 10, 4_000.0);
+        assert_eq!(dp.noise_scale_watts(), 200.0);
+        assert_eq!(DpNoise::new(f64::INFINITY).noise_scale_watts(), 0.0);
+    }
+
+    #[test]
+    fn stronger_epsilon_distorts_billing_more() {
+        let meter = meter();
+        let strong = DpNoise::new(0.25).apply(&meter, &mut seeded_rng(3));
+        let weak = DpNoise::new(8.0).apply(&meter, &mut seeded_rng(3));
+        assert!(
+            strong.cost.billing_error_frac > weak.cost.billing_error_frac,
+            "{} <= {}",
+            strong.cost.billing_error_frac,
+            weak.cost.billing_error_frac
+        );
+        assert!(weak.cost.billing_error_frac > 0.0);
+    }
+
+    #[test]
+    fn noised_trace_keeps_geometry_and_stays_nonnegative() {
+        let meter = meter();
+        let out = DpNoise::new(0.5)
+            .try_apply(&meter, &mut seeded_rng(5))
+            .expect("valid input");
+        assert_eq!(out.trace.len(), meter.len());
+        assert!(out.trace.samples().iter().all(|&w| w >= 0.0));
+        assert_ne!(out.trace, meter);
+    }
+
+    #[test]
+    fn whole_window_shares_one_draw() {
+        // A constant trace shifts by a constant within each window.
+        let meter = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 60, 500.0);
+        let out = DpNoise::with_window(1.0, 15, 4_000.0).apply(&meter, &mut seeded_rng(7));
+        for chunk in out.trace.samples().chunks(15) {
+            assert!(chunk.iter().all(|&w| w == chunk[0]), "{chunk:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let meter = meter();
+        let a = DpNoise::new(1.0).apply(&meter, &mut seeded_rng(11));
+        let b = DpNoise::new(1.0).apply(&meter, &mut seeded_rng(11));
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_rejected() {
+        DpNoise::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn nan_epsilon_rejected() {
+        DpNoise::new(f64::NAN);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let dp = DpNoise::new(2.0);
+        let json = serde_json::to_string(&dp).unwrap();
+        let back: DpNoise = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dp);
+    }
+}

@@ -18,12 +18,19 @@
 //! * [`PrivacyKnob`] — the paper's vision of *user-controllable privacy*: a
 //!   single dial trading masking effort against cost, producing the
 //!   privacy/utility curve.
+//! * [`DpNoise`] — ε-differentially-private reporting: calibrated Laplace
+//!   noise on the windowed (NILM-visible) aggregates. The one defense
+//!   whose guarantee survives an attacker that retrains on defended
+//!   traces; see `crates/tournament`.
+//! * [`NoDefense`] — the explicit identity, for baseline columns in
+//!   attack×defense matrices.
 //!
 //! All defenses implement [`Defense`]: meter trace in, modified trace plus
 //! a [`DefenseCost`] out.
 
 pub mod battery;
 pub mod chpr;
+pub mod dp;
 pub mod knob;
 pub mod local;
 pub mod obfuscation;
@@ -32,8 +39,9 @@ pub mod waterheater;
 
 pub use battery::BatteryLeveler;
 pub use chpr::Chpr;
+pub use dp::DpNoise;
 pub use knob::{KnobPoint, PrivacyKnob};
 pub use local::{exposure, Architecture, Exposure};
 pub use obfuscation::{NoiseInjector, Smoother};
-pub use traits::{Defended, Defense, DefenseCost};
+pub use traits::{Defended, Defense, DefenseCost, NoDefense};
 pub use waterheater::WaterHeater;

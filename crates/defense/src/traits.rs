@@ -28,6 +28,28 @@ pub struct Defended {
     pub cost: DefenseCost,
 }
 
+/// The explicit no-op defense: reports the meter unchanged at zero cost.
+///
+/// Exists so attack×defense matrices (`crates/tournament`) can carry an
+/// honest baseline column through the same `Box<dyn Defense>` plumbing
+/// as the real defenses, and consumes no RNG so a `NoDefense` cell is
+/// byte-identical to running the attack on the raw trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoDefense;
+
+impl Defense for NoDefense {
+    fn apply(&self, meter: &PowerTrace, _rng: &mut SeededRng) -> Defended {
+        Defended {
+            trace: meter.clone(),
+            cost: DefenseCost::default(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "none"
+    }
+}
+
 /// An energy-privacy defense: transforms the meter trace an attacker sees.
 pub trait Defense {
     /// Applies the defense to `meter`.
@@ -74,41 +96,27 @@ mod tests {
     use timeseries::rng::seeded_rng;
     use timeseries::{Resolution, Timestamp};
 
-    struct Identity;
-
-    impl Defense for Identity {
-        fn apply(&self, meter: &PowerTrace, _rng: &mut SeededRng) -> Defended {
-            Defended {
-                trace: meter.clone(),
-                cost: DefenseCost::default(),
-            }
-        }
-        fn name(&self) -> &str {
-            "identity"
-        }
-    }
-
     #[test]
     fn object_safe_and_default_cost() {
-        let d: Box<dyn Defense> = Box::new(Identity);
+        let d: Box<dyn Defense> = Box::new(NoDefense);
         let meter = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 10, 100.0);
         let out = d.apply(&meter, &mut seeded_rng(0));
         assert_eq!(out.trace, meter);
         assert_eq!(out.cost.extra_energy_kwh, 0.0);
-        assert_eq!(d.name(), "identity");
+        assert_eq!(d.name(), "none");
     }
 
     #[test]
     fn try_apply_rejects_empty_and_passes_valid() {
         let empty = PowerTrace::zeros(Timestamp::ZERO, Resolution::ONE_MINUTE, 0);
         assert_eq!(
-            Identity.try_apply(&empty, &mut seeded_rng(0)),
+            NoDefense.try_apply(&empty, &mut seeded_rng(0)),
             Err(PipelineError::EmptyInput {
                 stage: "defense.apply"
             })
         );
         let meter = PowerTrace::constant(Timestamp::ZERO, Resolution::ONE_MINUTE, 10, 100.0);
-        let out = Identity.try_apply(&meter, &mut seeded_rng(0)).unwrap();
+        let out = NoDefense.try_apply(&meter, &mut seeded_rng(0)).unwrap();
         assert_eq!(out.trace, meter);
     }
 

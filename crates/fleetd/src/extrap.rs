@@ -92,6 +92,25 @@ pub fn extrapolate(
     }
 }
 
+/// Picks the ladder rung a projection should anchor on: the observation
+/// with the most homes, on the grounds that the biggest measured fleet
+/// is closest to the target regime. Ties keep the later entry (the
+/// ladder's rerun of the same size supersedes the earlier one). Returns
+/// `None` for an empty ladder.
+///
+/// The ladder does not have to be sorted or monotone — `fleet_scale`
+/// builds it in run order, and a future rung shuffle must not silently
+/// change which measurement anchors the north-star projection.
+pub fn top_rung(ladder: &[Observation]) -> Option<&Observation> {
+    let mut best: Option<&Observation> = None;
+    for obs in ladder {
+        if best.is_none_or(|b| obs.homes >= b.homes) {
+            best = Some(obs);
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +149,74 @@ mod tests {
             threads: 1,
         };
         let _ = extrapolate(&obs, 10, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_thread_observation_is_rejected() {
+        let obs = Observation {
+            homes: 10,
+            samples_per_sec: 1.0e3,
+            threads: 0,
+        };
+        let _ = extrapolate(&obs, 10, 1.0);
+    }
+
+    #[test]
+    fn zero_per_home_rate_is_an_idle_target() {
+        // A target fleet that never emits needs no cores, like an empty
+        // one — required rate 0 must not round up to one core.
+        let obs = Observation {
+            homes: 10,
+            samples_per_sec: 1.0e3,
+            threads: 2,
+        };
+        let x = extrapolate(&obs, 1_000_000, 0.0);
+        assert_eq!(x.required_samples_per_sec, 0.0);
+        assert_eq!(x.projected_cores, 0.0);
+        assert_eq!(x.projected_cores_ceil, 0);
+        assert_eq!(x.headroom, f64::INFINITY);
+    }
+
+    #[test]
+    fn tiny_positive_requirement_still_needs_one_core() {
+        let obs = Observation {
+            homes: 10,
+            samples_per_sec: 1.0e6,
+            threads: 1,
+        };
+        let x = extrapolate(&obs, 1, 1.0);
+        assert!(x.projected_cores < 1e-5);
+        assert_eq!(x.projected_cores_ceil, 1);
+    }
+
+    fn rung(homes: usize, rate: f64) -> Observation {
+        Observation {
+            homes,
+            samples_per_sec: rate,
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn top_rung_single_tier_ladder() {
+        let ladder = [rung(10_000, 1.0e6)];
+        assert_eq!(top_rung(&ladder), Some(&ladder[0]));
+        assert_eq!(top_rung(&[]), None);
+    }
+
+    #[test]
+    fn top_rung_ignores_ladder_order() {
+        // Non-monotone ladder: the biggest fleet wins regardless of
+        // position, and a tied rerun supersedes the earlier entry.
+        let ladder = [
+            rung(100_000, 2.0e6),
+            rung(1_000_000, 3.0e6),
+            rung(10_000, 9.0e6),
+            rung(1_000_000, 4.0e6),
+        ];
+        let top = top_rung(&ladder).unwrap();
+        assert_eq!(top.homes, 1_000_000);
+        assert_eq!(top.samples_per_sec, 4.0e6);
     }
 }

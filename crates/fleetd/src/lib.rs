@@ -54,7 +54,7 @@ mod gen;
 mod metrics;
 mod service;
 
-pub use extrap::{extrapolate, Extrapolation, Observation};
+pub use extrap::{extrapolate, top_rung, Extrapolation, Observation};
 pub use gen::synthetic_chunk;
 pub use metrics::{write_prometheus, MetricsServer};
 pub use service::{FleetDigest, FleetService, FleetdConfig, MemoryStats};

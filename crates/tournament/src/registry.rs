@@ -1,0 +1,100 @@
+//! The tournament line-ups: who attacks, what defends.
+
+use crate::attacker::{AdaptiveTuned, Attacker, StaticLogistic, StaticThreshold};
+use iot_privacy::defense::{
+    BatteryLeveler, Chpr, Defense, DpNoise, NoDefense, NoiseInjector, Smoother,
+};
+
+/// The DP ε-ladder, strongest budget last. Rungs are 8× apart so the
+/// "degrades monotonically with ε" ordering is well-separated at every
+/// sweep seed, not a coin flip between adjacent noise levels.
+pub const DP_EPSILONS: [f64; 3] = [8.0, 1.0, 0.125];
+
+/// One registered defense column of the matrix.
+pub struct DefenseSpec {
+    /// Stable key used in reports, JSON, and derived seed labels.
+    pub key: String,
+    /// The ε for DP rungs, `None` for every other defense. The
+    /// conformance claims split the matrix on this field: the adaptive
+    /// attacker must beat the static ones wherever it is `None`.
+    pub dp_epsilon: Option<f64>,
+    /// The defense instance shared by every attacker row.
+    pub defense: Box<dyn Defense + Send + Sync>,
+}
+
+/// Every attacker row, registry order: the two static baselines first,
+/// then the co-evolving one.
+pub fn attackers() -> Vec<Box<dyn Attacker + Send + Sync>> {
+    vec![
+        Box::new(StaticThreshold),
+        Box::new(StaticLogistic),
+        Box::new(AdaptiveTuned),
+    ]
+}
+
+/// Every defense column, registry order: the baseline, the naive
+/// report-only obfuscators, the load-shaping defenses, then the DP
+/// ladder from weakest to strongest budget.
+pub fn defenses() -> Vec<DefenseSpec> {
+    let mut all = vec![
+        DefenseSpec {
+            key: "none".to_string(),
+            dp_epsilon: None,
+            defense: Box::new(NoDefense),
+        },
+        DefenseSpec {
+            key: "smoother".to_string(),
+            dp_epsilon: None,
+            defense: Box::new(Smoother::new(30)),
+        },
+        DefenseSpec {
+            key: "noise".to_string(),
+            dp_epsilon: None,
+            defense: Box::new(NoiseInjector::new(150.0)),
+        },
+        DefenseSpec {
+            key: "battery".to_string(),
+            dp_epsilon: None,
+            defense: Box::new(BatteryLeveler::default()),
+        },
+        DefenseSpec {
+            key: "chpr".to_string(),
+            dp_epsilon: None,
+            defense: Box::new(Chpr::default()),
+        },
+    ];
+    for eps in DP_EPSILONS {
+        all.push(DefenseSpec {
+            key: format!("dp-{eps}"),
+            dp_epsilon: Some(eps),
+            defense: Box::new(DpNoise::new(eps)),
+        });
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_keys_are_unique_and_stable() {
+        let defs = defenses();
+        let mut seen = std::collections::HashSet::new();
+        for d in &defs {
+            assert!(seen.insert(d.key.clone()), "duplicate defense {}", d.key);
+        }
+        assert_eq!(defs[0].key, "none");
+        assert_eq!(
+            defs.iter().filter(|d| d.dp_epsilon.is_some()).count(),
+            DP_EPSILONS.len()
+        );
+        // ε-ladder is strictly decreasing (weakest budget first).
+        let eps: Vec<f64> = defs.iter().filter_map(|d| d.dp_epsilon).collect();
+        assert!(eps.windows(2).all(|w| w[0] > w[1]), "{eps:?}");
+
+        let atks = attackers();
+        assert_eq!(atks.len(), 3);
+        assert!(atks.iter().any(|a| a.is_adaptive()));
+    }
+}

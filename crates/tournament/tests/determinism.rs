@@ -1,0 +1,147 @@
+//! The tournament's determinism contract, property-tested.
+//!
+//! Three guarantees the conformance claims lean on:
+//!
+//! * The matrix JSON is a pure function of [`MatrixConfig`] — byte-identical
+//!   across repeated runs *and* across `RAYON_NUM_THREADS` settings. All
+//!   thread-count cases live in ONE test function on purpose:
+//!   `RAYON_NUM_THREADS` is process-global and the harness runs separate
+//!   `#[test]`s concurrently.
+//! * `DpNoise` with `ε = ∞` is the exact identity: byte-identical output to
+//!   the no-DP path and the same RNG consumption (none), for arbitrary
+//!   traces and seeds.
+//! * Adaptive retraining is a pure function of `(seed, rounds)`, and a
+//!   fitted model replayed through chunked streaming admission matches the
+//!   batch attack for any chunk length.
+
+use std::sync::OnceLock;
+
+use iot_privacy::defense::{Defense, DpNoise, NoDefense, NoiseInjector};
+use iot_privacy::stream::{dense_samples, feed_chunked, StreamSpec, StreamState, ThresholdStream};
+use iot_privacy::timeseries::rng::{laplace, seeded_rng};
+use iot_privacy::timeseries::{PowerTrace, Resolution, Timestamp};
+use proptest::prelude::*;
+use tournament::{
+    AdaptiveTuned, Attacker, DeployedModel, MatrixConfig, StaticThreshold, TrainingArena,
+};
+
+/// A small-but-not-degenerate configuration: two co-evolution rounds, a
+/// quarantined panic home, and an eval fleet spanning all three personas.
+fn small() -> MatrixConfig {
+    MatrixConfig {
+        seed: 77,
+        train_homes: 2,
+        train_days: 2,
+        eval_homes: 3,
+        eval_days: 2,
+        rounds: 2,
+        panic_home: Some(1),
+    }
+}
+
+#[test]
+fn matrix_json_is_byte_identical_across_runs_and_thread_counts() {
+    let cfg = small();
+    let reference =
+        serde_json::to_string(&tournament::run_matrix(&cfg).to_json()).expect("matrix serializes");
+    assert!(reference.contains("\"summary\""), "sanity: report shape");
+
+    for threads in ["1", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let rerun = serde_json::to_string(&tournament::run_matrix(&cfg).to_json())
+            .expect("matrix serializes");
+        assert_eq!(
+            rerun, reference,
+            "matrix JSON must be byte-identical at RAYON_NUM_THREADS={threads}"
+        );
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+/// Shared fixture for the fit/replay properties — simulating homes per
+/// proptest case would dominate the suite's runtime.
+fn arena() -> &'static TrainingArena {
+    static ARENA: OnceLock<TrainingArena> = OnceLock::new();
+    ARENA.get_or_init(|| TrainingArena::simulate(4_242, 2, 1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `ε = ∞` must be *the identity*, not merely "very little noise":
+    /// same bytes out, and the RNG stream untouched (the next Laplace
+    /// draw from both RNGs agrees), for arbitrary traces and seeds.
+    #[test]
+    fn dp_with_infinite_epsilon_is_byte_identical_to_the_no_dp_path(
+        watts in prop::collection::vec(0.0f64..4_000.0, 16..200),
+        seed in any::<u64>(),
+    ) {
+        let trace = PowerTrace::from_fn(
+            Timestamp::ZERO,
+            Resolution::ONE_MINUTE,
+            watts.len(),
+            |i| watts[i],
+        );
+        let mut dp_rng = seeded_rng(seed);
+        let mut off_rng = seeded_rng(seed);
+        let dp = DpNoise::new(f64::INFINITY).apply(&trace, &mut dp_rng);
+        let off = NoDefense.apply(&trace, &mut off_rng);
+        prop_assert_eq!(&dp, &off);
+        prop_assert_eq!(&dp.trace, &trace);
+        prop_assert_eq!(
+            laplace(&mut dp_rng, 0.0, 1.0),
+            laplace(&mut off_rng, 0.0, 1.0),
+            "the parked knob must not consume RNG draws"
+        );
+    }
+}
+
+proptest! {
+    // Each case fits the full candidate grid three times; keep the case
+    // count modest so the suite stays in test-tier budget.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Retraining is a pure function of `(seed, rounds)`: refitting with
+    /// the same pair reproduces the selected model and the per-round
+    /// audit trail exactly.
+    #[test]
+    fn adaptive_fit_is_a_pure_function_of_seed_and_rounds(
+        seed in any::<u64>(),
+        rounds in 1usize..3,
+    ) {
+        let defense = NoiseInjector::new(120.0);
+        let a = AdaptiveTuned.fit(arena(), &defense, rounds, seed);
+        let b = AdaptiveTuned.fit(arena(), &defense, rounds, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.round_train_mcc.len(), rounds);
+        // One more round re-derives fresh per-round seeds and extends —
+        // never rewrites — the audit trail's earlier entries.
+        let c = AdaptiveTuned.fit(arena(), &defense, rounds + 1, seed);
+        prop_assert_eq!(c.round_train_mcc.len(), rounds + 1);
+        prop_assert_eq!(&c.round_train_mcc[..rounds], &a.round_train_mcc[..]);
+    }
+
+    /// A fitted attack replayed through chunked streaming admission is
+    /// byte-identical to the batch attack for any chunk length — the
+    /// gateway-deployment contract the matrix spot-checks at two lengths,
+    /// generalized.
+    #[test]
+    fn fitted_attack_chunked_admission_matches_batch(
+        chunk_len in 1usize..300,
+        defense_seed in any::<u64>(),
+    ) {
+        let fitted = StaticThreshold.fit(arena(), &NoDefense, 1, 7);
+        let DeployedModel::Threshold(model) = &fitted.model else {
+            panic!("static threshold deploys a threshold model");
+        };
+        let mut rng = seeded_rng(defense_seed);
+        let defended = NoiseInjector::new(120.0)
+            .apply(&arena().homes[0].meter, &mut rng)
+            .trace;
+        let batch = fitted.detect(&defended);
+
+        let mut stream = ThresholdStream::new(model.clone(), StreamSpec::of_trace(&defended));
+        feed_chunked(&mut stream, &dense_samples(defended.samples()), chunk_len);
+        prop_assert_eq!(stream.finalize(), batch);
+    }
+}
