@@ -1,0 +1,6 @@
+//! Thin wrapper over `bench::experiments::recovery_soak` — see that module for
+//! the experiment itself; this binary only parses flags and persists artifacts.
+
+fn main() {
+    bench::experiments::cli_main("recovery_soak");
+}

@@ -28,6 +28,7 @@ pub mod fig2_disaggregation;
 pub mod fig5_localization;
 pub mod fig6_chpr;
 pub mod fleet_scale;
+pub mod recovery_soak;
 pub mod sec4_traffic_fingerprint;
 pub mod stream_equivalence;
 pub mod stream_throughput;
@@ -296,6 +297,12 @@ pub fn all() -> &'static [ExperimentSpec] {
             paper_anchor: "roadmap (fleet throughput)",
             deterministic: false,
             run: fleet_scale::run,
+        },
+        ExperimentSpec {
+            name: "recovery_soak",
+            paper_anchor: "roadmap (crash recovery)",
+            deterministic: false,
+            run: recovery_soak::run,
         },
         ExperimentSpec {
             name: "stream_equivalence",

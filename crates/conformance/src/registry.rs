@@ -496,6 +496,31 @@ fn resident_homes_per_sec_min(v: &Value) -> Result<f64, String> {
     min_over(resident_section(v)?, "sizes", |s| num(s, "homes_per_sec"))
 }
 
+fn recovery_section<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing `{key}` section"))
+}
+
+fn recovery_crash_identical(v: &Value) -> Result<f64, String> {
+    flag(recovery_section(v, "crash")?, "digest_identical")
+}
+
+fn recovery_transient_identical(v: &Value) -> Result<f64, String> {
+    flag(recovery_section(v, "transient")?, "identical")
+}
+
+fn recovery_rebuild_identical(v: &Value) -> Result<f64, String> {
+    flag(recovery_section(v, "rebuild")?, "identical")
+}
+
+fn recovery_quarantine_exact(v: &Value) -> Result<f64, String> {
+    let q = recovery_section(v, "quarantine")?;
+    Ok(flag(q, "exact")? * flag(q, "survivors_identical")?)
+}
+
+fn recovery_speedup(v: &Value) -> Result<f64, String> {
+    num(recovery_section(v, "crash")?, "recovery_speedup")
+}
+
 /// The derived `summary` section of the tournament matrix.
 fn tournament_summary(v: &Value) -> Result<&Value, String> {
     v.get("summary")
@@ -999,6 +1024,52 @@ pub fn all() -> &'static [Claim] {
             experiment: "fleet_scale",
             band: Band::AtLeast { lo: 30_000.0 },
             extract: resident_homes_per_sec_min,
+            cheap: false,
+        },
+        // -- Crash recovery of the durable fleet (docs/FLEET.md) ---------
+        Claim {
+            id: "fleet.recovery-digest-identical",
+            anchor: "roadmap (crash recovery)",
+            title: "A fleet crashed mid-ladder and recovered from its durable store finishes byte-identical",
+            experiment: "recovery_soak",
+            band: Band::Absolute { lo: 1.0, hi: 1.0 },
+            extract: recovery_crash_identical,
+            cheap: false,
+        },
+        Claim {
+            id: "fleet.recovery-transient-identical",
+            anchor: "roadmap (crash recovery)",
+            title: "Transient store-write failures are absorbed by bounded retry with byte-identical output",
+            experiment: "recovery_soak",
+            band: Band::Absolute { lo: 1.0, hi: 1.0 },
+            extract: recovery_transient_identical,
+            cheap: false,
+        },
+        Claim {
+            id: "fleet.recovery-rebuild-identical",
+            anchor: "roadmap (crash recovery)",
+            title: "Under the full storage-fault ladder, degraded-mode rebuild restores byte-identical output",
+            experiment: "recovery_soak",
+            band: Band::Absolute { lo: 1.0, hi: 1.0 },
+            extract: recovery_rebuild_identical,
+            cheap: false,
+        },
+        Claim {
+            id: "fleet.recovery-quarantine-exact",
+            anchor: "roadmap (crash recovery)",
+            title: "Offline frame corruption quarantines exactly the corrupted homes, survivors untouched",
+            experiment: "recovery_soak",
+            band: Band::Absolute { lo: 1.0, hi: 1.0 },
+            extract: recovery_quarantine_exact,
+            cheap: false,
+        },
+        Claim {
+            id: "fleet.recovery-wall-time",
+            anchor: "roadmap (crash recovery)",
+            title: "Recovering and resuming after a 4/6-round crash beats re-running the full ladder",
+            experiment: "recovery_soak",
+            band: Band::AtLeast { lo: 1.2 },
+            extract: recovery_speedup,
             cheap: false,
         },
         // -- Adaptive-adversary tournament (docs/TOURNAMENT.md) ----------

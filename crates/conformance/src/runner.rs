@@ -57,7 +57,7 @@ pub fn select(opts: &Options) -> Vec<&'static Claim> {
 /// equivalence flags, summaries) must match exactly. These run even when
 /// no claim selects them, so their checked-in artifacts cannot silently
 /// drift.
-const GOLDEN_PROJECTED: &[&str] = &["stream_throughput"];
+const GOLDEN_PROJECTED: &[&str] = &["stream_throughput", "recovery_soak"];
 
 /// Whether an object key carries a wall-clock (or machine-local)
 /// measurement that the golden projection drops.

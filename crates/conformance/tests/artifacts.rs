@@ -84,7 +84,7 @@ fn tournament_and_robust_claim_families_hold_against_canonical_artifacts() {
     // roadmap families by size and re-verify each member explicitly
     // against its checked-in artifact.
     let results = repo_root().join("results");
-    for (prefix, expected) in [("tournament.", 6), ("robust.", 6)] {
+    for (prefix, expected) in [("tournament.", 6), ("robust.", 6), ("fleet.recovery-", 5)] {
         let family: Vec<_> = registry::all()
             .iter()
             .filter(|c| c.id.starts_with(prefix))
@@ -132,6 +132,31 @@ fn tournament_and_robust_claim_families_hold_against_canonical_artifacts() {
             "summary scalar `{key}` missing from the canonical artifact"
         );
     }
+
+    // The recovery artifact must record all four scenarios with their
+    // equivalence flags true and the quarantine set exactly as injected.
+    let value: Value =
+        serde_json::from_str(&std::fs::read_to_string(results.join("recovery_soak.json")).unwrap())
+            .unwrap();
+    for (section, key) in [
+        ("crash", "digest_identical"),
+        ("transient", "identical"),
+        ("rebuild", "identical"),
+        ("quarantine", "exact"),
+        ("quarantine", "survivors_identical"),
+    ] {
+        assert_eq!(
+            value.get(section).and_then(|s| s.get(key)),
+            Some(&Value::Bool(true)),
+            "recovery_soak canonical artifact: `{section}.{key}` must be true"
+        );
+    }
+    let quarantine = value.get("quarantine").unwrap();
+    assert_eq!(
+        quarantine.get("corrupted_homes"),
+        quarantine.get("quarantined_homes"),
+        "quarantine set drifted from the injected corruption set"
+    );
 }
 
 #[test]

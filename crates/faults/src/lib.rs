@@ -55,8 +55,10 @@
 
 pub mod net;
 pub mod spec;
+pub mod store;
 pub mod trace;
 
 pub use net::FaultedFlows;
 pub use spec::{FaultPlan, FlowFault, TraceFault};
+pub use store::{StoreFault, StoreFaultInjector};
 pub use trace::{FaultyTrace, GapFill};

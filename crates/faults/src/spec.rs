@@ -1,6 +1,7 @@
 //! The fault-model catalogue and composable plans.
 
 use crate::net::{apply_flow_faults, FaultedFlows};
+use crate::store::StoreFault;
 use crate::trace::{apply_trace_faults, FaultyTrace};
 use netsim::NetworkTrace;
 use timeseries::PowerTrace;
@@ -120,6 +121,9 @@ pub struct FaultPlan {
     pub trace_faults: Vec<TraceFault>,
     /// Flow-log faults, applied in order.
     pub flow_faults: Vec<FlowFault>,
+    /// Checkpoint-store faults, applied in order per store write (see
+    /// [`crate::StoreFaultInjector`]).
+    pub store_faults: Vec<StoreFault>,
 }
 
 impl FaultPlan {
@@ -127,15 +131,23 @@ impl FaultPlan {
     pub fn new(trace_faults: Vec<TraceFault>) -> FaultPlan {
         FaultPlan {
             trace_faults,
-            flow_faults: Vec::new(),
+            ..FaultPlan::default()
         }
     }
 
     /// A plan over flow faults only.
     pub fn for_flows(flow_faults: Vec<FlowFault>) -> FaultPlan {
         FaultPlan {
-            trace_faults: Vec::new(),
             flow_faults,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan over checkpoint-store faults only.
+    pub fn for_store(store_faults: Vec<StoreFault>) -> FaultPlan {
+        FaultPlan {
+            store_faults,
+            ..FaultPlan::default()
         }
     }
 
@@ -172,10 +184,7 @@ impl FaultPlan {
         if x >= 0.25 {
             trace_faults.push(TraceFault::ClockJitter { max_slots: 2 });
         }
-        FaultPlan {
-            trace_faults,
-            flow_faults: Vec::new(),
-        }
+        FaultPlan::new(trace_faults)
     }
 
     /// The standard network-feed corruption profile at intensity
@@ -186,25 +195,48 @@ impl FaultPlan {
         if x == 0.0 {
             return FaultPlan::default();
         }
-        FaultPlan {
-            trace_faults: Vec::new(),
-            flow_faults: vec![
-                FlowFault::Loss { prob: 0.3 * x },
-                FlowFault::Reorder {
-                    prob: 0.2 * x,
-                    max_skew_secs: 60,
-                },
-                FlowFault::RebootBurst {
-                    bursts: (4.0 * x).ceil() as usize,
-                    flows_per_burst: 6,
-                },
-            ],
+        FaultPlan::for_flows(vec![
+            FlowFault::Loss { prob: 0.3 * x },
+            FlowFault::Reorder {
+                prob: 0.2 * x,
+                max_skew_secs: 60,
+            },
+            FlowFault::RebootBurst {
+                bursts: (4.0 * x).ceil() as usize,
+                flows_per_burst: 6,
+            },
+        ])
+    }
+
+    /// The standard checkpoint-storage corruption profile at intensity
+    /// `x ∈ [0, 1]` — the knob the `recovery_soak` experiment sweeps.
+    /// Composition at intensity `x`:
+    ///
+    /// * transient write failures at `0.3·x` (up to 2 retries needed),
+    /// * torn writes at `0.08·x`,
+    /// * single-byte bit flips at `0.08·x`,
+    /// * stale-generation replays at `0.08·x`.
+    ///
+    /// Intensity 0 is the identity plan (no faults).
+    pub fn store_profile(intensity: f64) -> FaultPlan {
+        let x = intensity.clamp(0.0, 1.0);
+        if x == 0.0 {
+            return FaultPlan::default();
         }
+        FaultPlan::for_store(vec![
+            StoreFault::Transient {
+                prob: 0.3 * x,
+                max_failures: 2,
+            },
+            StoreFault::TornWrite { prob: 0.08 * x },
+            StoreFault::BitFlip { prob: 0.08 * x },
+            StoreFault::StaleReplay { prob: 0.08 * x },
+        ])
     }
 
     /// `true` when the plan injects nothing.
     pub fn is_identity(&self) -> bool {
-        self.trace_faults.is_empty() && self.flow_faults.is_empty()
+        self.trace_faults.is_empty() && self.flow_faults.is_empty() && self.store_faults.is_empty()
     }
 
     /// Applies the plan's trace faults to a power trace.

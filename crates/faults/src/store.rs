@@ -1,0 +1,318 @@
+//! Storage-fault models for durable checkpoint stores.
+//!
+//! The resident fleet service (`crates/fleetd`) persists evicted and
+//! round-synced home checkpoints through a pluggable store. Real storage
+//! fails in ways the clean in-memory path never exercises: writes error
+//! transiently, land torn, flip bits at rest, or silently lose the
+//! latest write so a stale generation survives. [`StoreFault`] models
+//! exactly those four defects; [`StoreFaultInjector`] turns a
+//! [`FaultPlan`]'s store faults into **order-independent**
+//! per-operation decisions, so injection stays deterministic even when
+//! shards issue store operations concurrently.
+//!
+//! # Determinism rules
+//!
+//! Unlike trace/flow faults (which walk a whole input under one derived
+//! RNG stream), store operations interleave across shard workers, so a
+//! sequential stream would make injection depend on thread timing.
+//! Instead every decision draws from a seed that is a pure function of
+//! the *operation identity*:
+//!
+//! ```text
+//! derive_seed(derive_seed(seed, "fault:<i>:<label>"), "home:<h>:gen:<g>")
+//! ```
+//!
+//! Whether (and how) fault `i` hits the write of home `h` at generation
+//! `g` is therefore the same at any `RAYON_NUM_THREADS`, matching the
+//! crate-wide fault determinism contract (`docs/ROBUSTNESS.md`).
+
+use crate::FaultPlan;
+use rand::Rng;
+use timeseries::rng::{derive_seed, seeded_rng, SeededRng};
+
+/// One fault model applied to a checkpoint store operation.
+///
+/// Probabilities are in `[0, 1]`; [`FaultPlan::store_profile`] clamps
+/// its intensity knob, so profile-built plans are always well-formed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StoreFault {
+    /// Transient IO failure on a write: the first `1..=max_failures`
+    /// attempts for an affected `(home, generation)` error, after which
+    /// the write succeeds — the defect bounded retry loops exist for.
+    Transient {
+        /// Per-write probability that the operation fails at least once.
+        prob: f64,
+        /// Most failures injected before the write succeeds (≥ 1).
+        max_failures: u32,
+    },
+    /// Torn write: the frame is truncated at a random byte, as if the
+    /// process (or the disk) died mid-write. Detected on load as a
+    /// truncation or CRC mismatch.
+    TornWrite {
+        /// Per-write probability of tearing the frame.
+        prob: f64,
+    },
+    /// Bit rot: one byte of the stored frame is XOR-flipped. The frame
+    /// CRC guarantees any single-byte flip is detected on load.
+    BitFlip {
+        /// Per-write probability of flipping a byte.
+        prob: f64,
+    },
+    /// Stale-generation replay: the write is silently dropped, so the
+    /// previous generation's frame survives in its place — the
+    /// lost-acknowledged-write defect generation counters exist for.
+    StaleReplay {
+        /// Per-write probability of dropping the write.
+        prob: f64,
+    },
+}
+
+impl StoreFault {
+    /// A short stable label, mixed into the fault's derived RNG seed.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StoreFault::Transient { .. } => "transient",
+            StoreFault::TornWrite { .. } => "torn",
+            StoreFault::BitFlip { .. } => "bitflip",
+            StoreFault::StaleReplay { .. } => "stale",
+        }
+    }
+}
+
+/// Per-operation fault decisions for a checkpoint store, derived from
+/// the store faults of a [`FaultPlan`].
+///
+/// The injector is pure: every method is a function of `(plan, seed,
+/// home, generation)` only, so wrapping a store with the same plan and
+/// seed reproduces the same injected corruption bit-for-bit regardless
+/// of operation interleaving.
+///
+/// # Examples
+///
+/// ```
+/// use faults::{FaultPlan, StoreFault, StoreFaultInjector};
+///
+/// let plan = FaultPlan::for_store(vec![StoreFault::BitFlip { prob: 0.5 }]);
+/// let inj = StoreFaultInjector::new(&plan, 42);
+/// let mut frame = vec![0u8; 64];
+/// let hit = inj.corrupt_frame(3, 1, &mut frame).is_some();
+/// // Same (home, generation) — same decision, same corruption.
+/// let mut again = vec![0u8; 64];
+/// assert_eq!(hit, inj.corrupt_frame(3, 1, &mut again).is_some());
+/// assert_eq!(frame, again);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreFaultInjector {
+    faults: Vec<(u64, StoreFault)>,
+}
+
+impl StoreFaultInjector {
+    /// Builds an injector over `plan.store_faults`, deriving one seed
+    /// per fault as `derive_seed(seed, "fault:<index>:<label>")` — the
+    /// same discipline as trace/flow faults, so editing one fault never
+    /// perturbs the randomness of the others.
+    pub fn new(plan: &FaultPlan, seed: u64) -> StoreFaultInjector {
+        StoreFaultInjector {
+            faults: plan
+                .store_faults
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (derive_seed(seed, &format!("fault:{i}:{}", f.label())), *f))
+                .collect(),
+        }
+    }
+
+    /// `true` when the injector holds no faults (every call is a no-op).
+    pub fn is_identity(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    fn rng_for(fault_seed: u64, home: u64, generation: u64) -> SeededRng {
+        seeded_rng(derive_seed(
+            fault_seed,
+            &format!("home:{home}:gen:{generation}"),
+        ))
+    }
+
+    /// Number of injected transient failures before the write of
+    /// `(home, generation)` succeeds: 0 when no transient fault fires,
+    /// otherwise a value in `1..=max_failures`.
+    pub fn transient_put_failures(&self, home: u64, generation: u64) -> u32 {
+        let mut failures = 0;
+        for &(fault_seed, fault) in &self.faults {
+            if let StoreFault::Transient { prob, max_failures } = fault {
+                let mut rng = Self::rng_for(fault_seed, home, generation);
+                if rng.gen::<f64>() < prob {
+                    failures += rng.gen_range(1..=max_failures.max(1));
+                }
+            }
+        }
+        failures
+    }
+
+    /// Whether the write of `(home, generation)` is silently dropped,
+    /// leaving the previous generation's frame in place. Records the
+    /// `faults.store.stale` counter when it fires.
+    pub fn stale_replay(&self, home: u64, generation: u64) -> bool {
+        for &(fault_seed, fault) in &self.faults {
+            if let StoreFault::StaleReplay { prob } = fault {
+                let mut rng = Self::rng_for(fault_seed, home, generation);
+                if rng.gen::<f64>() < prob {
+                    obs::counter_add("faults.store.stale", 1);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Applies torn-write and bit-flip faults to `frame` in plan order,
+    /// returning the label of the last fault that fired (`None` when the
+    /// frame is untouched). Records the `faults.store.corrupted` counter
+    /// per fired fault. Empty frames are never corrupted (there is no
+    /// byte to tear or flip).
+    pub fn corrupt_frame(
+        &self,
+        home: u64,
+        generation: u64,
+        frame: &mut Vec<u8>,
+    ) -> Option<&'static str> {
+        let mut applied = None;
+        for &(fault_seed, fault) in &self.faults {
+            if frame.is_empty() {
+                break;
+            }
+            let mut rng = Self::rng_for(fault_seed, home, generation);
+            match fault {
+                StoreFault::TornWrite { prob } => {
+                    if rng.gen::<f64>() < prob {
+                        let cut = rng.gen_range(0..frame.len());
+                        frame.truncate(cut);
+                        obs::counter_add("faults.store.corrupted", 1);
+                        applied = Some(fault.label());
+                    }
+                }
+                StoreFault::BitFlip { prob } => {
+                    if rng.gen::<f64>() < prob {
+                        let at = rng.gen_range(0..frame.len());
+                        let flip = rng.gen_range(1..=255u8);
+                        frame[at] ^= flip;
+                        obs::counter_add("faults.store.corrupted", 1);
+                        applied = Some(fault.label());
+                    }
+                }
+                StoreFault::Transient { .. } | StoreFault::StaleReplay { .. } => {}
+            }
+        }
+        applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_plan() -> FaultPlan {
+        FaultPlan::for_store(vec![
+            StoreFault::Transient {
+                prob: 0.5,
+                max_failures: 3,
+            },
+            StoreFault::TornWrite { prob: 0.3 },
+            StoreFault::BitFlip { prob: 0.3 },
+            StoreFault::StaleReplay { prob: 0.3 },
+        ])
+    }
+
+    #[test]
+    fn decisions_are_order_independent_and_deterministic() {
+        let a = StoreFaultInjector::new(&full_plan(), 9);
+        let b = StoreFaultInjector::new(&full_plan(), 9);
+        // Query b in a scrambled order — decisions must not change.
+        let keys: Vec<(u64, u64)> = (0..50).map(|i| (i % 7, i / 7)).collect();
+        let forward: Vec<u32> = keys
+            .iter()
+            .map(|&(h, g)| a.transient_put_failures(h, g))
+            .collect();
+        let backward: Vec<u32> = keys
+            .iter()
+            .rev()
+            .map(|&(h, g)| b.transient_put_failures(h, g))
+            .collect();
+        assert_eq!(
+            forward,
+            backward.into_iter().rev().collect::<Vec<_>>(),
+            "per-op decisions must be pure in (home, generation)"
+        );
+        assert!(forward.iter().any(|&k| k > 0), "prob 0.5 must fire");
+        assert!(forward.iter().all(|&k| k <= 3), "bounded by max_failures");
+    }
+
+    #[test]
+    fn corruption_fires_and_reproduces_bit_for_bit() {
+        let inj = StoreFaultInjector::new(&full_plan(), 11);
+        let mut corrupted = 0;
+        for home in 0..40u64 {
+            let original: Vec<u8> = (0..64u32).map(|i| (i * 7 + home as u32) as u8).collect();
+            let mut a = original.clone();
+            let mut b = original.clone();
+            let hit_a = inj.corrupt_frame(home, 2, &mut a);
+            let hit_b = inj.corrupt_frame(home, 2, &mut b);
+            assert_eq!(hit_a, hit_b);
+            assert_eq!(a, b, "home {home}: corruption must be reproducible");
+            if hit_a.is_some() {
+                corrupted += 1;
+                assert_ne!(a, original, "a fired fault must change the frame");
+            }
+        }
+        assert!(corrupted > 0, "0.3 torn + 0.3 flip over 40 homes must hit");
+    }
+
+    #[test]
+    fn seeds_decorrelate_and_identity_plan_is_inert() {
+        let a = StoreFaultInjector::new(&full_plan(), 1);
+        let b = StoreFaultInjector::new(&full_plan(), 2);
+        let hits = |inj: &StoreFaultInjector| -> Vec<bool> {
+            (0..64u64.pow(2))
+                .map(|i| inj.stale_replay(i % 64, i / 64))
+                .collect()
+        };
+        assert_ne!(hits(&a), hits(&b), "different seeds must differ");
+
+        let none = StoreFaultInjector::new(&FaultPlan::default(), 1);
+        assert!(none.is_identity());
+        let mut frame = vec![1, 2, 3];
+        assert!(none.corrupt_frame(0, 0, &mut frame).is_none());
+        assert_eq!(frame, vec![1, 2, 3]);
+        assert_eq!(none.transient_put_failures(0, 0), 0);
+        assert!(!none.stale_replay(0, 0));
+    }
+
+    #[test]
+    fn empty_frames_are_never_corrupted() {
+        let inj = StoreFaultInjector::new(
+            &FaultPlan::for_store(vec![StoreFault::TornWrite { prob: 1.0 }]),
+            3,
+        );
+        let mut frame = Vec::new();
+        assert!(inj.corrupt_frame(5, 5, &mut frame).is_none());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        for (fault, label) in [
+            (
+                StoreFault::Transient {
+                    prob: 0.1,
+                    max_failures: 1,
+                },
+                "transient",
+            ),
+            (StoreFault::TornWrite { prob: 0.1 }, "torn"),
+            (StoreFault::BitFlip { prob: 0.1 }, "bitflip"),
+            (StoreFault::StaleReplay { prob: 0.1 }, "stale"),
+        ] {
+            assert_eq!(fault.label(), label);
+        }
+    }
+}

@@ -26,26 +26,65 @@ use timeseries::Summary;
 pub const MAGIC: [u8; 4] = *b"FDC1";
 
 /// Why a byte buffer failed to decode as a checkpoint.
+///
+/// Every variant carries the byte offset it is anchored at (see
+/// [`CodecError::offset`]) so recovery logs can name *where* a stored
+/// record went bad, not just that it did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CodecError {
-    /// Buffer ended before the structure it promised.
-    Truncated,
+    /// Buffer ended before the structure it promised; `offset` is the
+    /// position of the field that could not be read.
+    Truncated {
+        /// Byte position at which more input was required.
+        offset: usize,
+    },
     /// The buffer doesn't start with [`MAGIC`].
     BadMagic,
-    /// Unknown fill-automaton tag.
-    BadFillTag(u8),
-    /// Bytes remain after a complete checkpoint.
-    TrailingBytes(usize),
+    /// Unknown fill-automaton tag at `offset`.
+    BadFillTag {
+        /// The unrecognized tag byte.
+        tag: u8,
+        /// Byte position of the tag.
+        offset: usize,
+    },
+    /// Bytes remain after a complete checkpoint ending at `offset`.
+    TrailingBytes {
+        /// Byte position where the checkpoint ended.
+        offset: usize,
+        /// Number of surplus bytes.
+        trailing: usize,
+    },
+}
+
+impl CodecError {
+    /// Byte offset the error is anchored at: where input ran out, where
+    /// the bad tag sits, or where surplus bytes begin (0 for a bad
+    /// magic).
+    pub fn offset(&self) -> usize {
+        match *self {
+            CodecError::Truncated { offset } => offset,
+            CodecError::BadMagic => 0,
+            CodecError::BadFillTag { offset, .. } => offset,
+            CodecError::TrailingBytes { offset, .. } => offset,
+        }
+    }
 }
 
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CodecError::Truncated => write!(f, "checkpoint buffer truncated"),
-            CodecError::BadMagic => write!(f, "checkpoint magic mismatch"),
-            CodecError::BadFillTag(t) => write!(f, "unknown fill tag {t}"),
-            CodecError::TrailingBytes(n) => {
-                write!(f, "{n} trailing bytes after checkpoint")
+            CodecError::Truncated { offset } => {
+                write!(f, "checkpoint buffer truncated at byte {offset}")
+            }
+            CodecError::BadMagic => write!(f, "checkpoint magic mismatch at byte 0"),
+            CodecError::BadFillTag { tag, offset } => {
+                write!(f, "unknown fill tag {tag} at byte {offset}")
+            }
+            CodecError::TrailingBytes { offset, trailing } => {
+                write!(
+                    f,
+                    "{trailing} trailing bytes after checkpoint end at byte {offset}"
+                )
             }
         }
     }
@@ -108,9 +147,12 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        let end = self.at.checked_add(n).ok_or(CodecError::Truncated)?;
+        let end = self
+            .at
+            .checked_add(n)
+            .ok_or(CodecError::Truncated { offset: self.at })?;
         if end > self.buf.len() {
-            return Err(CodecError::Truncated);
+            return Err(CodecError::Truncated { offset: self.at });
         }
         let s = &self.buf[self.at..end];
         self.at = end;
@@ -145,6 +187,7 @@ pub fn decode(bytes: &[u8]) -> Result<WindowCheckpoint, CodecError> {
     if r.take(4)? != MAGIC {
         return Err(CodecError::BadMagic);
     }
+    let tag_at = r.at;
     let tag = r.u8()?;
     let payload = r.u64()?;
     let fill = match tag {
@@ -152,7 +195,12 @@ pub fn decode(bytes: &[u8]) -> Result<WindowCheckpoint, CodecError> {
         1 => FillCheckpoint::Zero,
         2 => FillCheckpoint::HoldPending(payload),
         3 => FillCheckpoint::HoldLast(f64::from_bits(payload)),
-        t => return Err(CodecError::BadFillTag(t)),
+        tag => {
+            return Err(CodecError::BadFillTag {
+                tag,
+                offset: tag_at,
+            })
+        }
     };
     let next_start = r.u64()?;
     let open_len = r.u32()? as usize;
@@ -181,7 +229,10 @@ pub fn decode(bytes: &[u8]) -> Result<WindowCheckpoint, CodecError> {
         ));
     }
     if r.at != bytes.len() {
-        return Err(CodecError::TrailingBytes(bytes.len() - r.at));
+        return Err(CodecError::TrailingBytes {
+            offset: r.at,
+            trailing: bytes.len() - r.at,
+        });
     }
     Ok(WindowCheckpoint {
         fill,
@@ -262,17 +313,27 @@ mod tests {
     #[test]
     fn malformed_buffers_error_not_panic() {
         let good = encode(&sample_checkpoint());
-        assert_eq!(decode(&[]), Err(CodecError::Truncated));
+        assert_eq!(decode(&[]), Err(CodecError::Truncated { offset: 0 }));
         assert_eq!(decode(b"NOPE"), Err(CodecError::BadMagic));
         for cut in 0..good.len() {
-            assert!(decode(&good[..cut]).is_err(), "cut {cut}");
+            let err = decode(&good[..cut]).expect_err("every prefix must fail");
+            assert!(err.offset() <= cut, "cut {cut}: {err}");
         }
         let mut trailing = good.clone();
         trailing.push(0);
-        assert_eq!(decode(&trailing), Err(CodecError::TrailingBytes(1)));
+        assert_eq!(
+            decode(&trailing),
+            Err(CodecError::TrailingBytes {
+                offset: good.len(),
+                trailing: 1
+            })
+        );
         let mut bad_tag = good.clone();
         bad_tag[4] = 9;
-        assert_eq!(decode(&bad_tag), Err(CodecError::BadFillTag(9)));
+        assert_eq!(
+            decode(&bad_tag),
+            Err(CodecError::BadFillTag { tag: 9, offset: 4 })
+        );
     }
 
     #[test]
@@ -285,6 +346,11 @@ mod tests {
         bytes.extend_from_slice(&0u64.to_le_bytes());
         bytes.extend_from_slice(&0u64.to_le_bytes());
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
-        assert_eq!(decode(&bytes), Err(CodecError::Truncated));
+        assert_eq!(
+            decode(&bytes),
+            Err(CodecError::Truncated {
+                offset: bytes.len()
+            })
+        );
     }
 }

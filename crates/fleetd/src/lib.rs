@@ -38,6 +38,17 @@
 //! reports both, and `fleet_scale` pins `bytes/home` as a conformance
 //! claim (`fleet.resident-bytes-per-home`).
 //!
+//! # Durability and crash recovery
+//!
+//! The cold tier is a pluggable [`store::CheckpointStore`]: in-memory
+//! by default ([`StoreConfig::Memory`]), or file-backed with atomic
+//! writes, CRC32-framed generation-stamped records, and a per-round
+//! committed manifest ([`StoreConfig::Durable`]) so a crashed service
+//! [`recover`](FleetService::recover)s byte-identically. Storage
+//! defects (modelled by [`faults::StoreFault`]) surface as typed
+//! [`StoreError`]s and are retried, rebuilt in degraded mode, or
+//! quarantined per [`RecoveryPolicy`] — see `docs/FLEET.md`.
+//!
 //! # Observability
 //!
 //! Admission and lifecycle emit `fleetd.*` counters/gauges into the
@@ -53,8 +64,13 @@ mod extrap;
 mod gen;
 mod metrics;
 mod service;
+pub mod store;
 
 pub use extrap::{extrapolate, top_rung, Extrapolation, Observation};
 pub use gen::synthetic_chunk;
-pub use metrics::{write_prometheus, MetricsServer};
-pub use service::{FleetDigest, FleetService, FleetdConfig, MemoryStats};
+pub use metrics::{write_prometheus, MetricsServer, ServeError};
+pub use service::{
+    FleetDigest, FleetService, FleetdConfig, MemoryStats, RecoverError, RecoveryPolicy,
+    RecoveryReport, StoreConfig,
+};
+pub use store::{CheckpointStore, DurableStore, FaultyStore, MemoryStore, StoreError};

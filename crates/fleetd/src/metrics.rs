@@ -14,6 +14,41 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default per-connection read timeout of the accept loop.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Why serving one scrape connection failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The client connected but sent no complete request within the
+    /// read timeout — the slow-loris shape that used to wedge the
+    /// single-threaded accept loop forever.
+    Timeout,
+    /// Any other socket failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Timeout => write!(f, "client sent no request within the read timeout"),
+            ServeError::Io(e) => write!(f, "scrape connection failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ServeError::Timeout,
+            _ => ServeError::Io(e),
+        }
+    }
+}
 
 /// A background thread serving `GET /metrics` on a loopback port.
 ///
@@ -36,12 +71,27 @@ pub struct MetricsServer {
 
 impl MetricsServer {
     /// Binds `127.0.0.1:0` (an OS-assigned free port) and starts
-    /// serving scrapes on a background thread.
+    /// serving scrapes on a background thread, with the default
+    /// 2-second read timeout per connection.
     ///
     /// # Errors
     ///
     /// Propagates the bind failure (e.g. no loopback available).
     pub fn bind() -> std::io::Result<MetricsServer> {
+        Self::bind_with_read_timeout(DEFAULT_READ_TIMEOUT)
+    }
+
+    /// [`bind`](Self::bind) with an explicit per-connection read
+    /// timeout: a client that connects and never sends a complete
+    /// request is dropped with [`ServeError::Timeout`] after
+    /// `read_timeout` instead of wedging the single-threaded accept
+    /// loop forever. Timed-out connections are counted on the
+    /// `fleetd.scrape_timeouts` obs counter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_with_read_timeout(read_timeout: Duration) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -52,7 +102,9 @@ impl MetricsServer {
                     break;
                 }
                 if let Ok(stream) = conn {
-                    let _ = serve_one(stream);
+                    if let Err(ServeError::Timeout) = serve_one(stream, read_timeout) {
+                        obs::counter_add("fleetd.scrape_timeouts", 1);
+                    }
                 }
             }
         });
@@ -124,7 +176,10 @@ impl Drop for MetricsServer {
     }
 }
 
-fn serve_one(stream: TcpStream) -> std::io::Result<()> {
+fn serve_one(stream: TcpStream, read_timeout: Duration) -> Result<(), ServeError> {
+    // A zero Duration would mean "no timeout" to the OS — clamp to the
+    // smallest effective value instead so the loop stays unwedgeable.
+    stream.set_read_timeout(Some(read_timeout.max(Duration::from_millis(1))))?;
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
@@ -151,7 +206,8 @@ fn serve_one(stream: TcpStream) -> std::io::Result<()> {
         stream,
         "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
-    )
+    )?;
+    Ok(())
 }
 
 /// Dumps the global registry's Prometheus text rendering to `path` —

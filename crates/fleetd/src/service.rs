@@ -3,20 +3,72 @@
 //! A [`FleetService`] owns a fixed number of shards; each home belongs
 //! to shard `home % shards` forever. A shard holds its homes in one of
 //! two tiers: **resident** (a live [`ThresholdStream`] whose size is
-//! measured by [`StreamState::state_bytes`]) or **cold** (the
-//! [`codec`](crate::codec)-encoded compact checkpoint, costing exactly
-//! its byte length). Admission rounds feed every home a chunk,
-//! rehydrating cold homes on demand and evicting back down to the
-//! residency cap afterwards — so steady-state memory is O(resident cap)
-//! live streams plus O(homes) compact checkpoints, not O(homes) live
-//! streams.
+//! measured by [`StreamState::state_bytes`]) or **cold** (a CRC-framed,
+//! generation-stamped [`codec`](crate::codec) checkpoint held in the
+//! shard's pluggable [`CheckpointStore`]). Admission rounds feed every
+//! home a chunk, rehydrating cold homes on demand and evicting back
+//! down to the residency cap afterwards — so steady-state memory is
+//! O(resident cap) live streams plus O(homes) compact checkpoints, not
+//! O(homes) live streams.
+//!
+//! # Durability and recovery
+//!
+//! With [`StoreConfig::Durable`], every round additionally write-syncs
+//! each resident home's frame and commits a fleet [`Manifest`], so a
+//! crashed service can be [`recover`](FleetService::recover)ed from
+//! disk and continue byte-identically to an uninterrupted run. Store
+//! defects surface as typed [`StoreError`]s: transient write failures
+//! are retried with bounded backoff (`fleet.store_retries`), and
+//! unrecoverable records are either replayed from re-admitted readings
+//! ([`RecoveryPolicy::Rebuild`], `fleet.store_rebuilds`) or excluded
+//! with their error preserved ([`RecoveryPolicy::Quarantine`],
+//! `fleet.store_quarantined`) — the storage-side mirror of the PR 4
+//! supervisor's panic quarantine. `docs/FLEET.md` documents the full
+//! lifecycle.
 
 use crate::codec;
+use crate::store::{
+    self, shard_dir, CheckpointStore, DurableStore, FaultyStore, Manifest, MemoryStore, StoreError,
+};
+use faults::{FaultPlan, StoreFaultInjector};
 use niom::ThresholdDetector;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
 use stream::{Sample, StreamFill, StreamSpec, StreamState, ThresholdStream};
 use timeseries::rng::derive_seed;
 use timeseries::{LabelSeries, Resolution, Timestamp};
+
+/// Where the fleet keeps its cold-tier checkpoint frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreConfig {
+    /// Frames live in process memory (today's behavior; survives
+    /// nothing, costs no IO).
+    Memory,
+    /// Frames live in per-shard directories under `root`, written
+    /// atomically, with a round-committed [`Manifest`] — the
+    /// crash-recoverable mode.
+    Durable {
+        /// Fleet root directory (created, or wiped by
+        /// [`FleetService::new`], reopened by
+        /// [`FleetService::recover`]).
+        root: PathBuf,
+    },
+}
+
+/// What to do with a home whose stored checkpoint is unrecoverable
+/// (corrupt frame, stale generation, lost file, persistent IO error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Degraded-mode rebuild: re-derive the home's stream by replaying
+    /// its readings for every completed round through the same
+    /// generator — byte-identical to the lost state because admission
+    /// is a pure function of `(root_seed, home, round)`.
+    Rebuild,
+    /// Exclude the home from admission and digests, preserving the
+    /// typed [`StoreError`] in the quarantine report (the PR 4
+    /// supervisor semantics, applied to storage).
+    Quarantine,
+}
 
 /// Configuration of a resident fleet service.
 #[derive(Debug, Clone)]
@@ -38,6 +90,21 @@ pub struct FleetdConfig {
     /// Root seed from which per-home seeds derive
     /// (`derive_seed(root, "home:<i>")` — the fleet engine's scheme).
     pub root_seed: u64,
+    /// Cold-tier backend.
+    pub store: StoreConfig,
+    /// Policy for unrecoverable checkpoints.
+    pub recovery: RecoveryPolicy,
+    /// Bounded retries per store write on transient errors.
+    pub max_store_retries: u32,
+    /// Base backoff between retries, doubled per attempt. Zero (the
+    /// default) keeps tests and experiments fast; outputs never depend
+    /// on it.
+    pub retry_backoff_ms: u64,
+    /// Injected storage faults (identity by default). The injector is
+    /// seeded `derive_seed(root_seed, "store-faults")` and keys every
+    /// decision on `(home, generation)`, so faulted runs stay
+    /// deterministic at any thread count.
+    pub store_faults: FaultPlan,
 }
 
 impl Default for FleetdConfig {
@@ -49,6 +116,11 @@ impl Default for FleetdConfig {
             shards: 64,
             resident_cap: None,
             root_seed: 7,
+            store: StoreConfig::Memory,
+            recovery: RecoveryPolicy::Rebuild,
+            max_store_retries: 4,
+            retry_backoff_ms: 0,
+            store_faults: FaultPlan::default(),
         }
     }
 }
@@ -58,6 +130,30 @@ impl FleetdConfig {
         self.resident_cap
             .map(|cap| (cap.div_ceil(self.shards)).max(1))
     }
+
+    fn durable_root(&self) -> Option<&PathBuf> {
+        match &self.store {
+            StoreConfig::Memory => None,
+            StoreConfig::Durable { root } => Some(root),
+        }
+    }
+
+    /// Builds shard `idx`'s store stack: the configured backend, fault-
+    /// wrapped when the plan injects store faults.
+    fn make_store(&self, idx: usize) -> std::io::Result<Box<dyn CheckpointStore>> {
+        let base: Box<dyn CheckpointStore> = match &self.store {
+            StoreConfig::Memory => Box::new(MemoryStore::new()),
+            StoreConfig::Durable { root } => Box::new(DurableStore::open(shard_dir(root, idx))?),
+        };
+        if self.store_faults.store_faults.is_empty() {
+            return Ok(base);
+        }
+        let injector = StoreFaultInjector::new(
+            &self.store_faults,
+            derive_seed(self.root_seed, "store-faults"),
+        );
+        Ok(Box::new(FaultyStore::new(base, injector)))
+    }
 }
 
 /// Point-in-time memory accounting of the fleet, split by tier.
@@ -65,11 +161,11 @@ impl FleetdConfig {
 pub struct MemoryStats {
     /// Homes currently holding a live stream.
     pub resident_homes: usize,
-    /// Homes currently evicted to an encoded checkpoint.
+    /// Homes currently evicted to an encoded checkpoint frame.
     pub cold_homes: usize,
     /// Bytes of live stream state ([`StreamState::state_bytes`] summed).
     pub resident_bytes: usize,
-    /// Bytes of encoded cold checkpoints.
+    /// Bytes of encoded cold checkpoint frames (header + CRC included).
     pub cold_bytes: usize,
 }
 
@@ -93,7 +189,8 @@ impl MemoryStats {
 /// series: homes are folded in index order, so two services that
 /// processed the same readings — at any thread count, with any eviction
 /// history — produce the same digest iff every home's output is
-/// byte-identical.
+/// byte-identical. Quarantined homes are excluded (and reduce
+/// [`FleetDigest::homes`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FleetDigest {
     /// Homes folded into the digest.
@@ -120,80 +217,387 @@ fn fnv_u64(mut h: u64, v: u64) -> u64 {
     h
 }
 
-/// One shard: the resident and cold tiers of its homes, plus lifecycle
-/// counters. Homes in `resident` and `cold` are always disjoint.
-#[derive(Debug, Clone, Default)]
+/// What [`FleetService::recover`] found in the durable store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Homes whose frame validated at the manifest generation.
+    pub recovered: usize,
+    /// Homes scheduled for degraded-mode rebuild (replayed on their
+    /// next admission, or by [`FleetService::scrub`]).
+    pub scheduled_rebuilds: usize,
+    /// Homes quarantined with their typed error, home order.
+    pub quarantined: Vec<(usize, StoreError)>,
+}
+
+/// Why [`FleetService::recover`] could not reopen a fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The config's store is [`StoreConfig::Memory`] — nothing to
+    /// recover from.
+    NotDurable,
+    /// The manifest is missing, unreadable, or fails validation.
+    Manifest(String),
+    /// A shard store could not be opened.
+    Io(String),
+    /// The manifest disagrees with the config on a field that is part
+    /// of the fleet's deterministic identity.
+    ConfigMismatch {
+        /// Disagreeing field (`"shards"`, `"root_seed"`).
+        field: &'static str,
+        /// Value recorded in the manifest.
+        manifest: u64,
+        /// Value in the supplied config.
+        config: u64,
+    },
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::NotDurable => write!(f, "config has no durable store to recover from"),
+            RecoverError::Manifest(detail) => write!(f, "manifest unusable: {detail}"),
+            RecoverError::Io(detail) => write!(f, "shard store unusable: {detail}"),
+            RecoverError::ConfigMismatch {
+                field,
+                manifest,
+                config,
+            } => write!(
+                f,
+                "config {field} = {config} but durable fleet was written with {manifest}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// One shard: the resident tier, the pluggable cold store, the
+/// quarantine ledger, and lifecycle counters. A home is in exactly one
+/// of: resident, cold (a store frame), scheduled-for-rebuild, or
+/// quarantined.
+#[derive(Debug)]
 struct Shard {
     resident: BTreeMap<usize, ThresholdStream>,
-    cold: BTreeMap<usize, Vec<u8>>,
+    cold: Box<dyn CheckpointStore>,
+    rebuild: BTreeSet<usize>,
+    quarantined: BTreeMap<usize, StoreError>,
     samples: u64,
     evictions: u64,
     rehydrations: u64,
+    rebuilds: u64,
+    retries: u64,
 }
 
 impl Shard {
-    /// Moves home `home` into the resident tier (decoding its cold
-    /// checkpoint or starting a fresh stream) and returns it.
-    fn rehydrate(&mut self, home: usize, cfg: &FleetdConfig) -> &mut ThresholdStream {
-        if !self.resident.contains_key(&home) {
-            let stream = match self.cold.remove(&home) {
-                Some(bytes) => {
-                    self.rehydrations += 1;
-                    let cp = codec::decode(&bytes).expect("cold store holds valid checkpoints");
-                    ThresholdStream::from_compact(cfg.detector.clone(), cfg.spec, &cp)
-                }
-                None => ThresholdStream::new(cfg.detector.clone(), cfg.spec).with_fill(cfg.fill),
-            };
-            self.resident.insert(home, stream);
+    fn new(cold: Box<dyn CheckpointStore>) -> Shard {
+        Shard {
+            resident: BTreeMap::new(),
+            cold,
+            rebuild: BTreeSet::new(),
+            quarantined: BTreeMap::new(),
+            samples: 0,
+            evictions: 0,
+            rehydrations: 0,
+            rebuilds: 0,
+            retries: 0,
         }
-        self.resident.get_mut(&home).expect("just inserted")
     }
 
-    /// Evicts lowest-index homes until at most `cap` remain resident.
-    fn evict_to(&mut self, cap: usize) {
+    /// Re-derives `home`'s stream by replaying every completed round
+    /// (`0..rounds`) through the admission generator — the degraded-
+    /// mode rebuild. Byte-identical to the lost state because chunk
+    /// generation is a pure function of `(root_seed, home, round)`.
+    fn replay<F>(home: usize, rounds: u64, cfg: &FleetdConfig, gen: &F) -> ThresholdStream
+    where
+        F: Fn(u64, u64, &mut Vec<Sample>),
+    {
+        let mut stream = ThresholdStream::new(cfg.detector.clone(), cfg.spec).with_fill(cfg.fill);
+        let seed = derive_seed(cfg.root_seed, &format!("home:{home}"));
+        let mut chunk = Vec::new();
+        for round in 0..rounds {
+            gen(seed, round, &mut chunk);
+            stream.feed(&chunk);
+        }
+        stream
+    }
+
+    fn quarantine(&mut self, home: usize, err: StoreError) {
+        obs::counter_add("fleet.store_quarantined", 1);
+        self.cold.remove(home);
+        self.resident.remove(&home);
+        self.rebuild.remove(&home);
+        self.quarantined.insert(home, err);
+    }
+
+    /// Writes `frame` with bounded retries on transient errors.
+    fn put_with_retry(
+        cold: &mut Box<dyn CheckpointStore>,
+        retries: &mut u64,
+        cfg: &FleetdConfig,
+        home: usize,
+        generation: u64,
+        frame: &[u8],
+    ) -> Result<(), StoreError> {
+        let mut attempt = 0;
+        loop {
+            match cold.put(home, generation, frame) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < cfg.max_store_retries => {
+                    attempt += 1;
+                    *retries += 1;
+                    obs::counter_add("fleet.store_retries", 1);
+                    if cfg.retry_backoff_ms > 0 {
+                        let shift = (attempt - 1).min(6);
+                        std::thread::sleep(std::time::Duration::from_millis(
+                            cfg.retry_backoff_ms << shift,
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Makes `home` resident for the admission of `round` (loading,
+    /// rebuilding, or starting fresh). Returns `false` iff the home
+    /// ended up quarantined.
+    fn make_resident<F>(&mut self, home: usize, round: u64, cfg: &FleetdConfig, gen: &F) -> bool
+    where
+        F: Fn(u64, u64, &mut Vec<Sample>),
+    {
+        if self.resident.contains_key(&home) {
+            return true;
+        }
+        if self.rebuild.remove(&home) {
+            self.rebuilds += 1;
+            obs::counter_add("fleet.store_rebuilds", 1);
+            self.resident
+                .insert(home, Self::replay(home, round, cfg, gen));
+            return true;
+        }
+        let verdict = match self.cold.get(home) {
+            Ok(Some(bytes)) => store::validate_frame(&bytes, home, round).map(Some),
+            // Rounds are sequential from 0 and every home is fed every
+            // round, so a missing frame after round 0 is a lost record.
+            Ok(None) if round == 0 => Ok(None),
+            Ok(None) => Err(StoreError::Missing { home }),
+            Err(e) => Err(e),
+        };
+        match verdict {
+            Ok(Some(cp)) => {
+                self.rehydrations += 1;
+                self.cold.remove(home);
+                self.resident.insert(
+                    home,
+                    ThresholdStream::from_compact(cfg.detector.clone(), cfg.spec, &cp),
+                );
+                true
+            }
+            Ok(None) => {
+                self.resident.insert(
+                    home,
+                    ThresholdStream::new(cfg.detector.clone(), cfg.spec).with_fill(cfg.fill),
+                );
+                true
+            }
+            Err(err) => match cfg.recovery {
+                RecoveryPolicy::Rebuild => {
+                    self.rebuilds += 1;
+                    obs::counter_add("fleet.store_rebuilds", 1);
+                    self.cold.remove(home);
+                    self.resident
+                        .insert(home, Self::replay(home, round, cfg, gen));
+                    true
+                }
+                RecoveryPolicy::Quarantine => {
+                    self.quarantine(home, err);
+                    false
+                }
+            },
+        }
+    }
+
+    /// Evicts lowest-index homes until at most `cap` remain resident,
+    /// framing each at `write_gen`. A home whose frame cannot be
+    /// written even after retries has lost its durable copy *and* its
+    /// live stream — it is quarantined with the write error.
+    fn evict_to(&mut self, cap: usize, write_gen: u64, cfg: &FleetdConfig) {
         while self.resident.len() > cap {
             let (&home, _) = self.resident.iter().next().expect("len > cap >= 0");
             let stream = self.resident.remove(&home).expect("key just observed");
-            self.cold
-                .insert(home, codec::encode(&stream.compact_checkpoint()));
-            self.evictions += 1;
+            let frame = store::encode_frame(
+                home as u64,
+                write_gen,
+                &codec::encode(&stream.compact_checkpoint()),
+            );
+            match Self::put_with_retry(
+                &mut self.cold,
+                &mut self.retries,
+                cfg,
+                home,
+                write_gen,
+                &frame,
+            ) {
+                Ok(()) => self.evictions += 1,
+                Err(err) => self.quarantine(home, err),
+            }
         }
     }
 
-    /// Feeds this round's chunk to every home of the shard, in home
-    /// order, then enforces the residency cap.
+    /// Write-syncs every resident home's frame at `write_gen` (durable
+    /// mode only): after this, the store holds a current frame for
+    /// every non-quarantined home, which is what makes the round
+    /// recoverable.
+    fn sync_resident(&mut self, write_gen: u64, cfg: &FleetdConfig) {
+        let homes: Vec<usize> = self.resident.keys().copied().collect();
+        for home in homes {
+            let frame = store::encode_frame(
+                home as u64,
+                write_gen,
+                &codec::encode(&self.resident[&home].compact_checkpoint()),
+            );
+            if let Err(err) = Self::put_with_retry(
+                &mut self.cold,
+                &mut self.retries,
+                cfg,
+                home,
+                write_gen,
+                &frame,
+            ) {
+                self.quarantine(home, err);
+            }
+        }
+    }
+
+    /// Feeds this round's chunk to every non-quarantined home of the
+    /// shard, in home order, then enforces the residency cap and (in
+    /// durable mode) write-syncs the survivors.
     fn admit_round<F>(&mut self, shard_homes: &[usize], round: u64, cfg: &FleetdConfig, gen: &F)
     where
         F: Fn(u64, u64, &mut Vec<Sample>),
     {
+        let write_gen = round + 1;
         let mut chunk = Vec::new();
         for &home in shard_homes {
+            if self.quarantined.contains_key(&home) {
+                continue;
+            }
+            if !self.make_resident(home, round, cfg, gen) {
+                continue;
+            }
             gen(
                 derive_seed(cfg.root_seed, &format!("home:{home}")),
                 round,
                 &mut chunk,
             );
-            let report = self.rehydrate(home, cfg).feed(&chunk);
+            let report = self
+                .resident
+                .get_mut(&home)
+                .expect("made resident")
+                .feed(&chunk);
             self.samples += report.items as u64;
         }
         if let Some(cap) = cfg.shard_cap() {
-            self.evict_to(cap);
+            self.evict_to(cap, write_gen, cfg);
+        }
+        if cfg.durable_root().is_some() {
+            self.sync_resident(write_gen, cfg);
         }
     }
 
-    /// `(index, finalized series)` for every home of the shard, resident
-    /// or cold, in index order. Cold homes are decoded into a transient
-    /// stream; the shard is not mutated.
-    fn finalize_homes(&self, cfg: &FleetdConfig) -> Vec<(usize, LabelSeries)> {
+    /// Validates every cold, non-quarantined home's frame at
+    /// `expected_gen`, applying the recovery policy to anything
+    /// unrecoverable (including homes scheduled for rebuild). Returns
+    /// `(rebuilt, newly_quarantined)`.
+    fn scrub<F>(
+        &mut self,
+        shard_homes: &[usize],
+        expected_gen: u64,
+        cfg: &FleetdConfig,
+        gen: &F,
+    ) -> (usize, usize)
+    where
+        F: Fn(u64, u64, &mut Vec<Sample>),
+    {
+        let (mut rebuilt, mut newly_quarantined) = (0, 0);
+        for &home in shard_homes {
+            if self.resident.contains_key(&home) || self.quarantined.contains_key(&home) {
+                continue;
+            }
+            let verdict = match self.cold.get(home) {
+                Ok(Some(bytes)) => store::validate_frame(&bytes, home, expected_gen).map(|_| ()),
+                Ok(None) if expected_gen == 0 && !self.rebuild.contains(&home) => Ok(()),
+                Ok(None) => Err(StoreError::Missing { home }),
+                Err(e) => Err(e),
+            };
+            let Err(err) = verdict else {
+                self.rebuild.remove(&home);
+                continue;
+            };
+            match cfg.recovery {
+                RecoveryPolicy::Rebuild => {
+                    // Rebuild into resident state rather than re-writing
+                    // the frame: store-fault decisions are deterministic
+                    // per (home, generation), so a re-put at the same
+                    // generation would be corrupted identically. Degraded
+                    // mode holds the home in memory — possibly above the
+                    // residency cap — until the next round evicts it at a
+                    // fresh generation.
+                    let stream = Self::replay(home, expected_gen, cfg, gen);
+                    self.cold.remove(home);
+                    self.resident.insert(home, stream);
+                    self.rebuild.remove(&home);
+                    self.rebuilds += 1;
+                    obs::counter_add("fleet.store_rebuilds", 1);
+                    rebuilt += 1;
+                }
+                RecoveryPolicy::Quarantine => {
+                    self.quarantine(home, err);
+                    newly_quarantined += 1;
+                }
+            }
+        }
+        (rebuilt, newly_quarantined)
+    }
+
+    /// `(index, finalized series)` for every non-quarantined home of
+    /// the shard, resident or cold, in index order. Cold homes are
+    /// decoded into a transient stream; the shard is not mutated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cold frame fails validation at `expected_gen` —
+    /// run [`FleetService::scrub`] (or recover) first when store faults
+    /// may have corrupted frames since the last admission.
+    fn finalize_homes(&self, expected_gen: u64, cfg: &FleetdConfig) -> Vec<(usize, LabelSeries)> {
         let mut out: Vec<(usize, LabelSeries)> = self
             .resident
             .iter()
             .map(|(&home, s)| (home, s.finalize()))
-            .chain(self.cold.iter().map(|(&home, bytes)| {
-                let cp = codec::decode(bytes).expect("cold store holds valid checkpoints");
-                let s = ThresholdStream::from_compact(cfg.detector.clone(), cfg.spec, &cp);
-                (home, s.finalize())
-            }))
+            .chain(
+                self.cold
+                    .contents()
+                    .into_iter()
+                    .filter(|(home, _)| {
+                        !self.resident.contains_key(home) && !self.quarantined.contains_key(home)
+                    })
+                    .map(|(home, _)| {
+                        let bytes = self
+                            .cold
+                            .get(home)
+                            .expect("listed frame must be readable")
+                            .expect("listed frame must exist");
+                        let cp = match store::validate_frame(&bytes, home, expected_gen) {
+                            Ok(cp) => cp,
+                            Err(e) => panic!(
+                                "cold frame for home {home} unrecoverable ({e}); \
+                                 scrub or recover the fleet before finalizing"
+                            ),
+                        };
+                        let s = ThresholdStream::from_compact(cfg.detector.clone(), cfg.spec, &cp);
+                        (home, s.finalize())
+                    }),
+            )
             .collect();
         out.sort_unstable_by_key(|&(home, _)| home);
         out
@@ -201,7 +605,8 @@ impl Shard {
 }
 
 /// A long-lived, sharded fleet of streaming occupancy detectors — see
-/// the [crate docs](crate) and `docs/FLEET.md` for the architecture.
+/// the [crate docs](crate) and `docs/FLEET.md` for the architecture and
+/// the recovery lifecycle.
 ///
 /// # Examples
 ///
@@ -221,7 +626,7 @@ impl Shard {
 /// assert!(a.memory().cold_homes > 0);
 /// assert_eq!(a.digest(), b.digest()); // eviction is invisible to output
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FleetService {
     cfg: FleetdConfig,
     homes: usize,
@@ -233,18 +638,132 @@ impl FleetService {
     /// Creates a service managing homes `0..homes`. No stream state is
     /// allocated until a home's first admitted chunk.
     ///
+    /// A durable config **initializes a fresh fleet**: any existing
+    /// state under the root directory is removed and a zero-round
+    /// manifest committed. Use [`recover`](Self::recover) to resume an
+    /// interrupted fleet instead.
+    ///
     /// # Panics
     ///
-    /// Panics if `cfg.shards` is zero.
+    /// Panics if `cfg.shards` is zero, or if a durable root cannot be
+    /// created and written.
     pub fn new(cfg: FleetdConfig, homes: usize) -> FleetService {
         assert!(cfg.shards > 0, "a fleet needs at least one shard");
-        let shards = vec![Shard::default(); cfg.shards];
-        FleetService {
+        if let Some(root) = cfg.durable_root() {
+            if root.exists() {
+                std::fs::remove_dir_all(root).expect("stale fleet root must be removable");
+            }
+        }
+        let shards = (0..cfg.shards)
+            .map(|i| Shard::new(cfg.make_store(i).expect("fleet store must be writable")))
+            .collect();
+        let svc = FleetService {
             cfg,
             homes,
             shards,
             rounds: 0,
+        };
+        svc.commit_manifest();
+        svc
+    }
+
+    /// Reopens a durable fleet from its manifest and per-shard frames,
+    /// validating every home's record at the committed generation.
+    ///
+    /// Frames that fail validation (torn, bit-flipped, stale, or from a
+    /// round whose manifest commit never landed) follow
+    /// `cfg.recovery`: rebuild scheduling or quarantine, itemized in
+    /// the returned [`RecoveryReport`]. The recovered service continues
+    /// with `admit_round(rounds(), ..)` and produces output
+    /// byte-identical to a never-interrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError`] if the config is not durable, the manifest is
+    /// missing or invalid, a shard store cannot be opened, or the
+    /// manifest disagrees with the config's `shards`/`root_seed`.
+    pub fn recover(cfg: FleetdConfig) -> Result<(FleetService, RecoveryReport), RecoverError> {
+        let _span = obs::span("fleetd.recover");
+        let root = cfg.durable_root().ok_or(RecoverError::NotDurable)?.clone();
+        let manifest = Manifest::read(&root)
+            .map_err(RecoverError::Manifest)?
+            .ok_or_else(|| RecoverError::Manifest("no manifest file".into()))?;
+        for (field, found, want) in [
+            ("shards", manifest.shards, cfg.shards as u64),
+            ("root_seed", manifest.root_seed, cfg.root_seed),
+        ] {
+            if found != want {
+                return Err(RecoverError::ConfigMismatch {
+                    field,
+                    manifest: found,
+                    config: want,
+                });
+            }
         }
+        if manifest.shard_samples.len() != cfg.shards {
+            return Err(RecoverError::Manifest(format!(
+                "manifest has {} shard sample counters for {} shards",
+                manifest.shard_samples.len(),
+                cfg.shards
+            )));
+        }
+        let homes = manifest.homes as usize;
+        let rounds = manifest.rounds;
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for i in 0..cfg.shards {
+            let mut shard = Shard::new(
+                cfg.make_store(i)
+                    .map_err(|e| RecoverError::Io(e.to_string()))?,
+            );
+            shard.samples = manifest.shard_samples[i];
+            shards.push(shard);
+        }
+        // Validate every home's frame at the committed generation, in
+        // parallel by shard; the verdicts are pure functions of the
+        // stored bytes, so the report is thread-count independent.
+        let cfg_ref = &cfg;
+        let shards = rayon::parallel_map(
+            shards.into_iter().enumerate().collect(),
+            |(i, mut shard)| {
+                let shard_homes: Vec<usize> = (i..homes).step_by(cfg_ref.shards).collect();
+                for home in shard_homes {
+                    let verdict = match shard.cold.get(home) {
+                        Ok(Some(bytes)) => store::validate_frame(&bytes, home, rounds).map(|_| ()),
+                        Ok(None) if rounds == 0 => Ok(()),
+                        Ok(None) => Err(StoreError::Missing { home }),
+                        Err(e) => Err(e),
+                    };
+                    let Err(err) = verdict else { continue };
+                    match cfg_ref.recovery {
+                        RecoveryPolicy::Rebuild => {
+                            shard.cold.remove(home);
+                            shard.rebuild.insert(home);
+                        }
+                        RecoveryPolicy::Quarantine => shard.quarantine(home, err),
+                    }
+                }
+                shard
+            },
+        );
+        let mut report = RecoveryReport::default();
+        for shard in &shards {
+            report.scheduled_rebuilds += shard.rebuild.len();
+            report
+                .quarantined
+                .extend(shard.quarantined.iter().map(|(&h, e)| (h, e.clone())));
+            report.recovered += shard.cold.contents().len();
+        }
+        report.quarantined.sort_unstable_by_key(|&(home, _)| home);
+        obs::gauge_set("fleetd.recovered_homes", report.recovered as f64);
+        Ok((
+            FleetService {
+                cfg,
+                homes,
+                shards,
+                rounds,
+            },
+            report,
+        ))
     }
 
     /// The service's configuration.
@@ -252,7 +771,7 @@ impl FleetService {
         &self.cfg
     }
 
-    /// Homes managed (resident + cold + never-admitted).
+    /// Homes managed (resident + cold + never-admitted + quarantined).
     pub fn homes(&self) -> usize {
         self.homes
     }
@@ -285,7 +804,10 @@ impl FleetService {
     /// Admits one round with a caller-supplied chunk generator, run as
     /// `gen(home_seed, round, &mut chunk)` per home. Shards run in
     /// parallel; within a shard homes are fed in index order, so fleet
-    /// state after the round is independent of thread count.
+    /// state after the round is independent of thread count. Rounds are
+    /// sequential from 0 — in degraded mode the generator is also what
+    /// replays a lost home's completed rounds, so it must be the same
+    /// function every round.
     pub fn admit_round_with<F>(&mut self, round: u64, gen: &F)
     where
         F: Fn(u64, u64, &mut Vec<Sample>) + Sync,
@@ -317,8 +839,69 @@ impl FleetService {
         self.finish_round();
     }
 
+    /// Validates every cold home's frame at the current round counter,
+    /// rebuilding or quarantining anything unrecoverable per the
+    /// recovery policy. Returns `(rebuilt, newly_quarantined)`. Run
+    /// this before digesting a fleet whose final round may have written
+    /// corrupted frames (injected store faults), and after a
+    /// [`recover`](Self::recover) that scheduled rebuilds if no further
+    /// rounds will be admitted.
+    pub fn scrub_with<F>(&mut self, gen: &F) -> (usize, usize)
+    where
+        F: Fn(u64, u64, &mut Vec<Sample>) + Sync,
+    {
+        let _span = obs::span("fleetd.scrub");
+        let cfg = self.cfg.clone();
+        let homes = self.homes;
+        let rounds = self.rounds;
+        let taken = std::mem::take(&mut self.shards);
+        let mut rebuilt = 0;
+        let mut quarantined = 0;
+        let results =
+            rayon::parallel_map(taken.into_iter().enumerate().collect(), |(i, mut shard)| {
+                let shard_homes: Vec<usize> = (i..homes).step_by(cfg.shards).collect();
+                let counts = shard.scrub(&shard_homes, rounds, &cfg, gen);
+                (shard, counts)
+            });
+        self.shards = results
+            .into_iter()
+            .map(|(shard, (r, q))| {
+                rebuilt += r;
+                quarantined += q;
+                shard
+            })
+            .collect();
+        (rebuilt, quarantined)
+    }
+
+    /// [`scrub_with`](Self::scrub_with) over the default
+    /// [`synthetic_chunk`](crate::synthetic_chunk) generator at
+    /// `samples_per_home` per round (must match what
+    /// [`admit_round`](Self::admit_round) was called with).
+    pub fn scrub(&mut self, samples_per_home: usize) -> (usize, usize) {
+        self.scrub_with(&|seed, round, out| {
+            crate::gen::synthetic_chunk(seed, round, samples_per_home, out)
+        })
+    }
+
+    fn commit_manifest(&self) {
+        let Some(root) = self.cfg.durable_root() else {
+            return;
+        };
+        Manifest {
+            homes: self.homes as u64,
+            shards: self.cfg.shards as u64,
+            rounds: self.rounds,
+            root_seed: self.cfg.root_seed,
+            shard_samples: self.shards.iter().map(|s| s.samples).collect(),
+        }
+        .write(root)
+        .expect("fleet manifest must be writable");
+    }
+
     fn finish_round(&mut self) {
         self.rounds += 1;
+        self.commit_manifest();
         let mem = self.memory();
         obs::counter_add("fleetd.rounds", 1);
         obs::gauge_set(
@@ -336,29 +919,40 @@ impl FleetService {
         obs::gauge_set("fleetd.resident_homes", mem.resident_homes as f64);
         obs::gauge_set("fleetd.resident_bytes", mem.resident_bytes as f64);
         obs::gauge_set("fleetd.cold_bytes", mem.cold_bytes as f64);
+        obs::gauge_set("fleetd.quarantined_homes", self.quarantined_count() as f64);
     }
 
-    /// Evicts every resident home to its compact checkpoint — the
-    /// steady-state floor of the memory model.
+    /// Evicts every resident home to its checkpoint frame — the
+    /// steady-state floor of the memory model. Frames are written at
+    /// the current round counter, so a following
+    /// [`recover`](Self::recover) sees them as current.
     pub fn evict_all(&mut self) {
+        let cfg = self.cfg.clone();
+        let write_gen = self.rounds;
         for shard in &mut self.shards {
-            shard.evict_to(0);
+            shard.evict_to(0, write_gen, &cfg);
         }
     }
 
     /// Measures both memory tiers. Resident streams are measured by
-    /// [`StreamState::state_bytes`]; cold homes by encoded length.
+    /// [`StreamState::state_bytes`]; cold homes by stored frame length
+    /// (in durable mode resident homes also have a synced frame, which
+    /// is not double-counted here — it is disk, not memory).
     pub fn memory(&self) -> MemoryStats {
         let mut stats = MemoryStats::default();
         for shard in &self.shards {
             stats.resident_homes += shard.resident.len();
-            stats.cold_homes += shard.cold.len();
             stats.resident_bytes += shard
                 .resident
                 .values()
                 .map(|s| s.state_bytes())
                 .sum::<usize>();
-            stats.cold_bytes += shard.cold.values().map(Vec::len).sum::<usize>();
+            for (home, len) in shard.cold.contents() {
+                if !shard.resident.contains_key(&home) && !shard.quarantined.contains_key(&home) {
+                    stats.cold_homes += 1;
+                    stats.cold_bytes += len;
+                }
+            }
         }
         stats
     }
@@ -378,31 +972,65 @@ impl FleetService {
         self.shards.iter().map(|s| s.rehydrations).sum()
     }
 
+    /// Store writes retried after a transient error so far.
+    pub fn store_retries(&self) -> u64 {
+        self.shards.iter().map(|s| s.retries).sum()
+    }
+
+    /// Homes rebuilt in degraded mode so far.
+    pub fn store_rebuilds(&self) -> u64 {
+        self.shards.iter().map(|s| s.rebuilds).sum()
+    }
+
+    /// Quarantined homes with their typed errors, in home order — the
+    /// storage analogue of the supervisor's quarantine report, and
+    /// deterministic at any thread count.
+    pub fn quarantined(&self) -> Vec<(usize, StoreError)> {
+        let mut out: Vec<(usize, StoreError)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.quarantined.iter().map(|(&h, e)| (h, e.clone())))
+            .collect();
+        out.sort_unstable_by_key(|&(home, _)| home);
+        out
+    }
+
+    /// Number of quarantined homes.
+    pub fn quarantined_count(&self) -> usize {
+        self.shards.iter().map(|s| s.quarantined.len()).sum()
+    }
+
     /// Finalizes one home's occupancy series without mutating the fleet
-    /// (`None` if the home was never admitted a chunk).
+    /// (`None` if the home was never admitted a chunk or is
+    /// quarantined).
     pub fn finalize_home(&self, home: usize) -> Option<LabelSeries> {
         if home >= self.homes {
             return None;
         }
         let shard = &self.shards[home % self.cfg.shards];
+        if shard.quarantined.contains_key(&home) {
+            return None;
+        }
         if let Some(s) = shard.resident.get(&home) {
             return Some(s.finalize());
         }
-        let bytes = shard.cold.get(&home)?;
-        let cp = codec::decode(bytes).expect("cold store holds valid checkpoints");
+        let bytes = shard.cold.get(home).ok()??;
+        let cp = store::validate_frame(&bytes, home, self.rounds).ok()?;
         Some(
             ThresholdStream::from_compact(self.cfg.detector.clone(), self.cfg.spec, &cp).finalize(),
         )
     }
 
-    /// Finalizes every admitted home (in parallel, shard by shard) and
-    /// folds the outputs into a [`FleetDigest`] in home-index order.
+    /// Finalizes every admitted, non-quarantined home (in parallel,
+    /// shard by shard) and folds the outputs into a [`FleetDigest`] in
+    /// home-index order.
     pub fn digest(&self) -> FleetDigest {
         let _span = obs::span("fleetd.digest");
         let cfg = &self.cfg;
+        let rounds = self.rounds;
         let per_shard = rayon::parallel_map(self.shards.iter().collect(), |shard| {
             shard
-                .finalize_homes(cfg)
+                .finalize_homes(rounds, cfg)
                 .into_iter()
                 .map(|(home, series)| {
                     let mut h = FNV_OFFSET;
@@ -505,5 +1133,13 @@ mod tests {
         assert_eq!(mem.cold_homes, 100);
         assert!(mem.resident_bytes == 0 && mem.cold_bytes > 0);
         assert_eq!(svc.digest(), before, "evict_all must not change output");
+    }
+
+    #[test]
+    fn recover_refuses_memory_configs_and_mismatches() {
+        assert_eq!(
+            FleetService::recover(FleetdConfig::default()).err(),
+            Some(RecoverError::NotDurable)
+        );
     }
 }

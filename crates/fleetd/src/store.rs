@@ -1,0 +1,910 @@
+//! Pluggable, crash-recoverable checkpoint storage for the fleet.
+//!
+//! The service persists every evicted (and, in durable mode, every
+//! round-synced) home as a **frame**: the compact
+//! [`codec`](crate::codec) checkpoint wrapped in a magic-versioned
+//! header carrying the home index, a **generation counter**, and a
+//! CRC32 over the whole record. The frame layer is what makes storage
+//! defects *detectable*:
+//!
+//! * a torn (truncated) write fails CRC or length validation,
+//! * any single-byte flip fails CRC (or magic/length) validation,
+//! * a silently lost write leaves the previous generation in place,
+//!   which the generation counter exposes on load.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic    4 bytes  "FDS1"
+//! home     8        u64 home index
+//! gen      8        u64 generation (rounds completed when written)
+//! len      4        u32 payload byte length
+//! crc      4        CRC32 (IEEE) over home‖gen‖len‖payload
+//! payload  len      codec-encoded WindowCheckpoint ("FDC1", see codec)
+//! ```
+//!
+//! [`CheckpointStore`] abstracts where frames live: [`MemoryStore`]
+//! keeps them in process memory (today's behavior), [`DurableStore`]
+//! keeps one file per home with atomic temp-file+rename writes, and
+//! [`FaultyStore`] wraps any store with the seeded
+//! [`faults::StoreFaultInjector`] defect model. The service composes
+//! them per shard; `docs/FLEET.md` documents the recovery lifecycle.
+
+use faults::StoreFaultInjector;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// First four bytes of every stored frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"FDS1";
+
+/// Frame header bytes preceding the payload.
+pub const FRAME_OVERHEAD: usize = 28;
+
+/// Magic of the fleet manifest file ([`Manifest`]).
+pub const MANIFEST_MAGIC: [u8; 4] = *b"FDM1";
+
+/// File name of the manifest inside a durable fleet root.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Byte-at-a-time lookup table for [`crc32`], built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) of `bytes`.
+///
+/// Table-driven (the table is a compile-time const): every durable
+/// eviction and sync checksums a frame, so this sits on the admission
+/// hot path. Matches the ubiquitous zlib/`cksum -o 3` definition, so
+/// stored frames can be triaged with standard tooling.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Why a byte buffer failed to parse as a stored frame (or manifest).
+///
+/// Every variant pinpoints the failing byte via [`FrameError::offset`]
+/// so recovery logs can say *where* a record went bad, mirroring the
+/// offset-carrying [`CodecError`](crate::codec::CodecError).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Buffer ended before the structure it promised; `offset` is where
+    /// the missing bytes were needed.
+    Truncated {
+        /// Byte position at which more input was required.
+        offset: usize,
+    },
+    /// The buffer doesn't start with the expected magic.
+    BadMagic,
+    /// The stored CRC32 doesn't match the record's contents.
+    CrcMismatch {
+        /// CRC stored in the record.
+        stored: u32,
+        /// CRC computed over the record's contents.
+        computed: u32,
+    },
+    /// Bytes remain after a complete record.
+    TrailingBytes {
+        /// Number of surplus bytes.
+        trailing: usize,
+    },
+}
+
+impl FrameError {
+    /// Byte offset the error is anchored at (0 for a bad magic, the CRC
+    /// field for a checksum mismatch, the record end for trailing
+    /// bytes).
+    pub fn offset(&self) -> usize {
+        match *self {
+            FrameError::Truncated { offset } => offset,
+            FrameError::BadMagic => 0,
+            FrameError::CrcMismatch { .. } => 24,
+            FrameError::TrailingBytes { .. } => FRAME_OVERHEAD,
+        }
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { offset } => {
+                write!(f, "frame truncated (needed more bytes at offset {offset})")
+            }
+            FrameError::BadMagic => write!(f, "frame magic mismatch at offset 0"),
+            FrameError::CrcMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "frame crc mismatch (stored {stored:#010x}, computed {computed:#010x})"
+                )
+            }
+            FrameError::TrailingBytes { trailing } => {
+                write!(f, "{trailing} trailing bytes after frame payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A decoded stored frame: who it belongs to, when it was written, and
+/// the codec payload (not yet decoded — see
+/// [`validate_frame`] for the full pipeline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Home index the payload belongs to.
+    pub home: u64,
+    /// Generation counter: admission rounds completed when written.
+    pub generation: u64,
+    /// Codec-encoded checkpoint bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Wraps a codec payload in the CRC-framed, generation-stamped layout.
+pub fn encode_frame(home: u64, generation: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&home.to_le_bytes());
+    out.extend_from_slice(&generation.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let crc = crc32(&[&out[4..24], payload].concat());
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parses and CRC-validates a stored frame.
+///
+/// # Errors
+///
+/// [`FrameError`] on truncation at any prefix length, wrong magic, any
+/// single-byte corruption (caught by the CRC, the length field, or the
+/// magic), or trailing bytes. Never panics on malformed input.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, FrameError> {
+    if bytes.len() < 4 {
+        return Err(FrameError::Truncated {
+            offset: bytes.len(),
+        });
+    }
+    if bytes[..4] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if bytes.len() < FRAME_OVERHEAD {
+        return Err(FrameError::Truncated {
+            offset: bytes.len(),
+        });
+    }
+    let home = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
+    let generation = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes")) as usize;
+    let stored = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes"));
+    let end = FRAME_OVERHEAD
+        .checked_add(len)
+        .ok_or(FrameError::Truncated {
+            offset: bytes.len(),
+        })?;
+    if bytes.len() < end {
+        return Err(FrameError::Truncated {
+            offset: bytes.len(),
+        });
+    }
+    if bytes.len() > end {
+        return Err(FrameError::TrailingBytes {
+            trailing: bytes.len() - end,
+        });
+    }
+    let payload = &bytes[FRAME_OVERHEAD..end];
+    let computed = crc32(&[&bytes[4..24], payload].concat());
+    if computed != stored {
+        return Err(FrameError::CrcMismatch { stored, computed });
+    }
+    Ok(Frame {
+        home,
+        generation,
+        payload: payload.to_vec(),
+    })
+}
+
+/// Typed failure of a checkpoint-store operation — the storage-side
+/// analogue of the supervisor's typed pipeline errors (PR 4): the
+/// service retries [transient](StoreError::is_transient) errors with
+/// bounded backoff and quarantines or rebuilds homes on the rest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Transient IO failure; a bounded retry may succeed.
+    Transient {
+        /// Operation that failed (`"put"`, `"get"`).
+        op: &'static str,
+        /// Home the operation targeted.
+        home: usize,
+        /// 1-based attempt number that failed.
+        attempt: u32,
+    },
+    /// Permanent IO failure (filesystem error surfaced by the OS).
+    Io {
+        /// Operation that failed.
+        op: &'static str,
+        /// Home the operation targeted.
+        home: usize,
+        /// OS error description.
+        detail: String,
+    },
+    /// The stored bytes are unrecoverable: frame or checkpoint
+    /// validation failed at `offset`.
+    Corrupt {
+        /// Home whose record is corrupt.
+        home: usize,
+        /// Byte offset of the first validation failure.
+        offset: usize,
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+    /// The frame's generation counter doesn't match the fleet's round
+    /// counter: a stale replay (`found < expected`) or a torn round
+    /// whose manifest commit never landed (`found > expected`).
+    StaleGeneration {
+        /// Home whose frame is out of step.
+        home: usize,
+        /// Generation stamped in the frame.
+        found: u64,
+        /// Generation the manifest says the fleet is at.
+        expected: u64,
+    },
+    /// The manifest lists the home but the store holds no frame for it.
+    Missing {
+        /// Home with no stored frame.
+        home: usize,
+    },
+}
+
+impl StoreError {
+    /// `true` when a bounded retry of the same operation may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Transient { .. })
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Transient { op, home, attempt } => {
+                write!(
+                    f,
+                    "transient {op} failure for home {home} (attempt {attempt})"
+                )
+            }
+            StoreError::Io { op, home, detail } => {
+                write!(f, "{op} failed for home {home}: {detail}")
+            }
+            StoreError::Corrupt {
+                home,
+                offset,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "home {home} checkpoint corrupt at byte {offset}: {detail}"
+                )
+            }
+            StoreError::StaleGeneration {
+                home,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "home {home} frame at generation {found}, expected {expected}"
+                )
+            }
+            StoreError::Missing { home } => write!(f, "home {home} has no stored frame"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Where a shard keeps the encoded frames of its non-resident homes.
+///
+/// Implementations store opaque frame bytes keyed by home index; all
+/// framing, CRC, and generation semantics live above the trait (in
+/// [`encode_frame`]/[`validate_frame`]) so that injected faults corrupt
+/// exactly the bytes a real medium would hand back.
+pub trait CheckpointStore: Send + Sync + std::fmt::Debug {
+    /// Stores `frame` as the current record for `home`, replacing any
+    /// previous one. `generation` is the counter stamped inside the
+    /// frame, passed alongside so wrappers (fault injectors) can key
+    /// per-write decisions without parsing the bytes.
+    fn put(&mut self, home: usize, generation: u64, frame: &[u8]) -> Result<(), StoreError>;
+
+    /// Current stored frame for `home`, or `None` if it has none.
+    fn get(&self, home: usize) -> Result<Option<Vec<u8>>, StoreError>;
+
+    /// Drops the record for `home` (no-op if absent).
+    fn remove(&mut self, home: usize);
+
+    /// `(home, stored byte length)` for every record, in home order.
+    fn contents(&self) -> Vec<(usize, usize)>;
+}
+
+/// In-process store: frames live in a `BTreeMap`, exactly as the
+/// pre-durability service kept its cold tier. Survives nothing, costs
+/// nothing, and is the default.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryStore {
+    frames: BTreeMap<usize, Vec<u8>>,
+}
+
+impl MemoryStore {
+    /// An empty in-memory store.
+    pub fn new() -> MemoryStore {
+        MemoryStore::default()
+    }
+}
+
+impl CheckpointStore for MemoryStore {
+    fn put(&mut self, home: usize, _generation: u64, frame: &[u8]) -> Result<(), StoreError> {
+        self.frames.insert(home, frame.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, home: usize) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self.frames.get(&home).cloned())
+    }
+
+    fn remove(&mut self, home: usize) {
+        self.frames.remove(&home);
+    }
+
+    fn contents(&self) -> Vec<(usize, usize)> {
+        self.frames.iter().map(|(&h, f)| (h, f.len())).collect()
+    }
+}
+
+/// File name of home `home`'s frame inside its shard directory.
+pub fn home_file_name(home: usize) -> String {
+    format!("home-{home}.ckpt")
+}
+
+/// Directory of shard `shard` inside a durable fleet root.
+pub fn shard_dir(root: &Path, shard: usize) -> PathBuf {
+    root.join(format!("shard-{shard}"))
+}
+
+/// Full path of home `home`'s frame file under a durable fleet root
+/// with `shards` shards — the layout [`DurableStore`]-backed services
+/// use, exposed so tests and experiments can corrupt records offline.
+pub fn durable_home_path(root: &Path, shards: usize, home: usize) -> PathBuf {
+    shard_dir(root, home % shards).join(home_file_name(home))
+}
+
+/// File-backed durable store: one frame file per home inside a
+/// directory, written atomically (temp file + rename in the same
+/// directory) so a crash mid-write can tear at most the temp file,
+/// never a committed record.
+///
+/// Durability model: atomicity is against *process* crashes. Writes are
+/// not fsynced — a power failure can still lose recently renamed
+/// frames, which the generation counter then reports as stale on
+/// recovery rather than silently serving.
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    index: BTreeMap<usize, usize>,
+}
+
+impl DurableStore {
+    /// Opens (creating if needed) the store rooted at `dir`, indexing
+    /// any `home-<n>.ckpt` files already present.
+    pub fn open(dir: PathBuf) -> std::io::Result<DurableStore> {
+        fs::create_dir_all(&dir)?;
+        let mut index = BTreeMap::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(home) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("home-"))
+                .and_then(|n| n.strip_suffix(".ckpt"))
+                .and_then(|n| n.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            index.insert(home, entry.metadata()?.len() as usize);
+        }
+        Ok(DurableStore { dir, index })
+    }
+
+    /// Directory the store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn io_err(op: &'static str, home: usize, e: std::io::Error) -> StoreError {
+        StoreError::Io {
+            op,
+            home,
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl CheckpointStore for DurableStore {
+    fn put(&mut self, home: usize, _generation: u64, frame: &[u8]) -> Result<(), StoreError> {
+        let tmp = self.dir.join(format!(".tmp-{}", home_file_name(home)));
+        let path = self.dir.join(home_file_name(home));
+        let write = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(frame)?;
+            drop(f);
+            fs::rename(&tmp, &path)
+        };
+        write().map_err(|e| Self::io_err("put", home, e))?;
+        self.index.insert(home, frame.len());
+        Ok(())
+    }
+
+    fn get(&self, home: usize) -> Result<Option<Vec<u8>>, StoreError> {
+        match fs::read(self.dir.join(home_file_name(home))) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(Self::io_err("get", home, e)),
+        }
+    }
+
+    fn remove(&mut self, home: usize) {
+        let _ = fs::remove_file(self.dir.join(home_file_name(home)));
+        self.index.remove(&home);
+    }
+
+    fn contents(&self) -> Vec<(usize, usize)> {
+        self.index.iter().map(|(&h, &len)| (h, len)).collect()
+    }
+}
+
+/// Wraps any store with the seeded [`StoreFaultInjector`] defect model:
+/// writes can fail transiently (first `k` attempts per `(home,
+/// generation)`), be silently dropped (stale replay), or land torn /
+/// bit-flipped. Reads and the rest of the trait pass straight through —
+/// the corrupted bytes themselves are what reads later surface.
+#[derive(Debug)]
+pub struct FaultyStore {
+    inner: Box<dyn CheckpointStore>,
+    injector: StoreFaultInjector,
+    attempts: BTreeMap<(usize, u64), u32>,
+}
+
+impl FaultyStore {
+    /// Wraps `inner` with fault decisions drawn from `injector`.
+    pub fn new(inner: Box<dyn CheckpointStore>, injector: StoreFaultInjector) -> FaultyStore {
+        FaultyStore {
+            inner,
+            injector,
+            attempts: BTreeMap::new(),
+        }
+    }
+}
+
+impl CheckpointStore for FaultyStore {
+    fn put(&mut self, home: usize, generation: u64, frame: &[u8]) -> Result<(), StoreError> {
+        let failures = self
+            .injector
+            .transient_put_failures(home as u64, generation);
+        let attempt = self.attempts.entry((home, generation)).or_insert(0);
+        *attempt += 1;
+        if *attempt <= failures {
+            return Err(StoreError::Transient {
+                op: "put",
+                home,
+                attempt: *attempt,
+            });
+        }
+        if self.injector.stale_replay(home as u64, generation) {
+            // The write is acknowledged but never lands; the previous
+            // generation's frame survives in its place.
+            return Ok(());
+        }
+        let mut corrupted = frame.to_vec();
+        self.injector
+            .corrupt_frame(home as u64, generation, &mut corrupted);
+        self.inner.put(home, generation, &corrupted)
+    }
+
+    fn get(&self, home: usize) -> Result<Option<Vec<u8>>, StoreError> {
+        self.inner.get(home)
+    }
+
+    fn remove(&mut self, home: usize) {
+        self.inner.remove(home);
+    }
+
+    fn contents(&self) -> Vec<(usize, usize)> {
+        self.inner.contents()
+    }
+}
+
+/// Fully validates a stored frame for `home` at `expected_generation`:
+/// frame parse + CRC, ownership, generation, then codec decode of the
+/// payload. This is the single gate every load in the service goes
+/// through, so every storage defect surfaces as a typed [`StoreError`]
+/// with a byte offset instead of a panic deep in the codec.
+pub fn validate_frame(
+    bytes: &[u8],
+    home: usize,
+    expected_generation: u64,
+) -> Result<stream::WindowCheckpoint, StoreError> {
+    let frame = decode_frame(bytes).map_err(|e| StoreError::Corrupt {
+        home,
+        offset: e.offset(),
+        detail: e.to_string(),
+    })?;
+    if frame.home != home as u64 {
+        return Err(StoreError::Corrupt {
+            home,
+            offset: 4,
+            detail: format!("frame belongs to home {}", frame.home),
+        });
+    }
+    if frame.generation != expected_generation {
+        return Err(StoreError::StaleGeneration {
+            home,
+            found: frame.generation,
+            expected: expected_generation,
+        });
+    }
+    crate::codec::decode(&frame.payload).map_err(|e| StoreError::Corrupt {
+        home,
+        offset: FRAME_OVERHEAD + e.offset(),
+        detail: format!("payload: {e}"),
+    })
+}
+
+/// The fleet-level commit record of a durable run: written atomically
+/// at the end of every round, read back by
+/// [`FleetService::recover`](crate::FleetService::recover). A frame is
+/// current iff its generation equals the manifest's round counter.
+///
+/// Layout: `"FDM1"` magic, then `homes`/`shards`/`rounds`/`root_seed`
+/// as little-endian u64, a u32 count of per-shard sample counters
+/// followed by the counters, and a trailing CRC32 over everything after
+/// the magic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Homes the fleet manages (`0..homes`).
+    pub homes: u64,
+    /// Shard count (part of the fleet's deterministic identity).
+    pub shards: u64,
+    /// Admission rounds committed.
+    pub rounds: u64,
+    /// Root seed of the per-home seed derivation.
+    pub root_seed: u64,
+    /// Per-shard admitted-sample counters, index order.
+    pub shard_samples: Vec<u64>,
+}
+
+impl Manifest {
+    /// Serializes the manifest (magic + fields + CRC32).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        for v in [self.homes, self.shards, self.rounds, self.root_seed] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.shard_samples.len() as u32).to_le_bytes());
+        for &s in &self.shard_samples {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        let crc = crc32(&out[4..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses and CRC-validates a manifest buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] on truncation, wrong magic, CRC mismatch, or
+    /// trailing bytes; never panics.
+    pub fn decode(bytes: &[u8]) -> Result<Manifest, FrameError> {
+        if bytes.len() < 4 {
+            return Err(FrameError::Truncated {
+                offset: bytes.len(),
+            });
+        }
+        if bytes[..4] != MANIFEST_MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        if bytes.len() < 40 {
+            return Err(FrameError::Truncated {
+                offset: bytes.len(),
+            });
+        }
+        let word = |i: usize| {
+            u64::from_le_bytes(bytes[4 + 8 * i..12 + 8 * i].try_into().expect("8 bytes"))
+        };
+        let (homes, shards, rounds, root_seed) = (word(0), word(1), word(2), word(3));
+        let n = u32::from_le_bytes(bytes[36..40].try_into().expect("4 bytes")) as usize;
+        let end = 40usize
+            .checked_add(n.checked_mul(8).ok_or(FrameError::Truncated {
+                offset: bytes.len(),
+            })?)
+            .ok_or(FrameError::Truncated {
+                offset: bytes.len(),
+            })?;
+        if bytes.len() < end + 4 {
+            return Err(FrameError::Truncated {
+                offset: bytes.len(),
+            });
+        }
+        if bytes.len() > end + 4 {
+            return Err(FrameError::TrailingBytes {
+                trailing: bytes.len() - end - 4,
+            });
+        }
+        let stored = u32::from_le_bytes(bytes[end..end + 4].try_into().expect("4 bytes"));
+        let computed = crc32(&bytes[4..end]);
+        if stored != computed {
+            return Err(FrameError::CrcMismatch { stored, computed });
+        }
+        let shard_samples = (0..n)
+            .map(|i| u64::from_le_bytes(bytes[40 + 8 * i..48 + 8 * i].try_into().expect("8 bytes")))
+            .collect();
+        Ok(Manifest {
+            homes,
+            shards,
+            rounds,
+            root_seed,
+            shard_samples,
+        })
+    }
+
+    /// Atomically writes the manifest under `root` (temp + rename).
+    pub fn write(&self, root: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(root)?;
+        let tmp = root.join(".tmp-MANIFEST");
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&self.encode())?;
+        drop(f);
+        fs::rename(tmp, root.join(MANIFEST_FILE))
+    }
+
+    /// Reads the manifest under `root`: `Ok(None)` when no manifest
+    /// file exists, `Err` describing any IO or validation failure.
+    pub fn read(root: &Path) -> Result<Option<Manifest>, String> {
+        let bytes = match fs::read(root.join(MANIFEST_FILE)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("manifest read failed: {e}")),
+        };
+        Manifest::decode(&bytes)
+            .map(Some)
+            .map_err(|e| format!("manifest invalid: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faults::{FaultPlan, StoreFault};
+
+    fn payload() -> Vec<u8> {
+        use stream::{FillCheckpoint, WindowCheckpoint};
+        crate::codec::encode(&WindowCheckpoint {
+            fill: FillCheckpoint::HoldLast(211.5),
+            next_start: 30,
+            open: vec![120.0, 0.0, 950.25],
+            closed: Vec::new(),
+        })
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fleetd-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let p = payload();
+        let bytes = encode_frame(17, 3, &p);
+        assert_eq!(bytes.len(), FRAME_OVERHEAD + p.len());
+        let frame = decode_frame(&bytes).unwrap();
+        assert_eq!(frame.home, 17);
+        assert_eq!(frame.generation, 3);
+        assert_eq!(frame.payload, p);
+        let cp = validate_frame(&bytes, 17, 3).unwrap();
+        assert_eq!(crate::codec::encode(&cp), p);
+    }
+
+    #[test]
+    fn every_prefix_truncation_errors_cleanly() {
+        let bytes = encode_frame(5, 9, &payload());
+        for cut in 0..bytes.len() {
+            let err = decode_frame(&bytes[..cut]).expect_err("prefix must fail");
+            assert!(err.offset() <= bytes.len(), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_detected() {
+        let bytes = encode_frame(5, 9, &payload());
+        for at in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[at] ^= 1 << bit;
+                assert!(decode_frame(&bad).is_err(), "flip at byte {at} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn validate_frame_checks_ownership_and_generation() {
+        let bytes = encode_frame(5, 9, &payload());
+        assert!(matches!(
+            validate_frame(&bytes, 6, 9),
+            Err(StoreError::Corrupt {
+                home: 6,
+                offset: 4,
+                ..
+            })
+        ));
+        assert!(matches!(
+            validate_frame(&bytes, 5, 10),
+            Err(StoreError::StaleGeneration {
+                home: 5,
+                found: 9,
+                expected: 10
+            })
+        ));
+        // A valid frame around an invalid payload reports the payload
+        // offset past the frame header.
+        let bad_payload = encode_frame(5, 9, b"NOPE");
+        match validate_frame(&bad_payload, 5, 9) {
+            Err(StoreError::Corrupt { offset, .. }) => assert_eq!(offset, FRAME_OVERHEAD),
+            other => panic!("expected payload corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_store_round_trips_and_lists() {
+        let mut store = MemoryStore::new();
+        let frame = encode_frame(2, 1, &payload());
+        store.put(2, 1, &frame).unwrap();
+        store.put(7, 1, &encode_frame(7, 1, &payload())).unwrap();
+        assert_eq!(store.get(2).unwrap().as_deref(), Some(&frame[..]));
+        assert_eq!(store.get(3).unwrap(), None);
+        assert_eq!(store.contents(), vec![(2, frame.len()), (7, frame.len())]);
+        store.remove(2);
+        assert_eq!(store.get(2).unwrap(), None);
+    }
+
+    #[test]
+    fn durable_store_persists_across_reopen() {
+        let dir = tmp_dir("reopen");
+        let frame = encode_frame(11, 4, &payload());
+        {
+            let mut store = DurableStore::open(dir.clone()).unwrap();
+            store.put(11, 4, &frame).unwrap();
+            store.put(3, 4, &encode_frame(3, 4, &payload())).unwrap();
+            store.remove(3);
+        }
+        let store = DurableStore::open(dir.clone()).unwrap();
+        assert_eq!(store.get(11).unwrap().as_deref(), Some(&frame[..]));
+        assert_eq!(store.get(3).unwrap(), None);
+        assert_eq!(store.contents(), vec![(11, frame.len())]);
+        // No stray temp files survive a clean write.
+        assert!(fs::read_dir(&dir).unwrap().all(|e| !e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .starts_with(".tmp")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulty_store_injects_deterministically() {
+        let plan = FaultPlan::for_store(vec![
+            StoreFault::Transient {
+                prob: 0.6,
+                max_failures: 2,
+            },
+            StoreFault::BitFlip { prob: 0.4 },
+        ]);
+        let run = || -> (u32, Vec<Option<Vec<u8>>>) {
+            let inj = faults::StoreFaultInjector::new(&plan, 5);
+            let mut store = FaultyStore::new(Box::new(MemoryStore::new()), inj);
+            let mut retries = 0;
+            for home in 0..30 {
+                let frame = encode_frame(home as u64, 1, &payload());
+                loop {
+                    match store.put(home, 1, &frame) {
+                        Ok(()) => break,
+                        Err(e) => {
+                            assert!(e.is_transient());
+                            retries += 1;
+                        }
+                    }
+                }
+            }
+            let stored = (0..30).map(|h| store.get(h).unwrap()).collect();
+            (retries, stored)
+        };
+        let (retries_a, stored_a) = run();
+        let (retries_b, stored_b) = run();
+        assert_eq!(retries_a, retries_b);
+        assert_eq!(stored_a, stored_b);
+        assert!(retries_a > 0, "0.6 transient over 30 writes must fire");
+        let flipped = stored_a
+            .iter()
+            .filter(|f| decode_frame(f.as_ref().unwrap()).is_err())
+            .count();
+        assert!(flipped > 0, "0.4 bit flip over 30 writes must corrupt");
+    }
+
+    #[test]
+    fn stale_replay_keeps_previous_generation() {
+        let plan = FaultPlan::for_store(vec![StoreFault::StaleReplay { prob: 1.0 }]);
+        let inj = faults::StoreFaultInjector::new(&plan, 1);
+        let mut store = FaultyStore::new(Box::new(MemoryStore::new()), inj);
+        // Generation-0 write also gets dropped under prob 1.0, so seed
+        // the inner store through a fault-free wrapper first.
+        let gen0 = encode_frame(4, 0, &payload());
+        store.inner.put(4, 0, &gen0).unwrap();
+        store.put(4, 1, &encode_frame(4, 1, &payload())).unwrap();
+        let bytes = store.get(4).unwrap().unwrap();
+        assert_eq!(bytes, gen0, "dropped write must leave generation 0");
+        assert!(matches!(
+            validate_frame(&bytes, 4, 1),
+            Err(StoreError::StaleGeneration {
+                found: 0,
+                expected: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn manifest_round_trips_and_validates() {
+        let m = Manifest {
+            homes: 600,
+            shards: 16,
+            rounds: 4,
+            root_seed: 7,
+            shard_samples: (0..16).map(|i| 1000 + i).collect(),
+        };
+        let bytes = m.encode();
+        assert_eq!(Manifest::decode(&bytes).unwrap(), m);
+        for cut in 0..bytes.len() {
+            assert!(Manifest::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        for at in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x10;
+            assert!(Manifest::decode(&bad).is_err(), "flip at {at}");
+        }
+
+        let root = tmp_dir("manifest");
+        assert_eq!(Manifest::read(&root), Ok(None));
+        m.write(&root).unwrap();
+        assert_eq!(Manifest::read(&root), Ok(Some(m)));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -62,16 +62,22 @@ proptest! {
     }
 
     #[test]
-    fn truncation_always_errors(
+    fn every_prefix_truncation_errors(
         fill_sel in (0u8..4, 0u64..1_000, -5e3..5e3f64),
         open in proptest::collection::vec(-1e4..1e4f64, 0..16),
-        frac in 0.0..1.0f64,
+        closed_raw in proptest::collection::vec(
+            (0u64..1_000_000, (-1e4..1e4f64, 0.0..1e6f64, 0.0..1e4f64)),
+            0..8,
+        ),
     ) {
-        let cp = build_checkpoint(fill_sel, 0, open, Vec::new());
+        // Exhaustive, not sampled: a checkpoint cut at ANY prefix
+        // length must decode to a clean error — no cut point may parse
+        // as a different valid checkpoint, and none may panic.
+        let cp = build_checkpoint(fill_sel, 0, open, closed_raw);
         let bytes = codec::encode(&cp);
-        let cut = ((bytes.len() as f64) * frac) as usize;
-        if cut < bytes.len() {
-            prop_assert!(codec::decode(&bytes[..cut]).is_err());
+        for cut in 0..bytes.len() {
+            let err = codec::decode(&bytes[..cut]).expect_err("prefix must fail");
+            prop_assert!(err.offset() <= cut, "cut {}: {}", cut, err);
         }
     }
 
@@ -91,6 +97,9 @@ proptest! {
         let mut bytes = codec::encode(&cp);
         let at = ((bytes.len() as f64) * at_frac) as usize % bytes.len();
         bytes[at] ^= flip;
-        let _ = codec::decode(&bytes); // may decode differently, must not panic
+        // The raw codec has no checksum, so a payload flip may decode
+        // differently — it must never panic. Detection of every flip is
+        // the CRC frame layer's guarantee (store_proptest.rs).
+        let _ = codec::decode(&bytes);
     }
 }

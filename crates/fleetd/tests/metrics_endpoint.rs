@@ -65,6 +65,22 @@ fn non_metrics_paths_get_404() {
 }
 
 #[test]
+fn idle_client_cannot_wedge_the_accept_loop() {
+    use std::time::Duration;
+    let server =
+        MetricsServer::bind_with_read_timeout(Duration::from_millis(100)).expect("bind loopback");
+    // A slow-loris client: connects, sends nothing, holds the socket
+    // open. Before the read timeout existed this parked the
+    // single-threaded accept loop forever.
+    let idle = TcpStream::connect(server.addr()).expect("connect");
+    // A well-behaved scrape issued afterwards must still be served —
+    // succeeding at all proves the loop timed the idle client out.
+    MetricsServer::scrape(server.addr()).expect("scrape past the idle client");
+    drop(idle);
+    server.shutdown();
+}
+
+#[test]
 fn scrape_content_type_is_prometheus_text() {
     let server = MetricsServer::bind().expect("bind loopback");
     let mut conn = TcpStream::connect(server.addr()).expect("connect");
