@@ -1,0 +1,3 @@
+fn main() {
+    bench::experiments::cli_main("shaping_arms_race");
+}

@@ -30,6 +30,7 @@ pub mod fig6_chpr;
 pub mod fleet_scale;
 pub mod recovery_soak;
 pub mod sec4_traffic_fingerprint;
+pub mod shaping_arms_race;
 pub mod stream_equivalence;
 pub mod stream_throughput;
 pub mod tournament;
@@ -321,6 +322,12 @@ pub fn all() -> &'static [ExperimentSpec] {
             paper_anchor: "roadmap (adaptive adversary)",
             deterministic: true,
             run: tournament::run,
+        },
+        ExperimentSpec {
+            name: "shaping_arms_race",
+            paper_anchor: "§IV (encrypted-traffic arms race)",
+            deterministic: true,
+            run: shaping_arms_race::run,
         },
     ];
     ALL

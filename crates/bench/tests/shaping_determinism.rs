@@ -1,0 +1,39 @@
+//! The shaping arms race's determinism contract: the experiment JSON is a
+//! pure function of [`ArmsRaceConfig`] — byte-identical across repeated
+//! runs *and* across `RAYON_NUM_THREADS` settings. All thread-count cases
+//! live in ONE test function on purpose: `RAYON_NUM_THREADS` is
+//! process-global and the harness runs separate `#[test]`s concurrently.
+
+use bench::experiments::shaping_arms_race::{run_arms_race, ArmsRaceConfig};
+
+#[test]
+fn arms_race_json_is_byte_identical_across_runs_and_thread_counts() {
+    let cfg = ArmsRaceConfig::tiny(101);
+    let reference =
+        serde_json::to_string(&run_arms_race(&cfg).to_json()).expect("arms race serializes");
+    assert!(reference.contains("\"summary\""), "sanity: report shape");
+    assert!(
+        reference.contains("\"quarantine_composes\":true"),
+        "sanity: tiny config still quarantines its panic home"
+    );
+
+    for threads in ["1", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let rerun =
+            serde_json::to_string(&run_arms_race(&cfg).to_json()).expect("arms race serializes");
+        assert_eq!(
+            rerun, reference,
+            "arms-race JSON must be byte-identical at RAYON_NUM_THREADS={threads}"
+        );
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
+fn arms_race_seed_changes_the_matrix() {
+    // The flip side of determinism: the seed actually reaches the
+    // simulation — two roots must not coincidentally agree.
+    let a = serde_json::to_string(&run_arms_race(&ArmsRaceConfig::tiny(101)).to_json()).unwrap();
+    let b = serde_json::to_string(&run_arms_race(&ArmsRaceConfig::tiny(202)).to_json()).unwrap();
+    assert_ne!(a, b, "different root seeds produced identical matrices");
+}

@@ -553,6 +553,50 @@ fn tournament_stream_equal(v: &Value) -> Result<f64, String> {
         .and_then(|s| flag(s, "chunked_equal"))
 }
 
+// ---- shaping_arms_race extractors -------------------------------------
+
+fn shaping_summary(v: &Value) -> Result<&Value, String> {
+    v.get("summary")
+        .ok_or_else(|| "missing `summary` section".to_string())
+}
+
+fn shaping_strong_margin(v: &Value) -> Result<f64, String> {
+    num(shaping_summary(v)?, "strong_minus_naive_min_partial")
+}
+
+fn shaping_pad_leak(v: &Value) -> Result<f64, String> {
+    num(shaping_summary(v)?, "pad_strong_above_chance")
+}
+
+fn shaping_full_floor(v: &Value) -> Result<f64, String> {
+    num(shaping_summary(v)?, "full_strong_above_chance")
+}
+
+fn shaping_naive_blinded(v: &Value) -> Result<f64, String> {
+    num(shaping_summary(v)?, "naive_pad_cover_accuracy")
+}
+
+fn shaping_strong_clear(v: &Value) -> Result<f64, String> {
+    num(shaping_summary(v)?, "strong_clear_accuracy")
+}
+
+fn shaping_cover_occupancy_drop(v: &Value) -> Result<f64, String> {
+    let s = shaping_summary(v)?;
+    Ok(num(s, "none_occupancy_mcc")? - num(s, "pad_cover_occupancy_mcc")?)
+}
+
+fn shaping_full_overhead(v: &Value) -> Result<f64, String> {
+    num(shaping_summary(v)?, "full_overhead_frac")
+}
+
+fn shaping_latency_honest(v: &Value) -> Result<f64, String> {
+    flag(shaping_summary(v)?, "latency_honest")
+}
+
+fn shaping_quarantine(v: &Value) -> Result<f64, String> {
+    flag(shaping_summary(v)?, "quarantine_composes")
+}
+
 /// Every registered claim, grouped by experiment in registry order.
 pub fn all() -> &'static [Claim] {
     static ALL: &[Claim] = &[
@@ -1125,6 +1169,88 @@ pub fn all() -> &'static [Claim] {
             experiment: "tournament",
             band: Band::Absolute { lo: 1.0, hi: 1.0 },
             extract: tournament_stream_equal,
+            cheap: false,
+        },
+        // -- Encrypted-traffic arms race (docs/NETSIM.md) ----------------
+        Claim {
+            id: "netsim.shaping-strong-beats-naive",
+            anchor: "§IV (encrypted-traffic arms race)",
+            title: "The re-featurizing attacker beats the naive one on every partial shaping defense",
+            experiment: "shaping_arms_race",
+            band: Band::AtLeast { lo: 0.05 },
+            extract: shaping_strong_margin,
+            cheap: false,
+        },
+        Claim {
+            id: "netsim.shaping-pad-still-leaks",
+            anchor: "§IV (encrypted-traffic arms race)",
+            title: "Size-bucket padding alone leaves the strong attacker at least 0.15 accuracy above chance — timing survives padding",
+            experiment: "shaping_arms_race",
+            band: Band::AtLeast { lo: 0.15 },
+            extract: shaping_pad_leak,
+            cheap: false,
+        },
+        Claim {
+            id: "netsim.shaping-full-stack-floors-strong",
+            anchor: "§IV (encrypted-traffic arms race)",
+            title: "Only the full aggregation+cover+padding stack floors the strong attacker to within 0.05 of chance",
+            experiment: "shaping_arms_race",
+            band: Band::AtMost { hi: 0.05 },
+            extract: shaping_full_floor,
+            cheap: false,
+        },
+        Claim {
+            id: "netsim.shaping-naive-blinded-by-pad-cover",
+            anchor: "§IV (encrypted-traffic arms race)",
+            title: "Padding plus cover traffic blinds the naive size-feature attacker to below 0.45 accuracy",
+            experiment: "shaping_arms_race",
+            band: Band::AtMost { hi: 0.45 },
+            extract: shaping_naive_blinded,
+            cheap: false,
+        },
+        Claim {
+            id: "netsim.shaping-strong-matches-baseline-clear",
+            anchor: "§IV (encrypted-traffic arms race)",
+            title: "On unshaped flows the strong attacker reproduces the baseline fingerprinting accuracy",
+            experiment: "shaping_arms_race",
+            band: Band::AtLeast { lo: 0.7 },
+            extract: shaping_strong_clear,
+            cheap: false,
+        },
+        Claim {
+            id: "netsim.shaping-cover-floors-occupancy",
+            anchor: "§IV (encrypted-traffic arms race)",
+            title: "Cover traffic collapses the traffic-occupancy side channel (MCC drop vs. unshaped)",
+            experiment: "shaping_arms_race",
+            band: Band::AtLeast { lo: 0.4 },
+            extract: shaping_cover_occupancy_drop,
+            cheap: false,
+        },
+        Claim {
+            id: "netsim.shaping-overhead-priced",
+            anchor: "§IV (encrypted-traffic arms race)",
+            title: "The full stack reports a positive byte-overhead price, not a free lunch",
+            experiment: "shaping_arms_race",
+            band: Band::AtLeast { lo: 0.001 },
+            extract: shaping_full_overhead,
+            cheap: false,
+        },
+        Claim {
+            id: "netsim.shaping-latency-honest",
+            anchor: "§IV (encrypted-traffic arms race)",
+            title: "Added latency is honest: zero for every non-aggregating policy, positive under tunnel aggregation",
+            experiment: "shaping_arms_race",
+            band: Band::Absolute { lo: 1.0, hi: 1.0 },
+            extract: shaping_latency_honest,
+            cheap: false,
+        },
+        Claim {
+            id: "netsim.shaping-quarantine-composes",
+            anchor: "§IV (encrypted-traffic arms race)",
+            title: "The fleet supervisor quarantines the injected panic home in every shaping matrix cell",
+            experiment: "shaping_arms_race",
+            band: Band::Absolute { lo: 1.0, hi: 1.0 },
+            extract: shaping_quarantine,
             cheap: false,
         },
     ];

@@ -80,11 +80,16 @@ fn every_claim_holds_against_its_canonical_artifact() {
 #[test]
 fn tournament_and_robust_claim_families_hold_against_canonical_artifacts() {
     // The generic canonical-artifact check above would pass vacuously if a
-    // whole claim family were deleted from the registry; pin the two
-    // roadmap families by size and re-verify each member explicitly
-    // against its checked-in artifact.
+    // whole claim family were deleted from the registry; pin the roadmap
+    // families by size and re-verify each member explicitly against its
+    // checked-in artifact.
     let results = repo_root().join("results");
-    for (prefix, expected) in [("tournament.", 6), ("robust.", 6), ("fleet.recovery-", 5)] {
+    for (prefix, expected) in [
+        ("tournament.", 6),
+        ("robust.", 6),
+        ("fleet.recovery-", 5),
+        ("netsim.shaping-", 9),
+    ] {
         let family: Vec<_> = registry::all()
             .iter()
             .filter(|c| c.id.starts_with(prefix))

@@ -1,0 +1,129 @@
+//! Regression: `FlowFault` reorder/reboot-burst faults against the shaper
+//! path. PR 3 proved the gateway properties on clean flow logs; this suite
+//! extends them to *shaped* logs: shaping a faulted log must never panic,
+//! must keep its exact-accounting invariants, and must never lower a
+//! compromised device's verdict below `Quarantined`.
+
+use faults::{FaultPlan, FlowFault};
+use netsim::gateway::inject_compromise;
+use netsim::{
+    policies, simulate_home_network, DeviceType, FlowRecord, GatewayPolicy, SmartGateway, Verdict,
+};
+use timeseries::{LabelSeries, Resolution, Timestamp};
+
+fn occupancy(days: usize) -> LabelSeries {
+    LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, days * 1440, |i| {
+        let m = i % 1440;
+        !(540..1_020).contains(&m)
+    })
+}
+
+/// The fault plans this regression pins: the untested reorder and
+/// reboot-burst kinds, alone and stacked via the standard profile.
+fn plans() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "reorder",
+            FaultPlan::for_flows(vec![FlowFault::Reorder {
+                prob: 0.5,
+                max_skew_secs: 300,
+            }]),
+        ),
+        (
+            "reboot-burst",
+            FaultPlan::for_flows(vec![FlowFault::RebootBurst {
+                bursts: 8,
+                flows_per_burst: 12,
+            }]),
+        ),
+        ("network-profile", FaultPlan::network_profile(1.0)),
+    ]
+}
+
+#[test]
+fn shaping_a_faulted_log_never_panics_and_keeps_accounting_exact() {
+    let inv = DeviceType::all().to_vec();
+    for seed in [5u64, 17] {
+        let trace = simulate_home_network(&inv, &occupancy(2), 2, seed);
+        let ids: Vec<u32> = trace.devices.iter().map(|d| d.device_id).collect();
+        for (plan_name, plan) in plans() {
+            let faulted = plan.apply_flows(&trace, seed);
+            let raw: u64 = faulted.flows.iter().map(FlowRecord::total_bytes).sum();
+            for spec in policies() {
+                let shaped = spec
+                    .policy
+                    .shape(&faulted.flows, &ids, trace.horizon_secs, seed);
+                assert_eq!(
+                    shaped.shaped_bytes,
+                    raw + shaped.overhead_bytes,
+                    "plan {plan_name}, policy {}",
+                    spec.key
+                );
+                // Determinism survives the faulted input too.
+                let again = spec
+                    .policy
+                    .shape(&faulted.flows, &ids, trace.horizon_secs, seed);
+                assert_eq!(shaped, again, "plan {plan_name}, policy {}", spec.key);
+            }
+        }
+    }
+}
+
+#[test]
+fn shaping_a_faulted_log_never_unquarantines_a_compromised_device() {
+    let inv = DeviceType::all().to_vec();
+    let clean = simulate_home_network(&inv, &occupancy(4), 4, 31);
+    let live = simulate_home_network(&inv, &occupancy(4), 4, 32);
+    let ids: Vec<u32> = clean.devices.iter().map(|d| d.device_id).collect();
+    let victim = ids[1];
+    for spec in policies() {
+        if spec.policy.aggregates() {
+            // Behind the tunnel the gateway no longer sees per-device
+            // flows, so per-device verdicts are out of scope here.
+            continue;
+        }
+        // Profile on shaped *clean* traffic so the gateway knows the
+        // policy's cover endpoint, then monitor a shaped faulted log with
+        // an injected compromise.
+        let mut gw = SmartGateway::new(GatewayPolicy::default());
+        let shaped_clean = spec.policy.shape(&clean.flows, &ids, clean.horizon_secs, 1);
+        gw.profile(&shaped_clean.flows, clean.horizon_secs);
+
+        let mut compromised = live.clone();
+        inject_compromise(
+            &mut compromised.flows,
+            victim,
+            live.horizon_secs / 3,
+            live.horizon_secs,
+        );
+        for (plan_name, plan) in plans() {
+            let faulted = plan.apply_flows(&compromised, 33);
+            let shaped = spec
+                .policy
+                .shape(&faulted.flows, &ids, live.horizon_secs, 2);
+            let verdicts = gw.monitor(&shaped.flows, live.horizon_secs);
+            let verdict = verdicts.get(&victim).copied();
+            assert_eq!(
+                verdict,
+                Some(Verdict::Quarantined),
+                "plan {plan_name}, policy {}: compromised device slipped to {verdict:?}",
+                spec.key
+            );
+            // And the verdict on the faulted+shaped log is never *less*
+            // severe than on the shaped log without faults.
+            let unfaulted = spec
+                .policy
+                .shape(&compromised.flows, &ids, live.horizon_secs, 2);
+            let baseline = gw.monitor(&unfaulted.flows, live.horizon_secs);
+            let base_severity = baseline
+                .get(&victim)
+                .map(|v| v.severity())
+                .unwrap_or_default();
+            assert!(
+                verdict.map(|v| v.severity()).unwrap_or_default() >= base_severity,
+                "plan {plan_name}, policy {}: faults lowered the verdict",
+                spec.key
+            );
+        }
+    }
+}

@@ -84,6 +84,159 @@ impl FeatureVector {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shaping-robust ("strong") features.
+// ---------------------------------------------------------------------------
+
+/// Number of features in a [`StrongFeatureVector`].
+pub const N_STRONG_FEATURES: usize = 12;
+
+/// Human-readable names for the strong features, index-aligned with
+/// [`StrongFeatureVector::values`].
+pub fn strong_feature_names() -> [&'static str; N_STRONG_FEATURES] {
+    [
+        "log_bursts_per_hour",
+        "log_gap_q25",
+        "log_gap_q50",
+        "log_gap_q75",
+        "gap_cv",
+        "bytes_autocorr_lag1",
+        "count_autocorr_lag1",
+        "active_bin_fraction",
+        "log_mean_bin_bytes",
+        "log_peak_to_mean_bin",
+        "up_fraction",
+        "log_mean_duration",
+    ]
+}
+
+/// Two flows whose starts are within this many seconds belong to the same
+/// burst — fragmentation cells inherit their parent's start time, so a
+/// fragmented flow still counts as *one* burst.
+const BURST_GAP_SECS: u64 = 5;
+
+/// Sub-window bin length for the windowed volume/count signals.
+const BIN_SECS: u64 = 600;
+
+/// The re-featurized view a stronger fingerprinter uses: everything here is
+/// computed from burst timing, windowed volume structure, and aggregate
+/// rates — the signals size-bucket padding and naive count equalization do
+/// **not** destroy.
+///
+/// * Bursts (flows grouped by start-time proximity) undo fragmentation:
+///   a flow split into 100 cells is still one burst.
+/// * Inter-burst gap quantiles and CV survive padding untouched.
+/// * Lag-1 autocorrelation of per-bin bytes/counts captures each device's
+///   rhythm (periodic telemetry vs. event-driven chatter) even when every
+///   flow is the same size.
+/// * Active-bin fraction and peak/mean bin volume are tunnel-aggregate rate
+///   signatures that remain measurable on a single merged identity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrongFeatureVector {
+    /// The feature values (see [`strong_feature_names`]).
+    pub values: [f64; N_STRONG_FEATURES],
+}
+
+impl StrongFeatureVector {
+    /// Extracts strong features from one identity's flows over a window of
+    /// `window_secs`. Flows must be sorted by `start_secs` (shaped logs
+    /// are).
+    ///
+    /// Returns `None` when fewer than 3 flows exist (not enough evidence),
+    /// mirroring [`FeatureVector::from_flows`].
+    pub fn from_flows(flows: &[FlowRecord], window_secs: u64) -> Option<StrongFeatureVector> {
+        if flows.len() < 3 || window_secs == 0 {
+            return None;
+        }
+        let n = flows.len() as f64;
+        let hours = window_secs as f64 / 3_600.0;
+
+        // Burst grouping by start-time proximity.
+        let mut burst_starts: Vec<u64> = Vec::new();
+        for f in flows {
+            match burst_starts.last() {
+                Some(&last) if f.start_secs.saturating_sub(last) <= BURST_GAP_SECS => {}
+                _ => burst_starts.push(f.start_secs),
+            }
+        }
+        let mut gaps: Vec<f64> = burst_starts
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as f64)
+            .collect();
+        gaps.sort_by(|a, b| a.total_cmp(b));
+        let (q25, q50, q75, cv) = if gaps.is_empty() {
+            (0.0, 0.0, 0.0, 0.0)
+        } else {
+            let q = |p: f64| gaps[((p * (gaps.len() - 1) as f64) as usize).min(gaps.len() - 1)];
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+            (q(0.25), q(0.50), q(0.75), cv)
+        };
+
+        // Windowed volume structure over fixed sub-bins.
+        let n_bins = (window_secs / BIN_SECS).max(2) as usize;
+        let mut bin_bytes = vec![0.0f64; n_bins];
+        let mut bin_counts = vec![0.0f64; n_bins];
+        let origin = flows.iter().map(|f| f.start_secs).min().unwrap_or(0);
+        // Bin by offset from the window's first flow so the signal is
+        // invariant to which absolute window the flows came from.
+        for f in flows {
+            let b = (((f.start_secs - origin) / BIN_SECS) as usize).min(n_bins - 1);
+            bin_bytes[b] += f.total_bytes() as f64;
+            bin_counts[b] += 1.0;
+        }
+        let active = bin_bytes.iter().filter(|&&b| b > 0.0).count();
+        let active_frac = active as f64 / n_bins as f64;
+        let mean_active_bytes = if active > 0 {
+            bin_bytes.iter().sum::<f64>() / active as f64
+        } else {
+            0.0
+        };
+        let peak_bytes = bin_bytes.iter().copied().fold(0.0f64, f64::max);
+        let peak_to_mean = if mean_active_bytes > 0.0 {
+            peak_bytes / mean_active_bytes
+        } else {
+            0.0
+        };
+
+        let up_frac = flows.iter().map(|f| f.up_fraction()).sum::<f64>() / n;
+        let mean_dur = flows.iter().map(|f| f.duration_secs as f64).sum::<f64>() / n;
+
+        Some(StrongFeatureVector {
+            values: [
+                (burst_starts.len() as f64 / hours).max(1e-6).ln(),
+                (q25 + 1.0).ln(),
+                (q50 + 1.0).ln(),
+                (q75 + 1.0).ln(),
+                cv,
+                autocorr_lag1(&bin_bytes),
+                autocorr_lag1(&bin_counts),
+                active_frac,
+                (mean_active_bytes + 1.0).ln(),
+                (peak_to_mean + 1.0).ln(),
+                up_frac,
+                (mean_dur + 1.0).ln(),
+            ],
+        })
+    }
+}
+
+/// Lag-1 autocorrelation of a series (0 when variance is 0 or the series
+/// is shorter than 2).
+fn autocorr_lag1(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let denom: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum();
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    let num: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
+    num / denom
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +305,68 @@ mod tests {
     #[test]
     fn names_match_len() {
         assert_eq!(feature_names().len(), N_FEATURES);
+        assert_eq!(strong_feature_names().len(), N_STRONG_FEATURES);
+    }
+
+    #[test]
+    fn strong_features_survive_uniform_padding() {
+        // Pad every flow to the same size: timing features must be
+        // unchanged, because they never look at sizes.
+        let clear: Vec<FlowRecord> = (0..40).map(|i| flow(i * 137, 200 + i, 50, 1)).collect();
+        let padded: Vec<FlowRecord> = clear
+            .iter()
+            .map(|f| FlowRecord {
+                bytes_up: 1 << 19,
+                bytes_down: 1 << 19,
+                ..*f
+            })
+            .collect();
+        let a = StrongFeatureVector::from_flows(&clear, 6_000).unwrap();
+        let b = StrongFeatureVector::from_flows(&padded, 6_000).unwrap();
+        // Burst rate, gap quantiles, gap CV, count autocorrelation and
+        // active-bin fraction are pure timing signals.
+        for k in [0usize, 1, 2, 3, 4, 6, 7] {
+            assert!(
+                (a.values[k] - b.values[k]).abs() < 1e-12,
+                "feature {k} should survive padding"
+            );
+        }
+    }
+
+    #[test]
+    fn fragmented_flow_counts_as_one_burst() {
+        // 50 cells sharing one start time vs the original single flow:
+        // identical burst count.
+        let single = [
+            flow(1_000, 500_000, 500_000, 1),
+            flow(3_000, 10, 10, 1),
+            flow(5_000, 10, 10, 1),
+        ];
+        let mut cells: Vec<FlowRecord> = (0..50).map(|_| flow(1_000, 10_000, 10_000, 1)).collect();
+        cells.push(flow(3_000, 10, 10, 1));
+        cells.push(flow(5_000, 10, 10, 1));
+        let a = StrongFeatureVector::from_flows(&single, 6_000).unwrap();
+        let b = StrongFeatureVector::from_flows(&cells, 6_000).unwrap();
+        assert!(
+            (a.values[0] - b.values[0]).abs() < 1e-12,
+            "burst rate must not see fragmentation"
+        );
+    }
+
+    #[test]
+    fn strong_too_few_flows_is_none() {
+        let two: Vec<FlowRecord> = (0..2).map(|i| flow(i * 60, 1, 1, 1)).collect();
+        assert!(StrongFeatureVector::from_flows(&two, 120).is_none());
+        assert!(StrongFeatureVector::from_flows(&[], 120).is_none());
+    }
+
+    #[test]
+    fn autocorr_of_alternating_series_is_negative() {
+        let alt: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!(autocorr_lag1(&alt) < -0.5);
+        assert_eq!(autocorr_lag1(&[1.0]), 0.0);
+        assert_eq!(autocorr_lag1(&[2.0, 2.0, 2.0]), 0.0);
     }
 }

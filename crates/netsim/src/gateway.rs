@@ -199,12 +199,24 @@ impl SmartGateway {
 }
 
 impl Verdict {
+    /// Numeric severity: `Normal` = 0, `Suspicious` = 1, `Quarantined` = 2.
+    ///
+    /// Public so monotonicity tests ("shaping/faults never lower a
+    /// compromised device's verdict") can compare verdicts without each
+    /// re-deriving its own ranking.
+    pub fn severity(self) -> u8 {
+        match self {
+            Verdict::Normal => 0,
+            Verdict::Suspicious => 1,
+            Verdict::Quarantined => 2,
+        }
+    }
+
     fn max_with(self, other: Verdict) -> Verdict {
-        use Verdict::*;
-        match (self, other) {
-            (Quarantined, _) | (_, Quarantined) => Quarantined,
-            (Suspicious, _) | (_, Suspicious) => Suspicious,
-            _ => Normal,
+        if self.severity() >= other.severity() {
+            self
+        } else {
+            other
         }
     }
 }
@@ -340,5 +352,7 @@ mod tests {
             Verdict::Quarantined
         );
         assert_eq!(Verdict::Normal.max_with(Verdict::Normal), Verdict::Normal);
+        assert!(Verdict::Normal.severity() < Verdict::Suspicious.severity());
+        assert!(Verdict::Suspicious.severity() < Verdict::Quarantined.severity());
     }
 }

@@ -18,6 +18,14 @@
 //! * [`gateway`] — the defense the paper envisions: per-device profiling,
 //!   anomaly scoring, and least-privilege isolation; plus traffic
 //!   [`shaping`] (padding + cover traffic) that blunts fingerprinting.
+//!
+//! On top of those three sits the encrypted-traffic *arms race*
+//! (docs/NETSIM.md): [`shaping::policies`] is a registry of composable
+//! defenses (padding, fragmentation, VPN-style tunnel aggregation, seeded
+//! cover traffic) with exact overhead/latency price tags, and
+//! [`fingerprint::StrongFingerprinter`] is the stronger attack that
+//! re-featurizes on what shaping does **not** destroy and retrains
+//! per-policy on shaped traces.
 
 pub mod activity;
 pub mod device;
@@ -30,9 +38,11 @@ pub mod shaping;
 
 pub use activity::TrafficOccupancy;
 pub use device::{DeviceType, TrafficProfile};
-pub use features::{feature_names, FeatureVector};
-pub use fingerprint::{DeviceClassifier, NaiveBayes};
+pub use features::{feature_names, strong_feature_names, FeatureVector, StrongFeatureVector};
+pub use fingerprint::{
+    strong_accuracy, strong_examples, DeviceClassifier, NaiveBayes, StrongFingerprinter,
+};
 pub use flow::FlowRecord;
 pub use gateway::{GatewayPolicy, SmartGateway, Verdict};
 pub use generate::{simulate_home_network, DeviceSim, NetworkTrace};
-pub use shaping::TrafficShaper;
+pub use shaping::{policies, PolicySpec, ShapedLog, ShapingPolicy, TrafficShaper};

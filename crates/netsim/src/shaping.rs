@@ -113,6 +113,389 @@ fn pad(bytes: u64, bucket: u64) -> u64 {
     bytes.div_ceil(bucket).max(1) * bucket
 }
 
+// ---------------------------------------------------------------------------
+// Composable shaping policies (the defense side of the arms race).
+// ---------------------------------------------------------------------------
+
+use timeseries::rng::{derive_seed, seeded_rng, SeededRng};
+
+/// The device id all flows carry once VPN-style aggregation collapses the
+/// home behind a single tunnel identity. Real device ids start at 1, so 0
+/// is reserved for the tunnel.
+pub const TUNNEL_DEVICE_ID: u32 = 0;
+
+/// The remote endpoint all aggregated flows terminate at (the tunnel
+/// concentrator).
+pub const TUNNEL_ENDPOINT: u32 = 600_000;
+
+/// The remote endpoint cover flows terminate at when devices are *not*
+/// aggregated (the shaping relay — same endpoint the legacy
+/// [`TrafficShaper`] uses).
+pub const COVER_ENDPOINT: u32 = 500_000;
+
+/// VPN-style aggregation: every flow is re-labelled to the tunnel identity
+/// and its start time is deferred to the next batch boundary, merging
+/// per-device timing into one aggregate schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggregateConfig {
+    /// Flows are released only at multiples of this many seconds. Larger
+    /// batches destroy more timing signal and cost more latency.
+    pub batch_secs: u64,
+}
+
+/// Stochastic cover traffic: dummy flows injected on a seeded schedule so
+/// real event timing hides inside a Poisson haystack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoverConfig {
+    /// Injection window length, seconds.
+    pub window_secs: u64,
+    /// Size of each cover flow, bytes (padded like real flows when the
+    /// policy also pads).
+    pub flow_bytes: u64,
+    /// Mean cover flows injected per window per visible identity
+    /// (Poisson-distributed).
+    pub mean_per_window: f64,
+}
+
+/// A composable shaping policy: each stage is optional, and the stages are
+/// always applied in a fixed order — pad, aggregate, cover, fragment.
+///
+/// Padding runs first so size buckets are computed on real payloads;
+/// aggregation before cover so cover flows are injected on whatever
+/// identities remain *visible*; fragmentation last so cover flows are cut
+/// into the same cells as real traffic. Only the cover stage consumes
+/// randomness, from its own derived stream, so shaping is byte-deterministic
+/// in `(seed, policy, input)`.
+///
+/// Unlike the legacy [`TrafficShaper`], every stage reports its price:
+/// overhead bytes are accounted exactly
+/// (`shaped_bytes == raw_bytes + overhead_bytes`) and aggregation's release
+/// delay is reported as mean added latency per real flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShapingPolicy {
+    /// Pad flow sizes up to multiples of this bucket (None = no padding).
+    pub pad_to_bytes: Option<u64>,
+    /// Collapse all devices behind one tunnel identity (None = device ids
+    /// stay visible).
+    pub aggregate: Option<AggregateConfig>,
+    /// Inject seeded dummy flows (None = no cover traffic).
+    pub cover: Option<CoverConfig>,
+    /// Split flows into MTU-like cells of this many bytes (None = flows
+    /// stay whole).
+    pub fragment_cell_bytes: Option<u64>,
+}
+
+impl ShapingPolicy {
+    /// The identity policy: traffic passes through untouched.
+    pub fn none() -> Self {
+        ShapingPolicy {
+            pad_to_bytes: None,
+            aggregate: None,
+            cover: None,
+            fragment_cell_bytes: None,
+        }
+    }
+
+    /// Adds size-bucket padding.
+    #[must_use]
+    pub fn with_padding(mut self, bucket_bytes: u64) -> Self {
+        self.pad_to_bytes = Some(bucket_bytes);
+        self
+    }
+
+    /// Adds VPN-style aggregation.
+    #[must_use]
+    pub fn with_aggregation(mut self, batch_secs: u64) -> Self {
+        self.aggregate = Some(AggregateConfig { batch_secs });
+        self
+    }
+
+    /// Adds stochastic cover traffic.
+    #[must_use]
+    pub fn with_cover(mut self, window_secs: u64, flow_bytes: u64, mean_per_window: f64) -> Self {
+        self.cover = Some(CoverConfig {
+            window_secs,
+            flow_bytes,
+            mean_per_window,
+        });
+        self
+    }
+
+    /// Adds flow fragmentation.
+    #[must_use]
+    pub fn with_fragmentation(mut self, cell_bytes: u64) -> Self {
+        self.fragment_cell_bytes = Some(cell_bytes);
+        self
+    }
+
+    /// Whether this policy hides device identities behind the tunnel.
+    pub fn aggregates(&self) -> bool {
+        self.aggregate.is_some()
+    }
+
+    /// Whether this policy is the identity (no stage enabled).
+    pub fn is_identity(&self) -> bool {
+        self.pad_to_bytes.is_none()
+            && self.aggregate.is_none()
+            && self.cover.is_none()
+            && self.fragment_cell_bytes.is_none()
+    }
+
+    /// Shapes a flow stream covering `horizon_secs` for the device set in
+    /// `device_ids`. `seed` drives only the cover-traffic schedule.
+    pub fn shape(
+        &self,
+        flows: &[FlowRecord],
+        device_ids: &[u32],
+        horizon_secs: u64,
+        seed: u64,
+    ) -> ShapedLog {
+        let _span = obs::span("netsim.shaping.apply");
+        let raw_bytes: u64 = flows.iter().map(|f| f.total_bytes()).sum();
+        let n_real = flows.len();
+        let mut work: Vec<FlowRecord> = flows.to_vec();
+
+        // Stage 1: pad sizes to bucket multiples.
+        if let Some(bucket) = self.pad_to_bytes {
+            for f in &mut work {
+                let padded = pad(f.total_bytes(), bucket);
+                f.bytes_up = padded / 2;
+                f.bytes_down = padded - padded / 2;
+            }
+        }
+
+        // Stage 2: aggregate behind the tunnel, deferring starts to batch
+        // boundaries. The deferral is the latency price, reported below.
+        let mut total_delay_secs = 0u64;
+        if let Some(agg) = self.aggregate {
+            let batch = agg.batch_secs.max(1);
+            for f in &mut work {
+                let released = f.start_secs.div_ceil(batch) * batch;
+                total_delay_secs += released - f.start_secs;
+                f.start_secs = released;
+                f.device_id = TUNNEL_DEVICE_ID;
+                f.endpoint = TUNNEL_ENDPOINT;
+            }
+        }
+
+        // Stage 3: seeded stochastic cover traffic on the identities an
+        // observer can still distinguish.
+        if let Some(cov) = self.cover {
+            if cov.window_secs > 0 && horizon_secs > 0 {
+                let mut rng = seeded_rng(derive_seed(seed, "shaping:cover"));
+                let tunnel = [TUNNEL_DEVICE_ID];
+                let identities: &[u32] = if self.aggregates() {
+                    &tunnel
+                } else {
+                    device_ids
+                };
+                let endpoint = if self.aggregates() {
+                    TUNNEL_ENDPOINT
+                } else {
+                    COVER_ENDPOINT
+                };
+                let bytes = match self.pad_to_bytes {
+                    Some(bucket) => pad(cov.flow_bytes, bucket),
+                    None => cov.flow_bytes,
+                };
+                let n_windows = horizon_secs.div_ceil(cov.window_secs);
+                for &device_id in identities {
+                    for w in 0..n_windows {
+                        let count = poisson(&mut rng, cov.mean_per_window);
+                        for _ in 0..count {
+                            let offset = rand::Rng::gen_range(&mut rng, 0..cov.window_secs);
+                            work.push(FlowRecord {
+                                start_secs: w * cov.window_secs + offset,
+                                duration_secs: 5,
+                                device_id,
+                                bytes_up: bytes / 2,
+                                bytes_down: bytes - bytes / 2,
+                                endpoint,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Stage 4: fragment everything (real and cover) into cells.
+        if let Some(cell) = self.fragment_cell_bytes {
+            work = fragment(work, cell);
+        }
+
+        work.sort_by_key(|f| (f.start_secs, f.device_id, f.endpoint));
+        let shaped_bytes: u64 = work.iter().map(|f| f.total_bytes()).sum();
+        obs::counter_add("netsim.shaping.flows_out", work.len() as u64);
+        ShapedLog {
+            flows: work,
+            raw_bytes,
+            shaped_bytes,
+            // Padding, cover and fragmentation never remove bytes, so this
+            // cannot underflow; the proptests pin the exact identity.
+            overhead_bytes: shaped_bytes - raw_bytes,
+            added_latency_secs: if n_real > 0 {
+                total_delay_secs as f64 / n_real as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Splits every flow whose payload exceeds `cell` bytes into consecutive
+/// cells of exactly `cell` bytes (the final cell carries the remainder).
+/// Total bytes, and the up/down split, are conserved exactly; cells are
+/// spread across the parent flow's duration.
+fn fragment(flows: Vec<FlowRecord>, cell: u64) -> Vec<FlowRecord> {
+    if cell == 0 {
+        return flows;
+    }
+    let mut out = Vec::with_capacity(flows.len());
+    for f in flows {
+        let total = f.total_bytes();
+        if total <= cell {
+            out.push(f);
+            continue;
+        }
+        let k = total.div_ceil(cell);
+        let mut up_left = f.bytes_up;
+        for i in 0..k {
+            let cell_total = if i + 1 < k {
+                cell
+            } else {
+                total - cell * (k - 1)
+            };
+            let up = up_left.min(cell_total);
+            up_left -= up;
+            out.push(FlowRecord {
+                start_secs: f.start_secs + i * f.duration_secs / k,
+                duration_secs: f.duration_secs / k,
+                device_id: f.device_id,
+                bytes_up: up,
+                bytes_down: cell_total - up,
+                endpoint: f.endpoint,
+            });
+        }
+    }
+    out
+}
+
+/// Knuth's Poisson sampler; fine for the small per-window means cover
+/// traffic uses.
+fn poisson(rng: &mut SeededRng, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let limit = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rand::Rng::gen::<f64>(rng);
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// What an observer sees after shaping, with the price fully itemized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapedLog {
+    /// The shaped flow stream, sorted by `(start, device, endpoint)`.
+    pub flows: Vec<FlowRecord>,
+    /// Total payload bytes before shaping.
+    pub raw_bytes: u64,
+    /// Total bytes on the wire after shaping.
+    pub shaped_bytes: u64,
+    /// Exact overhead: `shaped_bytes - raw_bytes`.
+    pub overhead_bytes: u64,
+    /// Mean seconds each real flow was deferred by aggregation batching
+    /// (0 for policies without aggregation).
+    pub added_latency_secs: f64,
+}
+
+impl ShapedLog {
+    /// Overhead as a fraction of the raw bytes (0 when the input was
+    /// empty).
+    pub fn overhead_frac(&self) -> f64 {
+        if self.raw_bytes > 0 {
+            self.overhead_bytes as f64 / self.raw_bytes as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A named entry in the shaping-policy registry.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicySpec {
+    /// Stable registry key (used in experiment JSON and claims).
+    pub key: &'static str,
+    /// One-line description for reports.
+    pub title: &'static str,
+    /// Whether this is a *partial* defense: it blunts the naive attack but
+    /// is known to leak against a re-featurizing attacker. `none` and the
+    /// full stack are not partial.
+    pub partial: bool,
+    /// The policy itself.
+    pub policy: ShapingPolicy,
+}
+
+/// One standard cell/bucket size (64 KiB) used by the uniform-cell
+/// policies.
+const CELL: u64 = 1 << 16;
+
+/// The shaping-policy registry evaluated by the `shaping_arms_race`
+/// experiment. Ordered from no defense to the full stack.
+pub fn policies() -> Vec<PolicySpec> {
+    vec![
+        PolicySpec {
+            key: "none",
+            title: "no shaping (clear metadata)",
+            partial: false,
+            policy: ShapingPolicy::none(),
+        },
+        PolicySpec {
+            key: "pad",
+            title: "size-bucket padding, 1 MiB buckets",
+            partial: true,
+            policy: ShapingPolicy::none().with_padding(1 << 20),
+        },
+        PolicySpec {
+            key: "frag",
+            title: "fragmentation into 64 KiB cells",
+            partial: true,
+            policy: ShapingPolicy::none().with_fragmentation(CELL),
+        },
+        PolicySpec {
+            key: "pad-frag",
+            title: "64 KiB padding + 64 KiB cells (uniform sizes)",
+            partial: true,
+            policy: ShapingPolicy::none()
+                .with_padding(CELL)
+                .with_fragmentation(CELL),
+        },
+        PolicySpec {
+            key: "pad-cover",
+            title: "1 MiB padding + Poisson cover traffic",
+            partial: true,
+            policy: ShapingPolicy::none()
+                .with_padding(1 << 20)
+                .with_cover(1_800, 1 << 20, 2.0),
+        },
+        PolicySpec {
+            key: "full",
+            title: "tunnel aggregation + padding + cover + cells",
+            partial: false,
+            policy: ShapingPolicy::none()
+                .with_padding(CELL)
+                .with_aggregation(60)
+                .with_cover(600, CELL, 4.0)
+                .with_fragmentation(CELL),
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +565,90 @@ mod tests {
         };
         let shaped = shaper.shape(&trace.flows, &[1], trace.horizon_secs);
         assert_eq!(shaped.flows.len(), trace.flows.len());
+    }
+
+    #[test]
+    fn policy_registry_keys_unique_and_identity_first() {
+        let reg = policies();
+        let mut keys: Vec<&str> = reg.iter().map(|p| p.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), reg.len(), "registry keys must be unique");
+        assert!(reg[0].policy.is_identity());
+        assert!(reg.iter().any(|p| p.key == "full" && p.policy.aggregates()));
+    }
+
+    #[test]
+    fn policy_shape_deterministic_in_seed() {
+        let inv = DeviceType::all().to_vec();
+        let trace = simulate_home_network(&inv, &occupancy(2), 2, 11);
+        let ids: Vec<u32> = trace.devices.iter().map(|d| d.device_id).collect();
+        for spec in policies() {
+            let a = spec.policy.shape(&trace.flows, &ids, trace.horizon_secs, 5);
+            let b = spec.policy.shape(&trace.flows, &ids, trace.horizon_secs, 5);
+            assert_eq!(a, b, "policy {} must be seed-deterministic", spec.key);
+        }
+    }
+
+    #[test]
+    fn overhead_identity_holds_per_policy() {
+        let inv = DeviceType::all().to_vec();
+        let trace = simulate_home_network(&inv, &occupancy(2), 2, 13);
+        let ids: Vec<u32> = trace.devices.iter().map(|d| d.device_id).collect();
+        for spec in policies() {
+            let s = spec.policy.shape(&trace.flows, &ids, trace.horizon_secs, 9);
+            assert_eq!(
+                s.shaped_bytes,
+                s.raw_bytes + s.overhead_bytes,
+                "policy {}",
+                spec.key
+            );
+        }
+    }
+
+    #[test]
+    fn fragmentation_conserves_bytes_and_split() {
+        let f = FlowRecord {
+            start_secs: 100,
+            duration_secs: 30,
+            device_id: 3,
+            bytes_up: 70_001,
+            bytes_down: 260_000,
+            endpoint: 301,
+        };
+        let cells = fragment(vec![f], 1 << 16);
+        assert_eq!(cells.len(), (f.total_bytes().div_ceil(1 << 16)) as usize);
+        assert_eq!(
+            cells.iter().map(FlowRecord::total_bytes).sum::<u64>(),
+            f.total_bytes()
+        );
+        assert_eq!(cells.iter().map(|c| c.bytes_up).sum::<u64>(), f.bytes_up);
+        for c in &cells[..cells.len() - 1] {
+            assert_eq!(c.total_bytes(), 1 << 16);
+        }
+    }
+
+    #[test]
+    fn aggregation_hides_identity_and_prices_latency() {
+        let inv = DeviceType::all().to_vec();
+        let trace = simulate_home_network(&inv, &occupancy(2), 2, 17);
+        let ids: Vec<u32> = trace.devices.iter().map(|d| d.device_id).collect();
+        let full = policies()
+            .into_iter()
+            .find(|p| p.key == "full")
+            .unwrap()
+            .policy;
+        let s = full.shape(&trace.flows, &ids, trace.horizon_secs, 3);
+        assert!(s.flows.iter().all(|f| f.device_id == TUNNEL_DEVICE_ID));
+        assert!(s.flows.iter().all(|f| f.endpoint == TUNNEL_ENDPOINT));
+        assert!(s.added_latency_secs > 0.0, "batching must price latency");
+        let pad_only = policies()
+            .into_iter()
+            .find(|p| p.key == "pad")
+            .unwrap()
+            .policy;
+        let p = pad_only.shape(&trace.flows, &ids, trace.horizon_secs, 3);
+        assert_eq!(p.added_latency_secs, 0.0, "no aggregation, no latency");
     }
 
     #[test]

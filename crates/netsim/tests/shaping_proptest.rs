@@ -1,0 +1,218 @@
+//! Shaping-policy invariants, property-tested over seeded flow logs —
+//! including gap-riddled and fault-mangled logs (drops, start-time skew,
+//! duplicated chatter, injected compromise traffic).
+//!
+//! The invariants pinned here are the contract docs/NETSIM.md documents:
+//!
+//! 1. observer-visible sizes are exact bucket multiples wherever padding
+//!    is enabled (cells divide buckets in every registry policy);
+//! 2. fragmentation conserves total payload bytes exactly;
+//! 3. aggregated tunnels never expose a per-device identity;
+//! 4. overhead accounting is exact: `shaped_bytes == raw_bytes + overhead`;
+//! 5. shaping is byte-deterministic in `(seed, policy)`.
+
+use netsim::gateway::inject_compromise;
+use netsim::shaping::{TUNNEL_DEVICE_ID, TUNNEL_ENDPOINT};
+use netsim::{policies, simulate_home_network, DeviceType, FlowRecord, ShapingPolicy};
+use proptest::prelude::*;
+use timeseries::rng::{derive_seed, seeded_rng};
+use timeseries::{LabelSeries, Resolution, Timestamp};
+
+/// Builds a seeded flow log, optionally mangled the way faulted sensors
+/// mangle it: dropped flows, skewed start times, duplicated chatter, a
+/// gap-riddled quiet region, and an injected volumetric compromise.
+///
+/// The `faults` crate depends on `netsim`, so these tests emulate its
+/// flow-fault kinds locally; the real `FlowFault` plans are exercised
+/// against the shaper in `crates/faults/tests/shaped_path.rs`.
+fn mangled_log(seed: u64, n_devices: usize, mangle: bool) -> (Vec<FlowRecord>, Vec<u32>, u64) {
+    let inventory: Vec<DeviceType> = DeviceType::all()
+        .iter()
+        .copied()
+        .cycle()
+        .take(n_devices)
+        .collect();
+    let occ = LabelSeries::from_fn(Timestamp::ZERO, Resolution::ONE_MINUTE, 2 * 1440, |i| {
+        i % 1440 < 700
+    });
+    let mut trace = simulate_home_network(&inventory, &occ, 2, seed);
+    let ids: Vec<u32> = trace.devices.iter().map(|d| d.device_id).collect();
+    if mangle {
+        let mut rng = seeded_rng(derive_seed(seed, "mangle"));
+        let horizon = trace.horizon_secs;
+        // Gap-riddle: silence a contiguous region (outage).
+        let gap_start = rand::Rng::gen_range(&mut rng, 0..horizon / 2);
+        let gap_len = rand::Rng::gen_range(&mut rng, 3_600..horizon / 4);
+        trace
+            .flows
+            .retain(|f| f.start_secs < gap_start || f.start_secs >= gap_start + gap_len);
+        // Drop + skew + duplicate.
+        let mut mangled = Vec::with_capacity(trace.flows.len());
+        for f in &trace.flows {
+            if rand::Rng::gen::<f64>(&mut rng) < 0.1 {
+                continue; // loss
+            }
+            let mut g = *f;
+            if rand::Rng::gen::<f64>(&mut rng) < 0.2 {
+                let skew = rand::Rng::gen_range(&mut rng, 0..120u64);
+                g.start_secs = g.start_secs.saturating_sub(skew); // reorder
+            }
+            mangled.push(g);
+            if rand::Rng::gen::<f64>(&mut rng) < 0.05 {
+                mangled.push(g); // duplicated chatter (reboot re-announce)
+            }
+        }
+        trace.flows = mangled;
+        // A compromised device blasting upstream to an unknown endpoint.
+        if let Some(&victim) = ids.first() {
+            inject_compromise(&mut trace.flows, victim, horizon / 3, horizon);
+        }
+        trace.flows.sort_by_key(|f| f.start_secs);
+    }
+    (trace.flows, ids, trace.horizon_secs)
+}
+
+/// The finest size quantum all visible flow sizes must be a multiple of,
+/// if the policy guarantees one.
+fn size_quantum(policy: &ShapingPolicy) -> Option<u64> {
+    match (policy.pad_to_bytes, policy.fragment_cell_bytes) {
+        (Some(bucket), None) => Some(bucket),
+        (Some(bucket), Some(cell)) if bucket % cell == 0 => Some(cell),
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Invariants 1–5 over every registry policy on clean and mangled logs.
+    #[test]
+    fn registry_policies_uphold_invariants(
+        seed in 0u64..1_000,
+        n_devices in 1usize..6,
+        mangle in any::<bool>(),
+    ) {
+        let (flows, ids, horizon) = mangled_log(seed, n_devices, mangle);
+        let raw: u64 = flows.iter().map(FlowRecord::total_bytes).sum();
+        for spec in policies() {
+            let shaped = spec.policy.shape(&flows, &ids, horizon, seed);
+
+            // (4) Exact overhead accounting, twice over: the identity the
+            // struct reports, and the re-summed flow bytes.
+            prop_assert_eq!(shaped.raw_bytes, raw, "policy {}", spec.key);
+            prop_assert_eq!(
+                shaped.shaped_bytes,
+                shaped.raw_bytes + shaped.overhead_bytes,
+                "policy {}", spec.key
+            );
+            let resummed: u64 = shaped.flows.iter().map(FlowRecord::total_bytes).sum();
+            prop_assert_eq!(resummed, shaped.shaped_bytes, "policy {}", spec.key);
+
+            // (1) Padded sizes are exact quantum multiples.
+            if let Some(quantum) = size_quantum(&spec.policy) {
+                for f in &shaped.flows {
+                    prop_assert_eq!(
+                        f.total_bytes() % quantum, 0,
+                        "policy {}: {} bytes not a multiple of {}",
+                        spec.key, f.total_bytes(), quantum
+                    );
+                }
+            }
+
+            // (3) Aggregation hides every per-device identity.
+            if spec.policy.aggregates() {
+                for f in &shaped.flows {
+                    prop_assert_eq!(f.device_id, TUNNEL_DEVICE_ID, "policy {}", spec.key);
+                    prop_assert_eq!(f.endpoint, TUNNEL_ENDPOINT, "policy {}", spec.key);
+                }
+            } else if !mangle {
+                // Without aggregation the original identities survive
+                // (mangled logs may have lost devices to the outage).
+                for f in &flows {
+                    prop_assert!(
+                        shaped.flows.iter().any(|s| s.device_id == f.device_id),
+                        "policy {} lost device {}", spec.key, f.device_id
+                    );
+                }
+            }
+
+            // (5) Byte-determinism in (seed, policy).
+            let again = spec.policy.shape(&flows, &ids, horizon, seed);
+            prop_assert_eq!(shaped, again, "policy {} not deterministic", spec.key);
+        }
+    }
+
+    /// Invariant 2 in isolation: a fragmentation-only policy conserves
+    /// bytes exactly (zero overhead) on arbitrary cell sizes.
+    #[test]
+    fn fragmentation_conserves_payload_bytes(
+        seed in 0u64..1_000,
+        // 16 KiB .. 1 MiB cells: a mangled log carries gigabytes of
+        // compromise traffic, so sub-KiB cells would blow up the record
+        // count without testing anything new.
+        cell_pow in 14u32..21,
+        mangle in any::<bool>(),
+    ) {
+        let (flows, ids, horizon) = mangled_log(seed, 3, mangle);
+        let policy = ShapingPolicy::none().with_fragmentation(1 << cell_pow);
+        let shaped = policy.shape(&flows, &ids, horizon, seed);
+        prop_assert_eq!(shaped.overhead_bytes, 0);
+        prop_assert_eq!(shaped.shaped_bytes, shaped.raw_bytes);
+        // Per-direction conservation, not just totals.
+        let up_before: u64 = flows.iter().map(|f| f.bytes_up).sum();
+        let up_after: u64 = shaped.flows.iter().map(|f| f.bytes_up).sum();
+        prop_assert_eq!(up_before, up_after);
+        // No cell exceeds the cell size unless the parent was oversized and
+        // indivisible (cannot happen: cells are capped by construction).
+        for f in &shaped.flows {
+            prop_assert!(f.total_bytes() <= 1 << cell_pow);
+        }
+    }
+
+    /// Invariants 1/3/4/5 over *arbitrary aligned* policy combinations,
+    /// not just the registry entries.
+    #[test]
+    fn arbitrary_aligned_policies_uphold_invariants(
+        seed in 0u64..1_000,
+        bucket_pow in 14u32..21,
+        use_pad in any::<bool>(),
+        use_frag in any::<bool>(),
+        use_agg in any::<bool>(),
+        cover_mean in 0.0f64..4.0,
+        batch in 1u64..600,
+    ) {
+        let (flows, ids, horizon) = mangled_log(seed, 2, true);
+        let bucket = 1u64 << bucket_pow;
+        let mut policy = ShapingPolicy::none();
+        if use_pad {
+            policy = policy.with_padding(bucket);
+        }
+        if use_frag {
+            // Cells divide the bucket so the quantum invariant is decidable.
+            policy = policy.with_fragmentation(bucket);
+        }
+        if use_agg {
+            policy = policy.with_aggregation(batch);
+        }
+        if cover_mean > 0.5 {
+            policy = policy.with_cover(1_800, bucket, cover_mean);
+        }
+        let shaped = policy.shape(&flows, &ids, horizon, seed);
+        prop_assert_eq!(shaped.shaped_bytes, shaped.raw_bytes + shaped.overhead_bytes);
+        if let Some(quantum) = size_quantum(&policy) {
+            for f in &shaped.flows {
+                prop_assert_eq!(f.total_bytes() % quantum, 0);
+            }
+        }
+        if policy.aggregates() {
+            for f in &shaped.flows {
+                prop_assert_eq!(f.device_id, TUNNEL_DEVICE_ID);
+            }
+            prop_assert!(shaped.added_latency_secs >= 0.0);
+        } else {
+            prop_assert_eq!(shaped.added_latency_secs, 0.0);
+        }
+        let again = policy.shape(&flows, &ids, horizon, seed);
+        prop_assert_eq!(shaped, again);
+    }
+}

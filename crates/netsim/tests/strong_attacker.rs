@@ -1,0 +1,78 @@
+//! Differential test for the strong fingerprinter: on *unshaped* flows it
+//! must reproduce the baseline fingerprinter's accuracy within tolerance
+//! across 8 seeds (re-featurizing must not silently regress the baseline
+//! attack), and its per-round training trail must be prefix-stable the way
+//! `tournament`'s `round_train_mcc` trail is.
+
+use netsim::fingerprint::{accuracy, labelled_examples};
+use netsim::{
+    simulate_home_network, strong_accuracy, strong_examples, DeviceType, NaiveBayes, ShapingPolicy,
+    StrongFingerprinter,
+};
+use timeseries::{LabelSeries, Resolution, Timestamp};
+
+fn occupancy(days: u64) -> LabelSeries {
+    LabelSeries::from_fn(
+        Timestamp::ZERO,
+        Resolution::ONE_MINUTE,
+        (days * 1440) as usize,
+        |i| {
+            let m = i % 1440;
+            !(540..1_020).contains(&m)
+        },
+    )
+}
+
+const WINDOWS: usize = 6;
+const DAYS: u64 = 6;
+
+/// Largest accuracy shortfall the strong attacker may show against the
+/// baseline on clear traffic, per seed. It trades the size features the
+/// baseline leans on for shaping-robust timing features, so a small gap is
+/// expected; a large one means the re-featurization broke the attack.
+const TOLERANCE: f64 = 0.20;
+
+#[test]
+fn strong_matches_baseline_on_unshaped_flows_across_seeds() {
+    let inv = DeviceType::all().to_vec();
+    let mut gaps = Vec::new();
+    for seed in 0u64..8 {
+        let train = simulate_home_network(&inv, &occupancy(DAYS), DAYS, 1_000 + seed);
+        let test = simulate_home_network(&inv, &occupancy(DAYS), DAYS, 2_000 + seed);
+        let nb = NaiveBayes::train(&labelled_examples(&train, WINDOWS));
+        let baseline = accuracy(&nb, &labelled_examples(&test, WINDOWS));
+        let strong = StrongFingerprinter::fit(&train, &ShapingPolicy::none(), WINDOWS, 1, seed);
+        let strong_acc = strong_accuracy(&strong, &strong_examples(&test, WINDOWS));
+        assert!(
+            strong_acc >= baseline - TOLERANCE,
+            "seed {seed}: strong {strong_acc:.3} fell more than {TOLERANCE} below baseline {baseline:.3}"
+        );
+        gaps.push(baseline - strong_acc);
+    }
+    // And on average the two attacks should be close.
+    let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    assert!(
+        mean_gap.abs() < 0.10,
+        "mean baseline-minus-strong gap {mean_gap:.3} across 8 seeds"
+    );
+}
+
+#[test]
+fn strong_fit_trail_is_prefix_stable_across_round_counts() {
+    let inv = DeviceType::all().to_vec();
+    let trace = simulate_home_network(&inv, &occupancy(4), 4, 42);
+    // A stochastic policy, so each round actually draws fresh cover noise.
+    let policy = ShapingPolicy::none()
+        .with_padding(1 << 20)
+        .with_cover(1_800, 1 << 20, 2.0);
+    let long = StrongFingerprinter::fit(&trace, &policy, 4, 4, 9);
+    assert_eq!(long.round_train_acc.len(), 4);
+    for rounds in 1..4 {
+        let short = StrongFingerprinter::fit(&trace, &policy, 4, rounds, 9);
+        assert_eq!(
+            short.round_train_acc[..],
+            long.round_train_acc[..rounds],
+            "trail prefix diverged at {rounds} rounds"
+        );
+    }
+}

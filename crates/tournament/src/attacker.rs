@@ -3,7 +3,7 @@
 use crate::arena::TrainingArena;
 use iot_privacy::defense::Defense;
 use iot_privacy::niom::{LogisticDetector, OccupancyDetector, ThresholdDetector};
-use iot_privacy::timeseries::rng::{derive_seed, seeded_rng};
+use iot_privacy::timeseries::rng::{round_seed, seeded_rng};
 use iot_privacy::timeseries::{LabelSeries, PowerTrace};
 
 /// The NIOM window every tournament attacker uses, samples.
@@ -233,7 +233,7 @@ impl Attacker for AdaptiveTuned {
         let mut best: Option<(f64, DeployedModel)> = None;
         for round in 0..rounds {
             for (i, home) in arena.homes.iter().enumerate() {
-                let mut rng = seeded_rng(derive_seed(seed, &format!("round:{round}:home:{i}")));
+                let mut rng = seeded_rng(round_seed(seed, round, i));
                 let out = defense.apply(&home.meter, &mut rng);
                 defended.push((out.trace, &home.occupancy));
             }
